@@ -1,0 +1,24 @@
+// Shared formatting helpers for the experiment-reproduction benches. Each
+// bench binary regenerates one table or figure from the paper and prints
+// the same rows/series the paper reports.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace androne {
+
+inline void BenchHeader(const std::string& id, const std::string& title) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline void BenchNote(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+}  // namespace androne
+
+#endif  // BENCH_BENCH_UTIL_H_

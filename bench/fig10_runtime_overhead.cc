@@ -1,0 +1,86 @@
+// Figure 10 reproduction: PassMark CPU/disk/memory performance normalized
+// to a single instance on stock Android Things, for 1-3 virtual drones on
+// the PREEMPT and PREEMPT_RT kernels (lower is better). Also runs the
+// containers-vs-VMs ablation DESIGN.md calls out: the paper's argument for
+// containers is the avoided device-emulation and full-OS overhead, modeled
+// here as the ARM-without-VHE trap-and-emulate cost on I/O paths.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/rt/passmark.h"
+
+namespace androne {
+namespace {
+
+struct Row {
+  const char* label;
+  PassmarkScores scores;
+};
+
+void PrintTable(const PassmarkScores& stock, const Row* rows, int n) {
+  std::printf("%-16s %12s %12s %12s\n", "config", "CPU", "Disk", "Memory");
+  std::printf("%-16s %12s %12s %12s\n", "stock (baseline)", "1.00", "1.00",
+              "1.00");
+  for (int i = 0; i < n; ++i) {
+    std::printf("%-16s %12.2f %12.2f %12.2f\n", rows[i].label,
+                rows[i].scores.cpu_seconds / stock.cpu_seconds,
+                rows[i].scores.disk_seconds / stock.disk_seconds,
+                rows[i].scores.memory_seconds / stock.memory_seconds);
+  }
+}
+
+void RunFigure10() {
+  BenchHeader("Figure 10", "Runtime overhead (normalized, lower is better)");
+  PassmarkScores stock = RunPassmark({1, PreemptionModel::kPreempt, true});
+
+  Row rows[] = {
+      {"1 VDrone", RunPassmark({1, PreemptionModel::kPreempt, false})},
+      {"2 VDrone", RunPassmark({2, PreemptionModel::kPreempt, false})},
+      {"3 VDrone", RunPassmark({3, PreemptionModel::kPreempt, false})},
+      {"1 VDrone-RT", RunPassmark({1, PreemptionModel::kPreemptRt, false})},
+      {"2 VDrone-RT", RunPassmark({2, PreemptionModel::kPreemptRt, false})},
+      {"3 VDrone-RT", RunPassmark({3, PreemptionModel::kPreemptRt, false})},
+  };
+  PrintTable(stock, rows, 6);
+  BenchNote("paper: single vdrone <= 1.5% overhead; CPU ~linear; disk "
+            "~2x/2.2x and memory ~1.8x/2.3x at 3 vdrones (PREEMPT/RT)");
+}
+
+// Ablation: what the same workloads would cost under trap-and-emulate
+// virtual machines on drone-class ARM hardware without virtualization
+// extensions. Each privileged I/O operation pays an emulation exit
+// (~5000 cycles at 1.2 GHz ~= 4.2 us) and each VM duplicates a full OS
+// memory footprint.
+void RunVmAblation() {
+  BenchHeader("Ablation (DESIGN.md)", "containers vs. emulated VMs");
+  PassmarkScores stock = RunPassmark({1, PreemptionModel::kPreempt, true});
+  PassmarkScores containers =
+      RunPassmark({3, PreemptionModel::kPreemptRt, false});
+  // VM model: disk ops pay emulation exits (device virtualization) and the
+  // memory test pays shadow-page maintenance; CPU is near-native.
+  constexpr double kVmExitPerIoOverhead = 1.45;   // +45% per storage op.
+  constexpr double kVmMemoryOverhead = 1.30;      // Shadow paging churn.
+  constexpr double kVmCpuOverhead = 1.06;
+  std::printf("%-24s %10s %10s %10s\n", "config", "CPU", "Disk", "Memory");
+  std::printf("%-24s %10.2f %10.2f %10.2f\n", "3 tenants (containers)",
+              containers.cpu_seconds / stock.cpu_seconds,
+              containers.disk_seconds / stock.disk_seconds,
+              containers.memory_seconds / stock.memory_seconds);
+  std::printf("%-24s %10.2f %10.2f %10.2f\n", "3 tenants (VM model)",
+              containers.cpu_seconds / stock.cpu_seconds * kVmCpuOverhead,
+              containers.disk_seconds / stock.disk_seconds *
+                  kVmExitPerIoOverhead,
+              containers.memory_seconds / stock.memory_seconds *
+                  kVmMemoryOverhead);
+  BenchNote("plus ~3x full-OS memory footprint: 3 VMs would not fit the "
+            "880 MB budget at all (see fig12 bench)");
+}
+
+}  // namespace
+}  // namespace androne
+
+int main() {
+  androne::RunFigure10();
+  androne::RunVmAblation();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) for the hot paths underpinning the
+// macro results: Binder transactions (device-service call overhead), parcel
+// handling, MAVLink framing, layered-image resolution, and the simulated
+// kernel's latency sampling. These quantify the per-operation costs that
+// Figure 10's "<1.5% single-tenant overhead" claim rests on.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/binder/binder_driver.h"
+#include "src/binder/service_manager.h"
+#include "src/container/image_store.h"
+#include "src/mavlink/messages.h"
+#include "src/rt/kernel_model.h"
+
+namespace androne {
+namespace {
+
+class EchoService : public BinderObject {
+ public:
+  Status OnTransact(uint32_t code, const Parcel& data, Parcel* reply,
+                    const BinderCallContext& ctx) override {
+    (void)code;
+    (void)ctx;
+    auto value = data.ReadInt32();
+    if (!value.ok()) {
+      return value.status();
+    }
+    reply->WriteInt32(*value);
+    return OkStatus();
+  }
+};
+
+void BM_BinderTransaction(benchmark::State& state) {
+  BinderDriver driver;
+  BinderProc* sm_proc = driver.CreateProcess(1, 1000, 1);
+  (void)ServiceManager::Install(sm_proc);
+  BinderProc* server = driver.CreateProcess(2, 1000, 1);
+  BinderHandle handle = server->RegisterObject(std::make_shared<EchoService>());
+  (void)SmAddService(server, "echo", handle);
+  BinderProc* client = driver.CreateProcess(3, 10001, 1);
+  BinderHandle echo = SmGetService(client, "echo").value();
+  Parcel request;
+  request.WriteInt32(42);
+  for (auto _ : state) {
+    request.ResetReadCursor();
+    auto reply = client->Transact(echo, 1, request);
+    benchmark::DoNotOptimize(reply);
+  }
+}
+BENCHMARK(BM_BinderTransaction);
+
+void BM_ParcelRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    Parcel parcel;
+    parcel.WriteInt32(1);
+    parcel.WriteDouble(43.6084298);
+    parcel.WriteString("media.camera");
+    auto a = parcel.ReadInt32();
+    auto b = parcel.ReadDouble();
+    auto c = parcel.ReadString();
+    benchmark::DoNotOptimize(a);
+    benchmark::DoNotOptimize(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ParcelRoundTrip);
+
+void BM_MavlinkEncodeDecode(benchmark::State& state) {
+  GlobalPositionInt gpi;
+  gpi.lat = 436084298;
+  gpi.lon = -858110359;
+  gpi.relative_alt = 15000;
+  MavlinkParser parser;
+  for (auto _ : state) {
+    auto bytes = EncodeFrame(PackMessage(MavMessage{gpi}));
+    parser.Feed(bytes);
+    auto frames = parser.TakeFrames();
+    benchmark::DoNotOptimize(frames);
+  }
+}
+BENCHMARK(BM_MavlinkEncodeDecode);
+
+void BM_ImageFlatten(benchmark::State& state) {
+  ImageStore store;
+  std::vector<LayerId> layers;
+  for (int l = 0; l < 5; ++l) {
+    LayerFiles files;
+    for (int f = 0; f < 64; ++f) {
+      files["/layer" + std::to_string(l) + "/file" + std::to_string(f)] =
+          LayerFile{"content", false};
+    }
+    layers.push_back(store.AddLayer(std::move(files)));
+  }
+  ImageId image = store.CreateImage("bench", layers).value();
+  for (auto _ : state) {
+    auto view = store.Flatten(image);
+    benchmark::DoNotOptimize(view);
+  }
+}
+BENCHMARK(BM_ImageFlatten);
+
+void BM_LatencySample(benchmark::State& state) {
+  WakeLatencySampler sampler(PreemptionModel::kPreemptRt,
+                             IdleLoad() + StressLoad(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.SampleUs());
+  }
+}
+BENCHMARK(BM_LatencySample);
+
+}  // namespace
+}  // namespace androne
+
+BENCHMARK_MAIN();

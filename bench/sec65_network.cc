@@ -1,0 +1,82 @@
+// §6.5 reproduction: MAVLink command latency over cellular. The paper sent
+// ~150,000 COMMAND_LONG messages over 12 hours from a wired ground station
+// to the drone on T-Mobile LTE: avg 70 ms, max 356 ms, stddev 7.2 ms, 6
+// packets lost. This bench drives the same command stream through the VPN
+// tunnel and LTE link model, and prints the RF-remote comparison the paper
+// cites (8-85 ms).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/mavlink/messages.h"
+#include "src/net/channel.h"
+
+namespace androne {
+namespace {
+
+void RunLteExperiment() {
+  BenchHeader("Section 6.5", "Network performance (cellular drone control)");
+  SimClock clock;
+  CellularLteModel lte;
+  NetworkChannel channel(&clock, &lte, 65);
+  VpnTunnel ground_station(&channel, 42);
+  VpnTunnel drone_side(&channel, 42);
+
+  uint64_t received = 0;
+  MavlinkParser parser;
+  drone_side.SetReceiver([&](const std::vector<uint8_t>& datagram) {
+    parser.Feed(datagram);
+    received += parser.TakeFrames().size();
+  });
+
+  constexpr int kCommands = 150000;
+  CommandLong cmd;
+  cmd.command = static_cast<uint16_t>(MavCmd::kDoChangeSpeed);
+  for (int i = 0; i < kCommands; ++i) {
+    MavlinkFrame frame = PackMessage(MavMessage{cmd});
+    frame.seq = static_cast<uint8_t>(i);
+    ground_station.Send(EncodeFrame(frame));
+    // ~3.5 commands/second over 12 hours, as in the paper's testbed.
+    clock.RunFor(Millis(288));
+  }
+  clock.RunAll();
+
+  const Histogram& latency = channel.latency_us();
+  std::printf("  commands sent:      %d\n", kCommands);
+  std::printf("  received:           %llu\n",
+              static_cast<unsigned long long>(received));
+  std::printf("  lost:               %llu\n",
+              static_cast<unsigned long long>(channel.lost()));
+  std::printf("  average latency:    %.1f ms\n", latency.mean() / 1000.0);
+  std::printf("  maximum latency:    %.1f ms\n",
+              static_cast<double>(latency.max()) / 1000.0);
+  std::printf("  std deviation:      %.1f ms\n", latency.stddev() / 1000.0);
+  BenchNote("paper: avg 70 ms, max 356 ms, stddev 7.2 ms, 6 lost of ~150k");
+}
+
+void RunRfComparison() {
+  std::printf("\nRF remote-control comparison (hobby drones):\n");
+  SimClock clock;
+  RfRemoteModel rf;
+  NetworkChannel channel(&clock, &rf, 66);
+  channel.SetReceiver([](const std::vector<uint8_t>&) {});
+  for (int i = 0; i < 20000; ++i) {
+    channel.Send({0});
+  }
+  clock.RunAll();
+  const Histogram& latency = channel.latency_us();
+  std::printf("  RF latency: min %.0f ms  avg %.1f ms  max %.0f ms\n",
+              static_cast<double>(latency.min()) / 1000.0,
+              latency.mean() / 1000.0,
+              static_cast<double>(latency.max()) / 1000.0);
+  BenchNote("paper cites typical hobby RF control latency of 8-85 ms — "
+            "cellular control is comparable");
+}
+
+}  // namespace
+}  // namespace androne
+
+int main() {
+  androne::RunLteExperiment();
+  androne::RunRfComparison();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Quickstart: the smallest end-to-end AnDrone program.
+//
+// A user orders a virtual drone through the cloud portal, the drone boots
+// its virtualization stack, the virtual drone is deployed from the VDR
+// definition, and one waypoint is flown with a tiny camera app that
+// captures a photo and uploads it for the user.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "src/cloud/billing.h"
+#include "src/cloud/energy_model.h"
+#include "src/cloud/flight_planner.h"
+#include "src/cloud/portal.h"
+#include "src/core/drone.h"
+#include "src/services/device_services.h"
+#include "src/util/logging.h"
+
+using namespace androne;
+
+namespace {
+
+const GeoPoint kBase{43.6084298, -85.8110359, 0};
+const GeoPoint kPhotoSpot{43.6087619, -85.8104110, 15};
+
+constexpr char kPhotoManifest[] = R"(
+<androne-manifest package="com.example.photo">
+  <uses-permission name="camera" type="waypoint"/>
+</androne-manifest>)";
+
+// A one-shot aerial photo app.
+class PhotoApp : public AndroneApp {
+ public:
+  PhotoApp() : AndroneApp("com.example.photo", 0) {}
+
+  void WaypointActive(const WaypointSpec& waypoint) override {
+    auto camera = SmGetService(proc(), kCameraServiceName);
+    if (!camera.ok()) {
+      return;
+    }
+    Parcel req;
+    (void)proc()->Transact(*camera, kCamConnect, req);
+    auto frame = proc()->Transact(*camera, kCamCapture, req);
+    if (frame.ok()) {
+      std::printf("  [app] captured photo at %s\n",
+                  waypoint.point.ToString().c_str());
+      container()->WriteFile("/data/data/com.example.photo/photo.jpg",
+                             "jpeg-bytes");
+      (void)sdk()->MarkFileForUser("/data/data/com.example.photo/photo.jpg");
+    }
+    (void)proc()->Transact(*camera, kCamDisconnect, req);
+    sdk()->WaypointCompleted();
+  }
+};
+
+}  // namespace
+
+int main() {
+  SetMinLogLevel(LogLevel::kWarning);
+  std::printf("== AnDrone quickstart ==\n\n");
+
+  // 1. Cloud side: publish the app and order a virtual drone.
+  AppStore app_store;
+  (void)app_store.Publish({"com.example.photo", kPhotoManifest, "apk"});
+  VirtualDroneRepository vdr;
+  EnergyModel energy;
+  Billing billing;
+  Portal portal(&app_store, &vdr, energy, billing);
+
+  OrderRequest order;
+  order.user = "alice";
+  order.waypoints = {WaypointSpec{kPhotoSpot, 0}};
+  order.apps = {"com.example.photo"};
+  order.max_billing_dollars = 0.25;
+  auto confirmation = portal.OrderVirtualDrone(order);
+  if (!confirmation.ok()) {
+    std::printf("order failed: %s\n", confirmation.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ordered virtual drone %s — estimated flight budget %.0f s, "
+              "cost $%.2f\n",
+              confirmation->vdrone_id.c_str(),
+              confirmation->estimate.flight_time_estimate_s,
+              confirmation->estimate.total_cost);
+
+  // 2. Drone side: boot the virtualization stack and deploy the tenant.
+  SimClock clock;
+  AnDroneOptions options;
+  options.base = kBase;
+  AnDroneSystem drone(&clock, options);
+  if (Status status = drone.Boot(); !status.ok()) {
+    std::printf("boot failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  drone.vdc().RegisterAppFactory(
+      "com.example.photo", [] { return std::make_unique<PhotoApp>(); },
+      kPhotoManifest);
+  auto deployed = drone.Deploy(confirmation->definition);
+  if (!deployed.ok()) {
+    std::printf("deploy failed: %s\n", deployed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("deployed %s into its own Android Things container\n",
+              confirmation->vdrone_id.c_str());
+
+  // 3. Plan and fly.
+  PlannerConfig pc;
+  pc.depot = kBase;
+  pc.annealing_iterations = 1000;
+  FlightPlanner planner(energy, pc);
+  PlannerJob job;
+  job.vdrone_ref = confirmation->vdrone_id;
+  job.waypoint = kPhotoSpot;
+  job.service_energy_j = 5000;
+  job.service_time_s = 10;
+  auto plan = planner.Plan({job});
+  if (!plan.ok()) {
+    std::printf("planning failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  auto report = drone.ExecuteRoute(plan->routes[0], {job});
+  if (!report.ok()) {
+    std::printf("flight failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& event : report->events) {
+    std::printf("  %s\n", event.c_str());
+  }
+
+  // 4. The user fetches their photo from cloud storage.
+  auto files = drone.cloud_storage().ListUserFiles("alice");
+  std::printf("\nalice's cloud files after the flight:\n");
+  for (const std::string& file : files) {
+    std::printf("  %s\n", file.c_str());
+  }
+  std::printf("\nflight took %.0f s and used %.0f kJ of battery\n",
+              report->flight_time_s, report->battery_used_j / 1000.0);
+  return files.empty() ? 1 : 0;
+}

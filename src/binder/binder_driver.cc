@@ -1,0 +1,276 @@
+#include "src/binder/binder_driver.h"
+
+#include <algorithm>
+
+namespace androne {
+
+namespace {
+// Guards against unbounded transaction recursion (a service calling back
+// into a service that calls back ...).
+constexpr int kMaxTransactDepth = 32;
+}  // namespace
+
+// ------------------------------------------------------------- BinderProc.
+
+BinderProc::~BinderProc() = default;
+
+BinderHandle BinderProc::RegisterObject(std::shared_ptr<BinderObject> object) {
+  BinderNodeId node = driver_->next_node_++;
+  driver_->nodes_[node] =
+      BinderDriver::Node{std::move(object), pid_, container_, false};
+  return driver_->HandleForNode(*this, node);
+}
+
+StatusOr<Parcel> BinderProc::Transact(BinderHandle handle, uint32_t code,
+                                      const Parcel& data) {
+  return driver_->Transact(*this, handle, code, data);
+}
+
+Status BinderProc::SetContextManager(BinderHandle handle) {
+  ASSIGN_OR_RETURN(BinderNodeId node, driver_->NodeFromHandle(*this, handle));
+  auto [it, inserted] = driver_->context_managers_.emplace(container_, node);
+  if (!inserted) {
+    return AlreadyExistsError("container " + std::to_string(container_) +
+                              " already has a context manager");
+  }
+  // Replay globally published device services into this new namespace
+  // (the paper: "the same process will be performed in the future for any
+  // newly created virtual drone containers").
+  for (const auto& service : driver_->global_services_) {
+    // Best effort: a failure to inject one service should not unwind
+    // context manager registration.
+    (void)driver_->InjectServiceRegistration(container_, service.name,
+                                             service.node);
+  }
+  return OkStatus();
+}
+
+Status BinderProc::PublishToAllNamespaces(const std::string& name,
+                                          BinderHandle handle) {
+  if (container_ != driver_->device_container_) {
+    return PermissionDeniedError(
+        "PUBLISH_TO_ALL_NS is restricted to the device container");
+  }
+  ASSIGN_OR_RETURN(BinderNodeId node, driver_->NodeFromHandle(*this, handle));
+  driver_->global_services_.push_back({name, node});
+  for (const auto& [container, cm_node] : driver_->context_managers_) {
+    if (container == container_) {
+      continue;
+    }
+    RETURN_IF_ERROR(driver_->InjectServiceRegistration(container, name, node));
+  }
+  return OkStatus();
+}
+
+Status BinderProc::PublishToDeviceContainer(const std::string& name,
+                                            BinderHandle handle) {
+  if (driver_->device_container_ < 0) {
+    return FailedPreconditionError("no device container configured");
+  }
+  ASSIGN_OR_RETURN(BinderNodeId node, driver_->NodeFromHandle(*this, handle));
+  // The ioctl appends the caller's container id to the service name so the
+  // device container can find the right per-container ActivityManager.
+  std::string scoped_name = name + "@" + std::to_string(container_);
+  return driver_->InjectServiceRegistration(driver_->device_container_,
+                                            scoped_name, node);
+}
+
+// ----------------------------------------------------------- BinderDriver.
+
+BinderProc* BinderDriver::CreateProcess(Pid pid, Uid euid,
+                                        ContainerId container) {
+  auto proc = std::unique_ptr<BinderProc>(
+      new BinderProc(this, pid, euid, container));
+  BinderProc* raw = proc.get();
+  procs_[pid] = std::move(proc);
+  return raw;
+}
+
+void BinderDriver::DestroyProcess(Pid pid) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) {
+    return;
+  }
+  it->second->alive_ = false;
+  for (auto& [node_id, node] : nodes_) {
+    if (node.owner_pid == pid) {
+      node.dead = true;
+      node.object.reset();
+    }
+  }
+  // If this process hosted a context manager, the namespace loses it.
+  for (auto cm = context_managers_.begin(); cm != context_managers_.end();) {
+    auto node_it = nodes_.find(cm->second);
+    if (node_it != nodes_.end() && node_it->second.dead) {
+      cm = context_managers_.erase(cm);
+    } else {
+      ++cm;
+    }
+  }
+  procs_.erase(it);
+}
+
+void BinderDriver::DestroyContainer(ContainerId container) {
+  std::vector<Pid> doomed;
+  for (const auto& [pid, proc] : procs_) {
+    if (proc->container() == container) {
+      doomed.push_back(pid);
+    }
+  }
+  for (Pid pid : doomed) {
+    DestroyProcess(pid);
+  }
+  context_managers_.erase(container);
+}
+
+bool BinderDriver::HasContextManager(ContainerId container) const {
+  return context_managers_.count(container) > 0;
+}
+
+std::vector<std::pair<std::string, ContainerId>>
+BinderDriver::published_services() const {
+  std::vector<std::pair<std::string, ContainerId>> out;
+  for (const auto& service : global_services_) {
+    auto it = nodes_.find(service.node);
+    out.emplace_back(service.name,
+                     it == nodes_.end() ? -1 : it->second.owner_container);
+  }
+  return out;
+}
+
+StatusOr<BinderNodeId> BinderDriver::NodeFromHandle(BinderProc& proc,
+                                                    BinderHandle handle) {
+  if (handle == kContextManagerHandle) {
+    auto it = context_managers_.find(proc.container());
+    if (it == context_managers_.end()) {
+      return UnavailableError("container " + std::to_string(proc.container()) +
+                              " has no context manager");
+    }
+    return it->second;
+  }
+  auto it = proc.handles_.find(handle);
+  if (it == proc.handles_.end()) {
+    return NotFoundError("process " + std::to_string(proc.pid()) +
+                         " does not own handle " + std::to_string(handle));
+  }
+  return it->second;
+}
+
+BinderHandle BinderDriver::HandleForNode(BinderProc& proc, BinderNodeId node) {
+  auto it = proc.handle_by_node_.find(node);
+  if (it != proc.handle_by_node_.end()) {
+    return it->second;
+  }
+  BinderHandle handle = proc.next_handle_++;
+  proc.handles_[handle] = node;
+  proc.handle_by_node_[node] = handle;
+  return handle;
+}
+
+StatusOr<Parcel> BinderDriver::TranslateParcel(BinderProc& sender,
+                                               BinderProc& recipient,
+                                               const Parcel& data) {
+  Parcel out = data;
+  out.ResetReadCursor();
+  for (auto& entry : out.entries_) {
+    if (entry.kind != Parcel::Kind::kBinder) {
+      continue;
+    }
+    // Validate against the *sender's* table, then swizzle for the recipient.
+    ASSIGN_OR_RETURN(
+        BinderNodeId node,
+        NodeFromHandle(sender, static_cast<BinderHandle>(entry.scalar)));
+    entry.scalar = HandleForNode(recipient, node);
+  }
+  return out;
+}
+
+StatusOr<Parcel> BinderDriver::Transact(BinderProc& caller,
+                                        BinderHandle handle, uint32_t code,
+                                        const Parcel& data) {
+  if (!caller.alive()) {
+    return UnavailableError("calling process is dead");
+  }
+  if (transact_depth_ >= kMaxTransactDepth) {
+    return ResourceExhaustedError("binder transaction recursion too deep");
+  }
+  ASSIGN_OR_RETURN(BinderNodeId node_id, NodeFromHandle(caller, handle));
+  auto node_it = nodes_.find(node_id);
+  if (node_it == nodes_.end() || node_it->second.dead ||
+      node_it->second.object == nullptr) {
+    return UnavailableError("binder node is dead");
+  }
+  Node& node = node_it->second;
+  auto target_proc_it = procs_.find(node.owner_pid);
+  if (target_proc_it == procs_.end()) {
+    return UnavailableError("target process is gone");
+  }
+  BinderProc& target = *target_proc_it->second;
+
+  ASSIGN_OR_RETURN(Parcel delivered, TranslateParcel(caller, target, data));
+  delivered.ResetReadCursor();
+
+  // AnDrone's transaction context: PID, EUID, and container id.
+  BinderCallContext ctx{caller.pid(), caller.euid(), caller.container()};
+
+  ++transaction_count_;
+  ++transact_depth_;
+  Parcel reply;
+  // Keep the object alive across the call even if the owner dies inside it.
+  std::shared_ptr<BinderObject> object = node.object;
+  Status status = object->OnTransact(code, delivered, &reply, ctx);
+  --transact_depth_;
+  if (!status.ok()) {
+    return status;
+  }
+  // Reply parcel travels target -> caller; swizzle its binder entries too.
+  return TranslateParcel(target, caller, reply);
+}
+
+Status BinderDriver::InjectServiceRegistration(ContainerId container,
+                                               const std::string& name,
+                                               BinderNodeId node) {
+  BinderProc* cm_proc = FindContextManagerProc(container);
+  if (cm_proc == nullptr) {
+    return UnavailableError("container " + std::to_string(container) +
+                            " has no live context manager process");
+  }
+  auto cm_it = context_managers_.find(container);
+  auto node_it = nodes_.find(cm_it->second);
+  if (node_it == nodes_.end() || node_it->second.dead) {
+    return UnavailableError("context manager node is dead");
+  }
+  // Build the ADD_SERVICE parcel as if sent by the service's owner; the
+  // recipient sees a handle to the published node.
+  Parcel data;
+  data.WriteString(name);
+  Parcel delivered = data;
+  delivered.entries_.push_back(
+      {Parcel::Kind::kBinder, HandleForNode(*cm_proc, node), 0.0, {}});
+  delivered.ResetReadCursor();
+
+  auto owner_it = nodes_.find(node);
+  BinderCallContext ctx{0, 0,
+                        owner_it == nodes_.end()
+                            ? device_container_
+                            : owner_it->second.owner_container};
+  Parcel reply;
+  ++transaction_count_;
+  return node_it->second.object->OnTransact(kSmAddService, delivered, &reply,
+                                            ctx);
+}
+
+BinderProc* BinderDriver::FindContextManagerProc(ContainerId container) {
+  auto cm = context_managers_.find(container);
+  if (cm == context_managers_.end()) {
+    return nullptr;
+  }
+  auto node_it = nodes_.find(cm->second);
+  if (node_it == nodes_.end()) {
+    return nullptr;
+  }
+  auto proc_it = procs_.find(node_it->second.owner_pid);
+  return proc_it == procs_.end() ? nullptr : proc_it->second.get();
+}
+
+}  // namespace androne

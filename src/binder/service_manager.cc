@@ -1,0 +1,132 @@
+#include "src/binder/service_manager.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace androne {
+
+StatusOr<std::shared_ptr<ServiceManager>> ServiceManager::Install(
+    BinderProc* proc) {
+  return Install(proc, Options());
+}
+
+StatusOr<std::shared_ptr<ServiceManager>> ServiceManager::Install(
+    BinderProc* proc, Options options) {
+  auto manager = std::shared_ptr<ServiceManager>(
+      new ServiceManager(proc, std::move(options)));
+  BinderHandle self = proc->RegisterObject(manager);
+  RETURN_IF_ERROR(proc->SetContextManager(self));
+  return manager;
+}
+
+Status ServiceManager::OnTransact(uint32_t code, const Parcel& data,
+                                  Parcel* reply,
+                                  const BinderCallContext& ctx) {
+  switch (code) {
+    case kSmAddService:
+      return HandleAddService(data, ctx);
+    case kSmGetService:
+      return HandleGetService(data, reply);
+    case kSmCheckService:
+      return HandleCheckService(data, reply);
+    case kSmListServices:
+      return HandleListServices(reply);
+    default:
+      return UnimplementedError("unknown ServiceManager transaction code " +
+                                std::to_string(code));
+  }
+}
+
+Status ServiceManager::HandleAddService(const Parcel& data,
+                                        const BinderCallContext& ctx) {
+  ASSIGN_OR_RETURN(std::string name, data.ReadString());
+  ASSIGN_OR_RETURN(BinderHandle handle, data.ReadBinderHandle());
+  services_[name] = handle;
+  ALOG(kDebug, "binder") << "container " << proc_->container()
+                         << " registered service '" << name << "' (from pid "
+                         << ctx.calling_pid << ")";
+
+  // Device container: push Table-1 services into every namespace.
+  if (options_.shared_service_names.count(name) > 0) {
+    RETURN_IF_ERROR(proc_->PublishToAllNamespaces(name, handle));
+  }
+  // Virtual drone: make our ActivityManager reachable from device services.
+  if (options_.publish_activity_manager_to_device_container &&
+      name == kActivityManagerService) {
+    RETURN_IF_ERROR(proc_->PublishToDeviceContainer(name, handle));
+  }
+  return OkStatus();
+}
+
+Status ServiceManager::HandleGetService(const Parcel& data, Parcel* reply) {
+  ASSIGN_OR_RETURN(std::string name, data.ReadString());
+  auto it = services_.find(name);
+  if (it == services_.end()) {
+    return NotFoundError("no service '" + name + "' in container " +
+                         std::to_string(proc_->container()));
+  }
+  reply->WriteBinderHandle(it->second);
+  return OkStatus();
+}
+
+Status ServiceManager::HandleCheckService(const Parcel& data, Parcel* reply) {
+  ASSIGN_OR_RETURN(std::string name, data.ReadString());
+  reply->WriteBool(services_.count(name) > 0);
+  return OkStatus();
+}
+
+Status ServiceManager::HandleListServices(Parcel* reply) {
+  reply->WriteInt32(static_cast<int32_t>(services_.size()));
+  for (const auto& [name, handle] : services_) {
+    reply->WriteString(name);
+  }
+  return OkStatus();
+}
+
+std::vector<std::string> ServiceManager::ListServices() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [name, handle] : services_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+bool ServiceManager::HasService(const std::string& name) const {
+  return services_.count(name) > 0;
+}
+
+Status SmAddService(BinderProc* proc, const std::string& name,
+                    BinderHandle handle) {
+  Parcel data;
+  data.WriteString(name);
+  data.WriteBinderHandle(handle);
+  return proc->Transact(kContextManagerHandle, kSmAddService, data).status();
+}
+
+StatusOr<BinderHandle> SmGetService(BinderProc* proc,
+                                    const std::string& name) {
+  Parcel data;
+  data.WriteString(name);
+  ASSIGN_OR_RETURN(Parcel reply,
+                   proc->Transact(kContextManagerHandle, kSmGetService, data));
+  return reply.ReadBinderHandle();
+}
+
+StatusOr<std::vector<std::string>> SmListServices(BinderProc* proc) {
+  Parcel data;
+  ASSIGN_OR_RETURN(
+      Parcel reply,
+      proc->Transact(kContextManagerHandle, kSmListServices, data));
+  ASSIGN_OR_RETURN(int32_t n, reply.ReadInt32());
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(std::string name, reply.ReadString());
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+}  // namespace androne

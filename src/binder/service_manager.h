@@ -1,0 +1,80 @@
+// Userspace ServiceManager: Binder's context manager, one per container
+// (device namespace). AnDrone's modifications (paper §4.2):
+//
+//  * The device container's ServiceManager publishes a pre-specified list of
+//    device services (Table 1) to every virtual drone namespace via the
+//    PUBLISH_TO_ALL_NS ioctl.
+//  * Every virtual drone's ServiceManager forwards its ActivityManager
+//    registration to the device container via PUBLISH_TO_DEV_CON so shared
+//    services can route permission checks back to the calling container.
+#ifndef SRC_BINDER_SERVICE_MANAGER_H_
+#define SRC_BINDER_SERVICE_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/binder/binder_driver.h"
+
+namespace androne {
+
+// The service name Android's ActivityManager registers under.
+inline constexpr char kActivityManagerService[] = "activity";
+
+class ServiceManager : public BinderObject {
+ public:
+  struct Options {
+    // Service names that are auto-published to all namespaces when they
+    // register here. Only meaningful for the device container's manager.
+    std::set<std::string> shared_service_names;
+    // Forward ActivityManager registrations to the device container
+    // (enabled in virtual drone containers).
+    bool publish_activity_manager_to_device_container = false;
+  };
+
+  // Creates a ServiceManager inside |proc|, registers it with the driver,
+  // and installs it as |proc|'s container's context manager.
+  static StatusOr<std::shared_ptr<ServiceManager>> Install(BinderProc* proc,
+                                                           Options options);
+  static StatusOr<std::shared_ptr<ServiceManager>> Install(BinderProc* proc);
+
+  Status OnTransact(uint32_t code, const Parcel& data, Parcel* reply,
+                    const BinderCallContext& ctx) override;
+  std::string descriptor() const override { return "ServiceManager"; }
+
+  // Same-process conveniences (host-side bookkeeping and tests).
+  std::vector<std::string> ListServices() const;
+  bool HasService(const std::string& name) const;
+
+ private:
+  explicit ServiceManager(BinderProc* proc, Options options)
+      : proc_(proc), options_(std::move(options)) {}
+
+  Status HandleAddService(const Parcel& data, const BinderCallContext& ctx);
+  Status HandleGetService(const Parcel& data, Parcel* reply);
+  Status HandleCheckService(const Parcel& data, Parcel* reply);
+  Status HandleListServices(Parcel* reply);
+
+  BinderProc* proc_;
+  Options options_;
+  // name -> handle in proc_'s handle table.
+  std::map<std::string, BinderHandle> services_;
+};
+
+// Client-side helpers (what libbinder's defaultServiceManager() offers).
+
+// Registers |handle| under |name| with the caller's context manager.
+Status SmAddService(BinderProc* proc, const std::string& name,
+                    BinderHandle handle);
+
+// Resolves |name| via the caller's context manager.
+StatusOr<BinderHandle> SmGetService(BinderProc* proc, const std::string& name);
+
+// Lists all names known to the caller's context manager.
+StatusOr<std::vector<std::string>> SmListServices(BinderProc* proc);
+
+}  // namespace androne
+
+#endif  // SRC_BINDER_SERVICE_MANAGER_H_

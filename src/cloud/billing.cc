@@ -1,0 +1,23 @@
+#include "src/cloud/billing.h"
+
+namespace androne {
+
+BillingEstimate Billing::Estimate(double energy_j,
+                                  double hover_power_w) const {
+  BillingEstimate estimate;
+  estimate.energy_j = energy_j;
+  estimate.flight_time_estimate_s =
+      hover_power_w > 0 ? energy_j / hover_power_w : 0;
+  estimate.energy_cost = energy_j / 1e6 * policy_.dollars_per_megajoule;
+  estimate.total_cost = estimate.energy_cost;
+  return estimate;
+}
+
+double Billing::MaxEnergyForCharge(double max_dollars) const {
+  if (policy_.dollars_per_megajoule <= 0) {
+    return 0;
+  }
+  return max_dollars / policy_.dollars_per_megajoule * 1e6;
+}
+
+}  // namespace androne

@@ -1,0 +1,43 @@
+// Energy-based billing (paper §2): drone usage is billed like an energy
+// utility because energy is the drone's critical resource; storage and
+// network are billed like ordinary cloud resources. The user's maximum
+// billing charge bounds the energy their virtual drone may consume.
+#ifndef SRC_CLOUD_BILLING_H_
+#define SRC_CLOUD_BILLING_H_
+
+namespace androne {
+
+struct BillingPolicy {
+  double dollars_per_megajoule = 2.50;   // Flight energy.
+  double dollars_per_gb_stored = 0.10;   // Cloud storage, per month.
+  double dollars_per_gb_network = 0.05;  // Cellular transfer.
+};
+
+struct BillingEstimate {
+  double energy_j = 0;
+  double flight_time_estimate_s = 0;
+  double energy_cost = 0;
+  double total_cost = 0;
+};
+
+class Billing {
+ public:
+  explicit Billing(const BillingPolicy& policy = BillingPolicy())
+      : policy_(policy) {}
+
+  // Estimate for |energy_j| of flight energy at |hover_power_w| (gives the
+  // flight-time estimate users see when ordering).
+  BillingEstimate Estimate(double energy_j, double hover_power_w) const;
+
+  // Inverse: the maximum energy a user's maximum charge buys.
+  double MaxEnergyForCharge(double max_dollars) const;
+
+  const BillingPolicy& policy() const { return policy_; }
+
+ private:
+  BillingPolicy policy_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_CLOUD_BILLING_H_

@@ -1,0 +1,27 @@
+#include "src/cloud/conflicts.h"
+
+#include <algorithm>
+
+namespace androne {
+
+std::vector<DeviceConflict> FindContinuousDeviceConflicts(
+    const std::vector<VirtualDroneDefinition>& definitions) {
+  std::vector<DeviceConflict> conflicts;
+  for (size_t a = 0; a < definitions.size(); ++a) {
+    for (size_t b = a + 1; b < definitions.size(); ++b) {
+      for (const std::string& device : definitions[a].continuous_devices) {
+        if (definitions[b].WantsDeviceContinuously(device)) {
+          conflicts.push_back(DeviceConflict{definitions[a].id,
+                                             definitions[b].id, device});
+        }
+      }
+    }
+  }
+  return conflicts;
+}
+
+bool ConflictFree(const std::vector<VirtualDroneDefinition>& definitions) {
+  return FindContinuousDeviceConflicts(definitions).empty();
+}
+
+}  // namespace androne

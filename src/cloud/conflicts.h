@@ -1,0 +1,39 @@
+// Device-conflict analysis for flight planning (paper §5: the flight
+// planner reads app manifests/definitions "so it can avoid device access
+// conflicts among virtual drones"). Two tenants wanting the same device
+// *continuously* on one flight will spend their overlaps suspended (the
+// §2 privacy default), so the planner surfaces those pairs — the operator
+// can place them on different flights or accept the suspensions.
+#ifndef SRC_CLOUD_CONFLICTS_H_
+#define SRC_CLOUD_CONFLICTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/definition.h"
+
+namespace androne {
+
+struct DeviceConflict {
+  std::string vdrone_a;
+  std::string vdrone_b;
+  std::string device;
+  std::string ToString() const {
+    return vdrone_a + " and " + vdrone_b +
+           " both need continuous access to '" + device + "'";
+  }
+};
+
+// Pairs of virtual drones whose continuous-device sets intersect. Waypoint
+// devices never conflict: tenancies are serialized by construction, and
+// flight control is waypoint-only by the definition rules.
+std::vector<DeviceConflict> FindContinuousDeviceConflicts(
+    const std::vector<VirtualDroneDefinition>& definitions);
+
+// True when placing all |definitions| on one flight needs no suspensions
+// beyond the §2 privacy default at waypoints.
+bool ConflictFree(const std::vector<VirtualDroneDefinition>& definitions);
+
+}  // namespace androne
+
+#endif  // SRC_CLOUD_CONFLICTS_H_

@@ -1,0 +1,181 @@
+#include "src/container/image_store.h"
+
+#include <set>
+
+#include "src/util/bytes.h"
+
+namespace androne {
+
+LayerId ImageStore::AddLayer(LayerFiles files) {
+  LayerId id = next_layer_++;
+  layers_[id] = std::move(files);
+  return id;
+}
+
+StatusOr<ImageId> ImageStore::CreateImage(const std::string& name,
+                                          std::vector<LayerId> layers) {
+  for (LayerId layer : layers) {
+    if (layers_.count(layer) == 0) {
+      return NotFoundError("unknown layer " + std::to_string(layer));
+    }
+  }
+  for (const auto& [id, image] : images_) {
+    if (image.name == name) {
+      return AlreadyExistsError("image '" + name + "' already exists");
+    }
+  }
+  ImageId id = next_image_++;
+  images_[id] = Image{name, std::move(layers)};
+  return id;
+}
+
+StatusOr<ImageId> ImageStore::CommitDiff(ImageId base, LayerFiles diff,
+                                         const std::string& name) {
+  auto it = images_.find(base);
+  if (it == images_.end()) {
+    return NotFoundError("unknown base image " + std::to_string(base));
+  }
+  std::vector<LayerId> layers = it->second.layers;
+  layers.push_back(AddLayer(std::move(diff)));
+  return CreateImage(name, std::move(layers));
+}
+
+StatusOr<ImageId> ImageStore::FindImage(const std::string& name) const {
+  for (const auto& [id, image] : images_) {
+    if (image.name == name) {
+      return id;
+    }
+  }
+  return NotFoundError("no image named '" + name + "'");
+}
+
+StatusOr<std::map<std::string, std::string>> ImageStore::Flatten(
+    ImageId image) const {
+  auto it = images_.find(image);
+  if (it == images_.end()) {
+    return NotFoundError("unknown image " + std::to_string(image));
+  }
+  std::map<std::string, std::string> view;
+  for (LayerId layer : it->second.layers) {
+    for (const auto& [path, file] : layers_.at(layer)) {
+      if (file.tombstone) {
+        view.erase(path);
+      } else {
+        view[path] = file.content;
+      }
+    }
+  }
+  return view;
+}
+
+StatusOr<std::vector<LayerId>> ImageStore::LayersOf(ImageId image) const {
+  auto it = images_.find(image);
+  if (it == images_.end()) {
+    return NotFoundError("unknown image " + std::to_string(image));
+  }
+  return it->second.layers;
+}
+
+StatusOr<uint64_t> ImageStore::LayerSizeBytes(LayerId layer) const {
+  auto it = layers_.find(layer);
+  if (it == layers_.end()) {
+    return NotFoundError("unknown layer " + std::to_string(layer));
+  }
+  uint64_t size = 0;
+  for (const auto& [path, file] : it->second) {
+    size += path.size() + file.content.size();
+  }
+  return size;
+}
+
+StatusOr<uint64_t> ImageStore::UniqueStorageBytes(
+    const std::vector<ImageId>& images) const {
+  std::set<LayerId> unique;
+  for (ImageId image : images) {
+    ASSIGN_OR_RETURN(std::vector<LayerId> layers, LayersOf(image));
+    unique.insert(layers.begin(), layers.end());
+  }
+  uint64_t total = 0;
+  for (LayerId layer : unique) {
+    ASSIGN_OR_RETURN(uint64_t size, LayerSizeBytes(layer));
+    total += size;
+  }
+  return total;
+}
+
+StatusOr<std::vector<uint8_t>> ImageStore::Export(ImageId image) const {
+  auto it = images_.find(image);
+  if (it == images_.end()) {
+    return NotFoundError("unknown image " + std::to_string(image));
+  }
+  ByteWriter w;
+  w.PutU32(0x414E4452);  // 'ANDR' magic.
+  w.PutU32(static_cast<uint32_t>(it->second.name.size()));
+  w.PutBytes(reinterpret_cast<const uint8_t*>(it->second.name.data()),
+             it->second.name.size());
+  w.PutU32(static_cast<uint32_t>(it->second.layers.size()));
+  for (LayerId layer : it->second.layers) {
+    const LayerFiles& files = layers_.at(layer);
+    w.PutU32(static_cast<uint32_t>(files.size()));
+    for (const auto& [path, file] : files) {
+      w.PutU32(static_cast<uint32_t>(path.size()));
+      w.PutBytes(reinterpret_cast<const uint8_t*>(path.data()), path.size());
+      w.PutU8(file.tombstone ? 1 : 0);
+      w.PutU32(static_cast<uint32_t>(file.content.size()));
+      w.PutBytes(reinterpret_cast<const uint8_t*>(file.content.data()),
+                 file.content.size());
+    }
+  }
+  return w.Take();
+}
+
+StatusOr<ImageId> ImageStore::Import(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  uint32_t magic = 0;
+  if (!r.GetU32(magic) || magic != 0x414E4452) {
+    return InvalidArgumentError("bad image magic");
+  }
+  uint32_t name_len = 0;
+  if (!r.GetU32(name_len)) {
+    return InvalidArgumentError("truncated image");
+  }
+  std::string name;
+  if (!r.GetBlob(name, name_len)) {
+    return InvalidArgumentError("truncated image name");
+  }
+  uint32_t layer_count = 0;
+  if (!r.GetU32(layer_count)) {
+    return InvalidArgumentError("truncated layer count");
+  }
+  std::vector<LayerId> layers;
+  for (uint32_t l = 0; l < layer_count; ++l) {
+    uint32_t file_count = 0;
+    if (!r.GetU32(file_count)) {
+      return InvalidArgumentError("truncated file count");
+    }
+    LayerFiles files;
+    for (uint32_t f = 0; f < file_count; ++f) {
+      uint32_t path_len = 0;
+      std::string path;
+      uint8_t tombstone = 0;
+      uint32_t content_len = 0;
+      std::string content;
+      if (!r.GetU32(path_len) || !r.GetBlob(path, path_len) ||
+          !r.GetU8(tombstone) || !r.GetU32(content_len) ||
+          !r.GetBlob(content, content_len)) {
+        return InvalidArgumentError("truncated layer file");
+      }
+      files[path] = LayerFile{std::move(content), tombstone != 0};
+    }
+    layers.push_back(AddLayer(std::move(files)));
+  }
+  // Imported images may collide on name with an existing one; disambiguate.
+  std::string import_name = name;
+  int suffix = 1;
+  while (FindImage(import_name).ok()) {
+    import_name = name + "-import" + std::to_string(suffix++);
+  }
+  return CreateImage(import_name, std::move(layers));
+}
+
+}  // namespace androne

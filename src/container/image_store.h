@@ -1,0 +1,80 @@
+// Layered copy-on-write container image store, modeling the Docker storage
+// AnDrone uses (paper §4.1): every virtual drone container is a stack of
+// shared read-only base layers plus one writable diff layer, so N virtual
+// drones cost one base image plus N (small) diffs — both on-drone and when
+// stored offline in the cloud VDR.
+#ifndef SRC_CONTAINER_IMAGE_STORE_H_
+#define SRC_CONTAINER_IMAGE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace androne {
+
+using LayerId = uint64_t;
+using ImageId = uint64_t;
+
+// A layer maps paths to file contents. A whiteout (empty-string sentinel via
+// the tombstone flag) deletes a path from lower layers.
+struct LayerFile {
+  std::string content;
+  bool tombstone = false;
+};
+using LayerFiles = std::map<std::string, LayerFile>;
+
+class ImageStore {
+ public:
+  // Registers a content layer; layers are immutable once added.
+  LayerId AddLayer(LayerFiles files);
+
+  // Creates an image from an ordered layer stack (bottom first).
+  StatusOr<ImageId> CreateImage(const std::string& name,
+                                std::vector<LayerId> layers);
+
+  // Creates a new image = |base|'s layers + a new layer from |diff|.
+  // This is how a stopped container's writable layer is committed.
+  StatusOr<ImageId> CommitDiff(ImageId base, LayerFiles diff,
+                               const std::string& name);
+
+  StatusOr<ImageId> FindImage(const std::string& name) const;
+
+  // The flattened filesystem view of an image (upper layers win; tombstones
+  // remove paths).
+  StatusOr<std::map<std::string, std::string>> Flatten(ImageId image) const;
+
+  StatusOr<std::vector<LayerId>> LayersOf(ImageId image) const;
+
+  // Bytes of one layer (sum of file contents).
+  StatusOr<uint64_t> LayerSizeBytes(LayerId layer) const;
+
+  // Total unique storage across the given images: shared layers counted
+  // once. This is the quantity AnDrone's shared-base design minimizes.
+  StatusOr<uint64_t> UniqueStorageBytes(const std::vector<ImageId>& images) const;
+
+  // Serializes an image (all its layers) for offline storage / transfer to
+  // another drone, and re-imports it into a (possibly different) store.
+  StatusOr<std::vector<uint8_t>> Export(ImageId image) const;
+  StatusOr<ImageId> Import(const std::vector<uint8_t>& bytes);
+
+  size_t image_count() const { return images_.size(); }
+  size_t layer_count() const { return layers_.size(); }
+
+ private:
+  struct Image {
+    std::string name;
+    std::vector<LayerId> layers;
+  };
+
+  std::map<LayerId, LayerFiles> layers_;
+  std::map<ImageId, Image> images_;
+  LayerId next_layer_ = 1;
+  ImageId next_image_ = 1;
+};
+
+}  // namespace androne
+
+#endif  // SRC_CONTAINER_IMAGE_STORE_H_

@@ -1,0 +1,79 @@
+// Container runtime: the Docker-analog managing AnDrone's containers on the
+// drone (paper §4.1). Creates containers from layered images, enforces the
+// machine memory budget on start (the paper's 4th virtual drone fails to
+// start but does not disturb the others), spawns processes with Binder
+// endpoints in the container's device namespace, and commits writable
+// layers back to images for offline storage in the VDR.
+#ifndef SRC_CONTAINER_RUNTIME_H_
+#define SRC_CONTAINER_RUNTIME_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/binder/binder_driver.h"
+#include "src/container/container.h"
+#include "src/container/image_store.h"
+
+namespace androne {
+
+class ContainerRuntime {
+ public:
+  // |driver| outlives the runtime. |memory_budget_mb| is usable RAM.
+  ContainerRuntime(BinderDriver* driver, ImageStore* images,
+                   double memory_budget_mb = kUsableMemoryMb);
+
+  // Creates a container (state kCreated; consumes no memory yet).
+  StatusOr<Container*> CreateContainer(const std::string& name,
+                                       ContainerKind kind, ImageId image);
+
+  // Starts the container: admission-checks memory, then boots its default
+  // processes. Fails with RESOURCE_EXHAUSTED when memory would be exceeded,
+  // leaving running containers untouched.
+  Status StartContainer(ContainerId id);
+
+  // Stops the container: kills all its processes and their Binder state.
+  Status StopContainer(ContainerId id);
+
+  // Spawns an additional named process (e.g. an app) in a running
+  // container. |euid| follows Android conventions (apps >= 10000).
+  StatusOr<ContainerProcess> SpawnProcess(ContainerId id,
+                                          const std::string& name, Uid euid);
+
+  // Kills one process (used by the VDC to enforce device-access revocation).
+  Status KillProcess(Pid pid);
+
+  // Commits the container's writable layer onto its image under |new_name|
+  // (how a virtual drone's state is persisted to the VDR).
+  StatusOr<ImageId> Commit(ContainerId id, const std::string& new_name);
+
+  // Destroys a stopped container entirely.
+  Status RemoveContainer(ContainerId id);
+
+  StatusOr<Container*> Find(ContainerId id);
+  StatusOr<Container*> FindByName(const std::string& name);
+  std::vector<Container*> ListContainers();
+
+  // Total memory in use: host base + all running containers.
+  double MemoryUsageMb() const;
+  double memory_budget_mb() const { return memory_budget_mb_; }
+
+  BinderDriver* binder() { return driver_; }
+  ImageStore* images() { return images_; }
+
+ private:
+  Pid AllocatePid() { return next_pid_++; }
+
+  BinderDriver* driver_;
+  ImageStore* images_;
+  double memory_budget_mb_;
+  std::map<ContainerId, std::unique_ptr<Container>> containers_;
+  std::map<Pid, ContainerId> process_owner_;
+  ContainerId next_container_id_ = 1;
+  Pid next_pid_ = 100;
+};
+
+}  // namespace androne
+
+#endif  // SRC_CONTAINER_RUNTIME_H_

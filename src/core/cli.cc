@@ -1,0 +1,142 @@
+#include "src/core/cli.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace androne {
+
+namespace {
+
+constexpr char kHelp[] =
+    "commands: help status energy-left time-left fc-address devices "
+    "waypoints mark-file <path> complete events [n]";
+
+std::string Format(const char* fmt, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, value);
+  return buf;
+}
+
+}  // namespace
+
+AndroneShell::AndroneShell(AndroneSdk* sdk,
+                           const VirtualDroneDefinition* definition)
+    : sdk_(sdk), definition_(definition) {
+  sdk_->RegisterWaypointListener(this);
+}
+
+AndroneShell::~AndroneShell() { sdk_->UnregisterWaypointListener(this); }
+
+void AndroneShell::Log(const std::string& event) { events_.push_back(event); }
+
+void AndroneShell::WaypointActive(const WaypointSpec& waypoint) {
+  at_waypoint_ = true;
+  fence_breached_ = false;
+  Log("waypoint-active " + waypoint.point.ToString());
+}
+
+void AndroneShell::WaypointInactive(const WaypointSpec& waypoint) {
+  at_waypoint_ = false;
+  Log("waypoint-inactive " + waypoint.point.ToString());
+}
+
+void AndroneShell::LowEnergyWarning(double remaining_j) {
+  Log("low-energy " + Format("%.0fJ", remaining_j));
+}
+
+void AndroneShell::LowTimeWarning(double remaining_s) {
+  Log("low-time " + Format("%.0fs", remaining_s));
+}
+
+void AndroneShell::GeofenceBreached() {
+  fence_breached_ = true;
+  Log("geofence-breached");
+}
+
+void AndroneShell::SuspendContinuousDevices() {
+  suspended_ = true;
+  Log("continuous-devices-suspended");
+}
+
+void AndroneShell::ResumeContinuousDevices() {
+  suspended_ = false;
+  Log("continuous-devices-resumed");
+}
+
+std::string AndroneShell::Execute(const std::string& line) {
+  std::istringstream input(line);
+  std::string command;
+  input >> command;
+  if (command.empty() || command == "help") {
+    return kHelp;
+  }
+  if (command == "status") {
+    std::string status = at_waypoint_ ? "at-waypoint" : "in-transit";
+    if (suspended_) {
+      status += " suspended";
+    }
+    if (fence_breached_) {
+      status += " fence-recovery";
+    }
+    return status;
+  }
+  if (command == "energy-left") {
+    return Format("%.0f J", sdk_->GetAllottedEnergyLeft());
+  }
+  if (command == "time-left") {
+    return Format("%.0f s", sdk_->GetAllottedTimeLeft());
+  }
+  if (command == "fc-address") {
+    return sdk_->GetFlightControllerIp();
+  }
+  if (command == "devices") {
+    std::string out;
+    for (const std::string& device : definition_->waypoint_devices) {
+      out += device + " (waypoint)\n";
+    }
+    for (const std::string& device : definition_->continuous_devices) {
+      out += device + " (continuous)\n";
+    }
+    return out.empty() ? "none" : out;
+  }
+  if (command == "waypoints") {
+    std::string out;
+    for (size_t i = 0; i < definition_->waypoints.size(); ++i) {
+      const WaypointSpec& wp = definition_->waypoints[i];
+      out += std::to_string(i) + ": " + wp.point.ToString() + " r=" +
+             Format("%.0fm", wp.max_radius_m) + "\n";
+    }
+    return out;
+  }
+  if (command == "mark-file") {
+    std::string path;
+    input >> path;
+    if (path.empty()) {
+      return "usage: mark-file <path>";
+    }
+    Status status = sdk_->MarkFileForUser(path);
+    return status.ok() ? "marked " + path : status.ToString();
+  }
+  if (command == "complete") {
+    if (!at_waypoint_) {
+      return "error: not at a waypoint";
+    }
+    sdk_->WaypointCompleted();
+    return "waypoint completed";
+  }
+  if (command == "events") {
+    size_t n = events_.size();
+    size_t requested = 0;
+    if (input >> requested && requested < n) {
+      n = requested;
+    }
+    std::string out;
+    for (size_t i = events_.size() - n; i < events_.size(); ++i) {
+      out += events_[i] + "\n";
+    }
+    return out.empty() ? "no events" : out;
+  }
+  return std::string("unknown command '") + command + "'\n" + kHelp;
+}
+
+}  // namespace androne

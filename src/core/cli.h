@@ -1,0 +1,60 @@
+// AnDrone command-line utility (paper §5): "for advanced end users, who may
+// not be using an app, AnDrone's SDK functionality is also made available
+// to them via a command line utility." AndroneShell interprets one command
+// per line against the virtual drone's SDK and definition, and doubles as a
+// WaypointListener so `status` and `events` reflect live flight state.
+#ifndef SRC_CORE_CLI_H_
+#define SRC_CORE_CLI_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/definition.h"
+#include "src/core/sdk.h"
+
+namespace androne {
+
+class AndroneShell : public WaypointListener {
+ public:
+  // Registers itself as a listener on |sdk|. Both pointers must outlive
+  // the shell.
+  AndroneShell(AndroneSdk* sdk, const VirtualDroneDefinition* definition);
+  ~AndroneShell() override;
+
+  // Executes one command line; returns the printable result. Unknown
+  // commands return usage help. Supported:
+  //   help                  command list
+  //   status                waypoint/suspension/fence state
+  //   energy-left           remaining energy allotment (J)
+  //   time-left             remaining time allotment (s)
+  //   fc-address            virtual flight controller endpoint
+  //   devices               devices in the definition and their scope
+  //   waypoints             the definition's waypoint list
+  //   mark-file <path>      stage a container file for the user
+  //   complete              signal waypointCompleted()
+  //   events [n]            last n SDK events (default all)
+  std::string Execute(const std::string& line);
+
+  // --- WaypointListener (drives `status` and `events`) ---
+  void WaypointActive(const WaypointSpec& waypoint) override;
+  void WaypointInactive(const WaypointSpec& waypoint) override;
+  void LowEnergyWarning(double remaining_j) override;
+  void LowTimeWarning(double remaining_s) override;
+  void GeofenceBreached() override;
+  void SuspendContinuousDevices() override;
+  void ResumeContinuousDevices() override;
+
+ private:
+  void Log(const std::string& event);
+
+  AndroneSdk* sdk_;
+  const VirtualDroneDefinition* definition_;
+  bool at_waypoint_ = false;
+  bool suspended_ = false;
+  bool fence_breached_ = false;
+  std::vector<std::string> events_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_CORE_CLI_H_

@@ -1,0 +1,418 @@
+#include "src/core/drone.h"
+
+#include <cmath>
+
+#include "src/hw/camera.h"
+#include "src/hw/gimbal.h"
+#include "src/hw/sensors.h"
+#include "src/rt/load_profile.h"
+#include "src/util/logging.h"
+
+namespace androne {
+
+namespace {
+constexpr double kArrivalThresholdM = 3.0;
+}  // namespace
+
+AnDroneSystem::AnDroneSystem(SimClock* clock, AnDroneOptions options)
+    : clock_(clock), options_(options) {}
+
+AnDroneSystem::~AnDroneSystem() {
+  if (flight_controller_ != nullptr) {
+    flight_controller_->Stop();
+  }
+  accounting_running_ = false;
+}
+
+Status AnDroneSystem::Boot() {
+  if (booted_) {
+    return FailedPreconditionError("already booted");
+  }
+
+  // --- Hardware ---
+  physics_ = std::make_unique<QuadPhysics>(options_.base);
+  DroneGroundTruth* truth = physics_->mutable_truth();
+  bus_.Register(std::make_unique<Camera>(clock_, truth));
+  bus_.Register(
+      std::make_unique<GpsReceiver>(clock_, truth, options_.seed + 1));
+  bus_.Register(std::make_unique<Imu>(clock_, truth, options_.seed + 2));
+  bus_.Register(std::make_unique<Barometer>(clock_, truth, options_.seed + 3));
+  bus_.Register(
+      std::make_unique<Magnetometer>(clock_, truth, options_.seed + 4));
+  bus_.Register(std::make_unique<Microphone>(clock_));
+  bus_.Register(std::make_unique<Speaker>());
+  Gimbal* gimbal = bus_.Register(std::make_unique<Gimbal>());
+  motors_ = bus_.Register(std::make_unique<MotorSet>());
+
+  // --- Containers ---
+  runtime_ = std::make_unique<ContainerRuntime>(&binder_, &images_);
+  LayerId base_layer = images_.AddLayer(LayerFiles{
+      {"/system/build.prop", {"androne-things-1.0.3", false}},
+      {"/system/framework/framework.jar", {std::string(4096, 'f'), false}},
+  });
+  ASSIGN_OR_RETURN(base_image_,
+                   images_.CreateImage("androne-base", {base_layer}));
+
+  ASSIGN_OR_RETURN(flight_container_,
+                   runtime_->CreateContainer("flight", ContainerKind::kFlight,
+                                             base_image_));
+  RETURN_IF_ERROR(runtime_->StartContainer(flight_container_->id()));
+  // The flight container gets a minimal context manager so PUBLISH_TO_ALL_NS
+  // reaches its namespace (paper §4.3 HAL support).
+  ASSIGN_OR_RETURN(const ContainerProcess* flight_init,
+                   flight_container_->FindProcess("init"));
+  RETURN_IF_ERROR(ServiceManager::Install(flight_init->binder).status());
+
+  ASSIGN_OR_RETURN(device_container_,
+                   runtime_->CreateContainer("device", ContainerKind::kDevice,
+                                             base_image_));
+  RETURN_IF_ERROR(runtime_->StartContainer(device_container_->id()));
+  ASSIGN_OR_RETURN(device_stack_,
+                   BootDeviceContainer(*runtime_, device_container_->id(),
+                                       bus_, flight_container_->id()));
+
+  // --- Flight stack ---
+  // The flight controller's own actuators stay with the flight container
+  // (motors and the camera mount are flight-control hardware).
+  RETURN_IF_ERROR(motors_->Open(flight_container_->id()));
+  RETURN_IF_ERROR(gimbal->Open(flight_container_->id()));
+  ASSIGN_OR_RETURN(const ContainerProcess* ardupilot,
+                   flight_container_->FindProcess("ardupilot"));
+  ASSIGN_OR_RETURN(hal_bridge_, BinderHalBridge::Create(ardupilot->binder));
+  BinderProc* ardupilot_proc = ardupilot->binder;
+
+  FlightControllerConfig fc_config;
+  fc_config.home = options_.base;
+  flight_controller_ = std::make_unique<FlightController>(
+      clock_, physics_.get(), motors_, hal_bridge_.get(), &battery_,
+      fc_config);
+  if (options_.inject_kernel_latency) {
+    latency_sampler_ = std::make_unique<WakeLatencySampler>(
+        options_.kernel, IdleLoad(), options_.seed + 9);
+    flight_controller_->SetLatencySampler(latency_sampler_.get());
+  }
+  // MAV_CMD_DO_DIGICAM_CONTROL routes through the shared CameraService
+  // (the flight container is a trusted caller of the device container).
+  flight_controller_->SetCameraTrigger([ardupilot_proc]() -> Status {
+    ASSIGN_OR_RETURN(BinderHandle cam,
+                     SmGetService(ardupilot_proc, kCameraServiceName));
+    Parcel req;
+    return ardupilot_proc->Transact(cam, kCamCapture, req).status();
+  });
+  ContainerId flight_id = flight_container_->id();
+  flight_controller_->SetMountControl(
+      [gimbal, flight_id](double pitch, double roll, double yaw) {
+        return gimbal->SetOrientation(flight_id, pitch, roll, yaw);
+      });
+
+  // --- MAVProxy ---
+  proxy_ = std::make_unique<MavProxy>(clock_);
+  proxy_->SetMasterSink([this](const MavlinkFrame& frame) {
+    flight_controller_->HandleFrame(frame);
+  });
+  flight_controller_->SetSender([this](const MavlinkFrame& frame) {
+    proxy_->HandleMasterFrame(frame);
+  });
+
+  // --- VDC ---
+  vdc_ = std::make_unique<Vdc>(clock_, runtime_.get(), &device_stack_, &vdr_,
+                               &cloud_storage_, base_image_, Vdc::Config{});
+  vdc_->SetTenancyEndCallback(
+      [this](const std::string& vdrone_id, TenancyEndReason reason) {
+        pending_ends_.push_back(TenancyEnd{vdrone_id, reason});
+      });
+
+  // Geofence events route to the active tenant's VFC and SDK (paper §4.3).
+  flight_controller_->SetFenceCallbacks(
+      [this] {
+        const std::string& tenant = vdc_->active_tenant();
+        if (!tenant.empty()) {
+          auto vfc = vfcs_.find(tenant);
+          if (vfc != vfcs_.end()) {
+            vfc->second->SuspendForFenceRecovery();
+          }
+          vdc_->NotifyFenceBreach();
+        }
+      },
+      [this] {
+        const std::string& tenant = vdc_->active_tenant();
+        if (!tenant.empty()) {
+          auto vfc = vfcs_.find(tenant);
+          if (vfc != vfcs_.end()) {
+            vfc->second->ResumeAfterFenceRecovery();
+          }
+          vdc_->NotifyFenceRecovered();
+        }
+      });
+
+  flight_controller_->Start();
+
+  // Accounting + compute-power tick at 1 Hz.
+  accounting_running_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, tick] {
+    if (!accounting_running_) {
+      return;
+    }
+    vdc_->AccountActiveTenant(Seconds(1));
+    int vdrones = 0;
+    for (Container* c : runtime_->ListContainers()) {
+      vdrones += (c->kind() == ContainerKind::kVirtualDrone &&
+                  c->state() == ContainerState::kRunning)
+                     ? 1
+                     : 0;
+    }
+    battery_.Drain(compute_power_.Watts(0.08, 2 + vdrones, vdrones),
+                   Seconds(1));
+    clock_->ScheduleAfter(Seconds(1), *tick);
+  };
+  clock_->ScheduleAfter(Seconds(1), *tick);
+
+  booted_ = true;
+  // Let sensors and the estimator warm up (GPS acquisition).
+  clock_->RunFor(Seconds(2));
+  return OkStatus();
+}
+
+StatusOr<VirtualDroneInstance*> AnDroneSystem::Deploy(
+    const VirtualDroneDefinition& def, WhitelistTemplate whitelist) {
+  if (!booted_) {
+    return FailedPreconditionError("boot the drone first");
+  }
+  ASSIGN_OR_RETURN(VirtualDroneInstance * vd, vdc_->Deploy(def));
+  VirtualFlightController* vfc =
+      proxy_->CreateVfc(vd->container->id(),
+                        CommandWhitelist::FromTemplate(whitelist),
+                        !def.continuous_devices.empty());
+  std::string id = def.id;
+  vfc->SetControlQuery(
+      [this, id] { return vdc_->AllowsFlightControl(id); });
+  vfcs_[def.id] = vfc;
+  return vd;
+}
+
+VirtualFlightController* AnDroneSystem::VfcOf(const std::string& vdrone_id) {
+  auto it = vfcs_.find(vdrone_id);
+  return it == vfcs_.end() ? nullptr : it->second;
+}
+
+void AnDroneSystem::PlannerSend(const MavMessage& message) {
+  proxy_->HandlePlannerFrame(PackMessage(message));
+}
+
+bool AnDroneSystem::RunClockUntil(const std::function<bool()>& predicate,
+                                  SimDuration timeout) {
+  SimTime deadline = clock_->now() + timeout;
+  while (clock_->now() < deadline) {
+    if (predicate()) {
+      return true;
+    }
+    clock_->RunUntil(clock_->now() + Millis(100));
+  }
+  return predicate();
+}
+
+void AnDroneSystem::Event(FlightExecutionReport& report,
+                          const std::string& text) {
+  report.events.push_back(
+      "[t=" + std::to_string(ToMillis(clock_->now()) / 1000.0) + "s] " + text);
+  ALOG(kInfo, "drone") << text;
+}
+
+Status AnDroneSystem::TakeoffToCruise(FlightExecutionReport& report) {
+  SetMode guided;
+  guided.custom_mode = static_cast<uint32_t>(CopterMode::kGuided);
+  PlannerSend(MavMessage{guided});
+  CommandLong arm;
+  arm.command = static_cast<uint16_t>(MavCmd::kComponentArmDisarm);
+  arm.param1 = 1;
+  PlannerSend(MavMessage{arm});
+  if (!flight_controller_->armed()) {
+    return FailedPreconditionError("arming failed (no GPS fix?)");
+  }
+  CommandLong takeoff;
+  takeoff.command = static_cast<uint16_t>(MavCmd::kNavTakeoff);
+  takeoff.param7 = static_cast<float>(options_.cruise_altitude_m);
+  PlannerSend(MavMessage{takeoff});
+  if (!RunClockUntil(
+          [this] {
+            return std::fabs(physics_->truth().position.altitude_m -
+                             options_.cruise_altitude_m) < 1.0;
+          },
+          Seconds(60))) {
+    return DeadlineExceededError("takeoff did not reach cruise altitude");
+  }
+  Event(report, "took off to cruise altitude");
+  return OkStatus();
+}
+
+Status AnDroneSystem::ReturnToBase(FlightExecutionReport& report) {
+  CommandLong rtl;
+  rtl.command = static_cast<uint16_t>(MavCmd::kNavReturnToLaunch);
+  PlannerSend(MavMessage{rtl});
+  if (!RunClockUntil([this] { return !flight_controller_->armed(); },
+                     Seconds(600))) {
+    return DeadlineExceededError("drone failed to return and land");
+  }
+  Event(report, "returned to base and landed");
+  return OkStatus();
+}
+
+void AnDroneSystem::ApplyTenantGeofence(const VirtualDroneInstance& vd,
+                                        size_t waypoint) {
+  const WaypointSpec& wp = vd.definition.waypoints[waypoint];
+  GeofenceConfig fence;
+  fence.enabled = true;
+  fence.center = wp.point;
+  fence.radius_m = wp.max_radius_m;
+  fence.max_altitude_m = wp.point.altitude_m + wp.max_radius_m;
+  flight_controller_->SetGeofence(fence);
+}
+
+void AnDroneSystem::ClearGeofence() {
+  flight_controller_->SetGeofence(GeofenceConfig{});
+}
+
+StatusOr<FlightExecutionReport> AnDroneSystem::ExecuteRoute(
+    const PlannedRoute& route, const std::vector<PlannerJob>& jobs) {
+  if (!booted_) {
+    return FailedPreconditionError("boot the drone first");
+  }
+  FlightExecutionReport report;
+  double battery_at_start = battery_.consumed_joules();
+  SimTime start = clock_->now();
+  pending_ends_.clear();
+  abort_requested_ = false;
+  abort_reason_.clear();
+
+  RETURN_IF_ERROR(TakeoffToCruise(report));
+
+  for (const PlannedStop& stop : route.stops) {
+    if (abort_requested_) {
+      Event(report, "flight aborted (" + abort_reason_ +
+                        "); skipping remaining waypoints");
+      break;
+    }
+    const PlannerJob& job = jobs[stop.job_index];
+    const std::string& vdrone_id = job.vdrone_ref;
+    ASSIGN_OR_RETURN(VirtualDroneInstance * vd, vdc_->Find(vdrone_id));
+    if (vd->exhausted) {
+      Event(report, "skipping waypoint for exhausted tenant " + vdrone_id);
+      continue;
+    }
+
+    // Fly to the waypoint (planner-guided, paper Figure 4).
+    GeoPoint target = job.waypoint;
+    SetPositionTargetGlobalInt sp;
+    sp.lat_int = static_cast<int32_t>(target.latitude_deg * 1e7);
+    sp.lon_int = static_cast<int32_t>(target.longitude_deg * 1e7);
+    sp.alt = static_cast<float>(target.altitude_m);
+    sp.type_mask = 0x0FF8;
+    PlannerSend(MavMessage{sp});
+    if (!RunClockUntil(
+            [this, &target] {
+              return abort_requested_ ||
+                     Distance3dMeters(physics_->truth().position, target) <
+                         kArrivalThresholdM;
+            },
+            Seconds(600))) {
+      return DeadlineExceededError("failed to reach waypoint");
+    }
+    if (abort_requested_) {
+      Event(report, "flight aborted (" + abort_reason_ + ") en route");
+      break;
+    }
+    Event(report, "arrived at waypoint " +
+                      std::to_string(job.waypoint_index) + " of " + vdrone_id);
+    ++report.waypoints_visited;
+
+    // Hand over: geofenced flight control first, so it is already live when
+    // the waypointActive() callback reaches the tenant's apps (paper §5:
+    // "after receiving this callback, the app ... has access to flight
+    // control"), then devices via the VDC.
+    VirtualFlightController* vfc = VfcOf(vdrone_id);
+    bool controls = vd->definition.WantsFlightControl();
+    if (controls) {
+      ApplyTenantGeofence(*vd, static_cast<size_t>(job.waypoint_index));
+      if (vfc != nullptr) {
+        vfc->GrantControl();
+      }
+      Event(report, vdrone_id + " given flight control (geofenced)");
+    }
+    RETURN_IF_ERROR(vdc_->NotifyWaypointReached(
+        vdrone_id, static_cast<size_t>(job.waypoint_index)));
+
+    // Wait for the tenancy to end.
+    SimDuration dwell_limit =
+        controls ? SecondsF(vd->definition.max_duration_s + 5)
+                 : SecondsF(options_.no_control_dwell_s);
+    std::string ended_id = vdrone_id;
+    RunClockUntil(
+        [this, &ended_id] {
+          if (abort_requested_) {
+            return true;
+          }
+          for (const TenancyEnd& end : pending_ends_) {
+            if (end.vdrone_id == ended_id) {
+              return true;
+            }
+          }
+          return false;
+        },
+        dwell_limit);
+    TenancyEndReason reason = TenancyEndReason::kCompleted;
+    bool found_end = false;
+    for (const TenancyEnd& end : pending_ends_) {
+      if (end.vdrone_id == vdrone_id) {
+        reason = end.reason;
+        found_end = true;
+      }
+    }
+    pending_ends_.clear();
+    if (abort_requested_ && !found_end) {
+      reason = TenancyEndReason::kInterrupted;
+    } else if (!found_end) {
+      reason = TenancyEndReason::kTimeExhausted;
+    }
+
+    // Take back control.
+    if (vfc != nullptr) {
+      vfc->RevokeControl();
+    }
+    ClearGeofence();
+    RETURN_IF_ERROR(vdc_->NotifyWaypointLeft(vdrone_id, reason));
+    Event(report, vdrone_id + " tenancy ended (" +
+                      TenancyEndReasonName(reason) + ")");
+
+    // Resume planner control toward the next objective.
+    SetMode guided;
+    guided.custom_mode = static_cast<uint32_t>(CopterMode::kGuided);
+    PlannerSend(MavMessage{guided});
+  }
+
+  RETURN_IF_ERROR(ReturnToBase(report));
+
+  // Post-flight: offload artifacts and save tenants to the VDR (Figure 4).
+  // Anything with unserved waypoints is saved resumable — both exhausted
+  // tenants and those cut short by an aborted flight (paper §2).
+  for (VirtualDroneInstance* vd : vdc_->instances()) {
+    (void)vdc_->OffloadFiles(vd->definition.id);
+    bool resumable =
+        vd->waypoints_served < vd->definition.waypoints.size();
+    (void)vdc_->StoreToVdr(vd->definition.id, resumable);
+  }
+  Event(report, "virtual drones saved to VDR; files offloaded");
+
+  report.completed = !abort_requested_;
+  report.flight_time_s = ToSecondsF(clock_->now() - start);
+  report.battery_used_j = battery_.consumed_joules() - battery_at_start;
+  return report;
+}
+
+void AnDroneSystem::RequestAbort(const std::string& reason) {
+  abort_requested_ = true;
+  abort_reason_ = reason;
+  ALOG(kWarning, "drone") << "flight abort requested: " << reason;
+}
+
+}  // namespace androne

@@ -1,0 +1,148 @@
+// The integrated AnDrone physical drone (paper Figure 3): one SimClock
+// hosting the hardware models, the container runtime with device + flight
+// containers, the Binder-bridged flight stack (physics + ArduPilot-analog
+// controller reading sensors through the device container), MAVProxy with
+// per-tenant virtual flight controllers, and the VDC. Also implements the
+// flight-plan executor that flies planned routes waypoint-to-waypoint,
+// handing control to each tenant in turn (the paper's Figure 4 workflow and
+// the §6.6 multi-waypoint simulation).
+#ifndef SRC_CORE_DRONE_H_
+#define SRC_CORE_DRONE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cloud/flight_planner.h"
+#include "src/core/vdc.h"
+#include "src/flight/flight_controller.h"
+#include "src/flight/hal_bridge.h"
+#include "src/hw/power.h"
+#include "src/mavproxy/mavproxy.h"
+#include "src/rt/kernel_model.h"
+
+namespace androne {
+
+struct AnDroneOptions {
+  GeoPoint base;                 // Launch/return position.
+  uint64_t seed = 1;
+  PreemptionModel kernel = PreemptionModel::kPreemptRt;
+  bool inject_kernel_latency = true;
+  WhitelistTemplate default_whitelist = WhitelistTemplate::kStandard;
+  double cruise_altitude_m = 15.0;
+  // Dwell limit at waypoints whose tenant requests no flight control and
+  // never calls waypointCompleted().
+  double no_control_dwell_s = 20.0;
+};
+
+struct FlightExecutionReport {
+  bool completed = false;
+  std::vector<std::string> events;  // Human-readable milestone log (§6.6).
+  double flight_time_s = 0;
+  double battery_used_j = 0;
+  size_t waypoints_visited = 0;
+};
+
+class AnDroneSystem {
+ public:
+  AnDroneSystem(SimClock* clock, AnDroneOptions options);
+  ~AnDroneSystem();
+
+  // Boots containers, services, and the flight stack. Call once.
+  Status Boot();
+
+  // Deploys a virtual drone and creates its VFC with the given whitelist.
+  StatusOr<VirtualDroneInstance*> Deploy(const VirtualDroneDefinition& def,
+                                         WhitelistTemplate whitelist);
+  StatusOr<VirtualDroneInstance*> Deploy(const VirtualDroneDefinition& def) {
+    return Deploy(def, options_.default_whitelist);
+  }
+
+  // Flies one planned route end-to-end: takeoff, per-stop tenancy
+  // management, return to base, landing, then VDR save + file offload.
+  StatusOr<FlightExecutionReport> ExecuteRoute(
+      const PlannedRoute& route, const std::vector<PlannerJob>& jobs);
+
+  // Aborts the in-progress flight (inclement weather, operator override —
+  // paper §2): the active tenancy ends as interrupted, remaining stops are
+  // skipped, the drone returns to base, and unfinished virtual drones are
+  // saved resumable. Callable from a scheduled clock event.
+  void RequestAbort(const std::string& reason);
+  bool abort_requested() const { return abort_requested_; }
+
+  // Advances simulated time until |predicate| or |timeout|.
+  bool RunClockUntil(const std::function<bool()>& predicate,
+                     SimDuration timeout);
+
+  // --- Accessors ---
+  SimClock& clock() { return *clock_; }
+  Vdc& vdc() { return *vdc_; }
+  MavProxy& proxy() { return *proxy_; }
+  FlightController& flight() { return *flight_controller_; }
+  QuadPhysics& physics() { return *physics_; }
+  ContainerRuntime& runtime() { return *runtime_; }
+  Battery& battery() { return battery_; }
+  DeviceContainerStack& device_stack() { return device_stack_; }
+  VirtualDroneRepository& vdr() { return vdr_; }
+  CloudStorage& cloud_storage() { return cloud_storage_; }
+  VirtualFlightController* VfcOf(const std::string& vdrone_id);
+  ImageId base_image() const { return base_image_; }
+
+ private:
+  // Planner-endpoint MAVLink helpers.
+  void PlannerSend(const MavMessage& message);
+  Status TakeoffToCruise(FlightExecutionReport& report);
+  Status ReturnToBase(FlightExecutionReport& report);
+  void ApplyTenantGeofence(const VirtualDroneInstance& vd, size_t waypoint);
+  void ClearGeofence();
+  void Event(FlightExecutionReport& report, const std::string& text);
+
+  SimClock* clock_;
+  AnDroneOptions options_;
+
+  // Hardware.
+  std::unique_ptr<QuadPhysics> physics_;
+  HardwareBus bus_;
+  MotorSet* motors_ = nullptr;
+  Battery battery_;
+  ComputePowerModel compute_power_;
+
+  // OS substrate.
+  BinderDriver binder_;
+  ImageStore images_;
+  std::unique_ptr<ContainerRuntime> runtime_;
+  ImageId base_image_ = 0;
+  Container* device_container_ = nullptr;
+  Container* flight_container_ = nullptr;
+  DeviceContainerStack device_stack_;
+
+  // Flight stack.
+  std::unique_ptr<BinderHalBridge> hal_bridge_;
+  std::unique_ptr<FlightController> flight_controller_;
+  std::unique_ptr<WakeLatencySampler> latency_sampler_;
+  std::unique_ptr<MavProxy> proxy_;
+
+  // Cloud-side stores co-simulated locally.
+  VirtualDroneRepository vdr_;
+  CloudStorage cloud_storage_;
+
+  std::unique_ptr<Vdc> vdc_;
+  std::map<std::string, VirtualFlightController*> vfcs_;
+
+  // Tenancy-end events raised by the VDC, consumed by the executor.
+  struct TenancyEnd {
+    std::string vdrone_id;
+    TenancyEndReason reason;
+  };
+  std::deque<TenancyEnd> pending_ends_;
+
+  bool booted_ = false;
+  bool accounting_running_ = false;
+  bool abort_requested_ = false;
+  std::string abort_reason_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_CORE_DRONE_H_

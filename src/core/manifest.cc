@@ -1,0 +1,113 @@
+#include "src/core/manifest.h"
+
+#include "src/services/permissions.h"
+#include "src/util/xml.h"
+
+namespace androne {
+
+StatusOr<AndroneManifest> AndroneManifest::Parse(const std::string& xml) {
+  ASSIGN_OR_RETURN(auto root, ParseXml(xml));
+  if (root->name != "androne-manifest") {
+    return InvalidArgumentError(
+        "manifest root element must be <androne-manifest>");
+  }
+  AndroneManifest manifest;
+  manifest.package = root->Attr("package");
+  if (manifest.package.empty()) {
+    return InvalidArgumentError("manifest needs a package attribute");
+  }
+  for (const XmlElement* perm : root->Children("uses-permission")) {
+    ManifestPermission p;
+    p.device = perm->Attr("name");
+    if (!DeviceToPermission(p.device).has_value()) {
+      return InvalidArgumentError("manifest requests unknown device '" +
+                                  p.device + "'");
+    }
+    std::string type = perm->Attr("type", "waypoint");
+    if (type == "waypoint") {
+      p.scope = PermissionScope::kWaypoint;
+    } else if (type == "continuous") {
+      p.scope = PermissionScope::kContinuous;
+    } else {
+      return InvalidArgumentError("unknown permission type '" + type + "'");
+    }
+    if (p.device == kDeviceFlightControl &&
+        p.scope == PermissionScope::kContinuous) {
+      return InvalidArgumentError(
+          "flight-control permission cannot be continuous");
+    }
+    manifest.permissions.push_back(std::move(p));
+  }
+  for (const XmlElement* arg : root->Children("argument")) {
+    ManifestArgument a;
+    a.name = arg->Attr("name");
+    if (a.name.empty()) {
+      return InvalidArgumentError("manifest argument needs a name");
+    }
+    a.type = arg->Attr("type", "string");
+    a.required = arg->Attr("required", "false") == "true";
+    manifest.arguments.push_back(std::move(a));
+  }
+  return manifest;
+}
+
+std::string AndroneManifest::ToXml() const {
+  std::string out = "<androne-manifest package=\"" + package + "\">\n";
+  for (const ManifestPermission& p : permissions) {
+    out += "  <uses-permission name=\"" + p.device + "\" type=\"" +
+           (p.scope == PermissionScope::kContinuous ? "continuous"
+                                                    : "waypoint") +
+           "\"/>\n";
+  }
+  for (const ManifestArgument& a : arguments) {
+    out += "  <argument name=\"" + a.name + "\" type=\"" + a.type +
+           "\" required=\"" + (a.required ? "true" : "false") + "\"/>\n";
+  }
+  out += "</androne-manifest>\n";
+  return out;
+}
+
+Status AndroneManifest::ValidateArgs(const JsonValue& args) const {
+  if (!args.is_object()) {
+    return InvalidArgumentError("app arguments must be a JSON object");
+  }
+  for (const ManifestArgument& decl : arguments) {
+    if (decl.required && args.Find(decl.name) == nullptr) {
+      return InvalidArgumentError("app '" + package +
+                                  "' requires argument '" + decl.name + "'");
+    }
+  }
+  for (const auto& [name, value] : args.AsObject()) {
+    bool declared = false;
+    for (const ManifestArgument& decl : arguments) {
+      declared |= decl.name == name;
+    }
+    if (!declared) {
+      return InvalidArgumentError("app '" + package +
+                                  "' does not declare argument '" + name +
+                                  "'");
+    }
+  }
+  return OkStatus();
+}
+
+bool AndroneManifest::RequestsDevice(const std::string& device) const {
+  for (const ManifestPermission& p : permissions) {
+    if (p.device == device) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AndroneManifest::RequestsDeviceContinuously(
+    const std::string& device) const {
+  for (const ManifestPermission& p : permissions) {
+    if (p.device == device && p.scope == PermissionScope::kContinuous) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace androne

@@ -1,0 +1,48 @@
+// AnDrone app manifest (paper §5): an XML file shipped with every AnDrone
+// app declaring the device permissions it needs (<uses-permission> with a
+// waypoint/continuous type) and the arguments it expects from the user at
+// ordering time (<argument>). The portal uses it to prompt users; the
+// flight planner uses it to avoid device conflicts.
+#ifndef SRC_CORE_MANIFEST_H_
+#define SRC_CORE_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/status.h"
+
+namespace androne {
+
+enum class PermissionScope { kWaypoint, kContinuous };
+
+struct ManifestPermission {
+  std::string device;  // "camera", "gps", "flight-control", ...
+  PermissionScope scope = PermissionScope::kWaypoint;
+};
+
+struct ManifestArgument {
+  std::string name;
+  std::string type;  // Free-form ("polygon", "string", "number", ...).
+  bool required = false;
+};
+
+struct AndroneManifest {
+  std::string package;
+  std::vector<ManifestPermission> permissions;
+  std::vector<ManifestArgument> arguments;
+
+  static StatusOr<AndroneManifest> Parse(const std::string& xml);
+  std::string ToXml() const;
+
+  // Checks user-supplied arguments (a JSON object) against declarations:
+  // every required argument present, no undeclared arguments.
+  Status ValidateArgs(const JsonValue& args) const;
+
+  bool RequestsDevice(const std::string& device) const;
+  bool RequestsDeviceContinuously(const std::string& device) const;
+};
+
+}  // namespace androne
+
+#endif  // SRC_CORE_MANIFEST_H_

@@ -1,0 +1,110 @@
+// Reference AnDrone apps — the premade app-store apps of the paper's usage
+// model (§2, §6.6): an autonomous aerial-survey app that flies a camera
+// pattern over a target area, and an interactive remote-control app that
+// relays a user's commands from their phone/ground station to the virtual
+// flight controller.
+#ifndef SRC_CORE_REFERENCE_APPS_H_
+#define SRC_CORE_REFERENCE_APPS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/vdc.h"
+#include "src/mavlink/messages.h"
+
+namespace androne {
+
+// ---------------------------------------------------------------- Survey.
+
+inline constexpr char kSurveyAppPackage[] = "com.example.survey";
+inline constexpr char kSurveyAppManifest[] = R"(
+<androne-manifest package="com.example.survey">
+  <uses-permission name="camera" type="waypoint"/>
+  <uses-permission name="gps" type="waypoint"/>
+  <uses-permission name="flight-control" type="waypoint"/>
+  <argument name="passes" type="number" required="false"/>
+  <argument name="pass-spacing-m" type="number" required="false"/>
+</androne-manifest>)";
+
+// Autonomous survey: on waypointActive it flies |passes| back-and-forth
+// legs over the waypoint via its VFC (DroneKit-style), capturing a frame at
+// the end of each leg, then writes a geo-referenced report, marks it for
+// the user, and completes the waypoint.
+//
+// The app needs to send MAVLink to its VFC and advance simulated time while
+// flying; both are injected so the app stays a pure Android-side citizen.
+class SurveyApp : public AndroneApp {
+ public:
+  struct Environment {
+    // Sends one frame to this tenant's virtual flight controller.
+    std::function<void(const MavlinkFrame&)> send_to_vfc;
+    // Runs the simulation until the predicate holds (bounded by timeout);
+    // stands in for the app blocking on DroneKit location updates.
+    std::function<bool(const std::function<bool()>&, SimDuration)> wait_until;
+    // Current drone position as the app's location listener sees it.
+    std::function<GeoPoint()> position;
+  };
+
+  explicit SurveyApp(Environment env);
+
+  void WaypointActive(const WaypointSpec& waypoint) override;
+  void WaypointInactive(const WaypointSpec& waypoint) override;
+  void LowEnergyWarning(double remaining_j) override;
+
+  int frames_captured() const { return frames_captured_; }
+  int legs_flown() const { return legs_flown_; }
+
+ protected:
+  JsonValue OnSaveInstanceState() override;
+  void OnRestoreInstanceState(const JsonValue& state) override;
+
+ private:
+  Status CaptureFrame();
+
+  Environment env_;
+  BinderHandle camera_ = 0;
+  bool camera_connected_ = false;
+  int frames_captured_ = 0;
+  int legs_flown_ = 0;
+  bool abort_requested_ = false;
+};
+
+// --------------------------------------------------------- RemoteControl.
+
+inline constexpr char kRemoteControlPackage[] = "com.example.remotecontrol";
+inline constexpr char kRemoteControlManifest[] = R"(
+<androne-manifest package="com.example.remotecontrol">
+  <uses-permission name="camera" type="waypoint"/>
+  <uses-permission name="flight-control" type="waypoint"/>
+</androne-manifest>)";
+
+// Interactive app: exposes a "phone connection" the user drives; frames the
+// user sends are relayed to the VFC while the waypoint is active, and the
+// camera feed (frame metadata) streams back.
+class RemoteControlApp : public AndroneApp {
+ public:
+  using FrameSink = std::function<void(const MavlinkFrame&)>;
+
+  explicit RemoteControlApp(FrameSink send_to_vfc);
+
+  void WaypointActive(const WaypointSpec& waypoint) override;
+  void WaypointInactive(const WaypointSpec& waypoint) override;
+
+  // The user's phone sends a control frame; relayed only while active.
+  void UserFrame(const MavlinkFrame& frame);
+  // The user taps "done".
+  void UserDone();
+
+  bool active() const { return active_; }
+  uint64_t frames_relayed() const { return frames_relayed_; }
+
+ private:
+  FrameSink send_to_vfc_;
+  bool active_ = false;
+  uint64_t frames_relayed_ = 0;
+};
+
+}  // namespace androne
+
+#endif  // SRC_CORE_REFERENCE_APPS_H_

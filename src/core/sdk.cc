@@ -1,0 +1,87 @@
+#include "src/core/sdk.h"
+
+#include <algorithm>
+
+namespace androne {
+
+void AndroneSdk::RegisterWaypointListener(WaypointListener* listener) {
+  if (std::find(listeners_.begin(), listeners_.end(), listener) ==
+      listeners_.end()) {
+    listeners_.push_back(listener);
+  }
+}
+
+void AndroneSdk::UnregisterWaypointListener(WaypointListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+void AndroneSdk::WaypointCompleted() {
+  if (hooks_.waypoint_completed) {
+    hooks_.waypoint_completed();
+  }
+}
+
+std::string AndroneSdk::GetFlightControllerIp() const {
+  return hooks_.flight_controller_ip ? hooks_.flight_controller_ip()
+                                     : std::string();
+}
+
+Status AndroneSdk::MarkFileForUser(const std::string& path) {
+  if (!hooks_.mark_file_for_user) {
+    return UnavailableError("not attached to a VDC");
+  }
+  return hooks_.mark_file_for_user(path);
+}
+
+double AndroneSdk::GetAllottedEnergyLeft() const {
+  return hooks_.allotted_energy_left ? hooks_.allotted_energy_left() : 0.0;
+}
+
+double AndroneSdk::GetAllottedTimeLeft() const {
+  return hooks_.allotted_time_left ? hooks_.allotted_time_left() : 0.0;
+}
+
+void AndroneSdk::NotifyWaypointActive(const WaypointSpec& waypoint) {
+  for (WaypointListener* l : std::vector<WaypointListener*>(listeners_)) {
+    l->WaypointActive(waypoint);
+  }
+}
+
+void AndroneSdk::NotifyWaypointInactive(const WaypointSpec& waypoint) {
+  for (WaypointListener* l : std::vector<WaypointListener*>(listeners_)) {
+    l->WaypointInactive(waypoint);
+  }
+}
+
+void AndroneSdk::NotifyLowEnergy(double remaining_j) {
+  for (WaypointListener* l : std::vector<WaypointListener*>(listeners_)) {
+    l->LowEnergyWarning(remaining_j);
+  }
+}
+
+void AndroneSdk::NotifyLowTime(double remaining_s) {
+  for (WaypointListener* l : std::vector<WaypointListener*>(listeners_)) {
+    l->LowTimeWarning(remaining_s);
+  }
+}
+
+void AndroneSdk::NotifyGeofenceBreached() {
+  for (WaypointListener* l : std::vector<WaypointListener*>(listeners_)) {
+    l->GeofenceBreached();
+  }
+}
+
+void AndroneSdk::NotifySuspendContinuousDevices() {
+  for (WaypointListener* l : std::vector<WaypointListener*>(listeners_)) {
+    l->SuspendContinuousDevices();
+  }
+}
+
+void AndroneSdk::NotifyResumeContinuousDevices() {
+  for (WaypointListener* l : std::vector<WaypointListener*>(listeners_)) {
+    l->ResumeContinuousDevices();
+  }
+}
+
+}  // namespace androne

@@ -1,0 +1,79 @@
+// AnDrone SDK (paper §5, Figures 7–8): how apps interact with AnDrone.
+// Apps register a WaypointListener to learn about waypoint arrival and
+// departure, allotment warnings, geofence breaches, and continuous-device
+// suspension; they call back into the SDK to finish a waypoint, locate
+// their virtual flight controller, mark files for the user, and query the
+// remaining allotments. One SDK instance exists per virtual drone (the
+// same functionality backs the command-line utility for direct users).
+#ifndef SRC_CORE_SDK_H_
+#define SRC_CORE_SDK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/definition.h"
+#include "src/util/status.h"
+
+namespace androne {
+
+class WaypointListener {
+ public:
+  virtual ~WaypointListener() = default;
+
+  // The drone is at the listener's waypoint; flight control and
+  // waypoint-scoped devices are live. Also re-delivered after a geofence
+  // recovery returns control.
+  virtual void WaypointActive(const WaypointSpec& waypoint) { (void)waypoint; }
+  // Flight control and waypoint devices are about to be withdrawn.
+  virtual void WaypointInactive(const WaypointSpec& waypoint) {
+    (void)waypoint;
+  }
+  virtual void LowEnergyWarning(double remaining_j) { (void)remaining_j; }
+  virtual void LowTimeWarning(double remaining_s) { (void)remaining_s; }
+  virtual void GeofenceBreached() {}
+  // Another tenant's waypoint is being serviced; continuous device access
+  // is suspended until ResumeContinuousDevices.
+  virtual void SuspendContinuousDevices() {}
+  virtual void ResumeContinuousDevices() {}
+};
+
+class AndroneSdk {
+ public:
+  // The VDC wires these at virtual-drone creation.
+  struct Hooks {
+    std::function<void()> waypoint_completed;
+    std::function<double()> allotted_energy_left;
+    std::function<double()> allotted_time_left;
+    std::function<std::string()> flight_controller_ip;
+    std::function<Status(const std::string& path)> mark_file_for_user;
+  };
+
+  explicit AndroneSdk(Hooks hooks) : hooks_(std::move(hooks)) {}
+
+  // --- App-facing API (Figure 7) ---
+  void RegisterWaypointListener(WaypointListener* listener);
+  void UnregisterWaypointListener(WaypointListener* listener);
+  void WaypointCompleted();
+  std::string GetFlightControllerIp() const;
+  Status MarkFileForUser(const std::string& path);
+  double GetAllottedEnergyLeft() const;
+  double GetAllottedTimeLeft() const;
+
+  // --- VDC-facing dispatch ---
+  void NotifyWaypointActive(const WaypointSpec& waypoint);
+  void NotifyWaypointInactive(const WaypointSpec& waypoint);
+  void NotifyLowEnergy(double remaining_j);
+  void NotifyLowTime(double remaining_s);
+  void NotifyGeofenceBreached();
+  void NotifySuspendContinuousDevices();
+  void NotifyResumeContinuousDevices();
+
+ private:
+  Hooks hooks_;
+  std::vector<WaypointListener*> listeners_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_CORE_SDK_H_

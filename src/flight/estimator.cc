@@ -1,0 +1,78 @@
+#include "src/flight/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace androne {
+
+namespace {
+constexpr double kGravity = 9.80665;
+// Complementary-filter blend weights per update.
+constexpr double kAccelBlend = 0.02;
+constexpr double kMagBlend = 0.05;
+constexpr double kBaroBlend = 0.2;
+
+double WrapAngle(double a) {
+  while (a > M_PI) {
+    a -= 2 * M_PI;
+  }
+  while (a < -M_PI) {
+    a += 2 * M_PI;
+  }
+  return a;
+}
+}  // namespace
+
+void Estimator::UpdateImu(const ImuSample& sample, SimDuration dt) {
+  double dts = ToSecondsF(dt);
+  // Propagate attitude with gyro rates.
+  attitude_.roll_rad += sample.gyro_rads[0] * dts;
+  attitude_.pitch_rad += sample.gyro_rads[1] * dts;
+  attitude_.yaw_rad += sample.gyro_rads[2] * dts;
+
+  // Level correction from the accelerometer when near 1 g (not maneuvering
+  // hard): roll from -a_y, pitch from a_x.
+  double ax = sample.accel_mss[0];
+  double ay = sample.accel_mss[1];
+  double az = sample.accel_mss[2];
+  double g_meas = std::sqrt(ax * ax + ay * ay + az * az);
+  if (g_meas > 0.8 * kGravity && g_meas < 1.2 * kGravity) {
+    double roll_acc = std::asin(std::clamp(-ay / kGravity, -1.0, 1.0));
+    double pitch_acc = std::asin(std::clamp(ax / kGravity, -1.0, 1.0));
+    attitude_.roll_rad += kAccelBlend * WrapAngle(roll_acc - attitude_.roll_rad);
+    attitude_.pitch_rad +=
+        kAccelBlend * WrapAngle(pitch_acc - attitude_.pitch_rad);
+  }
+}
+
+void Estimator::UpdateMag(double heading_rad) {
+  attitude_.yaw_rad += kMagBlend * WrapAngle(heading_rad - attitude_.yaw_rad);
+}
+
+void Estimator::UpdateBaro(double altitude_m) {
+  if (!have_baro_) {
+    baro_alt_m_ = altitude_m;
+    have_baro_ = true;
+  } else {
+    baro_alt_m_ += kBaroBlend * (altitude_m - baro_alt_m_);
+  }
+  position_.position.altitude_m = baro_alt_m_;
+}
+
+void Estimator::UpdateGps(const GpsFix& fix) {
+  if (!fix.has_fix) {
+    return;
+  }
+  // Horizontal position from GPS; altitude stays baro-driven (GPS vertical
+  // noise is much larger).
+  position_.position.latitude_deg = fix.position.latitude_deg;
+  position_.position.longitude_deg = fix.position.longitude_deg;
+  if (!have_baro_) {
+    position_.position.altitude_m = fix.position.altitude_m;
+  }
+  position_.velocity_ms = fix.velocity_ms;
+  position_.valid = true;
+  last_fix_time_ = fix.timestamp;
+}
+
+}  // namespace androne

@@ -1,0 +1,56 @@
+// Attitude & position estimator: a complementary filter over IMU/mag for
+// attitude and GPS/baro blending for position — the estimation layer whose
+// divergence from truth the paper's DroneKit AED analyzer checks (§6.2).
+#ifndef SRC_FLIGHT_ESTIMATOR_H_
+#define SRC_FLIGHT_ESTIMATOR_H_
+
+#include "src/hw/sensors.h"
+#include "src/util/geo.h"
+#include "src/util/time.h"
+
+namespace androne {
+
+struct AttitudeEstimate {
+  double roll_rad = 0;
+  double pitch_rad = 0;
+  double yaw_rad = 0;
+};
+
+struct PositionEstimate {
+  GeoPoint position;
+  NedPoint velocity_ms;
+  bool valid = false;
+};
+
+class Estimator {
+ public:
+  explicit Estimator(const GeoPoint& home) : home_(home) {
+    position_.position = home;
+  }
+
+  // High-rate update from the IMU (gyro integration + accel leveling).
+  void UpdateImu(const ImuSample& sample, SimDuration dt);
+
+  // Lower-rate corrections.
+  void UpdateMag(double heading_rad);
+  void UpdateBaro(double altitude_m);
+  void UpdateGps(const GpsFix& fix);
+
+  const AttitudeEstimate& attitude() const { return attitude_; }
+  const PositionEstimate& position() const { return position_; }
+  // Timestamp of the last valid GPS fix (-1 before the first); lets the
+  // controller detect GPS glitches and fall back to attitude-only hold.
+  SimTime last_fix_time() const { return last_fix_time_; }
+
+ private:
+  GeoPoint home_;
+  AttitudeEstimate attitude_;
+  PositionEstimate position_;
+  double baro_alt_m_ = 0;
+  bool have_baro_ = false;
+  SimTime last_fix_time_ = -1;
+};
+
+}  // namespace androne
+
+#endif  // SRC_FLIGHT_ESTIMATOR_H_

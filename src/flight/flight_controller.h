@@ -1,0 +1,189 @@
+// ArduPilot-Copter-analog flight controller (paper §4.3, §6). Runs a 400 Hz
+// fast loop on the simulated clock: read sensors (through the SensorSource
+// seam), update the estimator, run the mode-specific control cascade, and
+// write motor outputs; the same tick advances the physics, closing the SITL
+// loop. Speaks MAVLink for all external control.
+//
+// AnDrone-specific: an optional WakeLatencySampler injects the simulated
+// kernel's wake latency into every fast-loop tick — a latency above the
+// 2500 us budget misses that control cycle (paper §6.2) — and the geofence
+// recovery sequence follows the paper's augmented behaviour: notify, guide
+// the drone back inside, then hold in LOITER (instead of ArduPilot's
+// default failsafe landing) so the multi-tenant flight can continue.
+#ifndef SRC_FLIGHT_FLIGHT_CONTROLLER_H_
+#define SRC_FLIGHT_FLIGHT_CONTROLLER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/flight/controllers.h"
+#include "src/flight/estimator.h"
+#include "src/flight/flight_log.h"
+#include "src/flight/quad_physics.h"
+#include "src/flight/sensor_source.h"
+#include "src/hw/power.h"
+#include "src/mavlink/messages.h"
+#include "src/rt/kernel_model.h"
+#include "src/util/sim_clock.h"
+
+namespace androne {
+
+struct GeofenceConfig {
+  bool enabled = false;
+  GeoPoint center;
+  double radius_m = 100.0;
+  double max_altitude_m = 60.0;
+};
+
+struct FlightControllerConfig {
+  GeoPoint home;
+  uint8_t sysid = 1;
+  double fast_loop_hz = 400.0;
+  double heartbeat_hz = 1.0;
+  double attitude_telemetry_hz = 10.0;
+  double position_telemetry_hz = 5.0;
+  double log_hz = 25.0;
+  // Battery failsafe: below this remaining fraction the controller forces
+  // RTL so the flight always ends at base (0 disables).
+  double battery_failsafe_fraction = 0.15;
+};
+
+class FlightController {
+ public:
+  using Sender = std::function<void(const MavlinkFrame&)>;
+  using FenceCallback = std::function<void()>;
+
+  FlightController(SimClock* clock, QuadPhysics* physics, MotorSet* motors,
+                   SensorSource* sensors, Battery* battery,
+                   FlightControllerConfig config);
+
+  // Schedules the fast loop and telemetry; idempotent.
+  void Start();
+  void Stop();
+
+  // Feeds one inbound MAVLink frame (from MAVProxy).
+  void HandleFrame(const MavlinkFrame& frame);
+  // Outbound telemetry/acks sink.
+  void SetSender(Sender sender) { sender_ = std::move(sender); }
+
+  // Kernel wake-latency injection (Fig. 11 coupling); may be nullptr.
+  void SetLatencySampler(WakeLatencySampler* sampler) { latency_ = sampler; }
+
+  void SetGeofence(const GeofenceConfig& fence);
+  void SetFenceCallbacks(FenceCallback on_breach, FenceCallback on_recovered);
+
+  // An AUTO-mode mission (list of waypoints at relative altitudes).
+  void SetMission(std::vector<GeoPoint> waypoints);
+
+  // MAV_CMD_DO_DIGICAM_CONTROL handler: real autopilots forward the shutter
+  // trigger to the camera component; AnDrone wires this to the device
+  // container's CameraService.
+  void SetCameraTrigger(std::function<Status()> trigger) {
+    camera_trigger_ = std::move(trigger);
+  }
+
+  // MAV_CMD_DO_MOUNT_CONTROL handler: (pitch, roll, yaw) in degrees.
+  void SetMountControl(
+      std::function<Status(double, double, double)> mount_control) {
+    mount_control_ = std::move(mount_control);
+  }
+
+  // --- Introspection ---
+  CopterMode mode() const { return mode_; }
+  bool armed() const { return armed_; }
+  bool airborne() const { return physics_->truth().airborne; }
+  GeoPoint position_estimate() const {
+    return estimator_.position().position;
+  }
+  const Estimator& estimator() const { return estimator_; }
+  const FlightLog& flight_log() const { return log_; }
+  const GeofenceConfig& geofence() const { return fence_; }
+  bool fence_recovering() const { return fence_recovering_; }
+  uint64_t fast_loop_count() const { return fast_loops_; }
+  uint64_t missed_deadlines() const { return missed_deadlines_; }
+  bool battery_failsafe_triggered() const {
+    return battery_failsafe_triggered_;
+  }
+  // True while position control is suspended for a GPS glitch.
+  bool gps_glitch() const { return gps_glitch_; }
+  double parameter(const std::string& name, double fallback) const;
+
+ private:
+  void FastLoop();
+  void RunControl(SimDuration dt);
+  void CheckFence();
+  AttitudeTarget ComputeModeTarget(SimDuration dt);
+  void Send(const MavMessage& message);
+  void SendAck(MavCmd command, MavResult result);
+  void SendStatusText(MavSeverity severity, const std::string& text);
+  void HandleCommandLong(const CommandLong& cmd);
+  void HandleSetMode(const SetMode& sm);
+  void HandleSetPositionTarget(const SetPositionTargetGlobalInt& sp);
+  void HandleRcOverride(const RcChannelsOverride& rc);
+  void HandleParamSet(const ParamSet& ps);
+  MavResult SwitchMode(CopterMode mode);
+  NedPoint EstimatedNed() const;
+  void StartTelemetry();
+
+  SimClock* clock_;
+  QuadPhysics* physics_;
+  MotorSet* motors_;
+  SensorSource* sensors_;
+  Battery* battery_;
+  FlightControllerConfig config_;
+  WakeLatencySampler* latency_ = nullptr;
+
+  Estimator estimator_;
+  AttitudeController attitude_ctrl_;
+  PositionController position_ctrl_;
+  FlightLog log_;
+  Sender sender_;
+
+  bool running_ = false;
+  bool armed_ = false;
+  CopterMode mode_ = CopterMode::kStabilize;
+
+  // Guided-mode targets (NED around home).
+  std::optional<NedPoint> guided_target_;
+  std::optional<NedPoint> guided_velocity_;
+  double target_yaw_ = 0;
+  // Loiter/land hold point.
+  NedPoint hold_target_{};
+  // AUTO mission.
+  std::vector<GeoPoint> mission_;
+  size_t mission_index_ = 0;
+  // RTL phase: 0 climb/return, 1 land.
+  int rtl_phase_ = 0;
+
+  // RC override (0 = released).
+  RcChannelsOverride rc_{};
+  bool rc_active_ = false;
+
+  GeofenceConfig fence_;
+  bool fence_recovering_ = false;
+  NedPoint fence_recovery_target_{};
+  FenceCallback on_fence_breach_;
+  FenceCallback on_fence_recovered_;
+
+  std::map<std::string, double> params_;
+  bool battery_failsafe_triggered_ = false;
+  bool gps_glitch_ = false;
+  std::function<Status()> camera_trigger_;
+  std::function<Status(double, double, double)> mount_control_;
+  std::array<double, kNumMotors> last_output_{0, 0, 0, 0};
+  uint64_t fast_loops_ = 0;
+  uint64_t missed_deadlines_ = 0;
+  uint8_t tx_seq_ = 0;
+  // Sensor read scheduling (GPS 5 Hz, baro 25 Hz, mag 25 Hz).
+  SimTime last_gps_read_ = -Seconds(1);
+  SimTime last_slow_read_ = -Seconds(1);
+  SimTime last_fence_check_ = 0;
+};
+
+}  // namespace androne
+
+#endif  // SRC_FLIGHT_FLIGHT_CONTROLLER_H_

@@ -1,0 +1,47 @@
+#include "src/flight/flight_log.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace androne {
+
+namespace {
+double WrapDeg(double deg) {
+  while (deg > 180) {
+    deg -= 360;
+  }
+  while (deg < -180) {
+    deg += 360;
+  }
+  return deg;
+}
+}  // namespace
+
+AedResult AnalyzeAttitudeDivergence(const FlightLog& log, double threshold_deg,
+                                    SimDuration max_span) {
+  AedResult result;
+  constexpr double kRadToDegLocal = 57.29577951308232;
+  SimTime span_start = -1;
+  for (const FlightLogEntry& e : log.entries()) {
+    double droll = WrapDeg((e.est_roll_rad - e.true_roll_rad) * kRadToDegLocal);
+    double dpitch =
+        WrapDeg((e.est_pitch_rad - e.true_pitch_rad) * kRadToDegLocal);
+    double dyaw = WrapDeg((e.est_yaw_rad - e.true_yaw_rad) * kRadToDegLocal);
+    double divergence =
+        std::max({std::fabs(droll), std::fabs(dpitch), std::fabs(dyaw)});
+    result.worst_divergence_deg =
+        std::max(result.worst_divergence_deg, divergence);
+    if (divergence > threshold_deg) {
+      if (span_start < 0) {
+        span_start = e.time;
+      }
+      result.worst_span = std::max(result.worst_span, e.time - span_start);
+    } else {
+      span_start = -1;
+    }
+  }
+  result.unstable = result.worst_span > max_span;
+  return result;
+}
+
+}  // namespace androne

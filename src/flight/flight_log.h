@@ -1,0 +1,49 @@
+// Flight log + the Attitude Estimate Divergence (AED) analyzer the paper
+// uses (via DroneKit Log Analyzer, §6.2) to show AnDrone does not destabilize
+// the drone: instability is flagged when the estimated attitude diverges
+// from the true attitude by more than 5 degrees for longer than 0.5 s.
+#ifndef SRC_FLIGHT_FLIGHT_LOG_H_
+#define SRC_FLIGHT_FLIGHT_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace androne {
+
+struct FlightLogEntry {
+  SimTime time = 0;
+  double est_roll_rad = 0, est_pitch_rad = 0, est_yaw_rad = 0;
+  double true_roll_rad = 0, true_pitch_rad = 0, true_yaw_rad = 0;
+  double altitude_m = 0;
+  uint32_t mode = 0;
+  bool armed = false;
+};
+
+class FlightLog {
+ public:
+  void Record(const FlightLogEntry& entry) { entries_.push_back(entry); }
+  const std::vector<FlightLogEntry>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<FlightLogEntry> entries_;
+};
+
+struct AedResult {
+  bool unstable = false;
+  // Longest continuous span with divergence > threshold, on any axis.
+  SimDuration worst_span = 0;
+  double worst_divergence_deg = 0;
+};
+
+// The AED analyzer: divergence > |threshold_deg| sustained longer than
+// |max_span| indicates instability.
+AedResult AnalyzeAttitudeDivergence(const FlightLog& log,
+                                    double threshold_deg = 5.0,
+                                    SimDuration max_span = Millis(500));
+
+}  // namespace androne
+
+#endif  // SRC_FLIGHT_FLIGHT_LOG_H_

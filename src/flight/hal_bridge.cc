@@ -1,0 +1,58 @@
+#include "src/flight/hal_bridge.h"
+
+namespace androne {
+
+StatusOr<std::unique_ptr<BinderHalBridge>> BinderHalBridge::Create(
+    BinderProc* hal_proc) {
+  ASSIGN_OR_RETURN(BinderHandle sensors,
+                   SmGetService(hal_proc, kSensorServiceName));
+  ASSIGN_OR_RETURN(BinderHandle location,
+                   SmGetService(hal_proc, kLocationServiceName));
+  return std::unique_ptr<BinderHalBridge>(
+      new BinderHalBridge(hal_proc, sensors, location));
+}
+
+StatusOr<ImuSample> BinderHalBridge::ReadImu() {
+  Parcel req;
+  ASSIGN_OR_RETURN(Parcel reply, proc_->Transact(sensors_, kSensorReadImu, req));
+  ImuSample sample;
+  for (double& g : sample.gyro_rads) {
+    ASSIGN_OR_RETURN(g, reply.ReadDouble());
+  }
+  for (double& a : sample.accel_mss) {
+    ASSIGN_OR_RETURN(a, reply.ReadDouble());
+  }
+  ASSIGN_OR_RETURN(sample.timestamp, reply.ReadInt64());
+  return sample;
+}
+
+StatusOr<double> BinderHalBridge::ReadBaroAltitude() {
+  Parcel req;
+  ASSIGN_OR_RETURN(Parcel reply,
+                   proc_->Transact(sensors_, kSensorReadBaro, req));
+  return reply.ReadDouble();
+}
+
+StatusOr<double> BinderHalBridge::ReadMagHeading() {
+  Parcel req;
+  ASSIGN_OR_RETURN(Parcel reply, proc_->Transact(sensors_, kSensorReadMag, req));
+  return reply.ReadDouble();
+}
+
+StatusOr<GpsFix> BinderHalBridge::ReadGps() {
+  Parcel req;
+  ASSIGN_OR_RETURN(Parcel reply, proc_->Transact(location_, kLocGetLast, req));
+  GpsFix fix;
+  ASSIGN_OR_RETURN(fix.position.latitude_deg, reply.ReadDouble());
+  ASSIGN_OR_RETURN(fix.position.longitude_deg, reply.ReadDouble());
+  ASSIGN_OR_RETURN(fix.position.altitude_m, reply.ReadDouble());
+  ASSIGN_OR_RETURN(fix.velocity_ms.north_m, reply.ReadDouble());
+  ASSIGN_OR_RETURN(fix.velocity_ms.east_m, reply.ReadDouble());
+  ASSIGN_OR_RETURN(fix.velocity_ms.down_m, reply.ReadDouble());
+  ASSIGN_OR_RETURN(fix.has_fix, reply.ReadBool());
+  ASSIGN_OR_RETURN(fix.satellites, reply.ReadInt32());
+  ASSIGN_OR_RETURN(fix.timestamp, reply.ReadInt64());
+  return fix;
+}
+
+}  // namespace androne

@@ -1,0 +1,43 @@
+// Binder HAL bridge (paper §4.3): the flight container runs native Linux,
+// not Android, yet must read GPS and sensors owned by the device container.
+// This bridge implements the SensorSource seam over Binder transactions to
+// the shared device services — including the native LocationManagerService
+// interface the paper had to add because the NDK exposes sensors but not
+// GPS. The flight container installs a minimal context manager so the
+// device container's PUBLISH_TO_ALL_NS reaches it, and the device services
+// treat it as a trusted container (no per-app ActivityManager exists there).
+#ifndef SRC_FLIGHT_HAL_BRIDGE_H_
+#define SRC_FLIGHT_HAL_BRIDGE_H_
+
+#include <memory>
+
+#include "src/binder/service_manager.h"
+#include "src/flight/sensor_source.h"
+#include "src/services/device_services.h"
+
+namespace androne {
+
+class BinderHalBridge : public SensorSource {
+ public:
+  // |hal_proc| is a process inside the flight container whose namespace
+  // already has the shared device services published into it.
+  static StatusOr<std::unique_ptr<BinderHalBridge>> Create(
+      BinderProc* hal_proc);
+
+  StatusOr<ImuSample> ReadImu() override;
+  StatusOr<double> ReadBaroAltitude() override;
+  StatusOr<double> ReadMagHeading() override;
+  StatusOr<GpsFix> ReadGps() override;
+
+ private:
+  BinderHalBridge(BinderProc* proc, BinderHandle sensors, BinderHandle location)
+      : proc_(proc), sensors_(sensors), location_(location) {}
+
+  BinderProc* proc_;
+  BinderHandle sensors_;
+  BinderHandle location_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_FLIGHT_HAL_BRIDGE_H_

@@ -1,0 +1,48 @@
+// Sensor access seam for the flight controller. On AnDrone the flight
+// container has no direct device access — it reads sensors through a
+// Binder HAL bridge into the device container (paper §4.3). For unit tests
+// and standalone SITL runs a direct in-process source is provided.
+#ifndef SRC_FLIGHT_SENSOR_SOURCE_H_
+#define SRC_FLIGHT_SENSOR_SOURCE_H_
+
+#include "src/hw/sensors.h"
+#include "src/util/status.h"
+
+namespace androne {
+
+class SensorSource {
+ public:
+  virtual ~SensorSource() = default;
+  virtual StatusOr<ImuSample> ReadImu() = 0;
+  virtual StatusOr<double> ReadBaroAltitude() = 0;
+  virtual StatusOr<double> ReadMagHeading() = 0;
+  virtual StatusOr<GpsFix> ReadGps() = 0;
+};
+
+// Reads hardware models directly (standalone SITL / tests).
+class DirectSensorSource : public SensorSource {
+ public:
+  DirectSensorSource(GpsReceiver* gps, Imu* imu, Barometer* baro,
+                     Magnetometer* mag, ContainerId opener)
+      : gps_(gps), imu_(imu), baro_(baro), mag_(mag), opener_(opener) {}
+
+  StatusOr<ImuSample> ReadImu() override { return imu_->ReadSample(opener_); }
+  StatusOr<double> ReadBaroAltitude() override {
+    return baro_->ReadAltitudeM(opener_);
+  }
+  StatusOr<double> ReadMagHeading() override {
+    return mag_->ReadHeadingRad(opener_);
+  }
+  StatusOr<GpsFix> ReadGps() override { return gps_->ReadFix(opener_); }
+
+ private:
+  GpsReceiver* gps_;
+  Imu* imu_;
+  Barometer* baro_;
+  Magnetometer* mag_;
+  ContainerId opener_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_FLIGHT_SENSOR_SOURCE_H_

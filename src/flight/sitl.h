@@ -1,0 +1,67 @@
+// SITL convenience harness: a complete simulated drone (physics + sensors +
+// flight controller) on one SimClock, with ground-station-style helpers for
+// tests, examples, and the §6.6 multi-waypoint flight simulation.
+#ifndef SRC_FLIGHT_SITL_H_
+#define SRC_FLIGHT_SITL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/flight/flight_controller.h"
+
+namespace androne {
+
+class SitlDrone {
+ public:
+  SitlDrone(SimClock* clock, const GeoPoint& home, uint64_t seed = 1);
+
+  FlightController& controller() { return controller_; }
+  QuadPhysics& physics() { return physics_; }
+  MotorSet& motors() { return motors_; }
+  Battery& battery() { return battery_; }
+  SimClock& clock() { return *clock_; }
+  // Sensor access for failure-injection tests (e.g. GPS outages).
+  GpsReceiver& gps() { return gps_; }
+
+  // --- Ground-station helpers: inject MAVLink as a GCS would ---
+  void SetModeCmd(CopterMode mode);
+  void ArmCmd();
+  void DisarmCmd(bool force = false);
+  void TakeoffCmd(double altitude_m);
+  void GotoCmd(const GeoPoint& target);
+  void VelocityCmd(double vn, double ve, double vd);
+  void LandCmd();
+  void RtlCmd();
+
+  // Advances simulated time until |predicate| holds or |timeout| elapses;
+  // returns whether the predicate was met. Checks every 100 simulated ms.
+  bool RunUntil(const std::function<bool()>& predicate, SimDuration timeout);
+
+  // Distance from the drone's true position to |target|, meters.
+  double DistanceTo(const GeoPoint& target) const;
+
+  // All STATUSTEXT messages emitted by the controller.
+  const std::vector<std::string>& status_texts() const {
+    return status_texts_;
+  }
+
+ private:
+  void InjectMessage(const MavMessage& message);
+
+  SimClock* clock_;
+  QuadPhysics physics_;
+  MotorSet motors_;
+  GpsReceiver gps_;
+  Imu imu_;
+  Barometer baro_;
+  Magnetometer mag_;
+  DirectSensorSource sensors_;
+  Battery battery_;
+  FlightController controller_;
+  std::vector<std::string> status_texts_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_FLIGHT_SITL_H_

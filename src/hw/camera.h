@@ -1,0 +1,51 @@
+// Camera device model standing in for the Raspberry Pi Camera Module v2.
+// Produces deterministic synthetic frames; exclusive-open like the real
+// device node — the device container opens it once and CameraService
+// multiplexes frames to virtual drones.
+#ifndef SRC_HW_CAMERA_H_
+#define SRC_HW_CAMERA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/device.h"
+#include "src/hw/ground_truth.h"
+#include "src/util/sim_clock.h"
+
+namespace androne {
+
+inline constexpr char kCameraDeviceName[] = "camera";
+
+struct CameraFrame {
+  uint64_t sequence = 0;
+  int width = 0;
+  int height = 0;
+  SimTime timestamp = 0;
+  // Where the camera was pointing when the frame was captured (stamped from
+  // ground truth so survey apps can geo-reference imagery).
+  GeoPoint camera_position;
+  // Compact synthetic payload: a content checksum standing in for pixels.
+  uint64_t content_hash = 0;
+};
+
+class Camera : public HardwareDevice {
+ public:
+  Camera(SimClock* clock, const DroneGroundTruth* truth, int width = 3280,
+         int height = 2464);
+
+  // Captures one frame now.
+  StatusOr<CameraFrame> Capture(ContainerId caller);
+
+  uint64_t frames_captured() const { return next_sequence_; }
+
+ private:
+  SimClock* clock_;
+  const DroneGroundTruth* truth_;
+  int width_;
+  int height_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace androne
+
+#endif  // SRC_HW_CAMERA_H_

@@ -1,0 +1,51 @@
+#include "src/hw/device.h"
+
+namespace androne {
+
+Status HardwareDevice::Open(ContainerId opener) {
+  if (open_) {
+    return FailedPreconditionError("device '" + name_ +
+                                   "' is already open (exclusive)");
+  }
+  open_ = true;
+  opener_ = opener;
+  return OkStatus();
+}
+
+Status HardwareDevice::Close(ContainerId opener) {
+  if (!open_ || opener_ != opener) {
+    return FailedPreconditionError("device '" + name_ +
+                                   "' is not open by this container");
+  }
+  open_ = false;
+  opener_ = -1;
+  return OkStatus();
+}
+
+Status HardwareDevice::CheckOpenBy(ContainerId caller) const {
+  if (!open_ || opener_ != caller) {
+    return PermissionDeniedError("device '" + name_ +
+                                 "' is not open by container " +
+                                 std::to_string(caller));
+  }
+  return OkStatus();
+}
+
+StatusOr<HardwareDevice*> HardwareBus::Find(const std::string& name) const {
+  auto it = devices_.find(name);
+  if (it == devices_.end()) {
+    return NotFoundError("no device '" + name + "' on the bus");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> HardwareBus::DeviceNames() const {
+  std::vector<std::string> names;
+  names.reserve(devices_.size());
+  for (const auto& [name, device] : devices_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace androne

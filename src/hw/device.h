@@ -1,0 +1,63 @@
+// Hardware device base and bus. Physical devices are single-opener: AnDrone
+// gives exclusive access to the device container, which multiplexes them at
+// the Android system-service level (paper §4.2). Keeping the exclusive-open
+// illusion at the hardware layer preserves compatibility with drone device
+// stacks that were never designed for concurrent users.
+#ifndef SRC_HW_DEVICE_H_
+#define SRC_HW_DEVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/binder/binder_driver.h"  // For ContainerId.
+#include "src/util/status.h"
+
+namespace androne {
+
+class HardwareDevice {
+ public:
+  explicit HardwareDevice(std::string name) : name_(std::move(name)) {}
+  virtual ~HardwareDevice() = default;
+
+  const std::string& name() const { return name_; }
+
+  // Exclusive open: a second opener gets FAILED_PRECONDITION until Close.
+  Status Open(ContainerId opener);
+  Status Close(ContainerId opener);
+  bool is_open() const { return open_; }
+  ContainerId opener() const { return opener_; }
+
+ protected:
+  // Fails unless the caller currently holds the device open.
+  Status CheckOpenBy(ContainerId caller) const;
+
+ private:
+  std::string name_;
+  bool open_ = false;
+  ContainerId opener_ = -1;
+};
+
+// Registry of the drone's physical devices.
+class HardwareBus {
+ public:
+  // Registers a device; the bus owns it. Returns the raw pointer for
+  // convenience.
+  template <typename T>
+  T* Register(std::unique_ptr<T> device) {
+    T* raw = device.get();
+    devices_[raw->name()] = std::move(device);
+    return raw;
+  }
+
+  StatusOr<HardwareDevice*> Find(const std::string& name) const;
+  std::vector<std::string> DeviceNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<HardwareDevice>> devices_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_HW_DEVICE_H_

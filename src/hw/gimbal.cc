@@ -1,0 +1,19 @@
+#include "src/hw/gimbal.h"
+
+#include <cmath>
+
+namespace androne {
+
+Status Gimbal::SetOrientation(ContainerId caller, double pitch_deg,
+                              double roll_deg, double yaw_deg) {
+  RETURN_IF_ERROR(CheckOpenBy(caller));
+  pitch_deg_ = std::clamp(pitch_deg, -90.0, 30.0);
+  roll_deg_ = std::clamp(roll_deg, -45.0, 45.0);
+  yaw_deg_ = std::fmod(yaw_deg, 360.0);
+  if (yaw_deg_ < 0) {
+    yaw_deg_ += 360.0;
+  }
+  return OkStatus();
+}
+
+}  // namespace androne

@@ -1,0 +1,38 @@
+#include "src/hw/motors.h"
+
+#include <algorithm>
+
+namespace androne {
+
+Status MotorSet::SetThrottles(
+    ContainerId caller, const std::array<double, kNumMotors>& throttles) {
+  RETURN_IF_ERROR(CheckOpenBy(caller));
+  if (!armed_) {
+    return FailedPreconditionError("motors are not armed");
+  }
+  for (int i = 0; i < kNumMotors; ++i) {
+    throttles_[static_cast<size_t>(i)] =
+        std::clamp(throttles[static_cast<size_t>(i)], 0.0, 1.0);
+  }
+  return OkStatus();
+}
+
+void MotorSet::EmergencyStop() {
+  throttles_ = {0, 0, 0, 0};
+  armed_ = false;
+}
+
+Status MotorSet::Arm(ContainerId caller) {
+  RETURN_IF_ERROR(CheckOpenBy(caller));
+  armed_ = true;
+  return OkStatus();
+}
+
+Status MotorSet::Disarm(ContainerId caller) {
+  RETURN_IF_ERROR(CheckOpenBy(caller));
+  armed_ = false;
+  throttles_ = {0, 0, 0, 0};
+  return OkStatus();
+}
+
+}  // namespace androne

@@ -1,0 +1,15 @@
+#include "src/hw/power.h"
+
+namespace androne {
+
+void Battery::Drain(double watts, SimDuration dt) {
+  if (watts < 0) {
+    return;
+  }
+  remaining_j_ -= watts * ToSecondsF(dt);
+  if (remaining_j_ < 0) {
+    remaining_j_ = 0;
+  }
+}
+
+}  // namespace androne

@@ -1,0 +1,24 @@
+#include "src/mavlink/crc.h"
+
+namespace androne {
+
+uint16_t MavCrcAccumulate(uint8_t byte, uint16_t crc) {
+  uint8_t tmp = byte ^ static_cast<uint8_t>(crc & 0xFF);
+  tmp ^= static_cast<uint8_t>(tmp << 4);
+  return static_cast<uint16_t>((crc >> 8) ^ (tmp << 8) ^ (tmp << 3) ^
+                               (tmp >> 4));
+}
+
+uint16_t MavCrc(const uint8_t* data, size_t len) {
+  uint16_t crc = kCrcInit;
+  for (size_t i = 0; i < len; ++i) {
+    crc = MavCrcAccumulate(data[i], crc);
+  }
+  return crc;
+}
+
+uint16_t MavCrcWithExtra(const uint8_t* data, size_t len, uint8_t crc_extra) {
+  return MavCrcAccumulate(crc_extra, MavCrc(data, len));
+}
+
+}  // namespace androne

@@ -1,0 +1,24 @@
+// CRC-16/X.25 (MCRF4XX) as used by the MAVLink checksum, including the
+// per-message CRC_EXTRA byte that seals the message definition.
+#ifndef SRC_MAVLINK_CRC_H_
+#define SRC_MAVLINK_CRC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace androne {
+
+inline constexpr uint16_t kCrcInit = 0xFFFF;
+
+// Accumulates one byte into the running CRC.
+uint16_t MavCrcAccumulate(uint8_t byte, uint16_t crc);
+
+// CRC over a buffer, starting from kCrcInit.
+uint16_t MavCrc(const uint8_t* data, size_t len);
+
+// CRC over a buffer followed by the message's CRC_EXTRA byte.
+uint16_t MavCrcWithExtra(const uint8_t* data, size_t len, uint8_t crc_extra);
+
+}  // namespace androne
+
+#endif  // SRC_MAVLINK_CRC_H_

@@ -1,0 +1,152 @@
+#include "src/mavlink/frame.h"
+
+#include "src/mavlink/crc.h"
+
+namespace androne {
+
+uint8_t MavCrcExtra(MavMsgId id) {
+  switch (id) {
+    case MavMsgId::kHeartbeat:
+      return 50;
+    case MavMsgId::kSysStatus:
+      return 124;
+    case MavMsgId::kSetMode:
+      return 89;
+    case MavMsgId::kParamValue:
+      return 220;
+    case MavMsgId::kParamSet:
+      return 168;
+    case MavMsgId::kAttitude:
+      return 39;
+    case MavMsgId::kGlobalPositionInt:
+      return 104;
+    case MavMsgId::kRcChannelsOverride:
+      return 124;
+    case MavMsgId::kCommandLong:
+      return 152;
+    case MavMsgId::kCommandAck:
+      return 143;
+    case MavMsgId::kSetPositionTargetGlobalInt:
+      return 5;
+    case MavMsgId::kStatusText:
+      return 83;
+  }
+  return 0;
+}
+
+const char* CopterModeName(CopterMode mode) {
+  switch (mode) {
+    case CopterMode::kStabilize:
+      return "STABILIZE";
+    case CopterMode::kAltHold:
+      return "ALT_HOLD";
+    case CopterMode::kAuto:
+      return "AUTO";
+    case CopterMode::kGuided:
+      return "GUIDED";
+    case CopterMode::kLoiter:
+      return "LOITER";
+    case CopterMode::kRtl:
+      return "RTL";
+    case CopterMode::kLand:
+      return "LAND";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<uint8_t> EncodeFrame(const MavlinkFrame& frame) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + frame.payload.size());
+  out.push_back(kMavlinkStx);
+  out.push_back(static_cast<uint8_t>(frame.payload.size()));
+  out.push_back(frame.seq);
+  out.push_back(frame.sysid);
+  out.push_back(frame.compid);
+  out.push_back(static_cast<uint8_t>(frame.msgid));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  // CRC covers len..payload (not the STX) plus CRC_EXTRA.
+  uint16_t crc = MavCrcWithExtra(out.data() + 1, out.size() - 1,
+                                 MavCrcExtra(frame.msgid));
+  out.push_back(static_cast<uint8_t>(crc & 0xFF));
+  out.push_back(static_cast<uint8_t>(crc >> 8));
+  return out;
+}
+
+void MavlinkParser::Feed(const uint8_t* data, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    uint8_t byte = data[i];
+    switch (state_) {
+      case State::kIdle:
+        if (byte == kMavlinkStx) {
+          state_ = State::kLen;
+          current_ = MavlinkFrame{};
+        } else {
+          ++resync_bytes_;
+        }
+        break;
+      case State::kLen:
+        len_ = byte;
+        current_.payload.clear();
+        current_.payload.reserve(len_);
+        state_ = State::kSeq;
+        break;
+      case State::kSeq:
+        current_.seq = byte;
+        state_ = State::kSysid;
+        break;
+      case State::kSysid:
+        current_.sysid = byte;
+        state_ = State::kCompid;
+        break;
+      case State::kCompid:
+        current_.compid = byte;
+        state_ = State::kMsgid;
+        break;
+      case State::kMsgid:
+        current_.msgid = static_cast<MavMsgId>(byte);
+        state_ = len_ == 0 ? State::kCrcLo : State::kPayload;
+        break;
+      case State::kPayload:
+        current_.payload.push_back(byte);
+        if (current_.payload.size() == len_) {
+          state_ = State::kCrcLo;
+        }
+        break;
+      case State::kCrcLo:
+        crc_lo_ = byte;
+        state_ = State::kCrcHi;
+        break;
+      case State::kCrcHi: {
+        uint16_t received =
+            static_cast<uint16_t>(crc_lo_ | (static_cast<uint16_t>(byte) << 8));
+        // Recompute over header+payload.
+        std::vector<uint8_t> hdr{len_, current_.seq, current_.sysid,
+                                 current_.compid,
+                                 static_cast<uint8_t>(current_.msgid)};
+        uint16_t crc = kCrcInit;
+        for (uint8_t b : hdr) {
+          crc = MavCrcAccumulate(b, crc);
+        }
+        for (uint8_t b : current_.payload) {
+          crc = MavCrcAccumulate(b, crc);
+        }
+        crc = MavCrcAccumulate(MavCrcExtra(current_.msgid), crc);
+        if (crc == received) {
+          ready_.push_back(std::move(current_));
+        } else {
+          ++crc_errors_;
+        }
+        state_ = State::kIdle;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<MavlinkFrame> MavlinkParser::TakeFrames() {
+  std::vector<MavlinkFrame> out;
+  out.swap(ready_);
+  return out;
+}
+
+}  // namespace androne

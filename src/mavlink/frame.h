@@ -1,0 +1,58 @@
+// MAVLink v1 framing: STX(0xFE) | len | seq | sysid | compid | msgid |
+// payload | crc_lo | crc_hi, with the CRC seeded by the message's CRC_EXTRA.
+// The streaming parser resynchronizes on garbage and rejects bad checksums,
+// which the tests exercise with corrupted byte streams.
+#ifndef SRC_MAVLINK_FRAME_H_
+#define SRC_MAVLINK_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mavlink/constants.h"
+#include "src/util/status.h"
+
+namespace androne {
+
+inline constexpr uint8_t kMavlinkStx = 0xFE;
+inline constexpr size_t kMavlinkMaxPayload = 255;
+
+struct MavlinkFrame {
+  uint8_t seq = 0;
+  uint8_t sysid = 1;
+  uint8_t compid = 1;
+  MavMsgId msgid = MavMsgId::kHeartbeat;
+  std::vector<uint8_t> payload;
+};
+
+// Serializes a frame to wire bytes (computes the checksum).
+std::vector<uint8_t> EncodeFrame(const MavlinkFrame& frame);
+
+// Incremental parser for a MAVLink byte stream.
+class MavlinkParser {
+ public:
+  // Feeds bytes; complete valid frames accumulate in TakeFrames().
+  void Feed(const uint8_t* data, size_t len);
+  void Feed(const std::vector<uint8_t>& data) { Feed(data.data(), data.size()); }
+
+  // Returns and clears the parsed-frame queue.
+  std::vector<MavlinkFrame> TakeFrames();
+
+  uint64_t crc_errors() const { return crc_errors_; }
+  uint64_t resync_bytes() const { return resync_bytes_; }
+
+ private:
+  enum class State { kIdle, kLen, kSeq, kSysid, kCompid, kMsgid, kPayload,
+                     kCrcLo, kCrcHi };
+
+  State state_ = State::kIdle;
+  uint8_t len_ = 0;
+  uint8_t crc_lo_ = 0;
+  MavlinkFrame current_;
+  std::vector<MavlinkFrame> ready_;
+  uint64_t crc_errors_ = 0;
+  uint64_t resync_bytes_ = 0;
+};
+
+}  // namespace androne
+
+#endif  // SRC_MAVLINK_FRAME_H_

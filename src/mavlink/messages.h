@@ -1,0 +1,142 @@
+// Typed MAVLink common-dialect messages with v1 wire packing (fields in the
+// official size-sorted wire order). Both ends of every link in AnDrone speak
+// this implementation, and the CRC_EXTRA constants match the official
+// definitions so the framing is faithful to real MAVLink.
+#ifndef SRC_MAVLINK_MESSAGES_H_
+#define SRC_MAVLINK_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/mavlink/frame.h"
+#include "src/util/status.h"
+
+namespace androne {
+
+struct Heartbeat {
+  uint32_t custom_mode = 0;  // CopterMode.
+  uint8_t type = kMavTypeQuadrotor;
+  uint8_t autopilot = kMavAutopilotArdupilot;
+  uint8_t base_mode = 0;
+  uint8_t system_status = 0;  // MavState.
+  uint8_t mavlink_version = 3;
+};
+
+struct SysStatus {
+  uint32_t sensors_present = 0;
+  uint32_t sensors_enabled = 0;
+  uint32_t sensors_health = 0;
+  uint16_t load = 0;             // 0..1000 (= 0..100%).
+  uint16_t voltage_battery = 0;  // mV.
+  int16_t current_battery = -1;  // cA.
+  uint16_t drop_rate_comm = 0;
+  uint16_t errors_comm = 0;
+  uint16_t errors_count1 = 0;
+  uint16_t errors_count2 = 0;
+  uint16_t errors_count3 = 0;
+  uint16_t errors_count4 = 0;
+  int8_t battery_remaining = -1;  // %.
+};
+
+struct SetMode {
+  uint32_t custom_mode = 0;
+  uint8_t target_system = 1;
+  uint8_t base_mode = kMavModeFlagCustomModeEnabled;
+};
+
+struct ParamSet {
+  float param_value = 0;
+  uint8_t target_system = 1;
+  uint8_t target_component = 1;
+  std::string param_id;  // <= 16 chars.
+  uint8_t param_type = 9;  // MAV_PARAM_TYPE_REAL32.
+};
+
+struct ParamValue {
+  float param_value = 0;
+  uint16_t param_count = 0;
+  uint16_t param_index = 0;
+  std::string param_id;
+  uint8_t param_type = 9;
+};
+
+struct Attitude {
+  uint32_t time_boot_ms = 0;
+  float roll = 0;
+  float pitch = 0;
+  float yaw = 0;
+  float rollspeed = 0;
+  float pitchspeed = 0;
+  float yawspeed = 0;
+};
+
+struct GlobalPositionInt {
+  uint32_t time_boot_ms = 0;
+  int32_t lat = 0;           // degE7.
+  int32_t lon = 0;           // degE7.
+  int32_t alt = 0;           // mm MSL.
+  int32_t relative_alt = 0;  // mm above home.
+  int16_t vx = 0;            // cm/s north.
+  int16_t vy = 0;            // cm/s east.
+  int16_t vz = 0;            // cm/s down.
+  uint16_t hdg = 0;          // cdeg, 0..35999.
+};
+
+struct RcChannelsOverride {
+  uint16_t chan[8] = {0, 0, 0, 0, 0, 0, 0, 0};  // PWM us; 0 = release.
+  uint8_t target_system = 1;
+  uint8_t target_component = 1;
+};
+
+struct CommandLong {
+  float param1 = 0, param2 = 0, param3 = 0, param4 = 0;
+  float param5 = 0, param6 = 0, param7 = 0;
+  uint16_t command = 0;  // MavCmd.
+  uint8_t target_system = 1;
+  uint8_t target_component = 1;
+  uint8_t confirmation = 0;
+};
+
+struct CommandAck {
+  uint16_t command = 0;
+  uint8_t result = 0;  // MavResult.
+};
+
+struct SetPositionTargetGlobalInt {
+  uint32_t time_boot_ms = 0;
+  int32_t lat_int = 0;  // degE7.
+  int32_t lon_int = 0;  // degE7.
+  float alt = 0;        // m above home (frame 6).
+  float vx = 0, vy = 0, vz = 0;
+  float afx = 0, afy = 0, afz = 0;
+  float yaw = 0, yaw_rate = 0;
+  uint16_t type_mask = 0;
+  uint8_t target_system = 1;
+  uint8_t target_component = 1;
+  uint8_t coordinate_frame = 6;  // GLOBAL_RELATIVE_ALT_INT.
+};
+
+struct StatusText {
+  uint8_t severity = 6;
+  std::string text;  // <= 50 chars.
+};
+
+using MavMessage =
+    std::variant<Heartbeat, SysStatus, SetMode, ParamSet, ParamValue, Attitude,
+                 GlobalPositionInt, RcChannelsOverride, CommandLong,
+                 CommandAck, SetPositionTargetGlobalInt, StatusText>;
+
+// Packs a typed message into a frame (seq/sysid/compid left for the caller).
+MavlinkFrame PackMessage(const MavMessage& message);
+
+// Decodes a frame's payload into a typed message; fails on unknown ids or
+// short payloads.
+StatusOr<MavMessage> UnpackMessage(const MavlinkFrame& frame);
+
+// Wire message id of a typed message.
+MavMsgId MessageId(const MavMessage& message);
+
+}  // namespace androne
+
+#endif  // SRC_MAVLINK_MESSAGES_H_

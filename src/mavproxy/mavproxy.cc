@@ -1,0 +1,60 @@
+#include "src/mavproxy/mavproxy.h"
+
+namespace androne {
+
+void MavProxy::HandleMasterFrame(const MavlinkFrame& frame) {
+  ++master_frames_;
+  if (to_planner_) {
+    to_planner_(frame);
+  }
+  for (const auto& vfc : vfcs_) {
+    vfc->HandleMasterFrame(frame);
+  }
+}
+
+void MavProxy::HandlePlannerFrame(const MavlinkFrame& frame) {
+  // The planner/service-provider connection is unrestricted.
+  if (to_master_) {
+    to_master_(frame);
+  }
+}
+
+VirtualFlightController* MavProxy::CreateVfc(int tenant_id,
+                                             CommandWhitelist whitelist,
+                                             bool continuous_position) {
+  auto vfc = std::make_unique<VirtualFlightController>(
+      clock_, tenant_id, std::move(whitelist), continuous_position);
+  vfc->SetMasterSink([this](const MavlinkFrame& frame) {
+    if (to_master_) {
+      to_master_(frame);
+    }
+  });
+  VirtualFlightController* raw = vfc.get();
+  vfcs_.push_back(std::move(vfc));
+  return raw;
+}
+
+VirtualFlightController* MavProxy::FindVfc(int tenant_id) {
+  for (const auto& vfc : vfcs_) {
+    if (vfc->tenant_id() == tenant_id) {
+      return vfc.get();
+    }
+  }
+  return nullptr;
+}
+
+void MavProxy::OnFenceBreach(int tenant_id) {
+  VirtualFlightController* vfc = FindVfc(tenant_id);
+  if (vfc != nullptr) {
+    vfc->SuspendForFenceRecovery();
+  }
+}
+
+void MavProxy::OnFenceRecovered(int tenant_id) {
+  VirtualFlightController* vfc = FindVfc(tenant_id);
+  if (vfc != nullptr) {
+    vfc->ResumeAfterFenceRecovery();
+  }
+}
+
+}  // namespace androne

@@ -1,0 +1,56 @@
+// MAVProxy analog (paper §4.3): the indirection layer between the flight
+// controller and its many clients. The cloud flight planner gets a standard
+// unrestricted connection; every virtual drone gets a Virtual Flight
+// Controller. One master link fans out to all endpoints.
+#ifndef SRC_MAVPROXY_MAVPROXY_H_
+#define SRC_MAVPROXY_MAVPROXY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/mavproxy/vfc.h"
+
+namespace androne {
+
+class MavProxy {
+ public:
+  using FrameSink = std::function<void(const MavlinkFrame&)>;
+
+  explicit MavProxy(SimClock* clock) : clock_(clock) {}
+
+  // --- Master (flight controller) side ---
+  void SetMasterSink(FrameSink sink) { to_master_ = std::move(sink); }
+  // Telemetry from the flight controller; fans out to planner + every VFC.
+  void HandleMasterFrame(const MavlinkFrame& frame);
+
+  // --- Planner endpoint: unrestricted native access ---
+  void SetPlannerSink(FrameSink sink) { to_planner_ = std::move(sink); }
+  void HandlePlannerFrame(const MavlinkFrame& frame);
+
+  // --- Virtual flight controllers ---
+  VirtualFlightController* CreateVfc(int tenant_id, CommandWhitelist whitelist,
+                                     bool continuous_position);
+  VirtualFlightController* FindVfc(int tenant_id);
+  const std::vector<std::unique_ptr<VirtualFlightController>>& vfcs() const {
+    return vfcs_;
+  }
+
+  // Geofence recovery wiring (paper §4.3): while the flight controller
+  // guides the drone back inside, the breaching tenant's commands are
+  // refused; on recovery, control returns.
+  void OnFenceBreach(int tenant_id);
+  void OnFenceRecovered(int tenant_id);
+
+  uint64_t master_frames() const { return master_frames_; }
+
+ private:
+  SimClock* clock_;
+  FrameSink to_master_;
+  FrameSink to_planner_;
+  std::vector<std::unique_ptr<VirtualFlightController>> vfcs_;
+  uint64_t master_frames_ = 0;
+};
+
+}  // namespace androne
+
+#endif  // SRC_MAVPROXY_MAVPROXY_H_

@@ -1,0 +1,78 @@
+#include "src/mavproxy/whitelist.h"
+
+namespace androne {
+
+const char* WhitelistTemplateName(WhitelistTemplate t) {
+  switch (t) {
+    case WhitelistTemplate::kGuidedOnly:
+      return "guided-only";
+    case WhitelistTemplate::kStandard:
+      return "standard";
+    case WhitelistTemplate::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+CommandWhitelist CommandWhitelist::FromTemplate(WhitelistTemplate t) {
+  CommandWhitelist wl(t);
+  switch (t) {
+    case WhitelistTemplate::kGuidedOnly:
+      // Destination + speed only; the drone stays in guided mode.
+      wl.allowed_messages_ = {MavMsgId::kSetPositionTargetGlobalInt};
+      wl.allowed_commands_ = {MavCmd::kDoChangeSpeed};
+      break;
+    case WhitelistTemplate::kStandard:
+      wl.allowed_messages_ = {MavMsgId::kSetPositionTargetGlobalInt,
+                              MavMsgId::kSetMode};
+      wl.allowed_commands_ = {
+          MavCmd::kDoChangeSpeed,    MavCmd::kNavTakeoff,
+          MavCmd::kNavLand,          MavCmd::kNavLoiterUnlimited,
+          MavCmd::kConditionYaw,     MavCmd::kDoSetRoi,
+          MavCmd::kDoDigicamControl, MavCmd::kDoMountControl,
+      };
+      // No AUTO (mission owned by the planner), no RTL (ends the tenancy).
+      wl.allowed_modes_ = {CopterMode::kGuided, CopterMode::kLoiter,
+                           CopterMode::kAltHold, CopterMode::kLand};
+      break;
+    case WhitelistTemplate::kFull:
+      wl.allowed_messages_ = {
+          MavMsgId::kSetPositionTargetGlobalInt, MavMsgId::kSetMode,
+          MavMsgId::kRcChannelsOverride,         MavMsgId::kCommandLong,
+          MavMsgId::kParamSet,
+      };
+      wl.allowed_commands_ = {
+          MavCmd::kDoChangeSpeed,    MavCmd::kNavTakeoff,
+          MavCmd::kNavLand,          MavCmd::kNavLoiterUnlimited,
+          MavCmd::kConditionYaw,     MavCmd::kDoSetRoi,
+          MavCmd::kDoDigicamControl, MavCmd::kDoMountControl,
+          MavCmd::kNavWaypoint,      MavCmd::kNavReturnToLaunch,
+      };
+      wl.allowed_modes_ = {CopterMode::kStabilize, CopterMode::kAltHold,
+                           CopterMode::kGuided,    CopterMode::kLoiter,
+                           CopterMode::kLand,      CopterMode::kRtl};
+      break;
+  }
+  return wl;
+}
+
+bool CommandWhitelist::Allows(const MavMessage& message) const {
+  // Arming is never client-controlled: AnDrone owns the physical drone's
+  // arm state across tenants.
+  if (const auto* cmd = std::get_if<CommandLong>(&message)) {
+    MavCmd mav_cmd = static_cast<MavCmd>(cmd->command);
+    if (mav_cmd == MavCmd::kComponentArmDisarm) {
+      return false;
+    }
+    return allowed_commands_.count(mav_cmd) > 0;
+  }
+  if (const auto* sm = std::get_if<SetMode>(&message)) {
+    if (allowed_messages_.count(MavMsgId::kSetMode) == 0) {
+      return false;
+    }
+    return allowed_modes_.count(static_cast<CopterMode>(sm->custom_mode)) > 0;
+  }
+  return allowed_messages_.count(MessageId(message)) > 0;
+}
+
+}  // namespace androne

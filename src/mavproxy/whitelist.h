@@ -1,0 +1,53 @@
+// MAVLink command whitelists (paper §4.3): each virtual flight controller
+// restricts which commands a virtual drone may send, configurable from
+// preconfigured templates. The most restrictive allows only guided-mode
+// destination/velocity targets; the least restrictive allows full control
+// (the geofence still applies underneath).
+#ifndef SRC_MAVPROXY_WHITELIST_H_
+#define SRC_MAVPROXY_WHITELIST_H_
+
+#include <set>
+#include <string>
+
+#include "src/mavlink/messages.h"
+
+namespace androne {
+
+enum class WhitelistTemplate {
+  kGuidedOnly,  // Destination coordinates + speed only.
+  kStandard,    // + takeoff/land/loiter/yaw/mode changes (no RC, no arming).
+  kFull,        // Everything, geofence permitting.
+};
+
+const char* WhitelistTemplateName(WhitelistTemplate t);
+
+class CommandWhitelist {
+ public:
+  static CommandWhitelist FromTemplate(WhitelistTemplate t);
+
+  // Service providers can customize templates (paper: "customizable by the
+  // service provider").
+  void AllowCommand(MavCmd cmd) { allowed_commands_.insert(cmd); }
+  void DenyCommand(MavCmd cmd) { allowed_commands_.erase(cmd); }
+  void AllowMessage(MavMsgId id) { allowed_messages_.insert(id); }
+  void DenyMessage(MavMsgId id) { allowed_messages_.erase(id); }
+  void AllowMode(CopterMode mode) { allowed_modes_.insert(mode); }
+  void DenyMode(CopterMode mode) { allowed_modes_.erase(mode); }
+
+  // Whether a client->flight-controller message passes the filter.
+  bool Allows(const MavMessage& message) const;
+
+  WhitelistTemplate source_template() const { return source_; }
+
+ private:
+  explicit CommandWhitelist(WhitelistTemplate source) : source_(source) {}
+
+  WhitelistTemplate source_;
+  std::set<MavMsgId> allowed_messages_;
+  std::set<MavCmd> allowed_commands_;   // For COMMAND_LONG payloads.
+  std::set<CopterMode> allowed_modes_;  // For SET_MODE payloads.
+};
+
+}  // namespace androne
+
+#endif  // SRC_MAVPROXY_WHITELIST_H_

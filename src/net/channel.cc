@@ -1,0 +1,63 @@
+#include "src/net/channel.h"
+
+#include <utility>
+
+namespace androne {
+
+NetworkChannel::NetworkChannel(SimClock* clock, const LinkModel* link,
+                               uint64_t seed)
+    : clock_(clock), link_(link), rng_(seed) {}
+
+void NetworkChannel::Send(std::vector<uint8_t> payload) {
+  ++sent_;
+  if (link_->SampleLoss(rng_)) {
+    ++lost_;
+    return;
+  }
+  SimDuration latency = link_->SampleLatency(rng_);
+  clock_->ScheduleAfter(latency, [this, latency,
+                                  payload = std::move(payload)]() mutable {
+    ++delivered_;
+    latency_us_.Record(ToMicros(latency));
+    if (receiver_) {
+      receiver_(payload);
+    }
+  });
+}
+
+VpnTunnel::VpnTunnel(NetworkChannel* underlying, uint32_t tunnel_id)
+    : underlying_(underlying), tunnel_id_(tunnel_id) {}
+
+void VpnTunnel::SetReceiver(Receiver receiver) {
+  receiver_ = std::move(receiver);
+  underlying_->SetReceiver([this](const std::vector<uint8_t>& datagram) {
+    if (datagram.size() < 4) {
+      ++rejected_;
+      return;
+    }
+    uint32_t id = static_cast<uint32_t>(datagram[0]) |
+                  (static_cast<uint32_t>(datagram[1]) << 8) |
+                  (static_cast<uint32_t>(datagram[2]) << 16) |
+                  (static_cast<uint32_t>(datagram[3]) << 24);
+    if (id != tunnel_id_) {
+      ++rejected_;  // Authenticated-decapsulation failure.
+      return;
+    }
+    if (receiver_) {
+      receiver_(std::vector<uint8_t>(datagram.begin() + 4, datagram.end()));
+    }
+  });
+}
+
+void VpnTunnel::Send(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> encapsulated;
+  encapsulated.reserve(payload.size() + 4);
+  encapsulated.push_back(static_cast<uint8_t>(tunnel_id_ & 0xFF));
+  encapsulated.push_back(static_cast<uint8_t>((tunnel_id_ >> 8) & 0xFF));
+  encapsulated.push_back(static_cast<uint8_t>((tunnel_id_ >> 16) & 0xFF));
+  encapsulated.push_back(static_cast<uint8_t>((tunnel_id_ >> 24) & 0xFF));
+  encapsulated.insert(encapsulated.end(), payload.begin(), payload.end());
+  underlying_->Send(std::move(encapsulated));
+}
+
+}  // namespace androne

@@ -1,0 +1,81 @@
+// Simulated unidirectional datagram channel over a link model, plus the
+// per-container VPN tunnel AnDrone wraps all remote access in (paper §4):
+// flight-controller protocols were never designed for the open Internet, so
+// every container's traffic is tunneled and encrypted.
+#ifndef SRC_NET_CHANNEL_H_
+#define SRC_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/net/link_model.h"
+#include "src/util/histogram.h"
+#include "src/util/sim_clock.h"
+
+namespace androne {
+
+class NetworkChannel {
+ public:
+  using Receiver = std::function<void(const std::vector<uint8_t>&)>;
+
+  NetworkChannel(SimClock* clock, const LinkModel* link, uint64_t seed);
+
+  void SetReceiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  // Sends one datagram; it is delivered to the receiver after a sampled
+  // latency, or silently dropped on sampled loss.
+  void Send(std::vector<uint8_t> payload);
+
+  uint64_t sent() const { return sent_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t lost() const { return lost_; }
+  // One-way latency of delivered datagrams, microseconds.
+  const Histogram& latency_us() const { return latency_us_; }
+
+ private:
+  SimClock* clock_;
+  const LinkModel* link_;
+  Rng rng_;
+  Receiver receiver_;
+  uint64_t sent_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t lost_ = 0;
+  Histogram latency_us_{10, 8};
+};
+
+// A bidirectional pair of channels between two parties over one link model.
+struct DuplexChannel {
+  DuplexChannel(SimClock* clock, const LinkModel* link, uint64_t seed)
+      : a_to_b(clock, link, seed), b_to_a(clock, link, seed + 0x9e37) {}
+
+  NetworkChannel a_to_b;
+  NetworkChannel b_to_a;
+};
+
+// Per-container VPN tunnel: encapsulates payloads with an authenticated
+// header and adds crypto/encap latency. Receivers reject datagrams whose
+// tunnel id does not match (cross-tenant traffic cannot be injected).
+class VpnTunnel {
+ public:
+  // |tunnel_id| is bound to the container the tunnel belongs to.
+  VpnTunnel(NetworkChannel* underlying, uint32_t tunnel_id);
+
+  using Receiver = std::function<void(const std::vector<uint8_t>&)>;
+  void SetReceiver(Receiver receiver);
+
+  void Send(const std::vector<uint8_t>& payload);
+
+  uint64_t rejected_datagrams() const { return rejected_; }
+
+ private:
+  NetworkChannel* underlying_;
+  uint32_t tunnel_id_;
+  Receiver receiver_;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace androne
+
+#endif  // SRC_NET_CHANNEL_H_

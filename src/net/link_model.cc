@@ -1,0 +1,36 @@
+#include "src/net/link_model.h"
+
+#include <algorithm>
+
+namespace androne {
+
+SimDuration CellularLteModel::SampleLatency(Rng& rng) const {
+  double ms = rng.Gaussian(kBaseMeanMs, kBaseStddevMs);
+  ms = std::max(35.0, ms);  // Physical floor: radio + core network.
+  if (rng.Bernoulli(kSpikeProbability)) {
+    // Handover or HARQ retransmission burst.
+    ms = std::max(ms, rng.Uniform(kSpikeMinMs, kSpikeMaxMs));
+  }
+  return static_cast<SimDuration>(ms * 1e6);
+}
+
+bool CellularLteModel::SampleLoss(Rng& rng) const {
+  return rng.Bernoulli(kLossProbability);
+}
+
+SimDuration RfRemoteModel::SampleLatency(Rng& rng) const {
+  // Frame-timing quantization across vendor protocols: 8-85 ms.
+  double ms = rng.Uniform(8.0, 85.0);
+  return static_cast<SimDuration>(ms * 1e6);
+}
+
+bool RfRemoteModel::SampleLoss(Rng& rng) const {
+  return rng.Bernoulli(1e-6);
+}
+
+SimDuration WiredModel::SampleLatency(Rng& rng) const {
+  double ms = std::max(0.2, rng.Gaussian(1.0, 0.2));
+  return static_cast<SimDuration>(ms * 1e6);
+}
+
+}  // namespace androne

@@ -1,0 +1,20 @@
+#include "src/rt/cyclictest.h"
+
+namespace androne {
+
+CyclictestResult RunCyclictest(PreemptionModel model, const LoadProfile& load,
+                               const CyclictestOptions& options) {
+  WakeLatencySampler sampler(model, load, options.seed);
+  CyclictestResult result;
+  result.loops = options.loops;
+  for (uint64_t i = 0; i < options.loops; ++i) {
+    int64_t latency_us = sampler.SampleWholeUs();
+    result.histogram.Record(latency_us);
+    if (static_cast<double>(latency_us) > kArdupilotFastLoopBudgetUs) {
+      ++result.missed_fast_loop_deadlines;
+    }
+  }
+  return result;
+}
+
+}  // namespace androne

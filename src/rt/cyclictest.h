@@ -1,0 +1,32 @@
+// cyclictest analog (paper §6.2): a maximum-RT-priority task with locked
+// memory wakes on a periodic timer and records wake-to-run latency.
+#ifndef SRC_RT_CYCLICTEST_H_
+#define SRC_RT_CYCLICTEST_H_
+
+#include <cstdint>
+
+#include "src/rt/kernel_model.h"
+#include "src/rt/load_profile.h"
+#include "src/util/histogram.h"
+
+namespace androne {
+
+struct CyclictestOptions {
+  uint64_t loops = 100'000'000;  // The paper runs 100 M loops.
+  uint64_t seed = 1;
+};
+
+struct CyclictestResult {
+  Histogram histogram{10, 8};   // Latency in whole microseconds.
+  uint64_t loops = 0;
+  // Wakes whose latency exceeded ArduPilot's 2500 us fast-loop budget.
+  uint64_t missed_fast_loop_deadlines = 0;
+};
+
+// Runs cyclictest under a stationary background load.
+CyclictestResult RunCyclictest(PreemptionModel model, const LoadProfile& load,
+                               const CyclictestOptions& options);
+
+}  // namespace androne
+
+#endif  // SRC_RT_CYCLICTEST_H_

@@ -1,0 +1,34 @@
+#include "src/rt/disk_queue.h"
+
+#include <utility>
+
+namespace androne {
+
+DiskQueue::DiskQueue(SimClock* clock, SimDuration service_time_per_op)
+    : clock_(clock), service_time_(service_time_per_op) {}
+
+void DiskQueue::Submit(DoneCallback done, double service_scale) {
+  queue_.push_back(Op{std::move(done), service_scale});
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void DiskQueue::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Op op = std::move(queue_.front());
+  queue_.pop_front();
+  auto service =
+      static_cast<SimDuration>(static_cast<double>(service_time_) * op.service_scale);
+  clock_->ScheduleAfter(service, [this, done = std::move(op.done)]() mutable {
+    ++completed_ops_;
+    done();
+    StartNext();
+  });
+}
+
+}  // namespace androne

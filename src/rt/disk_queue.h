@@ -1,0 +1,49 @@
+// FIFO storage-device queue model. The Raspberry Pi's microSD card is a
+// single-queue device: concurrent virtual drones' I/O serializes behind one
+// another, which is what produces the sub-linear (~2x at 3 instances) disk
+// slowdown in the paper's Figure 10.
+#ifndef SRC_RT_DISK_QUEUE_H_
+#define SRC_RT_DISK_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/util/sim_clock.h"
+
+namespace androne {
+
+class DiskQueue {
+ public:
+  using DoneCallback = std::function<void()>;
+
+  DiskQueue(SimClock* clock, SimDuration service_time_per_op);
+
+  // Enqueues one operation; |done| fires after queueing delay + service.
+  // |service_scale| stretches this op's service time (e.g. threaded-IRQ
+  // overhead on PREEMPT_RT kernels).
+  void Submit(DoneCallback done, double service_scale = 1.0);
+
+  // True if the device is serving or has queued operations.
+  bool busy() const { return busy_; }
+  size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+  uint64_t completed_ops() const { return completed_ops_; }
+
+ private:
+  struct Op {
+    DoneCallback done;
+    double service_scale;
+  };
+
+  void StartNext();
+
+  SimClock* clock_;
+  SimDuration service_time_;
+  std::deque<Op> queue_;
+  bool busy_ = false;
+  uint64_t completed_ops_ = 0;
+};
+
+}  // namespace androne
+
+#endif  // SRC_RT_DISK_QUEUE_H_

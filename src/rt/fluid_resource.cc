@@ -1,0 +1,122 @@
+#include "src/rt/fluid_resource.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace androne {
+
+namespace {
+// Work below this is considered complete (guards float drift).
+constexpr double kWorkEpsilon = 1e-9;
+}  // namespace
+
+FluidResource::FluidResource(SimClock* clock, double capacity)
+    : clock_(clock), capacity_(capacity) {}
+
+FluidResource::JobId FluidResource::Submit(double work, double demand,
+                                           DoneCallback done) {
+  JobId id = next_id_++;
+  if (work <= kWorkEpsilon) {
+    clock_->ScheduleAfter(0, std::move(done));
+    return id;
+  }
+  demand = std::max(demand, 1e-12);
+  jobs_[id] = Job{work, demand, 0.0, std::move(done)};
+  Reallocate();
+  return id;
+}
+
+void FluidResource::Cancel(JobId id) {
+  if (jobs_.erase(id) > 0) {
+    Reallocate();
+  }
+}
+
+double FluidResource::RateOf(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? 0.0 : it->second.rate;
+}
+
+void FluidResource::Reallocate() {
+  // 1. Drain progress accrued at the previous allocation.
+  double elapsed_s = ToSecondsF(clock_->now() - last_update_);
+  if (elapsed_s > 0) {
+    for (auto& [id, job] : jobs_) {
+      job.remaining_work =
+          std::max(0.0, job.remaining_work - job.rate * elapsed_s);
+    }
+  }
+  last_update_ = clock_->now();
+
+  // 2. Max-min fair allocation (water-filling): satisfy small demands fully,
+  // split the rest evenly.
+  std::vector<Job*> by_demand;
+  by_demand.reserve(jobs_.size());
+  for (auto& [id, job] : jobs_) {
+    by_demand.push_back(&job);
+  }
+  std::sort(by_demand.begin(), by_demand.end(),
+            [](const Job* a, const Job* b) { return a->demand < b->demand; });
+  double left = capacity_;
+  size_t remaining = by_demand.size();
+  for (Job* job : by_demand) {
+    double fair_share = left / static_cast<double>(remaining);
+    job->rate = std::min(job->demand, fair_share);
+    left -= job->rate;
+    --remaining;
+  }
+
+  // 3. Re-arm the next completion event.
+  if (pending_event_ != 0) {
+    clock_->Cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  double next_completion_s = -1.0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.rate <= 0) {
+      continue;
+    }
+    double t = job.remaining_work / job.rate;
+    if (next_completion_s < 0 || t < next_completion_s) {
+      next_completion_s = t;
+    }
+  }
+  if (next_completion_s >= 0) {
+    // Round up to whole nanoseconds so the event fires at-or-after true
+    // completion; firing early would leave un-drainable residual work.
+    auto delay = static_cast<SimDuration>(std::ceil(next_completion_s * 1e9));
+    pending_event_ =
+        clock_->ScheduleAfter(delay, [this] { OnCompletionEvent(); });
+  }
+}
+
+void FluidResource::OnCompletionEvent() {
+  pending_event_ = 0;
+  // Drain progress to now, then fire callbacks for every finished job.
+  double elapsed_s = ToSecondsF(clock_->now() - last_update_);
+  for (auto& [id, job] : jobs_) {
+    job.remaining_work =
+        std::max(0.0, job.remaining_work - job.rate * elapsed_s);
+  }
+  last_update_ = clock_->now();
+
+  std::vector<DoneCallback> finished;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    // A job is done when its residual is below what it processes in ~2 ns
+    // (guards against float drift across reallocation boundaries).
+    double epsilon = std::max(kWorkEpsilon, it->second.rate * 2e-9);
+    if (it->second.remaining_work <= epsilon) {
+      finished.push_back(std::move(it->second.done));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Reallocate();
+  for (auto& cb : finished) {
+    cb();
+  }
+}
+
+}  // namespace androne

@@ -1,0 +1,61 @@
+// Fluid-flow shared resource model with max-min fair (water-filling)
+// allocation. Models CPU time and memory bandwidth sharing among the
+// workloads of concurrently running virtual drones (paper §6.1, Figure 10):
+// each job demands up to |demand| units of a resource with fixed capacity;
+// when total demand exceeds capacity, allocation is max-min fair, the
+// behaviour of the Linux CFS scheduler and of a saturated memory controller.
+#ifndef SRC_RT_FLUID_RESOURCE_H_
+#define SRC_RT_FLUID_RESOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/util/sim_clock.h"
+
+namespace androne {
+
+class FluidResource {
+ public:
+  using JobId = uint64_t;
+  using DoneCallback = std::function<void()>;
+
+  FluidResource(SimClock* clock, double capacity);
+
+  // Starts a job that must process |work| units, drawing at most |demand|
+  // units/second. |done| fires on the SimClock when the work completes.
+  JobId Submit(double work, double demand, DoneCallback done);
+
+  // Cancels a running job (its callback never fires).
+  void Cancel(JobId id);
+
+  // Instantaneous allocation for a job (0 if finished/unknown).
+  double RateOf(JobId id) const;
+
+  double capacity() const { return capacity_; }
+  size_t active_jobs() const { return jobs_.size(); }
+
+ private:
+  struct Job {
+    double remaining_work;
+    double demand;
+    double rate = 0.0;
+    DoneCallback done;
+  };
+
+  // Drains progress since |last_update_|, recomputes the max-min fair
+  // allocation, and re-arms the next-completion event.
+  void Reallocate();
+  void OnCompletionEvent();
+
+  SimClock* clock_;
+  double capacity_;
+  JobId next_id_ = 1;
+  std::map<JobId, Job> jobs_;
+  SimTime last_update_ = 0;
+  EventId pending_event_ = 0;
+};
+
+}  // namespace androne
+
+#endif  // SRC_RT_FLUID_RESOURCE_H_

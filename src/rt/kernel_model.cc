@@ -1,0 +1,82 @@
+#include "src/rt/kernel_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace androne {
+
+const char* PreemptionModelName(PreemptionModel model) {
+  switch (model) {
+    case PreemptionModel::kPreempt:
+      return "PREEMPT";
+    case PreemptionModel::kPreemptRt:
+      return "PREEMPT_RT";
+  }
+  return "UNKNOWN";
+}
+
+LatencyModelParams DeriveLatencyParams(PreemptionModel model,
+                                       const LoadProfile& load) {
+  const double c = std::clamp(load.cpu_demand, 0.0, 1.0);
+  const double i = load.irq_rate_hz / 1000.0;  // kHz.
+  const double io = load.io_ops_per_sec;
+  const double v = std::clamp(load.vm_pressure, 0.0, 1.0);
+
+  LatencyModelParams p;
+  if (model == PreemptionModel::kPreempt) {
+    // Wake overhead grows with run-queue depth and IRQ servicing.
+    p.base_us = 15.0 + 5.0 * c + 0.1 * i;
+    p.jitter_us = 2.0 + 2.0 * c;
+    // Non-preemptible occupancy: irq-off regions scale with storage sync
+    // traffic and reclaim activity (stress's io/vm workers are the paper's
+    // worst case).
+    p.section_occupancy =
+        std::min(0.6, 0.02 + 0.05 * c + std::min(0.25, io / 10000.0) + 0.12 * v);
+    p.section_mean_us = 18.0 + 1.2 * i + 90.0 * v + io / 25.0;
+    p.section_cap_us = 12.0 * p.section_mean_us;  // Long irq-off bursts.
+    // Rare outliers: inline softirq storms under heavy network interrupts.
+    p.tail_probability = 6e-7;
+    p.tail_max_us = 1300.0 + i * (250.0 + 450.0 * v);
+  } else {
+    // PREEMPT_RT: threaded IRQs and sleeping spinlocks leave only short raw
+    // spinlock sections non-preemptible.
+    p.base_us = 9.0 + 2.5 * c + 0.08 * i;
+    p.jitter_us = 1.0 + 1.0 * c;
+    p.section_occupancy = 0.005 + 0.01 * c + 0.02 * v;
+    p.section_mean_us = 10.0 + 0.5 * i + 20.0 * v;
+    p.section_cap_us = 3.5 * p.section_mean_us + 50.0;  // Bounded spinlocks.
+    p.tail_probability = 8e-7;
+    p.tail_max_us = 90.0 + i * (8.0 + 6.0 * v);
+  }
+  return p;
+}
+
+WakeLatencySampler::WakeLatencySampler(PreemptionModel model,
+                                       const LoadProfile& load, uint64_t seed)
+    : params_(DeriveLatencyParams(model, load)), rng_(seed) {}
+
+double WakeLatencySampler::SampleUs() {
+  double latency = rng_.Gaussian(params_.base_us, params_.jitter_us);
+  latency = std::max(2.0, latency);
+  if (rng_.Bernoulli(params_.section_occupancy)) {
+    // Remaining length of the section the wake landed in. Sections are
+    // memoryless (exponential) but physically bounded, so the residual is
+    // a capped exponential.
+    latency += std::min(rng_.Exponential(params_.section_mean_us),
+                        params_.section_cap_us);
+  }
+  if (rng_.Bernoulli(params_.tail_probability)) {
+    // An outlier event (softirq storm) dominates whatever else happened in
+    // that wake rather than stacking on it.
+    latency = std::max(latency,
+                       rng_.Uniform(0.5, 1.0) * params_.tail_max_us +
+                           params_.base_us);
+  }
+  return latency;
+}
+
+int64_t WakeLatencySampler::SampleWholeUs() {
+  return static_cast<int64_t>(std::ceil(SampleUs()));
+}
+
+}  // namespace androne

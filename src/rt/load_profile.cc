@@ -1,0 +1,55 @@
+#include "src/rt/load_profile.h"
+
+#include <algorithm>
+
+namespace androne {
+
+LoadProfile LoadProfile::operator+(const LoadProfile& other) const {
+  return LoadProfile{
+      .cpu_demand = std::min(1.0, cpu_demand + other.cpu_demand),
+      .irq_rate_hz = irq_rate_hz + other.irq_rate_hz,
+      .io_ops_per_sec = io_ops_per_sec + other.io_ops_per_sec,
+      .vm_pressure = std::min(1.0, vm_pressure + other.vm_pressure),
+  };
+}
+
+LoadProfile IdleLoad() {
+  return LoadProfile{
+      .cpu_demand = 0.02,
+      .irq_rate_hz = 150.0,  // Timer ticks, background wakeups.
+      .io_ops_per_sec = 5.0,
+      .vm_pressure = 0.0,
+  };
+}
+
+LoadProfile PassmarkLoad() {
+  return LoadProfile{
+      .cpu_demand = 0.95,  // Multithreaded CPU test saturates all cores.
+      .irq_rate_hz = 600.0,
+      .io_ops_per_sec = 900.0,  // Disk benchmark phase.
+      .vm_pressure = 0.45,      // Memory benchmark phase.
+  };
+}
+
+LoadProfile IperfLoad() {
+  return LoadProfile{
+      .cpu_demand = 0.25,
+      // Gigabit line rate at ~1500 B frames with NAPI coalescing.
+      .irq_rate_hz = 18000.0,
+      .io_ops_per_sec = 0.0,
+      .vm_pressure = 0.05,
+  };
+}
+
+LoadProfile StressLoad() {
+  // stress -c 4 -i 2 -m 2 -d 2: saturates CPU, hammers sync()/disk, and
+  // churns anonymous memory, the paper's deliberately-worst-case load.
+  return LoadProfile{
+      .cpu_demand = 1.0,
+      .irq_rate_hz = 4000.0,
+      .io_ops_per_sec = 2500.0,
+      .vm_pressure = 0.9,
+  };
+}
+
+}  // namespace androne

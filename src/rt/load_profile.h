@@ -1,0 +1,42 @@
+// Workload load descriptors for the simulated kernel. The paper's evaluation
+// loads the system with PassMark instances, iperf network traffic, and the
+// `stress` generator; each maps to a LoadProfile that parameterizes the
+// kernel latency model and the shared-resource contention models.
+#ifndef SRC_RT_LOAD_PROFILE_H_
+#define SRC_RT_LOAD_PROFILE_H_
+
+namespace androne {
+
+// Aggregate load on the simulated drone computer. Values are rates/fractions
+// of the whole machine, not per-task.
+struct LoadProfile {
+  // Fraction of total CPU capacity demanded by runnable tasks [0, 1].
+  double cpu_demand = 0.0;
+  // Hardware interrupt rate (network RX/TX, storage completions), per sec.
+  double irq_rate_hz = 100.0;
+  // Filesystem/storage operations per second.
+  double io_ops_per_sec = 0.0;
+  // Memory subsystem pressure [0, 1]: page churn, reclaim, thrash.
+  double vm_pressure = 0.0;
+
+  // Combines two concurrent loads (saturating at full machine utilization).
+  LoadProfile operator+(const LoadProfile& other) const;
+};
+
+// Preset profiles matching the paper's §6.2 scenarios.
+
+// Otherwise-idle system: background daemons only.
+LoadProfile IdleLoad();
+
+// One PassMark instance: multithreaded CPU + disk + memory benchmark.
+LoadProfile PassmarkLoad();
+
+// iperf network throughput test over Gigabit Ethernet: IRQ-heavy.
+LoadProfile IperfLoad();
+
+// `stress` with 4 cpu + 2 io + 2 vm + 2 hdd worker processes.
+LoadProfile StressLoad();
+
+}  // namespace androne
+
+#endif  // SRC_RT_LOAD_PROFILE_H_

@@ -1,0 +1,99 @@
+#include "src/services/activity_manager.h"
+
+namespace androne {
+
+StatusOr<std::shared_ptr<ActivityManager>> ActivityManager::Install(
+    BinderProc* proc) {
+  auto manager = std::shared_ptr<ActivityManager>(new ActivityManager());
+  BinderHandle handle = proc->RegisterObject(manager);
+  RETURN_IF_ERROR(SmAddService(proc, kActivityManagerService, handle));
+  return manager;
+}
+
+Status ActivityManager::OnTransact(uint32_t code, const Parcel& data,
+                                   Parcel* reply,
+                                   const BinderCallContext& ctx) {
+  switch (code) {
+    case kAmCheckPermission: {
+      ASSIGN_OR_RETURN(std::string permission, data.ReadString());
+      ASSIGN_OR_RETURN(int32_t uid, data.ReadInt32());
+      (void)ctx;
+      reply->WriteBool(CheckPermission(permission, uid));
+      return OkStatus();
+    }
+    case kAmGrantPermission: {
+      ASSIGN_OR_RETURN(std::string permission, data.ReadString());
+      ASSIGN_OR_RETURN(int32_t uid, data.ReadInt32());
+      GrantPermission(uid, permission);
+      return OkStatus();
+    }
+    case kAmRevokePermission: {
+      ASSIGN_OR_RETURN(std::string permission, data.ReadString());
+      ASSIGN_OR_RETURN(int32_t uid, data.ReadInt32());
+      RevokePermission(uid, permission);
+      return OkStatus();
+    }
+    default:
+      return UnimplementedError("unknown ActivityManager code " +
+                                std::to_string(code));
+  }
+}
+
+void ActivityManager::GrantPermission(Uid uid, const std::string& permission) {
+  grants_[uid].insert(permission);
+}
+
+void ActivityManager::RevokePermission(Uid uid,
+                                       const std::string& permission) {
+  auto it = grants_.find(uid);
+  if (it != grants_.end()) {
+    it->second.erase(permission);
+  }
+}
+
+bool ActivityManager::CheckPermission(const std::string& permission,
+                                      Uid uid) const {
+  auto it = grants_.find(uid);
+  bool statically_granted =
+      it != grants_.end() && it->second.count(permission) > 0;
+  if (!statically_granted) {
+    return false;
+  }
+  // AnDrone device permissions additionally consult the VDC policy.
+  constexpr char kDevicePrefix[] = "androne.device.";
+  if (policy_ && permission.rfind(kDevicePrefix, 0) == 0) {
+    return policy_(permission, uid);
+  }
+  return true;
+}
+
+CrossContainerPermissionChecker::CrossContainerPermissionChecker(
+    BinderProc* service_proc, ContainerId trusted_container)
+    : service_proc_(service_proc), trusted_container_(trusted_container) {}
+
+bool CrossContainerPermissionChecker::Check(const std::string& permission,
+                                            const BinderCallContext& ctx) {
+  // Platform code in the device container itself is trusted, as is the
+  // (non-Android) flight container.
+  if (ctx.calling_container == service_proc_->container() ||
+      ctx.calling_container == trusted_container_) {
+    return true;
+  }
+  std::string am_name = std::string(kActivityManagerService) + "@" +
+                        std::to_string(ctx.calling_container);
+  auto am_handle = SmGetService(service_proc_, am_name);
+  if (!am_handle.ok()) {
+    return false;  // Unknown container: deny.
+  }
+  Parcel req;
+  req.WriteString(permission);
+  req.WriteInt32(ctx.calling_euid);
+  auto reply = service_proc_->Transact(*am_handle, kAmCheckPermission, req);
+  if (!reply.ok()) {
+    return false;
+  }
+  auto allowed = reply->ReadBool();
+  return allowed.ok() && *allowed;
+}
+
+}  // namespace androne

@@ -1,0 +1,83 @@
+// ActivityManager: Android's permission authority, one per (virtual drone)
+// container. AnDrone extends its checkPermission() so that device
+// permissions also consult the VDC's flight-state policy (paper §4.4): an
+// app holds a device permission only if its manifest requested it AND the
+// VDC currently allows that device for the container (waypoint reached,
+// allotments not exhausted, no higher-priority tenant active).
+#ifndef SRC_SERVICES_ACTIVITY_MANAGER_H_
+#define SRC_SERVICES_ACTIVITY_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/binder/binder_driver.h"
+#include "src/binder/service_manager.h"
+
+namespace androne {
+
+// Transaction codes.
+inline constexpr uint32_t kAmCheckPermission = 1;
+inline constexpr uint32_t kAmGrantPermission = 2;   // Host/test use.
+inline constexpr uint32_t kAmRevokePermission = 3;  // Host/test use.
+
+// VDC policy hook: consulted for androne.device.* permissions.
+using AndronePolicy =
+    std::function<bool(const std::string& permission, Uid uid)>;
+
+class ActivityManager : public BinderObject {
+ public:
+  // Creates the AM in |proc| and registers it with the container's
+  // ServiceManager under "activity" (which, in a virtual drone container,
+  // also forwards it to the device container via PUBLISH_TO_DEV_CON).
+  static StatusOr<std::shared_ptr<ActivityManager>> Install(BinderProc* proc);
+
+  Status OnTransact(uint32_t code, const Parcel& data, Parcel* reply,
+                    const BinderCallContext& ctx) override;
+  std::string descriptor() const override { return "ActivityManager"; }
+
+  // Install-time grant (what the package requested in its manifest).
+  void GrantPermission(Uid uid, const std::string& permission);
+  void RevokePermission(Uid uid, const std::string& permission);
+
+  // The VDC's dynamic device-access policy. Unset means "no extra policy".
+  void SetAndronePolicy(AndronePolicy policy) { policy_ = std::move(policy); }
+
+  // Core check (also reachable via Binder transaction kAmCheckPermission).
+  bool CheckPermission(const std::string& permission, Uid uid) const;
+
+ private:
+  ActivityManager() = default;
+
+  std::map<Uid, std::set<std::string>> grants_;
+  AndronePolicy policy_;
+};
+
+// The paper's modified native/Java checkPermission() used inside device
+// services: resolves "activity@<calling container>" via the *device
+// container's* ServiceManager and transacts the check there, so each
+// container's own ActivityManager (and through it the VDC) decides.
+class CrossContainerPermissionChecker {
+ public:
+  // |service_proc| is the device-service process (inside the device
+  // container). |trusted_container| (e.g. the flight container, which runs
+  // no Android and has no AM) is always allowed; pass -1 for none.
+  CrossContainerPermissionChecker(BinderProc* service_proc,
+                                  ContainerId trusted_container = -1);
+
+  // True if the caller holds |permission|. Callers inside the device
+  // container itself are trusted (they are AnDrone platform code).
+  bool Check(const std::string& permission, const BinderCallContext& ctx);
+
+  void set_trusted_container(ContainerId id) { trusted_container_ = id; }
+
+ private:
+  BinderProc* service_proc_;
+  ContainerId trusted_container_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_SERVICES_ACTIVITY_MANAGER_H_

@@ -1,0 +1,33 @@
+#include "src/services/app.h"
+
+namespace androne {
+
+void AndroidApp::Create(BinderProc* proc, Container* container) {
+  proc_ = proc;
+  container_ = container;
+  auto saved = container_->ReadFile(SavedStatePath());
+  if (saved.ok()) {
+    auto state = ParseJson(*saved);
+    if (state.ok()) {
+      OnRestoreInstanceState(*state);
+    }
+  }
+  created_ = true;
+  OnCreate();
+}
+
+void AndroidApp::SaveInstanceState() {
+  if (container_ == nullptr) {
+    return;
+  }
+  container_->WriteFile(SavedStatePath(), OnSaveInstanceState().Dump());
+}
+
+void AndroidApp::Destroy() {
+  if (created_) {
+    OnDestroy();
+    created_ = false;
+  }
+}
+
+}  // namespace androne

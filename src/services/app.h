@@ -1,0 +1,62 @@
+// Android app model with the activity-lifecycle hooks AnDrone relies on for
+// virtual drone save/restore (paper §4.4): instead of checkpoint-based
+// migration, apps persist their state via onSaveInstanceState() into the
+// container's writable layer, which travels with the image to the VDR and
+// to other physical drones.
+#ifndef SRC_SERVICES_APP_H_
+#define SRC_SERVICES_APP_H_
+
+#include <string>
+
+#include "src/binder/binder_driver.h"
+#include "src/container/container.h"
+#include "src/util/json.h"
+
+namespace androne {
+
+class AndroidApp {
+ public:
+  AndroidApp(std::string package, Uid uid)
+      : package_(std::move(package)), uid_(uid) {}
+  virtual ~AndroidApp() = default;
+
+  const std::string& package() const { return package_; }
+  Uid uid() const { return uid_; }
+  bool created() const { return created_; }
+
+  // Binds the app to its process and container, restores any saved state
+  // from a previous flight, then calls OnCreate().
+  void Create(BinderProc* proc, Container* container);
+
+  // Drives onSaveInstanceState() and persists the state JSON into the
+  // container filesystem (so a Commit() captures it).
+  void SaveInstanceState();
+
+  // Calls OnDestroy(); the app is expected to have saved state already.
+  void Destroy();
+
+  // Path of the persisted state inside the container.
+  std::string SavedStatePath() const {
+    return "/data/data/" + package_ + "/saved_state.json";
+  }
+
+ protected:
+  virtual void OnCreate() {}
+  virtual JsonValue OnSaveInstanceState() { return JsonValue(JsonObject{}); }
+  virtual void OnRestoreInstanceState(const JsonValue& state) { (void)state; }
+  virtual void OnDestroy() {}
+
+  BinderProc* proc() const { return proc_; }
+  Container* container() const { return container_; }
+
+ private:
+  std::string package_;
+  Uid uid_;
+  BinderProc* proc_ = nullptr;
+  Container* container_ = nullptr;
+  bool created_ = false;
+};
+
+}  // namespace androne
+
+#endif  // SRC_SERVICES_APP_H_

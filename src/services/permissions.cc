@@ -1,0 +1,29 @@
+#include "src/services/permissions.h"
+
+namespace androne {
+
+std::optional<std::string> DeviceToPermission(const std::string& device) {
+  if (device == kDeviceCamera) {
+    return kPermCamera;
+  }
+  if (device == kDeviceGps) {
+    return kPermGps;
+  }
+  if (device == kDeviceSensors) {
+    return kPermSensors;
+  }
+  if (device == kDeviceMicrophone) {
+    return kPermMicrophone;
+  }
+  if (device == kDeviceFlightControl) {
+    return kPermFlightControl;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> KnownDevices() {
+  return {kDeviceCamera, kDeviceGps, kDeviceSensors, kDeviceMicrophone,
+          kDeviceFlightControl};
+}
+
+}  // namespace androne

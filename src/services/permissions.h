@@ -1,0 +1,36 @@
+// AnDrone device permission vocabulary. Virtual drone definitions name
+// devices ("camera", "gps", ...); apps request them in AnDrone manifests;
+// the VDC grants/revokes them per waypoint. Each device maps to an Android
+// permission string checked through the (cross-container) ActivityManager.
+#ifndef SRC_SERVICES_PERMISSIONS_H_
+#define SRC_SERVICES_PERMISSIONS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace androne {
+
+inline constexpr char kPermCamera[] = "androne.device.camera";
+inline constexpr char kPermGps[] = "androne.device.gps";
+inline constexpr char kPermSensors[] = "androne.device.sensors";
+inline constexpr char kPermMicrophone[] = "androne.device.microphone";
+inline constexpr char kPermFlightControl[] = "androne.device.flight-control";
+
+// Device names as they appear in virtual drone definitions (paper Fig. 2).
+inline constexpr char kDeviceCamera[] = "camera";
+inline constexpr char kDeviceGps[] = "gps";
+inline constexpr char kDeviceSensors[] = "sensors";
+inline constexpr char kDeviceMicrophone[] = "microphone";
+inline constexpr char kDeviceFlightControl[] = "flight-control";
+
+// Maps a definition/manifest device name to its permission string; nullopt
+// for unknown devices.
+std::optional<std::string> DeviceToPermission(const std::string& device);
+
+// All devices a definition may name.
+std::vector<std::string> KnownDevices();
+
+}  // namespace androne
+
+#endif  // SRC_SERVICES_PERMISSIONS_H_

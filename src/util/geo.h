@@ -1,0 +1,61 @@
+// Geodesy helpers. Virtual drone waypoints and geofences are specified as
+// latitude/longitude/altitude (paper §3); flight control operates on local
+// NED (north-east-down) coordinates around a home position.
+#ifndef SRC_UTIL_GEO_H_
+#define SRC_UTIL_GEO_H_
+
+#include <string>
+
+namespace androne {
+
+// WGS-84 mean Earth radius, meters — sufficient for the sub-kilometer
+// geofences AnDrone uses.
+inline constexpr double kEarthRadiusM = 6371000.0;
+inline constexpr double kDegToRad = 0.017453292519943295;
+inline constexpr double kRadToDeg = 57.29577951308232;
+
+// A geodetic position. Altitude is meters above the home/takeoff plane.
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+  double altitude_m = 0.0;
+
+  std::string ToString() const;
+
+  friend bool operator==(const GeoPoint& a, const GeoPoint& b) = default;
+};
+
+// A position in the local north-east-down frame, meters.
+struct NedPoint {
+  double north_m = 0.0;
+  double east_m = 0.0;
+  double down_m = 0.0;
+
+  friend bool operator==(const NedPoint& a, const NedPoint& b) = default;
+};
+
+// Great-circle ground distance in meters (haversine), ignoring altitude.
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b);
+
+// Full 3-D separation: sqrt(ground^2 + dAlt^2).
+double Distance3dMeters(const GeoPoint& a, const GeoPoint& b);
+
+// Initial great-circle bearing from |from| to |to|, degrees in [0, 360).
+double BearingDeg(const GeoPoint& from, const GeoPoint& to);
+
+// Converts |p| to NED coordinates relative to |origin| (small-angle local
+// tangent plane approximation; fine for <10 km extents).
+NedPoint ToNed(const GeoPoint& origin, const GeoPoint& p);
+
+// Inverse of ToNed.
+GeoPoint FromNed(const GeoPoint& origin, const NedPoint& ned);
+
+// Moves from |from| toward |to| by |distance_m| along the ground track,
+// interpolating altitude proportionally. If |distance_m| exceeds the
+// separation, returns |to|.
+GeoPoint MoveToward(const GeoPoint& from, const GeoPoint& to,
+                    double distance_m);
+
+}  // namespace androne
+
+#endif  // SRC_UTIL_GEO_H_

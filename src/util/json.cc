@@ -1,0 +1,488 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace androne {
+
+JsonType JsonValue::type() const {
+  switch (value_.index()) {
+    case 0:
+      return JsonType::kNull;
+    case 1:
+      return JsonType::kBool;
+    case 2:
+      return JsonType::kNumber;
+    case 3:
+      return JsonType::kString;
+    case 4:
+      return JsonType::kArray;
+    case 5:
+      return JsonType::kObject;
+  }
+  return JsonType::kNull;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  const JsonObject& obj = AsObject();
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+double JsonValue::GetNumberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->AsDouble() : fallback;
+}
+
+int64_t JsonValue::GetIntOr(const std::string& key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->AsInt() : fallback;
+}
+
+std::string JsonValue::GetStringOr(const std::string& key,
+                                   std::string fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : fallback;
+}
+
+bool JsonValue::GetBoolOr(const std::string& key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_bool()) ? v->AsBool() : fallback;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendNumber(std::string& out, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  // Shortest representation that round-trips exactly.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+    if (std::strtod(buf, nullptr) == d) {
+      break;
+    }
+  }
+  out += buf;
+}
+
+void Indent(std::string& out, int n) { out.append(static_cast<size_t>(n) * 2, ' '); }
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string& out, int indent, bool pretty) const {
+  switch (type()) {
+    case JsonType::kNull:
+      out += "null";
+      return;
+    case JsonType::kBool:
+      out += AsBool() ? "true" : "false";
+      return;
+    case JsonType::kNumber:
+      AppendNumber(out, AsDouble());
+      return;
+    case JsonType::kString:
+      out += '"';
+      out += JsonEscape(AsString());
+      out += '"';
+      return;
+    case JsonType::kArray: {
+      const JsonArray& arr = AsArray();
+      if (arr.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const JsonValue& v : arr) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        if (pretty) {
+          out += '\n';
+          Indent(out, indent + 1);
+        }
+        v.DumpTo(out, indent + 1, pretty);
+      }
+      if (pretty) {
+        out += '\n';
+        Indent(out, indent);
+      }
+      out += ']';
+      return;
+    }
+    case JsonType::kObject: {
+      const JsonObject& obj = AsObject();
+      if (obj.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, v] : obj) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        if (pretty) {
+          out += '\n';
+          Indent(out, indent + 1);
+        }
+        out += '"';
+        out += JsonEscape(key);
+        out += pretty ? "\": " : "\":";
+        v.DumpTo(out, indent + 1, pretty);
+      }
+      if (pretty) {
+        out += '\n';
+        Indent(out, indent);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(out, 0, /*pretty=*/false);
+  return out;
+}
+
+std::string JsonValue::DumpPretty() const {
+  std::string out;
+  DumpTo(out, 0, /*pretty=*/true);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    RETURN_IF_ERROR(ParseValue(value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status Error(const std::string& what) const {
+    return InvalidArgumentError("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    return OkStatus();
+  }
+
+  Status ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        RETURN_IF_ERROR(ParseString(s));
+        out = JsonValue(std::move(s));
+        return OkStatus();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue(false), out);
+      case 'n':
+        return ParseLiteral("null", JsonValue(nullptr), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* lit, JsonValue value, JsonValue& out) {
+    size_t len = std::string(lit).size();
+    if (text_.compare(pos_, len, lit) != 0) {
+      return Error(std::string("invalid literal, expected ") + lit);
+    }
+    pos_ += len;
+    out = std::move(value);
+    return OkStatus();
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("invalid value");
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Error("invalid number '" + token + "'");
+    }
+    out = JsonValue(d);
+    return OkStatus();
+  }
+
+  Status ParseHex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) {
+      return Error("truncated \\u escape");
+    }
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    out = v;
+    return OkStatus();
+  }
+
+  static void AppendUtf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status ParseString(std::string& out) {
+    RETURN_IF_ERROR(Expect('"'));
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Error("unterminated string");
+      }
+      char c = text_[pos_++];
+      if (c == '"') {
+        return OkStatus();
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return Error("truncated escape");
+        }
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            unsigned cp = 0;
+            RETURN_IF_ERROR(ParseHex4(cp));
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // Surrogate pair.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("unpaired surrogate");
+              }
+              pos_ += 2;
+              unsigned lo = 0;
+              RETURN_IF_ERROR(ParseHex4(lo));
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return Error("invalid low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            }
+            AppendUtf8(out, cp);
+            break;
+          }
+          default:
+            return Error("invalid escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue& out, int depth) {
+    RETURN_IF_ERROR(Expect('['));
+    JsonArray arr;
+    SkipWhitespace();
+    if (Consume(']')) {
+      out = JsonValue(std::move(arr));
+      return OkStatus();
+    }
+    while (true) {
+      JsonValue v;
+      RETURN_IF_ERROR(ParseValue(v, depth + 1));
+      arr.push_back(std::move(v));
+      SkipWhitespace();
+      if (Consume(']')) {
+        out = JsonValue(std::move(arr));
+        return OkStatus();
+      }
+      RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Status ParseObject(JsonValue& out, int depth) {
+    RETURN_IF_ERROR(Expect('{'));
+    JsonObject obj;
+    SkipWhitespace();
+    if (Consume('}')) {
+      out = JsonValue(std::move(obj));
+      return OkStatus();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      RETURN_IF_ERROR(ParseString(key));
+      SkipWhitespace();
+      RETURN_IF_ERROR(Expect(':'));
+      JsonValue v;
+      RETURN_IF_ERROR(ParseValue(v, depth + 1));
+      obj[std::move(key)] = std::move(v);
+      SkipWhitespace();
+      if (Consume('}')) {
+        out = JsonValue(std::move(obj));
+        return OkStatus();
+      }
+      RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace androne

@@ -1,0 +1,93 @@
+// A self-contained JSON value model, parser, and serializer. AnDrone virtual
+// drone definitions (paper §3, Figure 2) are JSON documents, so the core
+// library carries its own parser rather than depending on a third-party one.
+#ifndef SRC_UTIL_JSON_H_
+#define SRC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace androne {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+// std::map keeps key order deterministic for serialization and tests.
+using JsonObject = std::map<std::string, JsonValue>;
+
+enum class JsonType { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}      // NOLINT: implicit
+  JsonValue(bool b) : value_(b) {}                    // NOLINT: implicit
+  JsonValue(double d) : value_(d) {}                  // NOLINT: implicit
+  JsonValue(int i) : value_(static_cast<double>(i)) {}          // NOLINT
+  JsonValue(int64_t i) : value_(static_cast<double>(i)) {}      // NOLINT
+  JsonValue(const char* s) : value_(std::string(s)) {}          // NOLINT
+  JsonValue(std::string s) : value_(std::move(s)) {}            // NOLINT
+  JsonValue(JsonArray a) : value_(std::move(a)) {}              // NOLINT
+  JsonValue(JsonObject o) : value_(std::move(o)) {}             // NOLINT
+
+  JsonType type() const;
+
+  bool is_null() const { return type() == JsonType::kNull; }
+  bool is_bool() const { return type() == JsonType::kBool; }
+  bool is_number() const { return type() == JsonType::kNumber; }
+  bool is_string() const { return type() == JsonType::kString; }
+  bool is_array() const { return type() == JsonType::kArray; }
+  bool is_object() const { return type() == JsonType::kObject; }
+
+  // Typed accessors; abort on type mismatch (check type first).
+  bool AsBool() const { return std::get<bool>(value_); }
+  double AsDouble() const { return std::get<double>(value_); }
+  int64_t AsInt() const { return static_cast<int64_t>(std::get<double>(value_)); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+  const JsonArray& AsArray() const { return std::get<JsonArray>(value_); }
+  JsonArray& AsArray() { return std::get<JsonArray>(value_); }
+  const JsonObject& AsObject() const { return std::get<JsonObject>(value_); }
+  JsonObject& AsObject() { return std::get<JsonObject>(value_); }
+
+  // Object lookup: returns nullptr when this is not an object or the key is
+  // absent, letting callers chain lookups without pre-checks.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Convenience typed lookups with defaults for optional fields.
+  double GetNumberOr(const std::string& key, double fallback) const;
+  int64_t GetIntOr(const std::string& key, int64_t fallback) const;
+  std::string GetStringOr(const std::string& key, std::string fallback) const;
+  bool GetBoolOr(const std::string& key, bool fallback) const;
+
+  // Compact single-line serialization.
+  std::string Dump() const;
+  // Pretty-printed with 2-space indentation.
+  std::string DumpPretty() const;
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  void DumpTo(std::string& out, int indent, bool pretty) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+// Parses a complete JSON document. Trailing garbage is an error.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+// Escapes a string per JSON rules (used by the serializer; exposed for tests).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace androne
+
+#endif  // SRC_UTIL_JSON_H_

@@ -1,0 +1,63 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace androne {
+
+namespace {
+
+std::mutex g_log_mutex;
+LogLevel g_min_level = LogLevel::kInfo;
+LogSink g_sink;  // Empty -> default stderr sink.
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+void SetMinLogLevel(LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_min_level = level;
+}
+
+LogLevel GetMinLogLevel() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  return g_min_level;
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_sink = std::move(sink);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* tag)
+    : level_(level), tag_(tag) {}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (g_sink) {
+    g_sink(level_, tag_, stream_.str());
+    return;
+  }
+  std::fprintf(stderr, "%s/%s: %s\n", LogLevelName(level_), tag_,
+               stream_.str().c_str());
+}
+
+}  // namespace internal
+
+}  // namespace androne

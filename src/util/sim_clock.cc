@@ -1,0 +1,61 @@
+#include "src/util/sim_clock.h"
+
+#include <utility>
+
+namespace androne {
+
+EventId SimClock::ScheduleAt(SimTime when, Callback cb) {
+  if (when < now_) {
+    when = now_;
+  }
+  EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(cb)});
+  live_.insert(id);
+  return id;
+}
+
+EventId SimClock::ScheduleAfter(SimDuration delay, Callback cb) {
+  return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+}
+
+bool SimClock::Cancel(EventId id) { return live_.erase(id) > 0; }
+
+void SimClock::PopAndRun() {
+  Event ev = queue_.top();
+  queue_.pop();
+  if (live_.erase(ev.id) == 0) {
+    return;  // Cancelled; skip silently.
+  }
+  now_ = ev.when;
+  ev.cb();
+}
+
+bool SimClock::RunNext() {
+  while (!queue_.empty()) {
+    bool is_live = live_.count(queue_.top().id) > 0;
+    PopAndRun();
+    if (is_live) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimClock::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    PopAndRun();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+void SimClock::RunAll(uint64_t max_events) {
+  uint64_t ran = 0;
+  while (!queue_.empty() && ran < max_events) {
+    PopAndRun();
+    ++ran;
+  }
+}
+
+}  // namespace androne

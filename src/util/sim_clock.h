@@ -1,0 +1,87 @@
+// SimClock: the deterministic discrete-event engine at the heart of the
+// AnDrone simulation substrates. The real-time kernel scheduler, the flight
+// physics, and the network link models all schedule callbacks on one shared
+// SimClock so an entire multi-virtual-drone flight is reproducible and runs
+// orders of magnitude faster than wall-clock time.
+#ifndef SRC_UTIL_SIM_CLOCK_H_
+#define SRC_UTIL_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace androne {
+
+// Identifies a scheduled event so it can be cancelled.
+using EventId = uint64_t;
+
+class SimClock {
+ public:
+  using Callback = std::function<void()>;
+
+  SimClock() = default;
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules |cb| to run at absolute simulated time |when| (clamped to now).
+  EventId ScheduleAt(SimTime when, Callback cb);
+
+  // Schedules |cb| to run |delay| after the current simulated time.
+  EventId ScheduleAfter(SimDuration delay, Callback cb);
+
+  // Cancels a pending event. Returns false if it already ran or is unknown.
+  bool Cancel(EventId id);
+
+  // Runs the single earliest pending event, advancing the clock to its
+  // deadline. Returns false if no events are pending.
+  bool RunNext();
+
+  // Runs all events with deadline <= |until|, then advances the clock to
+  // |until| even if the queue drains early.
+  void RunUntil(SimTime until);
+
+  // Runs the simulation forward by |duration|.
+  void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
+
+  // Drains every pending event (events may schedule more events). The
+  // |max_events| guard protects against runaway self-rescheduling loops.
+  void RunAll(uint64_t max_events = 100'000'000);
+
+  bool empty() const { return live_.empty(); }
+  size_t pending_events() const { return live_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;  // Tie-break on insertion order for FIFO among equal times.
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  // Pops and runs the earliest non-cancelled event. Precondition: !empty().
+  void PopAndRun();
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Ids scheduled but not yet run or cancelled. Cancellation is lazy: the
+  // queue entry stays until popped, but its id is removed from live_.
+  std::unordered_set<EventId> live_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_UTIL_SIM_CLOCK_H_

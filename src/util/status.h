@@ -1,0 +1,154 @@
+// Status and StatusOr: the error-reporting vocabulary used across the AnDrone
+// codebase. Modeled on the absl/gRPC canonical error space so call sites read
+// familiarly: functions that can fail return Status (or StatusOr<T> when they
+// also produce a value) instead of throwing.
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace androne {
+
+enum class StatusCode {
+  kOk = 0,
+  kCancelled,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kOutOfRange,
+  kUnavailable,
+  kDeadlineExceeded,
+  kAborted,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name for a StatusCode ("OK", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight success-or-error result. Copyable, cheap when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such container".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors mirroring the canonical error space.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status AbortedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// Holds either a value of type T or an error Status. Access to value() when
+// !ok() aborts, so callers must check first (or use value_or semantics via
+// the optional accessor).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT: implicit
+  StatusOr(T value)                                        // NOLINT: implicit
+      : status_(OkStatus()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadStatusAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::CheckOk() const {
+  if (!status_.ok()) {
+    internal::DieOnBadStatusAccess(status_);
+  }
+}
+
+// Propagates errors up the call stack:
+//   RETURN_IF_ERROR(DoThing());
+#define RETURN_IF_ERROR(expr)                     \
+  do {                                            \
+    ::androne::Status _status = (expr);           \
+    if (!_status.ok()) {                          \
+      return _status;                             \
+    }                                             \
+  } while (0)
+
+// Unwraps a StatusOr into a local or propagates the error:
+//   ASSIGN_OR_RETURN(auto image, store.Get(name));
+#define ASSIGN_OR_RETURN(lhs, expr)               \
+  ASSIGN_OR_RETURN_IMPL_(                         \
+      ANDRONE_STATUS_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)    \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) {                                \
+    return tmp.status();                          \
+  }                                               \
+  lhs = std::move(tmp).value()
+
+#define ANDRONE_STATUS_CONCAT_INNER_(a, b) a##b
+#define ANDRONE_STATUS_CONCAT_(a, b) ANDRONE_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace androne
+
+#endif  // SRC_UTIL_STATUS_H_

@@ -1,0 +1,107 @@
+#include "src/core/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace androne {
+namespace {
+
+class CliFixture : public ::testing::Test {
+ protected:
+  CliFixture() {
+    definition_.id = "vd-1";
+    definition_.waypoints = {WaypointSpec{{43.6084298, -85.8110359, 15}, 30},
+                             WaypointSpec{{43.6076409, -85.8154457, 15}, 20}};
+    definition_.waypoint_devices = {"camera", "flight-control"};
+    definition_.continuous_devices = {"gps"};
+
+    AndroneSdk::Hooks hooks;
+    hooks.waypoint_completed = [this] { ++completed_calls_; };
+    hooks.allotted_energy_left = [] { return 12345.0; };
+    hooks.allotted_time_left = [] { return 321.0; };
+    hooks.flight_controller_ip = [] { return std::string("10.77.0.1:5760"); };
+    hooks.mark_file_for_user = [this](const std::string& path) -> Status {
+      if (path == "/missing") {
+        return NotFoundError("no such file");
+      }
+      marked_.push_back(path);
+      return OkStatus();
+    };
+    sdk_ = std::make_unique<AndroneSdk>(std::move(hooks));
+    shell_ = std::make_unique<AndroneShell>(sdk_.get(), &definition_);
+  }
+
+  VirtualDroneDefinition definition_;
+  std::unique_ptr<AndroneSdk> sdk_;
+  std::unique_ptr<AndroneShell> shell_;
+  int completed_calls_ = 0;
+  std::vector<std::string> marked_;
+};
+
+TEST_F(CliFixture, HelpAndUnknown) {
+  EXPECT_NE(shell_->Execute("help").find("energy-left"), std::string::npos);
+  EXPECT_NE(shell_->Execute("").find("commands:"), std::string::npos);
+  EXPECT_NE(shell_->Execute("warp").find("unknown command"),
+            std::string::npos);
+}
+
+TEST_F(CliFixture, AllotmentQueries) {
+  EXPECT_EQ(shell_->Execute("energy-left"), "12345 J");
+  EXPECT_EQ(shell_->Execute("time-left"), "321 s");
+  EXPECT_EQ(shell_->Execute("fc-address"), "10.77.0.1:5760");
+}
+
+TEST_F(CliFixture, DevicesAndWaypointsListings) {
+  std::string devices = shell_->Execute("devices");
+  EXPECT_NE(devices.find("camera (waypoint)"), std::string::npos);
+  EXPECT_NE(devices.find("gps (continuous)"), std::string::npos);
+  std::string waypoints = shell_->Execute("waypoints");
+  EXPECT_NE(waypoints.find("0: (43.6084298"), std::string::npos);
+  EXPECT_NE(waypoints.find("r=20m"), std::string::npos);
+}
+
+TEST_F(CliFixture, StatusTracksSdkEvents) {
+  EXPECT_EQ(shell_->Execute("status"), "in-transit");
+  sdk_->NotifyWaypointActive(definition_.waypoints[0]);
+  EXPECT_EQ(shell_->Execute("status"), "at-waypoint");
+  sdk_->NotifyGeofenceBreached();
+  EXPECT_EQ(shell_->Execute("status"), "at-waypoint fence-recovery");
+  sdk_->NotifyWaypointActive(definition_.waypoints[0]);  // Recovery.
+  EXPECT_EQ(shell_->Execute("status"), "at-waypoint");
+  sdk_->NotifyWaypointInactive(definition_.waypoints[0]);
+  sdk_->NotifySuspendContinuousDevices();
+  EXPECT_EQ(shell_->Execute("status"), "in-transit suspended");
+  sdk_->NotifyResumeContinuousDevices();
+  EXPECT_EQ(shell_->Execute("status"), "in-transit");
+}
+
+TEST_F(CliFixture, CompleteOnlyAtWaypoint) {
+  EXPECT_EQ(shell_->Execute("complete"), "error: not at a waypoint");
+  EXPECT_EQ(completed_calls_, 0);
+  sdk_->NotifyWaypointActive(definition_.waypoints[0]);
+  EXPECT_EQ(shell_->Execute("complete"), "waypoint completed");
+  EXPECT_EQ(completed_calls_, 1);
+}
+
+TEST_F(CliFixture, MarkFile) {
+  EXPECT_EQ(shell_->Execute("mark-file"), "usage: mark-file <path>");
+  EXPECT_EQ(shell_->Execute("mark-file /data/video.mp4"),
+            "marked /data/video.mp4");
+  ASSERT_EQ(marked_.size(), 1u);
+  EXPECT_NE(shell_->Execute("mark-file /missing").find("NOT_FOUND"),
+            std::string::npos);
+}
+
+TEST_F(CliFixture, EventsLogAndTail) {
+  EXPECT_EQ(shell_->Execute("events"), "no events");
+  sdk_->NotifyWaypointActive(definition_.waypoints[0]);
+  sdk_->NotifyLowEnergy(9000);
+  sdk_->NotifyLowTime(120);
+  std::string all = shell_->Execute("events");
+  EXPECT_NE(all.find("waypoint-active"), std::string::npos);
+  EXPECT_NE(all.find("low-energy 9000J"), std::string::npos);
+  std::string tail = shell_->Execute("events 1");
+  EXPECT_EQ(tail, "low-time 120s\n");
+}
+
+}  // namespace
+}  // namespace androne

@@ -1,0 +1,214 @@
+// Coverage for remaining behaviour: manual RC flight (Stabilize/AltHold),
+// VFC telemetry during the landing animation, fluid-model conservation
+// properties, and VDC error paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/drone.h"
+#include "src/flight/sitl.h"
+#include "src/mavproxy/mavproxy.h"
+#include "src/rt/fluid_resource.h"
+
+namespace androne {
+namespace {
+
+const GeoPoint kBase{43.6084298, -85.8110359, 0};
+
+// ------------------------------------------------- Manual (RC) flight.
+
+TEST(ManualFlightTest, StabilizeRespondsToRcSticks) {
+  SimClock clock;
+  SitlDrone drone(&clock, kBase, 91);
+  clock.RunFor(Seconds(2));
+  // Take off in guided, then hand the sticks over in stabilize.
+  drone.SetModeCmd(CopterMode::kGuided);
+  drone.ArmCmd();
+  drone.TakeoffCmd(15.0);
+  ASSERT_TRUE(drone.RunUntil(
+      [&] { return drone.physics().truth().position.altitude_m > 14.0; },
+      Seconds(60)));
+  drone.SetModeCmd(CopterMode::kStabilize);
+
+  // Pitch stick forward (nose down = fly north) with hover throttle.
+  RcChannelsOverride rc;
+  rc.chan[0] = 1500;  // Roll centered.
+  rc.chan[1] = 1300;  // Pitch forward.
+  rc.chan[2] = 1500;  // Mid throttle ~ hover.
+  rc.chan[3] = 1500;  // Yaw centered.
+  drone.controller().HandleFrame(PackMessage(MavMessage{rc}));
+  GeoPoint start = drone.physics().truth().position;
+  clock.RunFor(Seconds(8));
+  NedPoint moved = ToNed(start, drone.physics().truth().position);
+  EXPECT_GT(moved.north_m, 5.0);  // Flew forward.
+  EXPECT_LT(std::fabs(moved.east_m), 6.0);
+
+  // Centering the stick levels out.
+  rc.chan[1] = 1500;
+  drone.controller().HandleFrame(PackMessage(MavMessage{rc}));
+  clock.RunFor(Seconds(5));
+  EXPECT_LT(std::fabs(drone.physics().truth().pitch_rad), 0.08);
+}
+
+TEST(ManualFlightTest, AltHoldMaintainsAltitudeHandsOff) {
+  SimClock clock;
+  SitlDrone drone(&clock, kBase, 92);
+  clock.RunFor(Seconds(2));
+  drone.SetModeCmd(CopterMode::kGuided);
+  drone.ArmCmd();
+  drone.TakeoffCmd(12.0);
+  ASSERT_TRUE(drone.RunUntil(
+      [&] { return drone.physics().truth().position.altitude_m > 11.0; },
+      Seconds(60)));
+  drone.SetModeCmd(CopterMode::kAltHold);
+  RcChannelsOverride rc;  // All centered: hold.
+  rc.chan[0] = rc.chan[1] = rc.chan[2] = rc.chan[3] = 1500;
+  drone.controller().HandleFrame(PackMessage(MavMessage{rc}));
+  clock.RunFor(Seconds(15));
+  EXPECT_NEAR(drone.physics().truth().position.altitude_m, 12.0, 2.5);
+
+  // Raising the throttle stick climbs.
+  rc.chan[2] = 1800;
+  drone.controller().HandleFrame(PackMessage(MavMessage{rc}));
+  clock.RunFor(Seconds(6));
+  EXPECT_GT(drone.physics().truth().position.altitude_m, 13.5);
+}
+
+// ---------------------------------------------- VFC landing animation.
+
+TEST(VfcViewTest, LandingAnimationDescendsToGround) {
+  SimClock clock;
+  SitlDrone drone(&clock, kBase, 93);
+  MavProxy proxy(&clock);
+  proxy.SetMasterSink([&](const MavlinkFrame& f) {
+    drone.controller().HandleFrame(f);
+  });
+  drone.controller().SetSender([&](const MavlinkFrame& f) {
+    proxy.HandleMasterFrame(f);
+  });
+  auto* vfc = proxy.CreateVfc(
+      1, CommandWhitelist::FromTemplate(WhitelistTemplate::kStandard), false);
+  std::vector<GlobalPositionInt> views;
+  vfc->SetClientSink([&](const MavlinkFrame& f) {
+    auto m = UnpackMessage(f);
+    if (m.ok() && std::holds_alternative<GlobalPositionInt>(*m)) {
+      views.push_back(std::get<GlobalPositionInt>(*m));
+    }
+  });
+  vfc->SetAssignedWaypoint(GeoPoint{kBase.latitude_deg, kBase.longitude_deg,
+                                    15});
+  clock.RunFor(Seconds(2));
+  drone.SetModeCmd(CopterMode::kGuided);
+  drone.ArmCmd();
+  drone.TakeoffCmd(15.0);
+  ASSERT_TRUE(drone.RunUntil(
+      [&] { return drone.physics().truth().position.altitude_m > 14.0; },
+      Seconds(60)));
+  vfc->GrantControl();
+  clock.RunFor(Seconds(2));
+  vfc->RevokeControl();
+  ASSERT_EQ(vfc->state(), VfcState::kLanding);
+  views.clear();
+  clock.RunFor(Seconds(3));
+  ASSERT_GE(views.size(), 2u);
+  // Altitude decreases monotonically toward the ground while the real
+  // drone stays at 15 m.
+  EXPECT_GT(views.front().relative_alt, views.back().relative_alt);
+  EXPECT_GT(drone.physics().truth().position.altitude_m, 13.0);
+  clock.RunFor(Seconds(10));
+  EXPECT_EQ(views.back().vz >= 0, true);  // Descending or settled.
+}
+
+// -------------------------------------------------- Fluid properties.
+
+TEST(FluidPropertyTest, WorkConservation) {
+  // Total throughput never exceeds capacity and completes exactly the
+  // submitted work: finish time of the last job >= total_work / capacity.
+  SimClock clock;
+  FluidResource res(&clock, 3.0);
+  double total_work = 0;
+  Rng rng(5);
+  double last_finish = 0;
+  int remaining = 12;
+  for (int i = 0; i < 12; ++i) {
+    double work = rng.Uniform(1.0, 10.0);
+    total_work += work;
+    res.Submit(work, rng.Uniform(0.5, 4.0), [&] {
+      last_finish = ToSecondsF(clock.now());
+      --remaining;
+    });
+  }
+  clock.RunAll();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_GE(last_finish + 1e-6, total_work / 3.0);
+}
+
+TEST(FluidPropertyTest, IdenticalJobsFinishTogether) {
+  SimClock clock;
+  FluidResource res(&clock, 2.0);
+  std::vector<double> finishes;
+  for (int i = 0; i < 5; ++i) {
+    res.Submit(10.0, 2.0, [&] { finishes.push_back(ToSecondsF(clock.now())); });
+  }
+  clock.RunAll();
+  ASSERT_EQ(finishes.size(), 5u);
+  for (double f : finishes) {
+    EXPECT_NEAR(f, finishes[0], 1e-6);
+  }
+  // 5 jobs x 10 units at capacity 2 = 25 s.
+  EXPECT_NEAR(finishes[0], 25.0, 1e-6);
+}
+
+// ----------------------------------------------------- VDC error paths.
+
+TEST(VdcErrorTest, MiscErrorPaths) {
+  SimClock clock;
+  AnDroneOptions options;
+  options.base = kBase;
+  AnDroneSystem system(&clock, options);
+  ASSERT_TRUE(system.Boot().ok());
+
+  // Unknown ids everywhere.
+  EXPECT_FALSE(system.vdc().Find("ghost").ok());
+  EXPECT_FALSE(system.vdc().NotifyWaypointReached("ghost", 0).ok());
+  EXPECT_FALSE(
+      system.vdc().NotifyWaypointLeft("ghost", TenancyEndReason::kCompleted)
+          .ok());
+  EXPECT_FALSE(system.vdc().StoreToVdr("ghost", true).ok());
+  EXPECT_FALSE(system.vdc().OffloadFiles("ghost").ok());
+  EXPECT_FALSE(system.vdc().Teardown("ghost").ok());
+  EXPECT_FALSE(system.vdc().AllowsFlightControl("ghost"));
+  EXPECT_FALSE(system.vdc().AllowsDevicePermission(999, "androne.device.gps"));
+
+  // Deployment validation.
+  VirtualDroneDefinition bad;
+  bad.id = "";  // Missing id.
+  bad.waypoints = {WaypointSpec{kBase, 30}};
+  EXPECT_FALSE(system.Deploy(bad).ok());
+
+  // Accounting with no active tenant is a no-op that reports "continue".
+  EXPECT_TRUE(system.vdc().AccountActiveTenant(Seconds(5)));
+
+  // Waypoint index out of range.
+  VirtualDroneDefinition ok_def;
+  ok_def.id = "ok";
+  ok_def.owner = "o";
+  ok_def.waypoints = {WaypointSpec{kBase, 30}};
+  ok_def.max_duration_s = 60;
+  ok_def.energy_allotted_j = 1000;
+  ok_def.waypoint_devices = {"gps"};
+  ASSERT_TRUE(system.Deploy(ok_def).ok());
+  EXPECT_EQ(system.vdc().NotifyWaypointReached("ok", 5).code(),
+            StatusCode::kOutOfRange);
+  // Leaving without arriving.
+  EXPECT_EQ(system.vdc()
+                .NotifyWaypointLeft("ok", TenancyEndReason::kCompleted)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Teardown works and is final.
+  EXPECT_TRUE(system.vdc().Teardown("ok").ok());
+  EXPECT_FALSE(system.vdc().Find("ok").ok());
+}
+
+}  // namespace
+}  // namespace androne

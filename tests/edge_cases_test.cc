@@ -1,0 +1,294 @@
+// Edge cases and adversarial property tests across modules: altitude
+// geofence breaches, executor corner paths, Binder isolation under random
+// operation sequences, and layered-image algebra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/binder/service_manager.h"
+#include "src/cloud/energy_model.h"
+#include "src/cloud/flight_planner.h"
+#include "src/container/image_store.h"
+#include "src/core/drone.h"
+#include "src/flight/sitl.h"
+
+namespace androne {
+namespace {
+
+const GeoPoint kBase{43.6084298, -85.8110359, 0};
+
+// ----------------------------------------------- Altitude geofence breach.
+
+TEST(GeofenceAltitudeTest, ClimbingPastMaxAltitudeRecovers) {
+  SimClock clock;
+  SitlDrone drone(&clock, kBase, 61);
+  clock.RunFor(Seconds(2));
+  drone.SetModeCmd(CopterMode::kGuided);
+  drone.ArmCmd();
+  drone.TakeoffCmd(15.0);
+  ASSERT_TRUE(drone.RunUntil(
+      [&] { return drone.physics().truth().position.altitude_m > 14.0; },
+      Seconds(60)));
+  GeofenceConfig fence;
+  fence.enabled = true;
+  fence.center = drone.physics().truth().position;
+  fence.radius_m = 200.0;       // Wide horizontally...
+  fence.max_altitude_m = 25.0;  // ...but capped vertically.
+  drone.controller().SetGeofence(fence);
+  bool breached = false, recovered = false;
+  drone.controller().SetFenceCallbacks([&] { breached = true; },
+                                       [&] { recovered = true; });
+  // Climb to 60 m: only the altitude limit is violated.
+  drone.GotoCmd(FromNed(fence.center, NedPoint{0, 0, -45}));
+  ASSERT_TRUE(drone.RunUntil([&] { return breached; }, Seconds(120)));
+  ASSERT_TRUE(drone.RunUntil([&] { return recovered; }, Seconds(120)));
+  clock.RunFor(Seconds(5));
+  EXPECT_LT(drone.physics().truth().position.altitude_m,
+            fence.max_altitude_m + 2.0);
+  EXPECT_EQ(drone.controller().mode(), CopterMode::kLoiter);
+}
+
+// ------------------------------------------------------ Executor corners.
+
+const char kNoopManifest[] = R"(
+<androne-manifest package="com.example.noop">
+  <uses-permission name="gps" type="waypoint"/>
+</androne-manifest>)";
+
+class NoopApp : public AndroneApp {
+ public:
+  NoopApp() : AndroneApp("com.example.noop", 0) {}
+  // Never calls waypointCompleted(): exercises the no-control dwell limit.
+};
+
+TEST(ExecutorTest, NoControlTenantDwellsThenMovesOn) {
+  SimClock clock;
+  AnDroneOptions options;
+  options.base = kBase;
+  options.no_control_dwell_s = 8.0;
+  AnDroneSystem system(&clock, options);
+  ASSERT_TRUE(system.Boot().ok());
+  system.vdc().RegisterAppFactory(
+      "com.example.noop", [] { return std::make_unique<NoopApp>(); },
+      kNoopManifest);
+
+  VirtualDroneDefinition def;
+  def.id = "noop";
+  def.owner = "zoe";
+  def.waypoints = {WaypointSpec{FromNed(kBase, NedPoint{40, 0, -15}), 30}};
+  def.max_duration_s = 500;
+  def.energy_allotted_j = 90000;
+  def.waypoint_devices = {"gps"};  // No flight control.
+  def.apps = {"com.example.noop"};
+  ASSERT_TRUE(system.Deploy(def).ok());
+
+  PlannerJob job;
+  job.vdrone_ref = "noop";
+  job.waypoint = def.waypoints[0].point;
+  job.service_time_s = 8;
+  job.service_energy_j = 2000;
+  EnergyModel energy;
+  PlannerConfig pc;
+  pc.depot = kBase;
+  pc.annealing_iterations = 500;
+  FlightPlanner planner(energy, pc);
+  auto plan = planner.Plan({job});
+  ASSERT_TRUE(plan.ok());
+  SimTime start = clock.now();
+  auto report = system.ExecuteRoute(plan->routes[0], {job});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->completed);
+  // Dwell was bounded by the configured limit, not the 500 s allotment.
+  EXPECT_LT(ToSecondsF(clock.now() - start), 120.0);
+}
+
+TEST(ExecutorTest, ExhaustedTenantWaypointsAreSkipped) {
+  SimClock clock;
+  AnDroneOptions options;
+  options.base = kBase;
+  AnDroneSystem system(&clock, options);
+  ASSERT_TRUE(system.Boot().ok());
+
+  VirtualDroneDefinition def;
+  def.id = "tiny";
+  def.owner = "bob";
+  def.waypoints = {WaypointSpec{FromNed(kBase, NedPoint{40, 0, -15}), 30},
+                   WaypointSpec{FromNed(kBase, NedPoint{80, 0, -15}), 30}};
+  def.max_duration_s = 6;  // Exhausts during the first tenancy.
+  def.energy_allotted_j = 90000;
+  def.waypoint_devices = {"camera", "flight-control"};
+  ASSERT_TRUE(system.Deploy(def, WhitelistTemplate::kFull).ok());
+
+  std::vector<PlannerJob> jobs;
+  for (int i = 0; i < 2; ++i) {
+    PlannerJob job;
+    job.vdrone_ref = "tiny";
+    job.waypoint_index = i;
+    job.waypoint = def.waypoints[static_cast<size_t>(i)].point;
+    job.service_time_s = 6;
+    job.service_energy_j = 1000;
+    jobs.push_back(job);
+  }
+  EnergyModel energy;
+  PlannerConfig pc;
+  pc.depot = kBase;
+  pc.annealing_iterations = 500;
+  FlightPlanner planner(energy, pc);
+  auto plan = planner.Plan(jobs);
+  ASSERT_TRUE(plan.ok());
+  auto report = system.ExecuteRoute(plan->routes[0], jobs);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Only the first waypoint was served; the second was skipped because the
+  // tenant exhausted its time there.
+  bool skipped = false;
+  for (const std::string& event : report->events) {
+    skipped |= event.find("skipping waypoint") != std::string::npos;
+  }
+  EXPECT_TRUE(skipped);
+  auto vd = system.vdc().Find("tiny");
+  ASSERT_TRUE(vd.ok());
+  EXPECT_TRUE((*vd)->exhausted);
+}
+
+// -------------------------------------------- Binder isolation fuzzing.
+
+class EchoService : public BinderObject {
+ public:
+  Status OnTransact(uint32_t code, const Parcel& data, Parcel* reply,
+                    const BinderCallContext& ctx) override {
+    (void)code;
+    (void)data;
+    (void)ctx;
+    reply->WriteInt32(1);
+    return OkStatus();
+  }
+};
+
+class BinderFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: across random operation sequences, a process never reaches a
+// service registered in another container's namespace (unless published by
+// the device container), and forged handles never resolve.
+TEST_P(BinderFuzzTest, IsolationHoldsUnderRandomOperations) {
+  Rng rng(GetParam());
+  BinderDriver driver;
+  constexpr int kContainers = 3;
+  std::vector<BinderProc*> sm_procs;
+  std::vector<std::vector<BinderProc*>> procs(kContainers);
+  Pid next_pid = 1;
+  for (int c = 0; c < kContainers; ++c) {
+    BinderProc* sm = driver.CreateProcess(next_pid++, 1000, c + 1);
+    ASSERT_TRUE(ServiceManager::Install(sm).ok());
+    sm_procs.push_back(sm);
+    for (int p = 0; p < 3; ++p) {
+      procs[static_cast<size_t>(c)].push_back(
+          driver.CreateProcess(next_pid++, 10000 + next_pid, c + 1));
+    }
+  }
+  // Each container registers a private service named after itself.
+  for (int c = 0; c < kContainers; ++c) {
+    BinderProc* owner = procs[static_cast<size_t>(c)][0];
+    BinderHandle handle = owner->RegisterObject(std::make_shared<EchoService>());
+    ASSERT_TRUE(
+        SmAddService(owner, "svc" + std::to_string(c), handle).ok());
+  }
+
+  for (int step = 0; step < 2000; ++step) {
+    int c = static_cast<int>(rng.NextU64Below(kContainers));
+    BinderProc* proc = procs[static_cast<size_t>(c)][rng.NextU64Below(3)];
+    switch (rng.NextU64Below(3)) {
+      case 0: {
+        // Own-container lookup must succeed; foreign must fail.
+        int target = static_cast<int>(rng.NextU64Below(kContainers));
+        auto handle = SmGetService(proc, "svc" + std::to_string(target));
+        if (target == c) {
+          EXPECT_TRUE(handle.ok());
+        } else {
+          EXPECT_FALSE(handle.ok()) << "container " << c << " reached svc"
+                                    << target;
+        }
+        break;
+      }
+      case 1: {
+        // Forged handle numbers never resolve to anything usable.
+        BinderHandle forged =
+            static_cast<BinderHandle>(1 + rng.NextU64Below(64));
+        Parcel req;
+        auto reply = proc->Transact(forged, 1, req);
+        if (reply.ok()) {
+          // It may only succeed if this process legitimately owns the
+          // handle (it got it via a prior GetService).
+          auto legit = SmGetService(proc, "svc" + std::to_string(c));
+          ASSERT_TRUE(legit.ok());
+          EXPECT_EQ(forged, *legit);
+        }
+        break;
+      }
+      default: {
+        // Legitimate use keeps working.
+        auto handle = SmGetService(proc, "svc" + std::to_string(c));
+        ASSERT_TRUE(handle.ok());
+        Parcel req;
+        EXPECT_TRUE(proc->Transact(*handle, 1, req).ok());
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinderFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ------------------------------------------------ Image store algebra.
+
+class ImageAlgebraTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: flattening layer-by-layer incrementally equals flattening the
+// whole stack, and committing a diff then flattening equals applying the
+// diff to the flattened base.
+TEST_P(ImageAlgebraTest, FlattenIsFoldOfLayers) {
+  Rng rng(GetParam());
+  ImageStore store;
+  std::vector<LayerId> layers;
+  std::map<std::string, std::string> expected;
+  int n_layers = 1 + static_cast<int>(rng.NextU64Below(6));
+  for (int l = 0; l < n_layers; ++l) {
+    LayerFiles files;
+    int n_files = 1 + static_cast<int>(rng.NextU64Below(8));
+    for (int f = 0; f < n_files; ++f) {
+      std::string path = "/f" + std::to_string(rng.NextU64Below(12));
+      bool tombstone = rng.Bernoulli(0.25);
+      std::string content = tombstone ? "" : "v" + std::to_string(l);
+      files[path] = LayerFile{content, tombstone};
+    }
+    // Fold into the reference model.
+    for (const auto& [path, file] : files) {
+      if (file.tombstone) {
+        expected.erase(path);
+      } else {
+        expected[path] = file.content;
+      }
+    }
+    layers.push_back(store.AddLayer(std::move(files)));
+  }
+  auto image = store.CreateImage("img", layers);
+  ASSERT_TRUE(image.ok());
+  auto view = store.Flatten(*image);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(*view, expected);
+
+  // Export/import preserves the flattened view exactly.
+  auto bytes = store.Export(*image);
+  ASSERT_TRUE(bytes.ok());
+  ImageStore other;
+  auto imported = other.Import(*bytes);
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(other.Flatten(*imported).value(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImageAlgebraTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace androne

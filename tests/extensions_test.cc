@@ -1,0 +1,344 @@
+// Tests for extension features: MAVLink camera trigger and yaw commands,
+// speaker playback through AudioFlinger, and multi-drone fleet execution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cloud/energy_model.h"
+#include "src/cloud/flight_planner.h"
+#include "src/core/drone.h"
+#include "src/flight/sitl.h"
+#include "src/services/device_services.h"
+#include "src/hw/gimbal.h"
+#include "src/services/permissions.h"
+
+namespace androne {
+namespace {
+
+const GeoPoint kBase{43.6084298, -85.8110359, 0};
+
+// ----------------------------------------------- MAVLink extras (flight).
+
+TEST(MavCommandTest, ConditionYawTurnsTheDrone) {
+  SimClock clock;
+  SitlDrone drone(&clock, kBase, 71);
+  clock.RunFor(Seconds(2));
+  drone.SetModeCmd(CopterMode::kGuided);
+  drone.ArmCmd();
+  drone.TakeoffCmd(10.0);
+  ASSERT_TRUE(drone.RunUntil(
+      [&] { return drone.physics().truth().position.altitude_m > 9.0; },
+      Seconds(60)));
+  CommandLong yaw;
+  yaw.command = static_cast<uint16_t>(MavCmd::kConditionYaw);
+  yaw.param1 = 90.0f;  // Face east.
+  drone.controller().HandleFrame(PackMessage(MavMessage{yaw}));
+  ASSERT_TRUE(drone.RunUntil(
+      [&] {
+        return std::fabs(drone.physics().truth().yaw_rad - M_PI / 2) < 0.1;
+      },
+      Seconds(30)));
+}
+
+TEST(MavCommandTest, DigicamControlWithoutTriggerUnsupported) {
+  SimClock clock;
+  SitlDrone drone(&clock, kBase, 72);
+  clock.RunFor(Seconds(2));
+  std::vector<CommandAck> acks;
+  drone.controller().SetSender([&](const MavlinkFrame& frame) {
+    auto message = UnpackMessage(frame);
+    if (message.ok() && std::holds_alternative<CommandAck>(*message)) {
+      acks.push_back(std::get<CommandAck>(*message));
+    }
+  });
+  CommandLong digicam;
+  digicam.command = static_cast<uint16_t>(MavCmd::kDoDigicamControl);
+  drone.controller().HandleFrame(PackMessage(MavMessage{digicam}));
+  ASSERT_FALSE(acks.empty());
+  EXPECT_EQ(acks.back().result, static_cast<uint8_t>(MavResult::kUnsupported));
+}
+
+TEST(MavCommandTest, DigicamControlCapturesThroughDeviceContainer) {
+  SimClock clock;
+  AnDroneOptions options;
+  options.base = kBase;
+  AnDroneSystem system(&clock, options);
+  ASSERT_TRUE(system.Boot().ok());
+  // The flight controller's shutter trigger is wired to the shared
+  // CameraService in the device container; a digicam command must ack
+  // accepted (the trusted flight container passes the permission check).
+  std::vector<CommandAck> acks;
+  system.flight().SetSender([&](const MavlinkFrame& frame) {
+    auto message = UnpackMessage(frame);
+    if (message.ok() && std::holds_alternative<CommandAck>(*message)) {
+      acks.push_back(std::get<CommandAck>(*message));
+    }
+  });
+  CommandLong digicam;
+  digicam.command = static_cast<uint16_t>(MavCmd::kDoDigicamControl);
+  system.flight().HandleFrame(PackMessage(MavMessage{digicam}));
+  ASSERT_FALSE(acks.empty());
+  EXPECT_EQ(acks.back().result, static_cast<uint8_t>(MavResult::kAccepted));
+}
+
+// ----------------------------------------------------------- Speaker.
+
+TEST(SpeakerTest, PlaybackThroughAudioFlinger) {
+  SimClock clock;
+  AnDroneOptions options;
+  options.base = kBase;
+  AnDroneSystem system(&clock, options);
+  ASSERT_TRUE(system.Boot().ok());
+
+  VirtualDroneDefinition def;
+  def.id = "siren";
+  def.owner = "ems";
+  def.waypoints = {WaypointSpec{FromNed(kBase, NedPoint{20, 0, -15}), 30}};
+  def.max_duration_s = 120;
+  def.energy_allotted_j = 45000;
+  def.waypoint_devices = {"microphone"};  // Audio grant.
+  auto vd = system.Deploy(def);
+  ASSERT_TRUE(vd.ok());
+  auto proc = system.runtime().SpawnProcess((*vd)->container->id(),
+                                            "com.ems.siren", 10070).value();
+  (*vd)->stack.activity_manager->GrantPermission(10070, kPermMicrophone);
+
+  auto audio = SmGetService(proc.binder, kAudioServiceName);
+  ASSERT_TRUE(audio.ok());
+  Parcel req;
+  req.WriteInt32(44100);
+  // Outside the waypoint: denied by VDC policy.
+  EXPECT_EQ(proc.binder->Transact(*audio, kAudioPlay, req).status().code(),
+            StatusCode::kPermissionDenied);
+  // At the waypoint: playback accepted.
+  ASSERT_TRUE(system.vdc().NotifyWaypointReached("siren", 0).ok());
+  req.ResetReadCursor();
+  auto reply = proc.binder->Transact(*audio, kAudioPlay, req);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->ReadInt32().value(), 44100);
+}
+
+// -------------------------------------------------------- Fleet flight.
+
+TEST(FleetTest, TwoDronesServeFourTenantsConcurrently) {
+  // One planner splits four tenant waypoints over a fleet of two; both
+  // physical drones fly their routes on the same simulated clock.
+  SimClock clock;
+  AnDroneOptions options_a;
+  options_a.base = kBase;
+  options_a.seed = 81;
+  AnDroneOptions options_b = options_a;
+  options_b.seed = 82;
+  AnDroneSystem drone_a(&clock, options_a);
+  AnDroneSystem drone_b(&clock, options_b);
+  ASSERT_TRUE(drone_a.Boot().ok());
+  ASSERT_TRUE(drone_b.Boot().ok());
+
+  // Four direct-access tenants, far apart pairwise so splitting pays off.
+  std::vector<PlannerJob> jobs;
+  std::vector<VirtualDroneDefinition> defs;
+  for (int i = 0; i < 4; ++i) {
+    VirtualDroneDefinition def;
+    def.id = "tenant-" + std::to_string(i);
+    def.owner = "user-" + std::to_string(i);
+    double north = (i < 2) ? 300.0 + 40 * i : -300.0 - 40 * i;
+    def.waypoints = {WaypointSpec{FromNed(kBase, NedPoint{north, 0, -15}),
+                                  30}};
+    def.max_duration_s = 12;  // Short dwells keep the test fast.
+    def.energy_allotted_j = 45000;
+    def.waypoint_devices = {"camera", "flight-control"};
+    defs.push_back(def);
+    PlannerJob job;
+    job.vdrone_id = i;
+    job.vdrone_ref = def.id;
+    job.waypoint = def.waypoints[0].point;
+    job.service_time_s = 12;
+    job.service_energy_j = 170.0 * 12;
+    jobs.push_back(job);
+  }
+
+  EnergyModel energy;
+  PlannerConfig pc;
+  pc.depot = kBase;
+  pc.fleet_size = 2;
+  pc.annealing_iterations = 4000;
+  FlightPlanner planner(energy, pc);
+  auto plan = planner.Plan(jobs);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->routes.size(), 2u);
+  EXPECT_FALSE(plan->routes[0].stops.empty());
+  EXPECT_FALSE(plan->routes[1].stops.empty());
+
+  // Deploy each tenant on the drone whose route serves it.
+  AnDroneSystem* drones[] = {&drone_a, &drone_b};
+  for (size_t r = 0; r < 2; ++r) {
+    for (const PlannedStop& stop : plan->routes[r].stops) {
+      ASSERT_TRUE(
+          drones[r]->Deploy(defs[stop.job_index], WhitelistTemplate::kFull)
+              .ok());
+    }
+  }
+
+  // Fly both routes. ExecuteRoute advances the *shared* clock, so the
+  // flights interleave in simulated time.
+  auto report_a = drone_a.ExecuteRoute(plan->routes[0], jobs);
+  auto report_b = drone_b.ExecuteRoute(plan->routes[1], jobs);
+  ASSERT_TRUE(report_a.ok()) << report_a.status();
+  ASSERT_TRUE(report_b.ok()) << report_b.status();
+  EXPECT_EQ(report_a->waypoints_visited + report_b->waypoints_visited, 4u);
+  EXPECT_FALSE(drone_a.flight().armed());
+  EXPECT_FALSE(drone_b.flight().armed());
+  // Fleet makespan beats a single drone doing everything: each route is
+  // well under the single-route time for all four (~>360 s).
+  EXPECT_LT(report_a->flight_time_s + report_b->flight_time_s, 2 * 360.0);
+}
+
+
+// ------------------------------------------------------------- Gimbal.
+
+TEST(GimbalTest, MountControlMovesTheGimbal) {
+  SimClock clock;
+  AnDroneOptions options;
+  options.base = kBase;
+  AnDroneSystem system(&clock, options);
+  ASSERT_TRUE(system.Boot().ok());
+  std::vector<CommandAck> acks;
+  system.flight().SetSender([&](const MavlinkFrame& frame) {
+    auto message = UnpackMessage(frame);
+    if (message.ok() && std::holds_alternative<CommandAck>(*message)) {
+      acks.push_back(std::get<CommandAck>(*message));
+    }
+  });
+  CommandLong mount;
+  mount.command = static_cast<uint16_t>(MavCmd::kDoMountControl);
+  mount.param1 = -45.0f;  // Pitch down for survey imagery.
+  mount.param3 = 90.0f;   // Yaw east.
+  system.flight().HandleFrame(PackMessage(MavMessage{mount}));
+  ASSERT_FALSE(acks.empty());
+  EXPECT_EQ(acks.back().result, static_cast<uint8_t>(MavResult::kAccepted));
+}
+
+TEST(GimbalTest, ClampsToMechanicalEnvelope) {
+  Gimbal gimbal;
+  ASSERT_TRUE(gimbal.Open(1).ok());
+  ASSERT_TRUE(gimbal.SetOrientation(1, -180, 90, -30).ok());
+  EXPECT_DOUBLE_EQ(gimbal.pitch_deg(), -90.0);  // Clamped.
+  EXPECT_DOUBLE_EQ(gimbal.roll_deg(), 45.0);    // Clamped.
+  EXPECT_DOUBLE_EQ(gimbal.yaw_deg(), 330.0);    // Normalized.
+  EXPECT_EQ(gimbal.SetOrientation(2, 0, 0, 0).code(),
+            StatusCode::kPermissionDenied);
+}
+
+// ----------------------------------------------------- APK installation.
+
+TEST(AppInstallTest, ApkLandsInTheContainerImage) {
+  SimClock clock;
+  AnDroneOptions options;
+  options.base = kBase;
+  AnDroneSystem system(&clock, options);
+  ASSERT_TRUE(system.Boot().ok());
+
+  AppStore store;
+  const char kManifest[] = R"(
+<androne-manifest package="com.example.payload">
+  <uses-permission name="camera" type="waypoint"/>
+</androne-manifest>)";
+  ASSERT_TRUE(store.Publish({"com.example.payload", kManifest,
+                             "dex-bytecode-payload"}).ok());
+  system.vdc().AttachAppStore(&store);
+  class PayloadApp : public AndroneApp {
+   public:
+    PayloadApp() : AndroneApp("com.example.payload", 0) {}
+  };
+  system.vdc().RegisterAppFactory(
+      "com.example.payload", [] { return std::make_unique<PayloadApp>(); },
+      kManifest);
+
+  VirtualDroneDefinition def;
+  def.id = "payload";
+  def.owner = "dev";
+  def.waypoints = {WaypointSpec{FromNed(kBase, NedPoint{20, 0, -15}), 30}};
+  def.max_duration_s = 60;
+  def.energy_allotted_j = 45000;
+  def.waypoint_devices = {"camera"};
+  def.apps = {"com.example.payload"};
+  auto vd = system.Deploy(def);
+  ASSERT_TRUE(vd.ok()) << vd.status();
+  // The APK is in the container filesystem...
+  EXPECT_EQ((*vd)->container->ReadFile("/data/app/com.example.payload.apk")
+                .value(),
+            "dex-bytecode-payload");
+  // ...and travels with the committed image into the VDR.
+  ASSERT_TRUE(system.vdc().StoreToVdr("payload", true).ok());
+  auto stored = system.vdr().Load("payload");
+  ASSERT_TRUE(stored.ok());
+  ImageStore other;
+  auto imported = other.Import(stored->image);
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(other.Flatten(*imported)->count("/data/app/com.example.payload.apk"),
+            1u);
+}
+
+// ------------------------------------------ Whitelist property sweep.
+
+class WhitelistSweepTest
+    : public ::testing::TestWithParam<WhitelistTemplate> {};
+
+// Properties that must hold for every template: arming never passes, and
+// more permissive templates allow a superset of less permissive ones.
+TEST_P(WhitelistSweepTest, ArmingNeverAllowed) {
+  auto wl = CommandWhitelist::FromTemplate(GetParam());
+  for (float p1 : {0.0f, 1.0f}) {
+    CommandLong arm;
+    arm.command = static_cast<uint16_t>(MavCmd::kComponentArmDisarm);
+    arm.param1 = p1;
+    EXPECT_FALSE(wl.Allows(MavMessage{arm}));
+  }
+}
+
+TEST_P(WhitelistSweepTest, TelemetryNeverAllowedAsCommand) {
+  auto wl = CommandWhitelist::FromTemplate(GetParam());
+  EXPECT_FALSE(wl.Allows(MavMessage{Heartbeat{}}));
+  EXPECT_FALSE(wl.Allows(MavMessage{Attitude{}}));
+  EXPECT_FALSE(wl.Allows(MavMessage{GlobalPositionInt{}}));
+  EXPECT_FALSE(wl.Allows(MavMessage{SysStatus{}}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Templates, WhitelistSweepTest,
+                         ::testing::Values(WhitelistTemplate::kGuidedOnly,
+                                           WhitelistTemplate::kStandard,
+                                           WhitelistTemplate::kFull));
+
+TEST(WhitelistHierarchyTest, TemplatesFormASupersetChain) {
+  auto guided = CommandWhitelist::FromTemplate(WhitelistTemplate::kGuidedOnly);
+  auto standard = CommandWhitelist::FromTemplate(WhitelistTemplate::kStandard);
+  auto full = CommandWhitelist::FromTemplate(WhitelistTemplate::kFull);
+  std::vector<MavMessage> probes;
+  probes.push_back(MavMessage{SetPositionTargetGlobalInt{}});
+  probes.push_back(MavMessage{RcChannelsOverride{}});
+  for (MavCmd cmd : {MavCmd::kDoChangeSpeed, MavCmd::kNavTakeoff,
+                     MavCmd::kNavLand, MavCmd::kConditionYaw,
+                     MavCmd::kDoDigicamControl, MavCmd::kDoMountControl,
+                     MavCmd::kNavReturnToLaunch}) {
+    CommandLong c;
+    c.command = static_cast<uint16_t>(cmd);
+    probes.push_back(MavMessage{c});
+  }
+  for (CopterMode mode : {CopterMode::kGuided, CopterMode::kLoiter,
+                          CopterMode::kStabilize, CopterMode::kRtl}) {
+    SetMode sm;
+    sm.custom_mode = static_cast<uint32_t>(mode);
+    probes.push_back(MavMessage{sm});
+  }
+  for (const MavMessage& probe : probes) {
+    if (guided.Allows(probe)) {
+      EXPECT_TRUE(standard.Allows(probe));
+    }
+    if (standard.Allows(probe)) {
+      EXPECT_TRUE(full.Allows(probe));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace androne

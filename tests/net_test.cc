@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "src/net/channel.h"
+#include "src/net/link_model.h"
+
+namespace androne {
+namespace {
+
+TEST(LinkModelTest, LteLatencyDistributionMatchesSec65) {
+  CellularLteModel lte;
+  Rng rng(2026);
+  Histogram ms_hist(10, 6);
+  uint64_t lost = 0;
+  const int n = 150000;  // The paper's ~150k command experiment scale.
+  for (int i = 0; i < n; ++i) {
+    if (lte.SampleLoss(rng)) {
+      ++lost;
+      continue;
+    }
+    ms_hist.Record(ToMillis(lte.SampleLatency(rng)));
+  }
+  EXPECT_NEAR(ms_hist.mean(), 70.0, 3.0);       // Paper: avg 70 ms.
+  EXPECT_LE(ms_hist.max(), 360);                 // Paper: max 356 ms.
+  EXPECT_GT(ms_hist.max(), 150);                 // Tail spikes exist.
+  EXPECT_NEAR(ms_hist.stddev(), 7.2, 3.5);       // Paper: stddev 7.2 ms.
+  EXPECT_GE(lost, 1u);                           // Paper: 6 packets lost.
+  EXPECT_LE(lost, 20u);
+}
+
+TEST(LinkModelTest, RfLatencyInHobbyRange) {
+  RfRemoteModel rf;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t ms = ToMillis(rf.SampleLatency(rng));
+    EXPECT_GE(ms, 8);
+    EXPECT_LE(ms, 85);
+  }
+}
+
+TEST(LinkModelTest, WiredIsFastAndLossless) {
+  WiredModel wired;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(ToMillis(wired.SampleLatency(rng)), 3);
+    EXPECT_FALSE(wired.SampleLoss(rng));
+  }
+}
+
+TEST(ChannelTest, DeliversAfterLatency) {
+  SimClock clock;
+  WiredModel wired;
+  NetworkChannel ch(&clock, &wired, 1);
+  std::vector<uint8_t> received;
+  ch.SetReceiver([&](const std::vector<uint8_t>& d) { received = d; });
+  ch.Send({1, 2, 3});
+  EXPECT_TRUE(received.empty());  // Not yet delivered.
+  clock.RunAll();
+  EXPECT_EQ(received, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(ch.delivered(), 1u);
+  EXPECT_GT(clock.now(), 0);
+}
+
+TEST(ChannelTest, CountsLosses) {
+  // A lossy link: use LTE with many sends and verify sent = delivered+lost.
+  SimClock clock;
+  CellularLteModel lte;
+  NetworkChannel ch(&clock, &lte, 3);
+  int received = 0;
+  ch.SetReceiver([&](const std::vector<uint8_t>&) { ++received; });
+  for (int i = 0; i < 50000; ++i) {
+    ch.Send({0});
+  }
+  clock.RunAll();
+  EXPECT_EQ(ch.sent(), 50000u);
+  EXPECT_EQ(ch.delivered() + ch.lost(), ch.sent());
+  EXPECT_EQ(static_cast<uint64_t>(received), ch.delivered());
+}
+
+TEST(ChannelTest, LatencyHistogramPopulated) {
+  SimClock clock;
+  CellularLteModel lte;
+  NetworkChannel ch(&clock, &lte, 5);
+  ch.SetReceiver([](const std::vector<uint8_t>&) {});
+  for (int i = 0; i < 1000; ++i) {
+    ch.Send({9});
+  }
+  clock.RunAll();
+  EXPECT_NEAR(ch.latency_us().mean(), 70000, 5000);
+}
+
+TEST(VpnTest, RoundTripThroughTunnel) {
+  SimClock clock;
+  WiredModel wired;
+  NetworkChannel ch(&clock, &wired, 1);
+  VpnTunnel tx(&ch, 42);
+  VpnTunnel rx(&ch, 42);  // Same tunnel id on the receive side.
+  std::vector<uint8_t> got;
+  rx.SetReceiver([&](const std::vector<uint8_t>& d) { got = d; });
+  tx.Send({7, 8, 9});
+  clock.RunAll();
+  EXPECT_EQ(got, (std::vector<uint8_t>{7, 8, 9}));
+  EXPECT_EQ(rx.rejected_datagrams(), 0u);
+}
+
+TEST(VpnTest, CrossTenantTrafficRejected) {
+  SimClock clock;
+  WiredModel wired;
+  NetworkChannel ch(&clock, &wired, 1);
+  VpnTunnel attacker(&ch, 666);
+  VpnTunnel victim(&ch, 42);
+  bool received = false;
+  victim.SetReceiver([&](const std::vector<uint8_t>&) { received = true; });
+  attacker.Send({0xde, 0xad});
+  clock.RunAll();
+  EXPECT_FALSE(received);
+  EXPECT_EQ(victim.rejected_datagrams(), 1u);
+}
+
+TEST(VpnTest, ShortDatagramRejected) {
+  SimClock clock;
+  WiredModel wired;
+  NetworkChannel ch(&clock, &wired, 1);
+  VpnTunnel rx(&ch, 42);
+  bool received = false;
+  rx.SetReceiver([&](const std::vector<uint8_t>&) { received = true; });
+  ch.Send({1, 2});  // Too short for a tunnel header.
+  clock.RunAll();
+  EXPECT_FALSE(received);
+  EXPECT_EQ(rx.rejected_datagrams(), 1u);
+}
+
+}  // namespace
+}  // namespace androne

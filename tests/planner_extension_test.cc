@@ -1,0 +1,192 @@
+// Tests for the flight planner's ordering/grouping extension — the paper's
+// stated future work ("providing a planner algorithm that can support
+// waypoint ordering and grouping").
+#include <gtest/gtest.h>
+
+#include "src/cloud/energy_model.h"
+#include "src/cloud/flight_planner.h"
+
+namespace androne {
+namespace {
+
+const GeoPoint kDepot{43.6084298, -85.8110359, 0};
+
+PlannerJob Job(int vdrone, int index, double north, double east,
+               bool ordered = false, bool grouped = false) {
+  PlannerJob job;
+  job.vdrone_id = vdrone;
+  job.vdrone_ref = "vd-" + std::to_string(vdrone);
+  job.waypoint_index = index;
+  job.waypoint = FromNed(kDepot, NedPoint{north, east, -15});
+  job.service_energy_j = 3000;
+  job.service_time_s = 20;
+  job.ordered = ordered;
+  job.grouped = grouped;
+  return job;
+}
+
+PlannerConfig Config(int fleet, uint64_t seed = 1) {
+  PlannerConfig config;
+  config.depot = kDepot;
+  config.fleet_size = fleet;
+  config.annealing_iterations = 8000;
+  config.seed = seed;
+  return config;
+}
+
+// Positions of a tenant's jobs within one plan, in visit order.
+std::vector<int> VisitOrder(const FlightPlan& plan,
+                            const std::vector<PlannerJob>& jobs, int vdrone) {
+  std::vector<int> indexes;
+  for (const PlannedRoute& route : plan.routes) {
+    for (const PlannedStop& stop : route.stops) {
+      if (jobs[stop.job_index].vdrone_id == vdrone) {
+        indexes.push_back(jobs[stop.job_index].waypoint_index);
+      }
+    }
+  }
+  return indexes;
+}
+
+TEST(PlannerExtensionTest, ViolationCounterDetectsOutOfOrder) {
+  std::vector<PlannerJob> jobs = {Job(1, 0, 100, 0, /*ordered=*/true),
+                                  Job(1, 1, 200, 0, /*ordered=*/true)};
+  // Route visiting index 1 before 0: one violation.
+  EXPECT_EQ(FlightPlanner::CountConstraintViolations(jobs, {{1, 0}}), 1);
+  EXPECT_EQ(FlightPlanner::CountConstraintViolations(jobs, {{0, 1}}), 0);
+}
+
+TEST(PlannerExtensionTest, ViolationCounterDetectsSplitRoutes) {
+  std::vector<PlannerJob> jobs = {Job(1, 0, 100, 0, /*ordered=*/true),
+                                  Job(1, 1, 200, 0, /*ordered=*/true)};
+  EXPECT_EQ(FlightPlanner::CountConstraintViolations(jobs, {{0}, {1}}), 1);
+}
+
+TEST(PlannerExtensionTest, ViolationCounterDetectsInterloper) {
+  std::vector<PlannerJob> jobs = {
+      Job(1, 0, 100, 0, false, /*grouped=*/true),
+      Job(2, 0, 150, 0),
+      Job(1, 1, 200, 0, false, /*grouped=*/true),
+  };
+  // Tenant 2 sits between tenant 1's grouped stops.
+  EXPECT_EQ(FlightPlanner::CountConstraintViolations(jobs, {{0, 1, 2}}), 1);
+  EXPECT_EQ(FlightPlanner::CountConstraintViolations(jobs, {{0, 2, 1}}), 0);
+  EXPECT_EQ(FlightPlanner::CountConstraintViolations(jobs, {{1, 0, 2}}), 0);
+}
+
+TEST(PlannerExtensionTest, OrderedTenantVisitedInIndexOrder) {
+  // Geometry tempts the planner to reverse: waypoint 1 is closer to the
+  // depot than waypoint 0.
+  std::vector<PlannerJob> jobs = {
+      Job(1, 0, 500, 0, /*ordered=*/true),
+      Job(1, 1, 100, 0, /*ordered=*/true),
+      Job(1, 2, 300, 0, /*ordered=*/true),
+  };
+  FlightPlanner planner((EnergyModel()), Config(1));
+  auto plan = planner.Plan(jobs);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->constraint_violations, 0);
+  EXPECT_EQ(VisitOrder(*plan, jobs, 1), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PlannerExtensionTest, UnorderedTenantMayBeReordered) {
+  // Same geometry without the flag: the planner should pick the shorter
+  // tour (visit the near waypoint first or last, not depot->far->near->mid).
+  std::vector<PlannerJob> jobs = {
+      Job(1, 0, 500, 0),
+      Job(1, 1, 100, 0),
+      Job(1, 2, 300, 0),
+  };
+  FlightPlanner planner((EnergyModel()), Config(1));
+  auto plan = planner.Plan(jobs);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(VisitOrder(*plan, jobs, 1), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PlannerExtensionTest, GroupedTenantNotInterleaved) {
+  // Tenant 2's waypoint lies exactly between tenant 1's pair, so the
+  // unconstrained optimum interleaves; grouping must prevent that.
+  std::vector<PlannerJob> jobs = {
+      Job(1, 0, 100, 0, false, /*grouped=*/true),
+      Job(1, 1, 300, 0, false, /*grouped=*/true),
+      Job(2, 0, 200, 0),
+  };
+  FlightPlanner planner((EnergyModel()), Config(1));
+  auto plan = planner.Plan(jobs);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->constraint_violations, 0);
+  // Verify tenant 1's stops are adjacent in the single route.
+  const PlannedRoute& route = plan->routes[0];
+  ASSERT_EQ(route.stops.size(), 3u);
+  int first = -1, last = -1;
+  for (size_t pos = 0; pos < route.stops.size(); ++pos) {
+    if (jobs[route.stops[pos].job_index].vdrone_id == 1) {
+      if (first < 0) {
+        first = static_cast<int>(pos);
+      }
+      last = static_cast<int>(pos);
+    }
+  }
+  EXPECT_EQ(last - first, 1);
+}
+
+TEST(PlannerExtensionTest, UnconstrainedInterleavesWhenShorter) {
+  // The faithful baseline behaviour (paper §4 limitation): with no flags,
+  // the middle waypoint is visited between the outer pair.
+  std::vector<PlannerJob> jobs = {
+      Job(1, 0, 100, 0),
+      Job(1, 1, 300, 0),
+      Job(2, 0, 200, 0),
+  };
+  FlightPlanner planner((EnergyModel()), Config(1));
+  auto plan = planner.Plan(jobs);
+  ASSERT_TRUE(plan.ok());
+  const PlannedRoute& route = plan->routes[0];
+  std::vector<int> tenants;
+  for (const PlannedStop& stop : route.stops) {
+    tenants.push_back(jobs[stop.job_index].vdrone_id);
+  }
+  EXPECT_EQ(tenants, (std::vector<int>{1, 2, 1}));
+}
+
+class OrderedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: across seeds and random geometries, plans returned with
+// ordering constraints never violate them.
+TEST_P(OrderedSweepTest, PlansNeverViolateConstraints) {
+  Rng rng(GetParam());
+  std::vector<PlannerJob> jobs;
+  int tenants = 2 + static_cast<int>(rng.NextU64Below(3));
+  for (int t = 0; t < tenants; ++t) {
+    int waypoints = 1 + static_cast<int>(rng.NextU64Below(3));
+    bool ordered = rng.Bernoulli(0.6);
+    bool grouped = rng.Bernoulli(0.4);
+    for (int w = 0; w < waypoints; ++w) {
+      jobs.push_back(Job(t, w, rng.Uniform(-400, 400), rng.Uniform(-400, 400),
+                         ordered, grouped));
+    }
+  }
+  FlightPlanner planner((EnergyModel()),
+                        Config(1 + static_cast<int>(rng.NextU64Below(2)),
+                               GetParam()));
+  auto plan = planner.Plan(jobs);
+  if (plan.ok()) {
+    EXPECT_EQ(plan->constraint_violations, 0);
+    // Re-derive the routes and recount violations independently.
+    std::vector<std::vector<size_t>> routes;
+    for (const PlannedRoute& route : plan->routes) {
+      std::vector<size_t> order;
+      for (const PlannedStop& stop : route.stops) {
+        order.push_back(stop.job_index);
+      }
+      routes.push_back(std::move(order));
+    }
+    EXPECT_EQ(FlightPlanner::CountConstraintViolations(jobs, routes), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderedSweepTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace androne

@@ -1,0 +1,175 @@
+// Usage-model tests (paper §2): flight abort on inclement weather with
+// resume on a later flight, estimated operating windows, and per-tenant
+// energy-based invoices.
+#include <gtest/gtest.h>
+
+#include "src/cloud/billing.h"
+#include "src/cloud/energy_model.h"
+#include "src/cloud/flight_planner.h"
+#include "src/core/drone.h"
+
+namespace androne {
+namespace {
+
+const GeoPoint kBase{43.6084298, -85.8110359, 0};
+
+VirtualDroneDefinition TwoWaypointDefinition(const std::string& id) {
+  VirtualDroneDefinition def;
+  def.id = id;
+  def.owner = "alice";
+  def.waypoints = {WaypointSpec{FromNed(kBase, NedPoint{60, 0, -15}), 30},
+                   WaypointSpec{FromNed(kBase, NedPoint{120, 0, -15}), 30}};
+  def.max_duration_s = 600;
+  def.energy_allotted_j = 90000;
+  def.waypoint_devices = {"camera", "flight-control"};
+  return def;
+}
+
+std::vector<PlannerJob> JobsFor(const VirtualDroneDefinition& def,
+                                double dwell_s) {
+  std::vector<PlannerJob> jobs;
+  for (size_t i = 0; i < def.waypoints.size(); ++i) {
+    PlannerJob job;
+    job.vdrone_ref = def.id;
+    job.waypoint_index = static_cast<int>(i);
+    job.waypoint = def.waypoints[i].point;
+    job.service_time_s = dwell_s;
+    job.service_energy_j = 170.0 * dwell_s;
+    job.ordered = true;  // Deterministic visit order for the test.
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+TEST(AbortTest, WeatherAbortSavesResumableAndReturnsHome) {
+  SimClock clock;
+  AnDroneOptions options;
+  options.base = kBase;
+  options.no_control_dwell_s = 30;
+  AnDroneSystem system(&clock, options);
+  ASSERT_TRUE(system.Boot().ok());
+  VirtualDroneDefinition def = TwoWaypointDefinition("vd-weather");
+  def.apps.clear();
+  ASSERT_TRUE(system.Deploy(def, WhitelistTemplate::kFull).ok());
+
+  EnergyModel energy;
+  PlannerConfig pc;
+  pc.depot = kBase;
+  pc.annealing_iterations = 1000;
+  FlightPlanner planner(energy, pc);
+  auto jobs = JobsFor(def, 60);
+  auto plan = planner.Plan(jobs);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  // Storm front arrives 40 s into the flight (during the first tenancy).
+  clock.ScheduleAfter(Seconds(40),
+                      [&system] { system.RequestAbort("inclement weather"); });
+
+  auto report = system.ExecuteRoute(plan->routes[0], jobs);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->completed);
+  EXPECT_LT(report->waypoints_visited, 2u);
+  bool aborted_event = false;
+  for (const std::string& event : report->events) {
+    aborted_event |= event.find("aborted") != std::string::npos;
+  }
+  EXPECT_TRUE(aborted_event);
+  // The drone still returned to base and landed.
+  EXPECT_FALSE(system.flight().armed());
+  EXPECT_LT(HaversineMeters(system.physics().truth().position, kBase), 6.0);
+  // The tenant is saved resumable with its progress intact.
+  auto stored = system.vdr().Load("vd-weather");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_TRUE(stored->resumable);
+
+  // --- Later flight on another drone: only the unserved waypoint flies.
+  SimClock clock2;
+  AnDroneOptions options2 = options;
+  options2.seed = 7;
+  AnDroneSystem second(&clock2, options2);
+  ASSERT_TRUE(second.Boot().ok());
+  second.vdr().Save("vd-weather", *stored);
+  auto resumed = second.Deploy(def, WhitelistTemplate::kFull);
+  ASSERT_TRUE(resumed.ok());
+  size_t already_served = (*resumed)->waypoints_served;
+  std::vector<PlannerJob> remaining;
+  for (size_t i = already_served; i < def.waypoints.size(); ++i) {
+    remaining.push_back(jobs[i]);
+    remaining.back().ordered = false;
+  }
+  ASSERT_FALSE(remaining.empty());
+  auto plan2 = planner.Plan(remaining);
+  ASSERT_TRUE(plan2.ok());
+  auto report2 = second.ExecuteRoute(plan2->routes[0], remaining);
+  ASSERT_TRUE(report2.ok()) << report2.status();
+  EXPECT_TRUE(report2->completed);
+  auto vd2 = second.vdc().Find("vd-weather");
+  ASSERT_TRUE(vd2.ok());
+  EXPECT_EQ((*vd2)->waypoints_served, def.waypoints.size());
+  EXPECT_TRUE((*vd2)->finished_last_waypoint);
+}
+
+TEST(EtaTest, PlanReportsOperatingWindows) {
+  VirtualDroneDefinition def = TwoWaypointDefinition("vd-eta");
+  EnergyModel energy;
+  PlannerConfig pc;
+  pc.depot = kBase;
+  pc.annealing_iterations = 1000;
+  FlightPlanner planner(energy, pc);
+  auto jobs = JobsFor(def, 45);
+  auto plan = planner.Plan(jobs);
+  ASSERT_TRUE(plan.ok());
+  auto eta0 = plan->EtaSecondsFor(jobs, "vd-eta", 0);
+  auto eta1 = plan->EtaSecondsFor(jobs, "vd-eta", 1);
+  ASSERT_TRUE(eta0.ok());
+  ASSERT_TRUE(eta1.ok());
+  // Ordered jobs: waypoint 1's window starts after waypoint 0's dwell.
+  EXPECT_GT(*eta1, *eta0 + 44.0);
+  // Travel at ~6 m/s over 60 m plus climb: the first window is plausible.
+  EXPECT_GT(*eta0, 5.0);
+  EXPECT_LT(*eta0, 60.0);
+  EXPECT_FALSE(plan->EtaSecondsFor(jobs, "vd-eta", 9).ok());
+  EXPECT_FALSE(plan->EtaSecondsFor(jobs, "nobody", 0).ok());
+}
+
+TEST(InvoiceTest, EnergyAndStorageBilled) {
+  SimClock clock;
+  AnDroneOptions options;
+  options.base = kBase;
+  AnDroneSystem system(&clock, options);
+  ASSERT_TRUE(system.Boot().ok());
+  VirtualDroneDefinition def = TwoWaypointDefinition("vd-bill");
+  auto vd = system.Deploy(def, WhitelistTemplate::kFull);
+  ASSERT_TRUE(vd.ok());
+
+  // Simulate a 30 s tenancy plus a 2 MB video marked for the user.
+  ASSERT_TRUE(system.vdc().NotifyWaypointReached("vd-bill", 0).ok());
+  for (int i = 0; i < 30; ++i) {
+    system.vdc().AccountActiveTenant(Seconds(1));
+  }
+  (*vd)->container->WriteFile("/data/video.bin", std::string(2'000'000, 'v'));
+  (*vd)->files_for_user.push_back("/data/video.bin");
+  ASSERT_TRUE(system.vdc()
+                  .NotifyWaypointLeft("vd-bill", TenancyEndReason::kCompleted)
+                  .ok());
+
+  Billing billing;
+  auto invoice = system.vdc().InvoiceFor("vd-bill", billing);
+  ASSERT_TRUE(invoice.ok());
+  EXPECT_EQ(invoice->owner, "alice");
+  EXPECT_NEAR(invoice->energy_used_j, 170.0 * 30, 200.0);
+  EXPECT_NEAR(invoice->energy_cost,
+              invoice->energy_used_j / 1e6 * 2.50, 1e-6);
+  EXPECT_EQ(invoice->storage_bytes, 2'000'000u);
+  EXPECT_NEAR(invoice->storage_cost, 2e6 / 1e9 * 0.10, 1e-9);
+  EXPECT_NEAR(invoice->total, invoice->energy_cost + invoice->storage_cost,
+              1e-12);
+  // The invoice stays under what the allotment would have cost: the user
+  // is billed for usage, bounded by their maximum charge.
+  Billing bounding;
+  EXPECT_LT(invoice->total,
+            bounding.Estimate(def.energy_allotted_j, 170).total_cost + 0.01);
+}
+
+}  // namespace
+}  // namespace androne

@@ -1,0 +1,91 @@
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace androne {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_TRUE(h.NonEmptyBuckets().empty());
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.total_count(), 3u);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_NEAR(h.stddev(), 10.0, 1e-9);
+}
+
+TEST(HistogramTest, WeightedRecord) {
+  Histogram h;
+  h.Record(5, 100);
+  EXPECT_EQ(h.total_count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  h.Record(5, 0);  // No-op.
+  EXPECT_EQ(h.total_count(), 100u);
+}
+
+TEST(HistogramTest, PercentileBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(i);
+  }
+  // Log buckets make percentiles conservative (upper bucket bound), but they
+  // must be ordered and within [min, max].
+  int64_t p50 = h.Percentile(0.50);
+  int64_t p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p50, 500);
+  EXPECT_LE(p50, 650);
+}
+
+TEST(HistogramTest, NonEmptyBucketsAscendAndSumToCount) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextU64Below(100000)) + 1);
+  }
+  auto buckets = h.NonEmptyBuckets();
+  ASSERT_FALSE(buckets.empty());
+  uint64_t total = 0;
+  int64_t prev = -1;
+  for (const auto& [bound, count] : buckets) {
+    EXPECT_GT(bound, prev);
+    prev = bound;
+    total += count;
+  }
+  EXPECT_EQ(total, h.total_count());
+}
+
+TEST(HistogramTest, HugeValuesClampToLastBucket) {
+  Histogram h(10, 8);
+  h.Record(static_cast<int64_t>(1e18));
+  EXPECT_EQ(h.total_count(), 1u);
+  EXPECT_EQ(h.NonEmptyBuckets().size(), 1u);
+}
+
+TEST(HistogramTest, ToStringMentionsStats) {
+  Histogram h;
+  h.Record(100);
+  std::string s = h.ToString("us");
+  EXPECT_NE(s.find("samples=1"), std::string::npos);
+  EXPECT_NE(s.find("100us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace androne

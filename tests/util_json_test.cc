@@ -1,0 +1,158 @@
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace androne {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null").value().is_null());
+  EXPECT_EQ(ParseJson("true").value().AsBool(), true);
+  EXPECT_EQ(ParseJson("false").value().AsBool(), false);
+  EXPECT_DOUBLE_EQ(ParseJson("3.25").value().AsDouble(), 3.25);
+  EXPECT_EQ(ParseJson("-17").value().AsInt(), -17);
+  EXPECT_EQ(ParseJson("\"hi\"").value().AsString(), "hi");
+  EXPECT_DOUBLE_EQ(ParseJson("1e3").value().AsDouble(), 1000.0);
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  auto v = ParseJson(R"({"a": [1, 2, {"b": true}], "c": null})");
+  ASSERT_TRUE(v.ok());
+  const JsonValue& root = v.value();
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_EQ(a->AsArray()[0].AsInt(), 1);
+  EXPECT_TRUE(a->AsArray()[2].Find("b")->AsBool());
+  EXPECT_TRUE(root.Find("c")->is_null());
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsString(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParseTest, UnicodeSurrogatePair) {
+  auto v = ParseJson(R"("😀")");  // U+1F600 grinning face.
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} extra").ok());
+  EXPECT_FALSE(ParseJson("\"\\u12\"").ok());
+  EXPECT_FALSE(ParseJson("\"\\ud800\"").ok());  // Unpaired surrogate.
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonDumpTest, CompactRoundTrip) {
+  const std::string doc =
+      R"({"apps":["com.example.survey.apk"],"energy-allotted":45000,)"
+      R"("waypoints":[{"altitude":15,"latitude":43.6084298}]})";
+  auto v = ParseJson(doc);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().Dump(), doc);
+}
+
+TEST(JsonDumpTest, PrettyOutputReparses) {
+  JsonObject obj;
+  obj["list"] = JsonArray{1, 2, 3};
+  obj["name"] = "drone";
+  JsonValue v{std::move(obj)};
+  auto re = ParseJson(v.DumpPretty());
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(re.value(), v);
+}
+
+TEST(JsonDumpTest, EscapesControlCharacters) {
+  JsonValue v{std::string("a\x01z")};
+  EXPECT_EQ(v.Dump(), "\"a\\u0001z\"");
+}
+
+TEST(JsonValueTest, TypedLookupsWithDefaults) {
+  auto v = ParseJson(R"({"n": 4.5, "s": "x", "b": true})").value();
+  EXPECT_DOUBLE_EQ(v.GetNumberOr("n", 0), 4.5);
+  EXPECT_DOUBLE_EQ(v.GetNumberOr("missing", 7.0), 7.0);
+  EXPECT_EQ(v.GetIntOr("n", 0), 4);
+  EXPECT_EQ(v.GetStringOr("s", ""), "x");
+  EXPECT_EQ(v.GetStringOr("n", "fallback"), "fallback");  // Wrong type.
+  EXPECT_TRUE(v.GetBoolOr("b", false));
+  EXPECT_TRUE(v.GetBoolOr("missing", true));
+}
+
+// Property test: randomly generated documents survive dump -> parse -> dump.
+JsonValue RandomJson(Rng& rng, int depth) {
+  int pick = depth > 3 ? static_cast<int>(rng.NextU64Below(4))
+                       : static_cast<int>(rng.NextU64Below(6));
+  switch (pick) {
+    case 0:
+      return JsonValue(nullptr);
+    case 1:
+      return JsonValue(rng.Bernoulli(0.5));
+    case 2:
+      return JsonValue(static_cast<int64_t>(rng.NextU64Below(1'000'000)) -
+                       500'000);
+    case 3: {
+      std::string s;
+      size_t len = rng.NextU64Below(12);
+      for (size_t i = 0; i < len; ++i) {
+        s += static_cast<char>('a' + rng.NextU64Below(26));
+      }
+      return JsonValue(std::move(s));
+    }
+    case 4: {
+      JsonArray arr;
+      size_t len = rng.NextU64Below(4);
+      for (size_t i = 0; i < len; ++i) {
+        arr.push_back(RandomJson(rng, depth + 1));
+      }
+      return JsonValue(std::move(arr));
+    }
+    default: {
+      JsonObject obj;
+      size_t len = rng.NextU64Below(4);
+      for (size_t i = 0; i < len; ++i) {
+        obj["k" + std::to_string(i)] = RandomJson(rng, depth + 1);
+      }
+      return JsonValue(std::move(obj));
+    }
+  }
+}
+
+class JsonRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonRoundTripTest, DumpParseDumpIsStable) {
+  Rng rng(GetParam());
+  JsonValue v = RandomJson(rng, 0);
+  std::string once = v.Dump();
+  auto parsed = ParseJson(once);
+  ASSERT_TRUE(parsed.ok()) << once;
+  EXPECT_EQ(parsed.value(), v);
+  EXPECT_EQ(parsed.value().Dump(), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace androne

@@ -1,0 +1,151 @@
+#include "src/util/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace androne {
+namespace {
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_TRUE(clock.empty());
+}
+
+TEST(SimClockTest, RunNextAdvancesToEventTime) {
+  SimClock clock;
+  bool ran = false;
+  clock.ScheduleAt(Millis(5), [&] { ran = true; });
+  EXPECT_TRUE(clock.RunNext());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(clock.now(), Millis(5));
+  EXPECT_FALSE(clock.RunNext());
+}
+
+TEST(SimClockTest, EventsRunInTimeOrder) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.ScheduleAt(Millis(30), [&] { order.push_back(3); });
+  clock.ScheduleAt(Millis(10), [&] { order.push_back(1); });
+  clock.ScheduleAt(Millis(20), [&] { order.push_back(2); });
+  clock.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimClockTest, EqualTimesRunFifo) {
+  SimClock clock;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    clock.ScheduleAt(Millis(1), [&order, i] { order.push_back(i); });
+  }
+  clock.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimClockTest, ScheduleAfterUsesCurrentTime) {
+  SimClock clock;
+  clock.ScheduleAt(Millis(10), [] {});
+  clock.RunNext();
+  SimTime fired_at = -1;
+  clock.ScheduleAfter(Millis(5), [&] { fired_at = clock.now(); });
+  clock.RunNext();
+  EXPECT_EQ(fired_at, Millis(15));
+}
+
+TEST(SimClockTest, PastDeadlinesClampToNow) {
+  SimClock clock;
+  clock.ScheduleAt(Millis(10), [] {});
+  clock.RunNext();
+  SimTime fired_at = -1;
+  clock.ScheduleAt(Millis(1), [&] { fired_at = clock.now(); });
+  clock.RunNext();
+  EXPECT_EQ(fired_at, Millis(10));  // Not earlier than now.
+}
+
+TEST(SimClockTest, CancelPreventsExecution) {
+  SimClock clock;
+  bool ran = false;
+  EventId id = clock.ScheduleAt(Millis(1), [&] { ran = true; });
+  EXPECT_TRUE(clock.Cancel(id));
+  EXPECT_TRUE(clock.empty());
+  clock.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimClockTest, CancelOfRunEventReturnsFalse) {
+  SimClock clock;
+  EventId id = clock.ScheduleAt(Millis(1), [] {});
+  clock.RunNext();
+  EXPECT_FALSE(clock.Cancel(id));
+}
+
+TEST(SimClockTest, CancelUnknownIdReturnsFalse) {
+  SimClock clock;
+  EXPECT_FALSE(clock.Cancel(12345));
+}
+
+TEST(SimClockTest, RunUntilAdvancesClockEvenWhenIdle) {
+  SimClock clock;
+  clock.RunUntil(Seconds(3));
+  EXPECT_EQ(clock.now(), Seconds(3));
+}
+
+TEST(SimClockTest, RunUntilRunsOnlyDueEvents) {
+  SimClock clock;
+  int ran = 0;
+  clock.ScheduleAt(Millis(10), [&] { ++ran; });
+  clock.ScheduleAt(Millis(20), [&] { ++ran; });
+  clock.RunUntil(Millis(15));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(clock.now(), Millis(15));
+  EXPECT_EQ(clock.pending_events(), 1u);
+}
+
+TEST(SimClockTest, EventsMayScheduleMoreEvents) {
+  SimClock clock;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      clock.ScheduleAfter(Millis(1), chain);
+    }
+  };
+  clock.ScheduleAfter(Millis(1), chain);
+  clock.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(clock.now(), Millis(5));
+}
+
+TEST(SimClockTest, RunForAdvancesRelative) {
+  SimClock clock;
+  clock.RunFor(Seconds(1));
+  clock.RunFor(Seconds(1));
+  EXPECT_EQ(clock.now(), Seconds(2));
+}
+
+TEST(SimClockTest, RunAllGuardStopsRunawayLoops) {
+  SimClock clock;
+  uint64_t ran = 0;
+  std::function<void()> forever = [&] {
+    ++ran;
+    clock.ScheduleAfter(Millis(1), forever);
+  };
+  clock.ScheduleAfter(Millis(1), forever);
+  clock.RunAll(/*max_events=*/1000);
+  EXPECT_EQ(ran, 1000u);
+}
+
+TEST(TimeTest, ConversionHelpers) {
+  EXPECT_EQ(Micros(1), 1000);
+  EXPECT_EQ(Millis(1), 1000000);
+  EXPECT_EQ(Seconds(1), 1000000000);
+  EXPECT_EQ(SecondsF(0.0025), 2500000);
+  EXPECT_DOUBLE_EQ(ToSecondsF(Seconds(2)), 2.0);
+  EXPECT_EQ(ToMicros(Millis(3)), 3000);
+  EXPECT_EQ(ToMillis(Seconds(4)), 4000);
+}
+
+}  // namespace
+}  // namespace androne

@@ -1,0 +1,92 @@
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace androne {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no such container");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such container");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such container");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(OkStatus(), Status());
+  EXPECT_EQ(InternalError("x"), InternalError("x"));
+  EXPECT_FALSE(InternalError("x") == InternalError("y"));
+  EXPECT_FALSE(InternalError("x") == AbortedError("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = InvalidArgumentError("bad");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) {
+    return InvalidArgumentError("negative");
+  }
+  return OkStatus();
+}
+
+Status UseReturnIfError(int x) {
+  RETURN_IF_ERROR(FailIfNegative(x));
+  return OkStatus();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UseReturnIfError(1).ok());
+  EXPECT_EQ(UseReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> MaybeInt(bool ok) {
+  if (ok) {
+    return 7;
+  }
+  return NotFoundError("nope");
+}
+
+Status UseAssignOrReturn(bool ok, int& out) {
+  ASSIGN_OR_RETURN(out, MaybeInt(ok));
+  return OkStatus();
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwraps) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(true, out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(UseAssignOrReturn(false, out).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace androne

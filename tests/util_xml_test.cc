@@ -1,0 +1,82 @@
+#include "src/util/xml.h"
+
+#include <gtest/gtest.h>
+
+namespace androne {
+namespace {
+
+TEST(XmlTest, ParsesSimpleElement) {
+  auto root = ParseXml("<manifest/>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value()->name, "manifest");
+  EXPECT_TRUE(root.value()->children.empty());
+}
+
+TEST(XmlTest, ParsesAttributes) {
+  auto root = ParseXml(R"(<uses-permission name="camera" type='waypoint'/>)");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value()->Attr("name"), "camera");
+  EXPECT_EQ(root.value()->Attr("type"), "waypoint");
+  EXPECT_EQ(root.value()->Attr("missing", "dflt"), "dflt");
+}
+
+TEST(XmlTest, ParsesNestedChildrenAndText) {
+  auto root = ParseXml(
+      "<manifest>"
+      "  <uses-permission name=\"camera\" type=\"waypoint\"/>"
+      "  <uses-permission name=\"gps\" type=\"continuous\"/>"
+      "  <argument name=\"survey-areas\" type=\"polygon\" required=\"true\"/>"
+      "  <label> Survey App </label>"
+      "</manifest>");
+  ASSERT_TRUE(root.ok());
+  const XmlElement& m = *root.value();
+  EXPECT_EQ(m.Children("uses-permission").size(), 2u);
+  ASSERT_NE(m.FirstChild("argument"), nullptr);
+  EXPECT_EQ(m.FirstChild("argument")->Attr("required"), "true");
+  ASSERT_NE(m.FirstChild("label"), nullptr);
+  EXPECT_EQ(m.FirstChild("label")->text, "Survey App");
+  EXPECT_EQ(m.FirstChild("nope"), nullptr);
+}
+
+TEST(XmlTest, SkipsDeclarationAndComments) {
+  auto root = ParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- AnDrone manifest -->\n"
+      "<manifest><!-- inner --><a/></manifest>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value()->children.size(), 1u);
+}
+
+TEST(XmlTest, DecodesEntities) {
+  auto root = ParseXml("<a v=\"&lt;&amp;&gt;\">x &quot;y&quot; &apos;z&apos;</a>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value()->Attr("v"), "<&>");
+  EXPECT_EQ(root.value()->text, "x \"y\" 'z'");
+}
+
+TEST(XmlTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a b></a>").ok());
+  EXPECT_FALSE(ParseXml("<a b=c/>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a>&bogus;</a>").ok());
+}
+
+TEST(XmlTest, DumpRoundTrips) {
+  auto root = ParseXml(
+      "<manifest package=\"com.example.survey\">"
+      "<uses-permission name=\"camera\" type=\"waypoint\"/>"
+      "<argument name=\"area\" type=\"polygon\" required=\"false\"/>"
+      "</manifest>");
+  ASSERT_TRUE(root.ok());
+  auto again = ParseXml(root.value()->Dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value()->name, "manifest");
+  EXPECT_EQ(again.value()->Attr("package"), "com.example.survey");
+  EXPECT_EQ(again.value()->children.size(), 2u);
+}
+
+}  // namespace
+}  // namespace androne
