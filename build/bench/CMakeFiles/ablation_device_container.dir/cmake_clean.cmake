@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_device_container.dir/ablation_device_container.cc.o"
+  "CMakeFiles/ablation_device_container.dir/ablation_device_container.cc.o.d"
+  "ablation_device_container"
+  "ablation_device_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_device_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_planner_constraints.dir/ablation_planner_constraints.cc.o"
+  "CMakeFiles/ablation_planner_constraints.dir/ablation_planner_constraints.cc.o.d"
+  "ablation_planner_constraints"
+  "ablation_planner_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_planner_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_runtime_overhead.dir/fig10_runtime_overhead.cc.o"
+  "CMakeFiles/fig10_runtime_overhead.dir/fig10_runtime_overhead.cc.o.d"
+  "fig10_runtime_overhead"
+  "fig10_runtime_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_runtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rt_latency.dir/fig11_rt_latency.cc.o"
+  "CMakeFiles/fig11_rt_latency.dir/fig11_rt_latency.cc.o.d"
+  "fig11_rt_latency"
+  "fig11_rt_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rt_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_memory.dir/fig12_memory.cc.o"
+  "CMakeFiles/fig12_memory.dir/fig12_memory.cc.o.d"
+  "fig12_memory"
+  "fig12_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_power.dir/fig13_power.cc.o"
+  "CMakeFiles/fig13_power.dir/fig13_power.cc.o.d"
+  "fig13_power"
+  "fig13_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

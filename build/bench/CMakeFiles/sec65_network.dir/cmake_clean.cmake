@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec65_network.dir/sec65_network.cc.o"
+  "CMakeFiles/sec65_network.dir/sec65_network.cc.o.d"
+  "sec65_network"
+  "sec65_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec65_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

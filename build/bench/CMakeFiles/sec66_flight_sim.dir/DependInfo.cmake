@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec66_flight_sim.cc" "bench/CMakeFiles/sec66_flight_sim.dir/sec66_flight_sim.cc.o" "gcc" "bench/CMakeFiles/sec66_flight_sim.dir/sec66_flight_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/androne_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/androne_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/androne_vdef.dir/DependInfo.cmake"
+  "/root/repo/build/src/flight/CMakeFiles/androne_flight.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/androne_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mavproxy/CMakeFiles/androne_mavproxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mavlink/CMakeFiles/androne_mavlink.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/androne_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/androne_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/androne_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/androne_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/binder/CMakeFiles/androne_binder.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/androne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec66_flight_sim.dir/sec66_flight_sim.cc.o"
+  "CMakeFiles/sec66_flight_sim.dir/sec66_flight_sim.cc.o.d"
+  "sec66_flight_sim"
+  "sec66_flight_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec66_flight_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_services.dir/table1_services.cc.o"
+  "CMakeFiles/table1_services.dir/table1_services.cc.o.d"
+  "table1_services"
+  "table1_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_access_cli.dir/direct_access_cli.cpp.o"
+  "CMakeFiles/direct_access_cli.dir/direct_access_cli.cpp.o.d"
+  "direct_access_cli"
+  "direct_access_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_access_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

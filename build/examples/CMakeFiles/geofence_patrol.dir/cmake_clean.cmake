@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geofence_patrol.dir/geofence_patrol.cpp.o"
+  "CMakeFiles/geofence_patrol.dir/geofence_patrol.cpp.o.d"
+  "geofence_patrol"
+  "geofence_patrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geofence_patrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_flight.dir/multi_tenant_flight.cpp.o"
+  "CMakeFiles/multi_tenant_flight.dir/multi_tenant_flight.cpp.o.d"
+  "multi_tenant_flight"
+  "multi_tenant_flight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_flight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

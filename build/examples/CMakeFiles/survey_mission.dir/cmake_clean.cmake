@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_mission.dir/survey_mission.cpp.o"
+  "CMakeFiles/survey_mission.dir/survey_mission.cpp.o.d"
+  "survey_mission"
+  "survey_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

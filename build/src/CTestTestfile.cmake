@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("rt")
+subdirs("binder")
+subdirs("container")
+subdirs("hw")
+subdirs("net")
+subdirs("mavlink")
+subdirs("services")
+subdirs("flight")
+subdirs("mavproxy")
+subdirs("cloud")
+subdirs("core")

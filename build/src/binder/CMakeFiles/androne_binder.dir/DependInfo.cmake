@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binder/binder_driver.cc" "src/binder/CMakeFiles/androne_binder.dir/binder_driver.cc.o" "gcc" "src/binder/CMakeFiles/androne_binder.dir/binder_driver.cc.o.d"
+  "/root/repo/src/binder/parcel.cc" "src/binder/CMakeFiles/androne_binder.dir/parcel.cc.o" "gcc" "src/binder/CMakeFiles/androne_binder.dir/parcel.cc.o.d"
+  "/root/repo/src/binder/service_manager.cc" "src/binder/CMakeFiles/androne_binder.dir/service_manager.cc.o" "gcc" "src/binder/CMakeFiles/androne_binder.dir/service_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/androne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_binder.dir/binder_driver.cc.o"
+  "CMakeFiles/androne_binder.dir/binder_driver.cc.o.d"
+  "CMakeFiles/androne_binder.dir/parcel.cc.o"
+  "CMakeFiles/androne_binder.dir/parcel.cc.o.d"
+  "CMakeFiles/androne_binder.dir/service_manager.cc.o"
+  "CMakeFiles/androne_binder.dir/service_manager.cc.o.d"
+  "libandrone_binder.a"
+  "libandrone_binder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_binder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

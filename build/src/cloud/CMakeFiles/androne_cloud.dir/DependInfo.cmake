@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/billing.cc" "src/cloud/CMakeFiles/androne_cloud.dir/billing.cc.o" "gcc" "src/cloud/CMakeFiles/androne_cloud.dir/billing.cc.o.d"
+  "/root/repo/src/cloud/conflicts.cc" "src/cloud/CMakeFiles/androne_cloud.dir/conflicts.cc.o" "gcc" "src/cloud/CMakeFiles/androne_cloud.dir/conflicts.cc.o.d"
+  "/root/repo/src/cloud/energy_model.cc" "src/cloud/CMakeFiles/androne_cloud.dir/energy_model.cc.o" "gcc" "src/cloud/CMakeFiles/androne_cloud.dir/energy_model.cc.o.d"
+  "/root/repo/src/cloud/flight_planner.cc" "src/cloud/CMakeFiles/androne_cloud.dir/flight_planner.cc.o" "gcc" "src/cloud/CMakeFiles/androne_cloud.dir/flight_planner.cc.o.d"
+  "/root/repo/src/cloud/portal.cc" "src/cloud/CMakeFiles/androne_cloud.dir/portal.cc.o" "gcc" "src/cloud/CMakeFiles/androne_cloud.dir/portal.cc.o.d"
+  "/root/repo/src/cloud/vdr.cc" "src/cloud/CMakeFiles/androne_cloud.dir/vdr.cc.o" "gcc" "src/cloud/CMakeFiles/androne_cloud.dir/vdr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/androne_vdef.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/androne_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/androne_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/androne_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/androne_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/binder/CMakeFiles/androne_binder.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/cloud/CMakeFiles/androne_cloud.dir/billing.cc.o: \
+ /root/repo/src/cloud/billing.cc /usr/include/stdc-predef.h \
+ /root/repo/src/cloud/billing.h

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_cloud.dir/billing.cc.o"
+  "CMakeFiles/androne_cloud.dir/billing.cc.o.d"
+  "CMakeFiles/androne_cloud.dir/conflicts.cc.o"
+  "CMakeFiles/androne_cloud.dir/conflicts.cc.o.d"
+  "CMakeFiles/androne_cloud.dir/energy_model.cc.o"
+  "CMakeFiles/androne_cloud.dir/energy_model.cc.o.d"
+  "CMakeFiles/androne_cloud.dir/flight_planner.cc.o"
+  "CMakeFiles/androne_cloud.dir/flight_planner.cc.o.d"
+  "CMakeFiles/androne_cloud.dir/portal.cc.o"
+  "CMakeFiles/androne_cloud.dir/portal.cc.o.d"
+  "CMakeFiles/androne_cloud.dir/vdr.cc.o"
+  "CMakeFiles/androne_cloud.dir/vdr.cc.o.d"
+  "libandrone_cloud.a"
+  "libandrone_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

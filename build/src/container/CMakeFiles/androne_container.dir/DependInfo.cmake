@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/container/container.cc" "src/container/CMakeFiles/androne_container.dir/container.cc.o" "gcc" "src/container/CMakeFiles/androne_container.dir/container.cc.o.d"
+  "/root/repo/src/container/image_store.cc" "src/container/CMakeFiles/androne_container.dir/image_store.cc.o" "gcc" "src/container/CMakeFiles/androne_container.dir/image_store.cc.o.d"
+  "/root/repo/src/container/runtime.cc" "src/container/CMakeFiles/androne_container.dir/runtime.cc.o" "gcc" "src/container/CMakeFiles/androne_container.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/androne_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/binder/CMakeFiles/androne_binder.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

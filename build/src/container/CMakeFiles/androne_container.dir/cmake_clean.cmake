@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_container.dir/container.cc.o"
+  "CMakeFiles/androne_container.dir/container.cc.o.d"
+  "CMakeFiles/androne_container.dir/image_store.cc.o"
+  "CMakeFiles/androne_container.dir/image_store.cc.o.d"
+  "CMakeFiles/androne_container.dir/runtime.cc.o"
+  "CMakeFiles/androne_container.dir/runtime.cc.o.d"
+  "libandrone_container.a"
+  "libandrone_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

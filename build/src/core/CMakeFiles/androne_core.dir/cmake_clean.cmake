@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_core.dir/cli.cc.o"
+  "CMakeFiles/androne_core.dir/cli.cc.o.d"
+  "CMakeFiles/androne_core.dir/drone.cc.o"
+  "CMakeFiles/androne_core.dir/drone.cc.o.d"
+  "CMakeFiles/androne_core.dir/reference_apps.cc.o"
+  "CMakeFiles/androne_core.dir/reference_apps.cc.o.d"
+  "CMakeFiles/androne_core.dir/sdk.cc.o"
+  "CMakeFiles/androne_core.dir/sdk.cc.o.d"
+  "CMakeFiles/androne_core.dir/vdc.cc.o"
+  "CMakeFiles/androne_core.dir/vdc.cc.o.d"
+  "libandrone_core.a"
+  "libandrone_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_vdef.dir/definition.cc.o"
+  "CMakeFiles/androne_vdef.dir/definition.cc.o.d"
+  "CMakeFiles/androne_vdef.dir/manifest.cc.o"
+  "CMakeFiles/androne_vdef.dir/manifest.cc.o.d"
+  "libandrone_vdef.a"
+  "libandrone_vdef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_vdef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flight/controllers.cc" "src/flight/CMakeFiles/androne_flight.dir/controllers.cc.o" "gcc" "src/flight/CMakeFiles/androne_flight.dir/controllers.cc.o.d"
+  "/root/repo/src/flight/estimator.cc" "src/flight/CMakeFiles/androne_flight.dir/estimator.cc.o" "gcc" "src/flight/CMakeFiles/androne_flight.dir/estimator.cc.o.d"
+  "/root/repo/src/flight/flight_controller.cc" "src/flight/CMakeFiles/androne_flight.dir/flight_controller.cc.o" "gcc" "src/flight/CMakeFiles/androne_flight.dir/flight_controller.cc.o.d"
+  "/root/repo/src/flight/flight_log.cc" "src/flight/CMakeFiles/androne_flight.dir/flight_log.cc.o" "gcc" "src/flight/CMakeFiles/androne_flight.dir/flight_log.cc.o.d"
+  "/root/repo/src/flight/hal_bridge.cc" "src/flight/CMakeFiles/androne_flight.dir/hal_bridge.cc.o" "gcc" "src/flight/CMakeFiles/androne_flight.dir/hal_bridge.cc.o.d"
+  "/root/repo/src/flight/quad_physics.cc" "src/flight/CMakeFiles/androne_flight.dir/quad_physics.cc.o" "gcc" "src/flight/CMakeFiles/androne_flight.dir/quad_physics.cc.o.d"
+  "/root/repo/src/flight/sitl.cc" "src/flight/CMakeFiles/androne_flight.dir/sitl.cc.o" "gcc" "src/flight/CMakeFiles/androne_flight.dir/sitl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/androne_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mavlink/CMakeFiles/androne_mavlink.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/androne_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/androne_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/androne_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/androne_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/binder/CMakeFiles/androne_binder.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_flight.dir/controllers.cc.o"
+  "CMakeFiles/androne_flight.dir/controllers.cc.o.d"
+  "CMakeFiles/androne_flight.dir/estimator.cc.o"
+  "CMakeFiles/androne_flight.dir/estimator.cc.o.d"
+  "CMakeFiles/androne_flight.dir/flight_controller.cc.o"
+  "CMakeFiles/androne_flight.dir/flight_controller.cc.o.d"
+  "CMakeFiles/androne_flight.dir/flight_log.cc.o"
+  "CMakeFiles/androne_flight.dir/flight_log.cc.o.d"
+  "CMakeFiles/androne_flight.dir/hal_bridge.cc.o"
+  "CMakeFiles/androne_flight.dir/hal_bridge.cc.o.d"
+  "CMakeFiles/androne_flight.dir/quad_physics.cc.o"
+  "CMakeFiles/androne_flight.dir/quad_physics.cc.o.d"
+  "CMakeFiles/androne_flight.dir/sitl.cc.o"
+  "CMakeFiles/androne_flight.dir/sitl.cc.o.d"
+  "libandrone_flight.a"
+  "libandrone_flight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_flight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/camera.cc" "src/hw/CMakeFiles/androne_hw.dir/camera.cc.o" "gcc" "src/hw/CMakeFiles/androne_hw.dir/camera.cc.o.d"
+  "/root/repo/src/hw/device.cc" "src/hw/CMakeFiles/androne_hw.dir/device.cc.o" "gcc" "src/hw/CMakeFiles/androne_hw.dir/device.cc.o.d"
+  "/root/repo/src/hw/gimbal.cc" "src/hw/CMakeFiles/androne_hw.dir/gimbal.cc.o" "gcc" "src/hw/CMakeFiles/androne_hw.dir/gimbal.cc.o.d"
+  "/root/repo/src/hw/motors.cc" "src/hw/CMakeFiles/androne_hw.dir/motors.cc.o" "gcc" "src/hw/CMakeFiles/androne_hw.dir/motors.cc.o.d"
+  "/root/repo/src/hw/power.cc" "src/hw/CMakeFiles/androne_hw.dir/power.cc.o" "gcc" "src/hw/CMakeFiles/androne_hw.dir/power.cc.o.d"
+  "/root/repo/src/hw/sensors.cc" "src/hw/CMakeFiles/androne_hw.dir/sensors.cc.o" "gcc" "src/hw/CMakeFiles/androne_hw.dir/sensors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/androne_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/binder/CMakeFiles/androne_binder.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

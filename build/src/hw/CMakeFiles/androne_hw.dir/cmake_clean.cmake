@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_hw.dir/camera.cc.o"
+  "CMakeFiles/androne_hw.dir/camera.cc.o.d"
+  "CMakeFiles/androne_hw.dir/device.cc.o"
+  "CMakeFiles/androne_hw.dir/device.cc.o.d"
+  "CMakeFiles/androne_hw.dir/gimbal.cc.o"
+  "CMakeFiles/androne_hw.dir/gimbal.cc.o.d"
+  "CMakeFiles/androne_hw.dir/motors.cc.o"
+  "CMakeFiles/androne_hw.dir/motors.cc.o.d"
+  "CMakeFiles/androne_hw.dir/power.cc.o"
+  "CMakeFiles/androne_hw.dir/power.cc.o.d"
+  "CMakeFiles/androne_hw.dir/sensors.cc.o"
+  "CMakeFiles/androne_hw.dir/sensors.cc.o.d"
+  "libandrone_hw.a"
+  "libandrone_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mavlink/crc.cc" "src/mavlink/CMakeFiles/androne_mavlink.dir/crc.cc.o" "gcc" "src/mavlink/CMakeFiles/androne_mavlink.dir/crc.cc.o.d"
+  "/root/repo/src/mavlink/frame.cc" "src/mavlink/CMakeFiles/androne_mavlink.dir/frame.cc.o" "gcc" "src/mavlink/CMakeFiles/androne_mavlink.dir/frame.cc.o.d"
+  "/root/repo/src/mavlink/messages.cc" "src/mavlink/CMakeFiles/androne_mavlink.dir/messages.cc.o" "gcc" "src/mavlink/CMakeFiles/androne_mavlink.dir/messages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/androne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_mavlink.dir/crc.cc.o"
+  "CMakeFiles/androne_mavlink.dir/crc.cc.o.d"
+  "CMakeFiles/androne_mavlink.dir/frame.cc.o"
+  "CMakeFiles/androne_mavlink.dir/frame.cc.o.d"
+  "CMakeFiles/androne_mavlink.dir/messages.cc.o"
+  "CMakeFiles/androne_mavlink.dir/messages.cc.o.d"
+  "libandrone_mavlink.a"
+  "libandrone_mavlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_mavlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mavproxy/mavproxy.cc" "src/mavproxy/CMakeFiles/androne_mavproxy.dir/mavproxy.cc.o" "gcc" "src/mavproxy/CMakeFiles/androne_mavproxy.dir/mavproxy.cc.o.d"
+  "/root/repo/src/mavproxy/vfc.cc" "src/mavproxy/CMakeFiles/androne_mavproxy.dir/vfc.cc.o" "gcc" "src/mavproxy/CMakeFiles/androne_mavproxy.dir/vfc.cc.o.d"
+  "/root/repo/src/mavproxy/whitelist.cc" "src/mavproxy/CMakeFiles/androne_mavproxy.dir/whitelist.cc.o" "gcc" "src/mavproxy/CMakeFiles/androne_mavproxy.dir/whitelist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mavlink/CMakeFiles/androne_mavlink.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/androne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_mavproxy.dir/mavproxy.cc.o"
+  "CMakeFiles/androne_mavproxy.dir/mavproxy.cc.o.d"
+  "CMakeFiles/androne_mavproxy.dir/vfc.cc.o"
+  "CMakeFiles/androne_mavproxy.dir/vfc.cc.o.d"
+  "CMakeFiles/androne_mavproxy.dir/whitelist.cc.o"
+  "CMakeFiles/androne_mavproxy.dir/whitelist.cc.o.d"
+  "libandrone_mavproxy.a"
+  "libandrone_mavproxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_mavproxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_net.dir/channel.cc.o"
+  "CMakeFiles/androne_net.dir/channel.cc.o.d"
+  "CMakeFiles/androne_net.dir/link_model.cc.o"
+  "CMakeFiles/androne_net.dir/link_model.cc.o.d"
+  "libandrone_net.a"
+  "libandrone_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

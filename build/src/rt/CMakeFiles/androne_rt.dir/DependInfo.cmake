@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/cyclictest.cc" "src/rt/CMakeFiles/androne_rt.dir/cyclictest.cc.o" "gcc" "src/rt/CMakeFiles/androne_rt.dir/cyclictest.cc.o.d"
+  "/root/repo/src/rt/disk_queue.cc" "src/rt/CMakeFiles/androne_rt.dir/disk_queue.cc.o" "gcc" "src/rt/CMakeFiles/androne_rt.dir/disk_queue.cc.o.d"
+  "/root/repo/src/rt/fluid_resource.cc" "src/rt/CMakeFiles/androne_rt.dir/fluid_resource.cc.o" "gcc" "src/rt/CMakeFiles/androne_rt.dir/fluid_resource.cc.o.d"
+  "/root/repo/src/rt/kernel_model.cc" "src/rt/CMakeFiles/androne_rt.dir/kernel_model.cc.o" "gcc" "src/rt/CMakeFiles/androne_rt.dir/kernel_model.cc.o.d"
+  "/root/repo/src/rt/load_profile.cc" "src/rt/CMakeFiles/androne_rt.dir/load_profile.cc.o" "gcc" "src/rt/CMakeFiles/androne_rt.dir/load_profile.cc.o.d"
+  "/root/repo/src/rt/passmark.cc" "src/rt/CMakeFiles/androne_rt.dir/passmark.cc.o" "gcc" "src/rt/CMakeFiles/androne_rt.dir/passmark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/androne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_rt.dir/cyclictest.cc.o"
+  "CMakeFiles/androne_rt.dir/cyclictest.cc.o.d"
+  "CMakeFiles/androne_rt.dir/disk_queue.cc.o"
+  "CMakeFiles/androne_rt.dir/disk_queue.cc.o.d"
+  "CMakeFiles/androne_rt.dir/fluid_resource.cc.o"
+  "CMakeFiles/androne_rt.dir/fluid_resource.cc.o.d"
+  "CMakeFiles/androne_rt.dir/kernel_model.cc.o"
+  "CMakeFiles/androne_rt.dir/kernel_model.cc.o.d"
+  "CMakeFiles/androne_rt.dir/load_profile.cc.o"
+  "CMakeFiles/androne_rt.dir/load_profile.cc.o.d"
+  "CMakeFiles/androne_rt.dir/passmark.cc.o"
+  "CMakeFiles/androne_rt.dir/passmark.cc.o.d"
+  "libandrone_rt.a"
+  "libandrone_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

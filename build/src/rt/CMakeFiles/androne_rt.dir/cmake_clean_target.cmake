@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libandrone_rt.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/activity_manager.cc" "src/services/CMakeFiles/androne_services.dir/activity_manager.cc.o" "gcc" "src/services/CMakeFiles/androne_services.dir/activity_manager.cc.o.d"
+  "/root/repo/src/services/app.cc" "src/services/CMakeFiles/androne_services.dir/app.cc.o" "gcc" "src/services/CMakeFiles/androne_services.dir/app.cc.o.d"
+  "/root/repo/src/services/device_services.cc" "src/services/CMakeFiles/androne_services.dir/device_services.cc.o" "gcc" "src/services/CMakeFiles/androne_services.dir/device_services.cc.o.d"
+  "/root/repo/src/services/permissions.cc" "src/services/CMakeFiles/androne_services.dir/permissions.cc.o" "gcc" "src/services/CMakeFiles/androne_services.dir/permissions.cc.o.d"
+  "/root/repo/src/services/system_server.cc" "src/services/CMakeFiles/androne_services.dir/system_server.cc.o" "gcc" "src/services/CMakeFiles/androne_services.dir/system_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binder/CMakeFiles/androne_binder.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/androne_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/androne_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/androne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_services.dir/activity_manager.cc.o"
+  "CMakeFiles/androne_services.dir/activity_manager.cc.o.d"
+  "CMakeFiles/androne_services.dir/app.cc.o"
+  "CMakeFiles/androne_services.dir/app.cc.o.d"
+  "CMakeFiles/androne_services.dir/device_services.cc.o"
+  "CMakeFiles/androne_services.dir/device_services.cc.o.d"
+  "CMakeFiles/androne_services.dir/permissions.cc.o"
+  "CMakeFiles/androne_services.dir/permissions.cc.o.d"
+  "CMakeFiles/androne_services.dir/system_server.cc.o"
+  "CMakeFiles/androne_services.dir/system_server.cc.o.d"
+  "libandrone_services.a"
+  "libandrone_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

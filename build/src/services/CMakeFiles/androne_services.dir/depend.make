@@ -1,0 +1,2 @@
+# Empty dependencies file for androne_services.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bytes.cc" "src/util/CMakeFiles/androne_util.dir/bytes.cc.o" "gcc" "src/util/CMakeFiles/androne_util.dir/bytes.cc.o.d"
+  "/root/repo/src/util/geo.cc" "src/util/CMakeFiles/androne_util.dir/geo.cc.o" "gcc" "src/util/CMakeFiles/androne_util.dir/geo.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/androne_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/androne_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/json.cc" "src/util/CMakeFiles/androne_util.dir/json.cc.o" "gcc" "src/util/CMakeFiles/androne_util.dir/json.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/androne_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/androne_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/androne_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/androne_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/sim_clock.cc" "src/util/CMakeFiles/androne_util.dir/sim_clock.cc.o" "gcc" "src/util/CMakeFiles/androne_util.dir/sim_clock.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/androne_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/androne_util.dir/status.cc.o.d"
+  "/root/repo/src/util/xml.cc" "src/util/CMakeFiles/androne_util.dir/xml.cc.o" "gcc" "src/util/CMakeFiles/androne_util.dir/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

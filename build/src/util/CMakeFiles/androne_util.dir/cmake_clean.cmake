@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/androne_util.dir/bytes.cc.o"
+  "CMakeFiles/androne_util.dir/bytes.cc.o.d"
+  "CMakeFiles/androne_util.dir/geo.cc.o"
+  "CMakeFiles/androne_util.dir/geo.cc.o.d"
+  "CMakeFiles/androne_util.dir/histogram.cc.o"
+  "CMakeFiles/androne_util.dir/histogram.cc.o.d"
+  "CMakeFiles/androne_util.dir/json.cc.o"
+  "CMakeFiles/androne_util.dir/json.cc.o.d"
+  "CMakeFiles/androne_util.dir/logging.cc.o"
+  "CMakeFiles/androne_util.dir/logging.cc.o.d"
+  "CMakeFiles/androne_util.dir/rng.cc.o"
+  "CMakeFiles/androne_util.dir/rng.cc.o.d"
+  "CMakeFiles/androne_util.dir/sim_clock.cc.o"
+  "CMakeFiles/androne_util.dir/sim_clock.cc.o.d"
+  "CMakeFiles/androne_util.dir/status.cc.o"
+  "CMakeFiles/androne_util.dir/status.cc.o.d"
+  "CMakeFiles/androne_util.dir/xml.cc.o"
+  "CMakeFiles/androne_util.dir/xml.cc.o.d"
+  "libandrone_util.a"
+  "libandrone_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/androne_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

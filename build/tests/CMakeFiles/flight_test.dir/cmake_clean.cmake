@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_test.dir/flight_test.cc.o"
+  "CMakeFiles/flight_test.dir/flight_test.cc.o.d"
+  "flight_test"
+  "flight_test.pdb"
+  "flight_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

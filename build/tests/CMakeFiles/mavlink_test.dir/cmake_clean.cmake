@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mavlink_test.dir/mavlink_test.cc.o"
+  "CMakeFiles/mavlink_test.dir/mavlink_test.cc.o.d"
+  "mavlink_test"
+  "mavlink_test.pdb"
+  "mavlink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mavlink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

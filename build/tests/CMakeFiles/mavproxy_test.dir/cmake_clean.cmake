@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mavproxy_test.dir/mavproxy_test.cc.o"
+  "CMakeFiles/mavproxy_test.dir/mavproxy_test.cc.o.d"
+  "mavproxy_test"
+  "mavproxy_test.pdb"
+  "mavproxy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mavproxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_extension_test.dir/planner_extension_test.cc.o"
+  "CMakeFiles/planner_extension_test.dir/planner_extension_test.cc.o.d"
+  "planner_extension_test"
+  "planner_extension_test.pdb"
+  "planner_extension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

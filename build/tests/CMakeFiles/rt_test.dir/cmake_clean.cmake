@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_test.dir/rt_test.cc.o"
+  "CMakeFiles/rt_test.dir/rt_test.cc.o.d"
+  "rt_test"
+  "rt_test.pdb"
+  "rt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

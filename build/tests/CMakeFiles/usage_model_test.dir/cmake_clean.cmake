@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_model_test.dir/usage_model_test.cc.o"
+  "CMakeFiles/usage_model_test.dir/usage_model_test.cc.o.d"
+  "usage_model_test"
+  "usage_model_test.pdb"
+  "usage_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_bytes_test.cc" "tests/CMakeFiles/util_test.dir/util_bytes_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_bytes_test.cc.o.d"
+  "/root/repo/tests/util_geo_test.cc" "tests/CMakeFiles/util_test.dir/util_geo_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_geo_test.cc.o.d"
+  "/root/repo/tests/util_histogram_test.cc" "tests/CMakeFiles/util_test.dir/util_histogram_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_histogram_test.cc.o.d"
+  "/root/repo/tests/util_json_test.cc" "tests/CMakeFiles/util_test.dir/util_json_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_json_test.cc.o.d"
+  "/root/repo/tests/util_rng_test.cc" "tests/CMakeFiles/util_test.dir/util_rng_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_rng_test.cc.o.d"
+  "/root/repo/tests/util_sim_clock_test.cc" "tests/CMakeFiles/util_test.dir/util_sim_clock_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_sim_clock_test.cc.o.d"
+  "/root/repo/tests/util_status_test.cc" "tests/CMakeFiles/util_test.dir/util_status_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_status_test.cc.o.d"
+  "/root/repo/tests/util_xml_test.cc" "tests/CMakeFiles/util_test.dir/util_xml_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_xml_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/androne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

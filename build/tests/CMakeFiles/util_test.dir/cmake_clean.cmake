@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util_bytes_test.cc.o"
+  "CMakeFiles/util_test.dir/util_bytes_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_geo_test.cc.o"
+  "CMakeFiles/util_test.dir/util_geo_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_histogram_test.cc.o"
+  "CMakeFiles/util_test.dir/util_histogram_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_json_test.cc.o"
+  "CMakeFiles/util_test.dir/util_json_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_rng_test.cc.o"
+  "CMakeFiles/util_test.dir/util_rng_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_sim_clock_test.cc.o"
+  "CMakeFiles/util_test.dir/util_sim_clock_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_status_test.cc.o"
+  "CMakeFiles/util_test.dir/util_status_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_xml_test.cc.o"
+  "CMakeFiles/util_test.dir/util_xml_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_test[1]_include.cmake")
+include("/root/repo/build/tests/binder_test[1]_include.cmake")
+include("/root/repo/build/tests/container_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/mavlink_test[1]_include.cmake")
+include("/root/repo/build/tests/services_test[1]_include.cmake")
+include("/root/repo/build/tests/flight_test[1]_include.cmake")
+include("/root/repo/build/tests/mavproxy_test[1]_include.cmake")
+include("/root/repo/build/tests/cloud_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_extension_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/usage_model_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
