@@ -1,0 +1,87 @@
+#include "src/cloud/ground_control.h"
+
+namespace androne {
+
+GroundControl::GroundControl(SimClock* clock, GroundControlConfig config,
+                             uint64_t seed)
+    : clock_(clock), config_(config),
+      sender_(clock, config.retry, seed) {
+  sender_.set_sysid(config_.sysid);
+}
+
+void GroundControl::SetUplink(FrameSink sink) {
+  uplink_ = std::move(sink);
+  sender_.SetSendSink([this](const MavlinkFrame& frame) {
+    if (uplink_) {
+      uplink_(frame);
+    }
+  });
+}
+
+void GroundControl::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  BeaconTick();
+}
+
+void GroundControl::BeaconTick() {
+  if (!running_) {
+    return;
+  }
+  Heartbeat hb;
+  hb.type = 6;       // MAV_TYPE_GCS.
+  hb.autopilot = 8;  // MAV_AUTOPILOT_INVALID, as GCSs send.
+  hb.system_status = static_cast<uint8_t>(MavState::kActive);
+  SendFrame(PackMessage(MavMessage{hb}));
+  ++heartbeats_sent_;
+  clock_->ScheduleAfter(SecondsF(1.0 / config_.heartbeat_hz),
+                        [this] { BeaconTick(); });
+}
+
+void GroundControl::SendCommand(const CommandLong& cmd) {
+  sender_.SendCommand(cmd);
+}
+
+void GroundControl::SendMode(CopterMode mode) {
+  SetMode sm;
+  sm.custom_mode = static_cast<uint32_t>(mode);
+  SendFrame(PackMessage(MavMessage{sm}));
+}
+
+void GroundControl::SendPositionTarget(double lat_deg, double lon_deg,
+                                       double alt_m) {
+  SetPositionTargetGlobalInt sp;
+  sp.lat_int = static_cast<int32_t>(lat_deg * 1e7);
+  sp.lon_int = static_cast<int32_t>(lon_deg * 1e7);
+  sp.alt = static_cast<float>(alt_m);
+  SendFrame(PackMessage(MavMessage{sp}));
+}
+
+void GroundControl::SendFrame(const MavlinkFrame& frame) {
+  MavlinkFrame out = frame;
+  out.seq = tx_seq_++;
+  out.sysid = config_.sysid;
+  if (uplink_) {
+    uplink_(out);
+  }
+}
+
+void GroundControl::HandleDownlinkFrame(const MavlinkFrame& frame) {
+  sender_.HandleFrame(frame);
+  auto message = UnpackMessage(frame);
+  if (!message.ok()) {
+    return;
+  }
+  if (const auto* hb = std::get_if<Heartbeat>(&*message)) {
+    ++drone_heartbeats_;
+    drone_mode_ = static_cast<CopterMode>(hb->custom_mode);
+    return;
+  }
+  if (const auto* gpi = std::get_if<GlobalPositionInt>(&*message)) {
+    drone_position_ = *gpi;
+  }
+}
+
+}  // namespace androne

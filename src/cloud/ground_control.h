@@ -1,0 +1,78 @@
+// Cloud-side ground-control endpoint: the transport half of the flight
+// planner's connection to the drone (paper §4.2). It beacons heartbeats at
+// the GCS rate so the drone's link watchdog can detect loss of the cloud
+// link, sends COMMAND_LONGs through a ReliableCommandSender (ack-tracked
+// retransmission over the lossy cellular link), and tracks the downlink
+// telemetry it sees (mode, position, drone heartbeats).
+#ifndef SRC_CLOUD_GROUND_CONTROL_H_
+#define SRC_CLOUD_GROUND_CONTROL_H_
+
+#include <functional>
+#include <optional>
+
+#include "src/mavlink/reliable.h"
+#include "src/util/sim_clock.h"
+
+namespace androne {
+
+struct GroundControlConfig {
+  double heartbeat_hz = 1.0;
+  RetryConfig retry;
+  uint8_t sysid = 255;  // GCS convention.
+};
+
+class GroundControl {
+ public:
+  using FrameSink = std::function<void(const MavlinkFrame&)>;
+
+  GroundControl(SimClock* clock, GroundControlConfig config, uint64_t seed);
+
+  // Frames toward the drone (the uplink side of the cellular/RF channel).
+  void SetUplink(FrameSink sink);
+  void SetCompletionCallback(ReliableCommandSender::CompletionCallback cb) {
+    sender_.SetCompletionCallback(std::move(cb));
+  }
+
+  // Starts the heartbeat beacon; idempotent.
+  void Start();
+  void Stop() { running_ = false; }
+
+  // Ack-tracked command delivery (retransmits until acked or given up).
+  void SendCommand(const CommandLong& cmd);
+  // Fire-and-forget messages (SET_MODE and targets have no MAVLink ack;
+  // callers re-send them as needed).
+  void SendMode(CopterMode mode);
+  void SendPositionTarget(double lat_deg, double lon_deg, double alt_m);
+  void SendFrame(const MavlinkFrame& frame);
+
+  // Feed every frame arriving from the drone here; COMMAND_ACKs resolve
+  // pending commands, telemetry updates the tracked state.
+  void HandleDownlinkFrame(const MavlinkFrame& frame);
+
+  // --- Introspection ---
+  const ReliableCommandSender& sender() const { return sender_; }
+  uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  uint64_t drone_heartbeats() const { return drone_heartbeats_; }
+  std::optional<CopterMode> drone_mode() const { return drone_mode_; }
+  const std::optional<GlobalPositionInt>& drone_position() const {
+    return drone_position_;
+  }
+
+ private:
+  void BeaconTick();
+
+  SimClock* clock_;
+  GroundControlConfig config_;
+  FrameSink uplink_;
+  ReliableCommandSender sender_;
+  bool running_ = false;
+  uint8_t tx_seq_ = 0;
+  uint64_t heartbeats_sent_ = 0;
+  uint64_t drone_heartbeats_ = 0;
+  std::optional<CopterMode> drone_mode_;
+  std::optional<GlobalPositionInt> drone_position_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_CLOUD_GROUND_CONTROL_H_

@@ -14,6 +14,20 @@ const char* ContainerKindName(ContainerKind kind) {
   return "unknown";
 }
 
+const char* ContainerStateName(ContainerState state) {
+  switch (state) {
+    case ContainerState::kCreated:
+      return "created";
+    case ContainerState::kRunning:
+      return "running";
+    case ContainerState::kStopped:
+      return "stopped";
+    case ContainerState::kCrashed:
+      return "crashed";
+  }
+  return "unknown";
+}
+
 void Container::WriteFile(const std::string& path, std::string content) {
   writable_layer_[path] = LayerFile{std::move(content), false};
 }

@@ -23,7 +23,14 @@ enum class ContainerKind {
 
 const char* ContainerKindName(ContainerKind kind);
 
-enum class ContainerState { kCreated, kRunning, kStopped };
+enum class ContainerState {
+  kCreated,
+  kRunning,
+  kStopped,
+  kCrashed,  // Processes died abnormally; restartable by a supervisor.
+};
+
+const char* ContainerStateName(ContainerState state);
 
 // Memory model (calibrated to paper §6.3 / Figure 12): ~100 MB for host OS
 // + VDC, ~150 MB for device + flight containers combined, ~185 MB per
@@ -81,6 +88,9 @@ class Container {
   // Memory this container will need when started.
   double MemoryRequirementMb() const;
 
+  // How many times this container has crashed over its lifetime.
+  uint64_t crash_count() const { return crash_count_; }
+
  private:
   friend class ContainerRuntime;
 
@@ -99,6 +109,7 @@ class Container {
   ContainerState state_ = ContainerState::kCreated;
   LayerFiles writable_layer_;
   std::vector<ContainerProcess> processes_;
+  uint64_t crash_count_ = 0;
 };
 
 }  // namespace androne

@@ -69,6 +69,27 @@ Status ContainerRuntime::StopContainer(ContainerId id) {
   return OkStatus();
 }
 
+Status ContainerRuntime::CrashContainer(ContainerId id) {
+  ASSIGN_OR_RETURN(Container * container, Find(id));
+  if (container->state_ != ContainerState::kRunning) {
+    return FailedPreconditionError("container not running");
+  }
+  for (const ContainerProcess& proc : container->processes_) {
+    process_owner_.erase(proc.pid);
+  }
+  container->processes_.clear();
+  driver_->DestroyContainer(id);
+  container->state_ = ContainerState::kCrashed;
+  ++container->crash_count_;
+  ALOG(kWarning, "runtime") << "container '" << container->name()
+                            << "' crashed (crash #"
+                            << container->crash_count_ << ")";
+  if (crash_listener_) {
+    crash_listener_(id);
+  }
+  return OkStatus();
+}
+
 StatusOr<ContainerProcess> ContainerRuntime::SpawnProcess(
     ContainerId id, const std::string& name, Uid euid) {
   ASSIGN_OR_RETURN(Container * container, Find(id));

@@ -7,6 +7,7 @@
 #ifndef SRC_CONTAINER_RUNTIME_H_
 #define SRC_CONTAINER_RUNTIME_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -35,6 +36,19 @@ class ContainerRuntime {
 
   // Stops the container: kills all its processes and their Binder state.
   Status StopContainer(ContainerId id);
+
+  // Fault hook: the container's processes die abnormally (as if init
+  // segfaulted). All its processes and Binder state are torn down, the
+  // state becomes kCrashed, and the crash listener (if any) fires. Sibling
+  // containers are untouched. A crashed container can be StartContainer'd
+  // again — that is what a supervisor does.
+  Status CrashContainer(ContainerId id);
+
+  // Observer for CrashContainer events (e.g. a ContainerSupervisor).
+  using CrashListener = std::function<void(ContainerId)>;
+  void SetCrashListener(CrashListener listener) {
+    crash_listener_ = std::move(listener);
+  }
 
   // Spawns an additional named process (e.g. an app) in a running
   // container. |euid| follows Android conventions (apps >= 10000).
@@ -67,6 +81,7 @@ class ContainerRuntime {
 
   BinderDriver* driver_;
   ImageStore* images_;
+  CrashListener crash_listener_;
   double memory_budget_mb_;
   std::map<ContainerId, std::unique_ptr<Container>> containers_;
   std::map<Pid, ContainerId> process_owner_;

@@ -1,0 +1,83 @@
+#include "src/container/supervisor.h"
+
+#include "src/util/logging.h"
+
+namespace androne {
+
+ContainerSupervisor::ContainerSupervisor(SimClock* clock,
+                                         ContainerRuntime* runtime,
+                                         SupervisorPolicy policy,
+                                         uint64_t seed)
+    : clock_(clock), runtime_(runtime), policy_(policy), rng_(seed) {
+  runtime_->SetCrashListener([this](ContainerId id) { OnCrash(id); });
+}
+
+void ContainerSupervisor::Watch(ContainerId id) {
+  Watched w;
+  w.last_start = clock_->now();
+  watched_[id] = w;
+}
+
+void ContainerSupervisor::Unwatch(ContainerId id) { watched_.erase(id); }
+
+bool ContainerSupervisor::GaveUpOn(ContainerId id) const {
+  auto it = watched_.find(id);
+  return it != watched_.end() && it->second.gave_up;
+}
+
+void ContainerSupervisor::OnCrash(ContainerId id) {
+  auto it = watched_.find(id);
+  if (it == watched_.end() || it->second.gave_up ||
+      it->second.restart_pending) {
+    return;
+  }
+  Watched& w = it->second;
+  // A long, healthy life forgives earlier failures.
+  if (clock_->now() - w.last_start >= policy_.stable_after) {
+    w.streak = 0;
+  }
+  RestartEpisode episode;
+  episode.id = id;
+  episode.crashed_at = clock_->now();
+  episode.streak = w.streak;
+  episodes_.push_back(episode);
+  if (w.streak >= policy_.max_consecutive_restarts) {
+    w.gave_up = true;
+    ++gave_up_;
+    ALOG(kError, "supervisor")
+        << "giving up on container " << id << " after " << w.streak
+        << " consecutive restarts";
+    return;
+  }
+  SimDuration delay = policy_.backoff.DelayFor(w.streak, rng_);
+  w.restart_pending = true;
+  ALOG(kWarning, "supervisor")
+      << "container " << id << " crashed (streak " << w.streak
+      << "); restarting in " << ToMillis(delay) << " ms";
+  clock_->ScheduleAfter(delay, [this, id] { AttemptRestart(id); });
+}
+
+void ContainerSupervisor::AttemptRestart(ContainerId id) {
+  auto it = watched_.find(id);
+  if (it == watched_.end()) {
+    return;  // Unwatched while the restart was pending.
+  }
+  Watched& w = it->second;
+  w.restart_pending = false;
+  ++w.streak;
+  Status status = runtime_->StartContainer(id);
+  if (!status.ok()) {
+    ALOG(kError, "supervisor")
+        << "restart of container " << id << " failed: " << status.ToString();
+    // Treat a failed start like an immediate crash of the new life.
+    w.last_start = clock_->now();
+    OnCrash(id);
+    return;
+  }
+  w.last_start = clock_->now();
+  ++restarts_;
+  episodes_.back().restarted_at = clock_->now();
+  ALOG(kInfo, "supervisor") << "container " << id << " restarted";
+}
+
+}  // namespace androne

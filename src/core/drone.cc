@@ -114,6 +114,17 @@ Status AnDroneSystem::Boot() {
     proxy_->HandleMasterFrame(frame);
   });
 
+  // Planner commands go out ack-tracked: locally the ack resolves in the
+  // same event, but the same executor then survives a lossy planner link.
+  planner_sender_ = std::make_unique<ReliableCommandSender>(
+      clock_, RetryConfig{}, options_.seed + 11);
+  planner_sender_->SetSendSink([this](const MavlinkFrame& frame) {
+    proxy_->HandlePlannerFrame(frame);
+  });
+  proxy_->SetPlannerSink([this](const MavlinkFrame& frame) {
+    planner_sender_->HandleFrame(frame);
+  });
+
   // --- VDC ---
   vdc_ = std::make_unique<Vdc>(clock_, runtime_.get(), &device_stack_, &vdr_,
                                &cloud_storage_, base_image_, Vdc::Config{});
@@ -149,29 +160,29 @@ Status AnDroneSystem::Boot() {
 
   // Accounting + compute-power tick at 1 Hz.
   accounting_running_ = true;
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, tick] {
-    if (!accounting_running_) {
-      return;
-    }
-    vdc_->AccountActiveTenant(Seconds(1));
-    int vdrones = 0;
-    for (Container* c : runtime_->ListContainers()) {
-      vdrones += (c->kind() == ContainerKind::kVirtualDrone &&
-                  c->state() == ContainerState::kRunning)
-                     ? 1
-                     : 0;
-    }
-    battery_.Drain(compute_power_.Watts(0.08, 2 + vdrones, vdrones),
-                   Seconds(1));
-    clock_->ScheduleAfter(Seconds(1), *tick);
-  };
-  clock_->ScheduleAfter(Seconds(1), *tick);
+  clock_->ScheduleAfter(Seconds(1), [this] { AccountingTick(); });
 
   booted_ = true;
   // Let sensors and the estimator warm up (GPS acquisition).
   clock_->RunFor(Seconds(2));
   return OkStatus();
+}
+
+void AnDroneSystem::AccountingTick() {
+  if (!accounting_running_) {
+    return;
+  }
+  vdc_->AccountActiveTenant(Seconds(1));
+  int vdrones = 0;
+  for (Container* c : runtime_->ListContainers()) {
+    vdrones += (c->kind() == ContainerKind::kVirtualDrone &&
+                c->state() == ContainerState::kRunning)
+                   ? 1
+                   : 0;
+  }
+  battery_.Drain(compute_power_.Watts(0.08, 2 + vdrones, vdrones),
+                 Seconds(1));
+  clock_->ScheduleAfter(Seconds(1), [this] { AccountingTick(); });
 }
 
 StatusOr<VirtualDroneInstance*> AnDroneSystem::Deploy(
@@ -197,6 +208,10 @@ VirtualFlightController* AnDroneSystem::VfcOf(const std::string& vdrone_id) {
 }
 
 void AnDroneSystem::PlannerSend(const MavMessage& message) {
+  if (const auto* cmd = std::get_if<CommandLong>(&message)) {
+    planner_sender_->SendCommand(*cmd);
+    return;
+  }
   proxy_->HandlePlannerFrame(PackMessage(message));
 }
 

@@ -19,6 +19,7 @@
 #include "src/flight/flight_controller.h"
 #include "src/flight/hal_bridge.h"
 #include "src/hw/power.h"
+#include "src/mavlink/reliable.h"
 #include "src/mavproxy/mavproxy.h"
 #include "src/rt/kernel_model.h"
 
@@ -87,11 +88,13 @@ class AnDroneSystem {
   VirtualDroneRepository& vdr() { return vdr_; }
   CloudStorage& cloud_storage() { return cloud_storage_; }
   VirtualFlightController* VfcOf(const std::string& vdrone_id);
+  ReliableCommandSender& planner_sender() { return *planner_sender_; }
   ImageId base_image() const { return base_image_; }
 
  private:
   // Planner-endpoint MAVLink helpers.
   void PlannerSend(const MavMessage& message);
+  void AccountingTick();
   Status TakeoffToCruise(FlightExecutionReport& report);
   Status ReturnToBase(FlightExecutionReport& report);
   void ApplyTenantGeofence(const VirtualDroneInstance& vd, size_t waypoint);
@@ -122,6 +125,7 @@ class AnDroneSystem {
   std::unique_ptr<FlightController> flight_controller_;
   std::unique_ptr<WakeLatencySampler> latency_sampler_;
   std::unique_ptr<MavProxy> proxy_;
+  std::unique_ptr<ReliableCommandSender> planner_sender_;
 
   // Cloud-side stores co-simulated locally.
   VirtualDroneRepository vdr_;

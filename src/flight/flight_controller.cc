@@ -30,6 +30,8 @@ FlightController::FlightController(SimClock* clock, QuadPhysics* physics,
                                    FlightControllerConfig config)
     : clock_(clock), physics_(physics), motors_(motors), sensors_(sensors),
       battery_(battery), config_(config), estimator_(config.home),
+      // The window must outlast a sender's largest retransmission gap.
+      deduper_(clock, /*window=*/Seconds(5)),
       position_ctrl_(physics->hover_throttle(), PositionControllerLimits{}) {
   params_["WPNAV_SPEED"] = position_ctrl_.limits().max_speed_ms;
   params_["FENCE_ENABLE"] = 0;
@@ -50,75 +52,72 @@ void FlightController::Start() {
 void FlightController::Stop() { running_ = false; }
 
 void FlightController::StartTelemetry() {
-  // Heartbeat.
-  auto heartbeat = std::make_shared<std::function<void()>>();
-  *heartbeat = [this, heartbeat] {
-    if (!running_) {
-      return;
-    }
-    Heartbeat hb;
-    hb.custom_mode = static_cast<uint32_t>(mode_);
-    hb.base_mode = kMavModeFlagCustomModeEnabled |
-                   (armed_ ? kMavModeFlagSafetyArmed : 0);
-    hb.system_status = static_cast<uint8_t>(armed_ ? MavState::kActive
-                                                   : MavState::kStandby);
-    Send(MavMessage{hb});
-    clock_->ScheduleAfter(SecondsF(1.0 / config_.heartbeat_hz), *heartbeat);
-  };
-  clock_->ScheduleAfter(SecondsF(1.0 / config_.heartbeat_hz), *heartbeat);
-
-  // Attitude telemetry.
-  auto attitude = std::make_shared<std::function<void()>>();
-  *attitude = [this, attitude] {
-    if (!running_) {
-      return;
-    }
-    Attitude att;
-    att.time_boot_ms = static_cast<uint32_t>(ToMillis(clock_->now()));
-    att.roll = static_cast<float>(estimator_.attitude().roll_rad);
-    att.pitch = static_cast<float>(estimator_.attitude().pitch_rad);
-    att.yaw = static_cast<float>(estimator_.attitude().yaw_rad);
-    Send(MavMessage{att});
-    clock_->ScheduleAfter(SecondsF(1.0 / config_.attitude_telemetry_hz),
-                          *attitude);
-  };
+  clock_->ScheduleAfter(SecondsF(1.0 / config_.heartbeat_hz),
+                        [this] { HeartbeatTick(); });
   clock_->ScheduleAfter(SecondsF(1.0 / config_.attitude_telemetry_hz),
-                        *attitude);
-
-  // Position telemetry.
-  auto position = std::make_shared<std::function<void()>>();
-  *position = [this, position] {
-    if (!running_) {
-      return;
-    }
-    const GeoPoint& p = estimator_.position().position;
-    const NedPoint& v = estimator_.position().velocity_ms;
-    GlobalPositionInt gpi;
-    gpi.time_boot_ms = static_cast<uint32_t>(ToMillis(clock_->now()));
-    gpi.lat = static_cast<int32_t>(p.latitude_deg * 1e7);
-    gpi.lon = static_cast<int32_t>(p.longitude_deg * 1e7);
-    gpi.alt = static_cast<int32_t>(p.altitude_m * 1000);
-    gpi.relative_alt = static_cast<int32_t>(p.altitude_m * 1000);
-    gpi.vx = static_cast<int16_t>(v.north_m * 100);
-    gpi.vy = static_cast<int16_t>(v.east_m * 100);
-    gpi.vz = static_cast<int16_t>(v.down_m * 100);
-    double hdg = estimator_.attitude().yaw_rad * kRadToDeg;
-    while (hdg < 0) {
-      hdg += 360;
-    }
-    gpi.hdg = static_cast<uint16_t>(std::fmod(hdg, 360.0) * 100);
-    Send(MavMessage{gpi});
-
-    SysStatus ss;
-    ss.voltage_battery = static_cast<uint16_t>(battery_->voltage() * 1000);
-    ss.battery_remaining =
-        static_cast<int8_t>(battery_->fraction_remaining() * 100);
-    Send(MavMessage{ss});
-    clock_->ScheduleAfter(SecondsF(1.0 / config_.position_telemetry_hz),
-                          *position);
-  };
+                        [this] { AttitudeTick(); });
   clock_->ScheduleAfter(SecondsF(1.0 / config_.position_telemetry_hz),
-                        *position);
+                        [this] { PositionTick(); });
+}
+
+void FlightController::HeartbeatTick() {
+  if (!running_) {
+    return;
+  }
+  Heartbeat hb;
+  hb.custom_mode = static_cast<uint32_t>(mode_);
+  hb.base_mode = kMavModeFlagCustomModeEnabled |
+                 (armed_ ? kMavModeFlagSafetyArmed : 0);
+  hb.system_status = static_cast<uint8_t>(armed_ ? MavState::kActive
+                                                 : MavState::kStandby);
+  Send(MavMessage{hb});
+  clock_->ScheduleAfter(SecondsF(1.0 / config_.heartbeat_hz),
+                        [this] { HeartbeatTick(); });
+}
+
+void FlightController::AttitudeTick() {
+  if (!running_) {
+    return;
+  }
+  Attitude att;
+  att.time_boot_ms = static_cast<uint32_t>(ToMillis(clock_->now()));
+  att.roll = static_cast<float>(estimator_.attitude().roll_rad);
+  att.pitch = static_cast<float>(estimator_.attitude().pitch_rad);
+  att.yaw = static_cast<float>(estimator_.attitude().yaw_rad);
+  Send(MavMessage{att});
+  clock_->ScheduleAfter(SecondsF(1.0 / config_.attitude_telemetry_hz),
+                        [this] { AttitudeTick(); });
+}
+
+void FlightController::PositionTick() {
+  if (!running_) {
+    return;
+  }
+  const GeoPoint& p = estimator_.position().position;
+  const NedPoint& v = estimator_.position().velocity_ms;
+  GlobalPositionInt gpi;
+  gpi.time_boot_ms = static_cast<uint32_t>(ToMillis(clock_->now()));
+  gpi.lat = static_cast<int32_t>(p.latitude_deg * 1e7);
+  gpi.lon = static_cast<int32_t>(p.longitude_deg * 1e7);
+  gpi.alt = static_cast<int32_t>(p.altitude_m * 1000);
+  gpi.relative_alt = static_cast<int32_t>(p.altitude_m * 1000);
+  gpi.vx = static_cast<int16_t>(v.north_m * 100);
+  gpi.vy = static_cast<int16_t>(v.east_m * 100);
+  gpi.vz = static_cast<int16_t>(v.down_m * 100);
+  double hdg = estimator_.attitude().yaw_rad * kRadToDeg;
+  while (hdg < 0) {
+    hdg += 360;
+  }
+  gpi.hdg = static_cast<uint16_t>(std::fmod(hdg, 360.0) * 100);
+  Send(MavMessage{gpi});
+
+  SysStatus ss;
+  ss.voltage_battery = static_cast<uint16_t>(battery_->voltage() * 1000);
+  ss.battery_remaining =
+      static_cast<int8_t>(battery_->fraction_remaining() * 100);
+  Send(MavMessage{ss});
+  clock_->ScheduleAfter(SecondsF(1.0 / config_.position_telemetry_hz),
+                        [this] { PositionTick(); });
 }
 
 NedPoint FlightController::EstimatedNed() const {
@@ -456,6 +455,7 @@ void FlightController::SendAck(MavCmd command, MavResult result) {
   CommandAck ack;
   ack.command = static_cast<uint16_t>(command);
   ack.result = static_cast<uint8_t>(result);
+  deduper_.RecordAck(ack);
   Send(MavMessage{ack});
 }
 
@@ -469,6 +469,17 @@ void FlightController::SendStatusText(MavSeverity severity,
 }
 
 void FlightController::HandleFrame(const MavlinkFrame& frame) {
+  if (frame.msgid == MavMsgId::kCommandLong) {
+    CommandDeduper::Verdict verdict = deduper_.Filter(frame);
+    if (verdict.duplicate) {
+      // A retransmission of a command already executed (its ack was lost in
+      // flight). Re-send the cached ack rather than executing twice.
+      if (verdict.cached_ack.has_value()) {
+        Send(MavMessage{*verdict.cached_ack});
+      }
+      return;
+    }
+  }
   auto message = UnpackMessage(frame);
   if (!message.ok()) {
     return;  // Unknown/garbled: drop, like a real autopilot.

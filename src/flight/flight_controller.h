@@ -27,6 +27,7 @@
 #include "src/flight/sensor_source.h"
 #include "src/hw/power.h"
 #include "src/mavlink/messages.h"
+#include "src/mavlink/reliable.h"
 #include "src/rt/kernel_model.h"
 #include "src/util/sim_clock.h"
 
@@ -105,6 +106,11 @@ class FlightController {
   bool fence_recovering() const { return fence_recovering_; }
   uint64_t fast_loop_count() const { return fast_loops_; }
   uint64_t missed_deadlines() const { return missed_deadlines_; }
+  // COMMAND_LONG retransmissions recognized and suppressed (the cached ack
+  // is re-sent instead of re-executing the command).
+  uint64_t duplicate_commands() const {
+    return deduper_.duplicates_suppressed();
+  }
   bool battery_failsafe_triggered() const {
     return battery_failsafe_triggered_;
   }
@@ -128,6 +134,9 @@ class FlightController {
   MavResult SwitchMode(CopterMode mode);
   NedPoint EstimatedNed() const;
   void StartTelemetry();
+  void HeartbeatTick();
+  void AttitudeTick();
+  void PositionTick();
 
   SimClock* clock_;
   QuadPhysics* physics_;
@@ -138,6 +147,7 @@ class FlightController {
   WakeLatencySampler* latency_ = nullptr;
 
   Estimator estimator_;
+  CommandDeduper deduper_;
   AttitudeController attitude_ctrl_;
   PositionController position_ctrl_;
   FlightLog log_;

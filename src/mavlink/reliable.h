@@ -1,0 +1,141 @@
+// Reliable MAVLink command delivery over lossy links. COMMAND_LONG is the
+// one MAVLink message with an application-level ack (COMMAND_ACK), and real
+// GCS stacks retransmit it with the `confirmation` field counting resends.
+// ReliableCommandSender implements the sender side: ack tracking, timeout,
+// bounded exponential backoff with jitter, and a give-up threshold.
+// CommandDeduper implements the receiver side: a retransmission that arrives
+// after the original was already executed is suppressed and re-acked with
+// the cached result, so retried commands execute exactly once.
+#ifndef SRC_MAVLINK_RELIABLE_H_
+#define SRC_MAVLINK_RELIABLE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "src/mavlink/messages.h"
+#include "src/util/backoff.h"
+#include "src/util/sim_clock.h"
+
+namespace androne {
+
+struct RetryConfig {
+  // Time to wait for COMMAND_ACK before the first retransmission. Should
+  // comfortably exceed one RTT of the target link (LTE: ~140 ms).
+  SimDuration ack_timeout = Millis(400);
+  // Total transmissions (first send + retries) before giving up.
+  int max_attempts = 10;
+  // Backoff between retransmissions (attempt 0 = delay after the first
+  // retransmission). Jitter decorrelates retry storms across senders.
+  BackoffPolicy backoff{Millis(400), 2.0, Seconds(5), 0.25};
+};
+
+// Ack-tracked COMMAND_LONG sender. One command per MAV_CMD id may be in
+// flight at a time (COMMAND_ACK only carries the command id); sending a
+// command that is already pending replaces the pending one.
+class ReliableCommandSender {
+ public:
+  using FrameSink = std::function<void(const MavlinkFrame&)>;
+  // Invoked when a command resolves: |delivered| is true on ack (any result
+  // code — delivery, not acceptance), false when the sender gives up.
+  using CompletionCallback =
+      std::function<void(const CommandLong&, bool delivered)>;
+
+  ReliableCommandSender(SimClock* clock, RetryConfig config, uint64_t seed);
+
+  void SetSendSink(FrameSink sink) { sink_ = std::move(sink); }
+  void SetCompletionCallback(CompletionCallback cb) {
+    completion_ = std::move(cb);
+  }
+  // Source system id stamped on outgoing frames (255 = GCS convention).
+  void set_sysid(uint8_t sysid) { sysid_ = sysid; }
+
+  // Sends |cmd| and tracks it until acked or given up. Retransmissions keep
+  // the frame's sequence number (so receivers can deduplicate) and bump the
+  // MAVLink `confirmation` field, as the protocol specifies.
+  void SendCommand(const CommandLong& cmd);
+
+  // Feed frames arriving from the drone; consumes COMMAND_ACKs (other
+  // messages are ignored, so the whole downlink can be routed here).
+  void HandleFrame(const MavlinkFrame& frame);
+
+  // --- Introspection ---
+  size_t pending() const { return pending_.size(); }
+  uint64_t commands_sent() const { return commands_sent_; }
+  uint64_t retransmissions() const { return retransmissions_; }
+  uint64_t acked() const { return acked_; }
+  uint64_t gave_up() const { return gave_up_; }
+
+ private:
+  struct Pending {
+    CommandLong cmd;
+    uint8_t seq = 0;
+    int attempts = 0;     // Transmissions so far.
+    EventId timer = 0;    // 0 = no retry scheduled.
+  };
+
+  void Transmit(uint16_t command_id);
+  void OnTimeout(uint16_t command_id);
+  void Resolve(uint16_t command_id, bool delivered);
+
+  SimClock* clock_;
+  RetryConfig config_;
+  Rng rng_;
+  FrameSink sink_;
+  CompletionCallback completion_;
+  uint8_t sysid_ = 255;
+  uint8_t tx_seq_ = 0;
+  std::map<uint16_t, Pending> pending_;
+  uint64_t commands_sent_ = 0;
+  uint64_t retransmissions_ = 0;
+  uint64_t acked_ = 0;
+  uint64_t gave_up_ = 0;
+};
+
+// Receiver-side duplicate suppression for COMMAND_LONG. A retransmission is
+// a frame whose (sysid, compid, seq) and payload — ignoring the
+// `confirmation` counter — match a recently handled command. The deduper
+// remembers the ack each command produced so duplicates can be re-acked
+// without re-executing (the original ack may have been lost downlink).
+class CommandDeduper {
+ public:
+  struct Verdict {
+    bool duplicate = false;
+    std::optional<CommandAck> cached_ack;  // Set if the original was acked.
+  };
+
+  explicit CommandDeduper(SimClock* clock, SimDuration window = Seconds(2),
+                          size_t capacity = 32)
+      : clock_(clock), window_(window), capacity_(capacity) {}
+
+  // Classifies an inbound COMMAND_LONG frame; fresh commands are recorded.
+  // Frames that are not COMMAND_LONG (or fail to decode) are never
+  // duplicates.
+  Verdict Filter(const MavlinkFrame& frame);
+
+  // Associates an outbound ack with the most recent matching fresh command.
+  void RecordAck(const CommandAck& ack);
+
+  uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+
+ private:
+  struct Entry {
+    uint8_t sysid, compid, seq;
+    CommandLong cmd;  // confirmation zeroed.
+    SimTime time;
+    std::optional<CommandAck> ack;
+  };
+
+  void Prune();
+
+  SimClock* clock_;
+  SimDuration window_;
+  size_t capacity_;
+  std::deque<Entry> entries_;
+  uint64_t duplicates_suppressed_ = 0;
+};
+
+}  // namespace androne
+
+#endif  // SRC_MAVLINK_RELIABLE_H_

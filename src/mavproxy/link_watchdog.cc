@@ -1,0 +1,79 @@
+#include "src/mavproxy/link_watchdog.h"
+
+#include <memory>
+
+#include "src/util/logging.h"
+
+namespace androne {
+
+const char* LinkFailsafeStageName(LinkFailsafeStage stage) {
+  switch (stage) {
+    case LinkFailsafeStage::kNone:
+      return "none";
+    case LinkFailsafeStage::kLoiter:
+      return "loiter";
+    case LinkFailsafeStage::kRtl:
+      return "rtl";
+  }
+  return "unknown";
+}
+
+void LinkWatchdog::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  last_heartbeat_ = clock_->now();
+  ScheduleTick();
+}
+
+void LinkWatchdog::ScheduleTick() {
+  clock_->ScheduleAfter(config_.check_period, [this] {
+    if (!running_) {
+      return;
+    }
+    Check();
+    ScheduleTick();
+  });
+}
+
+void LinkWatchdog::NoteHeartbeat() {
+  last_heartbeat_ = clock_->now();
+  ++heartbeats_seen_;
+  if (stage_ != LinkFailsafeStage::kNone) {
+    episodes_.back().recovered = clock_->now();
+    stage_ = LinkFailsafeStage::kNone;
+    ALOG(kInfo, "watchdog") << "link recovered; tenant control resumes";
+    if (on_recovery_) {
+      on_recovery_();
+    }
+  }
+}
+
+void LinkWatchdog::Check() {
+  SimDuration silence = clock_->now() - last_heartbeat_;
+  if (stage_ == LinkFailsafeStage::kNone && silence >= config_.loiter_after) {
+    stage_ = LinkFailsafeStage::kLoiter;
+    FailsafeEpisode episode;
+    episode.entered = clock_->now();
+    episodes_.push_back(episode);
+    ALOG(kWarning, "watchdog")
+        << "link lost for " << ToMillis(silence) << " ms; failsafe loiter";
+    if (on_stage_) {
+      on_stage_(LinkFailsafeStage::kLoiter);
+    }
+    return;
+  }
+  if (stage_ == LinkFailsafeStage::kLoiter && silence >= config_.rtl_after) {
+    stage_ = LinkFailsafeStage::kRtl;
+    episodes_.back().deepest = LinkFailsafeStage::kRtl;
+    ALOG(kWarning, "watchdog")
+        << "link lost for " << ToMillis(silence)
+        << " ms; failsafe return-to-launch";
+    if (on_stage_) {
+      on_stage_(LinkFailsafeStage::kRtl);
+    }
+  }
+}
+
+}  // namespace androne

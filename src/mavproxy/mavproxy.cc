@@ -13,7 +13,15 @@ void MavProxy::HandleMasterFrame(const MavlinkFrame& frame) {
 }
 
 void MavProxy::HandlePlannerFrame(const MavlinkFrame& frame) {
+  // Planner heartbeats prove the cloud link is alive.
+  if (frame.msgid == MavMsgId::kHeartbeat && watchdog_ != nullptr) {
+    watchdog_->NoteHeartbeat();
+  }
   // The planner/service-provider connection is unrestricted.
+  SendToMaster(frame);
+}
+
+void MavProxy::SendToMaster(const MavlinkFrame& frame) {
   if (to_master_) {
     to_master_(frame);
   }
@@ -25,11 +33,19 @@ VirtualFlightController* MavProxy::CreateVfc(int tenant_id,
   auto vfc = std::make_unique<VirtualFlightController>(
       clock_, tenant_id, std::move(whitelist), continuous_position);
   vfc->SetMasterSink([this](const MavlinkFrame& frame) {
-    if (to_master_) {
-      to_master_(frame);
+    SendToMaster(frame);
+  });
+  // Tenant heartbeats also prove the link; the watchdog may be enabled
+  // before or after the VFC exists.
+  vfc->SetHeartbeatListener([this] {
+    if (watchdog_ != nullptr) {
+      watchdog_->NoteHeartbeat();
     }
   });
   VirtualFlightController* raw = vfc.get();
+  if (watchdog_ != nullptr && !watchdog_->link_healthy()) {
+    raw->SuspendForLinkLoss();
+  }
   vfcs_.push_back(std::move(vfc));
   return raw;
 }
@@ -55,6 +71,34 @@ void MavProxy::OnFenceRecovered(int tenant_id) {
   if (vfc != nullptr) {
     vfc->ResumeAfterFenceRecovery();
   }
+}
+
+LinkWatchdog* MavProxy::EnableLinkFailsafe(const LinkWatchdogConfig& config) {
+  if (watchdog_ != nullptr) {
+    return watchdog_.get();
+  }
+  watchdog_ = std::make_unique<LinkWatchdog>(clock_, config);
+  watchdog_->SetStageCallback([this](LinkFailsafeStage stage) {
+    // Every tenant loses control; the link itself is gone, not just one
+    // tenant's fence standing.
+    for (const auto& vfc : vfcs_) {
+      vfc->SuspendForLinkLoss();
+    }
+    CommandLong cmd;
+    cmd.command = static_cast<uint16_t>(stage == LinkFailsafeStage::kRtl
+                                            ? MavCmd::kNavReturnToLaunch
+                                            : MavCmd::kNavLoiterUnlimited);
+    MavlinkFrame frame = PackMessage(MavMessage{cmd});
+    frame.seq = failsafe_seq_++;
+    SendToMaster(frame);
+  });
+  watchdog_->SetRecoveryCallback([this] {
+    for (const auto& vfc : vfcs_) {
+      vfc->ResumeAfterLinkLoss();
+    }
+  });
+  watchdog_->Start();
+  return watchdog_.get();
 }
 
 }  // namespace androne

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/mavproxy/link_watchdog.h"
 #include "src/mavproxy/vfc.h"
 
 namespace androne {
@@ -41,13 +42,25 @@ class MavProxy {
   void OnFenceBreach(int tenant_id);
   void OnFenceRecovered(int tenant_id);
 
+  // Link-loss failsafe: heartbeats from the ground side (planner endpoint or
+  // any VFC client) feed a watchdog; on a missed-heartbeat deadline the
+  // proxy commands the flight controller into Loiter, escalates to RTL on
+  // prolonged loss, and refuses every tenant's commands (the same refusal
+  // path geofence recovery uses). Tenant control resumes on link recovery.
+  LinkWatchdog* EnableLinkFailsafe(const LinkWatchdogConfig& config = {});
+  LinkWatchdog* link_watchdog() { return watchdog_.get(); }
+
   uint64_t master_frames() const { return master_frames_; }
 
  private:
+  void SendToMaster(const MavlinkFrame& frame);
+
   SimClock* clock_;
   FrameSink to_master_;
   FrameSink to_planner_;
   std::vector<std::unique_ptr<VirtualFlightController>> vfcs_;
+  std::unique_ptr<LinkWatchdog> watchdog_;
+  uint8_t failsafe_seq_ = 0;
   uint64_t master_frames_ = 0;
 };
 

@@ -53,6 +53,14 @@ void VirtualFlightController::ResumeAfterFenceRecovery() {
   fence_suspended_ = false;
 }
 
+void VirtualFlightController::SuspendForLinkLoss() {
+  link_suspended_ = true;
+}
+
+void VirtualFlightController::ResumeAfterLinkLoss() {
+  link_suspended_ = false;
+}
+
 void VirtualFlightController::SendToClient(const MavMessage& message) {
   if (!to_client_) {
     return;
@@ -77,8 +85,12 @@ void VirtualFlightController::HandleClientFrame(const MavlinkFrame& frame) {
   if (!message.ok()) {
     return;
   }
-  // Inbound GCS heartbeats are fine to swallow.
+  // Inbound GCS heartbeats are fine to swallow, but they do prove the
+  // tenant's link is alive.
   if (std::holds_alternative<Heartbeat>(*message)) {
+    if (heartbeat_listener_) {
+      heartbeat_listener_();
+    }
     return;
   }
   // Until the waypoint is reached (and whenever suspended), every command

@@ -54,6 +54,17 @@ class VirtualFlightController {
   // Temporarily refuse commands during geofence recovery (paper §4.3).
   void SuspendForFenceRecovery();
   void ResumeAfterFenceRecovery();
+  // Temporarily refuse commands while the cloud link is in failsafe; the
+  // flight controller is loitering or returning home, so tenant commands
+  // get the same denied-ack refusal the fence-recovery path uses.
+  void SuspendForLinkLoss();
+  void ResumeAfterLinkLoss();
+
+  // Observes every inbound client heartbeat (the proxy's link watchdog
+  // feeds on these).
+  void SetHeartbeatListener(std::function<void()> listener) {
+    heartbeat_listener_ = std::move(listener);
+  }
 
   // --- Data path ---
   // Client -> flight controller. Declined commands get a denied ack (for
@@ -65,7 +76,8 @@ class VirtualFlightController {
   VfcState state() const { return state_; }
   int tenant_id() const { return tenant_id_; }
   bool commands_enabled() const {
-    return state_ == VfcState::kActive && !fence_suspended_;
+    return state_ == VfcState::kActive && !fence_suspended_ &&
+           !link_suspended_;
   }
   uint64_t commands_forwarded() const { return commands_forwarded_; }
   uint64_t commands_declined() const { return commands_declined_; }
@@ -84,9 +96,11 @@ class VirtualFlightController {
   FrameSink to_client_;
   FrameSink to_master_;
   ControlQuery control_query_;
+  std::function<void()> heartbeat_listener_;
 
   VfcState state_ = VfcState::kIdleOnGround;
   bool fence_suspended_ = false;
+  bool link_suspended_ = false;
   std::optional<GeoPoint> waypoint_;
   // The synthetic view's current altitude during takeoff/landing animation.
   double virtual_altitude_m_ = 0;

@@ -17,11 +17,15 @@ void NetworkChannel::Send(std::vector<uint8_t> payload) {
   SimDuration latency = link_->SampleLatency(rng_);
   clock_->ScheduleAfter(latency, [this, latency,
                                   payload = std::move(payload)]() mutable {
+    if (!receiver_) {
+      // No receiver (never set or torn down): count the datagram as dropped
+      // rather than invoking an empty std::function.
+      ++dropped_no_receiver_;
+      return;
+    }
     ++delivered_;
     latency_us_.Record(ToMicros(latency));
-    if (receiver_) {
-      receiver_(payload);
-    }
+    receiver_(payload);
   });
 }
 

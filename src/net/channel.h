@@ -31,6 +31,10 @@ class NetworkChannel {
   uint64_t sent() const { return sent_; }
   uint64_t delivered() const { return delivered_; }
   uint64_t lost() const { return lost_; }
+  // Datagrams that survived the link but arrived with no receiver attached
+  // (receiver never set, or torn down mid-flight). Counted as drops instead
+  // of invoking an empty std::function.
+  uint64_t dropped_no_receiver() const { return dropped_no_receiver_; }
   // One-way latency of delivered datagrams, microseconds.
   const Histogram& latency_us() const { return latency_us_; }
 
@@ -42,13 +46,23 @@ class NetworkChannel {
   uint64_t sent_ = 0;
   uint64_t delivered_ = 0;
   uint64_t lost_ = 0;
+  uint64_t dropped_no_receiver_ = 0;
   Histogram latency_us_{10, 8};
 };
 
 // A bidirectional pair of channels between two parties over one link model.
+// The reverse direction's RNG stream is derived with a SplitMix64 mix so the
+// two directions are statistically independent even for adjacent seeds.
 struct DuplexChannel {
   DuplexChannel(SimClock* clock, const LinkModel* link, uint64_t seed)
-      : a_to_b(clock, link, seed), b_to_a(clock, link, seed + 0x9e37) {}
+      : DuplexChannel(clock, link, link, seed) {}
+
+  // Separate per-direction link models, e.g. two FaultyLinkModel decorators
+  // sharing one FaultPlan to script an asymmetric partition.
+  DuplexChannel(SimClock* clock, const LinkModel* forward,
+                const LinkModel* reverse, uint64_t seed)
+      : a_to_b(clock, forward, seed),
+        b_to_a(clock, reverse, SplitMix64(seed)) {}
 
   NetworkChannel a_to_b;
   NetworkChannel b_to_a;

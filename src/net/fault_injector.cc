@@ -1,0 +1,107 @@
+#include "src/net/fault_injector.h"
+
+namespace androne {
+
+const char* LinkDirectionName(LinkDirection dir) {
+  switch (dir) {
+    case LinkDirection::kForward:
+      return "forward";
+    case LinkDirection::kReverse:
+      return "reverse";
+    case LinkDirection::kBoth:
+      return "both";
+  }
+  return "unknown";
+}
+
+void FaultPlan::AddOutage(SimTime start, SimDuration duration,
+                          LinkDirection dir) {
+  FaultWindow w;
+  w.kind = FaultKind::kOutage;
+  w.start = start;
+  w.end = start + duration;
+  w.direction = dir;
+  windows_.push_back(w);
+}
+
+void FaultPlan::AddBurstLoss(SimTime start, SimDuration duration,
+                             double loss_probability, LinkDirection dir) {
+  FaultWindow w;
+  w.kind = FaultKind::kBurstLoss;
+  w.start = start;
+  w.end = start + duration;
+  w.direction = dir;
+  w.loss_probability = loss_probability;
+  windows_.push_back(w);
+}
+
+void FaultPlan::AddLatencyInflation(SimTime start, SimDuration duration,
+                                    double multiplier, SimDuration extra,
+                                    LinkDirection dir) {
+  FaultWindow w;
+  w.kind = FaultKind::kLatency;
+  w.start = start;
+  w.end = start + duration;
+  w.direction = dir;
+  w.latency_multiplier = multiplier;
+  w.extra_latency = extra;
+  windows_.push_back(w);
+}
+
+bool FaultPlan::InOutage(SimTime t, LinkDirection dir) const {
+  for (const FaultWindow& w : windows_) {
+    if (w.kind == FaultKind::kOutage && w.Covers(t, dir)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultPlan::BurstLossProbability(SimTime t, LinkDirection dir) const {
+  // Overlapping windows act as independent droppers: survive all of them.
+  double survive = 1.0;
+  for (const FaultWindow& w : windows_) {
+    if (w.kind == FaultKind::kBurstLoss && w.Covers(t, dir)) {
+      survive *= 1.0 - w.loss_probability;
+    }
+  }
+  return 1.0 - survive;
+}
+
+SimDuration FaultPlan::InflateLatency(SimTime t, LinkDirection dir,
+                                      SimDuration latency) const {
+  for (const FaultWindow& w : windows_) {
+    if (w.kind == FaultKind::kLatency && w.Covers(t, dir)) {
+      latency = static_cast<SimDuration>(static_cast<double>(latency) *
+                                         w.latency_multiplier) +
+                w.extra_latency;
+    }
+  }
+  return latency;
+}
+
+SimDuration FaultyLinkModel::SampleLatency(Rng& rng) const {
+  SimDuration latency = base_->SampleLatency(rng);
+  SimDuration inflated =
+      plan_->InflateLatency(clock_->now(), direction_, latency);
+  if (inflated != latency) {
+    ++counters_.inflated_samples;
+  }
+  return inflated;
+}
+
+bool FaultyLinkModel::SampleLoss(Rng& rng) const {
+  SimTime now = clock_->now();
+  if (plan_->InOutage(now, direction_)) {
+    ++counters_.outage_losses;
+    return true;
+  }
+  double burst = plan_->BurstLossProbability(now, direction_);
+  if (burst > 0 && rng.Bernoulli(burst)) {
+    ++counters_.burst_losses;
+    return true;
+  }
+  return base_->SampleLoss(rng);
+}
+
+}  // namespace androne

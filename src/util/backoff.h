@@ -1,0 +1,29 @@
+// Bounded exponential backoff with jitter, shared by every retry path in the
+// stack (reliable MAVLink command delivery, container crash supervision).
+// Delays are computed on the simulated timeline so retry schedules replay
+// deterministically under a fixed seed.
+#ifndef SRC_UTIL_BACKOFF_H_
+#define SRC_UTIL_BACKOFF_H_
+
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace androne {
+
+struct BackoffPolicy {
+  SimDuration base = Millis(250);   // Delay before the first retry.
+  double multiplier = 2.0;          // Growth per attempt.
+  SimDuration max = Seconds(8);     // Cap on the exponential term.
+  // Uniform jitter as a fraction of the computed delay: the actual delay is
+  // drawn from [delay * (1 - jitter), delay * (1 + jitter)]. Zero disables
+  // jitter (fully deterministic schedules).
+  double jitter_fraction = 0.0;
+
+  // Delay before retry number |attempt| (0-based: attempt 0 is the first
+  // retry). Never returns less than 1 us so callers can always schedule.
+  SimDuration DelayFor(int attempt, Rng& rng) const;
+};
+
+}  // namespace androne
+
+#endif  // SRC_UTIL_BACKOFF_H_

@@ -8,6 +8,12 @@
 
 namespace androne {
 
+// One round of SplitMix64: a bijective 64-bit finalizer. Use it to derive
+// statistically independent seeds from related ones (e.g. per-direction
+// streams of a duplex channel) — small additive tweaks like `seed + k` keep
+// the streams correlated through the seeder.
+uint64_t SplitMix64(uint64_t x);
+
 // xoshiro256++ with a splitmix64 seeder: fast, high quality, reproducible.
 class Rng {
  public:

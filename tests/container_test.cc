@@ -246,12 +246,13 @@ TEST_F(RuntimeTest, SpawnInStoppedContainerFails) {
 TEST_F(RuntimeTest, RemoveRequiresStopped) {
   auto c = runtime_.CreateContainer("vd1", ContainerKind::kVirtualDrone,
                                     image_);
-  ASSERT_TRUE(runtime_.StartContainer((*c)->id()).ok());
-  EXPECT_EQ(runtime_.RemoveContainer((*c)->id()).code(),
+  const ContainerId id = (*c)->id();
+  ASSERT_TRUE(runtime_.StartContainer(id).ok());
+  EXPECT_EQ(runtime_.RemoveContainer(id).code(),
             StatusCode::kFailedPrecondition);
-  ASSERT_TRUE(runtime_.StopContainer((*c)->id()).ok());
-  EXPECT_TRUE(runtime_.RemoveContainer((*c)->id()).ok());
-  EXPECT_FALSE(runtime_.Find((*c)->id()).ok());
+  ASSERT_TRUE(runtime_.StopContainer(id).ok());
+  EXPECT_TRUE(runtime_.RemoveContainer(id).ok());
+  EXPECT_FALSE(runtime_.Find(id).ok());
 }
 
 TEST_F(RuntimeTest, DuplicateContainerNameRejected) {

@@ -182,8 +182,9 @@ TEST_P(BinderFuzzTest, IsolationHoldsUnderRandomOperations) {
     ASSERT_TRUE(ServiceManager::Install(sm).ok());
     sm_procs.push_back(sm);
     for (int p = 0; p < 3; ++p) {
+      const Pid pid = next_pid++;
       procs[static_cast<size_t>(c)].push_back(
-          driver.CreateProcess(next_pid++, 10000 + next_pid, c + 1));
+          driver.CreateProcess(pid, 10000 + pid, c + 1));
     }
   }
   // Each container registers a private service named after itself.

@@ -1,0 +1,428 @@
+// Chaos tests: scripted network faults against the full control chain
+// (GroundControl -> faulty duplex LTE channel -> MAVProxy -> flight
+// controller) plus crash-injection and supervised restart of containers.
+// Every scenario runs on the simulated clock with fixed seeds, so the
+// whole chaos schedule replays deterministically.
+#include <gtest/gtest.h>
+
+#include "src/cloud/ground_control.h"
+#include "src/container/container.h"
+#include "src/container/image_store.h"
+#include "src/container/runtime.h"
+#include "src/container/supervisor.h"
+#include "src/flight/sitl.h"
+#include "src/mavlink/frame.h"
+#include "src/mavproxy/mavproxy.h"
+#include "src/net/channel.h"
+#include "src/net/fault_injector.h"
+
+namespace androne {
+namespace {
+
+const GeoPoint kBase{43.6084298, -85.8110359, 0};
+const GeoPoint kWaypointB{43.6076409, -85.8154457, 15};
+
+// ----------------------------------------------------- FaultPlan mechanics.
+
+TEST(FaultPlanTest, OutageWindowsRespectTimeAndDirection) {
+  FaultPlan plan;
+  plan.AddOutage(Seconds(10), Seconds(5));
+  plan.AddPartition(Seconds(30), Seconds(5), LinkDirection::kReverse);
+
+  EXPECT_FALSE(plan.InOutage(Seconds(9), LinkDirection::kForward));
+  EXPECT_TRUE(plan.InOutage(Seconds(10), LinkDirection::kForward));
+  EXPECT_TRUE(plan.InOutage(Seconds(12), LinkDirection::kReverse));
+  EXPECT_FALSE(plan.InOutage(Seconds(15), LinkDirection::kForward));  // End.
+
+  // The partition blacks out only the reverse direction.
+  EXPECT_FALSE(plan.InOutage(Seconds(32), LinkDirection::kForward));
+  EXPECT_TRUE(plan.InOutage(Seconds(32), LinkDirection::kReverse));
+}
+
+TEST(FaultPlanTest, OverlappingBurstLossCombines) {
+  FaultPlan plan;
+  plan.AddBurstLoss(Seconds(0), Seconds(10), 0.5);
+  plan.AddBurstLoss(Seconds(5), Seconds(10), 0.5);
+
+  EXPECT_DOUBLE_EQ(plan.BurstLossProbability(Seconds(1),
+                                             LinkDirection::kForward), 0.5);
+  // Both windows cover t=6: survive probability 0.25.
+  EXPECT_DOUBLE_EQ(plan.BurstLossProbability(Seconds(6),
+                                             LinkDirection::kForward), 0.75);
+  EXPECT_DOUBLE_EQ(plan.BurstLossProbability(Seconds(20),
+                                             LinkDirection::kForward), 0.0);
+}
+
+TEST(FaultPlanTest, LatencyInflationScalesAndAdds) {
+  FaultPlan plan;
+  plan.AddLatencyInflation(Seconds(0), Seconds(10), 3.0, Millis(50));
+  EXPECT_EQ(plan.InflateLatency(Seconds(1), LinkDirection::kForward,
+                                Millis(10)),
+            Millis(80));
+  EXPECT_EQ(plan.InflateLatency(Seconds(11), LinkDirection::kForward,
+                                Millis(10)),
+            Millis(10));
+}
+
+TEST(FaultyLinkModelTest, OutageDropsEverythingAndCounts) {
+  SimClock clock;
+  WiredModel wired;
+  FaultPlan plan;
+  plan.AddOutage(Seconds(1), Seconds(1));
+  FaultyLinkModel faulty(&wired, &plan, &clock);
+  Rng rng(7);
+
+  EXPECT_FALSE(faulty.SampleLoss(rng));  // t=0: healthy.
+  clock.RunFor(SecondsF(1.5));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(faulty.SampleLoss(rng));
+  }
+  EXPECT_EQ(faulty.counters().outage_losses, 20u);
+  clock.RunFor(Seconds(1));
+  EXPECT_FALSE(faulty.SampleLoss(rng));  // t=2.5: window over.
+}
+
+TEST(FaultyLinkModelTest, ChannelOverFaultyLinkLosesOnlyInWindow) {
+  SimClock clock;
+  WiredModel wired;
+  FaultPlan plan;
+  plan.AddOutage(Seconds(1), Seconds(1));
+  FaultyLinkModel faulty(&wired, &plan, &clock);
+  NetworkChannel channel(&clock, &faulty, 11);
+  uint64_t received = 0;
+  channel.SetReceiver([&](const std::vector<uint8_t>&) { ++received; });
+
+  auto send_burst = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      channel.Send({0xAB});
+    }
+  };
+  send_burst(10);
+  clock.RunFor(SecondsF(1.5));  // Into the outage.
+  send_burst(10);
+  clock.RunFor(Seconds(2));
+  send_burst(10);
+  clock.RunAll();
+
+  EXPECT_EQ(received, 20u);
+  EXPECT_EQ(channel.lost(), 10u);
+  EXPECT_EQ(faulty.counters().outage_losses, 10u);
+}
+
+// ------------------------------------------------ Chaos mission harness.
+
+// Full control chain: GroundControl <-> faulty duplex LTE <-> MAVProxy
+// <-> SITL flight stack, with the proxy's link failsafe armed.
+class ChaosHarness {
+ public:
+  explicit ChaosHarness(uint64_t seed)
+      : drone_(&clock_, kBase, seed),
+        proxy_(&clock_),
+        forward_(&lte_, &plan_, &clock_, LinkDirection::kForward),
+        reverse_(&lte_, &plan_, &clock_, LinkDirection::kReverse),
+        channel_(&clock_, &forward_, &reverse_, seed + 1),
+        gcs_(&clock_, GroundControlConfig{}, seed + 2) {
+    // Drone side: proxy fronts the flight controller.
+    proxy_.SetMasterSink([this](const MavlinkFrame& frame) {
+      drone_.controller().HandleFrame(frame);
+    });
+    drone_.controller().SetSender([this](const MavlinkFrame& frame) {
+      proxy_.HandleMasterFrame(frame);
+    });
+    // Uplink: ground -> drone planner endpoint.
+    channel_.a_to_b.SetReceiver([this](const std::vector<uint8_t>& datagram) {
+      up_parser_.Feed(datagram);
+      for (const MavlinkFrame& frame : up_parser_.TakeFrames()) {
+        proxy_.HandlePlannerFrame(frame);
+      }
+    });
+    gcs_.SetUplink([this](const MavlinkFrame& frame) {
+      channel_.a_to_b.Send(EncodeFrame(frame));
+    });
+    // Downlink: drone -> ground.
+    proxy_.SetPlannerSink([this](const MavlinkFrame& frame) {
+      channel_.b_to_a.Send(EncodeFrame(frame));
+    });
+    channel_.b_to_a.SetReceiver([this](const std::vector<uint8_t>& datagram) {
+      down_parser_.Feed(datagram);
+      for (const MavlinkFrame& frame : down_parser_.TakeFrames()) {
+        gcs_.HandleDownlinkFrame(frame);
+      }
+    });
+    clock_.RunFor(Seconds(2));  // Sensor warmup.
+    gcs_.Start();
+  }
+
+  bool RunUntil(const std::function<bool()>& predicate, SimDuration timeout) {
+    SimTime deadline = clock_.now() + timeout;
+    while (clock_.now() < deadline) {
+      if (predicate()) {
+        return true;
+      }
+      clock_.RunUntil(clock_.now() + Millis(100));
+    }
+    return predicate();
+  }
+
+  // Flies to cruise altitude under reliable command delivery.
+  void TakeoffTo(double altitude_m) {
+    gcs_.SendMode(CopterMode::kGuided);
+    CommandLong arm;
+    arm.command = static_cast<uint16_t>(MavCmd::kComponentArmDisarm);
+    arm.param1 = 1;
+    gcs_.SendCommand(arm);
+    ASSERT_TRUE(RunUntil([this] { return drone_.controller().armed(); },
+                         Seconds(10)));
+    CommandLong takeoff;
+    takeoff.command = static_cast<uint16_t>(MavCmd::kNavTakeoff);
+    takeoff.param7 = static_cast<float>(altitude_m);
+    gcs_.SendCommand(takeoff);
+    ASSERT_TRUE(RunUntil(
+        [this, altitude_m] {
+          return drone_.physics().truth().position.altitude_m >
+                 altitude_m - 1.0;
+        },
+        Seconds(60)));
+  }
+
+  SimClock clock_;
+  SitlDrone drone_;
+  MavProxy proxy_;
+  CellularLteModel lte_;
+  FaultPlan plan_;
+  FaultyLinkModel forward_;
+  FaultyLinkModel reverse_;
+  DuplexChannel channel_;
+  GroundControl gcs_;
+  MavlinkParser up_parser_;
+  MavlinkParser down_parser_;
+};
+
+// The acceptance scenario: a 10 s total outage mid-mission must drive the
+// drone through the Loiter -> RTL failsafe ladder while every tenant's
+// commands are refused; the first post-outage heartbeat restores tenant
+// control and the ground side re-establishes the mission.
+TEST(ChaosMissionTest, TotalOutageTriggersFailsafeLadderAndRecovery) {
+  ChaosHarness h(101);
+  LinkWatchdogConfig wd;  // Loiter after 2.5 s, RTL after 8 s.
+  h.proxy_.EnableLinkFailsafe(wd);
+  VirtualFlightController* vfc =
+      h.proxy_.CreateVfc(7, CommandWhitelist::FromTemplate(
+                                WhitelistTemplate::kStandard),
+                         /*continuous_position=*/false);
+  vfc->GrantControl();
+  ASSERT_TRUE(vfc->commands_enabled());
+
+  h.TakeoffTo(15.0);
+  // Cruise toward the waypoint; the GCS re-sends the target at 1 Hz.
+  for (int i = 0; i < 5; ++i) {
+    h.gcs_.SendPositionTarget(kWaypointB.latitude_deg,
+                              kWaypointB.longitude_deg, 15.0);
+    h.clock_.RunFor(Seconds(1));
+  }
+  ASSERT_TRUE(h.drone_.controller().armed());
+  uint64_t heartbeats_before = h.proxy_.link_watchdog()->heartbeats_seen();
+  EXPECT_GT(heartbeats_before, 0u);
+
+  // Script a 10 s blackout of both directions, starting now.
+  SimTime outage_start = h.clock_.now();
+  h.plan_.AddOutage(outage_start, Seconds(10));
+
+  // 2.5 s of silence: Loiter.
+  ASSERT_TRUE(h.RunUntil(
+      [&] { return h.drone_.controller().mode() == CopterMode::kLoiter; },
+      Seconds(5)));
+  EXPECT_EQ(h.proxy_.link_watchdog()->stage(), LinkFailsafeStage::kLoiter);
+  EXPECT_FALSE(vfc->commands_enabled());  // Tenant control refused.
+
+  // 8 s of silence: RTL.
+  ASSERT_TRUE(h.RunUntil(
+      [&] { return h.drone_.controller().mode() == CopterMode::kRtl; },
+      Seconds(10)));
+  EXPECT_EQ(h.proxy_.link_watchdog()->stage(), LinkFailsafeStage::kRtl);
+  EXPECT_FALSE(vfc->commands_enabled());
+
+  // The outage ends; the next GCS heartbeat recovers the link and tenant
+  // control resumes.
+  ASSERT_TRUE(h.RunUntil(
+      [&] { return h.proxy_.link_watchdog()->link_healthy(); }, Seconds(10)));
+  EXPECT_TRUE(vfc->commands_enabled());
+  ASSERT_EQ(h.proxy_.link_watchdog()->episodes().size(), 1u);
+  const FailsafeEpisode& episode = h.proxy_.link_watchdog()->episodes()[0];
+  EXPECT_EQ(episode.deepest, LinkFailsafeStage::kRtl);
+  EXPECT_GT(episode.recovered, episode.entered);
+
+  // Ground side re-establishes the mission: back to guided, same target.
+  h.gcs_.SendMode(CopterMode::kGuided);
+  bool arrived = false;
+  for (int i = 0; i < 240 && !arrived; ++i) {
+    h.gcs_.SendPositionTarget(kWaypointB.latitude_deg,
+                              kWaypointB.longitude_deg, 15.0);
+    h.clock_.RunFor(Seconds(1));
+    arrived = h.drone_.DistanceTo(kWaypointB) < 3.0;
+  }
+  EXPECT_TRUE(arrived) << "remaining " << h.drone_.DistanceTo(kWaypointB);
+  // Attribute the blackout: the faulty links dropped traffic in both
+  // directions during the window.
+  EXPECT_GT(h.forward_.counters().outage_losses, 0u);
+  EXPECT_GT(h.reverse_.counters().outage_losses, 0u);
+}
+
+// An asymmetric partition that blacks out only the drone->ground direction:
+// commands are delivered but every ack is lost, forcing retransmissions.
+// The receive-side deduper must suppress the duplicates, so the camera
+// command executes exactly once even though the wire carried it many times.
+TEST(ChaosMissionTest, AckBlackoutRetriesExecuteExactlyOnce) {
+  ChaosHarness h(202);
+  int camera_triggers = 0;
+  h.drone_.controller().SetCameraTrigger([&camera_triggers] {
+    ++camera_triggers;
+    return OkStatus();
+  });
+
+  // Black out the downlink (acks) for 3 s, starting now; the uplink stays up.
+  h.plan_.AddPartition(h.clock_.now(), Seconds(3), LinkDirection::kReverse);
+  CommandLong shoot;
+  shoot.command = static_cast<uint16_t>(MavCmd::kDoDigicamControl);
+  shoot.param5 = 1;
+  h.gcs_.SendCommand(shoot);
+
+  ASSERT_TRUE(h.RunUntil([&] { return h.gcs_.sender().acked() == 1; },
+                         Seconds(30)));
+  EXPECT_EQ(camera_triggers, 1);
+  EXPECT_GE(h.gcs_.sender().retransmissions(), 1u);
+  EXPECT_GE(h.drone_.controller().duplicate_commands(), 1u);
+  EXPECT_EQ(h.gcs_.sender().gave_up(), 0u);
+  EXPECT_GT(h.reverse_.counters().outage_losses, 0u);
+  EXPECT_EQ(h.forward_.counters().outage_losses, 0u);
+}
+
+// With no recovery before max_attempts the sender reports the command
+// undeliverable instead of retrying forever.
+TEST(ReliableDeliveryTest, SenderGivesUpAfterMaxAttempts) {
+  ChaosHarness h(303);
+  // Permanent blackout from here on.
+  h.plan_.AddOutage(h.clock_.now(), Seconds(3600));
+  bool resolved = false;
+  bool delivered = true;
+  h.gcs_.SetCompletionCallback(
+      [&](const CommandLong&, bool ok) { resolved = true; delivered = ok; });
+  CommandLong arm;
+  arm.command = static_cast<uint16_t>(MavCmd::kComponentArmDisarm);
+  arm.param1 = 1;
+  h.gcs_.SendCommand(arm);
+  ASSERT_TRUE(h.RunUntil([&] { return resolved; }, Seconds(120)));
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(h.gcs_.sender().gave_up(), 1u);
+  EXPECT_EQ(h.gcs_.sender().pending(), 0u);
+  EXPECT_FALSE(h.drone_.controller().armed());
+}
+
+// ------------------------------------------- Container crash supervision.
+
+LayerFiles BaseFiles() {
+  return LayerFiles{
+      {"/system/build.prop", {"android-things-1.0.3", false}},
+  };
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  SupervisorTest() : runtime_(&driver_, &store_) {
+    LayerId base = store_.AddLayer(BaseFiles());
+    image_ = store_.CreateImage("things-base", {base}).value();
+  }
+
+  Container* StartedContainer(const std::string& name) {
+    Container* c = runtime_
+                       .CreateContainer(name, ContainerKind::kVirtualDrone,
+                                        image_)
+                       .value();
+    EXPECT_TRUE(runtime_.StartContainer(c->id()).ok());
+    return c;
+  }
+
+  SimClock clock_;
+  BinderDriver driver_;
+  ImageStore store_;
+  ContainerRuntime runtime_;
+  ImageId image_;
+};
+
+TEST_F(SupervisorTest, CrashKillsProcessesButNotSiblings) {
+  Container* victim = StartedContainer("vd1");
+  Container* sibling = StartedContainer("vd2");
+  size_t sibling_procs = sibling->processes().size();
+
+  ASSERT_TRUE(runtime_.CrashContainer(victim->id()).ok());
+  EXPECT_EQ(victim->state(), ContainerState::kCrashed);
+  EXPECT_TRUE(victim->processes().empty());
+  EXPECT_EQ(victim->crash_count(), 1u);
+  EXPECT_DOUBLE_EQ(victim->MemoryUsageMb(), 0.0);
+  // Siblings keep flying.
+  EXPECT_EQ(sibling->state(), ContainerState::kRunning);
+  EXPECT_EQ(sibling->processes().size(), sibling_procs);
+
+  // Crashing a non-running container is refused.
+  EXPECT_EQ(runtime_.CrashContainer(victim->id()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SupervisorTest, SupervisorRestartsCrashedContainerWithBackoff) {
+  ContainerSupervisor supervisor(&clock_, &runtime_, SupervisorPolicy{}, 41);
+  Container* victim = StartedContainer("vd1");
+  Container* sibling = StartedContainer("vd2");
+  supervisor.Watch(victim->id());
+
+  clock_.RunFor(Seconds(5));
+  ASSERT_TRUE(runtime_.CrashContainer(victim->id()).ok());
+  EXPECT_EQ(victim->state(), ContainerState::kCrashed);
+  SimTime crashed_at = clock_.now();
+
+  // The restart happens after the first backoff delay, not instantly.
+  clock_.RunFor(Millis(100));
+  EXPECT_EQ(victim->state(), ContainerState::kCrashed);
+  clock_.RunFor(Seconds(2));
+  EXPECT_EQ(victim->state(), ContainerState::kRunning);
+  EXPECT_EQ(supervisor.restarts(), 1u);
+  ASSERT_EQ(supervisor.episodes().size(), 1u);
+  EXPECT_GT(supervisor.episodes()[0].restarted_at, crashed_at);
+  EXPECT_EQ(sibling->state(), ContainerState::kRunning);
+
+  // A second crash after a long stable life restarts with a reset streak.
+  clock_.RunFor(Seconds(60));
+  ASSERT_TRUE(runtime_.CrashContainer(victim->id()).ok());
+  clock_.RunFor(Seconds(2));
+  EXPECT_EQ(victim->state(), ContainerState::kRunning);
+  EXPECT_EQ(supervisor.episodes()[1].streak, 0);
+}
+
+TEST_F(SupervisorTest, SupervisorGivesUpAfterRepeatedCrashes) {
+  SupervisorPolicy policy;
+  policy.max_consecutive_restarts = 3;
+  ContainerSupervisor supervisor(&clock_, &runtime_, policy, 43);
+  Container* victim = StartedContainer("vd1");
+  supervisor.Watch(victim->id());
+
+  // Crash-loop: kill it again shortly after it comes back, always inside
+  // the stability window so the failure streak keeps growing.
+  for (int i = 0; i < 10 && !supervisor.GaveUpOn(victim->id()); ++i) {
+    if (victim->state() == ContainerState::kRunning) {
+      ASSERT_TRUE(runtime_.CrashContainer(victim->id()).ok());
+    }
+    clock_.RunFor(Seconds(10));
+  }
+  EXPECT_TRUE(supervisor.GaveUpOn(victim->id()));
+  EXPECT_EQ(supervisor.gave_up(), 1u);
+  EXPECT_EQ(victim->state(), ContainerState::kCrashed);
+  EXPECT_EQ(supervisor.restarts(), 3u);
+
+  // Unwatched crashes never restart.
+  Container* loner = StartedContainer("vd2");
+  ASSERT_TRUE(runtime_.CrashContainer(loner->id()).ok());
+  clock_.RunFor(Seconds(120));
+  EXPECT_EQ(loner->state(), ContainerState::kCrashed);
+}
+
+}  // namespace
+}  // namespace androne

@@ -88,6 +88,46 @@ TEST(ChannelTest, LatencyHistogramPopulated) {
   EXPECT_NEAR(ch.latency_us().mean(), 70000, 5000);
 }
 
+TEST(ChannelTest, NoReceiverCountsAsDropNotDelivery) {
+  SimClock clock;
+  WiredModel wired;
+  NetworkChannel ch(&clock, &wired, 1);
+  ch.Send({1, 2, 3});  // No receiver attached at delivery time.
+  clock.RunAll();
+  EXPECT_EQ(ch.sent(), 1u);
+  EXPECT_EQ(ch.delivered(), 0u);
+  EXPECT_EQ(ch.dropped_no_receiver(), 1u);
+  EXPECT_EQ(ch.latency_us().total_count(), 0u);
+  // Attaching a receiver afterwards resumes normal delivery.
+  int received = 0;
+  ch.SetReceiver([&](const std::vector<uint8_t>&) { ++received; });
+  ch.Send({4});
+  clock.RunAll();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(ch.delivered(), 1u);
+  EXPECT_EQ(ch.dropped_no_receiver(), 1u);
+}
+
+TEST(ChannelTest, DuplexDirectionsUseIndependentStreams) {
+  // The reverse direction's RNG is derived with a SplitMix64 mix; the two
+  // directions must not replay the same latency sequence even though they
+  // share one seed and one link model.
+  SimClock clock;
+  CellularLteModel lte;
+  DuplexChannel duplex(&clock, &lte, 77);
+  duplex.a_to_b.SetReceiver([](const std::vector<uint8_t>&) {});
+  duplex.b_to_a.SetReceiver([](const std::vector<uint8_t>&) {});
+  for (int i = 0; i < 500; ++i) {
+    duplex.a_to_b.Send({1});
+    duplex.b_to_a.Send({2});
+  }
+  clock.RunAll();
+  EXPECT_EQ(duplex.a_to_b.delivered() + duplex.a_to_b.lost(), 500u);
+  EXPECT_EQ(duplex.b_to_a.delivered() + duplex.b_to_a.lost(), 500u);
+  EXPECT_NE(duplex.a_to_b.latency_us().mean(),
+            duplex.b_to_a.latency_us().mean());
+}
+
 TEST(VpnTest, RoundTripThroughTunnel) {
   SimClock clock;
   WiredModel wired;
@@ -114,6 +154,32 @@ TEST(VpnTest, CrossTenantTrafficRejected) {
   clock.RunAll();
   EXPECT_FALSE(received);
   EXPECT_EQ(victim.rejected_datagrams(), 1u);
+}
+
+TEST(VpnTest, CrossTenantInjectionUnderLossRejectsEveryDeliveredDatagram) {
+  // Cross-tenant injection over a heavily lossy link: the datagrams the
+  // link drops never reach the victim, and every one that survives is
+  // rejected by the tunnel-id check — none are delivered to the receiver.
+  class VeryLossyLte : public CellularLteModel {
+   public:
+    bool SampleLoss(Rng& rng) const override { return rng.Bernoulli(0.3); }
+  };
+  SimClock clock;
+  VeryLossyLte lossy;
+  NetworkChannel ch(&clock, &lossy, 17);
+  VpnTunnel attacker(&ch, 666);
+  VpnTunnel victim(&ch, 42);
+  int received = 0;
+  victim.SetReceiver([&](const std::vector<uint8_t>&) { ++received; });
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    attacker.Send({0xde, 0xad});
+  }
+  clock.RunAll();
+  EXPECT_EQ(received, 0);
+  EXPECT_GT(ch.lost(), 0u);
+  EXPECT_LT(ch.delivered(), static_cast<uint64_t>(n));
+  EXPECT_EQ(victim.rejected_datagrams(), ch.delivered());
 }
 
 TEST(VpnTest, ShortDatagramRejected) {
