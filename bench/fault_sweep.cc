@@ -5,6 +5,8 @@
 // link-loss failsafe thresholds (a command that cannot be delivered within
 // the watchdog's Loiter deadline is what the failsafe exists for).
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -12,6 +14,7 @@
 #include "src/net/channel.h"
 #include "src/net/fault_injector.h"
 #include "src/util/histogram.h"
+#include "src/util/json.h"
 
 namespace androne {
 namespace {
@@ -104,13 +107,28 @@ SweepResult RunPoint(const FaultPlan& plan) {
   return result;
 }
 
-void PrintRow(const char* label, const SweepResult& r) {
+// Rows accumulated for the optional --json output.
+JsonArray g_rows;
+
+void PrintRow(const char* sweep, const char* label, double x,
+              const SweepResult& r) {
   std::printf("  %-22s %6.1f%% delivered   %5.2f retx/cmd   "
               "ack p50 %4lld ms  max %4lld ms   gave up %d\n",
               label, 100.0 * r.delivered / kCommandsPerPoint,
               static_cast<double>(r.retransmissions) / kCommandsPerPoint,
               static_cast<long long>(r.ack_ms.Percentile(0.5)),
               static_cast<long long>(r.ack_ms.max()), r.gave_up);
+  JsonObject row;
+  row["sweep"] = sweep;
+  row["x"] = x;
+  row["delivered_fraction"] =
+      static_cast<double>(r.delivered) / kCommandsPerPoint;
+  row["retx_per_cmd"] =
+      static_cast<double>(r.retransmissions) / kCommandsPerPoint;
+  row["ack_p50_ms"] = static_cast<double>(r.ack_ms.Percentile(0.5));
+  row["ack_max_ms"] = static_cast<double>(r.ack_ms.max());
+  row["gave_up"] = static_cast<double>(r.gave_up);
+  g_rows.push_back(JsonValue(row));
 }
 
 void SweepBurstLoss() {
@@ -123,7 +141,7 @@ void SweepBurstLoss() {
     }
     char label[32];
     std::snprintf(label, sizeof(label), "loss=%.0f%%", rate * 100);
-    PrintRow(label, RunPoint(plan));
+    PrintRow("burst_loss", label, rate, RunPoint(plan));
   }
 }
 
@@ -137,11 +155,11 @@ void SweepOutageDutyCycle() {
     }
     char label[32];
     std::snprintf(label, sizeof(label), "outage duty=%.0f%%", d * 100);
-    PrintRow(label, RunPoint(plan));
+    PrintRow("outage_duty", label, d, RunPoint(plan));
   }
 }
 
-void Run() {
+void Run(const char* json_path) {
   BenchHeader("Fault sweep",
               "reliable command delivery over degrading LTE links");
   BenchNote("RetryConfig defaults: 400 ms ack timeout, 10 attempts, "
@@ -149,12 +167,34 @@ void Run() {
   SweepBurstLoss();
   SweepOutageDutyCycle();
   std::printf("\n");
+  if (json_path != nullptr) {
+    JsonObject doc;
+    doc["bench"] = "fault_sweep";
+    doc["commands_per_point"] = static_cast<double>(kCommandsPerPoint);
+    doc["rows"] = JsonValue(g_rows);
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return;
+    }
+    std::string text = JsonValue(doc).DumpPretty();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
 }
 
 }  // namespace
 }  // namespace androne
 
-int main() {
-  androne::Run();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
+    }
+  }
+  androne::Run(json_path);
   return 0;
 }

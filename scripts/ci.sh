@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 CI: build + test twice (plain, then sanitizers), then refresh the
+# robustness benchmark record.
+#
+#   scripts/ci.sh            # full run
+#   SKIP_ASAN=1 scripts/ci.sh  # plain tests + benches only
+#
+# Produces BENCH_fault_sweep.json at the repo root: the link fault sweep
+# (bench/fault_sweep) and the sensor fault sweep (bench/sensor_fault_sweep)
+# merged into one document. Fragments go to BENCH_*.json.tmp (gitignored);
+# the merged file is the committed record.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== tier-1: plain build ==="
+cmake -S . -B build -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure)
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "=== tier-1: sanitizer build (address,undefined) ==="
+  cmake -S . -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DANDRONE_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  (cd build-asan && ctest --output-on-failure)
+fi
+
+echo "=== benches: fault sweeps ==="
+./build/bench/fault_sweep --json BENCH_link.json.tmp
+./build/bench/sensor_fault_sweep --json BENCH_sensor.json.tmp
+
+{
+  printf '{\n"benches": [\n'
+  cat BENCH_link.json.tmp
+  printf ',\n'
+  cat BENCH_sensor.json.tmp
+  printf ']\n}\n'
+} > BENCH_fault_sweep.json
+rm -f BENCH_link.json.tmp BENCH_sensor.json.tmp
+echo "wrote BENCH_fault_sweep.json"
+echo "CI OK"

@@ -2,6 +2,11 @@
 
 namespace androne {
 
+namespace {
+// Bound on the retained STATUSTEXT history — telemetry, not a flight log.
+constexpr size_t kMaxStatusTexts = 64;
+}  // namespace
+
 GroundControl::GroundControl(SimClock* clock, GroundControlConfig config,
                              uint64_t seed)
     : clock_(clock), config_(config),
@@ -81,6 +86,22 @@ void GroundControl::HandleDownlinkFrame(const MavlinkFrame& frame) {
   }
   if (const auto* gpi = std::get_if<GlobalPositionInt>(&*message)) {
     drone_position_ = *gpi;
+    return;
+  }
+  if (const auto* ss = std::get_if<SysStatus>(&*message)) {
+    sensors_present_ = ss->sensors_present;
+    sensors_health_ = ss->sensors_health;
+    return;
+  }
+  if (const auto* st = std::get_if<StatusText>(&*message)) {
+    status_texts_.push_back(
+        ReceivedStatusText{clock_->now(), st->severity, st->text});
+    if (status_texts_.size() > kMaxStatusTexts) {
+      status_texts_.pop_front();
+    }
+    if (status_text_callback_) {
+      status_text_callback_(st->severity, st->text);
+    }
   }
 }
 

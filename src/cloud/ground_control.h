@@ -7,8 +7,10 @@
 #ifndef SRC_CLOUD_GROUND_CONTROL_H_
 #define SRC_CLOUD_GROUND_CONTROL_H_
 
+#include <deque>
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "src/mavlink/reliable.h"
 #include "src/util/sim_clock.h"
@@ -21,9 +23,19 @@ struct GroundControlConfig {
   uint8_t sysid = 255;  // GCS convention.
 };
 
+// One STATUSTEXT as seen on the downlink (safety overrides, failsafes,
+// mode chatter) — the portal surfaces these to tenants.
+struct ReceivedStatusText {
+  SimTime at = 0;
+  uint8_t severity = 0;
+  std::string text;
+};
+
 class GroundControl {
  public:
   using FrameSink = std::function<void(const MavlinkFrame&)>;
+  using StatusTextCallback =
+      std::function<void(uint8_t severity, const std::string& text)>;
 
   GroundControl(SimClock* clock, GroundControlConfig config, uint64_t seed);
 
@@ -57,6 +69,18 @@ class GroundControl {
   const std::optional<GlobalPositionInt>& drone_position() const {
     return drone_position_;
   }
+  // Recent downlink STATUSTEXTs, oldest first (bounded buffer).
+  const std::deque<ReceivedStatusText>& status_texts() const {
+    return status_texts_;
+  }
+  // Fires on every downlink STATUSTEXT (the portal hooks this to turn
+  // safety-override texts into tenant-visible notices).
+  void SetStatusTextCallback(StatusTextCallback cb) {
+    status_text_callback_ = std::move(cb);
+  }
+  // Latest SYS_STATUS sensor bitmasks (0 before the first report).
+  uint32_t sensors_present() const { return sensors_present_; }
+  uint32_t sensors_health() const { return sensors_health_; }
 
  private:
   void BeaconTick();
@@ -71,6 +95,10 @@ class GroundControl {
   uint64_t drone_heartbeats_ = 0;
   std::optional<CopterMode> drone_mode_;
   std::optional<GlobalPositionInt> drone_position_;
+  std::deque<ReceivedStatusText> status_texts_;
+  StatusTextCallback status_text_callback_;
+  uint32_t sensors_present_ = 0;
+  uint32_t sensors_health_ = 0;
 };
 
 }  // namespace androne

@@ -1,8 +1,18 @@
 // Attitude & position estimator: a complementary filter over IMU/mag for
 // attitude and GPS/baro blending for position — the estimation layer whose
 // divergence from truth the paper's DroneKit AED analyzer checks (§6.2).
+//
+// Hardened against lying sensors: every correction passes an innovation gate
+// before it is blended, each sensor carries a health state machine
+// (healthy → suspect → excluded on consecutive rejects, back to healthy on
+// an accepted read), and when GPS goes quiet or gets excluded the position
+// estimate dead-reckons on the last accepted velocity. The safety supervisor
+// reads the health states to decide when the complex stack can no longer be
+// trusted.
 #ifndef SRC_FLIGHT_ESTIMATOR_H_
 #define SRC_FLIGHT_ESTIMATOR_H_
+
+#include <array>
 
 #include "src/hw/sensors.h"
 #include "src/util/geo.h"
@@ -22,13 +32,35 @@ struct PositionEstimate {
   bool valid = false;
 };
 
+enum class EstimatorSensor { kImu = 0, kBaro = 1, kMag = 2, kGps = 3 };
+inline constexpr int kNumEstimatorSensors = 4;
+
+const char* EstimatorSensorName(EstimatorSensor sensor);
+
+enum class SensorHealth {
+  kHealthy = 0,
+  kSuspect = 1,   // Recent rejects; corrections withheld, watching.
+  kExcluded = 2,  // Persistent rejects; sensor out of the blend.
+};
+
+const char* SensorHealthName(SensorHealth health);
+
+struct SensorHealthState {
+  SensorHealth health = SensorHealth::kHealthy;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  int consecutive_rejects = 0;
+  SimTime last_accept = -1;
+};
+
 class Estimator {
  public:
   explicit Estimator(const GeoPoint& home) : home_(home) {
     position_.position = home;
   }
 
-  // High-rate update from the IMU (gyro integration + accel leveling).
+  // High-rate update from the IMU (gyro integration + accel leveling), plus
+  // dead-reckoning of position when GPS corrections have gone stale.
   void UpdateImu(const ImuSample& sample, SimDuration dt);
 
   // Lower-rate corrections.
@@ -38,17 +70,48 @@ class Estimator {
 
   const AttitudeEstimate& attitude() const { return attitude_; }
   const PositionEstimate& position() const { return position_; }
-  // Timestamp of the last valid GPS fix (-1 before the first); lets the
-  // controller detect GPS glitches and fall back to attitude-only hold.
+  // Timestamp of the last *accepted* GPS fix (-1 before the first); lets the
+  // controller detect GPS glitches and fall back to attitude-only hold. A
+  // fix rejected by the innovation gate does not advance this, so gated-out
+  // GPS surfaces as staleness to the controller — one degraded path, not
+  // two.
   SimTime last_fix_time() const { return last_fix_time_; }
 
+  const SensorHealthState& health(EstimatorSensor sensor) const {
+    return health_[static_cast<int>(sensor)];
+  }
+  bool any_excluded() const;
+  // True while position is propagated from velocity instead of GPS.
+  bool dead_reckoning() const { return dead_reckoning_; }
+  // Latest measured body rates (rad/s), even if the sample was rejected —
+  // the safety supervisor monitors raw measurements, not blended state.
+  const std::array<double, 3>& last_gyro() const { return last_gyro_; }
+
  private:
+  SensorHealthState& state(EstimatorSensor sensor) {
+    return health_[static_cast<int>(sensor)];
+  }
+  void Accept(EstimatorSensor sensor, SimTime at);
+  // Records a gated-out reading; suspect after |kSuspectAfter| consecutive
+  // rejects, excluded after |kExcludeAfter|.
+  void Reject(EstimatorSensor sensor);
+
   GeoPoint home_;
   AttitudeEstimate attitude_;
   PositionEstimate position_;
   double baro_alt_m_ = 0;
   bool have_baro_ = false;
   SimTime last_fix_time_ = -1;
+
+  std::array<SensorHealthState, kNumEstimatorSensors> health_;
+  std::array<double, 3> last_gyro_ = {0, 0, 0};
+  // Stuck-IMU detector: consecutive bit-identical samples. Real samples
+  // carry fresh Gaussian noise, so exact repeats only happen when a fault
+  // latches the sensor.
+  ImuSample prev_imu_;
+  bool have_imu_ = false;
+  int identical_imu_count_ = 0;
+  bool dead_reckoning_ = false;
 };
 
 }  // namespace androne

@@ -32,7 +32,12 @@ FlightController::FlightController(SimClock* clock, QuadPhysics* physics,
       battery_(battery), config_(config), estimator_(config.home),
       // The window must outlast a sender's largest retransmission gap.
       deduper_(clock, /*window=*/Seconds(5)),
-      position_ctrl_(physics->hover_throttle(), PositionControllerLimits{}) {
+      position_ctrl_(physics->hover_throttle(), PositionControllerLimits{}),
+      safety_(clock, config.safety, physics->hover_throttle()) {
+  safety_.SetStageCallback(
+      [this](SafetyStage stage, uint32_t reasons) {
+        OnSafetyStage(stage, reasons);
+      });
   params_["WPNAV_SPEED"] = position_ctrl_.limits().max_speed_ms;
   params_["FENCE_ENABLE"] = 0;
   params_["FENCE_RADIUS"] = fence_.radius_m;
@@ -112,9 +117,29 @@ void FlightController::PositionTick() {
   Send(MavMessage{gpi});
 
   SysStatus ss;
-  ss.voltage_battery = static_cast<uint16_t>(battery_->voltage() * 1000);
-  ss.battery_remaining =
-      static_cast<int8_t>(battery_->fraction_remaining() * 100);
+  constexpr uint32_t kAllSensors =
+      kSensorGyro | kSensorAccel | kSensorMag | kSensorBaro | kSensorGps;
+  ss.sensors_present = kAllSensors;
+  ss.sensors_enabled = kAllSensors;
+  uint32_t healthy = kAllSensors;
+  auto drop_if_excluded = [&](EstimatorSensor sensor, uint32_t bits) {
+    if (estimator_.health(sensor).health == SensorHealth::kExcluded) {
+      healthy &= ~bits;
+    }
+  };
+  drop_if_excluded(EstimatorSensor::kImu, kSensorGyro | kSensorAccel);
+  drop_if_excluded(EstimatorSensor::kMag, kSensorMag);
+  drop_if_excluded(EstimatorSensor::kBaro, kSensorBaro);
+  drop_if_excluded(EstimatorSensor::kGps, kSensorGps);
+  ss.sensors_health = healthy;
+  ss.errors_count1 = static_cast<uint16_t>(
+      std::min<uint64_t>(missed_deadlines_, 65535));
+  // Voltage/percentage report what the gauge *senses* (the fault layer may
+  // sag it); mirrors Battery's linear 10.5-12.6 V discharge model.
+  double sensed = SensedBatteryFraction();
+  ss.voltage_battery = static_cast<uint16_t>(
+      (10.5 + 2.1 * std::max(0.0, sensed)) * 1000);
+  ss.battery_remaining = static_cast<int8_t>(sensed * 100);
   Send(MavMessage{ss});
   clock_->ScheduleAfter(SecondsF(1.0 / config_.position_telemetry_hz),
                         [this] { PositionTick(); });
@@ -122,6 +147,93 @@ void FlightController::PositionTick() {
 
 NedPoint FlightController::EstimatedNed() const {
   return ToNed(config_.home, estimator_.position().position);
+}
+
+void FlightController::SetLatencySampler(WakeLatencySampler* sampler) {
+  if (sampler == nullptr) {
+    latency_source_ = nullptr;
+  } else {
+    latency_source_ = [sampler] { return sampler->SampleUs(); };
+  }
+}
+
+double FlightController::SensedBatteryFraction() const {
+  return battery_gauge_ ? battery_gauge_() : battery_->fraction_remaining();
+}
+
+SafetyVerdict FlightController::SafetyTick(SimDuration dt) {
+  NedPoint ned = EstimatedNed();
+  SafetyInputs in;
+  in.roll_rad = estimator_.attitude().roll_rad;
+  in.pitch_rad = estimator_.attitude().pitch_rad;
+  in.yaw_rad = estimator_.attitude().yaw_rad;
+  // Raw measured rates, not truth: the supervisor has no privileged view.
+  in.roll_rate_rads = estimator_.last_gyro()[0];
+  in.pitch_rate_rads = estimator_.last_gyro()[1];
+  in.yaw_rate_rads = estimator_.last_gyro()[2];
+  in.altitude_m = estimator_.position().position.altitude_m;
+  in.horizontal_from_home_m = std::hypot(ned.north_m, ned.east_m);
+  in.sensors_degraded = estimator_.any_excluded();
+  in.imu_degraded =
+      estimator_.health(EstimatorSensor::kImu).health != SensorHealth::kHealthy;
+  in.airborne = physics_->truth().airborne;
+  in.armed = armed_;
+  return safety_.Tick(in, dt);
+}
+
+std::array<double, kNumMotors> FlightController::OverrideOutput(
+    const SafetyVerdict& verdict, SimDuration dt) {
+  const DroneGroundTruth& truth = physics_->truth();
+  // rate_only: feed the target back as the "current" attitude so the
+  // attitude error is zero and the inner loops reduce to rate damping —
+  // the attitude estimate is exactly what the override distrusts.
+  double roll = verdict.rate_only ? verdict.target.roll_rad
+                                  : estimator_.attitude().roll_rad;
+  double pitch = verdict.rate_only ? verdict.target.pitch_rad
+                                   : estimator_.attitude().pitch_rad;
+  double yaw = verdict.rate_only ? verdict.target.yaw_rad
+                                 : estimator_.attitude().yaw_rad;
+  return attitude_ctrl_.Update(verdict.target, roll, pitch, yaw,
+                               truth.roll_rate_rads, truth.pitch_rate_rads,
+                               truth.yaw_rate_rads, dt);
+}
+
+void FlightController::OnSafetyStage(SafetyStage stage, uint32_t reasons) {
+  const std::string why = SafetyReasonsToString(reasons);
+  switch (stage) {
+    case SafetyStage::kNominal:
+      // Complex stack gets control back: loiter where the override left us
+      // (its previous targets are minutes stale) unless the pilot mode
+      // never used position control in the first place.
+      hold_target_ = EstimatedNed();
+      position_ctrl_.Reset();
+      if (mode_ != CopterMode::kStabilize && mode_ != CopterMode::kAltHold) {
+        (void)SwitchMode(CopterMode::kLoiter);
+      }
+      SendStatusText(MavSeverity::kNotice,
+                     "Safety release: control returned (" + why + ")");
+      if (on_safety_release_) {
+        on_safety_release_();
+      }
+      break;
+    case SafetyStage::kLevelHold:
+      SendStatusText(MavSeverity::kWarning,
+                     "Safety override: level-hold (" + why + ")");
+      if (on_safety_override_) {
+        on_safety_override_();
+      }
+      break;
+    case SafetyStage::kDescend:
+      SendStatusText(MavSeverity::kCritical,
+                     "Safety override: descending (" + why + ")");
+      break;
+    case SafetyStage::kCutoff:
+      SendStatusText(MavSeverity::kEmergency,
+                     "Safety override: motor cutoff (" + why + ")");
+      armed_ = false;
+      (void)motors_->Disarm(motors_->opener());
+      break;
+  }
 }
 
 void FlightController::FastLoop() {
@@ -134,18 +246,32 @@ void FlightController::FastLoop() {
   // Kernel wake latency: a late wake past the loop budget misses this
   // control cycle — motors hold their previous outputs (paper §6.2).
   bool missed = false;
-  if (latency_ != nullptr) {
-    double latency_us = latency_->SampleUs();
+  if (latency_source_) {
+    double latency_us = latency_source_();
     if (latency_us > kArdupilotFastLoopBudgetUs) {
       missed = true;
       ++missed_deadlines_;
     }
   }
+  safety_.RecordDeadline(missed);
 
   if (!missed) {
     RunControl(period);
   } else if (armed_) {
-    (void)motors_->SetThrottles(motors_->opener(), last_output_);
+    // Simplex split: the complex stack lost this cycle, but the safety
+    // supervisor is exempt — it still observes, and if it is overriding it
+    // still flies instead of letting the motors coast on stale outputs.
+    SafetyVerdict verdict = SafetyTick(period);
+    if (verdict.overriding) {
+      std::array<double, kNumMotors> out{0, 0, 0, 0};
+      if (!verdict.cut_motors) {
+        out = OverrideOutput(verdict, period);
+      }
+      last_output_ = out;
+      (void)motors_->SetThrottles(motors_->opener(), out);
+    } else {
+      (void)motors_->SetThrottles(motors_->opener(), last_output_);
+    }
   }
 
   // Advance the airframe and drain the battery (rotor power only; compute
@@ -226,7 +352,7 @@ void FlightController::RunControl(SimDuration dt) {
     // (checked at the fence cadence; 10 Hz is plenty for a slow signal).
     if (config_.battery_failsafe_fraction > 0 && armed_ &&
         physics_->truth().airborne && !battery_failsafe_triggered_ &&
-        battery_->fraction_remaining() < config_.battery_failsafe_fraction &&
+        SensedBatteryFraction() < config_.battery_failsafe_fraction &&
         mode_ != CopterMode::kRtl && mode_ != CopterMode::kLand) {
       battery_failsafe_triggered_ = true;
       SendStatusText(MavSeverity::kCritical, "Battery failsafe: RTL");
@@ -234,18 +360,36 @@ void FlightController::RunControl(SimDuration dt) {
     }
   }
 
+  // The supervisor ticks before the armed check so a cutoff episode can
+  // close once the vehicle is down and disarmed.
+  SafetyVerdict safety_verdict = SafetyTick(dt);
+
   if (!armed_) {
     return;
   }
 
-  AttitudeTarget target = ComputeModeTarget(dt);
-  const DroneGroundTruth& truth = physics_->truth();
-  // Inner loops consume the *estimated* attitude and the gyro rates (which
-  // the IMU provides essentially directly).
-  std::array<double, kNumMotors> out = attitude_ctrl_.Update(
-      target, estimator_.attitude().roll_rad, estimator_.attitude().pitch_rad,
-      estimator_.attitude().yaw_rad, truth.roll_rate_rads,
-      truth.pitch_rate_rads, truth.yaw_rate_rads, dt);
+  if (safety_verdict.cut_motors) {
+    last_output_ = {0, 0, 0, 0};
+    (void)motors_->SetThrottles(motors_->opener(), last_output_);
+    return;
+  }
+
+  // While the supervisor is overriding, the complex mode logic is bypassed
+  // entirely — its mission/mode state machines would act on the same
+  // estimates the override distrusts.
+  std::array<double, kNumMotors> out;
+  if (safety_verdict.overriding) {
+    out = OverrideOutput(safety_verdict, dt);
+  } else {
+    AttitudeTarget target = ComputeModeTarget(dt);
+    const DroneGroundTruth& truth = physics_->truth();
+    // Inner loops consume the *estimated* attitude and the gyro rates
+    // (which the IMU provides essentially directly).
+    out = attitude_ctrl_.Update(
+        target, estimator_.attitude().roll_rad,
+        estimator_.attitude().pitch_rad, estimator_.attitude().yaw_rad,
+        truth.roll_rate_rads, truth.pitch_rate_rads, truth.yaw_rate_rads, dt);
+  }
   last_output_ = out;
   (void)motors_->SetThrottles(motors_->opener(), out);
 

@@ -24,6 +24,7 @@
 #include "src/flight/estimator.h"
 #include "src/flight/flight_log.h"
 #include "src/flight/quad_physics.h"
+#include "src/flight/safety_supervisor.h"
 #include "src/flight/sensor_source.h"
 #include "src/hw/power.h"
 #include "src/mavlink/messages.h"
@@ -51,6 +52,9 @@ struct FlightControllerConfig {
   // Battery failsafe: below this remaining fraction the controller forces
   // RTL so the flight always ends at base (0 disables).
   double battery_failsafe_fraction = 0.15;
+  // Simplex safety supervisor envelope (enabled by default; limits sit far
+  // outside nominal flight, see SafetyEnvelope).
+  SafetyEnvelope safety;
 };
 
 class FlightController {
@@ -72,7 +76,26 @@ class FlightController {
   void SetSender(Sender sender) { sender_ = std::move(sender); }
 
   // Kernel wake-latency injection (Fig. 11 coupling); may be nullptr.
-  void SetLatencySampler(WakeLatencySampler* sampler) { latency_ = sampler; }
+  void SetLatencySampler(WakeLatencySampler* sampler);
+  // Arbitrary per-tick wake-latency source in microseconds (tests script
+  // deadline-miss storms with this); overrides any sampler.
+  void SetLatencySource(std::function<double()> source) {
+    latency_source_ = std::move(source);
+  }
+
+  // Battery *gauge* seam: what the controller believes about the battery
+  // (the sensor-fault layer sags it); truth keeps draining independently.
+  void SetBatteryGauge(std::function<double()> gauge) {
+    battery_gauge_ = std::move(gauge);
+  }
+
+  // Fired when the safety supervisor takes / returns control (wired to
+  // mavproxy so virtual drone commands are suspended during an override).
+  void SetSafetyCallbacks(std::function<void()> on_override,
+                          std::function<void()> on_release) {
+    on_safety_override_ = std::move(on_override);
+    on_safety_release_ = std::move(on_release);
+  }
 
   void SetGeofence(const GeofenceConfig& fence);
   void SetFenceCallbacks(FenceCallback on_breach, FenceCallback on_recovered);
@@ -116,6 +139,8 @@ class FlightController {
   }
   // True while position control is suspended for a GPS glitch.
   bool gps_glitch() const { return gps_glitch_; }
+  const SafetySupervisor& safety() const { return safety_; }
+  SafetySupervisor& safety() { return safety_; }
   double parameter(const std::string& name, double fallback) const;
 
  private:
@@ -132,6 +157,11 @@ class FlightController {
   void HandleRcOverride(const RcChannelsOverride& rc);
   void HandleParamSet(const ParamSet& ps);
   MavResult SwitchMode(CopterMode mode);
+  SafetyVerdict SafetyTick(SimDuration dt);
+  std::array<double, kNumMotors> OverrideOutput(const SafetyVerdict& verdict,
+                                                SimDuration dt);
+  void OnSafetyStage(SafetyStage stage, uint32_t reasons);
+  double SensedBatteryFraction() const;
   NedPoint EstimatedNed() const;
   void StartTelemetry();
   void HeartbeatTick();
@@ -144,14 +174,18 @@ class FlightController {
   SensorSource* sensors_;
   Battery* battery_;
   FlightControllerConfig config_;
-  WakeLatencySampler* latency_ = nullptr;
+  std::function<double()> latency_source_;
+  std::function<double()> battery_gauge_;
 
   Estimator estimator_;
   CommandDeduper deduper_;
   AttitudeController attitude_ctrl_;
   PositionController position_ctrl_;
+  SafetySupervisor safety_;
   FlightLog log_;
   Sender sender_;
+  std::function<void()> on_safety_override_;
+  std::function<void()> on_safety_release_;
 
   bool running_ = false;
   bool armed_ = false;

@@ -1,0 +1,205 @@
+#include "src/flight/safety_supervisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace androne {
+
+const char* SafetyStageName(SafetyStage stage) {
+  switch (stage) {
+    case SafetyStage::kNominal:
+      return "nominal";
+    case SafetyStage::kLevelHold:
+      return "level-hold";
+    case SafetyStage::kDescend:
+      return "descend";
+    case SafetyStage::kCutoff:
+      return "cutoff";
+  }
+  return "unknown";
+}
+
+std::string SafetyReasonsToString(uint32_t reasons) {
+  static constexpr struct {
+    uint32_t bit;
+    const char* name;
+  } kNames[] = {
+      {kSafetyReasonAttitude, "attitude"},
+      {kSafetyReasonRate, "rate"},
+      {kSafetyReasonAltitude, "altitude"},
+      {kSafetyReasonGeofence, "geofence"},
+      {kSafetyReasonSensorFault, "sensor"},
+      {kSafetyReasonDeadlineMisses, "deadline"},
+  };
+  std::string out;
+  for (const auto& entry : kNames) {
+    if ((reasons & entry.bit) != 0) {
+      if (!out.empty()) {
+        out += '+';
+      }
+      out += entry.name;
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+void SafetySupervisor::Configure(const SafetyEnvelope& envelope) {
+  envelope_ = envelope;
+  deadline_monitor_ = DeadlineMonitor(envelope.deadline_miss_window,
+                                      envelope.deadline_miss_threshold);
+}
+
+void SafetySupervisor::RecordDeadline(bool missed) {
+  deadline_monitor_.Record(clock_->now(), missed);
+}
+
+uint32_t SafetySupervisor::EvaluateEnvelope(const SafetyInputs& in) const {
+  // The envelope only binds in flight: on the ground the complex stack may
+  // do whatever it likes, and a disarmed vehicle has nothing to override.
+  if (!envelope_.enabled || !in.armed || !in.airborne) {
+    return 0;
+  }
+  uint32_t reasons = 0;
+  if (std::max(std::abs(in.roll_rad), std::abs(in.pitch_rad)) >
+      envelope_.max_tilt_rad) {
+    reasons |= kSafetyReasonAttitude;
+  }
+  if (std::max({std::abs(in.roll_rate_rads), std::abs(in.pitch_rate_rads),
+                std::abs(in.yaw_rate_rads)}) > envelope_.max_rate_rads) {
+    reasons |= kSafetyReasonRate;
+  }
+  if (in.altitude_m > envelope_.max_altitude_m) {
+    reasons |= kSafetyReasonAltitude;
+  }
+  if (envelope_.max_radius_m > 0 &&
+      in.horizontal_from_home_m > envelope_.max_radius_m) {
+    reasons |= kSafetyReasonGeofence;
+  }
+  if (in.sensors_degraded) {
+    reasons |= kSafetyReasonSensorFault;
+  }
+  if (deadline_monitor_.tripped()) {
+    reasons |= kSafetyReasonDeadlineMisses;
+  }
+  return reasons;
+}
+
+void SafetySupervisor::EnterStage(SafetyStage stage) {
+  stage_ = stage;
+  stage_entered_ = clock_->now();
+  if (!episodes_.empty() && episodes_.back().released < 0 &&
+      static_cast<int>(stage) >
+          static_cast<int>(episodes_.back().deepest)) {
+    episodes_.back().deepest = stage;
+  }
+  if (stage_callback_) {
+    stage_callback_(stage, latched_reasons());
+  }
+}
+
+SafetyVerdict SafetySupervisor::Tick(const SafetyInputs& in, SimDuration dt) {
+  (void)dt;
+  SimTime now = clock_->now();
+  active_reasons_ = EvaluateEnvelope(in);
+  if (!episodes_.empty() && episodes_.back().released < 0) {
+    episodes_.back().reasons |= active_reasons_;
+  }
+
+  switch (stage_) {
+    case SafetyStage::kNominal:
+      if (active_reasons_ != 0) {
+        if (first_bad_ < 0) {
+          first_bad_ = now;
+        }
+        if (now - first_bad_ >= envelope_.trip_after) {
+          hold_yaw_ = in.yaw_rad;
+          first_good_ = -1;
+          SafetyEpisode episode;
+          episode.entered = now;
+          episode.reasons = active_reasons_;
+          episodes_.push_back(episode);
+          EnterStage(SafetyStage::kLevelHold);
+        }
+      } else {
+        first_bad_ = -1;
+      }
+      break;
+
+    case SafetyStage::kLevelHold: {
+      if (active_reasons_ == 0) {
+        first_hard_ = -1;
+        if (first_good_ < 0) {
+          first_good_ = now;
+        }
+        if (now - first_good_ >= envelope_.clear_after) {
+          episodes_.back().released = now;
+          first_bad_ = -1;
+          first_good_ = -1;
+          EnterStage(SafetyStage::kNominal);
+        }
+      } else {
+        first_good_ = -1;
+        // Only *hard* violations escalate to a descent: an actual envelope
+        // breach, a lost real-time guarantee, or an attitude source that
+        // cannot be trusted. A degraded position sensor alone (GPS glitch)
+        // is flown out in level-hold indefinitely — descending a drone
+        // that is flying fine on its remaining sensors is strictly worse.
+        bool hard = (active_reasons_ & ~kSafetyReasonSensorFault) != 0 ||
+                    in.imu_degraded;
+        if (!hard) {
+          first_hard_ = -1;
+        } else {
+          if (first_hard_ < 0) {
+            first_hard_ = now;
+          }
+          if (now - first_hard_ >= envelope_.level_hold_grace) {
+            EnterStage(SafetyStage::kDescend);
+          }
+        }
+      }
+      break;
+    }
+
+    case SafetyStage::kDescend:
+      // Committed: no un-escalation mid-descent.
+      if (!in.airborne || in.altitude_m <= envelope_.cutoff_altitude_m) {
+        EnterStage(SafetyStage::kCutoff);
+      }
+      break;
+
+    case SafetyStage::kCutoff:
+      if (!in.armed && !in.airborne) {
+        episodes_.back().released = now;
+        first_bad_ = -1;
+        first_good_ = -1;
+        EnterStage(SafetyStage::kNominal);
+      }
+      break;
+  }
+
+  SafetyVerdict verdict;
+  if (stage_ == SafetyStage::kNominal) {
+    return verdict;
+  }
+  verdict.overriding = true;
+  if (stage_ == SafetyStage::kCutoff) {
+    verdict.cut_motors = true;
+    return verdict;
+  }
+  // The recovery controller: wings-level, hold yaw, hover (or slightly
+  // under-hover for the descent). Deliberately no position loops — they
+  // depend on the estimator state the override may not trust. With the IMU
+  // itself degraded even the attitude estimate is a lie (a stuck sensor
+  // freezes it mid-maneuver); fall back to damping raw body rates to zero,
+  // which needs no estimate at all.
+  verdict.rate_only = in.imu_degraded;
+  verdict.target.roll_rad = 0;
+  verdict.target.pitch_rad = 0;
+  verdict.target.yaw_rad = hold_yaw_;
+  verdict.target.thrust = stage_ == SafetyStage::kDescend
+                              ? hover_throttle_ * envelope_.descent_throttle_scale
+                              : hover_throttle_;
+  return verdict;
+}
+
+}  // namespace androne

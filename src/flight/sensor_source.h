@@ -5,6 +5,7 @@
 #ifndef SRC_FLIGHT_SENSOR_SOURCE_H_
 #define SRC_FLIGHT_SENSOR_SOURCE_H_
 
+#include "src/hw/sensor_faults.h"
 #include "src/hw/sensors.h"
 #include "src/util/status.h"
 
@@ -41,6 +42,52 @@ class DirectSensorSource : public SensorSource {
   Barometer* baro_;
   Magnetometer* mag_;
   ContainerId opener_;
+};
+
+// Decorates any SensorSource with a scripted SensorFaultInjector. Dropout
+// windows surface as UNAVAILABLE — the same shape as a real HAL read
+// failing — so the flight stack exercises its degraded paths, not a
+// special-cased fault API.
+class FaultySensorSource : public SensorSource {
+ public:
+  FaultySensorSource(SensorSource* base, SensorFaultInjector* injector)
+      : base_(base), injector_(injector) {}
+
+  StatusOr<ImuSample> ReadImu() override {
+    StatusOr<ImuSample> sample = base_->ReadImu();
+    if (sample.ok() && !injector_->ApplyImu(&*sample)) {
+      return UnavailableError("imu dropout");
+    }
+    return sample;
+  }
+
+  StatusOr<double> ReadBaroAltitude() override {
+    StatusOr<double> altitude = base_->ReadBaroAltitude();
+    if (altitude.ok() && !injector_->ApplyBaro(&*altitude)) {
+      return UnavailableError("baro dropout");
+    }
+    return altitude;
+  }
+
+  StatusOr<double> ReadMagHeading() override {
+    StatusOr<double> heading = base_->ReadMagHeading();
+    if (heading.ok() && !injector_->ApplyMag(&*heading)) {
+      return UnavailableError("mag dropout");
+    }
+    return heading;
+  }
+
+  StatusOr<GpsFix> ReadGps() override {
+    StatusOr<GpsFix> fix = base_->ReadGps();
+    if (fix.ok() && !injector_->ApplyGps(&*fix)) {
+      return UnavailableError("gps dropout");
+    }
+    return fix;
+  }
+
+ private:
+  SensorSource* base_;
+  SensorFaultInjector* injector_;
 };
 
 }  // namespace androne

@@ -13,9 +13,17 @@ SitlDrone::SitlDrone(SimClock* clock, const GeoPoint& home, uint64_t seed)
       imu_(clock, physics_.mutable_truth(), seed + 2),
       baro_(clock, physics_.mutable_truth(), seed + 3),
       mag_(clock, physics_.mutable_truth(), seed + 4),
-      sensors_(&gps_, &imu_, &baro_, &mag_, kSitlOpener), battery_(),
-      controller_(clock, &physics_, &motors_, &sensors_, &battery_,
+      sensors_(&gps_, &imu_, &baro_, &mag_, kSitlOpener),
+      sensor_fault_injector_(&sensor_fault_plan_, clock, seed + 5),
+      faulty_sensors_(&sensors_, &sensor_fault_injector_), battery_(),
+      controller_(clock, &physics_, &motors_, &faulty_sensors_, &battery_,
                   FlightControllerConfig{.home = home}) {
+  // The controller's battery gauge reads through the fault layer too, so a
+  // scripted sag fools the failsafe without touching the real charge.
+  controller_.SetBatteryGauge([this] {
+    return sensor_fault_injector_.ApplyBatteryFraction(
+        battery_.fraction_remaining());
+  });
   (void)motors_.Open(kSitlOpener);
   (void)gps_.Open(kSitlOpener);
   (void)imu_.Open(kSitlOpener);

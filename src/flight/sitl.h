@@ -23,6 +23,12 @@ class SitlDrone {
   SimClock& clock() { return *clock_; }
   // Sensor access for failure-injection tests (e.g. GPS outages).
   GpsReceiver& gps() { return gps_; }
+  // Scripted sensor faults: append windows to the plan (mid-run is fine);
+  // every controller sensor read goes through the injector.
+  SensorFaultPlan& sensor_faults() { return sensor_fault_plan_; }
+  const SensorFaultInjector& sensor_fault_injector() const {
+    return sensor_fault_injector_;
+  }
 
   // --- Ground-station helpers: inject MAVLink as a GCS would ---
   void SetModeCmd(CopterMode mode);
@@ -57,6 +63,9 @@ class SitlDrone {
   Barometer baro_;
   Magnetometer mag_;
   DirectSensorSource sensors_;
+  SensorFaultPlan sensor_fault_plan_;
+  SensorFaultInjector sensor_fault_injector_;
+  FaultySensorSource faulty_sensors_;
   Battery battery_;
   FlightController controller_;
   std::vector<std::string> status_texts_;

@@ -1,0 +1,282 @@
+#include "src/hw/sensor_faults.h"
+
+#include <algorithm>
+
+#include "src/util/geo.h"
+
+namespace androne {
+
+namespace {
+constexpr double kNsPerSecond = 1e9;
+
+double WindowAgeSeconds(const FaultWindowSpec& w, SimTime now) {
+  return static_cast<double>(now - w.start) / kNsPerSecond;
+}
+}  // namespace
+
+const char* SensorChannelName(SensorChannel channel) {
+  switch (channel) {
+    case SensorChannel::kGps:
+      return "gps";
+    case SensorChannel::kImu:
+      return "imu";
+    case SensorChannel::kBaro:
+      return "baro";
+    case SensorChannel::kMag:
+      return "mag";
+    case SensorChannel::kBattery:
+      return "battery";
+  }
+  return "unknown";
+}
+
+void SensorFaultPlan::Add(SensorFaultKind kind, SensorChannel sensor,
+                          SimTime start, SimDuration duration, double p0,
+                          double p1) {
+  FaultWindowSpec w;
+  w.kind = static_cast<int>(kind);
+  w.scope = static_cast<int>(sensor);
+  w.start = start;
+  w.end = start + duration;
+  w.p0 = p0;
+  w.p1 = p1;
+  schedule_.Add(w);
+}
+
+void SensorFaultPlan::AddDropout(SensorChannel sensor, SimTime start,
+                                 SimDuration duration) {
+  Add(SensorFaultKind::kDropout, sensor, start, duration);
+}
+
+void SensorFaultPlan::AddStuck(SensorChannel sensor, SimTime start,
+                               SimDuration duration) {
+  Add(SensorFaultKind::kStuck, sensor, start, duration);
+}
+
+void SensorFaultPlan::AddBiasDrift(SensorChannel sensor, SimTime start,
+                                   SimDuration duration, double rate_per_s) {
+  Add(SensorFaultKind::kBiasDrift, sensor, start, duration, rate_per_s);
+}
+
+void SensorFaultPlan::AddNoiseInflation(SensorChannel sensor, SimTime start,
+                                        SimDuration duration,
+                                        double extra_stddev) {
+  Add(SensorFaultKind::kNoiseInflation, sensor, start, duration,
+      extra_stddev);
+}
+
+void SensorFaultPlan::AddGpsJump(SimTime start, SimDuration duration,
+                                 double north_m, double east_m) {
+  Add(SensorFaultKind::kGpsJump, SensorChannel::kGps, start, duration,
+      north_m, east_m);
+}
+
+void SensorFaultPlan::AddBaroSpike(SimTime start, SimDuration duration,
+                                   double magnitude_m, double probability) {
+  Add(SensorFaultKind::kBaroSpike, SensorChannel::kBaro, start, duration,
+      magnitude_m, probability);
+}
+
+void SensorFaultPlan::AddBatterySag(SimTime start, SimDuration duration,
+                                    double sag_fraction) {
+  Add(SensorFaultKind::kBatterySag, SensorChannel::kBattery, start, duration,
+      sag_fraction);
+}
+
+bool SensorFaultInjector::Dropped(SensorChannel channel) {
+  if (plan_->schedule().AnyActive(clock_->now(),
+                                  static_cast<int>(SensorFaultKind::kDropout),
+                                  static_cast<int>(channel))) {
+    ++counters_.dropouts;
+    return true;
+  }
+  return false;
+}
+
+const FaultWindowSpec* SensorFaultInjector::StuckWindow(
+    SensorChannel channel) {
+  return plan_->schedule().FirstActive(
+      clock_->now(), static_cast<int>(SensorFaultKind::kStuck),
+      static_cast<int>(channel));
+}
+
+double SensorFaultInjector::BiasNow(SensorChannel channel) const {
+  double bias = 0.0;
+  SimTime now = clock_->now();
+  plan_->schedule().ForEachActive(
+      now, static_cast<int>(SensorFaultKind::kBiasDrift),
+      static_cast<int>(channel), [&bias, now](const FaultWindowSpec& w) {
+        bias += w.p0 * WindowAgeSeconds(w, now);
+      });
+  return bias;
+}
+
+double SensorFaultInjector::ExtraNoiseStddev(SensorChannel channel) const {
+  double stddev = 0.0;
+  plan_->schedule().ForEachActive(
+      clock_->now(), static_cast<int>(SensorFaultKind::kNoiseInflation),
+      static_cast<int>(channel), [&stddev](const FaultWindowSpec& w) {
+        stddev += w.p0;
+      });
+  return stddev;
+}
+
+bool SensorFaultInjector::ApplyGps(GpsFix* fix) {
+  if (Dropped(SensorChannel::kGps)) {
+    return false;
+  }
+  if (StuckWindow(SensorChannel::kGps) != nullptr) {
+    if (!stuck_gps_.has_value()) {
+      stuck_gps_ = *fix;
+    }
+    *fix = *stuck_gps_;
+    ++counters_.stuck_reads;
+    return true;
+  }
+  stuck_gps_.reset();
+
+  double north = BiasNow(SensorChannel::kGps);
+  double east = 0.0;
+  SimTime now = clock_->now();
+  plan_->schedule().ForEachActive(
+      now, static_cast<int>(SensorFaultKind::kGpsJump),
+      static_cast<int>(SensorChannel::kGps),
+      [&north, &east](const FaultWindowSpec& w) {
+        north += w.p0;
+        east += w.p1;
+      });
+  double stddev = ExtraNoiseStddev(SensorChannel::kGps);
+  if (stddev > 0.0) {
+    north += rng_.Gaussian(0.0, stddev);
+    east += rng_.Gaussian(0.0, stddev);
+  }
+  if (north != 0.0 || east != 0.0) {
+    fix->position = FromNed(fix->position, NedPoint{north, east, 0.0});
+    ++counters_.corrupted_reads;
+  }
+  return true;
+}
+
+bool SensorFaultInjector::ApplyImu(ImuSample* sample) {
+  if (Dropped(SensorChannel::kImu)) {
+    return false;
+  }
+  if (StuckWindow(SensorChannel::kImu) != nullptr) {
+    if (!stuck_imu_.has_value()) {
+      stuck_imu_ = *sample;
+    }
+    *sample = *stuck_imu_;
+    ++counters_.stuck_reads;
+    return true;
+  }
+  stuck_imu_.reset();
+
+  bool corrupted = false;
+  double bias = BiasNow(SensorChannel::kImu);
+  if (bias != 0.0) {
+    for (double& rate : sample->gyro_rads) {
+      rate += bias;
+    }
+    corrupted = true;
+  }
+  double stddev = ExtraNoiseStddev(SensorChannel::kImu);
+  if (stddev > 0.0) {
+    for (double& rate : sample->gyro_rads) {
+      rate += rng_.Gaussian(0.0, stddev);
+    }
+    for (double& accel : sample->accel_mss) {
+      accel += rng_.Gaussian(0.0, stddev);
+    }
+    corrupted = true;
+  }
+  if (corrupted) {
+    ++counters_.corrupted_reads;
+  }
+  return true;
+}
+
+bool SensorFaultInjector::ApplyBaro(double* altitude_m) {
+  if (Dropped(SensorChannel::kBaro)) {
+    return false;
+  }
+  if (StuckWindow(SensorChannel::kBaro) != nullptr) {
+    if (!stuck_baro_.has_value()) {
+      stuck_baro_ = *altitude_m;
+    }
+    *altitude_m = *stuck_baro_;
+    ++counters_.stuck_reads;
+    return true;
+  }
+  stuck_baro_.reset();
+
+  bool corrupted = false;
+  double bias = BiasNow(SensorChannel::kBaro);
+  if (bias != 0.0) {
+    *altitude_m += bias;
+    corrupted = true;
+  }
+  double stddev = ExtraNoiseStddev(SensorChannel::kBaro);
+  if (stddev > 0.0) {
+    *altitude_m += rng_.Gaussian(0.0, stddev);
+    corrupted = true;
+  }
+  SimTime now = clock_->now();
+  double spike = 0.0;
+  plan_->schedule().ForEachActive(
+      now, static_cast<int>(SensorFaultKind::kBaroSpike),
+      static_cast<int>(SensorChannel::kBaro),
+      [this, &spike](const FaultWindowSpec& w) {
+        if (rng_.Bernoulli(w.p1)) {
+          spike += rng_.Bernoulli(0.5) ? w.p0 : -w.p0;
+        }
+      });
+  if (spike != 0.0) {
+    *altitude_m += spike;
+    corrupted = true;
+  }
+  if (corrupted) {
+    ++counters_.corrupted_reads;
+  }
+  return true;
+}
+
+bool SensorFaultInjector::ApplyMag(double* heading_rad) {
+  if (Dropped(SensorChannel::kMag)) {
+    return false;
+  }
+  if (StuckWindow(SensorChannel::kMag) != nullptr) {
+    if (!stuck_mag_.has_value()) {
+      stuck_mag_ = *heading_rad;
+    }
+    *heading_rad = *stuck_mag_;
+    ++counters_.stuck_reads;
+    return true;
+  }
+  stuck_mag_.reset();
+
+  bool corrupted = false;
+  double bias = BiasNow(SensorChannel::kMag);
+  if (bias != 0.0) {
+    *heading_rad += bias;
+    corrupted = true;
+  }
+  double stddev = ExtraNoiseStddev(SensorChannel::kMag);
+  if (stddev > 0.0) {
+    *heading_rad += rng_.Gaussian(0.0, stddev);
+    corrupted = true;
+  }
+  if (corrupted) {
+    ++counters_.corrupted_reads;
+  }
+  return true;
+}
+
+double SensorFaultInjector::ApplyBatteryFraction(double fraction) {
+  plan_->schedule().ForEachActive(
+      clock_->now(), static_cast<int>(SensorFaultKind::kBatterySag),
+      static_cast<int>(SensorChannel::kBattery),
+      [&fraction](const FaultWindowSpec& w) { fraction *= 1.0 - w.p0; });
+  return std::clamp(fraction, 0.0, 1.0);
+}
+
+}  // namespace androne

@@ -1,0 +1,121 @@
+// Scripted sensor fault injection, the hw-layer twin of the network chaos
+// layer (src/net/fault_injector.h). A SensorFaultPlan is a typed facade over
+// the shared util/fault_plan FaultSchedule — dropout, stuck value, bias
+// drift, noise inflation, GPS jump, barometer spike, battery sag — so one
+// chaos script composes sensor and link fault windows on a single time base
+// and replays deterministically under a fixed seed. A SensorFaultInjector
+// applies the plan to individual sensor reads; the flight stack sees it
+// through FaultySensorSource (src/flight/sensor_source.h), which is the
+// point of the exercise: the estimator and safety supervisor must survive
+// sensors lying to them, not just sensors going quiet.
+#ifndef SRC_HW_SENSOR_FAULTS_H_
+#define SRC_HW_SENSOR_FAULTS_H_
+
+#include <optional>
+
+#include "src/hw/sensors.h"
+#include "src/util/fault_plan.h"
+#include "src/util/rng.h"
+#include "src/util/sim_clock.h"
+
+namespace androne {
+
+// Scope values for sensor fault windows.
+enum class SensorChannel {
+  kGps = 0,
+  kImu = 1,
+  kBaro = 2,
+  kMag = 3,
+  kBattery = 4,
+};
+
+const char* SensorChannelName(SensorChannel channel);
+
+enum class SensorFaultKind {
+  kDropout = 0,         // Reads fail (UNAVAILABLE) for the window.
+  kStuck = 1,           // First read in the window latches; all later reads
+                        // return the latched value, timestamps frozen.
+  kBiasDrift = 2,       // Additive bias ramping at p0 units/second.
+  kNoiseInflation = 3,  // Extra zero-mean Gaussian noise, stddev p0.
+  kGpsJump = 4,         // Position teleports by (p0 north, p1 east) meters.
+  kBaroSpike = 5,       // With probability p1 per read, altitude off by ±p0.
+  kBatterySag = 6,      // Sensed fraction scaled by (1 - p0); truth untouched.
+};
+
+// Typed schedule builder. All windows are [start, start + duration).
+class SensorFaultPlan {
+ public:
+  void AddDropout(SensorChannel sensor, SimTime start, SimDuration duration);
+  void AddStuck(SensorChannel sensor, SimTime start, SimDuration duration);
+  void AddBiasDrift(SensorChannel sensor, SimTime start, SimDuration duration,
+                    double rate_per_s);
+  void AddNoiseInflation(SensorChannel sensor, SimTime start,
+                         SimDuration duration, double extra_stddev);
+  void AddGpsJump(SimTime start, SimDuration duration, double north_m,
+                  double east_m);
+  void AddBaroSpike(SimTime start, SimDuration duration, double magnitude_m,
+                    double probability);
+  void AddBatterySag(SimTime start, SimDuration duration,
+                     double sag_fraction);
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  void Add(SensorFaultKind kind, SensorChannel sensor, SimTime start,
+           SimDuration duration, double p0 = 0.0, double p1 = 0.0);
+
+  FaultSchedule schedule_;
+};
+
+struct SensorFaultCounters {
+  uint64_t dropouts = 0;
+  uint64_t stuck_reads = 0;
+  uint64_t corrupted_reads = 0;  // Bias/noise/jump/spike-affected reads.
+};
+
+// Applies a SensorFaultPlan to sensor reads. Stateful only for stuck-value
+// latches (and the noise stream), so it must be consulted on every read of
+// the channels it covers. Apply* return false when the read is dropped;
+// otherwise they mutate the sample in place.
+//
+// Precedence per read: dropout beats stuck beats corruption — a stuck
+// sensor repeats its latched value exactly (that bit-identity is what the
+// estimator's stuck detector keys on), so bias/noise never touch it.
+class SensorFaultInjector {
+ public:
+  SensorFaultInjector(const SensorFaultPlan* plan, const SimClock* clock,
+                      uint64_t seed)
+      : plan_(plan), clock_(clock), rng_(SplitMix64(seed ^ 0x5ef5u)) {}
+
+  bool ApplyGps(GpsFix* fix);
+  bool ApplyImu(ImuSample* sample);
+  bool ApplyBaro(double* altitude_m);
+  bool ApplyMag(double* heading_rad);
+
+  // Battery has no dropout path — gauges report *something* — only sag.
+  double ApplyBatteryFraction(double fraction);
+
+  const SensorFaultCounters& counters() const { return counters_; }
+
+ private:
+  // Returns the active stuck window for |channel|, clearing the latch when
+  // no window covers now.
+  const FaultWindowSpec* StuckWindow(SensorChannel channel);
+  double BiasNow(SensorChannel channel) const;
+  double ExtraNoiseStddev(SensorChannel channel) const;
+  bool Dropped(SensorChannel channel);
+
+  const SensorFaultPlan* plan_;
+  const SimClock* clock_;
+  Rng rng_;
+  SensorFaultCounters counters_;
+
+  std::optional<GpsFix> stuck_gps_;
+  std::optional<ImuSample> stuck_imu_;
+  std::optional<double> stuck_baro_;
+  std::optional<double> stuck_mag_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_HW_SENSOR_FAULTS_H_

@@ -83,6 +83,14 @@ enum class MavState : uint8_t {
 inline constexpr uint8_t kMavModeFlagSafetyArmed = 0x80;
 inline constexpr uint8_t kMavModeFlagCustomModeEnabled = 0x01;
 
+// MAV_SYS_STATUS_SENSOR bits for SYS_STATUS sensors_present/enabled/health
+// (subset of the official enum that AnDrone models).
+inline constexpr uint32_t kSensorGyro = 0x01;
+inline constexpr uint32_t kSensorAccel = 0x02;
+inline constexpr uint32_t kSensorMag = 0x04;
+inline constexpr uint32_t kSensorBaro = 0x08;
+inline constexpr uint32_t kSensorGps = 0x20;
+
 // Severity for STATUSTEXT (subset of RFC 5424).
 enum class MavSeverity : uint8_t {
   kEmergency = 0,

@@ -73,6 +73,18 @@ void MavProxy::OnFenceRecovered(int tenant_id) {
   }
 }
 
+void MavProxy::OnSafetyOverride() {
+  for (const auto& vfc : vfcs_) {
+    vfc->SuspendForSafetyOverride();
+  }
+}
+
+void MavProxy::OnSafetyRelease() {
+  for (const auto& vfc : vfcs_) {
+    vfc->ResumeAfterSafetyOverride();
+  }
+}
+
 LinkWatchdog* MavProxy::EnableLinkFailsafe(const LinkWatchdogConfig& config) {
   if (watchdog_ != nullptr) {
     return watchdog_.get();

@@ -42,6 +42,13 @@ class MavProxy {
   void OnFenceBreach(int tenant_id);
   void OnFenceRecovered(int tenant_id);
 
+  // Safety-supervisor override wiring: the recovery controller owns the
+  // *physical* drone, so every tenant's commands are refused until the
+  // supervisor hands control back (wire to
+  // FlightController::SetSafetyCallbacks).
+  void OnSafetyOverride();
+  void OnSafetyRelease();
+
   // Link-loss failsafe: heartbeats from the ground side (planner endpoint or
   // any VFC client) feed a watchdog; on a missed-heartbeat deadline the
   // proxy commands the flight controller into Loiter, escalates to RTL on

@@ -61,6 +61,14 @@ void VirtualFlightController::ResumeAfterLinkLoss() {
   link_suspended_ = false;
 }
 
+void VirtualFlightController::SuspendForSafetyOverride() {
+  safety_suspended_ = true;
+}
+
+void VirtualFlightController::ResumeAfterSafetyOverride() {
+  safety_suspended_ = false;
+}
+
 void VirtualFlightController::SendToClient(const MavMessage& message) {
   if (!to_client_) {
     return;

@@ -59,6 +59,11 @@ class VirtualFlightController {
   // get the same denied-ack refusal the fence-recovery path uses.
   void SuspendForLinkLoss();
   void ResumeAfterLinkLoss();
+  // Temporarily refuse commands while the onboard safety supervisor has
+  // overridden the complex controller: the physical drone is flying the
+  // recovery ladder and no tenant input can reach the motors.
+  void SuspendForSafetyOverride();
+  void ResumeAfterSafetyOverride();
 
   // Observes every inbound client heartbeat (the proxy's link watchdog
   // feeds on these).
@@ -77,7 +82,7 @@ class VirtualFlightController {
   int tenant_id() const { return tenant_id_; }
   bool commands_enabled() const {
     return state_ == VfcState::kActive && !fence_suspended_ &&
-           !link_suspended_;
+           !link_suspended_ && !safety_suspended_;
   }
   uint64_t commands_forwarded() const { return commands_forwarded_; }
   uint64_t commands_declined() const { return commands_declined_; }
@@ -101,6 +106,7 @@ class VirtualFlightController {
   VfcState state_ = VfcState::kIdleOnGround;
   bool fence_suspended_ = false;
   bool link_suspended_ = false;
+  bool safety_suspended_ = false;
   std::optional<GeoPoint> waypoint_;
   // The synthetic view's current altitude during takeoff/landing animation.
   double virtual_altitude_m_ = 0;

@@ -16,67 +16,63 @@ const char* LinkDirectionName(LinkDirection dir) {
 
 void FaultPlan::AddOutage(SimTime start, SimDuration duration,
                           LinkDirection dir) {
-  FaultWindow w;
-  w.kind = FaultKind::kOutage;
+  FaultWindowSpec w;
+  w.kind = static_cast<int>(FaultKind::kOutage);
+  w.scope = static_cast<int>(dir);
   w.start = start;
   w.end = start + duration;
-  w.direction = dir;
-  windows_.push_back(w);
+  schedule_.Add(w);
 }
 
 void FaultPlan::AddBurstLoss(SimTime start, SimDuration duration,
                              double loss_probability, LinkDirection dir) {
-  FaultWindow w;
-  w.kind = FaultKind::kBurstLoss;
+  FaultWindowSpec w;
+  w.kind = static_cast<int>(FaultKind::kBurstLoss);
+  w.scope = static_cast<int>(dir);
   w.start = start;
   w.end = start + duration;
-  w.direction = dir;
-  w.loss_probability = loss_probability;
-  windows_.push_back(w);
+  w.p0 = loss_probability;
+  schedule_.Add(w);
 }
 
 void FaultPlan::AddLatencyInflation(SimTime start, SimDuration duration,
                                     double multiplier, SimDuration extra,
                                     LinkDirection dir) {
-  FaultWindow w;
-  w.kind = FaultKind::kLatency;
+  FaultWindowSpec w;
+  w.kind = static_cast<int>(FaultKind::kLatency);
+  w.scope = static_cast<int>(dir);
   w.start = start;
   w.end = start + duration;
-  w.direction = dir;
-  w.latency_multiplier = multiplier;
-  w.extra_latency = extra;
-  windows_.push_back(w);
+  w.p0 = multiplier;
+  w.d0 = extra;
+  schedule_.Add(w);
 }
 
 bool FaultPlan::InOutage(SimTime t, LinkDirection dir) const {
-  for (const FaultWindow& w : windows_) {
-    if (w.kind == FaultKind::kOutage && w.Covers(t, dir)) {
-      return true;
-    }
-  }
-  return false;
+  return schedule_.AnyActive(t, static_cast<int>(FaultKind::kOutage),
+                             static_cast<int>(dir));
 }
 
 double FaultPlan::BurstLossProbability(SimTime t, LinkDirection dir) const {
   // Overlapping windows act as independent droppers: survive all of them.
   double survive = 1.0;
-  for (const FaultWindow& w : windows_) {
-    if (w.kind == FaultKind::kBurstLoss && w.Covers(t, dir)) {
-      survive *= 1.0 - w.loss_probability;
-    }
-  }
+  schedule_.ForEachActive(t, static_cast<int>(FaultKind::kBurstLoss),
+                          static_cast<int>(dir),
+                          [&survive](const FaultWindowSpec& w) {
+                            survive *= 1.0 - w.p0;
+                          });
   return 1.0 - survive;
 }
 
 SimDuration FaultPlan::InflateLatency(SimTime t, LinkDirection dir,
                                       SimDuration latency) const {
-  for (const FaultWindow& w : windows_) {
-    if (w.kind == FaultKind::kLatency && w.Covers(t, dir)) {
-      latency = static_cast<SimDuration>(static_cast<double>(latency) *
-                                         w.latency_multiplier) +
-                w.extra_latency;
-    }
-  }
+  schedule_.ForEachActive(
+      t, static_cast<int>(FaultKind::kLatency), static_cast<int>(dir),
+      [&latency](const FaultWindowSpec& w) {
+        latency = static_cast<SimDuration>(static_cast<double>(latency) *
+                                           w.p0) +
+                  w.d0;
+      });
   return latency;
 }
 

@@ -5,13 +5,17 @@
 // under a fixed seed. This is the substrate for the link-loss failsafe and
 // chaos tests: the paper's whole premise (§6.5) is that virtual drones stay
 // safe over a lossy LTE link, which the seed models only on the happy path.
+//
+// The window machinery is the shared util/fault_plan FaultSchedule, the same
+// substrate the sensor fault layer (src/hw/sensor_faults.h) builds on, so one
+// chaos script can compose network and sensor fault windows on one time base.
 #ifndef SRC_NET_FAULT_INJECTOR_H_
 #define SRC_NET_FAULT_INJECTOR_H_
 
 #include <string>
-#include <vector>
 
 #include "src/net/link_model.h"
+#include "src/util/fault_plan.h"
 #include "src/util/sim_clock.h"
 
 namespace androne {
@@ -19,7 +23,7 @@ namespace androne {
 // Which direction of a duplex link a fault window applies to. A plain
 // NetworkChannel is always kForward; DuplexChannel's reverse channel is
 // kReverse. kBoth windows hit either direction (symmetric fault).
-enum class LinkDirection { kForward, kReverse, kBoth };
+enum class LinkDirection { kForward = 0, kReverse = 1, kBoth = kFaultScopeAll };
 
 const char* LinkDirectionName(LinkDirection dir);
 
@@ -29,25 +33,11 @@ enum class FaultKind {
   kLatency,    // Sampled latency is scaled and/or inflated by a constant.
 };
 
-struct FaultWindow {
-  FaultKind kind = FaultKind::kOutage;
-  SimTime start = 0;
-  SimTime end = 0;  // Exclusive.
-  LinkDirection direction = LinkDirection::kBoth;
-  double loss_probability = 1.0;   // kBurstLoss.
-  double latency_multiplier = 1.0; // kLatency.
-  SimDuration extra_latency = 0;   // kLatency, added after scaling.
-
-  bool Covers(SimTime t, LinkDirection dir) const {
-    return t >= start && t < end &&
-           (direction == LinkDirection::kBoth || direction == dir);
-  }
-};
-
 // A scripted fault schedule. Build it once before the scenario runs; the
 // decorated links consult it on every send. Windows may overlap (all
 // matching windows apply: loss probabilities are combined, latency effects
-// compose).
+// compose). Window parameters map onto the generic spec as
+// p0 = loss probability / latency multiplier, d0 = extra latency.
 class FaultPlan {
  public:
   // Total blackout of [start, start+duration) in |dir|.
@@ -70,7 +60,7 @@ class FaultPlan {
     AddOutage(start, duration, dir);
   }
 
-  const std::vector<FaultWindow>& windows() const { return windows_; }
+  const FaultSchedule& schedule() const { return schedule_; }
 
   // True if any outage window covers (t, dir).
   bool InOutage(SimTime t, LinkDirection dir) const;
@@ -84,7 +74,7 @@ class FaultPlan {
                              SimDuration latency) const;
 
  private:
-  std::vector<FaultWindow> windows_;
+  FaultSchedule schedule_;
 };
 
 // Per-link fault counters, split by cause so tests and benches can attribute

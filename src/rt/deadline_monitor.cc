@@ -1,0 +1,15 @@
+#include "src/rt/deadline_monitor.h"
+
+namespace androne {
+
+void DeadlineMonitor::Record(SimTime now, bool missed) {
+  while (!misses_.empty() && misses_.front() <= now - window_) {
+    misses_.pop_front();
+  }
+  if (missed) {
+    misses_.push_back(now);
+    ++total_misses_;
+  }
+}
+
+}  // namespace androne

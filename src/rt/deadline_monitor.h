@@ -1,0 +1,41 @@
+// Sliding-window deadline-miss monitor for periodic real-time tasks.
+//
+// The flight controller's 400 Hz fast loop tolerates isolated deadline
+// misses (motors hold their last output for one tick), but a *storm* of
+// misses means the complex stack has lost its real-time guarantee — the
+// Simplex trigger condition. The monitor counts misses inside a sliding
+// time window and trips when the count crosses a threshold; it recovers on
+// its own as old misses age out of the window.
+#ifndef SRC_RT_DEADLINE_MONITOR_H_
+#define SRC_RT_DEADLINE_MONITOR_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/util/time.h"
+
+namespace androne {
+
+class DeadlineMonitor {
+ public:
+  DeadlineMonitor(SimDuration window, int threshold)
+      : window_(window), threshold_(threshold) {}
+
+  // Records one loop iteration's outcome at |now|. Call every tick — hits
+  // advance the window even when nothing missed.
+  void Record(SimTime now, bool missed);
+
+  int misses_in_window() const { return static_cast<int>(misses_.size()); }
+  bool tripped() const { return misses_in_window() >= threshold_; }
+  uint64_t total_misses() const { return total_misses_; }
+
+ private:
+  SimDuration window_;
+  int threshold_;
+  std::deque<SimTime> misses_;
+  uint64_t total_misses_ = 0;
+};
+
+}  // namespace androne
+
+#endif  // SRC_RT_DEADLINE_MONITOR_H_

@@ -1,0 +1,29 @@
+#include "src/util/fault_plan.h"
+
+#include <algorithm>
+
+namespace androne {
+
+bool FaultSchedule::AnyActive(SimTime t, int kind, int scope) const {
+  return FirstActive(t, kind, scope) != nullptr;
+}
+
+const FaultWindowSpec* FaultSchedule::FirstActive(SimTime t, int kind,
+                                                  int scope) const {
+  for (const FaultWindowSpec& w : windows_) {
+    if (w.kind == kind && WindowCovers(w, t, scope)) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+SimTime FaultSchedule::last_end() const {
+  SimTime end = 0;
+  for (const FaultWindowSpec& w : windows_) {
+    end = std::max(end, w.end);
+  }
+  return end;
+}
+
+}  // namespace androne

@@ -1,0 +1,77 @@
+// Shared scripted-fault vocabulary. Both chaos layers — network faults
+// (src/net/fault_injector.h) and sensor faults (src/hw/sensor_faults.h) —
+// express their schedules as FaultWindowSpec lists inside a FaultSchedule,
+// so one chaos script composes windows across layers with the same time
+// base, overlap semantics, and replay determinism. Each layer keeps its own
+// typed facade (AddOutage, AddGpsJump, ...) that maps onto the generic
+// (kind, scope, params) triple here.
+#ifndef SRC_UTIL_FAULT_PLAN_H_
+#define SRC_UTIL_FAULT_PLAN_H_
+
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace androne {
+
+// Matches every scope; used for symmetric/global fault windows.
+inline constexpr int kFaultScopeAll = -1;
+
+// One scripted fault window. |kind| and |scope| are layer-defined small
+// integers (the net layer uses FaultKind/LinkDirection, the hw layer uses
+// SensorFaultKind/SensorChannel); |p0|, |p1|, |d0| carry kind-specific
+// parameters (a loss probability, a jump magnitude, an extra latency, ...).
+struct FaultWindowSpec {
+  int kind = 0;
+  int scope = kFaultScopeAll;
+  SimTime start = 0;
+  SimTime end = 0;  // Exclusive.
+  double p0 = 0.0;
+  double p1 = 0.0;
+  SimDuration d0 = 0;
+};
+
+// A scripted fault schedule: an append-only list of windows consulted on
+// every send/read. Windows may overlap; layers define how overlapping
+// effects compose. Append during a run is allowed (tests script faults
+// reactively); removal is not.
+class FaultSchedule {
+ public:
+  void Add(const FaultWindowSpec& window) { windows_.push_back(window); }
+
+  const std::vector<FaultWindowSpec>& windows() const { return windows_; }
+  bool empty() const { return windows_.empty(); }
+
+  // True if any window of |kind| covers (t, scope).
+  bool AnyActive(SimTime t, int kind, int scope) const;
+
+  // Earliest-added active window of |kind| at (t, scope); nullptr if none.
+  const FaultWindowSpec* FirstActive(SimTime t, int kind, int scope) const;
+
+  // Applies |fn| to every active window of |kind| at (t, scope), in
+  // insertion order.
+  template <typename Fn>
+  void ForEachActive(SimTime t, int kind, int scope, Fn&& fn) const {
+    for (const FaultWindowSpec& w : windows_) {
+      if (w.kind == kind && WindowCovers(w, t, scope)) {
+        fn(w);
+      }
+    }
+  }
+
+  // End of the latest-ending window (0 for an empty schedule); chaos
+  // scripts use it to run the scenario out.
+  SimTime last_end() const;
+
+  static bool WindowCovers(const FaultWindowSpec& w, SimTime t, int scope) {
+    return t >= w.start && t < w.end &&
+           (w.scope == kFaultScopeAll || w.scope == scope);
+  }
+
+ private:
+  std::vector<FaultWindowSpec> windows_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_UTIL_FAULT_PLAN_H_

@@ -4,6 +4,7 @@
 #include "src/cloud/conflicts.h"
 #include "src/cloud/energy_model.h"
 #include "src/cloud/flight_planner.h"
+#include "src/cloud/ground_control.h"
 #include "src/cloud/portal.h"
 #include "src/cloud/vdr.h"
 #include "src/core/definition.h"
@@ -447,6 +448,51 @@ TEST_F(PortalTest, OrderIdsAreUnique) {
   ASSERT_TRUE(b.ok());
   EXPECT_NE(a->vdrone_id, b->vdrone_id);
   EXPECT_EQ(vdr_.List().size(), 2u);
+}
+
+TEST_F(PortalTest, OverrideNoticesReachTheRightTenants) {
+  // A drone-wide safety override (empty vdrone id) is visible to every
+  // tenant; a tenant-scoped notice only to its addressee.
+  portal_.PostOverrideNotice(Seconds(10), "",
+                             "Safety override: level-hold (sensor)");
+  portal_.PostOverrideNotice(Seconds(12), "vd-1", "Geofence breached");
+  portal_.PostOverrideNotice(Seconds(20), "",
+                             "Safety release: control returned (sensor)");
+
+  std::vector<OverrideNotice> for_vd1 = portal_.NoticesFor("vd-1");
+  ASSERT_EQ(for_vd1.size(), 3u);
+  std::vector<OverrideNotice> for_vd2 = portal_.NoticesFor("vd-2");
+  ASSERT_EQ(for_vd2.size(), 2u);
+  EXPECT_EQ(for_vd2[0].reason, "Safety override: level-hold (sensor)");
+  EXPECT_EQ(for_vd2[1].reason, "Safety release: control returned (sensor)");
+  EXPECT_EQ(portal_.override_notices().size(), 3u);
+}
+
+// The telemetry path into the portal: GroundControl surfaces downlink
+// STATUSTEXTs through its callback, which the provider wires to
+// PostOverrideNotice so tenants learn why their virtual drone went quiet.
+TEST_F(PortalTest, StatusTextCallbackFeedsOverrideNotices) {
+  SimClock clock;
+  GroundControl gcs(&clock, GroundControlConfig{}, 7);
+  gcs.SetStatusTextCallback([&](uint8_t severity, const std::string& text) {
+    if (text.find("Safety override") != std::string::npos ||
+        text.find("Safety release") != std::string::npos) {
+      portal_.PostOverrideNotice(clock.now(), "", text);
+    }
+    (void)severity;
+  });
+
+  StatusText st;
+  st.severity = static_cast<uint8_t>(MavSeverity::kWarning);
+  st.text = "Safety override: level-hold (deadline)";
+  gcs.HandleDownlinkFrame(PackMessage(MavMessage{st}));
+  st.text = "Mode LOITER";  // Ordinary chatter: recorded, not a notice.
+  gcs.HandleDownlinkFrame(PackMessage(MavMessage{st}));
+
+  EXPECT_EQ(gcs.status_texts().size(), 2u);
+  ASSERT_EQ(portal_.override_notices().size(), 1u);
+  EXPECT_EQ(portal_.override_notices()[0].reason,
+            "Safety override: level-hold (deadline)");
 }
 
 

@@ -318,6 +318,75 @@ TEST(ReliableDeliveryTest, SenderGivesUpAfterMaxAttempts) {
   EXPECT_FALSE(h.drone_.controller().armed());
 }
 
+// A combined chaos script — link *and* sensor fault windows composed on
+// the same simulated time base via the shared util/fault_plan vocabulary.
+// A GPS glitch engages the onboard safety supervisor (tenant commands
+// suspended, STATUSTEXT up the telemetry path, GPS health bit dropped from
+// SYS_STATUS), an overlapping uplink outage trips the link failsafe, and
+// after both clear the tenant gets control back.
+TEST(ChaosMissionTest, CombinedLinkAndSensorChaosSurfacesToGroundControl) {
+  ChaosHarness h(202);
+  h.proxy_.EnableLinkFailsafe(LinkWatchdogConfig{});
+  h.drone_.controller().SetSafetyCallbacks(
+      [&] { h.proxy_.OnSafetyOverride(); },
+      [&] { h.proxy_.OnSafetyRelease(); });
+  VirtualFlightController* vfc =
+      h.proxy_.CreateVfc(3, CommandWhitelist::FromTemplate(
+                                WhitelistTemplate::kStandard),
+                         /*continuous_position=*/false);
+  vfc->GrantControl();
+  h.TakeoffTo(12.0);
+  ASSERT_TRUE(vfc->commands_enabled());
+
+  // One chaos script, two layers, one timeline.
+  SimTime now = h.clock_.now();
+  h.drone_.sensor_faults().AddGpsJump(now, Seconds(8), 100.0, 60.0);
+  h.plan_.AddOutage(now + Seconds(2), Seconds(4));
+
+  // The jumping GPS gets excluded, which engages the safety override and
+  // suspends tenant control through the proxy.
+  ASSERT_TRUE(h.RunUntil(
+      [&] { return h.drone_.controller().safety().overriding(); },
+      Seconds(5)));
+  EXPECT_FALSE(vfc->commands_enabled());
+
+  // The degraded sensor reaches the ground as a dropped GPS health bit in
+  // SYS_STATUS (sent before the outage window opens).
+  ASSERT_TRUE(h.RunUntil(
+      [&] {
+        return h.gcs_.sensors_present() != 0 &&
+               (h.gcs_.sensors_health() & kSensorGps) == 0;
+      },
+      Seconds(5)));
+
+  // Both fault layers clear; the supervisor releases after its hysteresis
+  // and the link failsafe recovers on the first post-outage heartbeat.
+  ASSERT_TRUE(h.RunUntil(
+      [&] {
+        return !h.drone_.controller().safety().overriding() &&
+               h.proxy_.link_watchdog()->link_healthy();
+      },
+      Seconds(30)));
+  EXPECT_TRUE(vfc->commands_enabled());
+
+  // The override narrated itself down the telemetry path.
+  bool saw_override = false, saw_release = false;
+  for (const ReceivedStatusText& st : h.gcs_.status_texts()) {
+    if (st.text.find("Safety override: level-hold") != std::string::npos) {
+      saw_override = true;
+    }
+    if (st.text.find("Safety release") != std::string::npos) {
+      saw_release = true;
+    }
+  }
+  EXPECT_TRUE(saw_override);
+  EXPECT_TRUE(saw_release);
+
+  // Both injectors actually fired.
+  EXPECT_GT(h.forward_.counters().outage_losses, 0u);
+  EXPECT_GT(h.drone_.sensor_fault_injector().counters().corrupted_reads, 0u);
+}
+
 // ------------------------------------------- Container crash supervision.
 
 LayerFiles BaseFiles() {
@@ -422,6 +491,107 @@ TEST_F(SupervisorTest, SupervisorGivesUpAfterRepeatedCrashes) {
   ASSERT_TRUE(runtime_.CrashContainer(loner->id()).ok());
   clock_.RunFor(Seconds(120));
   EXPECT_EQ(loner->state(), ContainerState::kCrashed);
+}
+
+// The give-up threshold is exact: with max_consecutive_restarts = 2 the
+// supervisor performs exactly two restarts; the third crash of the streak
+// is abandoned without a restart being scheduled.
+TEST_F(SupervisorTest, GiveUpThresholdBoundaryIsExact) {
+  SupervisorPolicy policy;
+  policy.max_consecutive_restarts = 2;
+  ContainerSupervisor supervisor(&clock_, &runtime_, policy, 47);
+  Container* victim = StartedContainer("vd1");
+  supervisor.Watch(victim->id());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(victim->state(), ContainerState::kRunning);
+    ASSERT_TRUE(runtime_.CrashContainer(victim->id()).ok());
+    clock_.RunFor(Seconds(10));  // Short of stable_after: streak grows.
+  }
+  EXPECT_TRUE(supervisor.GaveUpOn(victim->id()));
+  EXPECT_EQ(supervisor.restarts(), 2u);
+  EXPECT_EQ(supervisor.gave_up(), 1u);
+  EXPECT_EQ(victim->state(), ContainerState::kCrashed);
+  ASSERT_EQ(supervisor.episodes().size(), 3u);
+  EXPECT_LT(supervisor.episodes()[2].restarted_at, 0);  // Never restarted.
+
+  // Give-up is terminal: a fresh crash listener event for this id (none
+  // will come — it is already crashed) and time passing change nothing.
+  clock_.RunFor(Seconds(120));
+  EXPECT_EQ(victim->state(), ContainerState::kCrashed);
+  EXPECT_EQ(supervisor.restarts(), 2u);
+}
+
+// Shutdown race: the operator removes the crashed container while the
+// supervisor's restart is still pending in the backoff window. Every
+// restart attempt then fails (the id is gone); the supervisor treats each
+// failed start as an immediate crash of the new life and gives up cleanly
+// instead of retrying forever.
+TEST_F(SupervisorTest, RestartDuringShutdownFailsCleanlyAndGivesUp) {
+  SupervisorPolicy policy;
+  policy.max_consecutive_restarts = 2;
+  ContainerSupervisor supervisor(&clock_, &runtime_, policy, 53);
+  Container* victim = StartedContainer("vd1");
+  ContainerId id = victim->id();
+  supervisor.Watch(id);
+
+  ASSERT_TRUE(runtime_.CrashContainer(id).ok());
+  // Tear the container down during the pending-restart window.
+  ASSERT_TRUE(runtime_.RemoveContainer(id).ok());
+
+  clock_.RunFor(Seconds(60));
+  EXPECT_TRUE(supervisor.GaveUpOn(id));
+  EXPECT_EQ(supervisor.restarts(), 0u);  // No attempt ever succeeded.
+  EXPECT_EQ(supervisor.gave_up(), 1u);
+  for (const RestartEpisode& episode : supervisor.episodes()) {
+    EXPECT_LT(episode.restarted_at, 0);
+  }
+}
+
+// Unwatch while a restart is pending cancels it: the scheduled attempt
+// finds the container untracked and does nothing.
+TEST_F(SupervisorTest, UnwatchWhileRestartPendingCancelsIt) {
+  ContainerSupervisor supervisor(&clock_, &runtime_, SupervisorPolicy{}, 59);
+  Container* victim = StartedContainer("vd1");
+  supervisor.Watch(victim->id());
+
+  ASSERT_TRUE(runtime_.CrashContainer(victim->id()).ok());
+  supervisor.Unwatch(victim->id());
+  clock_.RunFor(Seconds(120));
+  EXPECT_EQ(victim->state(), ContainerState::kCrashed);
+  EXPECT_EQ(supervisor.restarts(), 0u);
+  EXPECT_FALSE(supervisor.GaveUpOn(victim->id()));
+}
+
+// A healthy interval resets the backoff schedule itself, not just the
+// give-up counter: after a stable life the next restart uses the base
+// delay again rather than the grown exponential one.
+TEST_F(SupervisorTest, BackoffDelayResetsAfterStableLife) {
+  SupervisorPolicy policy;
+  policy.backoff.jitter_fraction = 0.0;  // Deterministic delays.
+  policy.max_consecutive_restarts = 10;
+  ContainerSupervisor supervisor(&clock_, &runtime_, policy, 61);
+  Container* victim = StartedContainer("vd1");
+  supervisor.Watch(victim->id());
+
+  // Two quick crashes: the second restart waits base * multiplier = 1 s.
+  ASSERT_TRUE(runtime_.CrashContainer(victim->id()).ok());
+  clock_.RunFor(Seconds(5));
+  ASSERT_EQ(victim->state(), ContainerState::kRunning);
+  ASSERT_TRUE(runtime_.CrashContainer(victim->id()).ok());
+  clock_.RunFor(Millis(700));  // Past base (500 ms), short of 1 s.
+  EXPECT_EQ(victim->state(), ContainerState::kCrashed);
+  clock_.RunFor(Millis(500));
+  ASSERT_EQ(victim->state(), ContainerState::kRunning);
+
+  // A stable life (>= 30 s) forgives the streak; the next crash restarts
+  // after the base delay again.
+  clock_.RunFor(Seconds(60));
+  ASSERT_TRUE(runtime_.CrashContainer(victim->id()).ok());
+  clock_.RunFor(Millis(700));
+  EXPECT_EQ(victim->state(), ContainerState::kRunning);
+  ASSERT_EQ(supervisor.episodes().size(), 3u);
+  EXPECT_EQ(supervisor.episodes()[2].streak, 0);
 }
 
 }  // namespace

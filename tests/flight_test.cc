@@ -97,6 +97,7 @@ TEST(EstimatorTest, GyroIntegration) {
   sample.gyro_rads = {0.5, 0, 0};
   sample.accel_mss = {0, 0, -30.0};  // Out of the 1g window: no leveling.
   for (int i = 0; i < 400; ++i) {
+    sample.timestamp += Micros(2500);  // Live sensor: timestamps advance.
     est.UpdateImu(sample, Micros(2500));
   }
   EXPECT_NEAR(est.attitude().roll_rad, 0.5, 0.01);

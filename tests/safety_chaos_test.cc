@@ -1,0 +1,419 @@
+// Chaos scenarios for the Simplex safety supervisor and the hardened
+// estimator: sensors lie (GPS jumps, stuck gyro, baro spikes, battery sag),
+// the real-time guarantee collapses (deadline-miss storms), and the flight
+// must either continue the mission or end in a controlled, in-envelope
+// landing. These are the acceptance scenarios for the safety subsystem.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/flight/estimator.h"
+#include "src/flight/safety_supervisor.h"
+#include "src/flight/sitl.h"
+#include "src/rt/deadline_monitor.h"
+
+namespace androne {
+namespace {
+
+const GeoPoint kHome{43.6084298, -85.8110359, 0.0};
+const GeoPoint kWaypointB{43.6076409, -85.8154457, 15.0};
+
+// ------------------------------------------------ DeadlineMonitor unit.
+
+TEST(DeadlineMonitorTest, TripsOnlyWhenWindowFills) {
+  DeadlineMonitor monitor(Seconds(1), /*threshold=*/3);
+  monitor.Record(Millis(0), true);
+  monitor.Record(Millis(100), true);
+  EXPECT_FALSE(monitor.tripped());
+  monitor.Record(Millis(200), true);
+  EXPECT_TRUE(monitor.tripped());
+  EXPECT_EQ(monitor.misses_in_window(), 3);
+}
+
+TEST(DeadlineMonitorTest, OldMissesAgeOut) {
+  DeadlineMonitor monitor(Seconds(1), /*threshold=*/3);
+  monitor.Record(Millis(0), true);
+  monitor.Record(Millis(100), true);
+  // 1.2 s later the first two misses are outside the window.
+  monitor.Record(Millis(1200), true);
+  EXPECT_FALSE(monitor.tripped());
+  EXPECT_EQ(monitor.misses_in_window(), 1);
+  EXPECT_EQ(monitor.total_misses(), 3u);
+}
+
+TEST(DeadlineMonitorTest, HitsDoNotCount) {
+  DeadlineMonitor monitor(Seconds(1), /*threshold=*/2);
+  for (int i = 0; i < 100; ++i) {
+    monitor.Record(Millis(i * 10), false);
+  }
+  EXPECT_FALSE(monitor.tripped());
+  EXPECT_EQ(monitor.misses_in_window(), 0);
+}
+
+// ------------------------------------------- SafetySupervisor unit.
+
+SafetyInputs NominalInputs() {
+  SafetyInputs in;
+  in.altitude_m = 10.0;
+  in.airborne = true;
+  in.armed = true;
+  return in;
+}
+
+TEST(SafetySupervisorTest, NominalFlightNeverOverrides) {
+  SimClock clock;
+  SafetySupervisor sup(&clock, SafetyEnvelope{}, 0.49);
+  for (int i = 0; i < 4000; ++i) {
+    SafetyInputs in = NominalInputs();
+    in.roll_rad = 0.25;  // Hard manoeuvre, still inside the 0.80 envelope.
+    SafetyVerdict v = sup.Tick(in, Micros(2500));
+    EXPECT_FALSE(v.overriding);
+    clock.RunFor(Micros(2500));
+  }
+  EXPECT_EQ(sup.stage(), SafetyStage::kNominal);
+  EXPECT_TRUE(sup.episodes().empty());
+}
+
+TEST(SafetySupervisorTest, TransientViolationBelowTripTimeIgnored) {
+  SimClock clock;
+  SafetySupervisor sup(&clock, SafetyEnvelope{}, 0.49);
+  // 10 bad ticks = 25 ms, under the 50 ms trip_after.
+  for (int i = 0; i < 10; ++i) {
+    SafetyInputs in = NominalInputs();
+    in.roll_rad = 1.2;
+    sup.Tick(in, Micros(2500));
+    clock.RunFor(Micros(2500));
+  }
+  EXPECT_EQ(sup.stage(), SafetyStage::kNominal);
+  // A clean tick resets the onset timer.
+  sup.Tick(NominalInputs(), Micros(2500));
+  for (int i = 0; i < 10; ++i) {
+    clock.RunFor(Micros(2500));
+    SafetyInputs in = NominalInputs();
+    in.roll_rad = 1.2;
+    sup.Tick(in, Micros(2500));
+  }
+  EXPECT_EQ(sup.stage(), SafetyStage::kNominal);
+}
+
+TEST(SafetySupervisorTest, PersistentViolationWalksTheLadder) {
+  SimClock clock;
+  SafetyEnvelope env;
+  env.level_hold_grace = Millis(200);
+  SafetySupervisor sup(&clock, env, 0.49);
+
+  int transitions = 0;
+  sup.SetStageCallback(
+      [&](SafetyStage stage, uint32_t reasons) {
+        (void)stage;
+        (void)reasons;
+        ++transitions;
+      });
+
+  SafetyInputs bad = NominalInputs();
+  bad.pitch_rad = 1.0;
+  bad.altitude_m = 20.0;
+  // Violate until level-hold engages (>= trip_after of persistence).
+  while (sup.stage() == SafetyStage::kNominal && clock.now() < Seconds(1)) {
+    sup.Tick(bad, Micros(2500));
+    clock.RunFor(Micros(2500));
+  }
+  ASSERT_EQ(sup.stage(), SafetyStage::kLevelHold);
+  EXPECT_EQ(sup.latched_reasons(), kSafetyReasonAttitude);
+  SafetyVerdict v = sup.Tick(bad, Micros(2500));
+  EXPECT_TRUE(v.overriding);
+  EXPECT_FALSE(v.cut_motors);
+  EXPECT_DOUBLE_EQ(v.target.roll_rad, 0.0);
+  EXPECT_DOUBLE_EQ(v.target.pitch_rad, 0.0);
+
+  // Still violating after the grace window: commit to descent.
+  while (sup.stage() == SafetyStage::kLevelHold && clock.now() < Seconds(2)) {
+    sup.Tick(bad, Micros(2500));
+    clock.RunFor(Micros(2500));
+  }
+  ASSERT_EQ(sup.stage(), SafetyStage::kDescend);
+  v = sup.Tick(bad, Micros(2500));
+  EXPECT_TRUE(v.overriding);
+  EXPECT_LT(v.target.thrust, 0.49);  // Under-hover sink.
+
+  // Near the ground: cutoff, then nominal once disarmed on the ground.
+  SafetyInputs low = bad;
+  low.altitude_m = 0.2;
+  sup.Tick(low, Micros(2500));
+  ASSERT_EQ(sup.stage(), SafetyStage::kCutoff);
+  v = sup.Tick(low, Micros(2500));
+  EXPECT_TRUE(v.cut_motors);
+
+  SafetyInputs landed;
+  landed.armed = false;
+  landed.airborne = false;
+  sup.Tick(landed, Micros(2500));
+  EXPECT_EQ(sup.stage(), SafetyStage::kNominal);
+  ASSERT_EQ(sup.episodes().size(), 1u);
+  EXPECT_EQ(sup.episodes()[0].deepest, SafetyStage::kCutoff);
+  EXPECT_GE(sup.episodes()[0].released, sup.episodes()[0].entered);
+  EXPECT_EQ(transitions, 4);  // LevelHold, Descend, Cutoff, Nominal.
+}
+
+TEST(SafetySupervisorTest, RecoveryRequiresSustainedCleanEnvelope) {
+  SimClock clock;
+  SafetySupervisor sup(&clock, SafetyEnvelope{}, 0.49);
+  SafetyInputs bad = NominalInputs();
+  bad.roll_rate_rads = 10.0;
+  while (sup.stage() == SafetyStage::kNominal && clock.now() < Seconds(1)) {
+    sup.Tick(bad, Micros(2500));
+    clock.RunFor(Micros(2500));
+  }
+  ASSERT_EQ(sup.stage(), SafetyStage::kLevelHold);
+  EXPECT_EQ(sup.latched_reasons(), kSafetyReasonRate);
+
+  // One second clean — under the 2 s clear_after — then dirty again: the
+  // override must not have released in between.
+  for (int i = 0; i < 400; ++i) {
+    sup.Tick(NominalInputs(), Micros(2500));
+    clock.RunFor(Micros(2500));
+    EXPECT_EQ(sup.stage(), SafetyStage::kLevelHold);
+  }
+  // Now hold clean for the full clear window.
+  while (sup.stage() == SafetyStage::kLevelHold && clock.now() < Seconds(10)) {
+    sup.Tick(NominalInputs(), Micros(2500));
+    clock.RunFor(Micros(2500));
+  }
+  EXPECT_EQ(sup.stage(), SafetyStage::kNominal);
+  ASSERT_EQ(sup.episodes().size(), 1u);
+  EXPECT_EQ(sup.episodes()[0].deepest, SafetyStage::kLevelHold);
+}
+
+TEST(SafetySupervisorTest, DisabledEnvelopeNeverTrips) {
+  SimClock clock;
+  SafetyEnvelope env;
+  env.enabled = false;
+  SafetySupervisor sup(&clock, env, 0.49);
+  SafetyInputs in = NominalInputs();
+  in.roll_rad = 1.5;
+  in.altitude_m = 500.0;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(sup.Tick(in, Micros(2500)).overriding);
+    clock.RunFor(Micros(2500));
+  }
+}
+
+TEST(SafetyReasonsTest, ToStringJoinsBits) {
+  EXPECT_EQ(SafetyReasonsToString(0), "none");
+  EXPECT_EQ(SafetyReasonsToString(kSafetyReasonAttitude), "attitude");
+  EXPECT_EQ(SafetyReasonsToString(kSafetyReasonAttitude |
+                                  kSafetyReasonDeadlineMisses),
+            "attitude+deadline");
+}
+
+// ------------------------------------------------ Full-stack chaos.
+
+class SafetyChaosTest : public ::testing::Test {
+ protected:
+  SafetyChaosTest() : drone_(&clock_, kHome, /*seed=*/17) {
+    clock_.RunFor(Seconds(2));  // Sensor warmup / GPS acquisition.
+  }
+
+  bool TakeoffTo(double alt) {
+    drone_.SetModeCmd(CopterMode::kGuided);
+    drone_.ArmCmd();
+    drone_.TakeoffCmd(alt);
+    return drone_.RunUntil(
+        [&] {
+          return std::fabs(drone_.physics().truth().position.altitude_m -
+                           alt) < 1.0 &&
+                 std::fabs(drone_.physics().truth().velocity_ms.down_m) < 0.3;
+        },
+        Seconds(40));
+  }
+
+  const Estimator& estimator() { return drone_.controller().estimator(); }
+
+  SimClock clock_;
+  SitlDrone drone_;
+};
+
+// Acceptance scenario 1: a GPS glitch mid-mission. The estimator's
+// innovation gate excludes the jumping GPS, the safety supervisor holds a
+// level attitude while the sensor is out, and when the glitch ends GPS
+// re-enters the blend, the override releases, and the mission resumes and
+// completes.
+TEST_F(SafetyChaosTest, GpsGlitchMidMissionExcludesGpsAndMissionResumes) {
+  ASSERT_TRUE(TakeoffTo(15.0));
+  drone_.GotoCmd(kWaypointB);
+  clock_.RunFor(Seconds(5));  // Cruise toward the waypoint.
+
+  // The GPS teleports ~140 m for 8 s.
+  drone_.sensor_faults().AddGpsJump(clock_.now(), Seconds(8), 120.0, 80.0);
+
+  // The innovation gate rejects the jumped fixes until the sensor is
+  // excluded, which engages the supervisor's level-hold.
+  EXPECT_TRUE(drone_.RunUntil(
+      [&] {
+        return estimator().health(EstimatorSensor::kGps).health ==
+               SensorHealth::kExcluded;
+      },
+      Seconds(6)));
+  EXPECT_TRUE(drone_.RunUntil(
+      [&] { return drone_.controller().safety().overriding(); }, Seconds(2)));
+  EXPECT_TRUE(drone_.controller().safety().latched_reasons() &
+              kSafetyReasonSensorFault);
+  // The stale-GPS path flags a glitch hold too (rejected fixes never
+  // advance last_fix_time, so gating surfaces as staleness).
+  EXPECT_TRUE(drone_.RunUntil(
+      [&] { return drone_.controller().gps_glitch(); }, Seconds(6)));
+
+  // While glitched, the estimate dead-reckons instead of chasing the jump:
+  // estimate-vs-truth error stays far below the 144 m teleport.
+  clock_.RunFor(Seconds(2));
+  EXPECT_LT(HaversineMeters(drone_.controller().position_estimate(),
+                            drone_.physics().truth().position),
+            40.0);
+  // The hold keeps the drone airborne and upright.
+  EXPECT_TRUE(drone_.physics().truth().airborne);
+  EXPECT_LT(std::fabs(drone_.physics().truth().roll_rad), 0.5);
+
+  // Glitch ends: GPS re-enters the blend, the override releases after its
+  // clean-envelope hysteresis, and the mission can be resumed.
+  EXPECT_TRUE(drone_.RunUntil(
+      [&] {
+        return estimator().health(EstimatorSensor::kGps).health ==
+                   SensorHealth::kHealthy &&
+               !drone_.controller().gps_glitch() &&
+               !drone_.controller().safety().overriding();
+      },
+      Seconds(30)));
+  ASSERT_EQ(drone_.controller().safety().episodes().size(), 1u);
+  EXPECT_EQ(drone_.controller().safety().episodes()[0].deepest,
+            SafetyStage::kLevelHold);
+  EXPECT_GE(drone_.controller().safety().episodes()[0].released, 0);
+
+  drone_.SetModeCmd(CopterMode::kGuided);
+  drone_.GotoCmd(kWaypointB);
+  EXPECT_TRUE(drone_.RunUntil(
+      [&] { return drone_.DistanceTo(kWaypointB) < 3.0; }, Seconds(180)))
+      << "remaining distance " << drone_.DistanceTo(kWaypointB);
+}
+
+// Acceptance scenario 2: a stuck gyro plus a deadline-miss storm. The
+// estimator detects the latched IMU; the supervisor sees both the sensor
+// fault and the lost real-time guarantee, engages the recovery controller,
+// and rides a controlled descent to a motor cutoff on the ground — without
+// the airframe ever leaving the attitude envelope.
+TEST_F(SafetyChaosTest, StuckGyroAndDeadlineStormLandsInsideEnvelope) {
+  ASSERT_TRUE(TakeoffTo(12.0));
+
+  // Tighten the ladder so the test completes quickly; the limits that
+  // matter (tilt) stay at their defaults.
+  SafetyEnvelope env = drone_.controller().safety().envelope();
+  env.level_hold_grace = Seconds(1);
+  env.clear_after = Seconds(1);
+  drone_.controller().safety().Configure(env);
+
+  // The IMU latches and every other fast-loop tick blows its 2500 us
+  // budget — a 50% miss rate, an order of magnitude past the threshold.
+  drone_.sensor_faults().AddStuck(SensorChannel::kImu, clock_.now(),
+                                  Seconds(120));
+  int tick = 0;
+  drone_.controller().SetLatencySource(
+      [&] { return (tick++ % 2 == 0) ? 4000.0 : 100.0; });
+
+  // The supervisor takes over.
+  ASSERT_TRUE(drone_.RunUntil(
+      [&] { return drone_.controller().safety().overriding(); }, Seconds(20)));
+  uint32_t reasons = drone_.controller().safety().latched_reasons();
+  EXPECT_TRUE(reasons & kSafetyReasonDeadlineMisses)
+      << SafetyReasonsToString(reasons);
+
+  // Track the attitude envelope through the whole recovery.
+  double worst_tilt = 0.0;
+  bool landed = drone_.RunUntil(
+      [&] {
+        worst_tilt = std::max(
+            worst_tilt,
+            std::max(std::fabs(drone_.physics().truth().roll_rad),
+                     std::fabs(drone_.physics().truth().pitch_rad)));
+        return !drone_.physics().truth().airborne &&
+               !drone_.controller().armed();
+      },
+      Seconds(120));
+  EXPECT_TRUE(landed);
+  EXPECT_LT(worst_tilt, drone_.controller().safety().envelope().max_tilt_rad);
+
+  ASSERT_FALSE(drone_.controller().safety().episodes().empty());
+  const SafetyEpisode& episode =
+      drone_.controller().safety().episodes().back();
+  EXPECT_EQ(episode.deepest, SafetyStage::kCutoff);
+  EXPECT_TRUE(episode.reasons & kSafetyReasonDeadlineMisses);
+
+  // The estimator flagged the latched IMU.
+  EXPECT_NE(estimator().health(EstimatorSensor::kImu).health,
+            SensorHealth::kHealthy);
+  EXPECT_GT(drone_.sensor_fault_injector().counters().stuck_reads, 0u);
+
+  // The override ladder narrated itself over STATUSTEXT.
+  bool saw_override = false, saw_cutoff = false;
+  for (const std::string& text : drone_.status_texts()) {
+    if (text.find("Safety override: level-hold") != std::string::npos) {
+      saw_override = true;
+    }
+    if (text.find("motor cutoff") != std::string::npos) {
+      saw_cutoff = true;
+    }
+  }
+  EXPECT_TRUE(saw_override);
+  EXPECT_TRUE(saw_cutoff);
+}
+
+// Baro spikes are rejected by the innovation gate: altitude hold stays
+// tight even while the barometer reports ±25 m excursions.
+TEST_F(SafetyChaosTest, BaroSpikesAreGatedOut) {
+  ASSERT_TRUE(TakeoffTo(10.0));
+  drone_.sensor_faults().AddBaroSpike(clock_.now(), Seconds(20),
+                                      /*magnitude_m=*/25.0,
+                                      /*probability=*/0.3);
+  double worst_alt_error = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    clock_.RunFor(Millis(100));
+    worst_alt_error = std::max(
+        worst_alt_error,
+        std::fabs(drone_.physics().truth().position.altitude_m - 10.0));
+  }
+  EXPECT_LT(worst_alt_error, 2.0);
+  EXPECT_GT(estimator().health(EstimatorSensor::kBaro).rejected, 0u);
+  EXPECT_EQ(drone_.controller().safety().stage(), SafetyStage::kNominal);
+}
+
+// Battery sag: the gauge reads low while truth is fine; the controller's
+// battery failsafe fires on the *sensed* fraction and brings the drone
+// home, which is the conservative (safe) direction for a lying gauge.
+TEST_F(SafetyChaosTest, BatterySagTriggersFailsafeRtl) {
+  ASSERT_TRUE(TakeoffTo(10.0));
+  ASSERT_FALSE(drone_.controller().battery_failsafe_triggered());
+  drone_.sensor_faults().AddBatterySag(clock_.now(), Seconds(300),
+                                       /*sag_fraction=*/0.9);
+  EXPECT_TRUE(drone_.RunUntil(
+      [&] { return drone_.controller().battery_failsafe_triggered(); },
+      Seconds(10)));
+  // RTL from directly above home falls straight through to the LAND leg.
+  EXPECT_TRUE(drone_.controller().mode() == CopterMode::kRtl ||
+              drone_.controller().mode() == CopterMode::kLand);
+  // Truth battery is still healthy — only the gauge sagged.
+  EXPECT_GT(drone_.battery().fraction_remaining(), 0.5);
+}
+
+// Sensor dropouts alone (no corruption) must not destabilise the flight:
+// a 2 s IMU dropout at hover rides through on the last motor outputs and
+// dead-reckoning.
+TEST_F(SafetyChaosTest, BriefImuDropoutRidesThrough) {
+  ASSERT_TRUE(TakeoffTo(10.0));
+  drone_.sensor_faults().AddDropout(SensorChannel::kImu, clock_.now(),
+                                    Seconds(2));
+  clock_.RunFor(Seconds(8));
+  EXPECT_TRUE(drone_.physics().truth().airborne);
+  EXPECT_NEAR(drone_.physics().truth().position.altitude_m, 10.0, 3.0);
+  EXPECT_GT(drone_.sensor_fault_injector().counters().dropouts, 0u);
+}
+
+}  // namespace
+}  // namespace androne
