@@ -43,10 +43,13 @@ SweepResult RunPoint(const FaultPlan& plan) {
   MavlinkParser up_parser;
   MavlinkParser down_parser;
 
-  sender.SetSendSink([&](const MavlinkFrame& frame) {
-    channel.a_to_b.Send(EncodeFrame(frame));
+  // Wire sink: the sender encodes (first sends and retransmissions) into one
+  // reused scratch buffer; the channel copies it into shared ownership.
+  sender.SetWireSink([&](const std::vector<uint8_t>& bytes) {
+    channel.a_to_b.Send(bytes);
   });
   // Echo peer: ack every fresh command, re-ack suppressed duplicates.
+  std::vector<uint8_t> ack_scratch;
   channel.a_to_b.SetReceiver([&](const std::vector<uint8_t>& datagram) {
     up_parser.Feed(datagram);
     for (const MavlinkFrame& frame : up_parser.TakeFrames()) {
@@ -66,7 +69,9 @@ SweepResult RunPoint(const FaultPlan& plan) {
         ack.result = 0;
         deduper.RecordAck(ack);
       }
-      channel.b_to_a.Send(EncodeFrame(PackMessage(MavMessage{ack})));
+      ack_scratch.clear();
+      EncodeFrameInto(PackMessage(MavMessage{ack}), &ack_scratch);
+      channel.b_to_a.Send(ack_scratch);
     }
   });
   channel.b_to_a.SetReceiver([&](const std::vector<uint8_t>& datagram) {

@@ -1,0 +1,146 @@
+// Fleet-scale throughput: how many full AnDrone worlds (boot + plan +
+// multi-tenant flight + LTE telemetry downlink) the fleet executor pushes
+// through per second as the worker count grows, and whether the fleet
+// digest stays bit-identical at every thread count (the determinism
+// contract). Writes BENCH_fleet_scale.json with --json.
+//
+// On a 1-core container the speedup column is flat by construction; the
+// hardware_threads field records what the host could actually parallelize.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/exec/fleet_executor.h"
+#include "src/exec/fleet_world.h"
+#include "src/exec/thread_pool.h"
+#include "src/util/json.h"
+#include "src/util/logging.h"
+
+namespace androne {
+namespace {
+
+constexpr int kWorlds = 12;
+constexpr uint64_t kBaseSeed = 2026;
+
+FleetWorldConfig BenchConfig() {
+  FleetWorldConfig config;
+  config.tenants = 2;
+  config.dwell_s = 10;
+  config.annealing_iterations = 200;
+  return config;
+}
+
+struct Point {
+  int threads = 0;
+  double wall_s = 0;
+  double worlds_per_s = 0;
+  double events_per_s = 0;
+  double speedup = 0;
+  uint64_t fleet_digest = 0;
+  uint64_t events_run = 0;
+};
+
+Point RunPoint(int threads) {
+  FleetOptions options;
+  options.threads = threads;
+  options.base_seed = kBaseSeed;
+  FleetExecutor executor(options);
+  FleetReport report = executor.Run(kWorlds, MakeFleetWorld(BenchConfig()));
+  Point p;
+  p.threads = threads;
+  p.wall_s = report.wall_seconds;
+  p.worlds_per_s = report.completed / report.wall_seconds;
+  p.events_per_s = report.events_run / report.wall_seconds;
+  p.fleet_digest = report.fleet_digest;
+  p.events_run = report.events_run;
+  return p;
+}
+
+void Run(const char* json_path) {
+  // The per-world container/flight logs would swamp the table (and their
+  // interleaving varies run to run); digests already prove the worlds flew.
+  SetMinLogLevel(LogLevel::kWarning);
+
+  BenchHeader("Fleet scale",
+              "parallel fleet executor throughput and determinism");
+  int hardware = ThreadPool::HardwareThreads();
+  std::printf("  %d worlds x (%d tenants, boot->plan->fly->downlink), "
+              "host has %d hardware thread(s)\n\n",
+              kWorlds, BenchConfig().tenants, hardware);
+
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<Point> points;
+  for (int threads : thread_counts) {
+    points.push_back(RunPoint(threads));
+  }
+
+  bool digests_match = true;
+  for (const Point& p : points) {
+    digests_match = digests_match && p.fleet_digest == points[0].fleet_digest;
+  }
+
+  std::printf("  %-8s %10s %12s %14s %9s  %s\n", "threads", "wall s",
+              "worlds/s", "sim events/s", "speedup", "fleet digest");
+  for (Point& p : points) {
+    p.speedup = points[0].wall_s / p.wall_s;
+    std::printf("  %-8d %10.3f %12.2f %14.0f %8.2fx  %016llx\n", p.threads,
+                p.wall_s, p.worlds_per_s, p.events_per_s, p.speedup,
+                static_cast<unsigned long long>(p.fleet_digest));
+  }
+  std::printf("\n  digests %s across thread counts\n",
+              digests_match ? "IDENTICAL" : "DIVERGED");
+  BenchNote("per-world seed = SplitMix64(base_seed + index): results are a "
+            "function of the config, never of the schedule");
+
+  if (json_path != nullptr) {
+    JsonObject doc;
+    doc["bench"] = "fleet_scale";
+    doc["worlds"] = static_cast<double>(kWorlds);
+    doc["tenants_per_world"] = static_cast<double>(BenchConfig().tenants);
+    doc["base_seed"] = static_cast<double>(kBaseSeed);
+    doc["hardware_threads"] = static_cast<double>(hardware);
+    doc["digests_match"] = digests_match;
+    JsonArray rows;
+    for (const Point& p : points) {
+      JsonObject row;
+      row["threads"] = static_cast<double>(p.threads);
+      row["wall_s"] = p.wall_s;
+      row["worlds_per_s"] = p.worlds_per_s;
+      row["events_per_s"] = p.events_per_s;
+      row["speedup_vs_1_thread"] = p.speedup;
+      char digest_hex[32];
+      std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                    static_cast<unsigned long long>(p.fleet_digest));
+      row["fleet_digest"] = digest_hex;
+      rows.push_back(JsonValue(row));
+    }
+    doc["rows"] = JsonValue(rows);
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return;
+    }
+    std::string text = JsonValue(doc).DumpPretty();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+}
+
+}  // namespace
+}  // namespace androne
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
+    }
+  }
+  androne::Run(json_path);
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "src/container/image_store.h"
 #include "src/mavlink/messages.h"
 #include "src/rt/kernel_model.h"
+#include "src/util/sim_clock.h"
 
 namespace androne {
 namespace {
@@ -99,6 +100,62 @@ void BM_ImageFlatten(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ImageFlatten);
+
+// The event-queue hot path at fleet scale: schedule + run with no cancels.
+// Slot/generation bookkeeping must stay cheap relative to the heap ops.
+void BM_SimClockScheduleRun(benchmark::State& state) {
+  SimClock clock;
+  int64_t t = 0;
+  for (auto _ : state) {
+    clock.ScheduleAt(++t, [] {});
+    benchmark::DoNotOptimize(clock.RunNext());
+  }
+}
+BENCHMARK(BM_SimClockScheduleRun);
+
+// The retry-timer pattern (reliable sender, watchdogs): almost every
+// scheduled event is cancelled before it fires. With generation-stamped
+// tombstones a cancel is O(1); compaction bounds the dead entries.
+void BM_SimClockScheduleCancel(benchmark::State& state) {
+  SimClock clock;
+  int64_t t = 0;
+  for (auto _ : state) {
+    EventId id = clock.ScheduleAt(++t, [] {});
+    benchmark::DoNotOptimize(clock.Cancel(id));
+  }
+  state.counters["compactions"] =
+      static_cast<double>(clock.compactions());
+}
+BENCHMARK(BM_SimClockScheduleCancel);
+
+// Per-frame allocation cost of the telemetry downlink: the classic
+// return-a-vector encode vs encoding into a caller-owned scratch buffer
+// (what MavProxy/ReliableCommandSender wire sinks use).
+void BM_EncodeFrameAlloc(benchmark::State& state) {
+  GlobalPositionInt gpi;
+  gpi.lat = 436084298;
+  gpi.lon = -858110359;
+  MavlinkFrame frame = PackMessage(MavMessage{gpi});
+  for (auto _ : state) {
+    auto bytes = EncodeFrame(frame);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+}
+BENCHMARK(BM_EncodeFrameAlloc);
+
+void BM_EncodeFrameInto(benchmark::State& state) {
+  GlobalPositionInt gpi;
+  gpi.lat = 436084298;
+  gpi.lon = -858110359;
+  MavlinkFrame frame = PackMessage(MavMessage{gpi});
+  std::vector<uint8_t> scratch;
+  for (auto _ : state) {
+    scratch.clear();
+    EncodeFrameInto(frame, &scratch);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+}
+BENCHMARK(BM_EncodeFrameInto);
 
 void BM_LatencySample(benchmark::State& state) {
   WakeLatencySampler sampler(PreemptionModel::kPreemptRt,

@@ -8,7 +8,9 @@
 # Produces BENCH_fault_sweep.json at the repo root: the link fault sweep
 # (bench/fault_sweep) and the sensor fault sweep (bench/sensor_fault_sweep)
 # merged into one document. Fragments go to BENCH_*.json.tmp (gitignored);
-# the merged file is the committed record.
+# the merged file is the committed record. Also refreshes
+# BENCH_fleet_scale.json (bench/fleet_scale): fleet-executor throughput and
+# the thread-count-invariance digest check.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +27,15 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
         -DANDRONE_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$JOBS"
   (cd build-asan && ctest --output-on-failure)
+
+  # The fleet executor is the one genuinely multi-threaded subsystem; its
+  # tests also run under TSan (a separate build dir — TSan is incompatible
+  # with ASan in one binary).
+  echo "=== exec tests: sanitizer build (thread) ==="
+  cmake -S . -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DANDRONE_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target exec_test
+  ./build-tsan/tests/exec_test
 fi
 
 echo "=== benches: fault sweeps ==="
@@ -40,4 +51,8 @@ echo "=== benches: fault sweeps ==="
 } > BENCH_fault_sweep.json
 rm -f BENCH_link.json.tmp BENCH_sensor.json.tmp
 echo "wrote BENCH_fault_sweep.json"
+
+echo "=== bench: fleet scale ==="
+./build/bench/fleet_scale --json BENCH_fleet_scale.json
+
 echo "CI OK"

@@ -1,0 +1,85 @@
+#include "src/exec/fleet_executor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/exec/thread_pool.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace androne {
+
+FleetExecutor::FleetExecutor(FleetOptions options)
+    : options_(std::move(options)) {}
+
+uint64_t FleetExecutor::WorldSeed(uint64_t base_seed, int index) {
+  // SplitMix64 decorrelates adjacent indices; the +1 keeps index 0 from
+  // collapsing onto the raw base seed.
+  return SplitMix64(base_seed + static_cast<uint64_t>(index) + 1);
+}
+
+FleetReport FleetExecutor::Run(int num_worlds, const WorldFn& fn) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const bool budgeted = options_.wall_budget_ms > 0;
+  const Clock::time_point deadline =
+      start + std::chrono::milliseconds(budgeted ? options_.wall_budget_ms : 0);
+
+  cancel_.store(false, std::memory_order_relaxed);
+
+  FleetReport report;
+  report.worlds.resize(static_cast<size_t>(num_worlds));
+
+  {
+    ThreadPool pool(options_.threads);
+    for (int i = 0; i < num_worlds; ++i) {
+      pool.Submit([this, i, &fn, &report, budgeted, deadline] {
+        WorldContext ctx;
+        ctx.index = i;
+        ctx.seed = WorldSeed(options_.base_seed, i);
+        ctx.cancelled = &cancel_;
+        WorldResult& out = report.worlds[static_cast<size_t>(i)];
+        if (budgeted && std::chrono::steady_clock::now() >= deadline) {
+          cancel_.store(true, std::memory_order_relaxed);
+        }
+        if (ctx.ShouldCancel()) {
+          // Budget already spent: record the skip without running the world.
+          out.index = i;
+          out.seed = ctx.seed;
+          out.completed = false;
+          return;
+        }
+        out = fn(ctx);
+        out.index = i;
+        out.seed = ctx.seed;
+      });
+    }
+    pool.Wait();
+  }
+
+  // Merge in world-index order: the fold over maps and the fleet digest are
+  // then independent of which worker finished which world first.
+  uint64_t digest = kFnv1a64Offset;
+  for (const WorldResult& world : report.worlds) {
+    if (!world.completed) {
+      ++report.cancelled;
+      continue;
+    }
+    ++report.completed;
+    report.events_run += world.events_run;
+    for (const auto& [name, value] : world.counters) {
+      report.counters[name] += value;
+    }
+    for (const auto& [name, hist] : world.histograms) {
+      report.histograms[name].Merge(hist);
+    }
+    digest = Fnv1a64Value(world.index, digest);
+    digest = Fnv1a64Value(world.digest, digest);
+  }
+  report.fleet_digest = digest;
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return report;
+}
+
+}  // namespace androne

@@ -1,0 +1,108 @@
+// FleetExecutor: runs N independent simulation worlds across a work-stealing
+// thread pool. AnDrone's single-drone stack is deterministic on one SimClock;
+// fleets of device+virtual-drone worlds are embarrassingly parallel (cf.
+// ArduPilot SITL farms and batched RL simulators), so the executor's job is
+// purely (a) distributing whole worlds to workers, (b) guaranteeing that
+// per-world results are bit-identical regardless of thread count, and
+// (c) merging per-world histograms/counters into one fleet report.
+//
+// Determinism contract:
+//   - every world receives a seed derived only from (base_seed, world index)
+//     via SplitMix64, never from scheduling order or thread identity;
+//   - a world owns its entire stack — SimClock, RNGs, containers, flight
+//     stack — and shares nothing mutable with other worlds;
+//   - the merge stage folds results in world-index order after all worlds
+//     finish, so merged histograms and the fleet digest are thread-count
+//     invariant too.
+#ifndef SRC_EXEC_FLEET_EXECUTOR_H_
+#define SRC_EXEC_FLEET_EXECUTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/histogram.h"
+
+namespace androne {
+
+// Everything a world function receives. Worlds must derive all randomness
+// from |seed| and poll |cancelled| at convenient boundaries (e.g. a periodic
+// sim-clock event) to honor the fleet's wall-clock budget.
+struct WorldContext {
+  int index = 0;
+  uint64_t seed = 0;
+  const std::atomic<bool>* cancelled = nullptr;
+
+  bool ShouldCancel() const {
+    return cancelled != nullptr && cancelled->load(std::memory_order_relaxed);
+  }
+};
+
+// What a world hands back. Histograms are keyed by name so heterogeneous
+// worlds can still merge; counters are plain name -> value sums.
+struct WorldResult {
+  int index = 0;
+  uint64_t seed = 0;
+  // False when the world was skipped (budget exhausted before start) or
+  // bailed out early on cancellation.
+  bool completed = false;
+  uint64_t events_run = 0;  // SimClock events the world executed.
+  uint64_t digest = 0;      // World-defined determinism digest.
+  std::map<std::string, double> counters;
+  std::map<std::string, Histogram> histograms;
+};
+
+using WorldFn = std::function<WorldResult(const WorldContext&)>;
+
+// The merged fleet outcome. |worlds| is always indexed 0..n-1 in world
+// order, independent of completion order.
+struct FleetReport {
+  std::vector<WorldResult> worlds;
+  int completed = 0;
+  int cancelled = 0;  // Skipped or early-exited worlds.
+  uint64_t events_run = 0;
+  std::map<std::string, double> counters;
+  std::map<std::string, Histogram> histograms;
+  // FNV chain over (index, digest) of completed worlds in index order:
+  // equal fleet configs must produce equal fleet digests at any thread
+  // count.
+  uint64_t fleet_digest = 0;
+  double wall_seconds = 0;
+};
+
+struct FleetOptions {
+  int threads = 1;          // Worker threads (clamped to >= 1).
+  uint64_t base_seed = 1;   // Root of every per-world seed.
+  // Wall-clock budget for the whole fleet, milliseconds; 0 = unlimited.
+  // When it expires the cancel flag trips: unstarted worlds are skipped,
+  // running worlds see ShouldCancel() and wind down early.
+  int64_t wall_budget_ms = 0;
+};
+
+class FleetExecutor {
+ public:
+  explicit FleetExecutor(FleetOptions options);
+
+  // The seed world |index| gets under |base_seed| — exposed so tests and
+  // single-world reproductions can replay one world of a fleet.
+  static uint64_t WorldSeed(uint64_t base_seed, int index);
+
+  // Runs |num_worlds| invocations of |fn| across the pool and merges the
+  // results. Blocking; reusable (each Run is independent).
+  FleetReport Run(int num_worlds, const WorldFn& fn);
+
+  // Trips the cancel flag of the Run in progress (callable from any thread,
+  // e.g. an operator abort). The flag is also tripped by the wall budget.
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+ private:
+  FleetOptions options_;
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace androne
+
+#endif  // SRC_EXEC_FLEET_EXECUTOR_H_

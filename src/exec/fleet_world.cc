@@ -1,0 +1,152 @@
+#include "src/exec/fleet_world.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cloud/energy_model.h"
+#include "src/cloud/flight_planner.h"
+#include "src/core/drone.h"
+#include "src/flight/flight_log.h"
+#include "src/net/channel.h"
+#include "src/net/link_model.h"
+#include "src/util/bytes.h"
+
+namespace androne {
+
+namespace {
+
+// All worlds launch from the same base; variation between worlds comes only
+// from the seed (waypoint placement, link noise, sensor noise).
+const GeoPoint kFleetBase{43.6084298, -85.8110359, 0};
+
+VirtualDroneDefinition MakeTenant(int index, const GeoPoint& waypoint,
+                                  double dwell_s) {
+  VirtualDroneDefinition def;
+  def.id = "vd-" + std::to_string(index);
+  def.owner = "tenant-" + std::to_string(index);
+  def.waypoints = {WaypointSpec{waypoint, 60}};
+  def.max_duration_s = dwell_s + 10;
+  def.energy_allotted_j = 45000;
+  def.waypoint_devices = {"camera", "gps", "flight-control"};
+  return def;
+}
+
+}  // namespace
+
+WorldResult RunFleetWorld(const FleetWorldConfig& config,
+                          const WorldContext& ctx) {
+  WorldResult result;
+  result.index = ctx.index;
+  result.seed = ctx.seed;
+
+  SimClock clock;
+  AnDroneOptions options;
+  options.base = kFleetBase;
+  options.seed = ctx.seed;
+  AnDroneSystem system(&clock, options);
+  if (!system.Boot().ok()) {
+    return result;
+  }
+
+  // Tenant waypoints scatter around the base, drawn from a world-private
+  // stream so two worlds with different seeds fly different routes.
+  Rng placement(SplitMix64(ctx.seed ^ 0x57a9c0ffee));
+  std::vector<VirtualDroneInstance*> tenants;
+  std::vector<PlannerJob> jobs;
+  for (int i = 0; i < config.tenants; ++i) {
+    double north = placement.Uniform(-config.waypoint_spread_m,
+                                     config.waypoint_spread_m);
+    double east = placement.Uniform(-config.waypoint_spread_m,
+                                    config.waypoint_spread_m);
+    GeoPoint waypoint = FromNed(kFleetBase, NedPoint{north, east, -15});
+    auto deployed =
+        system.Deploy(MakeTenant(i, waypoint, config.dwell_s),
+                      WhitelistTemplate::kStandard);
+    if (!deployed.ok()) {
+      return result;
+    }
+    tenants.push_back(*deployed);
+    PlannerJob job;
+    job.vdrone_id = i;
+    job.vdrone_ref = "vd-" + std::to_string(i);
+    job.waypoint = waypoint;
+    job.service_energy_j = 170.0 * config.dwell_s;
+    job.service_time_s = config.dwell_s;
+    jobs.push_back(job);
+  }
+
+  // Planner downlink: telemetry fanned to the planner endpoint is encoded
+  // into MAVProxy's reused wire scratch, VPN-encapsulated, and shipped over
+  // a seeded LTE channel — the §6.5 ground path, per world.
+  CellularLteModel lte;
+  NetworkChannel downlink(&clock, &lte, SplitMix64(ctx.seed + 0x11e7));
+  VpnTunnel tunnel_tx(&downlink, 42);
+  VpnTunnel tunnel_rx(&downlink, 42);
+  uint64_t frames_down = 0;
+  uint64_t bytes_down = 0;
+  tunnel_rx.SetReceiver([&](const std::vector<uint8_t>& bytes) {
+    ++frames_down;
+    bytes_down += bytes.size();
+  });
+  system.proxy().SetPlannerWireSink(
+      [&](const std::vector<uint8_t>& bytes) { tunnel_tx.Send(bytes); });
+
+  // Cooperative fleet cancellation: a once-per-sim-second clock event polls
+  // the shared flag and aborts the flight (RTL + resumable saves) when the
+  // fleet budget expires or an operator cancels.
+  std::function<void()> poll_cancel = [&] {
+    if (ctx.ShouldCancel()) {
+      system.RequestAbort("fleet cancelled");
+      return;
+    }
+    clock.ScheduleAfter(Seconds(1), poll_cancel);
+  };
+  clock.ScheduleAfter(Seconds(1), poll_cancel);
+
+  EnergyModel energy;
+  PlannerConfig pc;
+  pc.depot = kFleetBase;
+  pc.fleet_size = 1;
+  pc.annealing_iterations = config.annealing_iterations;
+  FlightPlanner planner(energy, pc);
+  auto plan = planner.Plan(jobs);
+  if (!plan.ok() || plan->routes.empty()) {
+    return result;
+  }
+
+  auto flight = system.ExecuteRoute(plan->routes[0], jobs);
+  if (!flight.ok()) {
+    return result;
+  }
+
+  result.completed = !system.abort_requested();
+  result.events_run = clock.events_run();
+  result.counters["waypoints_visited"] =
+      static_cast<double>(flight->waypoints_visited);
+  result.counters["flight_time_s"] = flight->flight_time_s;
+  result.counters["battery_used_j"] = flight->battery_used_j;
+  result.counters["downlink_frames"] = static_cast<double>(frames_down);
+  result.counters["downlink_bytes"] = static_cast<double>(bytes_down);
+  result.counters["downlink_lost"] = static_cast<double>(downlink.lost());
+  result.histograms["downlink_latency_us"] = downlink.latency_us();
+
+  // The determinism digest covers the physical flight (every logged attitude
+  // sample) and the downlink latency distribution: if either diverges across
+  // thread counts, fleet digests split.
+  uint64_t digest = FlightLogDigest(system.flight().flight_log());
+  digest = Fnv1a64Value(downlink.latency_us().Digest(), digest);
+  digest = Fnv1a64Value(frames_down, digest);
+  digest = Fnv1a64Value(bytes_down, digest);
+  result.digest = digest;
+  return result;
+}
+
+WorldFn MakeFleetWorld(const FleetWorldConfig& config) {
+  return [config](const WorldContext& ctx) {
+    return RunFleetWorld(config, ctx);
+  };
+}
+
+}  // namespace androne

@@ -1,0 +1,37 @@
+// The canonical world the fleet executor runs: one full AnDrone stack
+// (device + flight containers, Binder, physics, MAVProxy, VFCs) flying a
+// planned multi-tenant route, with the planner downlink pumped as encoded
+// MAVLink bytes through a VPN tunnel over a simulated LTE channel. Each
+// world is closed over its own SimClock and derives every random choice
+// from WorldContext::seed, so a world's digest depends only on
+// (config, seed) — never on which thread ran it.
+#ifndef SRC_EXEC_FLEET_WORLD_H_
+#define SRC_EXEC_FLEET_WORLD_H_
+
+#include "src/exec/fleet_executor.h"
+
+namespace androne {
+
+struct FleetWorldConfig {
+  // Direct-access tenants deployed per world, each with one waypoint placed
+  // pseudo-randomly (from the world seed) around the base.
+  int tenants = 2;
+  double dwell_s = 20;          // Planner service time per stop.
+  double waypoint_spread_m = 120;  // Max NED offset of tenant waypoints.
+  int annealing_iterations = 600;  // Planner effort (sec66 uses 4000).
+};
+
+// Runs one world to completion (or early abort on fleet cancellation) and
+// returns its result: events_run from the world SimClock, a digest mixing
+// the flight log with the downlink latency histogram, per-world counters
+// (waypoints, battery, downlink frames/bytes), and the downlink latency
+// histogram keyed "downlink_latency_us".
+WorldResult RunFleetWorld(const FleetWorldConfig& config,
+                          const WorldContext& ctx);
+
+// Convenience adapter for FleetExecutor::Run.
+WorldFn MakeFleetWorld(const FleetWorldConfig& config = {});
+
+}  // namespace androne
+
+#endif  // SRC_EXEC_FLEET_WORLD_H_

@@ -1,0 +1,130 @@
+#include "src/exec/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace androne {
+
+namespace {
+
+// Identifies the pool + worker slot of the current thread so Submit can
+// push depth-first onto the submitting worker's own deque.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local size_t tl_worker = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();  // Outstanding work (and anything it spawns) finishes first.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(Task task) {
+  size_t target;
+  if (tl_pool == this) {
+    target = tl_worker;  // Child task: keep it on the spawning worker.
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = next_worker_;
+    next_worker_ = (next_worker_ + 1) % workers_.size();
+  }
+  {
+    // Count before publishing: a worker that claims the task the instant it
+    // lands must find the counters already covering it.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+    ++queued_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->deque.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+ThreadPool::Task ThreadPool::FindWork(size_t index) {
+  // Own deque: newest first (the task most likely still warm in cache).
+  {
+    Worker& own = *workers_[index];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.deque.empty()) {
+      Task task = std::move(own.deque.back());
+      own.deque.pop_back();
+      std::lock_guard<std::mutex> count_lock(mu_);
+      --queued_;
+      return task;
+    }
+  }
+  // Steal: oldest first from the next peer over (round the ring), which
+  // takes the work its owner would touch last.
+  for (size_t k = 1; k < workers_.size(); ++k) {
+    Worker& peer = *workers_[(index + k) % workers_.size()];
+    std::lock_guard<std::mutex> lock(peer.mu);
+    if (!peer.deque.empty()) {
+      Task task = std::move(peer.deque.front());
+      peer.deque.pop_front();
+      std::lock_guard<std::mutex> count_lock(mu_);
+      --queued_;
+      ++steals_;
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tl_pool = this;
+  tl_worker = index;
+  for (;;) {
+    Task task = FindWork(index);
+    if (task) {
+      task();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) {
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    if (stopping_ && queued_ == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+uint64_t ThreadPool::steals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steals_;
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace androne

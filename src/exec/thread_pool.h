@@ -1,0 +1,79 @@
+// Work-stealing thread pool for the fleet executor. Each worker owns a
+// deque: it pushes/pops its own work LIFO (cache-warm) and steals FIFO from
+// other workers when its deque drains (oldest work first, the classic
+// Blumofe–Leiserson discipline). Simulation worlds are coarse-grained tasks,
+// so per-deque mutexes — not lock-free Chase–Lev deques — are plenty: the
+// lock is taken once per task, not per simulated event, and keeps the pool
+// trivially TSan-clean.
+#ifndef SRC_EXEC_THREAD_POOL_H_
+#define SRC_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace androne {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  // Spawns |num_threads| workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();  // Waits for queued work, then joins the workers.
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. From a worker thread the task lands on that worker's
+  // own deque (depth-first, stealable by idle peers); from outside it is
+  // distributed round-robin.
+  void Submit(Task task);
+
+  // Blocks until every submitted task (including tasks submitted by tasks)
+  // has finished. The pool remains usable afterwards.
+  void Wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Tasks stolen from another worker's deque (visibility into how much the
+  // pool actually load-balances).
+  uint64_t steals() const;
+
+  // std::thread::hardware_concurrency with a >= 1 guarantee.
+  static int HardwareThreads();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> deque;
+  };
+
+  void WorkerLoop(size_t index);
+  // Pops from own deque back, else steals from peers' fronts. Returns an
+  // empty function when no work is available anywhere.
+  Task FindWork(size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Guards sleep/wake and the outstanding-task count.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // Signaled when work arrives / stop.
+  std::condition_variable idle_cv_;  // Signaled when outstanding_ hits 0.
+  size_t outstanding_ = 0;           // Submitted but not yet finished.
+  size_t queued_ = 0;                // Sitting in a deque, not yet claimed.
+  size_t next_worker_ = 0;           // Round-robin cursor for external Submit.
+  uint64_t steals_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace androne
+
+#endif  // SRC_EXEC_THREAD_POOL_H_

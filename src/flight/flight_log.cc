@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/bytes.h"
+
 namespace androne {
 
 namespace {
@@ -42,6 +44,25 @@ AedResult AnalyzeAttitudeDivergence(const FlightLog& log, double threshold_deg,
   }
   result.unstable = result.worst_span > max_span;
   return result;
+}
+
+uint64_t FlightLogDigest(const FlightLog& log) {
+  // Hash field-by-field rather than memcpy'ing the struct: padding bytes are
+  // indeterminate and would make the digest non-reproducible.
+  uint64_t h = Fnv1a64Value(log.entries().size());
+  for (const FlightLogEntry& e : log.entries()) {
+    h = Fnv1a64Value(e.time, h);
+    h = Fnv1a64Value(e.est_roll_rad, h);
+    h = Fnv1a64Value(e.est_pitch_rad, h);
+    h = Fnv1a64Value(e.est_yaw_rad, h);
+    h = Fnv1a64Value(e.true_roll_rad, h);
+    h = Fnv1a64Value(e.true_pitch_rad, h);
+    h = Fnv1a64Value(e.true_yaw_rad, h);
+    h = Fnv1a64Value(e.altitude_m, h);
+    h = Fnv1a64Value(e.mode, h);
+    h = Fnv1a64Value(static_cast<uint8_t>(e.armed), h);
+  }
+  return h;
 }
 
 }  // namespace androne

@@ -44,6 +44,11 @@ AedResult AnalyzeAttitudeDivergence(const FlightLog& log,
                                     double threshold_deg = 5.0,
                                     SimDuration max_span = Millis(500));
 
+// Order-sensitive FNV-1a digest over every logged field of every entry.
+// Bit-identical flights digest equal; the fleet executor's determinism
+// contract (same world seed => same digest, any thread count) checks this.
+uint64_t FlightLogDigest(const FlightLog& log);
+
 }  // namespace androne
 
 #endif  // SRC_FLIGHT_FLIGHT_LOG_H_

@@ -54,21 +54,27 @@ const char* CopterModeName(CopterMode mode) {
   return "UNKNOWN";
 }
 
+void EncodeFrameInto(const MavlinkFrame& frame, std::vector<uint8_t>* out) {
+  size_t start = out->size();
+  out->reserve(start + 8 + frame.payload.size());
+  out->push_back(kMavlinkStx);
+  out->push_back(static_cast<uint8_t>(frame.payload.size()));
+  out->push_back(frame.seq);
+  out->push_back(frame.sysid);
+  out->push_back(frame.compid);
+  out->push_back(static_cast<uint8_t>(frame.msgid));
+  out->insert(out->end(), frame.payload.begin(), frame.payload.end());
+  // CRC covers len..payload (not the STX) plus CRC_EXTRA.
+  uint16_t crc = MavCrcWithExtra(out->data() + start + 1,
+                                 out->size() - start - 1,
+                                 MavCrcExtra(frame.msgid));
+  out->push_back(static_cast<uint8_t>(crc & 0xFF));
+  out->push_back(static_cast<uint8_t>(crc >> 8));
+}
+
 std::vector<uint8_t> EncodeFrame(const MavlinkFrame& frame) {
   std::vector<uint8_t> out;
-  out.reserve(8 + frame.payload.size());
-  out.push_back(kMavlinkStx);
-  out.push_back(static_cast<uint8_t>(frame.payload.size()));
-  out.push_back(frame.seq);
-  out.push_back(frame.sysid);
-  out.push_back(frame.compid);
-  out.push_back(static_cast<uint8_t>(frame.msgid));
-  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
-  // CRC covers len..payload (not the STX) plus CRC_EXTRA.
-  uint16_t crc = MavCrcWithExtra(out.data() + 1, out.size() - 1,
-                                 MavCrcExtra(frame.msgid));
-  out.push_back(static_cast<uint8_t>(crc & 0xFF));
-  out.push_back(static_cast<uint8_t>(crc >> 8));
+  EncodeFrameInto(frame, &out);
   return out;
 }
 

@@ -27,6 +27,12 @@ struct MavlinkFrame {
 // Serializes a frame to wire bytes (computes the checksum).
 std::vector<uint8_t> EncodeFrame(const MavlinkFrame& frame);
 
+// Appends the wire bytes of |frame| to |out| without clearing it. Send loops
+// keep one scratch vector alive and `clear()` + encode into it each frame, so
+// steady-state framing costs zero heap allocations (the mavproxy and
+// reliable-sender wire sinks use this).
+void EncodeFrameInto(const MavlinkFrame& frame, std::vector<uint8_t>* out);
+
 // Incremental parser for a MAVLink byte stream.
 class MavlinkParser {
  public:

@@ -48,6 +48,11 @@ void ReliableCommandSender::Transmit(uint16_t command_id) {
   if (sink_) {
     sink_(frame);
   }
+  if (wire_sink_) {
+    wire_scratch_.clear();
+    EncodeFrameInto(frame, &wire_scratch_);
+    wire_sink_(wire_scratch_);
+  }
   // The sink may deliver synchronously and the ack may already have resolved
   // this command — re-find before scheduling the retry timer.
   it = pending_.find(command_id);

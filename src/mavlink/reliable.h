@@ -42,9 +42,17 @@ class ReliableCommandSender {
   using CompletionCallback =
       std::function<void(const CommandLong&, bool delivered)>;
 
+  using WireSink = std::function<void(const std::vector<uint8_t>&)>;
+
   ReliableCommandSender(SimClock* clock, RetryConfig config, uint64_t seed);
 
   void SetSendSink(FrameSink sink) { sink_ = std::move(sink); }
+  // Wire-level alternative to SetSendSink for senders that feed a byte
+  // channel directly: frames (first sends and every retransmission) are
+  // encoded into one reused scratch buffer, so the retry loop does not
+  // allocate per attempt. Both sinks may be set; each receives every
+  // transmission in its own form.
+  void SetWireSink(WireSink sink) { wire_sink_ = std::move(sink); }
   void SetCompletionCallback(CompletionCallback cb) {
     completion_ = std::move(cb);
   }
@@ -83,6 +91,8 @@ class ReliableCommandSender {
   RetryConfig config_;
   Rng rng_;
   FrameSink sink_;
+  WireSink wire_sink_;
+  std::vector<uint8_t> wire_scratch_;
   CompletionCallback completion_;
   uint8_t sysid_ = 255;
   uint8_t tx_seq_ = 0;

@@ -7,6 +7,11 @@ void MavProxy::HandleMasterFrame(const MavlinkFrame& frame) {
   if (to_planner_) {
     to_planner_(frame);
   }
+  if (to_planner_wire_) {
+    planner_wire_scratch_.clear();
+    EncodeFrameInto(frame, &planner_wire_scratch_);
+    to_planner_wire_(planner_wire_scratch_);
+  }
   for (const auto& vfc : vfcs_) {
     vfc->HandleMasterFrame(frame);
   }

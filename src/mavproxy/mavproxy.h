@@ -26,6 +26,14 @@ class MavProxy {
 
   // --- Planner endpoint: unrestricted native access ---
   void SetPlannerSink(FrameSink sink) { to_planner_ = std::move(sink); }
+  // Wire-level planner downlink: telemetry fanned out to the planner is
+  // MAVLink-encoded into one reused scratch buffer and emitted as bytes
+  // (ready for a NetworkChannel/VpnTunnel), so the per-frame downlink costs
+  // zero allocations. May be combined with SetPlannerSink.
+  using WireSink = std::function<void(const std::vector<uint8_t>&)>;
+  void SetPlannerWireSink(WireSink sink) {
+    to_planner_wire_ = std::move(sink);
+  }
   void HandlePlannerFrame(const MavlinkFrame& frame);
 
   // --- Virtual flight controllers ---
@@ -65,6 +73,8 @@ class MavProxy {
   SimClock* clock_;
   FrameSink to_master_;
   FrameSink to_planner_;
+  WireSink to_planner_wire_;
+  std::vector<uint8_t> planner_wire_scratch_;
   std::vector<std::unique_ptr<VirtualFlightController>> vfcs_;
   std::unique_ptr<LinkWatchdog> watchdog_;
   uint8_t failsafe_seq_ = 0;

@@ -9,14 +9,18 @@ NetworkChannel::NetworkChannel(SimClock* clock, const LinkModel* link,
     : clock_(clock), link_(link), rng_(seed) {}
 
 void NetworkChannel::Send(std::vector<uint8_t> payload) {
+  SendShared(std::make_shared<const std::vector<uint8_t>>(std::move(payload)));
+}
+
+void NetworkChannel::SendShared(SharedPayload payload) {
   ++sent_;
   if (link_->SampleLoss(rng_)) {
     ++lost_;
     return;
   }
   SimDuration latency = link_->SampleLatency(rng_);
-  clock_->ScheduleAfter(latency, [this, latency,
-                                  payload = std::move(payload)]() mutable {
+  clock_->ScheduleAfter(latency,
+                        [this, latency, payload = std::move(payload)] {
     if (!receiver_) {
       // No receiver (never set or torn down): count the datagram as dropped
       // rather than invoking an empty std::function.
@@ -25,7 +29,7 @@ void NetworkChannel::Send(std::vector<uint8_t> payload) {
     }
     ++delivered_;
     latency_us_.Record(ToMicros(latency));
-    receiver_(payload);
+    receiver_(*payload);
   });
 }
 
@@ -48,7 +52,10 @@ void VpnTunnel::SetReceiver(Receiver receiver) {
       return;
     }
     if (receiver_) {
-      receiver_(std::vector<uint8_t>(datagram.begin() + 4, datagram.end()));
+      // Decapsulate into a reused scratch buffer: steady-state tunnel
+      // delivery allocates nothing once the buffer has grown to the MTU.
+      decap_scratch_.assign(datagram.begin() + 4, datagram.end());
+      receiver_(decap_scratch_);
     }
   });
 }

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,14 +20,27 @@ namespace androne {
 class NetworkChannel {
  public:
   using Receiver = std::function<void(const std::vector<uint8_t>&)>;
+  // In-flight datagrams are held by shared ownership: the delivery closure
+  // captures a shared_ptr instead of a payload copy (std::function requires
+  // copyable captures, and the sim-clock event queue may copy events during
+  // heap maintenance — a by-value payload would be deep-copied there).
+  using SharedPayload = std::shared_ptr<const std::vector<uint8_t>>;
 
   NetworkChannel(SimClock* clock, const LinkModel* link, uint64_t seed);
 
   void SetReceiver(Receiver receiver) { receiver_ = std::move(receiver); }
 
   // Sends one datagram; it is delivered to the receiver after a sampled
-  // latency, or silently dropped on sampled loss.
+  // latency, or silently dropped on sampled loss. The buffer is moved into
+  // shared ownership — the receiver observes the sender's bytes with no
+  // further copies.
   void Send(std::vector<uint8_t> payload);
+
+  // Zero-copy form for fan-out senders: the same shared buffer may be handed
+  // to many channels (broadcast) without duplicating it per link. (Named
+  // rather than overloaded: a braced payload like Send({0}) would otherwise
+  // be ambiguous against shared_ptr's nullptr constructor.)
+  void SendShared(SharedPayload payload);
 
   uint64_t sent() const { return sent_; }
   uint64_t delivered() const { return delivered_; }
@@ -87,6 +101,7 @@ class VpnTunnel {
   NetworkChannel* underlying_;
   uint32_t tunnel_id_;
   Receiver receiver_;
+  std::vector<uint8_t> decap_scratch_;
   uint64_t rejected_ = 0;
 };
 

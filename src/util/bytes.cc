@@ -149,4 +149,15 @@ bool ByteReader::GetFixedString(std::string& out, size_t n) {
   return true;
 }
 
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= kPrime;
+  }
+  return hash;
+}
+
 }  // namespace androne

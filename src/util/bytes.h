@@ -10,6 +10,18 @@
 
 namespace androne {
 
+// FNV-1a 64-bit hash. Chainable: pass a previous digest as |seed| to extend
+// it over more data. Used for the determinism digests (flight logs,
+// histograms, fleet results) — stable across platforms, not cryptographic.
+inline constexpr uint64_t kFnv1a64Offset = 14695981039346656037ULL;
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = kFnv1a64Offset);
+
+// Convenience: hashes a trivially-copyable value's bytes into |seed|.
+template <typename T>
+uint64_t Fnv1a64Value(const T& value, uint64_t seed = kFnv1a64Offset) {
+  return Fnv1a64(&value, sizeof(value), seed);
+}
+
 class ByteWriter {
  public:
   void PutU8(uint8_t v) { buf_.push_back(v); }

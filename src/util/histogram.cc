@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/util/bytes.h"
+
 namespace androne {
 
 Histogram::Histogram(int buckets_per_decade, int decades)
@@ -82,6 +84,43 @@ std::vector<std::pair<int64_t, uint64_t>> Histogram::NonEmptyBuckets() const {
     }
   }
   return out;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (buckets_per_decade_ == other.buckets_per_decade_ &&
+      buckets_.size() == other.buckets_.size()) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    return;
+  }
+  // Layout mismatch: degrade gracefully by re-recording bucket summaries.
+  for (const auto& [upper, n] : other.NonEmptyBuckets()) {
+    Record(upper, n);
+  }
+}
+
+uint64_t Histogram::Digest() const {
+  uint64_t h = Fnv1a64Value(count_);
+  h = Fnv1a64Value(min_, h);
+  h = Fnv1a64Value(max_, h);
+  h = Fnv1a64Value(sum_, h);
+  h = Fnv1a64Value(sum_sq_, h);
+  h = Fnv1a64(buckets_.data(), buckets_.size() * sizeof(uint64_t), h);
+  return h;
 }
 
 std::string Histogram::ToString(const std::string& unit) const {

@@ -32,6 +32,17 @@ class Histogram {
   // (bucket_upper_bound, count) pairs for non-empty buckets, ascending.
   std::vector<std::pair<int64_t, uint64_t>> NonEmptyBuckets() const;
 
+  // Folds |other| into this histogram. Exact (bucket-by-bucket) when both
+  // share a bucket layout; otherwise each of |other|'s non-empty buckets is
+  // re-recorded at its upper bound. The fleet executor's merge stage uses
+  // this to aggregate per-world histograms.
+  void Merge(const Histogram& other);
+
+  // Order-sensitive FNV-1a digest of the full bucket state plus the summary
+  // moments. Two histograms with identical recorded streams digest equal;
+  // used by the fleet determinism checks.
+  uint64_t Digest() const;
+
   // Multi-line summary: count/min/mean/max/p99 plus a bucket table.
   std::string ToString(const std::string& unit = "") const;
 

@@ -1,49 +1,120 @@
 #include "src/util/sim_clock.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace androne {
+
+namespace {
+
+EventId PackId(uint32_t slot, uint32_t generation) {
+  return (static_cast<EventId>(slot) << 32) | generation;
+}
+
+}  // namespace
 
 EventId SimClock::ScheduleAt(SimTime when, Callback cb) {
   if (when < now_) {
     when = now_;
   }
-  EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(cb)});
-  live_.insert(id);
-  return id;
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(Slot{});
+  }
+  uint32_t generation = slots_[slot].generation;
+  heap_.push_back(Event{when, next_seq_++, slot, generation, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_count_;
+  return PackId(slot, generation);
 }
 
 EventId SimClock::ScheduleAfter(SimDuration delay, Callback cb) {
   return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
 }
 
-bool SimClock::Cancel(EventId id) { return live_.erase(id) > 0; }
-
-void SimClock::PopAndRun() {
-  Event ev = queue_.top();
-  queue_.pop();
-  if (live_.erase(ev.id) == 0) {
-    return;  // Cancelled; skip silently.
+void SimClock::RetireSlot(uint32_t slot) {
+  // Generation 0 is skipped on wrap so no EventId is ever 0 and a stale
+  // 32-bit id cannot collide with a freshly reset stamp.
+  if (++slots_[slot].generation == 0) {
+    slots_[slot].generation = 1;
   }
-  now_ = ev.when;
-  ev.cb();
+  free_slots_.push_back(slot);
 }
 
-bool SimClock::RunNext() {
-  while (!queue_.empty()) {
-    bool is_live = live_.count(queue_.top().id) > 0;
-    PopAndRun();
-    if (is_live) {
-      return true;
+bool SimClock::Cancel(EventId id) {
+  uint32_t slot = static_cast<uint32_t>(id >> 32);
+  uint32_t generation = static_cast<uint32_t>(id);
+  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+    return false;  // Already ran, already cancelled, or never existed.
+  }
+  RetireSlot(slot);
+  --live_count_;
+  ++cancelled_pending_;
+  MaybeCompact();
+  return true;
+}
+
+SimClock::Event SimClock::PopTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+void SimClock::MaybeCompact() {
+  if (heap_.size() < kCompactionMinEntries ||
+      cancelled_pending_ * 2 <= heap_.size()) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Event& ev) { return !IsLive(ev); }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_pending_ = 0;
+  ++compactions_;
+}
+
+bool SimClock::PopAndRunLive() {
+  if (live_count_ == 0) {
+    // Only tombstones remain (if anything); shed them all at once.
+    heap_.clear();
+    cancelled_pending_ = 0;
+    return false;
+  }
+  while (!heap_.empty()) {
+    Event ev = PopTop();
+    if (!IsLive(ev)) {
+      --cancelled_pending_;
+      continue;  // Tombstone of a cancelled event.
     }
+    RetireSlot(ev.slot);
+    --live_count_;
+    now_ = ev.when;
+    ++events_run_;
+    ev.cb();
+    return true;
   }
   return false;
 }
 
+bool SimClock::RunNext() { return PopAndRunLive(); }
+
 void SimClock::RunUntil(SimTime until) {
-  while (!queue_.empty() && queue_.top().when <= until) {
-    PopAndRun();
+  for (;;) {
+    // Skim tombstones first: a cancelled entry ahead of |until| must not let
+    // PopAndRunLive reach past the deadline to the next live event.
+    while (!heap_.empty() && !IsLive(heap_.front())) {
+      PopTop();
+      --cancelled_pending_;
+    }
+    if (heap_.empty() || heap_.front().when > until) {
+      break;
+    }
+    PopAndRunLive();
   }
   if (now_ < until) {
     now_ = until;
@@ -52,9 +123,14 @@ void SimClock::RunUntil(SimTime until) {
 
 void SimClock::RunAll(uint64_t max_events) {
   uint64_t ran = 0;
-  while (!queue_.empty() && ran < max_events) {
-    PopAndRun();
-    ++ran;
+  while (live_count_ > 0 && ran < max_events) {
+    if (PopAndRunLive()) {
+      ++ran;
+    }
+  }
+  if (live_count_ == 0 && !heap_.empty()) {
+    heap_.clear();  // Shed any trailing tombstones.
+    cancelled_pending_ = 0;
   }
 }
 

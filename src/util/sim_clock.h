@@ -3,20 +3,27 @@
 // physics, and the network link models all schedule callbacks on one shared
 // SimClock so an entire multi-virtual-drone flight is reproducible and runs
 // orders of magnitude faster than wall-clock time.
+//
+// Hot-path design: cancellation is O(1) against a slot table of generation
+// stamps instead of a per-event hash set. An EventId packs (slot, generation);
+// a heap entry whose generation no longer matches its slot is a tombstone and
+// is skipped when popped. When tombstones outnumber live events the heap is
+// compacted in place, so a workload that schedules-and-cancels (retry timers,
+// watchdogs) costs no hash allocations and no unbounded heap growth.
 #ifndef SRC_UTIL_SIM_CLOCK_H_
 #define SRC_UTIL_SIM_CLOCK_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/util/time.h"
 
 namespace androne {
 
-// Identifies a scheduled event so it can be cancelled.
+// Identifies a scheduled event so it can be cancelled. Packs a slot index in
+// the high 32 bits and that slot's generation stamp in the low 32; never 0,
+// so 0 remains usable as a "no event" sentinel by callers.
 using EventId = uint64_t;
 
 class SimClock {
@@ -50,36 +57,75 @@ class SimClock {
   void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
 
   // Drains every pending event (events may schedule more events). The
-  // |max_events| guard protects against runaway self-rescheduling loops.
+  // |max_events| guard counts executed (non-cancelled) events and protects
+  // against runaway self-rescheduling loops.
   void RunAll(uint64_t max_events = 100'000'000);
 
-  bool empty() const { return live_.empty(); }
-  size_t pending_events() const { return live_.size(); }
+  bool empty() const { return live_count_ == 0; }
+  size_t pending_events() const { return live_count_; }
+
+  // Cancelled events still occupying heap entries (tombstones awaiting a pop
+  // or the next compaction). Bounded: compaction keeps this under
+  // max(live, kCompactionMinEntries).
+  size_t cancelled_pending() const { return cancelled_pending_; }
+
+  // Total events executed (excludes cancelled) — the fleet benches report
+  // aggregate events/sec from this.
+  uint64_t events_run() const { return events_run_; }
+
+  // Times the heap was compacted to shed tombstones.
+  uint64_t compactions() const { return compactions_; }
 
  private:
+  struct Slot {
+    uint32_t generation = 1;  // Bumped on run/cancel; stale entries mismatch.
+  };
   struct Event {
     SimTime when;
-    EventId id;  // Tie-break on insertion order for FIFO among equal times.
+    uint64_t seq;  // Tie-break on insertion order for FIFO among equal times.
+    uint32_t slot;
+    uint32_t generation;
     Callback cb;
   };
+  // std::push_heap/pop_heap comparator: max-heap on "later", so the earliest
+  // (or FIFO-first among equals) event surfaces at front.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
       }
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
-  // Pops and runs the earliest non-cancelled event. Precondition: !empty().
-  void PopAndRun();
+  // Below this size compaction is not worth the make_heap; tombstones are
+  // shed by pops instead.
+  static constexpr size_t kCompactionMinEntries = 64;
+
+  bool IsLive(const Event& ev) const {
+    return slots_[ev.slot].generation == ev.generation;
+  }
+  // Retires |slot| (run or cancelled): bumps the generation so heap entries
+  // stamped with the old one read as tombstones, and recycles the slot.
+  void RetireSlot(uint32_t slot);
+  // Pops the front heap entry, returning it by move.
+  Event PopTop();
+  // Drops tombstoned entries and re-heapifies. Called when cancelled
+  // tombstones exceed half the heap.
+  void MaybeCompact();
+  // Pops and runs the earliest live event, discarding any tombstones on the
+  // way. Returns false if the heap held only tombstones.
+  bool PopAndRunLive();
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Ids scheduled but not yet run or cancelled. Cancellation is lazy: the
-  // queue entry stays until popped, but its id is removed from live_.
-  std::unordered_set<EventId> live_;
+  uint64_t next_seq_ = 1;
+  std::vector<Event> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t live_count_ = 0;
+  size_t cancelled_pending_ = 0;
+  uint64_t events_run_ = 0;
+  uint64_t compactions_ = 0;
 };
 
 }  // namespace androne

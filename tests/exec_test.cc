@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/exec/fleet_executor.h"
+#include "src/exec/fleet_world.h"
+#include "src/exec/thread_pool.h"
+
+namespace androne {
+namespace {
+
+// --- ThreadPool ---
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitReturnsOnlyAfterTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  pool.Submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    done.store(true);
+  });
+  pool.Wait();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitTasks) {
+  // A task fans out children; Wait() must cover the whole tree, not just the
+  // originally submitted roots.
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&] {
+        for (int j = 0; j < 4; ++j) {
+          pool.Submit(
+              [&] { leaves.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(leaves.load(), 32);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ++ran; });
+  pool.Wait();
+  pool.Submit([&ran] { ++ran; });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, IdleWorkersStealQueuedWork) {
+  if (ThreadPool::HardwareThreads() < 2) {
+    GTEST_SKIP() << "work stealing needs >1 hardware thread to be observable";
+  }
+  // Child tasks land on the spawning worker's own deque; with one worker
+  // busy fanning out slow tasks, the other workers can only get work by
+  // stealing.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_GT(pool.steals(), 0u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No Wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, SizeClampsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+// --- FleetExecutor ---
+
+WorldResult CountingWorld(const WorldContext& ctx) {
+  WorldResult result;
+  result.completed = true;
+  result.events_run = 10;
+  result.digest = ctx.seed;
+  result.counters["index_sum"] = ctx.index;
+  Histogram h;
+  h.Record(ctx.index + 1);
+  result.histograms["values"] = h;
+  return result;
+}
+
+TEST(FleetExecutorTest, WorldSeedDependsOnlyOnBaseSeedAndIndex) {
+  EXPECT_EQ(FleetExecutor::WorldSeed(7, 3), FleetExecutor::WorldSeed(7, 3));
+  EXPECT_NE(FleetExecutor::WorldSeed(7, 3), FleetExecutor::WorldSeed(7, 4));
+  EXPECT_NE(FleetExecutor::WorldSeed(7, 3), FleetExecutor::WorldSeed(8, 3));
+  EXPECT_NE(FleetExecutor::WorldSeed(7, 0), 7u);  // Index 0 is mixed too.
+}
+
+TEST(FleetExecutorTest, MergesCountersHistogramsAndEvents) {
+  FleetOptions options;
+  options.threads = 3;
+  FleetExecutor executor(options);
+  FleetReport report = executor.Run(6, CountingWorld);
+  EXPECT_EQ(report.completed, 6);
+  EXPECT_EQ(report.cancelled, 0);
+  EXPECT_EQ(report.events_run, 60u);
+  EXPECT_DOUBLE_EQ(report.counters.at("index_sum"), 0 + 1 + 2 + 3 + 4 + 5);
+  EXPECT_EQ(report.histograms.at("values").total_count(), 6u);
+  ASSERT_EQ(report.worlds.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(report.worlds[i].index, i);  // Index order, not finish order.
+  }
+}
+
+TEST(FleetExecutorTest, FleetDigestIsThreadCountInvariant) {
+  uint64_t digests[3];
+  int thread_counts[] = {1, 2, 8};
+  for (int t = 0; t < 3; ++t) {
+    FleetOptions options;
+    options.threads = thread_counts[t];
+    options.base_seed = 99;
+    FleetExecutor executor(options);
+    digests[t] = executor.Run(8, CountingWorld).fleet_digest;
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+}
+
+TEST(FleetExecutorTest, WallBudgetSkipsUnstartedWorlds) {
+  FleetOptions options;
+  options.threads = 1;  // Serialize so later worlds start after the budget.
+  options.wall_budget_ms = 20;
+  FleetExecutor executor(options);
+  FleetReport report = executor.Run(50, [](const WorldContext& ctx) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    WorldResult r;
+    r.completed = !ctx.ShouldCancel();
+    return r;
+  });
+  EXPECT_GT(report.cancelled, 0);
+  EXPECT_LT(report.completed, 50);
+  EXPECT_EQ(report.completed + report.cancelled, 50);
+}
+
+TEST(FleetExecutorTest, RequestCancelStopsRemainingWorlds) {
+  FleetOptions options;
+  options.threads = 2;
+  FleetExecutor executor(options);
+  FleetReport report = executor.Run(40, [&](const WorldContext& ctx) {
+    if (ctx.index == 0) {
+      executor.RequestCancel();
+    }
+    WorldResult r;
+    r.completed = true;
+    return r;
+  });
+  // World 0 cancels the rest; some already-started worlds may finish, but
+  // far from all 40 run.
+  EXPECT_GT(report.cancelled, 0);
+}
+
+TEST(FleetExecutorTest, CancelFlagResetsBetweenRuns) {
+  FleetOptions options;
+  options.threads = 2;
+  FleetExecutor executor(options);
+  executor.RequestCancel();
+  FleetReport report = executor.Run(4, CountingWorld);
+  EXPECT_EQ(report.completed, 4);  // A new Run starts uncancelled.
+}
+
+// --- Fleet world determinism (the satellite check): the same fleet config
+// must produce identical per-world flight-log/histogram digests at 1, 2,
+// and 8 threads. ---
+
+TEST(FleetWorldTest, DigestsAreIdenticalAcrossThreadCounts) {
+  FleetWorldConfig config;
+  config.tenants = 1;
+  config.dwell_s = 5;
+  config.annealing_iterations = 50;
+  const int kWorlds = 3;
+
+  std::vector<FleetReport> reports;
+  for (int threads : {1, 2, 8}) {
+    FleetOptions options;
+    options.threads = threads;
+    options.base_seed = 2026;
+    FleetExecutor executor(options);
+    reports.push_back(executor.Run(kWorlds, MakeFleetWorld(config)));
+  }
+
+  for (const FleetReport& report : reports) {
+    ASSERT_EQ(report.completed, kWorlds);
+  }
+  for (size_t t = 1; t < reports.size(); ++t) {
+    EXPECT_EQ(reports[0].fleet_digest, reports[t].fleet_digest);
+    EXPECT_EQ(reports[0].events_run, reports[t].events_run);
+    for (int w = 0; w < kWorlds; ++w) {
+      // Per-world flight-log + downlink digest, bit-identical.
+      EXPECT_EQ(reports[0].worlds[w].digest, reports[t].worlds[w].digest)
+          << "world " << w << " diverged at thread count index " << t;
+      EXPECT_EQ(reports[0].worlds[w].events_run,
+                reports[t].worlds[w].events_run);
+    }
+    // Merged histogram digests match because merge order is index order.
+    ASSERT_EQ(reports[0].histograms.size(), reports[t].histograms.size());
+    for (const auto& [name, hist] : reports[0].histograms) {
+      EXPECT_EQ(hist.Digest(), reports[t].histograms.at(name).Digest())
+          << "merged histogram " << name;
+    }
+  }
+}
+
+TEST(FleetWorldTest, DifferentSeedsFlyDifferentWorlds) {
+  FleetWorldConfig config;
+  config.tenants = 1;
+  config.dwell_s = 5;
+  config.annealing_iterations = 50;
+  FleetOptions a;
+  a.base_seed = 1;
+  FleetOptions b;
+  b.base_seed = 2;
+  FleetReport ra = FleetExecutor(a).Run(1, MakeFleetWorld(config));
+  FleetReport rb = FleetExecutor(b).Run(1, MakeFleetWorld(config));
+  ASSERT_EQ(ra.completed, 1);
+  ASSERT_EQ(rb.completed, 1);
+  EXPECT_NE(ra.worlds[0].digest, rb.worlds[0].digest);
+}
+
+TEST(FleetWorldTest, WorldReportsFlightAndDownlinkCounters) {
+  FleetWorldConfig config;
+  config.tenants = 2;
+  config.dwell_s = 5;
+  config.annealing_iterations = 50;
+  FleetOptions options;
+  options.base_seed = 77;
+  FleetReport report = FleetExecutor(options).Run(1, MakeFleetWorld(config));
+  ASSERT_EQ(report.completed, 1);
+  const WorldResult& world = report.worlds[0];
+  EXPECT_TRUE(world.completed);
+  EXPECT_GT(world.events_run, 0u);
+  EXPECT_DOUBLE_EQ(world.counters.at("waypoints_visited"), 2.0);
+  EXPECT_GT(world.counters.at("flight_time_s"), 0.0);
+  EXPECT_GT(world.counters.at("battery_used_j"), 0.0);
+  EXPECT_GT(world.counters.at("downlink_frames"), 0.0);
+  EXPECT_GT(report.histograms.at("downlink_latency_us").total_count(), 0u);
+}
+
+}  // namespace
+}  // namespace androne

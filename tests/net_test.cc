@@ -182,6 +182,61 @@ TEST(VpnTest, CrossTenantInjectionUnderLossRejectsEveryDeliveredDatagram) {
   EXPECT_EQ(victim.rejected_datagrams(), ch.delivered());
 }
 
+TEST(ChannelTest, DeliveryIsZeroCopy) {
+  SimClock clock;
+  WiredModel wired;
+  NetworkChannel ch(&clock, &wired, 1);
+  // The receiver must observe the very buffer the sender handed to Send():
+  // the payload moves into shared ownership and is never copied on the way
+  // through the delivery closure.
+  std::vector<uint8_t> payload(1024, 0xAB);
+  const uint8_t* sent_data = payload.data();
+  const uint8_t* seen_data = nullptr;
+  ch.SetReceiver(
+      [&](const std::vector<uint8_t>& d) { seen_data = d.data(); });
+  ch.Send(std::move(payload));
+  clock.RunAll();
+  ASSERT_NE(seen_data, nullptr);
+  EXPECT_EQ(seen_data, sent_data);
+}
+
+TEST(ChannelTest, SharedPayloadFanOutReusesOneBuffer) {
+  SimClock clock;
+  WiredModel wired;
+  NetworkChannel a(&clock, &wired, 1);
+  NetworkChannel b(&clock, &wired, 2);
+  auto payload = std::make_shared<const std::vector<uint8_t>>(
+      std::vector<uint8_t>{9, 9, 9});
+  const uint8_t* shared_data = payload->data();
+  int hits = 0;
+  auto assert_same_buffer = [&](const std::vector<uint8_t>& d) {
+    EXPECT_EQ(d.data(), shared_data);
+    ++hits;
+  };
+  a.SetReceiver(assert_same_buffer);
+  b.SetReceiver(assert_same_buffer);
+  a.SendShared(payload);
+  b.SendShared(payload);
+  clock.RunAll();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(ChannelTest, SharedPayloadOutlivesSender) {
+  SimClock clock;
+  WiredModel wired;
+  NetworkChannel ch(&clock, &wired, 1);
+  std::vector<uint8_t> got;
+  ch.SetReceiver([&](const std::vector<uint8_t>& d) { got = d; });
+  {
+    auto payload =
+        std::make_shared<const std::vector<uint8_t>>(std::vector<uint8_t>{5});
+    ch.SendShared(payload);
+    // Sender's reference dies here; the in-flight closure keeps the buffer.
+  }
+  clock.RunAll();
+  EXPECT_EQ(got, (std::vector<uint8_t>{5}));
+}
+
 TEST(VpnTest, ShortDatagramRejected) {
   SimClock clock;
   WiredModel wired;

@@ -161,5 +161,17 @@ TEST_P(BytesFuzzTest, RandomSequencesRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BytesFuzzTest,
                          ::testing::Range<uint64_t>(1, 17));
 
+TEST(Fnv1a64Test, KnownVectorsAndChaining) {
+  // Standard FNV-1a reference values.
+  EXPECT_EQ(Fnv1a64("", 0), 14695981039346656037ULL);
+  EXPECT_EQ(Fnv1a64("a", 1), 12638187200555641996ULL);
+  // Chaining via the seed equals hashing the concatenation.
+  uint64_t part = Fnv1a64("ab", 2);
+  EXPECT_EQ(Fnv1a64("cd", 2, part), Fnv1a64("abcd", 4));
+  // Value helper hashes the raw bytes.
+  uint32_t v = 0x01020304;
+  EXPECT_EQ(Fnv1a64Value(v), Fnv1a64(&v, sizeof(v)));
+}
+
 }  // namespace
 }  // namespace androne

@@ -87,5 +87,60 @@ TEST(HistogramTest, ToStringMentionsStats) {
   EXPECT_NE(s.find("100us"), std::string::npos);
 }
 
+TEST(HistogramTest, MergeMatchesSingleStreamRecording) {
+  Histogram a(10, 6);
+  Histogram b(10, 6);
+  Histogram combined(10, 6);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = static_cast<int64_t>(rng.LogNormal(5.0, 1.5));
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), combined.total_count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  EXPECT_EQ(a.NonEmptyBuckets(), combined.NonEmptyBuckets());
+  EXPECT_EQ(a.Percentile(0.99), combined.Percentile(0.99));
+}
+
+TEST(HistogramTest, MergeEmptySidesAreNoOps) {
+  Histogram a(10, 6);
+  Histogram empty(10, 6);
+  a.Record(42);
+  uint64_t before = a.Digest();
+  a.Merge(empty);
+  EXPECT_EQ(a.Digest(), before);
+  empty.Merge(a);
+  EXPECT_EQ(empty.Digest(), before);
+}
+
+TEST(HistogramTest, DigestDistinguishesStreams) {
+  Histogram a(10, 6);
+  Histogram b(10, 6);
+  a.Record(100);
+  b.Record(101);
+  EXPECT_NE(a.Digest(), b.Digest());
+  Histogram c(10, 6);
+  c.Record(100);
+  EXPECT_EQ(a.Digest(), c.Digest());
+}
+
+TEST(HistogramTest, MergeAcrossLayoutsKeepsCount) {
+  Histogram fine(20, 8);
+  Histogram coarse(5, 6);
+  for (int i = 1; i <= 100; ++i) {
+    fine.Record(i * 7);
+  }
+  coarse.Merge(fine);
+  EXPECT_EQ(coarse.total_count(), 100u);
+}
+
 }  // namespace
 }  // namespace androne

@@ -137,6 +137,88 @@ TEST(SimClockTest, RunAllGuardStopsRunawayLoops) {
   EXPECT_EQ(ran, 1000u);
 }
 
+TEST(SimClockTest, CancelledPendingTracksTombstones) {
+  SimClock clock;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(clock.ScheduleAt(Millis(i + 1), [] {}));
+  }
+  EXPECT_EQ(clock.cancelled_pending(), 0u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(clock.Cancel(ids[i]));
+  }
+  EXPECT_EQ(clock.cancelled_pending(), 4u);
+  EXPECT_EQ(clock.pending_events(), 6u);
+  clock.RunAll();
+  EXPECT_EQ(clock.cancelled_pending(), 0u);  // Tombstones shed by the pops.
+  EXPECT_EQ(clock.pending_events(), 0u);
+  EXPECT_EQ(clock.events_run(), 6u);
+}
+
+TEST(SimClockTest, CompactionBoundsTombstoneAccumulation) {
+  SimClock clock;
+  // A retry-timer workload: schedule far-future timers and cancel nearly all
+  // of them. Without compaction the heap would hold every tombstone until
+  // the end of time.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 512; ++i) {
+    ids.push_back(clock.ScheduleAt(Seconds(1000 + i), [] {}));
+  }
+  for (int i = 0; i < 512; ++i) {
+    if (i % 8 != 0) {
+      EXPECT_TRUE(clock.Cancel(ids[i]));
+    }
+  }
+  EXPECT_EQ(clock.pending_events(), 64u);
+  EXPECT_GE(clock.compactions(), 1u);
+  // Compaction keeps tombstones at no more than half the heap.
+  EXPECT_LE(clock.cancelled_pending(), clock.pending_events());
+  int ran = 0;
+  clock.ScheduleAt(Millis(1), [&] { ++ran; });
+  clock.RunAll();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(clock.events_run(), 65u);
+  EXPECT_EQ(clock.cancelled_pending(), 0u);
+}
+
+TEST(SimClockTest, SlotReuseAfterCancelKeepsIdsDistinct) {
+  SimClock clock;
+  bool a_ran = false;
+  bool b_ran = false;
+  EventId a = clock.ScheduleAt(Millis(1), [&] { a_ran = true; });
+  EXPECT_TRUE(clock.Cancel(a));
+  // b may recycle a's slot, but a's id must stay dead.
+  EventId b = clock.ScheduleAt(Millis(2), [&] { b_ran = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(clock.Cancel(a));
+  clock.RunAll();
+  EXPECT_FALSE(a_ran);
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(SimClockTest, EventIdsAreNeverZero) {
+  SimClock clock;
+  for (int i = 0; i < 100; ++i) {
+    EventId id = clock.ScheduleAfter(Millis(1), [] {});
+    EXPECT_NE(id, 0u);  // 0 is the "no event" sentinel for callers.
+    clock.Cancel(id);
+  }
+}
+
+TEST(SimClockTest, RunUntilDoesNotOverrunPastCancelledFront) {
+  SimClock clock;
+  int ran = 0;
+  EventId early = clock.ScheduleAt(Millis(10), [&] { ++ran; });
+  clock.ScheduleAt(Millis(20), [&] { ++ran; });
+  clock.Cancel(early);
+  // The tombstone at 10 ms must not let the 20 ms event run at 15 ms.
+  clock.RunUntil(Millis(15));
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(clock.now(), Millis(15));
+  clock.RunUntil(Millis(25));
+  EXPECT_EQ(ran, 1);
+}
+
 TEST(TimeTest, ConversionHelpers) {
   EXPECT_EQ(Micros(1), 1000);
   EXPECT_EQ(Millis(1), 1000000);
