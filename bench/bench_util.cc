@@ -1,0 +1,37 @@
+#include "bench/bench_util.h"
+
+#include <cstring>
+
+namespace androne {
+
+const char* JsonPathArg(int argc, char** argv) {
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+std::string HexDigest(uint64_t digest) {
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return hex;
+}
+
+bool WriteJsonDoc(const char* path, const JsonObject& doc) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::string text = JsonValue(doc).DumpPretty();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return true;
+}
+
+}  // namespace androne

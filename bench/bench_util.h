@@ -1,11 +1,15 @@
 // Shared formatting helpers for the experiment-reproduction benches. Each
 // bench binary regenerates one table or figure from the paper and prints
-// the same rows/series the paper reports.
+// the same rows/series the paper reports; with `--json <path>` it also
+// writes a machine-readable document for CI trend tracking.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+
+#include "src/util/json.h"
 
 namespace androne {
 
@@ -18,6 +22,16 @@ inline void BenchHeader(const std::string& id, const std::string& title) {
 inline void BenchNote(const std::string& text) {
   std::printf("  note: %s\n", text.c_str());
 }
+
+// Parses the conventional `--json <path>` bench flag; nullptr when absent.
+const char* JsonPathArg(int argc, char** argv);
+
+// Fixed-width lowercase hex of a 64-bit digest, for JSON digest fields.
+std::string HexDigest(uint64_t digest);
+
+// Writes |doc| pretty-printed to |path| with a trailing newline, printing
+// "wrote <path>" on success; logs to stderr and returns false on failure.
+bool WriteJsonDoc(const char* path, const JsonObject& doc);
 
 }  // namespace androne
 

@@ -41,6 +41,9 @@ struct Point {
   double speedup = 0;
   uint64_t fleet_digest = 0;
   uint64_t events_run = 0;
+  // More workers than the host can run in parallel: the speedup column is
+  // bounded by the hardware, not the executor.
+  bool saturated = false;
 };
 
 Point RunPoint(int threads) {
@@ -86,9 +89,11 @@ void Run(const char* json_path) {
               "worlds/s", "sim events/s", "speedup", "fleet digest");
   for (Point& p : points) {
     p.speedup = points[0].wall_s / p.wall_s;
-    std::printf("  %-8d %10.3f %12.2f %14.0f %8.2fx  %016llx\n", p.threads,
+    p.saturated = p.threads > hardware;
+    std::printf("  %-8d %10.3f %12.2f %14.0f %8.2fx  %016llx%s\n", p.threads,
                 p.wall_s, p.worlds_per_s, p.events_per_s, p.speedup,
-                static_cast<unsigned long long>(p.fleet_digest));
+                static_cast<unsigned long long>(p.fleet_digest),
+                p.saturated ? "  (saturated)" : "");
   }
   std::printf("\n  digests %s across thread counts\n",
               digests_match ? "IDENTICAL" : "DIVERGED");
@@ -111,23 +116,12 @@ void Run(const char* json_path) {
       row["worlds_per_s"] = p.worlds_per_s;
       row["events_per_s"] = p.events_per_s;
       row["speedup_vs_1_thread"] = p.speedup;
-      char digest_hex[32];
-      std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
-                    static_cast<unsigned long long>(p.fleet_digest));
-      row["fleet_digest"] = digest_hex;
+      row["saturated"] = p.saturated;
+      row["fleet_digest"] = HexDigest(p.fleet_digest);
       rows.push_back(JsonValue(row));
     }
     doc["rows"] = JsonValue(rows);
-    std::FILE* f = std::fopen(json_path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", json_path);
-      return;
-    }
-    std::string text = JsonValue(doc).DumpPretty();
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("wrote %s\n", json_path);
+    WriteJsonDoc(json_path, doc);
   }
 }
 
@@ -135,12 +129,6 @@ void Run(const char* json_path) {
 }  // namespace androne
 
 int main(int argc, char** argv) {
-  const char* json_path = nullptr;
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json_path = argv[i + 1];
-    }
-  }
-  androne::Run(json_path);
+  androne::Run(androne::JsonPathArg(argc, argv));
   return 0;
 }

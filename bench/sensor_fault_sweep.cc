@@ -209,16 +209,7 @@ void Run(const char* json_path) {
     JsonObject doc;
     doc["bench"] = "sensor_fault_sweep";
     doc["rows"] = JsonValue(g_rows);
-    std::FILE* f = std::fopen(json_path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", json_path);
-      return;
-    }
-    std::string text = JsonValue(doc).DumpPretty();
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("wrote %s\n", json_path);
+    WriteJsonDoc(json_path, doc);
   }
 }
 
@@ -226,12 +217,6 @@ void Run(const char* json_path) {
 }  // namespace androne
 
 int main(int argc, char** argv) {
-  const char* json_path = nullptr;
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json_path = argv[i + 1];
-    }
-  }
-  androne::Run(json_path);
+  androne::Run(androne::JsonPathArg(argc, argv));
   return 0;
 }

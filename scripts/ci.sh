@@ -10,7 +10,10 @@
 # merged into one document. Fragments go to BENCH_*.json.tmp (gitignored);
 # the merged file is the committed record. Also refreshes
 # BENCH_fleet_scale.json (bench/fleet_scale): fleet-executor throughput and
-# the thread-count-invariance digest check.
+# the thread-count-invariance digest check; and BENCH_datapath.json
+# (bench/datapath_throughput): hot-loop throughput across the legacy /
+# sensor-bus / batched-telemetry modes plus the flight-digest-invariance
+# guard (batching must not change what the drone flew).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,5 +57,12 @@ echo "wrote BENCH_fault_sweep.json"
 
 echo "=== bench: fleet scale ==="
 ./build/bench/fleet_scale --json BENCH_fleet_scale.json
+
+echo "=== bench: datapath throughput ==="
+./build/bench/datapath_throughput --json BENCH_datapath.json
+if ! grep -q '"flight_digest_match": true' BENCH_datapath.json; then
+  echo "FAIL: telemetry batching changed the flight digest" >&2
+  exit 1
+fi
 
 echo "CI OK"

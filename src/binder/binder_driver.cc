@@ -1,6 +1,7 @@
 #include "src/binder/binder_driver.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace androne {
 
@@ -15,9 +16,9 @@ constexpr int kMaxTransactDepth = 32;
 BinderProc::~BinderProc() = default;
 
 BinderHandle BinderProc::RegisterObject(std::shared_ptr<BinderObject> object) {
-  BinderNodeId node = driver_->next_node_++;
-  driver_->nodes_[node] =
-      BinderDriver::Node{std::move(object), pid_, container_, false};
+  BinderNodeId node = driver_->nodes_.size();
+  driver_->nodes_.push_back(
+      BinderDriver::Node{std::move(object), pid_, container_, false, false});
   return driver_->HandleForNode(*this, node);
 }
 
@@ -26,6 +27,8 @@ StatusOr<Parcel> BinderProc::Transact(BinderHandle handle, uint32_t code,
   return driver_->Transact(*this, handle, code, data);
 }
 
+uint64_t BinderProc::lookup_epoch() const { return driver_->lookup_epoch(); }
+
 Status BinderProc::SetContextManager(BinderHandle handle) {
   ASSIGN_OR_RETURN(BinderNodeId node, driver_->NodeFromHandle(*this, handle));
   auto [it, inserted] = driver_->context_managers_.emplace(container_, node);
@@ -33,6 +36,11 @@ Status BinderProc::SetContextManager(BinderHandle handle) {
     return AlreadyExistsError("container " + std::to_string(container_) +
                               " already has a context manager");
   }
+  if (BinderDriver::Node* n = driver_->FindNode(node)) {
+    n->is_context_manager = true;
+  }
+  // A new namespace can satisfy lookups that previously failed.
+  ++driver_->lookup_epoch_;
   // Replay globally published device services into this new namespace
   // (the paper: "the same process will be performed in the future for any
   // newly created virtual drone containers").
@@ -92,22 +100,25 @@ void BinderDriver::DestroyProcess(Pid pid) {
     return;
   }
   it->second->alive_ = false;
-  for (auto& [node_id, node] : nodes_) {
-    if (node.owner_pid == pid) {
+  for (Node& node : nodes_) {
+    if (node.owner_pid == pid && node.object != nullptr) {
       node.dead = true;
       node.object.reset();
     }
   }
   // If this process hosted a context manager, the namespace loses it.
   for (auto cm = context_managers_.begin(); cm != context_managers_.end();) {
-    auto node_it = nodes_.find(cm->second);
-    if (node_it != nodes_.end() && node_it->second.dead) {
+    const Node* node = FindNode(cm->second);
+    if (node != nullptr && node->dead) {
       cm = context_managers_.erase(cm);
     } else {
       ++cm;
     }
   }
   procs_.erase(it);
+  // Dead nodes (and possibly a dead context manager) change what lookups
+  // can resolve; cached handles must be revalidated.
+  ++lookup_epoch_;
 }
 
 void BinderDriver::DestroyContainer(ContainerId container) {
@@ -131,9 +142,9 @@ std::vector<std::pair<std::string, ContainerId>>
 BinderDriver::published_services() const {
   std::vector<std::pair<std::string, ContainerId>> out;
   for (const auto& service : global_services_) {
-    auto it = nodes_.find(service.node);
+    const Node* node = FindNode(service.node);
     out.emplace_back(service.name,
-                     it == nodes_.end() ? -1 : it->second.owner_container);
+                     node == nullptr ? -1 : node->owner_container);
   }
   return out;
 }
@@ -148,12 +159,13 @@ StatusOr<BinderNodeId> BinderDriver::NodeFromHandle(BinderProc& proc,
     }
     return it->second;
   }
-  auto it = proc.handles_.find(handle);
-  if (it == proc.handles_.end()) {
+  if (handle < 0 ||
+      static_cast<size_t>(handle) >= proc.handles_.size() ||
+      proc.handles_[static_cast<size_t>(handle)] == 0) {
     return NotFoundError("process " + std::to_string(proc.pid()) +
                          " does not own handle " + std::to_string(handle));
   }
-  return it->second;
+  return proc.handles_[static_cast<size_t>(handle)];
 }
 
 BinderHandle BinderDriver::HandleForNode(BinderProc& proc, BinderNodeId node) {
@@ -161,8 +173,8 @@ BinderHandle BinderDriver::HandleForNode(BinderProc& proc, BinderNodeId node) {
   if (it != proc.handle_by_node_.end()) {
     return it->second;
   }
-  BinderHandle handle = proc.next_handle_++;
-  proc.handles_[handle] = node;
+  BinderHandle handle = static_cast<BinderHandle>(proc.handles_.size());
+  proc.handles_.push_back(node);
   proc.handle_by_node_[node] = handle;
   return handle;
 }
@@ -195,35 +207,51 @@ StatusOr<Parcel> BinderDriver::Transact(BinderProc& caller,
     return ResourceExhaustedError("binder transaction recursion too deep");
   }
   ASSIGN_OR_RETURN(BinderNodeId node_id, NodeFromHandle(caller, handle));
-  auto node_it = nodes_.find(node_id);
-  if (node_it == nodes_.end() || node_it->second.dead ||
-      node_it->second.object == nullptr) {
+  Node* node = FindNode(node_id);
+  if (node == nullptr || node->dead || node->object == nullptr) {
     return UnavailableError("binder node is dead");
   }
-  Node& node = node_it->second;
-  auto target_proc_it = procs_.find(node.owner_pid);
+  auto target_proc_it = procs_.find(node->owner_pid);
   if (target_proc_it == procs_.end()) {
     return UnavailableError("target process is gone");
   }
   BinderProc& target = *target_proc_it->second;
 
-  ASSIGN_OR_RETURN(Parcel delivered, TranslateParcel(caller, target, data));
-  delivered.ResetReadCursor();
+  // Fast path: a parcel without binder references needs no handle
+  // swizzling, so it is delivered in place instead of deep-copied.
+  const Parcel* delivered = &data;
+  Parcel translated;
+  if (data.binder_entry_count() > 0) {
+    ASSIGN_OR_RETURN(translated, TranslateParcel(caller, target, data));
+    delivered = &translated;
+  }
+  delivered->ResetReadCursor();
 
   // AnDrone's transaction context: PID, EUID, and container id.
   BinderCallContext ctx{caller.pid(), caller.euid(), caller.container()};
+
+  // A registration landing in a context manager can rebind a service name
+  // (first registration or re-registration); invalidate cached lookups.
+  if (node->is_context_manager && code == kSmAddService) {
+    ++lookup_epoch_;
+  }
 
   ++transaction_count_;
   ++transact_depth_;
   Parcel reply;
   // Keep the object alive across the call even if the owner dies inside it.
-  std::shared_ptr<BinderObject> object = node.object;
-  Status status = object->OnTransact(code, delivered, &reply, ctx);
+  std::shared_ptr<BinderObject> object = node->object;
+  Status status = object->OnTransact(code, *delivered, &reply, ctx);
   --transact_depth_;
   if (!status.ok()) {
     return status;
   }
-  // Reply parcel travels target -> caller; swizzle its binder entries too.
+  // Reply parcel travels target -> caller; swizzle its binder entries too
+  // (reference-free replies move straight through).
+  if (reply.binder_entry_count() == 0) {
+    reply.ResetReadCursor();
+    return reply;
+  }
   return TranslateParcel(target, caller, reply);
 }
 
@@ -236,28 +264,28 @@ Status BinderDriver::InjectServiceRegistration(ContainerId container,
                             " has no live context manager process");
   }
   auto cm_it = context_managers_.find(container);
-  auto node_it = nodes_.find(cm_it->second);
-  if (node_it == nodes_.end() || node_it->second.dead) {
+  Node* cm_node = FindNode(cm_it->second);
+  if (cm_node == nullptr || cm_node->dead) {
     return UnavailableError("context manager node is dead");
   }
+  // Hold the object by ownership: the handler may register nodes, and a
+  // node-table grow would invalidate cm_node.
+  std::shared_ptr<BinderObject> cm_object = cm_node->object;
   // Build the ADD_SERVICE parcel as if sent by the service's owner; the
   // recipient sees a handle to the published node.
-  Parcel data;
-  data.WriteString(name);
-  Parcel delivered = data;
-  delivered.entries_.push_back(
-      {Parcel::Kind::kBinder, HandleForNode(*cm_proc, node), 0.0, {}});
+  Parcel delivered;
+  delivered.WriteString(name);
+  delivered.AppendBinderEntry(HandleForNode(*cm_proc, node));
   delivered.ResetReadCursor();
 
-  auto owner_it = nodes_.find(node);
-  BinderCallContext ctx{0, 0,
-                        owner_it == nodes_.end()
-                            ? device_container_
-                            : owner_it->second.owner_container};
+  const Node* owner = FindNode(node);
+  BinderCallContext ctx{
+      0, 0, owner == nullptr ? device_container_ : owner->owner_container};
   Parcel reply;
   ++transaction_count_;
-  return node_it->second.object->OnTransact(kSmAddService, delivered, &reply,
-                                            ctx);
+  // Driver-side injection rebinding a name in a context manager.
+  ++lookup_epoch_;
+  return cm_object->OnTransact(kSmAddService, delivered, &reply, ctx);
 }
 
 BinderProc* BinderDriver::FindContextManagerProc(ContainerId container) {
@@ -265,11 +293,11 @@ BinderProc* BinderDriver::FindContextManagerProc(ContainerId container) {
   if (cm == context_managers_.end()) {
     return nullptr;
   }
-  auto node_it = nodes_.find(cm->second);
-  if (node_it == nodes_.end()) {
+  const Node* node = FindNode(cm->second);
+  if (node == nullptr) {
     return nullptr;
   }
-  auto proc_it = procs_.find(node_it->second.owner_pid);
+  auto proc_it = procs_.find(node->owner_pid);
   return proc_it == procs_.end() ? nullptr : proc_it->second.get();
 }
 

@@ -16,6 +16,17 @@
 // Isolation invariant: a process can only transact on handles present in its
 // handle table, and handles are only ever inserted by the driver when a node
 // reference is legitimately delivered to the process.
+//
+// Fast-path layout: node ids and handles are dense, so both the driver's
+// node table and each process's handle table are flat vectors indexed
+// directly (O(1), no tree walks on the transaction path). Parcels are only
+// deep-copied on delivery when they actually carry binder references that
+// need handle swizzling; reference-free payloads (the common sensor/telemetry
+// case) are delivered in place. A monotonically increasing lookup epoch is
+// bumped on every event that can change what a service name resolves to
+// (registration into any context manager, a new namespace appearing, process
+// or container death), which lets clients cache name->handle resolutions and
+// revalidate with one integer compare (see ServiceCache).
 #ifndef SRC_BINDER_BINDER_DRIVER_H_
 #define SRC_BINDER_BINDER_DRIVER_H_
 
@@ -24,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/binder/parcel.h"
@@ -96,6 +108,10 @@ class BinderProc {
   // one per device namespace).
   Status SetContextManager(BinderHandle handle);
 
+  // The driver's current service-lookup epoch (see BinderDriver) — lets a
+  // process revalidate cached name->handle resolutions cheaply.
+  uint64_t lookup_epoch() const;
+
   // --- AnDrone ioctls (paper §4.2) ---
 
   // Publishes the service |name| -> |handle| into every *other* container
@@ -112,22 +128,26 @@ class BinderProc {
   friend class BinderDriver;
 
   BinderProc(BinderDriver* driver, Pid pid, Uid euid, ContainerId container)
-      : driver_(driver), pid_(pid), euid_(euid), container_(container) {}
+      : driver_(driver), pid_(pid), euid_(euid), container_(container) {
+    handles_.push_back(0);  // Index 0 reserved: handle 0 = context manager.
+  }
 
   BinderDriver* driver_;
   Pid pid_;
   Uid euid_;
   ContainerId container_;
   bool alive_ = true;
-  // Handle table: handle -> node id. Handle 0 reserved for context manager.
-  std::map<BinderHandle, BinderNodeId> handles_;
-  std::map<BinderNodeId, BinderHandle> handle_by_node_;
-  BinderHandle next_handle_ = 1;
+  // Handle table: index = handle, value = node id (0 = unassigned slot).
+  // Handle 0 is reserved for the per-container context manager. Handles are
+  // allocated densely and never reused, so the vector doubles as the
+  // allocator — resolution is a bounds check plus one indexed load.
+  std::vector<BinderNodeId> handles_;
+  std::unordered_map<BinderNodeId, BinderHandle> handle_by_node_;
 };
 
 class BinderDriver {
  public:
-  BinderDriver() = default;
+  BinderDriver() { nodes_.emplace_back(); }  // Node id 0 reserved (invalid).
   BinderDriver(const BinderDriver&) = delete;
   BinderDriver& operator=(const BinderDriver&) = delete;
 
@@ -158,6 +178,13 @@ class BinderDriver {
   // Total transactions dispatched (drives the runtime-overhead accounting).
   uint64_t transaction_count() const { return transaction_count_; }
 
+  // Bumped whenever a name lookup could resolve differently than before:
+  // a registration reaching any context manager (including re-registration
+  // under an existing name), a namespace gaining a context manager, or a
+  // process/container dying. Cached resolutions made at epoch E stay valid
+  // exactly while lookup_epoch() == E.
+  uint64_t lookup_epoch() const { return lookup_epoch_; }
+
  private:
   friend class BinderProc;
 
@@ -166,6 +193,7 @@ class BinderDriver {
     Pid owner_pid = 0;
     ContainerId owner_container = kHostContainer;
     bool dead = false;
+    bool is_context_manager = false;
   };
 
   struct PublishedService {
@@ -177,7 +205,8 @@ class BinderDriver {
                             uint32_t code, const Parcel& data);
 
   // Delivers |data| to |recipient|: validates/swizzles binder entries from
-  // sender handles to node ids to recipient handles.
+  // sender handles to node ids to recipient handles. Only called for
+  // parcels that contain binder entries; others are delivered in place.
   StatusOr<Parcel> TranslateParcel(BinderProc& sender, BinderProc& recipient,
                                    const Parcel& data);
 
@@ -190,17 +219,26 @@ class BinderDriver {
 
   StatusOr<BinderNodeId> NodeFromHandle(BinderProc& proc, BinderHandle handle);
 
+  // Flat-table accessor; nullptr for out-of-range or reserved id 0.
+  Node* FindNode(BinderNodeId id) {
+    return (id == 0 || id >= nodes_.size()) ? nullptr : &nodes_[id];
+  }
+  const Node* FindNode(BinderNodeId id) const {
+    return (id == 0 || id >= nodes_.size()) ? nullptr : &nodes_[id];
+  }
+
   BinderProc* FindContextManagerProc(ContainerId container);
 
   std::map<Pid, std::unique_ptr<BinderProc>> procs_;
-  std::map<BinderNodeId, Node> nodes_;
+  // Node table: index = node id (dense, never reused; slot 0 reserved).
+  std::vector<Node> nodes_;
   // Per-container context manager node (device namespace -> handle 0).
   std::map<ContainerId, BinderNodeId> context_managers_;
   // Services published with PUBLISH_TO_ALL_NS, replayed into new containers.
   std::vector<PublishedService> global_services_;
   ContainerId device_container_ = -1;
-  BinderNodeId next_node_ = 1;
   uint64_t transaction_count_ = 0;
+  uint64_t lookup_epoch_ = 0;
   int transact_depth_ = 0;
 };
 

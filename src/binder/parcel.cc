@@ -1,6 +1,83 @@
 #include "src/binder/parcel.h"
 
+#include <utility>
+
 namespace androne {
+
+namespace {
+// Upper bound on parked entry vectors per thread; enough for the deepest
+// transaction recursion the driver allows plus in-flight replies, small
+// enough that an idle thread holds only a few KB.
+constexpr size_t kFreelistCap = 64;
+}  // namespace
+
+// The freelist lives behind a function-local thread_local so it is
+// constructed on first use per thread (workers come and go in the fleet
+// executor's pool).
+std::vector<std::vector<Parcel::Entry>>& Parcel::LocalFreelist() {
+  thread_local std::vector<std::vector<Entry>> freelist;
+  return freelist;
+}
+
+size_t Parcel::FreelistSize() { return LocalFreelist().size(); }
+
+Parcel::Parcel() {
+  auto& freelist = LocalFreelist();
+  if (!freelist.empty()) {
+    entries_ = std::move(freelist.back());
+    freelist.pop_back();
+  }
+}
+
+Parcel::~Parcel() { ReleaseEntries(); }
+
+void Parcel::ReleaseEntries() {
+  auto& freelist = LocalFreelist();
+  if (entries_.capacity() == 0 || freelist.size() >= kFreelistCap) {
+    return;
+  }
+  // Clear first so pooled vectors hold no live strings, only raw capacity.
+  entries_.clear();
+  freelist.push_back(std::move(entries_));
+  entries_ = std::vector<Entry>();
+}
+
+Parcel::Parcel(const Parcel& other) : Parcel() {
+  entries_.assign(other.entries_.begin(), other.entries_.end());
+  cursor_ = other.cursor_;
+  binder_entries_ = other.binder_entries_;
+}
+
+Parcel& Parcel::operator=(const Parcel& other) {
+  if (this != &other) {
+    entries_.assign(other.entries_.begin(), other.entries_.end());
+    cursor_ = other.cursor_;
+    binder_entries_ = other.binder_entries_;
+  }
+  return *this;
+}
+
+Parcel::Parcel(Parcel&& other) noexcept
+    : entries_(std::move(other.entries_)),
+      cursor_(other.cursor_),
+      binder_entries_(other.binder_entries_) {
+  other.entries_.clear();
+  other.cursor_ = 0;
+  other.binder_entries_ = 0;
+}
+
+Parcel& Parcel::operator=(Parcel&& other) noexcept {
+  if (this != &other) {
+    ReleaseEntries();
+    entries_ = std::move(other.entries_);
+    cursor_ = other.cursor_;
+    binder_entries_ = other.binder_entries_;
+    other.entries_.clear();
+    other.cursor_ = 0;
+    other.binder_entries_ = 0;
+  }
+  return *this;
+}
 
 void Parcel::WriteInt32(int32_t v) {
   entries_.push_back(Entry{Kind::kInt32, v, 0.0, {}});
@@ -23,7 +100,12 @@ void Parcel::WriteString(const std::string& s) {
 }
 
 void Parcel::WriteBinderHandle(BinderHandle handle) {
-  entries_.push_back(Entry{Kind::kBinder, handle, 0.0, {}});
+  AppendBinderEntry(handle);
+}
+
+void Parcel::AppendBinderEntry(int64_t scalar) {
+  entries_.push_back(Entry{Kind::kBinder, scalar, 0.0, {}});
+  ++binder_entries_;
 }
 
 void Parcel::WriteFd(FdToken fd) {

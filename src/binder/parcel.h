@@ -3,6 +3,12 @@
 // binder object references (translated to per-process handles by the
 // driver on delivery), and file descriptors (shared-memory tokens used by
 // e.g. CameraService to hand frame buffers across containers).
+//
+// Entry storage is recycled through a thread-local freelist: a destroyed
+// parcel donates its entry vector (capacity intact) to the next parcel
+// constructed on the same thread, so steady-state transactions allocate
+// nothing for the parcel body. Thread-local keeps the pool safe when the
+// fleet executor runs many worlds in parallel.
 #ifndef SRC_BINDER_PARCEL_H_
 #define SRC_BINDER_PARCEL_H_
 
@@ -29,6 +35,13 @@ using FdToken = int64_t;
 
 class Parcel {
  public:
+  Parcel();
+  ~Parcel();
+  Parcel(const Parcel& other);
+  Parcel& operator=(const Parcel& other);
+  Parcel(Parcel&& other) noexcept;
+  Parcel& operator=(Parcel&& other) noexcept;
+
   void WriteInt32(int32_t v);
   void WriteInt64(int64_t v);
   void WriteDouble(double v);
@@ -54,6 +67,13 @@ class Parcel {
 
   void ResetReadCursor() const { cursor_ = 0; }
   size_t entry_count() const { return entries_.size(); }
+  // Binder-reference entries present (the driver only deep-copies parcels
+  // that carry references, since only those need handle swizzling).
+  size_t binder_entry_count() const { return binder_entries_; }
+
+  // Entry vectors currently parked in this thread's freelist (test/bench
+  // introspection of the recycling behaviour).
+  static size_t FreelistSize();
 
  private:
   friend class BinderDriver;
@@ -68,9 +88,17 @@ class Parcel {
   };
 
   StatusOr<const Entry*> Next(Kind expected) const;
+  // Driver-side append of a binder reference (keeps binder_entries_ honest
+  // when the driver builds delivery parcels directly).
+  void AppendBinderEntry(int64_t scalar);
+  // Returns this parcel's entry vector to the thread-local freelist.
+  void ReleaseEntries();
+  // Per-thread pool of retired entry vectors (capacity preserved).
+  static std::vector<std::vector<Entry>>& LocalFreelist();
 
   std::vector<Entry> entries_;
   mutable size_t cursor_ = 0;
+  size_t binder_entries_ = 0;
 };
 
 }  // namespace androne

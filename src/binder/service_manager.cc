@@ -107,11 +107,34 @@ Status SmAddService(BinderProc* proc, const std::string& name,
 
 StatusOr<BinderHandle> SmGetService(BinderProc* proc,
                                     const std::string& name) {
+  if (proc == nullptr) {
+    return FailedPreconditionError("calling process is dead");
+  }
   Parcel data;
   data.WriteString(name);
   ASSIGN_OR_RETURN(Parcel reply,
                    proc->Transact(kContextManagerHandle, kSmGetService, data));
   return reply.ReadBinderHandle();
+}
+
+StatusOr<BinderHandle> ServiceCache::Get(const std::string& name) {
+  uint64_t epoch = proc_->lookup_epoch();
+  if (!primed_ || epoch != epoch_) {
+    cache_.clear();
+    epoch_ = epoch;
+    primed_ = true;
+  }
+  auto it = cache_.find(name);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  ASSIGN_OR_RETURN(BinderHandle handle, SmGetService(proc_, name));
+  // The lookup itself is a transaction but never a registration, so the
+  // epoch read above is still current.
+  cache_.emplace(name, handle);
+  return handle;
 }
 
 StatusOr<std::vector<std::string>> SmListServices(BinderProc* proc) {

@@ -14,6 +14,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/binder/binder_driver.h"
@@ -74,6 +75,38 @@ StatusOr<BinderHandle> SmGetService(BinderProc* proc, const std::string& name);
 
 // Lists all names known to the caller's context manager.
 StatusOr<std::vector<std::string>> SmListServices(BinderProc* proc);
+
+// Client-side service-lookup cache: remembers name -> handle resolutions
+// made through |proc|'s context manager and revalidates them against the
+// driver's lookup epoch with one integer compare. Any event that could
+// rebind a name (re-registration, a namespace gaining or losing its context
+// manager, process/container death) bumps the epoch and drops the whole
+// cache, so a hit is always exactly what SmGetService would return now.
+// Negative results are never cached — a service may register at any moment.
+class ServiceCache {
+ public:
+  explicit ServiceCache(BinderProc* proc) : proc_(proc) {}
+
+  // Cached SmGetService. A handle resolved under the current epoch is
+  // returned without a transaction; otherwise the lookup goes to the
+  // context manager and the result is remembered.
+  StatusOr<BinderHandle> Get(const std::string& name);
+
+  // Drops every cached resolution (the epoch check makes this automatic;
+  // exposed for tests and explicit teardown).
+  void Invalidate() { cache_.clear(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  BinderProc* proc_;
+  uint64_t epoch_ = 0;
+  bool primed_ = false;
+  std::unordered_map<std::string, BinderHandle> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
 
 }  // namespace androne
 

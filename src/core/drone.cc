@@ -45,7 +45,10 @@ Status AnDroneSystem::Boot() {
   motors_ = bus_.Register(std::make_unique<MotorSet>());
 
   // --- Containers ---
-  runtime_ = std::make_unique<ContainerRuntime>(&binder_, &images_);
+  runtime_ = std::make_unique<ContainerRuntime>(
+      &binder_, &images_,
+      options_.memory_budget_mb > 0 ? options_.memory_budget_mb
+                                    : kUsableMemoryMb);
   LayerId base_layer = images_.AddLayer(LayerFiles{
       {"/system/build.prop", {"androne-things-1.0.3", false}},
       {"/system/framework/framework.jar", {std::string(4096, 'f'), false}},
@@ -69,7 +72,7 @@ Status AnDroneSystem::Boot() {
   RETURN_IF_ERROR(runtime_->StartContainer(device_container_->id()));
   ASSIGN_OR_RETURN(device_stack_,
                    BootDeviceContainer(*runtime_, device_container_->id(),
-                                       bus_, flight_container_->id()));
+                                       bus_, flight_container_->id(), clock_));
 
   // --- Flight stack ---
   // The flight controller's own actuators stay with the flight container
@@ -81,11 +84,20 @@ Status AnDroneSystem::Boot() {
   ASSIGN_OR_RETURN(hal_bridge_, BinderHalBridge::Create(ardupilot->binder));
   BinderProc* ardupilot_proc = ardupilot->binder;
 
+  // Sensor fast path: read the device container's snapshot bus by reference
+  // instead of a binder transaction per sensor read. The HAL bridge stays up
+  // as the legacy/reference path (paper §4.3 wire protocol).
+  SensorSource* sensor_source = hal_bridge_.get();
+  if (options_.use_sensor_bus && device_stack_.sensor_hub != nullptr) {
+    bus_source_ =
+        std::make_unique<BusSensorSource>(device_stack_.sensor_hub.get());
+    sensor_source = bus_source_.get();
+  }
+
   FlightControllerConfig fc_config;
   fc_config.home = options_.base;
   flight_controller_ = std::make_unique<FlightController>(
-      clock_, physics_.get(), motors_, hal_bridge_.get(), &battery_,
-      fc_config);
+      clock_, physics_.get(), motors_, sensor_source, &battery_, fc_config);
   if (options_.inject_kernel_latency) {
     latency_sampler_ = std::make_unique<WakeLatencySampler>(
         options_.kernel, IdleLoad(), options_.seed + 9);

@@ -35,6 +35,15 @@ struct AnDroneOptions {
   // Dwell limit at waypoints whose tenant requests no flight control and
   // never calls waypointCompleted().
   double no_control_dwell_s = 20.0;
+  // Flight stack reads sensors from the device container's snapshot bus
+  // (one sample per cadence period, read by reference) instead of issuing
+  // a binder transaction per read through the HAL bridge. The legacy
+  // per-read path stays available for comparison benches.
+  bool use_sensor_bus = true;
+  // Usable RAM for container admission; 0 means the default board budget
+  // (on which the paper's 4th virtual drone fails to start — Figure 12).
+  // Benches that sweep tenant counts past 3 model a larger cloud host.
+  double memory_budget_mb = 0;
 };
 
 struct FlightExecutionReport {
@@ -122,6 +131,7 @@ class AnDroneSystem {
 
   // Flight stack.
   std::unique_ptr<BinderHalBridge> hal_bridge_;
+  std::unique_ptr<BusSensorSource> bus_source_;
   std::unique_ptr<FlightController> flight_controller_;
   std::unique_ptr<WakeLatencySampler> latency_sampler_;
   std::unique_ptr<MavProxy> proxy_;

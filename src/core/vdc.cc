@@ -314,6 +314,19 @@ void Vdc::EnforceDeviceRevocation(VirtualDroneInstance& vd) {
                             << " for holding a revoked device";
       (void)runtime_->KillProcess(pid);
       service->DropClients(cid);
+      // The driver just freed the process's BinderProc; clear the app's
+      // binding so later app callbacks see a dead process, not a dangling
+      // pointer.
+      for (const auto& [package, app_pid] : vd.app_pids) {
+        if (app_pid != pid) {
+          continue;
+        }
+        for (auto& app : vd.apps) {
+          if (app->package() == package) {
+            app->NotifyProcessKilled();
+          }
+        }
+      }
     }
   }
 }

@@ -51,6 +51,10 @@ struct WorldResult {
   bool completed = false;
   uint64_t events_run = 0;  // SimClock events the world executed.
   uint64_t digest = 0;      // World-defined determinism digest.
+  // Digest of the physical flight alone (attitude log), excluding transport
+  // counters: telemetry batching repacks datagrams, which legitimately moves
+  // |digest|, but must never move the flight itself.
+  uint64_t flight_digest = 0;
   std::map<std::string, double> counters;
   std::map<std::string, Histogram> histograms;
 };

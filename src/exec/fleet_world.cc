@@ -45,9 +45,17 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   AnDroneOptions options;
   options.base = kFleetBase;
   options.seed = ctx.seed;
+  options.use_sensor_bus = config.sensor_bus;
+  options.memory_budget_mb = config.memory_budget_mb;
   AnDroneSystem system(&clock, options);
   if (!system.Boot().ok()) {
     return result;
+  }
+  if (config.batch_telemetry) {
+    TelemetryBatchConfig batch;
+    batch.flush_bytes = config.batch_flush_bytes;
+    batch.flush_after = Millis(config.batch_flush_ms);
+    system.proxy().EnableTelemetryBatching(batch);
   }
 
   // Tenant waypoints scatter around the base, drawn from a world-private
@@ -120,6 +128,11 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   if (!flight.ok()) {
     return result;
   }
+  // Drain the downlink: flush any residual telemetry batch and run one more
+  // simulated second so in-flight datagrams reach the receiver before the
+  // counters and latency histogram are read.
+  system.proxy().FlushTelemetryBatch();
+  system.RunClockUntil([] { return false; }, Seconds(1));
 
   result.completed = !system.abort_requested();
   result.events_run = clock.events_run();
@@ -130,12 +143,19 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   result.counters["downlink_frames"] = static_cast<double>(frames_down);
   result.counters["downlink_bytes"] = static_cast<double>(bytes_down);
   result.counters["downlink_lost"] = static_cast<double>(downlink.lost());
+  result.counters["downlink_flushes"] =
+      static_cast<double>(system.proxy().wire_flushes());
+  result.counters["wire_frames"] =
+      static_cast<double>(system.proxy().wire_frames());
   result.histograms["downlink_latency_us"] = downlink.latency_us();
 
   // The determinism digest covers the physical flight (every logged attitude
   // sample) and the downlink latency distribution: if either diverges across
-  // thread counts, fleet digests split.
-  uint64_t digest = FlightLogDigest(system.flight().flight_log());
+  // thread counts, fleet digests split. The flight digest is also exported
+  // on its own — it must be invariant to transport-level choices like
+  // telemetry batching, which legitimately change the full digest.
+  result.flight_digest = FlightLogDigest(system.flight().flight_log());
+  uint64_t digest = result.flight_digest;
   digest = Fnv1a64Value(downlink.latency_us().Digest(), digest);
   digest = Fnv1a64Value(frames_down, digest);
   digest = Fnv1a64Value(bytes_down, digest);

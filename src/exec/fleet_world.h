@@ -19,6 +19,15 @@ struct FleetWorldConfig {
   double dwell_s = 20;          // Planner service time per stop.
   double waypoint_spread_m = 120;  // Max NED offset of tenant waypoints.
   int annealing_iterations = 600;  // Planner effort (sec66 uses 4000).
+  // Data-path fast paths (DESIGN.md §10). Defaults are the production
+  // configuration; the legacy paths stay selectable for A/B benches.
+  bool sensor_bus = true;       // Flight stack reads the snapshot bus.
+  bool batch_telemetry = true;  // Coalesce planner downlink datagrams.
+  size_t batch_flush_bytes = 512;
+  int batch_flush_ms = 25;
+  // 0 = board default (admits 3 virtual drones, per paper Figure 12);
+  // tenant sweeps past 3 raise it to model a larger cloud host.
+  double memory_budget_mb = 0;
 };
 
 // Runs one world to completion (or early abort on fleet cancellation) and

@@ -5,6 +5,7 @@
 #ifndef SRC_FLIGHT_SENSOR_SOURCE_H_
 #define SRC_FLIGHT_SENSOR_SOURCE_H_
 
+#include "src/hw/sensor_bus.h"
 #include "src/hw/sensor_faults.h"
 #include "src/hw/sensors.h"
 #include "src/util/status.h"
@@ -42,6 +43,28 @@ class DirectSensorSource : public SensorSource {
   Barometer* baro_;
   Magnetometer* mag_;
   ContainerId opener_;
+};
+
+// Reads the device container's SensorHub snapshot — the data-path fast
+// path: the hub samples each sensor once at its native cadence and the
+// flight stack reads the published snapshot by reference, with no binder
+// transaction or parcel decode per read. Composes under FaultySensorSource
+// like any other source, so fault injection is unchanged.
+class BusSensorSource : public SensorSource {
+ public:
+  explicit BusSensorSource(SensorHub* hub) : hub_(hub) {}
+
+  StatusOr<ImuSample> ReadImu() override { return hub_->Sample().imu; }
+  StatusOr<double> ReadBaroAltitude() override {
+    return hub_->Sample().baro_altitude_m;
+  }
+  StatusOr<double> ReadMagHeading() override {
+    return hub_->Sample().mag_heading_rad;
+  }
+  StatusOr<GpsFix> ReadGps() override { return hub_->Sample().gps; }
+
+ private:
+  SensorHub* hub_;
 };
 
 // Decorates any SensorSource with a scripted SensorFaultInjector. Dropout

@@ -2,19 +2,66 @@
 
 namespace androne {
 
+MavProxy::~MavProxy() {
+  if (batch_deadline_armed_) {
+    clock_->Cancel(batch_deadline_);
+    batch_deadline_armed_ = false;
+  }
+}
+
 void MavProxy::HandleMasterFrame(const MavlinkFrame& frame) {
   ++master_frames_;
   if (to_planner_) {
     to_planner_(frame);
   }
   if (to_planner_wire_) {
-    planner_wire_scratch_.clear();
-    EncodeFrameInto(frame, &planner_wire_scratch_);
-    to_planner_wire_(planner_wire_scratch_);
+    ++wire_frames_;
+    if (batching_enabled_) {
+      const bool was_empty = batch_scratch_.empty();
+      EncodeFrameInto(frame, &batch_scratch_);
+      if (batch_scratch_.size() >= batch_config_.flush_bytes) {
+        FlushTelemetryBatch();
+      } else if (was_empty) {
+        batch_deadline_ =
+            clock_->ScheduleAfter(batch_config_.flush_after, [this] {
+              batch_deadline_armed_ = false;
+              FlushTelemetryBatch();
+            });
+        batch_deadline_armed_ = true;
+      }
+    } else {
+      planner_wire_scratch_.clear();
+      EncodeFrameInto(frame, &planner_wire_scratch_);
+      ++wire_flushes_;
+      to_planner_wire_(planner_wire_scratch_);
+    }
   }
   for (const auto& vfc : vfcs_) {
     vfc->HandleMasterFrame(frame);
   }
+}
+
+void MavProxy::EnableTelemetryBatching(const TelemetryBatchConfig& config) {
+  batching_enabled_ = true;
+  batch_config_ = config;
+  // Watermark overshoot is bounded by one encoded frame (MAVLink v1 caps at
+  // 6-byte header + 255 payload + 2 CRC).
+  batch_scratch_.reserve(config.flush_bytes + 263);
+}
+
+void MavProxy::FlushTelemetryBatch() {
+  if (batch_deadline_armed_) {
+    clock_->Cancel(batch_deadline_);
+    batch_deadline_armed_ = false;
+  }
+  if (batch_scratch_.empty()) {
+    return;
+  }
+  ++wire_flushes_;
+  if (to_planner_wire_) {
+    to_planner_wire_(batch_scratch_);
+  }
+  batch_scratch_.clear();
 }
 
 void MavProxy::HandlePlannerFrame(const MavlinkFrame& frame) {

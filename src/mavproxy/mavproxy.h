@@ -13,11 +13,24 @@
 
 namespace androne {
 
+// Telemetry batching for the planner wire downlink (paper §6.5 ground
+// path): instead of one VPN datagram per telemetry frame, encoded frames
+// accumulate in a batch buffer flushed when it reaches |flush_bytes| or
+// when |flush_after| elapses since the first frame entered the batch.
+// MAVLink v1 frames are self-framing, so a receiver parses a concatenated
+// batch exactly as it parses single frames — batching is invisible above
+// the datagram layer.
+struct TelemetryBatchConfig {
+  size_t flush_bytes = 512;              // Size watermark.
+  SimDuration flush_after = Millis(25);  // Deadline from first queued frame.
+};
+
 class MavProxy {
  public:
   using FrameSink = std::function<void(const MavlinkFrame&)>;
 
   explicit MavProxy(SimClock* clock) : clock_(clock) {}
+  ~MavProxy();
 
   // --- Master (flight controller) side ---
   void SetMasterSink(FrameSink sink) { to_master_ = std::move(sink); }
@@ -65,7 +78,19 @@ class MavProxy {
   LinkWatchdog* EnableLinkFailsafe(const LinkWatchdogConfig& config = {});
   LinkWatchdog* link_watchdog() { return watchdog_.get(); }
 
+  // Coalesces planner wire telemetry into batched datagrams. Without this,
+  // every telemetry frame costs one VPN datagram (encap copy + one scheduled
+  // delivery event); with it, N frames cost one.
+  void EnableTelemetryBatching(const TelemetryBatchConfig& config = {});
+  // Emits any queued batch immediately and cancels the pending deadline.
+  // Call at end of flight to drain residual frames.
+  void FlushTelemetryBatch();
+
   uint64_t master_frames() const { return master_frames_; }
+  // Telemetry frames encoded onto the planner wire, and datagrams actually
+  // emitted (equal when batching is off).
+  uint64_t wire_frames() const { return wire_frames_; }
+  uint64_t wire_flushes() const { return wire_flushes_; }
 
  private:
   void SendToMaster(const MavlinkFrame& frame);
@@ -79,6 +104,17 @@ class MavProxy {
   std::unique_ptr<LinkWatchdog> watchdog_;
   uint8_t failsafe_seq_ = 0;
   uint64_t master_frames_ = 0;
+
+  // Telemetry batching state. The deadline event is armed when the first
+  // frame enters an empty batch and cancelled whenever the batch flushes
+  // early on the size watermark.
+  bool batching_enabled_ = false;
+  TelemetryBatchConfig batch_config_;
+  std::vector<uint8_t> batch_scratch_;
+  EventId batch_deadline_ = 0;
+  bool batch_deadline_armed_ = false;
+  uint64_t wire_frames_ = 0;
+  uint64_t wire_flushes_ = 0;
 };
 
 }  // namespace androne

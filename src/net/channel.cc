@@ -4,6 +4,12 @@
 
 namespace androne {
 
+namespace {
+// Pooled datagram buffers kept per channel; enough for every in-flight
+// datagram on realistic link latencies without hoarding memory.
+constexpr size_t kBufferPoolCap = 32;
+}  // namespace
+
 NetworkChannel::NetworkChannel(SimClock* clock, const LinkModel* link,
                                uint64_t seed)
     : clock_(clock), link_(link), rng_(seed) {}
@@ -31,6 +37,31 @@ void NetworkChannel::SendShared(SharedPayload payload) {
     latency_us_.Record(ToMicros(latency));
     receiver_(*payload);
   });
+}
+
+void NetworkChannel::SendCopy(const uint8_t* data, size_t size) {
+  std::unique_ptr<std::vector<uint8_t>> buffer;
+  if (!pool_->free.empty()) {
+    buffer = std::move(pool_->free.back());
+    pool_->free.pop_back();
+  } else {
+    buffer = std::make_unique<std::vector<uint8_t>>();
+  }
+  buffer->assign(data, data + size);
+  // The shared payload's deleter recycles the buffer instead of freeing it.
+  // A weak_ptr breaks the cycle if the channel (and its pool) die while the
+  // datagram is still in flight.
+  std::weak_ptr<BufferPool> weak_pool = pool_;
+  SharedPayload payload(buffer.release(),
+                        [weak_pool](const std::vector<uint8_t>* p) {
+    auto owned = std::unique_ptr<std::vector<uint8_t>>(
+        const_cast<std::vector<uint8_t>*>(p));
+    std::shared_ptr<BufferPool> pool = weak_pool.lock();
+    if (pool != nullptr && pool->free.size() < kBufferPoolCap) {
+      pool->free.push_back(std::move(owned));
+    }
+  });
+  SendShared(std::move(payload));
 }
 
 VpnTunnel::VpnTunnel(NetworkChannel* underlying, uint32_t tunnel_id)
@@ -61,14 +92,16 @@ void VpnTunnel::SetReceiver(Receiver receiver) {
 }
 
 void VpnTunnel::Send(const std::vector<uint8_t>& payload) {
-  std::vector<uint8_t> encapsulated;
-  encapsulated.reserve(payload.size() + 4);
-  encapsulated.push_back(static_cast<uint8_t>(tunnel_id_ & 0xFF));
-  encapsulated.push_back(static_cast<uint8_t>((tunnel_id_ >> 8) & 0xFF));
-  encapsulated.push_back(static_cast<uint8_t>((tunnel_id_ >> 16) & 0xFF));
-  encapsulated.push_back(static_cast<uint8_t>((tunnel_id_ >> 24) & 0xFF));
-  encapsulated.insert(encapsulated.end(), payload.begin(), payload.end());
-  underlying_->Send(std::move(encapsulated));
+  // Encapsulate into a reused scratch, then hand off through the channel's
+  // buffer pool: steady-state tunnel sends allocate nothing.
+  encap_scratch_.clear();
+  encap_scratch_.reserve(payload.size() + 4);
+  encap_scratch_.push_back(static_cast<uint8_t>(tunnel_id_ & 0xFF));
+  encap_scratch_.push_back(static_cast<uint8_t>((tunnel_id_ >> 8) & 0xFF));
+  encap_scratch_.push_back(static_cast<uint8_t>((tunnel_id_ >> 16) & 0xFF));
+  encap_scratch_.push_back(static_cast<uint8_t>((tunnel_id_ >> 24) & 0xFF));
+  encap_scratch_.insert(encap_scratch_.end(), payload.begin(), payload.end());
+  underlying_->SendCopy(encap_scratch_.data(), encap_scratch_.size());
 }
 
 }  // namespace androne

@@ -42,6 +42,14 @@ class NetworkChannel {
   // be ambiguous against shared_ptr's nullptr constructor.)
   void SendShared(SharedPayload payload);
 
+  // Copies |size| bytes into a pooled buffer and sends it: senders that
+  // reuse a scratch buffer (VPN encapsulation, telemetry batching) pay no
+  // heap allocation per datagram once the pool is warm. Delivered buffers
+  // return to the pool when the last shared reference drops; the pool is
+  // held by shared_ptr so in-flight datagrams stay safe if the channel is
+  // destroyed first.
+  void SendCopy(const uint8_t* data, size_t size);
+
   uint64_t sent() const { return sent_; }
   uint64_t delivered() const { return delivered_; }
   uint64_t lost() const { return lost_; }
@@ -53,10 +61,15 @@ class NetworkChannel {
   const Histogram& latency_us() const { return latency_us_; }
 
  private:
+  struct BufferPool {
+    std::vector<std::unique_ptr<std::vector<uint8_t>>> free;
+  };
+
   SimClock* clock_;
   const LinkModel* link_;
   Rng rng_;
   Receiver receiver_;
+  std::shared_ptr<BufferPool> pool_ = std::make_shared<BufferPool>();
   uint64_t sent_ = 0;
   uint64_t delivered_ = 0;
   uint64_t lost_ = 0;
@@ -102,6 +115,7 @@ class VpnTunnel {
   uint32_t tunnel_id_;
   Receiver receiver_;
   std::vector<uint8_t> decap_scratch_;
+  std::vector<uint8_t> encap_scratch_;
   uint64_t rejected_ = 0;
 };
 

@@ -69,7 +69,9 @@ bool ActivityManager::CheckPermission(const std::string& permission,
 
 CrossContainerPermissionChecker::CrossContainerPermissionChecker(
     BinderProc* service_proc, ContainerId trusted_container)
-    : service_proc_(service_proc), trusted_container_(trusted_container) {}
+    : service_proc_(service_proc),
+      trusted_container_(trusted_container),
+      am_cache_(service_proc) {}
 
 bool CrossContainerPermissionChecker::Check(const std::string& permission,
                                             const BinderCallContext& ctx) {
@@ -81,7 +83,7 @@ bool CrossContainerPermissionChecker::Check(const std::string& permission,
   }
   std::string am_name = std::string(kActivityManagerService) + "@" +
                         std::to_string(ctx.calling_container);
-  auto am_handle = SmGetService(service_proc_, am_name);
+  auto am_handle = am_cache_.Get(am_name);
   if (!am_handle.ok()) {
     return false;  // Unknown container: deny.
   }

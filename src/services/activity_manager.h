@@ -73,9 +73,16 @@ class CrossContainerPermissionChecker {
 
   void set_trusted_container(ContainerId id) { trusted_container_ = id; }
 
+  // Epoch-validated "activity@<container>" resolutions served without a
+  // ServiceManager round trip (fast-path observability).
+  uint64_t lookup_cache_hits() const { return am_cache_.hits(); }
+
  private:
   BinderProc* service_proc_;
   ContainerId trusted_container_;
+  // The per-check "activity@<container>" resolution is the hot part of a
+  // permission check; the epoch-validated cache turns it into a hash probe.
+  ServiceCache am_cache_;
 };
 
 }  // namespace androne

@@ -35,6 +35,15 @@ class AndroidApp {
   // Calls OnDestroy(); the app is expected to have saved state already.
   void Destroy();
 
+  // Called by the VDC when the app's process has been terminated out from
+  // under it (e.g. device-revocation enforcement): the BinderProc is gone,
+  // so the binding is cleared before the driver frees it. proc() returns
+  // nullptr afterwards; app code must treat that as "process dead".
+  void NotifyProcessKilled() {
+    proc_ = nullptr;
+    OnProcessKilled();
+  }
+
   // Path of the persisted state inside the container.
   std::string SavedStatePath() const {
     return "/data/data/" + package_ + "/saved_state.json";
@@ -45,6 +54,7 @@ class AndroidApp {
   virtual JsonValue OnSaveInstanceState() { return JsonValue(JsonObject{}); }
   virtual void OnRestoreInstanceState(const JsonValue& state) { (void)state; }
   virtual void OnDestroy() {}
+  virtual void OnProcessKilled() {}
 
   BinderProc* proc() const { return proc_; }
   Container* container() const { return container_; }

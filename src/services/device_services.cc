@@ -96,7 +96,12 @@ Status LocationManagerService::OnTransact(uint32_t code, const Parcel& data,
                                  std::to_string(ctx.calling_container));
   }
   TrackClient(ctx);
-  ASSIGN_OR_RETURN(GpsFix fix, gps_->ReadFix(gps_->opener()));
+  GpsFix fix;
+  if (hub_ != nullptr) {
+    fix = hub_->Sample().gps;
+  } else {
+    ASSIGN_OR_RETURN(fix, gps_->ReadFix(gps_->opener()));
+  }
   reply->WriteDouble(fix.position.latitude_deg);
   reply->WriteDouble(fix.position.longitude_deg);
   reply->WriteDouble(fix.position.altitude_m);
@@ -122,7 +127,12 @@ Status SensorService::OnTransact(uint32_t code, const Parcel& data,
   TrackClient(ctx);
   switch (code) {
     case kSensorReadImu: {
-      ASSIGN_OR_RETURN(ImuSample s, imu_->ReadSample(imu_->opener()));
+      ImuSample s;
+      if (hub_ != nullptr) {
+        s = hub_->Sample().imu;
+      } else {
+        ASSIGN_OR_RETURN(s, imu_->ReadSample(imu_->opener()));
+      }
       for (double g : s.gyro_rads) {
         reply->WriteDouble(g);
       }
@@ -133,12 +143,22 @@ Status SensorService::OnTransact(uint32_t code, const Parcel& data,
       return OkStatus();
     }
     case kSensorReadBaro: {
-      ASSIGN_OR_RETURN(double alt, baro_->ReadAltitudeM(baro_->opener()));
+      double alt = 0;
+      if (hub_ != nullptr) {
+        alt = hub_->Sample().baro_altitude_m;
+      } else {
+        ASSIGN_OR_RETURN(alt, baro_->ReadAltitudeM(baro_->opener()));
+      }
       reply->WriteDouble(alt);
       return OkStatus();
     }
     case kSensorReadMag: {
-      ASSIGN_OR_RETURN(double heading, mag_->ReadHeadingRad(mag_->opener()));
+      double heading = 0;
+      if (hub_ != nullptr) {
+        heading = hub_->Sample().mag_heading_rad;
+      } else {
+        ASSIGN_OR_RETURN(heading, mag_->ReadHeadingRad(mag_->opener()));
+      }
       reply->WriteDouble(heading);
       return OkStatus();
     }

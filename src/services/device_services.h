@@ -21,6 +21,7 @@
 
 #include "src/binder/binder_driver.h"
 #include "src/hw/camera.h"
+#include "src/hw/sensor_bus.h"
 #include "src/hw/sensors.h"
 #include "src/services/activity_manager.h"
 
@@ -92,8 +93,13 @@ class LocationManagerService : public DeviceService {
     return "LocationManagerService";
   }
 
+  // Serve fixes from the shared SensorHub snapshot instead of per-request
+  // device reads (N tenants share one sample per GPS epoch).
+  void ServeFromHub(SensorHub* hub) { hub_ = hub; }
+
  private:
   GpsReceiver* gps_;
+  SensorHub* hub_ = nullptr;
 };
 
 // ---- SensorService ("sensorservice") ----
@@ -111,10 +117,16 @@ class SensorService : public DeviceService {
                     const BinderCallContext& ctx) override;
   std::string descriptor() const override { return "SensorService"; }
 
+  // Serve samples from the shared SensorHub snapshot instead of per-request
+  // device reads (each sensor is drawn once per cadence period, no matter
+  // how many containers poll it).
+  void ServeFromHub(SensorHub* hub) { hub_ = hub; }
+
  private:
   Imu* imu_;
   Barometer* baro_;
   Magnetometer* mag_;
+  SensorHub* hub_ = nullptr;
 };
 
 // ---- AudioFlinger ("media.audio_flinger") ----

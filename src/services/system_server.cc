@@ -32,7 +32,7 @@ StatusOr<T*> OpenDevice(HardwareBus& bus, const char* name,
 
 StatusOr<DeviceContainerStack> BootDeviceContainer(
     ContainerRuntime& runtime, ContainerId device_container, HardwareBus& bus,
-    ContainerId trusted_container) {
+    ContainerId trusted_container, SimClock* clock) {
   DeviceContainerStack stack;
   runtime.binder()->set_device_container(device_container);
 
@@ -87,6 +87,15 @@ StatusOr<DeviceContainerStack> BootDeviceContainer(
       std::make_shared<SensorService>(imu, baro, mag, checker);
   stack.audio_service =
       std::make_shared<AudioFlingerService>(mic, speaker, checker);
+
+  // With a clock the stack samples through the snapshot bus: one draw per
+  // sensor per cadence period, shared by every consumer.
+  if (clock != nullptr) {
+    stack.sensor_hub = std::make_shared<SensorHub>(clock, gps, imu, baro, mag,
+                                                   device_container);
+    stack.location_service->ServeFromHub(stack.sensor_hub.get());
+    stack.sensor_service->ServeFromHub(stack.sensor_hub.get());
+  }
 
   // Register each with the device container's ServiceManager; the shared
   // list triggers PUBLISH_TO_ALL_NS for each (paper Figure 6).

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "src/binder/binder_driver.h"
 #include "src/binder/parcel.h"
@@ -336,6 +337,223 @@ TEST_F(BinderFixture, SmListServicesReturnsNames) {
   auto names = SmListServices(server);
   ASSERT_TRUE(names.ok());
   EXPECT_EQ(names->size(), 2u);
+}
+
+TEST_F(BinderFixture, SmGetServiceRejectsDeadProcess) {
+  // The VDC clears an app's BinderProc binding when it kills the process;
+  // lookups through the dead binding must fail cleanly, not crash.
+  auto result = SmGetService(nullptr, "anything");
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---- Lookup cache + fast-path semantics (DESIGN.md §10) ----
+
+TEST_F(BinderFixture, ServiceCacheHitsAfterFirstLookup) {
+  BinderProc* sm_proc = driver_.CreateProcess(10, 1000, 1);
+  ASSERT_TRUE(ServiceManager::Install(sm_proc).ok());
+  BinderProc* server = driver_.CreateProcess(11, 1000, 1);
+  BinderHandle h = server->RegisterObject(std::make_shared<EchoService>());
+  ASSERT_TRUE(SmAddService(server, "echo", h).ok());
+
+  BinderProc* client = driver_.CreateProcess(12, 1000, 1);
+  ServiceCache cache(client);
+  auto first = cache.Get("echo");
+  ASSERT_TRUE(first.ok());
+  uint64_t transactions = driver_.transaction_count();
+  auto second = cache.Get("echo");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  // The hit resolved with zero binder transactions.
+  EXPECT_EQ(driver_.transaction_count(), transactions);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // The cached handle still transacts like a fresh lookup.
+  Parcel req;
+  req.WriteString("ping");
+  auto reply = client->Transact(*second, EchoService::kEcho, req);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->ReadString().value(), "ping");
+}
+
+TEST_F(BinderFixture, ServiceCacheInvalidatesOnReRegistration) {
+  BinderProc* sm_proc = driver_.CreateProcess(10, 1000, 1);
+  ASSERT_TRUE(ServiceManager::Install(sm_proc).ok());
+  BinderProc* server = driver_.CreateProcess(11, 1000, 1);
+  BinderHandle h1 = server->RegisterObject(std::make_shared<EchoService>());
+  ASSERT_TRUE(SmAddService(server, "svc", h1).ok());
+
+  BinderProc* client = driver_.CreateProcess(12, 1000, 1);
+  ServiceCache cache(client);
+  auto before = cache.Get("svc");
+  ASSERT_TRUE(before.ok());
+
+  // Rebinding the name bumps the lookup epoch; the next Get must go back to
+  // the context manager instead of serving the stale handle.
+  BinderHandle h2 = server->RegisterObject(std::make_shared<EchoService>());
+  ASSERT_TRUE(SmAddService(server, "svc", h2).ok());
+  auto after = cache.Get("svc");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(*before, *after);
+  auto fresh = SmGetService(client, "svc");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*after, *fresh);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST_F(BinderFixture, ServiceCacheInvalidatesOnContextManagerChange) {
+  BinderProc* sm_proc = driver_.CreateProcess(10, 1000, 5);
+  ASSERT_TRUE(ServiceManager::Install(sm_proc).ok());
+  BinderProc* server = driver_.CreateProcess(11, 1000, 5);
+  BinderHandle h = server->RegisterObject(std::make_shared<EchoService>());
+  ASSERT_TRUE(SmAddService(server, "svc", h).ok());
+
+  BinderProc* client = driver_.CreateProcess(12, 1000, 5);
+  ServiceCache cache(client);
+  ASSERT_TRUE(cache.Get("svc").ok());
+
+  // The container's namespace is rebuilt: old context manager dies, a fresh
+  // one (with no registrations) takes over. A stale cache hit here would
+  // fabricate a service that no longer exists in the namespace.
+  driver_.DestroyProcess(10);
+  BinderProc* new_sm_proc = driver_.CreateProcess(20, 1000, 5);
+  ASSERT_TRUE(ServiceManager::Install(new_sm_proc).ok());
+  EXPECT_EQ(cache.Get("svc").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BinderFixture, ServiceCacheFollowsPublishToAllNamespaces) {
+  constexpr ContainerId kDev = 1, kVd = 2;
+  driver_.set_device_container(kDev);
+  BinderProc* dev_sm_proc = driver_.CreateProcess(10, 1000, kDev);
+  ServiceManager::Options dev_opts;
+  dev_opts.shared_service_names = {"sensorservice"};
+  ASSERT_TRUE(ServiceManager::Install(dev_sm_proc, dev_opts).ok());
+  BinderProc* dev_server = driver_.CreateProcess(11, 1000, kDev);
+  BinderHandle h1 =
+      dev_server->RegisterObject(std::make_shared<EchoService>());
+  ASSERT_TRUE(SmAddService(dev_server, "sensorservice", h1).ok());
+
+  // The virtual drone's namespace receives the replayed publication; its
+  // cache resolves through its own context manager.
+  BinderProc* vd_sm_proc = driver_.CreateProcess(20, 1000, kVd);
+  ASSERT_TRUE(ServiceManager::Install(vd_sm_proc).ok());
+  BinderProc* vd_client = driver_.CreateProcess(21, 1000, kVd);
+  ServiceCache cache(vd_client);
+  auto before = cache.Get("sensorservice");
+  ASSERT_TRUE(before.ok());
+
+  // Re-publication in the device container fans out to every namespace and
+  // must invalidate caches in *other* containers too.
+  BinderHandle h2 =
+      dev_server->RegisterObject(std::make_shared<EchoService>());
+  ASSERT_TRUE(SmAddService(dev_server, "sensorservice", h2).ok());
+  auto after = cache.Get("sensorservice");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(*before, *after);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST_F(BinderFixture, ServiceCacheFollowsPublishToDeviceContainer) {
+  constexpr ContainerId kDev = 1, kVd = 4;
+  driver_.set_device_container(kDev);
+  BinderProc* dev_sm_proc = driver_.CreateProcess(10, 1000, kDev);
+  ASSERT_TRUE(ServiceManager::Install(dev_sm_proc).ok());
+
+  // Virtual drone publishes its ActivityManager toward the device container
+  // under the scoped name "activity@<container>".
+  BinderProc* vd_sm_proc = driver_.CreateProcess(20, 1000, kVd);
+  ServiceManager::Options vd_opts;
+  vd_opts.publish_activity_manager_to_device_container = true;
+  ASSERT_TRUE(ServiceManager::Install(vd_sm_proc, vd_opts).ok());
+  BinderProc* vd_server = driver_.CreateProcess(21, 1000, kVd);
+  BinderHandle h = vd_server->RegisterObject(std::make_shared<EchoService>());
+  ASSERT_TRUE(SmAddService(vd_server, kActivityManagerService, h).ok());
+
+  BinderProc* dev_client = driver_.CreateProcess(12, 1000, kDev);
+  ServiceCache cache(dev_client);
+  std::string scoped = std::string(kActivityManagerService) + "@" +
+                       std::to_string(kVd);
+  ASSERT_TRUE(cache.Get(scoped).ok());
+  uint64_t transactions = driver_.transaction_count();
+  ASSERT_TRUE(cache.Get(scoped).ok());
+  EXPECT_EQ(driver_.transaction_count(), transactions);
+
+  // Tearing down the tenant container changes the namespace: the cached
+  // resolution must die with it (the node is dead even though the name may
+  // linger in the device container's table).
+  driver_.DestroyContainer(kVd);
+  auto gone = cache.Get(scoped);
+  if (gone.ok()) {
+    Parcel req;
+    req.WriteString("stale");
+    EXPECT_FALSE(dev_client->Transact(*gone, EchoService::kEcho, req).ok());
+  }
+}
+
+TEST_F(BinderFixture, ServiceCacheDoesNotCacheNegatives) {
+  BinderProc* sm_proc = driver_.CreateProcess(10, 1000, 1);
+  ASSERT_TRUE(ServiceManager::Install(sm_proc).ok());
+  BinderProc* client = driver_.CreateProcess(12, 1000, 1);
+  ServiceCache cache(client);
+  EXPECT_EQ(cache.Get("late").status().code(), StatusCode::kNotFound);
+
+  BinderProc* server = driver_.CreateProcess(11, 1000, 1);
+  BinderHandle h = server->RegisterObject(std::make_shared<EchoService>());
+  ASSERT_TRUE(SmAddService(server, "late", h).ok());
+  EXPECT_TRUE(cache.Get("late").ok());
+}
+
+TEST_F(BinderFixture, LookupEpochAdvancesOnlyOnRebindingEvents) {
+  BinderProc* sm_proc = driver_.CreateProcess(10, 1000, 1);
+  ASSERT_TRUE(ServiceManager::Install(sm_proc).ok());
+  BinderProc* server = driver_.CreateProcess(11, 1000, 1);
+  BinderHandle h = server->RegisterObject(std::make_shared<EchoService>());
+  ASSERT_TRUE(SmAddService(server, "echo", h).ok());
+
+  BinderProc* client = driver_.CreateProcess(12, 1000, 1);
+  auto ch = SmGetService(client, "echo");
+  ASSERT_TRUE(ch.ok());
+  uint64_t epoch = driver_.lookup_epoch();
+  // Plain transactions (neither registration nor namespace change) must not
+  // churn the epoch, or the cache would never hit.
+  Parcel req;
+  req.WriteString("x");
+  ASSERT_TRUE(client->Transact(*ch, EchoService::kEcho, req).ok());
+  ASSERT_TRUE(SmGetService(client, "echo").ok());
+  EXPECT_EQ(driver_.lookup_epoch(), epoch);
+  ASSERT_TRUE(SmAddService(server, "echo2", h).ok());
+  EXPECT_GT(driver_.lookup_epoch(), epoch);
+}
+
+TEST(ParcelFreelistTest, RecyclesEntryStorage) {
+  size_t during = 0;
+  {
+    Parcel p;  // May adopt a parked vector; measure after construction.
+    p.WriteInt32(7);
+    p.WriteString("pooled");
+    during = Parcel::FreelistSize();
+  }
+  // The destroyed parcel's entry vector parks on the thread-local freelist…
+  EXPECT_EQ(Parcel::FreelistSize(), during + 1);
+  // …and the next parcel adopts it (cleared) instead of allocating.
+  Parcel reuse;
+  EXPECT_EQ(Parcel::FreelistSize(), during);
+  EXPECT_EQ(reuse.entry_count(), 0u);
+  reuse.WriteInt32(1);
+  EXPECT_EQ(reuse.ReadInt32().value(), 1);
+}
+
+TEST(ParcelFreelistTest, MovedFromParcelDoesNotDoublePool) {
+  size_t during = 0;
+  {
+    Parcel a;
+    a.WriteString("payload");
+    Parcel b = std::move(a);
+    EXPECT_EQ(b.ReadString().value(), "payload");
+    during = Parcel::FreelistSize();
+  }
+  // Only b's storage had capacity to park; the move emptied a.
+  EXPECT_EQ(Parcel::FreelistSize(), during + 1);
 }
 
 }  // namespace

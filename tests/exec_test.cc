@@ -277,5 +277,48 @@ TEST(FleetWorldTest, WorldReportsFlightAndDownlinkCounters) {
   EXPECT_GT(report.histograms.at("downlink_latency_us").total_count(), 0u);
 }
 
+TEST(FleetWorldTest, TelemetryBatchingPreservesTheFlightDigest) {
+  // Batching repacks datagrams; it must never move the flight itself. The
+  // attitude-log digest is the invariant, while the datagram count should
+  // visibly drop.
+  FleetWorldConfig config;
+  config.tenants = 2;
+  config.dwell_s = 5;
+  config.annealing_iterations = 50;
+  WorldContext ctx;
+  ctx.index = 0;
+  ctx.seed = FleetExecutor::WorldSeed(77, 0);
+
+  config.batch_telemetry = false;
+  WorldResult unbatched = RunFleetWorld(config, ctx);
+  config.batch_telemetry = true;
+  WorldResult batched = RunFleetWorld(config, ctx);
+
+  ASSERT_TRUE(unbatched.completed);
+  ASSERT_TRUE(batched.completed);
+  EXPECT_NE(batched.flight_digest, 0u);
+  EXPECT_EQ(batched.flight_digest, unbatched.flight_digest);
+  // Same telemetry stream, fewer datagrams on the wire.
+  EXPECT_EQ(batched.counters.at("wire_frames"),
+            unbatched.counters.at("wire_frames"));
+  EXPECT_LT(batched.counters.at("downlink_flushes"),
+            unbatched.counters.at("downlink_flushes"));
+}
+
+TEST(FleetWorldTest, LegacySensorPathStillFliesTheWorld) {
+  FleetWorldConfig config;
+  config.tenants = 1;
+  config.dwell_s = 5;
+  config.annealing_iterations = 50;
+  config.sensor_bus = false;
+  config.batch_telemetry = false;
+  WorldContext ctx;
+  ctx.index = 0;
+  ctx.seed = FleetExecutor::WorldSeed(77, 0);
+  WorldResult legacy = RunFleetWorld(config, ctx);
+  EXPECT_TRUE(legacy.completed);
+  EXPECT_GT(legacy.events_run, 0u);
+}
+
 }  // namespace
 }  // namespace androne

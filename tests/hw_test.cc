@@ -8,6 +8,7 @@
 #include "src/hw/ground_truth.h"
 #include "src/hw/motors.h"
 #include "src/hw/power.h"
+#include "src/hw/sensor_bus.h"
 #include "src/hw/sensors.h"
 
 namespace androne {
@@ -224,6 +225,95 @@ TEST(BatteryTest, RealPackLastsRealisticHoverTime) {
   double minutes = battery.capacity_joules() / 170.0 / 60.0;
   EXPECT_GT(minutes, 15.0);
   EXPECT_LT(minutes, 25.0);
+}
+
+// ---- Sensor snapshot bus (DESIGN.md §10) ----
+
+TEST(SensorBusTest, VersionsAreEvenAndAdvancePerPublish) {
+  SensorBus bus;
+  EXPECT_EQ(bus.version(), 0u);  // Never published.
+  SensorSnapshot* slot = bus.BeginPublish();
+  slot->baro_altitude_m = 12.5;
+  // Mid-publish the sequence is odd: a concurrent reader would retry.
+  EXPECT_EQ(bus.version() % 2, 1u);
+  bus.EndPublish();
+  EXPECT_EQ(bus.version() % 2, 0u);
+  EXPECT_EQ(bus.publishes(), 1u);
+
+  SensorSnapshot copy;
+  uint64_t v1 = bus.Read(&copy);
+  EXPECT_EQ(v1, bus.version());
+  EXPECT_DOUBLE_EQ(copy.baro_altitude_m, 12.5);
+
+  bus.BeginPublish()->baro_altitude_m = 13.0;
+  bus.EndPublish();
+  uint64_t v2 = bus.Read(&copy);
+  EXPECT_GT(v2, v1);  // The version doubles as a freshness token.
+  EXPECT_DOUBLE_EQ(copy.baro_altitude_m, 13.0);
+  EXPECT_DOUBLE_EQ(bus.latest().baro_altitude_m, 13.0);
+}
+
+class SensorHubFixture : public HwFixture {
+ protected:
+  SensorHubFixture()
+      : gps_(&clock_, &truth_, 11),
+        imu_(&clock_, &truth_, 12),
+        baro_(&clock_, &truth_, 13),
+        mag_(&clock_, &truth_, 14) {
+    EXPECT_TRUE(gps_.Open(kDevCon).ok());
+    EXPECT_TRUE(imu_.Open(kDevCon).ok());
+    EXPECT_TRUE(baro_.Open(kDevCon).ok());
+    EXPECT_TRUE(mag_.Open(kDevCon).ok());
+  }
+
+  GpsReceiver gps_;
+  Imu imu_;
+  Barometer baro_;
+  Magnetometer mag_;
+};
+
+TEST_F(SensorHubFixture, SharedSnapshotCostsOneDrawPerInstant) {
+  SensorHub hub(&clock_, &gps_, &imu_, &baro_, &mag_, kDevCon);
+  const SensorSnapshot& first = hub.Sample();
+  uint64_t drawn = hub.samples_drawn();
+  EXPECT_EQ(drawn, 4u);  // All four sensors due on the first refresh.
+  EXPECT_EQ(first.publish_time, clock_.now());
+
+  // N more consumers at the same instant share the snapshot: zero draws.
+  for (int i = 0; i < 8; ++i) {
+    hub.Sample();
+  }
+  EXPECT_EQ(hub.samples_drawn(), drawn);
+  EXPECT_EQ(hub.bus().publishes(), 1u);
+}
+
+TEST_F(SensorHubFixture, RespectsPerSensorCadence) {
+  SensorHub hub(&clock_, &gps_, &imu_, &baro_, &mag_, kDevCon);
+  hub.Sample();  // t=0: imu + baro/mag + gps -> 4 draws.
+  ASSERT_EQ(hub.samples_drawn(), 4u);
+
+  clock_.RunFor(Millis(3));  // One 400 Hz tick later: IMU only.
+  hub.Sample();
+  EXPECT_EQ(hub.samples_drawn(), 5u);
+
+  clock_.RunFor(Millis(37));  // t=40ms: IMU + baro + mag due, GPS not.
+  hub.Sample();
+  EXPECT_EQ(hub.samples_drawn(), 8u);
+
+  clock_.RunFor(Millis(160));  // t=200ms: everything due again.
+  hub.Sample();
+  EXPECT_EQ(hub.samples_drawn(), 12u);
+  EXPECT_EQ(hub.bus().publishes(), 4u);
+}
+
+TEST_F(SensorHubFixture, SnapshotTracksTruthThroughTheBus) {
+  truth_.yaw_rad = 0.75;
+  SensorHub hub(&clock_, &gps_, &imu_, &baro_, &mag_, kDevCon);
+  const SensorSnapshot& snap = hub.Sample();
+  EXPECT_TRUE(snap.gps.has_fix);
+  EXPECT_LT(HaversineMeters(snap.gps.position, truth_.position), 30.0);
+  EXPECT_NEAR(snap.mag_heading_rad, 0.75, 0.2);
+  EXPECT_NEAR(snap.baro_altitude_m, truth_.position.altitude_m, 5.0);
 }
 
 }  // namespace

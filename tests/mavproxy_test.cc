@@ -307,5 +307,105 @@ TEST_F(VfcFixture, ProxyFanOutReachesPlannerAndVfcs) {
   EXPECT_FALSE(client_rx_.empty());
 }
 
+// ------------------------------------------- Telemetry batching (§10).
+
+class BatchFixture : public ::testing::Test {
+ protected:
+  BatchFixture() : proxy_(&clock_) {
+    proxy_.SetPlannerWireSink([this](const std::vector<uint8_t>& bytes) {
+      ++datagrams_;
+      bytes_ += bytes.size();
+      parser_.Feed(bytes);
+      for (const MavlinkFrame& f : parser_.TakeFrames()) {
+        (void)f;
+        ++parsed_frames_;
+      }
+    });
+  }
+
+  MavlinkFrame TelemetryFrame() {
+    Heartbeat hb;
+    MavlinkFrame f = PackMessage(MavMessage{hb});
+    f.seq = seq_++;
+    return f;
+  }
+
+  SimClock clock_;
+  MavProxy proxy_;
+  MavlinkParser parser_;
+  uint8_t seq_ = 0;
+  uint64_t datagrams_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t parsed_frames_ = 0;
+};
+
+TEST_F(BatchFixture, UnbatchedWireEmitsOneDatagramPerFrame) {
+  for (int i = 0; i < 5; ++i) {
+    proxy_.HandleMasterFrame(TelemetryFrame());
+  }
+  EXPECT_EQ(datagrams_, 5u);
+  EXPECT_EQ(parsed_frames_, 5u);
+  EXPECT_EQ(proxy_.wire_frames(), 5u);
+  EXPECT_EQ(proxy_.wire_flushes(), 5u);
+}
+
+TEST_F(BatchFixture, BatchingCoalescesFramesUntilWatermark) {
+  std::vector<uint8_t> one;
+  EncodeFrameInto(TelemetryFrame(), &one);
+  TelemetryBatchConfig config;
+  config.flush_bytes = 3 * one.size();  // Watermark reached on frame 3.
+  config.flush_after = Seconds(10);     // Deadline never fires here.
+  proxy_.EnableTelemetryBatching(config);
+
+  proxy_.HandleMasterFrame(TelemetryFrame());
+  proxy_.HandleMasterFrame(TelemetryFrame());
+  EXPECT_EQ(datagrams_, 0u);  // Below watermark: nothing on the wire yet.
+  proxy_.HandleMasterFrame(TelemetryFrame());
+  EXPECT_EQ(datagrams_, 1u);  // One datagram carries all three frames…
+  EXPECT_EQ(parsed_frames_, 3u);  // …and self-framing parses each of them.
+  EXPECT_EQ(bytes_, 3 * one.size());
+  EXPECT_EQ(proxy_.wire_frames(), 3u);
+  EXPECT_EQ(proxy_.wire_flushes(), 1u);
+}
+
+TEST_F(BatchFixture, BatchFlushesOnDeadline) {
+  TelemetryBatchConfig config;
+  config.flush_bytes = 1 << 20;  // Watermark unreachable.
+  config.flush_after = Millis(25);
+  proxy_.EnableTelemetryBatching(config);
+
+  proxy_.HandleMasterFrame(TelemetryFrame());
+  proxy_.HandleMasterFrame(TelemetryFrame());
+  EXPECT_EQ(datagrams_, 0u);
+  clock_.RunFor(Millis(25));  // Deadline measured from the first frame.
+  EXPECT_EQ(datagrams_, 1u);
+  EXPECT_EQ(parsed_frames_, 2u);
+
+  // The deadline re-arms per batch, not per frame.
+  proxy_.HandleMasterFrame(TelemetryFrame());
+  clock_.RunFor(Millis(25));
+  EXPECT_EQ(datagrams_, 2u);
+  EXPECT_EQ(parsed_frames_, 3u);
+}
+
+TEST_F(BatchFixture, ExplicitFlushDrainsAndCancelsDeadline) {
+  TelemetryBatchConfig config;
+  config.flush_bytes = 1 << 20;
+  config.flush_after = Millis(25);
+  proxy_.EnableTelemetryBatching(config);
+
+  proxy_.HandleMasterFrame(TelemetryFrame());
+  proxy_.FlushTelemetryBatch();
+  EXPECT_EQ(datagrams_, 1u);
+  // The cancelled deadline must not fire a second, empty flush.
+  clock_.RunFor(Millis(100));
+  EXPECT_EQ(datagrams_, 1u);
+  EXPECT_EQ(proxy_.wire_flushes(), 1u);
+
+  // Flushing an empty batch is a no-op, not an empty datagram.
+  proxy_.FlushTelemetryBatch();
+  EXPECT_EQ(datagrams_, 1u);
+}
+
 }  // namespace
 }  // namespace androne
