@@ -5,12 +5,28 @@
 namespace androne {
 
 const char* JsonPathArg(int argc, char** argv) {
+  return FlagArg(argc, argv, "--json");
+}
+
+const char* FlagArg(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+    if (std::strcmp(argv[i], flag) == 0) {
       return argv[i + 1];
     }
   }
   return nullptr;
+}
+
+bool WriteTextFile(const char* path, const std::string& text) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return true;
 }
 
 std::string HexDigest(uint64_t digest) {

@@ -26,6 +26,14 @@ inline void BenchNote(const std::string& text) {
 // Parses the conventional `--json <path>` bench flag; nullptr when absent.
 const char* JsonPathArg(int argc, char** argv);
 
+// Generic `<flag> <value>` lookup (e.g. FlagArg(argc, argv, "--trace"));
+// nullptr when the flag is absent or has no following value.
+const char* FlagArg(int argc, char** argv, const char* flag);
+
+// Writes |text| verbatim to |path|, printing "wrote <path>" on success;
+// logs to stderr and returns false on failure.
+bool WriteTextFile(const char* path, const std::string& text);
+
 // Fixed-width lowercase hex of a 64-bit digest, for JSON digest fields.
 std::string HexDigest(uint64_t digest);
 

@@ -26,6 +26,7 @@
 #include "bench/bench_util.h"
 #include "src/exec/fleet_executor.h"
 #include "src/exec/fleet_world.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace androne {
@@ -108,6 +109,31 @@ Point RunPoint(const Mode& mode, int tenants) {
   p.flight_digest = result.flight_digest;
   p.completed = result.completed;
   return p;
+}
+
+// `--trace <path>`: re-flies the canonical 2-tenant production world with
+// every category enabled and writes a Chrome trace_event JSON loadable in
+// chrome://tracing or Perfetto (plus a metric snapshot to `--metrics`).
+// Runs separately from the timed cells so tracing never skews them.
+void ExportTraceAndMetrics(const char* trace_path, const char* metrics_path) {
+  FleetWorldConfig config;
+  config.tenants = 2;
+  config.dwell_s = 30;
+  config.annealing_iterations = 100;
+  TraceRecorder trace(kTraceAll, /*capacity=*/1 << 16);
+  config.trace = &trace;
+
+  WorldContext ctx;
+  ctx.index = 0;
+  ctx.seed = FleetExecutor::WorldSeed(kBaseSeed, 0);
+  WorldResult result = RunFleetWorld(config, ctx);
+
+  if (trace_path != nullptr) {
+    WriteTextFile(trace_path, trace.ExportChromeJson());
+  }
+  if (metrics_path != nullptr) {
+    WriteTextFile(metrics_path, result.metrics.ToText());
+  }
 }
 
 void Run(const char* json_path) {
@@ -207,5 +233,10 @@ void Run(const char* json_path) {
 
 int main(int argc, char** argv) {
   androne::Run(androne::JsonPathArg(argc, argv));
+  const char* trace_path = androne::FlagArg(argc, argv, "--trace");
+  const char* metrics_path = androne::FlagArg(argc, argv, "--metrics");
+  if (trace_path != nullptr || metrics_path != nullptr) {
+    androne::ExportTraceAndMetrics(trace_path, metrics_path);
+  }
   return 0;
 }

@@ -62,6 +62,18 @@ Point RunPoint(int threads) {
   return p;
 }
 
+// `--metrics <path>`: runs the bench fleet once more on one thread with
+// metrics enabled (they always are) and writes the merged fleet snapshot's
+// deterministic text form — CI records it next to the bench JSONs.
+void ExportMetrics(const char* metrics_path) {
+  FleetOptions options;
+  options.threads = 1;
+  options.base_seed = kBaseSeed;
+  FleetExecutor executor(options);
+  FleetReport report = executor.Run(kWorlds, MakeFleetWorld(BenchConfig()));
+  WriteTextFile(metrics_path, report.metrics.ToText());
+}
+
 void Run(const char* json_path) {
   // The per-world container/flight logs would swamp the table (and their
   // interleaving varies run to run); digests already prove the worlds flew.
@@ -130,5 +142,9 @@ void Run(const char* json_path) {
 
 int main(int argc, char** argv) {
   androne::Run(androne::JsonPathArg(argc, argv));
+  const char* metrics_path = androne::FlagArg(argc, argv, "--metrics");
+  if (metrics_path != nullptr) {
+    androne::ExportMetrics(metrics_path);
+  }
   return 0;
 }

@@ -2,8 +2,11 @@
 # Tier-1 CI: build + test twice (plain, then sanitizers), then refresh the
 # robustness benchmark record.
 #
-#   scripts/ci.sh            # full run
-#   SKIP_ASAN=1 scripts/ci.sh  # plain tests + benches only
+#   scripts/ci.sh                       # full run
+#   SKIP_ASAN=1 scripts/ci.sh          # plain tests + benches only
+#   scripts/ci.sh --repeat-determinism # also re-run the determinism
+#                                      # harness N times (default 5;
+#                                      # ANDRONE_DETERMINISM_REPEATS=N)
 #
 # Produces BENCH_fault_sweep.json at the repo root: the link fault sweep
 # (bench/fault_sweep) and the sensor fault sweep (bench/sensor_fault_sweep)
@@ -19,10 +22,30 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+REPEAT_DETERMINISM=0
+for arg in "$@"; do
+  case "$arg" in
+    --repeat-determinism) REPEAT_DETERMINISM=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
 echo "=== tier-1: plain build ==="
 cmake -S . -B build -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure)
+
+if [[ "$REPEAT_DETERMINISM" == "1" ]]; then
+  # Nondeterminism is flaky by nature: one green run proves little. Re-run
+  # the trace/metrics determinism harness in fresh processes so ASLR and
+  # allocator state vary between runs.
+  REPEATS="${ANDRONE_DETERMINISM_REPEATS:-5}"
+  echo "=== determinism harness: $REPEATS repeated runs ==="
+  for i in $(seq 1 "$REPEATS"); do
+    ./build/tests/determinism_test --gtest_brief=1
+    ./build/tests/trace_golden_test --gtest_brief=1
+  done
+fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "=== tier-1: sanitizer build (address,undefined) ==="
@@ -32,13 +55,17 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   (cd build-asan && ctest --output-on-failure)
 
   # The fleet executor is the one genuinely multi-threaded subsystem; its
-  # tests also run under TSan (a separate build dir — TSan is incompatible
-  # with ASan in one binary).
-  echo "=== exec tests: sanitizer build (thread) ==="
+  # tests — and the trace/metrics determinism harness, which runs traced
+  # worlds on 1/2/8 executor threads — also run under TSan (a separate
+  # build dir — TSan is incompatible with ASan in one binary).
+  echo "=== exec + determinism tests: sanitizer build (thread) ==="
   cmake -S . -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DANDRONE_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target exec_test
+  cmake --build build-tsan -j "$JOBS" --target exec_test determinism_test \
+        trace_golden_test
   ./build-tsan/tests/exec_test
+  ./build-tsan/tests/determinism_test
+  ./build-tsan/tests/trace_golden_test
 fi
 
 echo "=== benches: fault sweeps ==="
@@ -56,10 +83,15 @@ rm -f BENCH_link.json.tmp BENCH_sensor.json.tmp
 echo "wrote BENCH_fault_sweep.json"
 
 echo "=== bench: fleet scale ==="
-./build/bench/fleet_scale --json BENCH_fleet_scale.json
+./build/bench/fleet_scale --json BENCH_fleet_scale.json \
+    --metrics BENCH_fleet_metrics.txt
+echo "wrote BENCH_fleet_metrics.txt (merged fleet metric snapshot)"
 
 echo "=== bench: datapath throughput ==="
-./build/bench/datapath_throughput --json BENCH_datapath.json
+./build/bench/datapath_throughput --json BENCH_datapath.json \
+    --trace BENCH_datapath_trace.json --metrics BENCH_datapath_metrics.txt
+echo "wrote BENCH_datapath_trace.json (chrome://tracing) and" \
+     "BENCH_datapath_metrics.txt"
 if ! grep -q '"flight_digest_match": true' BENCH_datapath.json; then
   echo "FAIL: telemetry batching changed the flight digest" >&2
   exit 1

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/trace.h"
+
 namespace androne {
 
 namespace {
@@ -134,6 +136,13 @@ void BinderDriver::DestroyContainer(ContainerId container) {
   context_managers_.erase(container);
 }
 
+void BinderDriver::SetTrace(TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    txn_name_ = trace_->InternName("binder.txn");
+  }
+}
+
 bool BinderDriver::HasContextManager(ContainerId container) const {
   return context_managers_.count(container) > 0;
 }
@@ -221,7 +230,8 @@ StatusOr<Parcel> BinderDriver::Transact(BinderProc& caller,
   // swizzling, so it is delivered in place instead of deep-copied.
   const Parcel* delivered = &data;
   Parcel translated;
-  if (data.binder_entry_count() > 0) {
+  const bool fast_path = data.binder_entry_count() == 0;
+  if (!fast_path) {
     ASSIGN_OR_RETURN(translated, TranslateParcel(caller, target, data));
     delivered = &translated;
   }
@@ -237,12 +247,26 @@ StatusOr<Parcel> BinderDriver::Transact(BinderProc& caller,
   }
 
   ++transaction_count_;
+  if (fast_path) {
+    ++fast_path_transactions_;
+  }
+  // Span around the dispatch: nested transactions nest their spans. The
+  // begin event carries the fast-path flag, the end event the code.
+  const bool tracing = trace_ != nullptr && trace_->enabled(kTraceBinder);
+  if (tracing) {
+    trace_->Begin(kTraceBinder, txn_name_, caller.container(),
+                  fast_path ? 1 : 0);
+  }
   ++transact_depth_;
   Parcel reply;
   // Keep the object alive across the call even if the owner dies inside it.
   std::shared_ptr<BinderObject> object = node->object;
   Status status = object->OnTransact(code, *delivered, &reply, ctx);
   --transact_depth_;
+  if (tracing) {
+    trace_->End(kTraceBinder, txn_name_, caller.container(),
+                static_cast<int64_t>(code));
+  }
   if (!status.ok()) {
     return status;
   }

@@ -53,6 +53,7 @@ using Uid = int32_t;
 
 class BinderDriver;
 class BinderProc;
+class TraceRecorder;
 
 // Identity of the caller, attached by the driver to every transaction.
 struct BinderCallContext {
@@ -178,6 +179,19 @@ class BinderDriver {
   // Total transactions dispatched (drives the runtime-overhead accounting).
   uint64_t transaction_count() const { return transaction_count_; }
 
+  // Fast-path split of transaction_count(): parcels delivered in place
+  // (no binder references, no handle swizzling) vs deep-copied/translated.
+  uint64_t fast_path_transactions() const { return fast_path_transactions_; }
+  uint64_t translated_transactions() const {
+    return transaction_count_ - fast_path_transactions_;
+  }
+
+  // Attaches the binder trace category: every dispatched transaction
+  // records a begin/end span stamped with the calling container and
+  // whether the parcel took the fast (untranslated) path. Nested
+  // transactions nest their spans. Pass nullptr to detach.
+  void SetTrace(TraceRecorder* trace);
+
   // Bumped whenever a name lookup could resolve differently than before:
   // a registration reaching any context manager (including re-registration
   // under an existing name), a namespace gaining a context manager, or a
@@ -238,8 +252,11 @@ class BinderDriver {
   std::vector<PublishedService> global_services_;
   ContainerId device_container_ = -1;
   uint64_t transaction_count_ = 0;
+  uint64_t fast_path_transactions_ = 0;
   uint64_t lookup_epoch_ = 0;
   int transact_depth_ = 0;
+  TraceRecorder* trace_ = nullptr;
+  uint32_t txn_name_ = 0;
 };
 
 }  // namespace androne

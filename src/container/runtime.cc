@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace androne {
@@ -24,7 +25,26 @@ StatusOr<Container*> ContainerRuntime::CreateContainer(const std::string& name,
       new Container(id, name, kind, image, images_));
   Container* raw = container.get();
   containers_[id] = std::move(container);
+  TraceLifecycle(create_name_, id);
   return raw;
+}
+
+void ContainerRuntime::SetTrace(TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    create_name_ = trace_->InternName("container.create");
+    start_name_ = trace_->InternName("container.start");
+    stop_name_ = trace_->InternName("container.stop");
+    crash_name_ = trace_->InternName("container.crash");
+    commit_name_ = trace_->InternName("container.commit");
+    remove_name_ = trace_->InternName("container.remove");
+  }
+}
+
+void ContainerRuntime::TraceLifecycle(uint32_t name, ContainerId id) {
+  if (trace_ != nullptr && trace_->enabled(kTraceContainer)) {
+    trace_->Instant(kTraceContainer, name, id);
+  }
 }
 
 Status ContainerRuntime::StartContainer(ContainerId id) {
@@ -51,6 +71,7 @@ Status ContainerRuntime::StartContainer(ContainerId id) {
   ALOG(kInfo, "runtime") << "started container '" << container->name()
                          << "' (" << ContainerKindName(container->kind())
                          << ", " << container->MemoryUsageMb() << " MB)";
+  TraceLifecycle(start_name_, id);
   return OkStatus();
 }
 
@@ -66,6 +87,7 @@ Status ContainerRuntime::StopContainer(ContainerId id) {
   driver_->DestroyContainer(id);
   container->state_ = ContainerState::kStopped;
   ALOG(kInfo, "runtime") << "stopped container '" << container->name() << "'";
+  TraceLifecycle(stop_name_, id);
   return OkStatus();
 }
 
@@ -84,6 +106,7 @@ Status ContainerRuntime::CrashContainer(ContainerId id) {
   ALOG(kWarning, "runtime") << "container '" << container->name()
                             << "' crashed (crash #"
                             << container->crash_count_ << ")";
+  TraceLifecycle(crash_name_, id);
   if (crash_listener_) {
     crash_listener_(id);
   }
@@ -129,6 +152,7 @@ Status ContainerRuntime::KillProcess(Pid pid) {
 StatusOr<ImageId> ContainerRuntime::Commit(ContainerId id,
                                            const std::string& new_name) {
   ASSIGN_OR_RETURN(Container * container, Find(id));
+  TraceLifecycle(commit_name_, id);
   return images_->CommitDiff(container->image(), container->writable_layer_,
                              new_name);
 }
@@ -139,6 +163,7 @@ Status ContainerRuntime::RemoveContainer(ContainerId id) {
     return FailedPreconditionError("stop the container before removing it");
   }
   containers_.erase(id);
+  TraceLifecycle(remove_name_, id);
   return OkStatus();
 }
 

@@ -19,6 +19,8 @@
 
 namespace androne {
 
+class TraceRecorder;
+
 class ContainerRuntime {
  public:
   // |driver| outlives the runtime. |memory_budget_mb| is usable RAM.
@@ -76,8 +78,15 @@ class ContainerRuntime {
   BinderDriver* binder() { return driver_; }
   ImageStore* images() { return images_; }
 
+  // Attaches the container trace category: lifecycle transitions record
+  // instant events ("container.create/start/stop/crash/commit/remove",
+  // container = the affected id). Pass nullptr to detach.
+  void SetTrace(TraceRecorder* trace);
+
  private:
   Pid AllocatePid() { return next_pid_++; }
+
+  void TraceLifecycle(uint32_t name, ContainerId id);
 
   BinderDriver* driver_;
   ImageStore* images_;
@@ -87,6 +96,13 @@ class ContainerRuntime {
   std::map<Pid, ContainerId> process_owner_;
   ContainerId next_container_id_ = 1;
   Pid next_pid_ = 100;
+  TraceRecorder* trace_ = nullptr;
+  uint32_t create_name_ = 0;
+  uint32_t start_name_ = 0;
+  uint32_t stop_name_ = 0;
+  uint32_t crash_name_ = 0;
+  uint32_t commit_name_ = 0;
+  uint32_t remove_name_ = 0;
 };
 
 }  // namespace androne

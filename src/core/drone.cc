@@ -49,6 +49,12 @@ Status AnDroneSystem::Boot() {
       &binder_, &images_,
       options_.memory_budget_mb > 0 ? options_.memory_budget_mb
                                     : kUsableMemoryMb);
+  // Attach tracing before the first container/transaction so boot-time
+  // lifecycle events are captured too.
+  if (options_.trace != nullptr) {
+    binder_.SetTrace(options_.trace);
+    runtime_->SetTrace(options_.trace);
+  }
   LayerId base_layer = images_.AddLayer(LayerFiles{
       {"/system/build.prop", {"androne-things-1.0.3", false}},
       {"/system/framework/framework.jar", {std::string(4096, 'f'), false}},
@@ -119,6 +125,10 @@ Status AnDroneSystem::Boot() {
 
   // --- MAVProxy ---
   proxy_ = std::make_unique<MavProxy>(clock_);
+  if (options_.trace != nullptr) {
+    proxy_->SetTrace(options_.trace);
+    flight_controller_->safety().SetTrace(options_.trace);
+  }
   proxy_->SetMasterSink([this](const MavlinkFrame& frame) {
     flight_controller_->HandleFrame(frame);
   });

@@ -25,6 +25,8 @@
 
 namespace androne {
 
+class TraceRecorder;
+
 struct AnDroneOptions {
   GeoPoint base;                 // Launch/return position.
   uint64_t seed = 1;
@@ -44,6 +46,11 @@ struct AnDroneOptions {
   // (on which the paper's 4th virtual drone fails to start — Figure 12).
   // Benches that sweep tenant counts past 3 model a larger cloud host.
   double memory_budget_mb = 0;
+  // Optional structured-trace recorder (owned by the caller, must outlive
+  // the system). Boot() attaches it to the binder driver, container
+  // runtime, MAVProxy, and the safety supervisor; nullptr disables
+  // instrumentation at a single-branch cost per site.
+  TraceRecorder* trace = nullptr;
 };
 
 struct FlightExecutionReport {

@@ -73,6 +73,7 @@ FleetReport FleetExecutor::Run(int num_worlds, const WorldFn& fn) {
     for (const auto& [name, hist] : world.histograms) {
       report.histograms[name].Merge(hist);
     }
+    report.metrics.Merge(world.metrics);
     digest = Fnv1a64Value(world.index, digest);
     digest = Fnv1a64Value(world.digest, digest);
   }

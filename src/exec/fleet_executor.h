@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/util/histogram.h"
 
 namespace androne {
@@ -57,6 +58,12 @@ struct WorldResult {
   uint64_t flight_digest = 0;
   std::map<std::string, double> counters;
   std::map<std::string, Histogram> histograms;
+  // Structured per-world metrics (DESIGN.md §11); empty unless the world
+  // filled a MetricsRegistry. Merged fleet-wide in index order.
+  MetricsSnapshot metrics;
+  // Deterministic text export of the world's trace ring; empty when the
+  // world ran with tracing off.
+  std::string trace_text;
 };
 
 using WorldFn = std::function<WorldResult(const WorldContext&)>;
@@ -70,6 +77,9 @@ struct FleetReport {
   uint64_t events_run = 0;
   std::map<std::string, double> counters;
   std::map<std::string, Histogram> histograms;
+  // Per-world metric snapshots folded in world-index order (counters sum,
+  // gauges last-world-wins, histograms merge).
+  MetricsSnapshot metrics;
   // FNV chain over (index, digest) of completed worlds in index order:
   // equal fleet configs must produce equal fleet digests at any thread
   // count.

@@ -11,6 +11,8 @@
 #include "src/flight/flight_log.h"
 #include "src/net/channel.h"
 #include "src/net/link_model.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/bytes.h"
 
 namespace androne {
@@ -42,11 +44,29 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   result.seed = ctx.seed;
 
   SimClock clock;
+
+  // Tracing is strictly per world: the recorder lives on this stack frame
+  // (or is caller-owned for single-world bench runs), shares nothing with
+  // sibling worlds, and its export rides back on the WorldResult — so
+  // traced fleets stay thread-count invariant.
+  std::unique_ptr<TraceRecorder> owned_trace;
+  TraceRecorder* trace = config.trace;
+  if (trace == nullptr && config.trace_categories != 0) {
+    owned_trace = std::make_unique<TraceRecorder>(config.trace_categories,
+                                                  config.trace_capacity);
+    trace = owned_trace.get();
+  }
+  if (trace != nullptr) {
+    trace->BindClock(&clock);
+    AttachClockTrace(&clock, trace);
+  }
+
   AnDroneOptions options;
   options.base = kFleetBase;
   options.seed = ctx.seed;
   options.use_sensor_bus = config.sensor_bus;
   options.memory_budget_mb = config.memory_budget_mb;
+  options.trace = trace;
   AnDroneSystem system(&clock, options);
   if (!system.Boot().ok()) {
     return result;
@@ -92,6 +112,11 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   NetworkChannel downlink(&clock, &lte, SplitMix64(ctx.seed + 0x11e7));
   VpnTunnel tunnel_tx(&downlink, 42);
   VpnTunnel tunnel_rx(&downlink, 42);
+  if (trace != nullptr) {
+    downlink.SetTrace(trace);
+    tunnel_tx.SetTrace(trace);
+    tunnel_rx.SetTrace(trace);
+  }
   uint64_t frames_down = 0;
   uint64_t bytes_down = 0;
   tunnel_rx.SetReceiver([&](const std::vector<uint8_t>& bytes) {
@@ -148,6 +173,43 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   result.counters["wire_frames"] =
       static_cast<double>(system.proxy().wire_frames());
   result.histograms["downlink_latency_us"] = downlink.latency_us();
+
+  // Structured metrics snapshot (DESIGN.md §11): scraped once at the world
+  // boundary, merged fleet-wide in index order by FleetExecutor.
+  {
+    BinderDriver* binder = system.runtime().binder();
+    MetricsRegistry metrics;
+    metrics.Add("world.events_run", static_cast<double>(clock.events_run()));
+    metrics.Add("binder.txns",
+                static_cast<double>(binder->transaction_count()));
+    metrics.Add("binder.txns_fast_path",
+                static_cast<double>(binder->fast_path_transactions()));
+    metrics.Add("binder.txns_translated",
+                static_cast<double>(binder->translated_transactions()));
+    metrics.Add("mav.wire_frames",
+                static_cast<double>(system.proxy().wire_frames()));
+    metrics.Add("mav.wire_flushes",
+                static_cast<double>(system.proxy().wire_flushes()));
+    metrics.Add("net.downlink_frames", static_cast<double>(frames_down));
+    metrics.Add("net.downlink_bytes", static_cast<double>(bytes_down));
+    metrics.Add("net.downlink_lost", static_cast<double>(downlink.lost()));
+    metrics.Add("rt.fast_loops",
+                static_cast<double>(system.flight().fast_loop_count()));
+    metrics.Add("rt.deadline_misses",
+                static_cast<double>(system.flight().missed_deadlines()));
+    metrics.Set("container.memory_mb", system.runtime().MemoryUsageMb());
+    metrics.Hist("downlink_latency_us").Merge(downlink.latency_us());
+    if (trace != nullptr) {
+      metrics.Add("trace.recorded", static_cast<double>(trace->recorded()));
+      metrics.Add("trace.dropped", static_cast<double>(trace->dropped()));
+    }
+    result.metrics = metrics.Snapshot();
+  }
+  // A caller-owned recorder is exported by the caller; only a world-owned
+  // recorder's export rides back on the result.
+  if (owned_trace != nullptr) {
+    result.trace_text = owned_trace->ExportText();
+  }
 
   // The determinism digest covers the physical flight (every logged attitude
   // sample) and the downlink latency distribution: if either diverges across

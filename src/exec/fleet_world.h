@@ -12,6 +12,8 @@
 
 namespace androne {
 
+class TraceRecorder;
+
 struct FleetWorldConfig {
   // Direct-access tenants deployed per world, each with one waypoint placed
   // pseudo-randomly (from the world seed) around the base.
@@ -28,6 +30,17 @@ struct FleetWorldConfig {
   // 0 = board default (admits 3 virtual drones, per paper Figure 12);
   // tenant sweeps past 3 raise it to model a larger cloud host.
   double memory_budget_mb = 0;
+  // Structured tracing (DESIGN.md §11): OR of kTrace* category bits; 0
+  // runs the world untraced (the production default — every site then
+  // costs one branch). When nonzero the world owns a private
+  // TraceRecorder and returns its text export in WorldResult::trace_text.
+  uint32_t trace_categories = 0;
+  size_t trace_capacity = 1 << 14;  // Ring slots per traced world.
+  // Caller-owned recorder for single-world runs (benches exporting Chrome
+  // JSON). When set it overrides trace_categories/trace_capacity, the world
+  // binds it to its clock, and the caller does its own exports. Never share
+  // one recorder across concurrent worlds — recorders are not thread-safe.
+  TraceRecorder* trace = nullptr;
 };
 
 // Runs one world to completion (or early abort on fleet cancellation) and

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.h"
+
 namespace androne {
 
 const char* SafetyStageName(SafetyStage stage) {
@@ -47,6 +49,16 @@ void SafetySupervisor::Configure(const SafetyEnvelope& envelope) {
   envelope_ = envelope;
   deadline_monitor_ = DeadlineMonitor(envelope.deadline_miss_window,
                                       envelope.deadline_miss_threshold);
+  // Configure rebuilds the monitor; re-propagate the trace attachment.
+  deadline_monitor_.SetTrace(trace_);
+}
+
+void SafetySupervisor::SetTrace(TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    stage_name_ = trace_->InternName("safety.stage");
+  }
+  deadline_monitor_.SetTrace(trace);
 }
 
 void SafetySupervisor::RecordDeadline(bool missed) {
@@ -87,6 +99,10 @@ uint32_t SafetySupervisor::EvaluateEnvelope(const SafetyInputs& in) const {
 void SafetySupervisor::EnterStage(SafetyStage stage) {
   stage_ = stage;
   stage_entered_ = clock_->now();
+  if (trace_ != nullptr && trace_->enabled(kTraceFlight)) {
+    trace_->Instant(kTraceFlight, stage_name_, -1,
+                    static_cast<int64_t>(stage));
+  }
   if (!episodes_.empty() && episodes_.back().released < 0 &&
       static_cast<int>(stage) >
           static_cast<int>(episodes_.back().deepest)) {

@@ -130,6 +130,12 @@ class SafetySupervisor {
     stage_callback_ = std::move(callback);
   }
 
+  // Attaches the flight trace category: every stage transition records an
+  // instant event ("safety.stage", arg = the stage entered), and the inner
+  // deadline monitor records its rt-category miss/storm events. Survives
+  // Configure(). Pass nullptr to detach.
+  void SetTrace(TraceRecorder* trace);
+
   // Replaces the envelope (tests tighten it mid-run). Resets the deadline
   // monitor; the stage machine keeps its state.
   void Configure(const SafetyEnvelope& envelope);
@@ -172,6 +178,8 @@ class SafetySupervisor {
   SimTime first_hard_ = -1;  // Hard-violation onset while in level-hold.
   SimTime stage_entered_ = 0;
   std::vector<SafetyEpisode> episodes_;
+  TraceRecorder* trace_ = nullptr;
+  uint32_t stage_name_ = 0;
 };
 
 }  // namespace androne

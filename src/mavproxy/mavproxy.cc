@@ -1,5 +1,7 @@
 #include "src/mavproxy/mavproxy.h"
 
+#include "src/obs/trace.h"
+
 namespace androne {
 
 MavProxy::~MavProxy() {
@@ -16,9 +18,14 @@ void MavProxy::HandleMasterFrame(const MavlinkFrame& frame) {
   }
   if (to_planner_wire_) {
     ++wire_frames_;
+    const bool tracing = trace_ != nullptr && trace_->enabled(kTraceMavlink);
     if (batching_enabled_) {
       const bool was_empty = batch_scratch_.empty();
       EncodeFrameInto(frame, &batch_scratch_);
+      if (tracing) {
+        trace_->Instant(kTraceMavlink, encode_name_, -1,
+                        static_cast<int64_t>(batch_scratch_.size()));
+      }
       if (batch_scratch_.size() >= batch_config_.flush_bytes) {
         FlushTelemetryBatch();
       } else if (was_empty) {
@@ -33,6 +40,12 @@ void MavProxy::HandleMasterFrame(const MavlinkFrame& frame) {
       planner_wire_scratch_.clear();
       EncodeFrameInto(frame, &planner_wire_scratch_);
       ++wire_flushes_;
+      if (tracing) {
+        trace_->Instant(kTraceMavlink, encode_name_, -1,
+                        static_cast<int64_t>(planner_wire_scratch_.size()));
+        trace_->Instant(kTraceMavlink, flush_name_, -1,
+                        static_cast<int64_t>(planner_wire_scratch_.size()));
+      }
       to_planner_wire_(planner_wire_scratch_);
     }
   }
@@ -58,10 +71,22 @@ void MavProxy::FlushTelemetryBatch() {
     return;
   }
   ++wire_flushes_;
+  if (trace_ != nullptr && trace_->enabled(kTraceMavlink)) {
+    trace_->Instant(kTraceMavlink, flush_name_, -1,
+                    static_cast<int64_t>(batch_scratch_.size()));
+  }
   if (to_planner_wire_) {
     to_planner_wire_(batch_scratch_);
   }
   batch_scratch_.clear();
+}
+
+void MavProxy::SetTrace(TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    encode_name_ = trace_->InternName("mav.encode");
+    flush_name_ = trace_->InternName("mav.flush");
+  }
 }
 
 void MavProxy::HandlePlannerFrame(const MavlinkFrame& frame) {

@@ -13,6 +13,8 @@
 
 namespace androne {
 
+class TraceRecorder;
+
 // Telemetry batching for the planner wire downlink (paper §6.5 ground
 // path): instead of one VPN datagram per telemetry frame, encoded frames
 // accumulate in a batch buffer flushed when it reaches |flush_bytes| or
@@ -86,6 +88,12 @@ class MavProxy {
   // Call at end of flight to drain residual frames.
   void FlushTelemetryBatch();
 
+  // Attaches the mavlink trace category: every planner-wire frame encode
+  // records an instant ("mav.encode", arg = encoded bytes so far in the
+  // batch) and every emitted datagram records an instant ("mav.flush",
+  // arg = datagram bytes). Pass nullptr to detach.
+  void SetTrace(TraceRecorder* trace);
+
   uint64_t master_frames() const { return master_frames_; }
   // Telemetry frames encoded onto the planner wire, and datagrams actually
   // emitted (equal when batching is off).
@@ -115,6 +123,10 @@ class MavProxy {
   bool batch_deadline_armed_ = false;
   uint64_t wire_frames_ = 0;
   uint64_t wire_flushes_ = 0;
+
+  TraceRecorder* trace_ = nullptr;
+  uint32_t encode_name_ = 0;
+  uint32_t flush_name_ = 0;
 };
 
 }  // namespace androne

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/trace.h"
+
 namespace androne {
 
 namespace {
@@ -22,6 +24,9 @@ void NetworkChannel::SendShared(SharedPayload payload) {
   ++sent_;
   if (link_->SampleLoss(rng_)) {
     ++lost_;
+    if (trace_ != nullptr && trace_->enabled(kTraceNet)) {
+      trace_->Instant(kTraceNet, lost_name_);
+    }
     return;
   }
   SimDuration latency = link_->SampleLatency(rng_);
@@ -31,12 +36,27 @@ void NetworkChannel::SendShared(SharedPayload payload) {
       // No receiver (never set or torn down): count the datagram as dropped
       // rather than invoking an empty std::function.
       ++dropped_no_receiver_;
+      if (trace_ != nullptr && trace_->enabled(kTraceNet)) {
+        trace_->Instant(kTraceNet, drop_name_);
+      }
       return;
     }
     ++delivered_;
     latency_us_.Record(ToMicros(latency));
+    if (trace_ != nullptr && trace_->enabled(kTraceNet)) {
+      trace_->Instant(kTraceNet, delivered_name_, -1, ToMicros(latency));
+    }
     receiver_(*payload);
   });
+}
+
+void NetworkChannel::SetTrace(TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    delivered_name_ = trace_->InternName("net.delivered");
+    lost_name_ = trace_->InternName("net.lost");
+    drop_name_ = trace_->InternName("net.drop_no_receiver");
+  }
 }
 
 void NetworkChannel::SendCopy(const uint8_t* data, size_t size) {
@@ -72,6 +92,9 @@ void VpnTunnel::SetReceiver(Receiver receiver) {
   underlying_->SetReceiver([this](const std::vector<uint8_t>& datagram) {
     if (datagram.size() < 4) {
       ++rejected_;
+      if (trace_ != nullptr && trace_->enabled(kTraceNet)) {
+        trace_->Instant(kTraceNet, reject_name_);
+      }
       return;
     }
     uint32_t id = static_cast<uint32_t>(datagram[0]) |
@@ -80,12 +103,19 @@ void VpnTunnel::SetReceiver(Receiver receiver) {
                   (static_cast<uint32_t>(datagram[3]) << 24);
     if (id != tunnel_id_) {
       ++rejected_;  // Authenticated-decapsulation failure.
+      if (trace_ != nullptr && trace_->enabled(kTraceNet)) {
+        trace_->Instant(kTraceNet, reject_name_);
+      }
       return;
     }
     if (receiver_) {
       // Decapsulate into a reused scratch buffer: steady-state tunnel
       // delivery allocates nothing once the buffer has grown to the MTU.
       decap_scratch_.assign(datagram.begin() + 4, datagram.end());
+      if (trace_ != nullptr && trace_->enabled(kTraceNet)) {
+        trace_->Instant(kTraceNet, decap_name_, -1,
+                        static_cast<int64_t>(decap_scratch_.size()));
+      }
       receiver_(decap_scratch_);
     }
   });
@@ -101,7 +131,20 @@ void VpnTunnel::Send(const std::vector<uint8_t>& payload) {
   encap_scratch_.push_back(static_cast<uint8_t>((tunnel_id_ >> 16) & 0xFF));
   encap_scratch_.push_back(static_cast<uint8_t>((tunnel_id_ >> 24) & 0xFF));
   encap_scratch_.insert(encap_scratch_.end(), payload.begin(), payload.end());
+  if (trace_ != nullptr && trace_->enabled(kTraceNet)) {
+    trace_->Instant(kTraceNet, encap_name_, -1,
+                    static_cast<int64_t>(encap_scratch_.size()));
+  }
   underlying_->SendCopy(encap_scratch_.data(), encap_scratch_.size());
+}
+
+void VpnTunnel::SetTrace(TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    encap_name_ = trace_->InternName("vpn.encap");
+    decap_name_ = trace_->InternName("vpn.decap");
+    reject_name_ = trace_->InternName("vpn.reject");
+  }
 }
 
 }  // namespace androne

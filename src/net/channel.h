@@ -17,6 +17,8 @@
 
 namespace androne {
 
+class TraceRecorder;
+
 class NetworkChannel {
  public:
   using Receiver = std::function<void(const std::vector<uint8_t>&)>;
@@ -50,6 +52,12 @@ class NetworkChannel {
   // destroyed first.
   void SendCopy(const uint8_t* data, size_t size);
 
+  // Attaches the net trace category: deliveries record an instant
+  // ("net.delivered", arg = one-way latency in us), sampled losses record
+  // "net.lost", and receiver-less arrivals record "net.drop_no_receiver".
+  // Pass nullptr to detach.
+  void SetTrace(TraceRecorder* trace);
+
   uint64_t sent() const { return sent_; }
   uint64_t delivered() const { return delivered_; }
   uint64_t lost() const { return lost_; }
@@ -75,6 +83,10 @@ class NetworkChannel {
   uint64_t lost_ = 0;
   uint64_t dropped_no_receiver_ = 0;
   Histogram latency_us_{10, 8};
+  TraceRecorder* trace_ = nullptr;
+  uint32_t delivered_name_ = 0;
+  uint32_t lost_name_ = 0;
+  uint32_t drop_name_ = 0;
 };
 
 // A bidirectional pair of channels between two parties over one link model.
@@ -110,6 +122,12 @@ class VpnTunnel {
 
   uint64_t rejected_datagrams() const { return rejected_; }
 
+  // Attaches the net trace category: encapsulations record an instant
+  // ("vpn.encap", arg = encapsulated bytes), successful decapsulations
+  // record "vpn.decap" (arg = payload bytes), and rejected datagrams
+  // record "vpn.reject". Pass nullptr to detach.
+  void SetTrace(TraceRecorder* trace);
+
  private:
   NetworkChannel* underlying_;
   uint32_t tunnel_id_;
@@ -117,6 +135,10 @@ class VpnTunnel {
   std::vector<uint8_t> decap_scratch_;
   std::vector<uint8_t> encap_scratch_;
   uint64_t rejected_ = 0;
+  TraceRecorder* trace_ = nullptr;
+  uint32_t encap_name_ = 0;
+  uint32_t decap_name_ = 0;
+  uint32_t reject_name_ = 0;
 };
 
 }  // namespace androne

@@ -1,6 +1,16 @@
 #include "src/rt/deadline_monitor.h"
 
+#include "src/obs/trace.h"
+
 namespace androne {
+
+void DeadlineMonitor::SetTrace(TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    miss_name_ = trace_->InternName("rt.deadline_miss");
+    storm_name_ = trace_->InternName("rt.deadline_storm");
+  }
+}
 
 void DeadlineMonitor::Record(SimTime now, bool missed) {
   while (!misses_.empty() && misses_.front() <= now - window_) {
@@ -9,6 +19,16 @@ void DeadlineMonitor::Record(SimTime now, bool missed) {
   if (missed) {
     misses_.push_back(now);
     ++total_misses_;
+    if (trace_ != nullptr && trace_->enabled(kTraceRt)) {
+      trace_->Instant(kTraceRt, miss_name_, -1, misses_in_window());
+    }
+  }
+  const bool storming = tripped();
+  if (storming != storm_traced_) {
+    if (storming && trace_ != nullptr && trace_->enabled(kTraceRt)) {
+      trace_->Instant(kTraceRt, storm_name_, -1, misses_in_window());
+    }
+    storm_traced_ = storming;
   }
 }
 

@@ -16,10 +16,17 @@
 
 namespace androne {
 
+class TraceRecorder;
+
 class DeadlineMonitor {
  public:
   DeadlineMonitor(SimDuration window, int threshold)
       : window_(window), threshold_(threshold) {}
+
+  // Attaches the rt trace category: each miss records an instant event
+  // (arg = misses currently in the window) and each trip edge records a
+  // storm event. Pass nullptr to detach.
+  void SetTrace(TraceRecorder* trace);
 
   // Records one loop iteration's outcome at |now|. Call every tick — hits
   // advance the window even when nothing missed.
@@ -34,6 +41,10 @@ class DeadlineMonitor {
   int threshold_;
   std::deque<SimTime> misses_;
   uint64_t total_misses_ = 0;
+  TraceRecorder* trace_ = nullptr;
+  uint32_t miss_name_ = 0;
+  uint32_t storm_name_ = 0;
+  bool storm_traced_ = false;  // Edge-detect so a storm traces once.
 };
 
 }  // namespace androne

@@ -95,6 +95,9 @@ bool SimClock::PopAndRunLive() {
     --live_count_;
     now_ = ev.when;
     ++events_run_;
+    if (dispatch_hook_) {
+      dispatch_hook_(now_);
+    }
     ev.cb();
     return true;
   }

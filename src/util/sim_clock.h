@@ -61,6 +61,13 @@ class SimClock {
   // against runaway self-rescheduling loops.
   void RunAll(uint64_t max_events = 100'000'000);
 
+  // Optional observer invoked after the clock advances to each executed
+  // event's deadline, just before the callback runs. Null (the default)
+  // costs a single branch per dispatch; the obs layer's AttachClockTrace
+  // installs a sampled counter here. The hook must not mutate the clock.
+  using DispatchHook = std::function<void(SimTime when)>;
+  void SetDispatchHook(DispatchHook hook) { dispatch_hook_ = std::move(hook); }
+
   bool empty() const { return live_count_ == 0; }
   size_t pending_events() const { return live_count_; }
 
@@ -119,6 +126,7 @@ class SimClock {
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
+  DispatchHook dispatch_hook_;
   std::vector<Event> heap_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;

@@ -1,6 +1,6 @@
 // Coverage for remaining behaviour: manual RC flight (Stabilize/AltHold),
 // VFC telemetry during the landing animation, fluid-model conservation
-// properties, and VDC error paths.
+// properties, VDC error paths, and retry/fault-plan edge cases.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -9,6 +9,8 @@
 #include "src/flight/sitl.h"
 #include "src/mavproxy/mavproxy.h"
 #include "src/rt/fluid_resource.h"
+#include "src/util/backoff.h"
+#include "src/util/fault_plan.h"
 
 namespace androne {
 namespace {
@@ -116,7 +118,7 @@ TEST(VfcViewTest, LandingAnimationDescendsToGround) {
   EXPECT_GT(views.front().relative_alt, views.back().relative_alt);
   EXPECT_GT(drone.physics().truth().position.altitude_m, 13.0);
   clock.RunFor(Seconds(10));
-  EXPECT_EQ(views.back().vz >= 0, true);  // Descending or settled.
+  EXPECT_GE(views.back().vz, 0);  // Descending or settled.
 }
 
 // -------------------------------------------------- Fluid properties.
@@ -208,6 +210,135 @@ TEST(VdcErrorTest, MiscErrorPaths) {
   // Teardown works and is final.
   EXPECT_TRUE(system.vdc().Teardown("ok").ok());
   EXPECT_FALSE(system.vdc().Find("ok").ok());
+}
+
+// ------------------------------------------------ Backoff edge cases.
+
+TEST(BackoffPolicyTest, GrowsGeometricallyThenCaps) {
+  BackoffPolicy policy;  // base=250ms, multiplier=2, max=8s, no jitter.
+  Rng rng(1);
+  EXPECT_EQ(policy.DelayFor(0, rng), Millis(250));
+  EXPECT_EQ(policy.DelayFor(1, rng), Millis(500));
+  EXPECT_EQ(policy.DelayFor(2, rng), Millis(1000));
+  EXPECT_EQ(policy.DelayFor(5, rng), Millis(8000));   // 250ms * 32 = cap.
+  EXPECT_EQ(policy.DelayFor(20, rng), Seconds(8));    // Stays at cap.
+  EXPECT_EQ(policy.DelayFor(-3, rng), Millis(250));   // Clamped to attempt 0.
+}
+
+TEST(BackoffPolicyTest, NeverReturnsLessThanOneMicrosecond) {
+  BackoffPolicy policy;
+  policy.base = 0;
+  policy.max = 0;
+  Rng rng(2);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_GE(policy.DelayFor(attempt, rng), Micros(1)) << attempt;
+  }
+  // A shrinking multiplier decays toward zero but still floors at 1 us.
+  policy.base = Micros(4);
+  policy.max = Seconds(1);
+  policy.multiplier = 0.5;
+  EXPECT_EQ(policy.DelayFor(10, rng), Micros(1));
+}
+
+TEST(BackoffPolicyTest, JitterStaysWithinFractionAndIsSeedDeterministic) {
+  BackoffPolicy policy;
+  policy.jitter_fraction = 0.25;
+  Rng rng(42);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    SimDuration d = policy.DelayFor(attempt, rng);
+    double nominal = std::min(static_cast<double>(policy.base) *
+                                  std::pow(policy.multiplier, attempt),
+                              static_cast<double>(policy.max));
+    EXPECT_GE(d, static_cast<SimDuration>(nominal * 0.75) - 1) << attempt;
+    EXPECT_LE(d, static_cast<SimDuration>(nominal * 1.25) + 1) << attempt;
+  }
+  // Same seed, same schedule: retry timelines replay deterministically.
+  Rng rng_a(7);
+  Rng rng_b(7);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(policy.DelayFor(attempt, rng_a), policy.DelayFor(attempt, rng_b));
+  }
+}
+
+// ---------------------------------------------- Fault-plan edge cases.
+
+FaultWindowSpec Window(int kind, int scope, SimTime start, SimTime end,
+                       double p0 = 0.0) {
+  FaultWindowSpec w;
+  w.kind = kind;
+  w.scope = scope;
+  w.start = start;
+  w.end = end;
+  w.p0 = p0;
+  return w;
+}
+
+TEST(FaultScheduleTest, ZeroDurationWindowIsNeverActive) {
+  // start == end with a half-open [start, end) interval: active nowhere,
+  // not even at its own start instant.
+  FaultSchedule schedule;
+  schedule.Add(Window(1, kFaultScopeAll, Seconds(5), Seconds(5)));
+  EXPECT_FALSE(schedule.AnyActive(Seconds(5) - 1, 1, 0));
+  EXPECT_FALSE(schedule.AnyActive(Seconds(5), 1, 0));
+  EXPECT_FALSE(schedule.AnyActive(Seconds(5) + 1, 1, 0));
+  // It still counts toward last_end: the scenario runs out to it.
+  EXPECT_EQ(schedule.last_end(), Seconds(5));
+}
+
+TEST(FaultScheduleTest, BoundariesAreHalfOpen) {
+  FaultSchedule schedule;
+  schedule.Add(Window(1, kFaultScopeAll, Seconds(2), Seconds(4)));
+  EXPECT_FALSE(schedule.AnyActive(Seconds(2) - 1, 1, 0));
+  EXPECT_TRUE(schedule.AnyActive(Seconds(2), 1, 0));    // Start inclusive.
+  EXPECT_TRUE(schedule.AnyActive(Seconds(4) - 1, 1, 0));
+  EXPECT_FALSE(schedule.AnyActive(Seconds(4), 1, 0));   // End exclusive.
+}
+
+TEST(FaultScheduleTest, OverlappingWindowsComposeInInsertionOrder) {
+  FaultSchedule schedule;
+  schedule.Add(Window(1, kFaultScopeAll, Seconds(1), Seconds(10), 0.25));
+  schedule.Add(Window(1, kFaultScopeAll, Seconds(5), Seconds(8), 0.75));
+  schedule.Add(Window(2, kFaultScopeAll, Seconds(5), Seconds(8), 0.99));
+
+  // FirstActive returns the earliest-added covering window of that kind.
+  const FaultWindowSpec* first = schedule.FirstActive(Seconds(6), 1, 0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_DOUBLE_EQ(first->p0, 0.25);
+
+  // ForEachActive visits both kind-1 windows, insertion order, and skips
+  // the kind-2 window covering the same instant.
+  std::vector<double> seen;
+  schedule.ForEachActive(Seconds(6), 1, 0,
+                         [&](const FaultWindowSpec& w) { seen.push_back(w.p0); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[0], 0.25);
+  EXPECT_DOUBLE_EQ(seen[1], 0.75);
+
+  // Outside the overlap only the long window remains.
+  seen.clear();
+  schedule.ForEachActive(Seconds(9), 1, 0,
+                         [&](const FaultWindowSpec& w) { seen.push_back(w.p0); });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_DOUBLE_EQ(seen[0], 0.25);
+}
+
+TEST(FaultScheduleTest, ScopeMatchingAndLastEnd) {
+  FaultSchedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.last_end(), 0);
+
+  schedule.Add(Window(1, /*scope=*/3, Seconds(0), Seconds(10)));
+  schedule.Add(Window(1, kFaultScopeAll, Seconds(0), Seconds(2)));
+  EXPECT_FALSE(schedule.empty());
+
+  // Scoped window matches only its scope; the wildcard matches every scope.
+  EXPECT_TRUE(schedule.AnyActive(Seconds(5), 1, 3));
+  EXPECT_FALSE(schedule.AnyActive(Seconds(5), 1, 4));
+  EXPECT_TRUE(schedule.AnyActive(Seconds(1), 1, 4));
+  // Wrong kind never matches, regardless of scope or time.
+  EXPECT_FALSE(schedule.AnyActive(Seconds(5), 2, 3));
+
+  EXPECT_EQ(schedule.last_end(), Seconds(10));
 }
 
 }  // namespace

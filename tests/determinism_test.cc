@@ -1,0 +1,163 @@
+// Determinism harness (DESIGN.md §11): the same traced world, run
+// repeatedly and across executor thread counts, must produce byte-identical
+// trace exports and metric snapshots. On a mismatch the failure message
+// pinpoints the first divergent trace event (simulated time + category +
+// name), which localizes the nondeterminism to one instrumented layer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exec/fleet_executor.h"
+#include "src/exec/fleet_world.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace androne {
+namespace {
+
+constexpr uint64_t kSeed = 7041776;
+
+FleetWorldConfig TracedConfig() {
+  FleetWorldConfig config;
+  config.tenants = 2;
+  config.dwell_s = 5;
+  config.annealing_iterations = 100;
+  config.trace_categories = kTraceAll;
+  config.trace_capacity = 4096;
+  return config;
+}
+
+// First line where the two exports differ — the first divergent trace
+// event, since ExportText is one event per line after the header.
+std::string FirstDivergentEvent(const std::string& a, const std::string& b) {
+  std::istringstream sa(a);
+  std::istringstream sb(b);
+  std::string la;
+  std::string lb;
+  int line = 0;
+  while (true) {
+    ++line;
+    bool has_a = static_cast<bool>(std::getline(sa, la));
+    bool has_b = static_cast<bool>(std::getline(sb, lb));
+    if (!has_a && !has_b) {
+      return "identical";
+    }
+    if (!has_a || !has_b || la != lb) {
+      std::ostringstream out;
+      out << "first divergent trace event at line " << line << ":\n  run A: "
+          << (has_a ? la : "<eof>") << "\n  run B: " << (has_b ? lb : "<eof>");
+      return out.str();
+    }
+  }
+}
+
+TEST(DeterminismTest, RepeatedWorldsExportIdenticalTracesAndMetrics) {
+  const FleetWorldConfig config = TracedConfig();
+  WorldContext ctx;
+  ctx.index = 0;
+  ctx.seed = FleetExecutor::WorldSeed(kSeed, 0);
+
+  WorldResult reference = RunFleetWorld(config, ctx);
+  ASSERT_TRUE(reference.completed);
+  ASSERT_FALSE(reference.trace_text.empty());
+  ASSERT_FALSE(reference.metrics.empty());
+
+  const int repeats = 3;
+  for (int rep = 0; rep < repeats; ++rep) {
+    WorldResult run = RunFleetWorld(config, ctx);
+    EXPECT_EQ(reference.trace_text, run.trace_text)
+        << "repeat " << rep << ": "
+        << FirstDivergentEvent(reference.trace_text, run.trace_text);
+    EXPECT_EQ(reference.metrics.Digest(), run.metrics.Digest())
+        << "repeat " << rep << " metric snapshots diverged:\n--- reference\n"
+        << reference.metrics.ToText() << "--- run\n" << run.metrics.ToText();
+    EXPECT_EQ(reference.digest, run.digest);
+    EXPECT_EQ(reference.flight_digest, run.flight_digest);
+  }
+}
+
+TEST(DeterminismTest, TracedFleetIsThreadCountInvariant) {
+  const FleetWorldConfig config = TracedConfig();
+  const int worlds = 4;
+
+  FleetReport reference;
+  bool have_reference = false;
+  for (int threads : {1, 2, 8}) {
+    FleetOptions options;
+    options.threads = threads;
+    options.base_seed = kSeed;
+    FleetExecutor executor(options);
+    FleetReport report = executor.Run(worlds, MakeFleetWorld(config));
+    ASSERT_EQ(report.completed, worlds) << "threads=" << threads;
+
+    if (!have_reference) {
+      reference = std::move(report);
+      have_reference = true;
+      continue;
+    }
+    EXPECT_EQ(reference.fleet_digest, report.fleet_digest)
+        << "fleet digest diverged at threads=" << threads;
+    EXPECT_EQ(reference.metrics.Digest(), report.metrics.Digest())
+        << "merged metrics diverged at threads=" << threads
+        << ":\n--- 1 thread\n" << reference.metrics.ToText()
+        << "--- " << threads << " threads\n" << report.metrics.ToText();
+    ASSERT_EQ(reference.worlds.size(), report.worlds.size());
+    for (size_t i = 0; i < reference.worlds.size(); ++i) {
+      EXPECT_EQ(reference.worlds[i].trace_text, report.worlds[i].trace_text)
+          << "world " << i << " at threads=" << threads << ": "
+          << FirstDivergentEvent(reference.worlds[i].trace_text,
+                                 report.worlds[i].trace_text);
+      EXPECT_EQ(reference.worlds[i].metrics.Digest(),
+                report.worlds[i].metrics.Digest())
+          << "world " << i << " metrics diverged at threads=" << threads;
+    }
+  }
+}
+
+TEST(DeterminismTest, TracingDoesNotPerturbTheFlight) {
+  // The zero-overhead contract's semantic half: a traced world must fly
+  // the bit-identical flight of an untraced one.
+  FleetWorldConfig untraced = TracedConfig();
+  untraced.trace_categories = 0;
+
+  WorldContext ctx;
+  ctx.index = 0;
+  ctx.seed = FleetExecutor::WorldSeed(kSeed, 0);
+
+  WorldResult with_trace = RunFleetWorld(TracedConfig(), ctx);
+  WorldResult without_trace = RunFleetWorld(untraced, ctx);
+  ASSERT_TRUE(with_trace.completed);
+  ASSERT_TRUE(without_trace.completed);
+  EXPECT_EQ(with_trace.flight_digest, without_trace.flight_digest);
+  EXPECT_EQ(with_trace.digest, without_trace.digest);
+  EXPECT_EQ(with_trace.events_run, without_trace.events_run);
+  EXPECT_TRUE(without_trace.trace_text.empty());
+}
+
+TEST(DeterminismTest, MetricSnapshotsMergeInIndexOrder) {
+  // Two worlds whose gauges differ: the merged gauge must be world N-1's
+  // value at every thread count (last index wins), proving the merge is
+  // index-ordered rather than completion-ordered.
+  FleetOptions options;
+  options.threads = 2;
+  options.base_seed = kSeed;
+  FleetExecutor executor(options);
+  FleetReport report = executor.Run(3, MakeFleetWorld(TracedConfig()));
+  ASSERT_EQ(report.completed, 3);
+
+  const auto& last = report.worlds.back().metrics;
+  ASSERT_NE(last.gauges.find("container.memory_mb"), last.gauges.end());
+  EXPECT_DOUBLE_EQ(report.metrics.gauges.at("container.memory_mb"),
+                   last.gauges.at("container.memory_mb"));
+
+  double counter_sum = 0;
+  for (const WorldResult& world : report.worlds) {
+    counter_sum += world.metrics.counters.at("binder.txns");
+  }
+  EXPECT_DOUBLE_EQ(report.metrics.counters.at("binder.txns"), counter_sum);
+}
+
+}  // namespace
+}  // namespace androne

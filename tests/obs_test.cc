@@ -1,0 +1,330 @@
+// Unit tests for the obs/ structured tracing and metrics subsystem
+// (DESIGN.md §11): ring wrap and overflow accounting, category masking,
+// interned-name stability, span nesting, Chrome-JSON escaping, and
+// metric snapshot merge ordering.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/json.h"
+#include "src/util/sim_clock.h"
+
+namespace androne {
+namespace {
+
+// ------------------------------------------------------------- Categories.
+
+TEST(TraceCategoryTest, NamesRoundTrip) {
+  EXPECT_STREQ(TraceCategoryName(kTraceClock), "clock");
+  EXPECT_STREQ(TraceCategoryName(kTraceBinder), "binder");
+  EXPECT_STREQ(TraceCategoryName(kTraceFlight), "flight");
+  EXPECT_STREQ(TraceCategoryName(1u << 30), "?");
+}
+
+TEST(TraceCategoryTest, ParseSingleAndList) {
+  EXPECT_EQ(ParseTraceCategories("binder"), kTraceBinder);
+  EXPECT_EQ(ParseTraceCategories("binder,net"), kTraceBinder | kTraceNet);
+  EXPECT_EQ(ParseTraceCategories("all"), kTraceAll);
+  EXPECT_EQ(ParseTraceCategories(""), 0u);
+  // Unknown names are ignored, known ones still land.
+  EXPECT_EQ(ParseTraceCategories("bogus,rt"), kTraceRt);
+}
+
+TEST(TraceCategoryTest, EveryCategoryBitHasAName) {
+  for (uint32_t bit = 1; bit != 0 && bit <= kTraceAll; bit <<= 1) {
+    if ((kTraceAll & bit) == 0) {
+      continue;
+    }
+    std::string name = TraceCategoryName(bit);
+    EXPECT_NE(name, "?") << "unnamed category bit " << bit;
+    EXPECT_EQ(ParseTraceCategories(name), bit);
+  }
+}
+
+// ------------------------------------------------------------------ Ring.
+
+TEST(TraceRecorderTest, RecordsUpToCapacityWithoutDropping) {
+  TraceRecorder trace(kTraceAll, /*capacity=*/4);
+  uint32_t name = trace.InternName("ev");
+  for (int i = 0; i < 4; ++i) {
+    trace.Instant(kTraceNet, name, -1, i);
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.recorded(), 4u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_FALSE(trace.wrapped());
+}
+
+TEST(TraceRecorderTest, RingWrapsOverwritingOldestFirst) {
+  TraceRecorder trace(kTraceAll, /*capacity=*/4);
+  uint32_t name = trace.InternName("ev");
+  for (int i = 0; i < 7; ++i) {
+    trace.Instant(kTraceNet, name, -1, i);
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.recorded(), 7u);
+  EXPECT_EQ(trace.dropped(), 3u);
+  EXPECT_TRUE(trace.wrapped());
+  // Events come back oldest-first: args 3,4,5,6 survive.
+  std::vector<TraceEvent> events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, static_cast<int64_t>(i + 3));
+  }
+}
+
+TEST(TraceRecorderTest, ClearDropsEventsButKeepsInternedNames) {
+  TraceRecorder trace(kTraceAll, /*capacity=*/8);
+  uint32_t name = trace.InternName("keep.me");
+  trace.Instant(kTraceRt, name);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.recorded(), 0u);
+  // The cached id instrumentation holds stays valid.
+  EXPECT_EQ(trace.NameOf(name), "keep.me");
+  trace.Instant(kTraceRt, name, -1, 9);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.Events()[0].name_id, name);
+}
+
+TEST(TraceRecorderTest, ZeroCapacityIsClampedToOne) {
+  TraceRecorder trace(kTraceAll, /*capacity=*/0);
+  uint32_t name = trace.InternName("ev");
+  trace.Instant(kTraceNet, name, -1, 1);
+  trace.Instant(kTraceNet, name, -1, 2);
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.Events()[0].arg, 2);
+}
+
+// --------------------------------------------------------------- Masking.
+
+TEST(TraceRecorderTest, MaskedCategoriesAreDroppedAtTheGate) {
+  TraceRecorder trace(kTraceBinder, /*capacity=*/8);
+  uint32_t name = trace.InternName("ev");
+  trace.Instant(kTraceNet, name);      // Masked off.
+  trace.Instant(kTraceBinder, name);   // Kept.
+  trace.Instant(kTraceFlight, name);   // Masked off.
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.recorded(), 1u);  // Masked events never count as recorded.
+  EXPECT_TRUE(trace.enabled(kTraceBinder));
+  EXPECT_FALSE(trace.enabled(kTraceNet));
+}
+
+TEST(TraceRecorderTest, SetCategoriesRetargetsTheGate) {
+  TraceRecorder trace(0, /*capacity=*/8);
+  uint32_t name = trace.InternName("ev");
+  trace.Instant(kTraceNet, name);
+  EXPECT_EQ(trace.size(), 0u);
+  trace.set_categories(kTraceNet);
+  trace.Instant(kTraceNet, name);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+// -------------------------------------------------------------- Interning.
+
+TEST(TraceRecorderTest, InternedNamesAreStableAndDeduplicated) {
+  TraceRecorder trace;
+  uint32_t a1 = trace.InternName("binder.txn");
+  uint32_t b = trace.InternName("net.delivered");
+  uint32_t a2 = trace.InternName("binder.txn");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(trace.NameOf(a1), "binder.txn");
+  EXPECT_EQ(trace.NameOf(b), "net.delivered");
+  // Id 0 is the reserved unnamed slot; out-of-range maps onto it.
+  EXPECT_EQ(trace.NameOf(0), "?");
+  EXPECT_EQ(trace.NameOf(999999), "?");
+  EXPECT_EQ(trace.interned_names(), 3u);  // "?", plus the two above.
+}
+
+// ---------------------------------------------------------------- Spans.
+
+TEST(TraceRecorderTest, SpansNestInRecordOrder) {
+  SimClock clock;
+  TraceRecorder trace;
+  trace.BindClock(&clock);
+  uint32_t outer = trace.InternName("outer");
+  uint32_t inner = trace.InternName("inner");
+  trace.Begin(kTraceBinder, outer, /*container=*/1);
+  trace.Begin(kTraceBinder, inner, /*container=*/1);
+  trace.End(kTraceBinder, inner, /*container=*/1);
+  trace.End(kTraceBinder, outer, /*container=*/1);
+  std::vector<TraceEvent> events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kBegin);
+  EXPECT_EQ(events[0].name_id, outer);
+  EXPECT_EQ(events[1].kind, TraceEventKind::kBegin);
+  EXPECT_EQ(events[1].name_id, inner);
+  EXPECT_EQ(events[2].kind, TraceEventKind::kEnd);
+  EXPECT_EQ(events[2].name_id, inner);
+  EXPECT_EQ(events[3].kind, TraceEventKind::kEnd);
+  EXPECT_EQ(events[3].name_id, outer);
+}
+
+TEST(TraceRecorderTest, EventsAreStampedWithSimTime) {
+  SimClock clock;
+  TraceRecorder trace;
+  trace.BindClock(&clock);
+  uint32_t name = trace.InternName("tick");
+  clock.ScheduleAfter(Millis(5), [&] { trace.Instant(kTraceRt, name); });
+  clock.ScheduleAfter(Millis(11), [&] { trace.Instant(kTraceRt, name); });
+  clock.RunFor(Millis(20));
+  std::vector<TraceEvent> events = trace.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ts, Millis(5));
+  EXPECT_EQ(events[1].ts, Millis(11));
+}
+
+// -------------------------------------------------------------- Exporters.
+
+TEST(TraceRecorderTest, TextExportIsByteStableForIdenticalStreams) {
+  auto run = [] {
+    TraceRecorder trace(kTraceAll, 16);
+    uint32_t name = trace.InternName("net.delivered");
+    for (int i = 0; i < 20; ++i) {  // Wraps: accounting must match too.
+      trace.Instant(kTraceNet, name, i % 3, i * 7);
+    }
+    return trace.ExportText();
+  };
+  std::string a = run();
+  std::string b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("# trace events=16 recorded=20 dropped=4"),
+            std::string::npos);
+}
+
+TEST(TraceRecorderTest, ChromeJsonIsValidAndEscapesNames) {
+  TraceRecorder trace;
+  uint32_t weird = trace.InternName("we\"ird\\name\n");
+  trace.Begin(kTraceBinder, weird, 2, 1);
+  trace.End(kTraceBinder, weird, 2, 0);
+  trace.Counter(kTraceClock, trace.InternName("clock.dispatch"), 256);
+  std::string json = trace.ExportChromeJson();
+
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonArray& events =
+      parsed->AsObject().at("traceEvents").AsArray();
+  ASSERT_EQ(events.size(), 3u);
+  const JsonObject& begin = events[0].AsObject();
+  EXPECT_EQ(begin.at("name").AsString(), "we\"ird\\name\n");
+  EXPECT_EQ(begin.at("ph").AsString(), "B");
+  EXPECT_EQ(begin.at("cat").AsString(), "binder");
+  EXPECT_EQ(begin.at("tid").AsDouble(), 2.0);
+  const JsonObject& counter = events[2].AsObject();
+  EXPECT_EQ(counter.at("ph").AsString(), "C");
+  EXPECT_EQ(counter.at("args").AsObject().at("value").AsDouble(), 256.0);
+}
+
+// --------------------------------------------------------- AttachClockTrace.
+
+TEST(TraceRecorderTest, ClockTraceSamplesEveryNthDispatch) {
+  SimClock clock;
+  TraceRecorder trace(kTraceClock, 64);
+  AttachClockTrace(&clock, &trace, /*sample_every=*/4);
+  for (int i = 0; i < 10; ++i) {
+    clock.ScheduleAfter(Millis(i + 1), [] {});
+  }
+  clock.RunFor(Millis(100));
+  // 10 dispatches, sampled every 4th: counters at 4 and 8.
+  std::vector<TraceEvent> events = trace.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kCounter);
+  EXPECT_EQ(events[0].arg, 4);
+  EXPECT_EQ(events[1].arg, 8);
+}
+
+TEST(TraceRecorderTest, ClockTraceIsANoOpWhenCategoryMasked) {
+  SimClock clock;
+  TraceRecorder trace(kTraceBinder, 64);
+  AttachClockTrace(&clock, &trace, 1);
+  clock.ScheduleAfter(Millis(1), [] {});
+  clock.RunFor(Millis(10));
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+// ---------------------------------------------------------------- Metrics.
+
+TEST(MetricsRegistryTest, CountersGaugesAndHistograms) {
+  MetricsRegistry registry;
+  registry.Add("binder.txns", 10);
+  registry.Add("binder.txns", 5);
+  registry.Set("container.memory_mb", 512);
+  registry.Set("container.memory_mb", 640);  // Last set wins.
+  registry.Hist("latency_us").Record(100);
+  registry.Hist("latency_us").Record(300);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.counters.at("binder.txns"), 15);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("container.memory_mb"), 640);
+  EXPECT_EQ(snap.histograms.at("latency_us").total_count(), 2u);
+  EXPECT_FALSE(snap.empty());
+
+  registry.Clear();
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(MetricsSnapshotTest, MergeSumsCountersAndOverwritesGauges) {
+  MetricsRegistry a;
+  a.Add("events", 100);
+  a.Set("memory_mb", 512);
+  a.Hist("lat").Record(10);
+  MetricsRegistry b;
+  b.Add("events", 50);
+  b.Add("only_in_b", 7);
+  b.Set("memory_mb", 768);
+  b.Hist("lat").Record(20);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_DOUBLE_EQ(merged.counters.at("events"), 150);
+  EXPECT_DOUBLE_EQ(merged.counters.at("only_in_b"), 7);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("memory_mb"), 768);
+  EXPECT_EQ(merged.histograms.at("lat").total_count(), 2u);
+}
+
+TEST(MetricsSnapshotTest, MergeIndexOrderIsOrderSensitiveForGauges) {
+  MetricsRegistry w0;
+  w0.Set("g", 1);
+  MetricsRegistry w1;
+  w1.Set("g", 2);
+
+  MetricsSnapshot forward =
+      MetricsRegistry::MergeIndexOrder({w0.Snapshot(), w1.Snapshot()});
+  MetricsSnapshot backward =
+      MetricsRegistry::MergeIndexOrder({w1.Snapshot(), w0.Snapshot()});
+  // Index order defines the winner: merging must happen world 0, 1, ...
+  EXPECT_DOUBLE_EQ(forward.gauges.at("g"), 2);
+  EXPECT_DOUBLE_EQ(backward.gauges.at("g"), 1);
+}
+
+TEST(MetricsSnapshotTest, TextAndDigestAreDeterministic) {
+  auto build = [] {
+    MetricsRegistry registry;
+    registry.Add("z.last", 3);
+    registry.Add("a.first", 1.5);
+    registry.Set("gauge", 2.25);
+    registry.Hist("h").Record(50);
+    return registry.Snapshot();
+  };
+  MetricsSnapshot one = build();
+  MetricsSnapshot two = build();
+  EXPECT_EQ(one.ToText(), two.ToText());
+  EXPECT_EQ(one.Digest(), two.Digest());
+  // Text is sorted: counters lead and are name-ordered within their kind.
+  std::string text = one.ToText();
+  EXPECT_LT(text.find("counter a.first"), text.find("counter z.last"));
+  EXPECT_NE(text.find("gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("hist h"), std::string::npos);
+
+  // Any value change moves the digest.
+  MetricsRegistry other;
+  other.Add("z.last", 4);
+  EXPECT_NE(one.Digest(), other.Snapshot().Digest());
+}
+
+}  // namespace
+}  // namespace androne

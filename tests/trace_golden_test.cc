@@ -1,0 +1,115 @@
+// Trace-golden test: flies the canonical 2-tenant FleetWorld at a fixed
+// seed with full tracing and compares the byte-stable text export against
+// the checked-in golden at tests/goldens/fleet_world_trace.txt.
+//
+// The golden pins the trace event model: any change to instrumentation
+// points, event ordering, or the text format shows up as a diff here and
+// must be reviewed (and the golden regenerated) deliberately.
+//
+// Regenerate with one command from the repo root after an intentional
+// change:
+//
+//   ANDRONE_REGEN_GOLDENS=1 ./build/tests/trace_golden_test
+//
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/exec/fleet_executor.h"
+#include "src/exec/fleet_world.h"
+#include "src/obs/trace.h"
+
+namespace androne {
+namespace {
+
+constexpr uint64_t kGoldenSeed = 2026;
+
+std::string GoldenPath() {
+  return std::string(ANDRONE_SOURCE_DIR) +
+         "/tests/goldens/fleet_world_trace.txt";
+}
+
+// The golden world: small enough to run in tens of milliseconds, rich
+// enough to exercise every instrumented layer. The ring is sized so the
+// buffer wraps — the golden then also pins the overflow accounting.
+std::string RunGoldenWorld() {
+  FleetWorldConfig config;
+  config.tenants = 2;
+  config.dwell_s = 5;
+  config.annealing_iterations = 100;
+  config.trace_categories = kTraceAll;
+  config.trace_capacity = 512;
+
+  WorldContext ctx;
+  ctx.index = 0;
+  ctx.seed = FleetExecutor::WorldSeed(kGoldenSeed, 0);
+  WorldResult result = RunFleetWorld(config, ctx);
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.trace_text.empty());
+  return result.trace_text;
+}
+
+std::string FirstDivergence(const std::string& expected,
+                            const std::string& actual) {
+  std::istringstream exp(expected);
+  std::istringstream act(actual);
+  std::string eline;
+  std::string aline;
+  int line = 0;
+  while (true) {
+    ++line;
+    bool has_e = static_cast<bool>(std::getline(exp, eline));
+    bool has_a = static_cast<bool>(std::getline(act, aline));
+    if (!has_e && !has_a) {
+      return "texts are identical";
+    }
+    if (!has_e || !has_a || eline != aline) {
+      std::ostringstream out;
+      out << "first divergence at line " << line << ":\n  golden: "
+          << (has_e ? eline : "<eof>") << "\n  actual: "
+          << (has_a ? aline : "<eof>");
+      return out.str();
+    }
+  }
+}
+
+TEST(TraceGoldenTest, CanonicalWorldMatchesCheckedInGolden) {
+  std::string actual = RunGoldenWorld();
+
+  if (std::getenv("ANDRONE_REGEN_GOLDENS") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << actual;
+    out.close();
+    std::printf("regenerated %s (%zu bytes)\n", GoldenPath().c_str(),
+                actual.size());
+    return;
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << GoldenPath()
+      << " — regenerate with ANDRONE_REGEN_GOLDENS=1 ./tests/trace_golden_test";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string expected = buffer.str();
+
+  EXPECT_EQ(expected, actual)
+      << FirstDivergence(expected, actual)
+      << "\nif the instrumentation change is intentional, regenerate with "
+         "ANDRONE_REGEN_GOLDENS=1 ./tests/trace_golden_test";
+}
+
+TEST(TraceGoldenTest, GoldenWorldIsRepeatable) {
+  // The golden contract is only meaningful if two in-process runs agree.
+  std::string first = RunGoldenWorld();
+  std::string second = RunGoldenWorld();
+  EXPECT_EQ(first, second) << FirstDivergence(first, second);
+}
+
+}  // namespace
+}  // namespace androne

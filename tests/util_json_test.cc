@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "src/util/rng.h"
@@ -153,6 +156,34 @@ TEST_P(JsonRoundTripTest, DumpParseDumpIsStable) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripTest,
                          ::testing::Range<uint64_t>(1, 33));
+
+TEST_P(JsonRoundTripTest, ExtremeDoublesRoundTripBitExact) {
+  // Doubles drawn from random bit patterns (denormals, huge exponents,
+  // 17-significant-digit values): the shortest-round-trip serializer must
+  // reproduce each one bit-exactly through dump -> parse.
+  Rng rng(GetParam() ^ 0x5ca1ab1eULL);
+  for (int i = 0; i < 64; ++i) {
+    uint64_t bits = rng.NextU64();
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    if (!std::isfinite(d)) {
+      continue;  // JSON has no NaN/Inf encoding.
+    }
+    JsonValue v(d);
+    std::string dumped = v.Dump();
+    auto parsed = ParseJson(dumped);
+    ASSERT_TRUE(parsed.ok()) << dumped;
+    ASSERT_TRUE(parsed.value().is_number()) << dumped;
+    double back = parsed.value().AsDouble();
+    uint64_t back_bits;
+    std::memcpy(&back_bits, &back, sizeof(back));
+    // Normalize -0.0 vs 0.0: both are exact parses of "-0"/"0".
+    if (d == 0.0 && back == 0.0) {
+      continue;
+    }
+    EXPECT_EQ(bits, back_bits) << dumped << " reparsed as " << back;
+  }
+}
 
 }  // namespace
 }  // namespace androne
