@@ -41,6 +41,10 @@ struct Point {
   double speedup = 0;
   uint64_t fleet_digest = 0;
   uint64_t events_run = 0;
+  // Completed vs never-ran split: without it the throughput column silently
+  // conflates "ran all worlds" with "budget-skipped some of them".
+  int completed = 0;
+  int skipped = 0;
   // More workers than the host can run in parallel: the speedup column is
   // bounded by the hardware, not the executor.
   bool saturated = false;
@@ -59,6 +63,8 @@ Point RunPoint(int threads) {
   p.events_per_s = report.events_run / report.wall_seconds;
   p.fleet_digest = report.fleet_digest;
   p.events_run = report.events_run;
+  p.completed = report.completed;
+  p.skipped = report.skipped;
   return p;
 }
 
@@ -97,13 +103,15 @@ void Run(const char* json_path) {
     digests_match = digests_match && p.fleet_digest == points[0].fleet_digest;
   }
 
-  std::printf("  %-8s %10s %12s %14s %9s  %s\n", "threads", "wall s",
-              "worlds/s", "sim events/s", "speedup", "fleet digest");
+  std::printf("  %-8s %5s %5s %10s %12s %14s %9s  %s\n", "threads", "done",
+              "skip", "wall s", "worlds/s", "sim events/s", "speedup",
+              "fleet digest");
   for (Point& p : points) {
     p.speedup = points[0].wall_s / p.wall_s;
     p.saturated = p.threads > hardware;
-    std::printf("  %-8d %10.3f %12.2f %14.0f %8.2fx  %016llx%s\n", p.threads,
-                p.wall_s, p.worlds_per_s, p.events_per_s, p.speedup,
+    std::printf("  %-8d %5d %5d %10.3f %12.2f %14.0f %8.2fx  %016llx%s\n",
+                p.threads, p.completed, p.skipped, p.wall_s, p.worlds_per_s,
+                p.events_per_s, p.speedup,
                 static_cast<unsigned long long>(p.fleet_digest),
                 p.saturated ? "  (saturated)" : "");
   }
@@ -124,6 +132,8 @@ void Run(const char* json_path) {
     for (const Point& p : points) {
       JsonObject row;
       row["threads"] = static_cast<double>(p.threads);
+      row["completed"] = static_cast<double>(p.completed);
+      row["skipped"] = static_cast<double>(p.skipped);
       row["wall_s"] = p.wall_s;
       row["worlds_per_s"] = p.worlds_per_s;
       row["events_per_s"] = p.events_per_s;

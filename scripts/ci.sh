@@ -13,10 +13,14 @@
 # merged into one document. Fragments go to BENCH_*.json.tmp (gitignored);
 # the merged file is the committed record. Also refreshes
 # BENCH_fleet_scale.json (bench/fleet_scale): fleet-executor throughput and
-# the thread-count-invariance digest check; and BENCH_datapath.json
+# the thread-count-invariance digest check; BENCH_datapath.json
 # (bench/datapath_throughput): hot-loop throughput across the legacy /
 # sensor-bus / batched-telemetry modes plus the flight-digest-invariance
-# guard (batching must not change what the drone flew).
+# guard (batching must not change what the drone flew); and
+# BENCH_campaign.json (bench/campaign_sweep): the full builtin chaos
+# campaign with report determinism across repeats and thread counts. A
+# ~64-scenario campaign smoke also gates both the plain and sanitizer
+# builds: every failure must land in an expected bucket (unexpected == 0).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,6 +38,17 @@ echo "=== tier-1: plain build ==="
 cmake -S . -B build -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure)
+
+# Chaos campaign smoke: a seeded ~64-scenario sweep of every builtin fault
+# family. The binary exits nonzero if the report is nondeterministic or any
+# failure lands outside an expected bucket, so the `if !` belt below is
+# just a clearer failure message on top of set -e.
+echo "=== campaign smoke: plain build ==="
+if ! ./build/bench/campaign_sweep --smoke --json BENCH_campaign_smoke.json.tmp; then
+  echo "FAIL: campaign smoke hit unexpected failure buckets" >&2
+  exit 1
+fi
+rm -f BENCH_campaign_smoke.json.tmp
 
 if [[ "$REPEAT_DETERMINISM" == "1" ]]; then
   # Nondeterminism is flaky by nature: one green run proves little. Re-run
@@ -66,6 +81,16 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   ./build-tsan/tests/exec_test
   ./build-tsan/tests/determinism_test
   ./build-tsan/tests/trace_golden_test
+
+  # The same campaign smoke under ASan/UBSan: fault windows, triage
+  # re-runs, and the manifest loader all exercise pointer-heavy paths.
+  echo "=== campaign smoke: sanitizer build ==="
+  if ! ./build-asan/bench/campaign_sweep --smoke \
+      --json BENCH_campaign_asan.json.tmp; then
+    echo "FAIL: sanitized campaign smoke hit unexpected failure buckets" >&2
+    exit 1
+  fi
+  rm -f BENCH_campaign_asan.json.tmp
 fi
 
 echo "=== benches: fault sweeps ==="
@@ -96,5 +121,17 @@ if ! grep -q '"flight_digest_match": true' BENCH_datapath.json; then
   echo "FAIL: telemetry batching changed the flight digest" >&2
   exit 1
 fi
+
+echo "=== bench: chaos campaign (full sweep) ==="
+./build/bench/campaign_sweep --json BENCH_campaign.json
+if ! grep -q '"unexpected": 0' BENCH_campaign.json; then
+  echo "FAIL: full campaign hit unexpected failure buckets" >&2
+  exit 1
+fi
+if ! grep -q '"deterministic": true' BENCH_campaign.json; then
+  echo "FAIL: campaign report varied across repeats/thread counts" >&2
+  exit 1
+fi
+echo "wrote BENCH_campaign.json"
 
 echo "CI OK"

@@ -1,5 +1,7 @@
 #include "src/container/supervisor.h"
 
+#include <algorithm>
+
 #include "src/util/logging.h"
 
 namespace androne {
@@ -23,6 +25,21 @@ void ContainerSupervisor::Unwatch(ContainerId id) { watched_.erase(id); }
 bool ContainerSupervisor::GaveUpOn(ContainerId id) const {
   auto it = watched_.find(id);
   return it != watched_.end() && it->second.gave_up;
+}
+
+int ContainerSupervisor::max_streak() const {
+  int deepest = 0;
+  for (const RestartEpisode& episode : episodes_) {
+    deepest = std::max(deepest, episode.streak);
+  }
+  return deepest;
+}
+
+void ContainerSupervisor::ExportMetrics(MetricsRegistry& metrics) const {
+  metrics.Add("supervisor.episodes", static_cast<double>(episodes_.size()));
+  metrics.Add("supervisor.restarts", static_cast<double>(restarts_));
+  metrics.Add("supervisor.gave_up", static_cast<double>(gave_up_));
+  metrics.Add("supervisor.max_streak", static_cast<double>(max_streak()));
 }
 
 void ContainerSupervisor::OnCrash(ContainerId id) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/container/runtime.h"
+#include "src/obs/metrics.h"
 #include "src/util/backoff.h"
 #include "src/util/rng.h"
 #include "src/util/sim_clock.h"
@@ -49,6 +50,14 @@ class ContainerSupervisor {
   uint64_t restarts() const { return restarts_; }
   uint64_t gave_up() const { return gave_up_; }
   const std::vector<RestartEpisode>& episodes() const { return episodes_; }
+  // Longest consecutive-failure streak observed across all episodes — the
+  // crash-loop depth a triage bucket keys on.
+  int max_streak() const;
+
+  // Publishes the supervisor's restart accounting as "supervisor.*"
+  // counters (episodes, restarts, gave_up, max_streak) so campaign triage
+  // can bucket crash-loop scenarios from the merged fleet snapshot.
+  void ExportMetrics(MetricsRegistry& metrics) const;
 
  private:
   struct Watched {

@@ -99,6 +99,15 @@ Status AnDroneSystem::Boot() {
         std::make_unique<BusSensorSource>(device_stack_.sensor_hub.get());
     sensor_source = bus_source_.get();
   }
+  // Scripted sensor chaos decorates whichever source was chosen, so the
+  // fault plan is orthogonal to the fast-path/binder-path decision.
+  if (options_.sensor_faults != nullptr) {
+    sensor_fault_injector_ = std::make_unique<SensorFaultInjector>(
+        options_.sensor_faults, clock_, options_.seed + 13);
+    faulty_sensors_ = std::make_unique<FaultySensorSource>(
+        sensor_source, sensor_fault_injector_.get());
+    sensor_source = faulty_sensors_.get();
+  }
 
   FlightControllerConfig fc_config;
   fc_config.home = options_.base;
@@ -284,11 +293,32 @@ Status AnDroneSystem::TakeoffToCruise(FlightExecutionReport& report) {
 }
 
 Status AnDroneSystem::ReturnToBase(FlightExecutionReport& report) {
-  CommandLong rtl;
-  rtl.command = static_cast<uint16_t>(MavCmd::kNavReturnToLaunch);
-  PlannerSend(MavMessage{rtl});
-  if (!RunClockUntil([this] { return !flight_controller_->armed(); },
-                     Seconds(600))) {
+  auto send_rtl = [this] {
+    CommandLong rtl;
+    rtl.command = static_cast<uint16_t>(MavCmd::kNavReturnToLaunch);
+    PlannerSend(MavMessage{rtl});
+  };
+  send_rtl();
+  // Same resumption contract as the route legs: a safety release parks the
+  // controller in loiter, so RTL must be re-issued after each override
+  // episode or the drone hovers at altitude until the landing deadline.
+  bool saw_override = false;
+  const SimTime deadline = clock_->now() + Seconds(600);
+  while (clock_->now() < deadline) {
+    if (!flight_controller_->armed()) {
+      Event(report, "returned to base and landed");
+      return OkStatus();
+    }
+    clock_->RunUntil(clock_->now() + Millis(100));
+    if (flight_controller_->safety().overriding()) {
+      saw_override = true;
+    } else if (saw_override) {
+      saw_override = false;
+      Event(report, "re-asserting return-to-launch after safety release");
+      send_rtl();
+    }
+  }
+  if (flight_controller_->armed()) {
     return DeadlineExceededError("drone failed to return and land");
   }
   Event(report, "returned to base and landed");
@@ -340,19 +370,46 @@ StatusOr<FlightExecutionReport> AnDroneSystem::ExecuteRoute(
 
     // Fly to the waypoint (planner-guided, paper Figure 4).
     GeoPoint target = job.waypoint;
-    SetPositionTargetGlobalInt sp;
-    sp.lat_int = static_cast<int32_t>(target.latitude_deg * 1e7);
-    sp.lon_int = static_cast<int32_t>(target.longitude_deg * 1e7);
-    sp.alt = static_cast<float>(target.altitude_m);
-    sp.type_mask = 0x0FF8;
-    PlannerSend(MavMessage{sp});
-    if (!RunClockUntil(
-            [this, &target] {
-              return abort_requested_ ||
-                     Distance3dMeters(physics_->truth().position, target) <
-                         kArrivalThresholdM;
-            },
-            Seconds(600))) {
+    auto send_leg = [this, &target] {
+      SetMode guided;
+      guided.custom_mode = static_cast<uint32_t>(CopterMode::kGuided);
+      PlannerSend(MavMessage{guided});
+      SetPositionTargetGlobalInt sp;
+      sp.lat_int = static_cast<int32_t>(target.latitude_deg * 1e7);
+      sp.lon_int = static_cast<int32_t>(target.longitude_deg * 1e7);
+      sp.alt = static_cast<float>(target.altitude_m);
+      sp.type_mask = 0x0FF8;
+      PlannerSend(MavMessage{sp});
+    };
+    send_leg();
+    // En-route wait with safety-release resumption: the supervisor's
+    // release path parks the controller in loiter (its guided target may be
+    // minutes stale, so the controller will not chase it), which leaves
+    // resumption to the mission layer. After each observed override
+    // episode ends, the leg is re-asserted — otherwise a transient sensor
+    // glitch strands the drone in a hover until the leg deadline.
+    bool arrived = false;
+    bool saw_override = false;
+    const SimTime leg_deadline = clock_->now() + Seconds(600);
+    while (clock_->now() < leg_deadline) {
+      if (abort_requested_ ||
+          Distance3dMeters(physics_->truth().position, target) <
+              kArrivalThresholdM) {
+        arrived = true;
+        break;
+      }
+      clock_->RunUntil(clock_->now() + Millis(100));
+      if (flight_controller_->safety().overriding()) {
+        saw_override = true;
+      } else if (saw_override) {
+        saw_override = false;
+        Event(report, "re-asserting route leg after safety release");
+        send_leg();
+      }
+    }
+    if (!arrived && !abort_requested_ &&
+        Distance3dMeters(physics_->truth().position, target) >=
+            kArrivalThresholdM) {
       return DeadlineExceededError("failed to reach waypoint");
     }
     if (abort_requested_) {

@@ -51,6 +51,11 @@ struct AnDroneOptions {
   // runtime, MAVProxy, and the safety supervisor; nullptr disables
   // instrumentation at a single-branch cost per site.
   TraceRecorder* trace = nullptr;
+  // Optional scripted sensor-fault plan (owned by the caller, must outlive
+  // the system). Boot() wraps the flight controller's sensor source in a
+  // FaultySensorSource over this plan, so scenario chaos scripts corrupt
+  // the integrated system's sensor reads exactly as they do a SitlDrone's.
+  const SensorFaultPlan* sensor_faults = nullptr;
 };
 
 struct FlightExecutionReport {
@@ -106,6 +111,10 @@ class AnDroneSystem {
   VirtualFlightController* VfcOf(const std::string& vdrone_id);
   ReliableCommandSender& planner_sender() { return *planner_sender_; }
   ImageId base_image() const { return base_image_; }
+  // Non-null only when options.sensor_faults was set at Boot().
+  const SensorFaultInjector* sensor_fault_injector() const {
+    return sensor_fault_injector_.get();
+  }
 
  private:
   // Planner-endpoint MAVLink helpers.
@@ -139,6 +148,8 @@ class AnDroneSystem {
   // Flight stack.
   std::unique_ptr<BinderHalBridge> hal_bridge_;
   std::unique_ptr<BusSensorSource> bus_source_;
+  std::unique_ptr<SensorFaultInjector> sensor_fault_injector_;
+  std::unique_ptr<FaultySensorSource> faulty_sensors_;
   std::unique_ptr<FlightController> flight_controller_;
   std::unique_ptr<WakeLatencySampler> latency_sampler_;
   std::unique_ptr<MavProxy> proxy_;

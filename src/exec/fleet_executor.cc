@@ -47,11 +47,16 @@ FleetReport FleetExecutor::Run(int num_worlds, const WorldFn& fn) {
           out.index = i;
           out.seed = ctx.seed;
           out.completed = false;
+          out.skipped = true;
           return;
         }
         out = fn(ctx);
         out.index = i;
-        out.seed = ctx.seed;
+        // Worlds that report their own seed (scenario sweeps override the
+        // index-derived default) keep it; plain worlds get the context seed.
+        if (out.seed == 0) {
+          out.seed = ctx.seed;
+        }
       });
     }
     pool.Wait();
@@ -63,6 +68,9 @@ FleetReport FleetExecutor::Run(int num_worlds, const WorldFn& fn) {
   for (const WorldResult& world : report.worlds) {
     if (!world.completed) {
       ++report.cancelled;
+      if (world.skipped) {
+        ++report.skipped;
+      }
       continue;
     }
     ++report.completed;
@@ -78,6 +86,13 @@ FleetReport FleetExecutor::Run(int num_worlds, const WorldFn& fn) {
     digest = Fnv1a64Value(world.digest, digest);
   }
   report.fleet_digest = digest;
+  if (report.skipped > 0) {
+    // Surface the skip count inside the merged metrics too, so a snapshot
+    // alone (without the report struct) still reveals silently-dropped
+    // worlds.
+    report.metrics.counters["fleet.worlds_skipped"] +=
+        static_cast<double>(report.skipped);
+  }
   report.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   return report;

@@ -50,6 +50,15 @@ struct WorldResult {
   // False when the world was skipped (budget exhausted before start) or
   // bailed out early on cancellation.
   bool completed = false;
+  // True only for budget-skipped worlds that never ran; distinguishes them
+  // from worlds that started and cancelled mid-flight (both have
+  // completed == false, but a skipped world produced no data at all).
+  bool skipped = false;
+  // Scenario identity and per-assertion failures, filled by campaign runs
+  // (empty for plain fleet benches). Assertions are canonical expression
+  // strings — triage buckets key on them.
+  std::string scenario;
+  std::vector<std::string> failed_assertions;
   uint64_t events_run = 0;  // SimClock events the world executed.
   uint64_t digest = 0;      // World-defined determinism digest.
   // Digest of the physical flight alone (attitude log), excluding transport
@@ -74,6 +83,11 @@ struct FleetReport {
   std::vector<WorldResult> worlds;
   int completed = 0;
   int cancelled = 0;  // Skipped or early-exited worlds.
+  // Subset of |cancelled| that never ran at all (budget spent before their
+  // turn). Also published as the "fleet.worlds_skipped" counter in
+  // |metrics| so downstream consumers can't conflate "ran 200 worlds" with
+  // "ran 120 and silently dropped 80".
+  int skipped = 0;
   uint64_t events_run = 0;
   std::map<std::string, double> counters;
   std::map<std::string, Histogram> histograms;

@@ -1,5 +1,6 @@
 #include "src/exec/fleet_world.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -7,6 +8,7 @@
 
 #include "src/cloud/energy_model.h"
 #include "src/cloud/flight_planner.h"
+#include "src/container/supervisor.h"
 #include "src/core/drone.h"
 #include "src/flight/flight_log.h"
 #include "src/net/channel.h"
@@ -67,6 +69,7 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   options.use_sensor_bus = config.sensor_bus;
   options.memory_budget_mb = config.memory_budget_mb;
   options.trace = trace;
+  options.sensor_faults = config.sensor_faults;
   AnDroneSystem system(&clock, options);
   if (!system.Boot().ok()) {
     return result;
@@ -83,6 +86,7 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   Rng placement(SplitMix64(ctx.seed ^ 0x57a9c0ffee));
   std::vector<VirtualDroneInstance*> tenants;
   std::vector<PlannerJob> jobs;
+  int tenants_rejected = 0;
   for (int i = 0; i < config.tenants; ++i) {
     double north = placement.Uniform(-config.waypoint_spread_m,
                                      config.waypoint_spread_m);
@@ -93,6 +97,12 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
         system.Deploy(MakeTenant(i, waypoint, config.dwell_s),
                       WhitelistTemplate::kStandard);
     if (!deployed.ok()) {
+      if (config.tolerate_deploy_rejection) {
+        // Memory-pressure scenarios assert on this split (paper Figure 12):
+        // the admission rejection is the datum, not a world failure.
+        ++tenants_rejected;
+        continue;
+      }
       return result;
     }
     tenants.push_back(*deployed);
@@ -105,11 +115,49 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
     jobs.push_back(job);
   }
 
+  // Crash-loop chaos: a bystander payload container crashed on schedule,
+  // supervised (backoff restarts, give-up) by a world-owned supervisor.
+  // Isolation means the flight must not notice.
+  std::unique_ptr<ContainerSupervisor> chaos_supervisor;
+  if (config.crash_loop.enabled()) {
+    auto payload = system.runtime().CreateContainer(
+        "chaos-payload", ContainerKind::kVirtualDrone, system.base_image());
+    if (!payload.ok() ||
+        !system.runtime().StartContainer((*payload)->id()).ok()) {
+      return result;
+    }
+    SupervisorPolicy policy;
+    policy.max_consecutive_restarts = config.crash_loop.max_restarts;
+    chaos_supervisor = std::make_unique<ContainerSupervisor>(
+        &clock, &system.runtime(), policy, SplitMix64(ctx.seed ^ 0xc4a5));
+    ContainerId payload_id = (*payload)->id();
+    chaos_supervisor->Watch(payload_id);
+    for (int k = 0; k < config.crash_loop.count; ++k) {
+      SimDuration at = SecondsF(config.crash_loop.start_s +
+                                k * config.crash_loop.period_s);
+      clock.ScheduleAfter(at, [&system, payload_id] {
+        // A crash only lands on a running life; between backoff and restart
+        // the container is already down and the scheduled crash is a no-op.
+        (void)system.runtime().CrashContainer(payload_id);
+      });
+    }
+  }
+
   // Planner downlink: telemetry fanned to the planner endpoint is encoded
   // into MAVProxy's reused wire scratch, VPN-encapsulated, and shipped over
-  // a seeded LTE channel — the §6.5 ground path, per world.
-  CellularLteModel lte;
-  NetworkChannel downlink(&clock, &lte, SplitMix64(ctx.seed + 0x11e7));
+  // a seeded link channel — the §6.5 ground path, per world. The scenario's
+  // link profile picks the regime; a fault plan decorates it with scripted
+  // outage/burst-loss/latency windows.
+  std::unique_ptr<LinkModel> link = MakeLinkModel(config.downlink_profile);
+  std::unique_ptr<FaultyLinkModel> faulty_link;
+  LinkModel* downlink_model = link.get();
+  if (config.net_faults != nullptr) {
+    faulty_link = std::make_unique<FaultyLinkModel>(
+        link.get(), config.net_faults, &clock, LinkDirection::kForward);
+    downlink_model = faulty_link.get();
+  }
+  NetworkChannel downlink(&clock, downlink_model,
+                          SplitMix64(ctx.seed + 0x11e7));
   VpnTunnel tunnel_tx(&downlink, 42);
   VpnTunnel tunnel_rx(&downlink, 42);
   if (trace != nullptr) {
@@ -138,20 +186,37 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   };
   clock.ScheduleAfter(Seconds(1), poll_cancel);
 
-  EnergyModel energy;
-  PlannerConfig pc;
-  pc.depot = kFleetBase;
-  pc.fleet_size = 1;
-  pc.annealing_iterations = config.annealing_iterations;
-  FlightPlanner planner(energy, pc);
-  auto plan = planner.Plan(jobs);
-  if (!plan.ok() || plan->routes.empty()) {
-    return result;
-  }
+  FlightExecutionReport flight_report;
+  bool flight_ok = true;
+  if (!jobs.empty()) {
+    EnergyModel energy;
+    PlannerConfig pc;
+    pc.depot = kFleetBase;
+    pc.fleet_size = 1;
+    pc.annealing_iterations = config.annealing_iterations;
+    FlightPlanner planner(energy, pc);
+    auto plan = planner.Plan(jobs);
+    if (!plan.ok() || plan->routes.empty()) {
+      return result;
+    }
 
-  auto flight = system.ExecuteRoute(plan->routes[0], jobs);
-  if (!flight.ok()) {
-    return result;
+    auto flight = system.ExecuteRoute(plan->routes[0], jobs);
+    if (flight.ok()) {
+      flight_report = std::move(*flight);
+    } else {
+      // A flight abort (safety cutoff under sensor chaos, battery floor,
+      // mission timeout) is a scenario outcome, not an infrastructure
+      // failure: the world still drains, exports counters/metrics/trace,
+      // and reports completed = false — triage needs the faulted world's
+      // trace to diff against its nominal twin.
+      flight_ok = false;
+    }
+  } else {
+    // Every tenant was rejected at admission (memory-pressure scenarios
+    // with tolerate_deploy_rejection): no route to fly, but the world still
+    // completes — the admitted/rejected split is its result. Run a few
+    // simulated seconds so scheduled chaos (crash loops) plays out.
+    system.RunClockUntil([] { return false; }, Seconds(30));
   }
   // Drain the downlink: flush any residual telemetry batch and run one more
   // simulated second so in-flight datagrams reach the receiver before the
@@ -159,12 +224,14 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   system.proxy().FlushTelemetryBatch();
   system.RunClockUntil([] { return false; }, Seconds(1));
 
-  result.completed = !system.abort_requested();
+  result.completed = flight_ok && !system.abort_requested();
   result.events_run = clock.events_run();
   result.counters["waypoints_visited"] =
-      static_cast<double>(flight->waypoints_visited);
-  result.counters["flight_time_s"] = flight->flight_time_s;
-  result.counters["battery_used_j"] = flight->battery_used_j;
+      static_cast<double>(flight_report.waypoints_visited);
+  result.counters["flight_time_s"] = flight_report.flight_time_s;
+  result.counters["battery_used_j"] = flight_report.battery_used_j;
+  result.counters["tenants_admitted"] = static_cast<double>(tenants.size());
+  result.counters["tenants_rejected"] = static_cast<double>(tenants_rejected);
   result.counters["downlink_frames"] = static_cast<double>(frames_down);
   result.counters["downlink_bytes"] = static_cast<double>(bytes_down);
   result.counters["downlink_lost"] = static_cast<double>(downlink.lost());
@@ -202,6 +269,43 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
     if (trace != nullptr) {
       metrics.Add("trace.recorded", static_cast<double>(trace->recorded()));
       metrics.Add("trace.dropped", static_cast<double>(trace->dropped()));
+    }
+    metrics.Add("fleet.tenants_admitted", static_cast<double>(tenants.size()));
+    metrics.Add("fleet.tenants_rejected",
+                static_cast<double>(tenants_rejected));
+    if (faulty_link != nullptr) {
+      metrics.Add("net.outage_losses",
+                  static_cast<double>(faulty_link->counters().outage_losses));
+      metrics.Add("net.burst_losses",
+                  static_cast<double>(faulty_link->counters().burst_losses));
+      metrics.Add(
+          "net.inflated_samples",
+          static_cast<double>(faulty_link->counters().inflated_samples));
+    }
+    if (const SensorFaultInjector* inj = system.sensor_fault_injector()) {
+      metrics.Add("sensor.dropouts",
+                  static_cast<double>(inj->counters().dropouts));
+      metrics.Add("sensor.stuck_reads",
+                  static_cast<double>(inj->counters().stuck_reads));
+      metrics.Add("sensor.corrupted_reads",
+                  static_cast<double>(inj->counters().corrupted_reads));
+    }
+    {
+      const auto& episodes = system.flight().safety().episodes();
+      int cutoffs = 0;
+      int deepest = 0;
+      for (const SafetyEpisode& episode : episodes) {
+        deepest = std::max(deepest, static_cast<int>(episode.deepest));
+        if (episode.deepest == SafetyStage::kCutoff) {
+          ++cutoffs;
+        }
+      }
+      metrics.Add("safety.episodes", static_cast<double>(episodes.size()));
+      metrics.Add("safety.cutoffs", static_cast<double>(cutoffs));
+      metrics.Add("safety.deepest_stage", static_cast<double>(deepest));
+    }
+    if (chaos_supervisor != nullptr) {
+      chaos_supervisor->ExportMetrics(metrics);
     }
     result.metrics = metrics.Snapshot();
   }

@@ -9,10 +9,28 @@
 #define SRC_EXEC_FLEET_WORLD_H_
 
 #include "src/exec/fleet_executor.h"
+#include "src/hw/sensor_faults.h"
+#include "src/net/fault_injector.h"
+#include "src/net/link_model.h"
 
 namespace androne {
 
 class TraceRecorder;
+
+// Scripted crash-loop chaos: a payload virtual-drone container is crashed
+// |count| times, the first at |start_s| then every |period_s|, while a
+// world-owned ContainerSupervisor restarts it with backoff and gives up
+// after |max_restarts| consecutive failures. The container is a bystander
+// (no tenant runs in it) — the axis exercises supervision and isolation,
+// not the flight.
+struct CrashLoopConfig {
+  int count = 0;  // 0 disables the axis.
+  double start_s = 5;
+  double period_s = 10;
+  int max_restarts = 5;
+
+  bool enabled() const { return count > 0; }
+};
 
 struct FleetWorldConfig {
   // Direct-access tenants deployed per world, each with one waypoint placed
@@ -41,6 +59,23 @@ struct FleetWorldConfig {
   // binds it to its clock, and the caller does its own exports. Never share
   // one recorder across concurrent worlds — recorders are not thread-safe.
   TraceRecorder* trace = nullptr;
+
+  // --- Chaos axes (the scenario DSL's fault surface) ---
+  // Which link regime carries the planner downlink.
+  LinkProfile downlink_profile = LinkProfile::kCellularLte;
+  // Scripted network faults applied to the downlink (forward direction).
+  // Borrowed; must outlive the run. nullptr = no network chaos.
+  const FaultPlan* net_faults = nullptr;
+  // Scripted sensor faults applied to every flight-stack sensor read.
+  // Borrowed; must outlive the run. nullptr = no sensor chaos.
+  const SensorFaultPlan* sensor_faults = nullptr;
+  // Crash-loop chaos on a payload container (see CrashLoopConfig).
+  CrashLoopConfig crash_loop;
+  // Deploy rejections (memory admission) become the tenants_rejected
+  // counter instead of failing the world — the memory-pressure scenarios
+  // assert on the admitted/rejected split (paper Figure 12), so a rejected
+  // tenant is data, not an error.
+  bool tolerate_deploy_rejection = false;
 };
 
 // Runs one world to completion (or early abort on fleet cancellation) and

@@ -1,6 +1,7 @@
 #include "src/hw/sensor_faults.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/util/geo.h"
 
@@ -30,9 +31,22 @@ const char* SensorChannelName(SensorChannel channel) {
   return "unknown";
 }
 
-void SensorFaultPlan::Add(SensorFaultKind kind, SensorChannel sensor,
-                          SimTime start, SimDuration duration, double p0,
-                          double p1) {
+std::optional<SensorChannel> PinnedChannelOf(SensorFaultKind kind) {
+  switch (kind) {
+    case SensorFaultKind::kGpsJump:
+      return SensorChannel::kGps;
+    case SensorFaultKind::kBaroSpike:
+      return SensorChannel::kBaro;
+    case SensorFaultKind::kBatterySag:
+      return SensorChannel::kBattery;
+    default:
+      return std::nullopt;
+  }
+}
+
+Status SensorFaultPlan::Add(SensorFaultKind kind, SensorChannel sensor,
+                            SimTime start, SimDuration duration, double p0,
+                            double p1) {
   FaultWindowSpec w;
   w.kind = static_cast<int>(kind);
   w.scope = static_cast<int>(sensor);
@@ -40,47 +54,90 @@ void SensorFaultPlan::Add(SensorFaultKind kind, SensorChannel sensor,
   w.end = start + duration;
   w.p0 = p0;
   w.p1 = p1;
-  schedule_.Add(w);
+  return AddWindow(w);
 }
 
-void SensorFaultPlan::AddDropout(SensorChannel sensor, SimTime start,
+Status SensorFaultPlan::AddDropout(SensorChannel sensor, SimTime start,
+                                   SimDuration duration) {
+  return Add(SensorFaultKind::kDropout, sensor, start, duration);
+}
+
+Status SensorFaultPlan::AddStuck(SensorChannel sensor, SimTime start,
                                  SimDuration duration) {
-  Add(SensorFaultKind::kDropout, sensor, start, duration);
+  return Add(SensorFaultKind::kStuck, sensor, start, duration);
 }
 
-void SensorFaultPlan::AddStuck(SensorChannel sensor, SimTime start,
-                               SimDuration duration) {
-  Add(SensorFaultKind::kStuck, sensor, start, duration);
+Status SensorFaultPlan::AddBiasDrift(SensorChannel sensor, SimTime start,
+                                     SimDuration duration, double rate_per_s) {
+  return Add(SensorFaultKind::kBiasDrift, sensor, start, duration,
+             rate_per_s);
 }
 
-void SensorFaultPlan::AddBiasDrift(SensorChannel sensor, SimTime start,
-                                   SimDuration duration, double rate_per_s) {
-  Add(SensorFaultKind::kBiasDrift, sensor, start, duration, rate_per_s);
+Status SensorFaultPlan::AddNoiseInflation(SensorChannel sensor, SimTime start,
+                                          SimDuration duration,
+                                          double extra_stddev) {
+  return Add(SensorFaultKind::kNoiseInflation, sensor, start, duration,
+             extra_stddev);
 }
 
-void SensorFaultPlan::AddNoiseInflation(SensorChannel sensor, SimTime start,
-                                        SimDuration duration,
-                                        double extra_stddev) {
-  Add(SensorFaultKind::kNoiseInflation, sensor, start, duration,
-      extra_stddev);
+Status SensorFaultPlan::AddGpsJump(SimTime start, SimDuration duration,
+                                   double north_m, double east_m) {
+  return Add(SensorFaultKind::kGpsJump, SensorChannel::kGps, start, duration,
+             north_m, east_m);
 }
 
-void SensorFaultPlan::AddGpsJump(SimTime start, SimDuration duration,
-                                 double north_m, double east_m) {
-  Add(SensorFaultKind::kGpsJump, SensorChannel::kGps, start, duration,
-      north_m, east_m);
+Status SensorFaultPlan::AddBaroSpike(SimTime start, SimDuration duration,
+                                     double magnitude_m, double probability) {
+  return Add(SensorFaultKind::kBaroSpike, SensorChannel::kBaro, start,
+             duration, magnitude_m, probability);
 }
 
-void SensorFaultPlan::AddBaroSpike(SimTime start, SimDuration duration,
-                                   double magnitude_m, double probability) {
-  Add(SensorFaultKind::kBaroSpike, SensorChannel::kBaro, start, duration,
-      magnitude_m, probability);
+Status SensorFaultPlan::AddBatterySag(SimTime start, SimDuration duration,
+                                      double sag_fraction) {
+  return Add(SensorFaultKind::kBatterySag, SensorChannel::kBattery, start,
+             duration, sag_fraction);
 }
 
-void SensorFaultPlan::AddBatterySag(SimTime start, SimDuration duration,
-                                    double sag_fraction) {
-  Add(SensorFaultKind::kBatterySag, SensorChannel::kBattery, start, duration,
-      sag_fraction);
+Status SensorFaultPlan::AddWindow(const FaultWindowSpec& window) {
+  RETURN_IF_ERROR(FaultSchedule::ValidateWindow(window, kMaxSensorFaultKind,
+                                                kMaxSensorChannel));
+  const auto kind = static_cast<SensorFaultKind>(window.kind);
+  std::optional<SensorChannel> pinned = PinnedChannelOf(kind);
+  if (pinned.has_value() && window.scope != static_cast<int>(*pinned) &&
+      window.scope != kFaultScopeAll) {
+    return InvalidArgumentError(
+        std::string("sensor fault window: kind is pinned to channel ") +
+        SensorChannelName(*pinned) + " but scope names " +
+        SensorChannelName(static_cast<SensorChannel>(window.scope)));
+  }
+  switch (kind) {
+    case SensorFaultKind::kNoiseInflation:
+      if (window.p0 < 0) {
+        return InvalidArgumentError(
+            "noise-inflation window: negative stddev");
+      }
+      break;
+    case SensorFaultKind::kBaroSpike:
+      if (window.p1 < 0 || window.p1 > 1) {
+        return InvalidArgumentError(
+            "baro-spike window: probability outside [0, 1]");
+      }
+      break;
+    case SensorFaultKind::kBatterySag:
+      if (window.p0 < 0 || window.p0 > 1) {
+        return InvalidArgumentError(
+            "battery-sag window: sag fraction outside [0, 1]");
+      }
+      break;
+    default:
+      break;
+  }
+  FaultWindowSpec w = window;
+  if (pinned.has_value()) {
+    w.scope = static_cast<int>(*pinned);  // Canonicalize "all" to the pin.
+  }
+  schedule_.Add(w);
+  return OkStatus();
 }
 
 bool SensorFaultInjector::Dropped(SensorChannel channel) {

@@ -42,27 +42,46 @@ enum class SensorFaultKind {
   kBatterySag = 6,      // Sensed fraction scaled by (1 - p0); truth untouched.
 };
 
-// Typed schedule builder. All windows are [start, start + duration).
+inline constexpr int kMaxSensorFaultKind =
+    static_cast<int>(SensorFaultKind::kBatterySag);
+inline constexpr int kMaxSensorChannel =
+    static_cast<int>(SensorChannel::kBattery);
+
+// The channel a kind is pinned to, or nullopt for channel-free kinds
+// (dropout/stuck/bias/noise apply to whatever channel the window names; a
+// GPS jump is only ever a GPS fault). Manifest loading rejects windows
+// whose named channel conflicts with the kind's pinned channel.
+std::optional<SensorChannel> PinnedChannelOf(SensorFaultKind kind);
+
+// Typed schedule builder. All windows are [start, start + duration). Every
+// builder validates its window (FaultSchedule::ValidateWindow plus
+// kind-specific parameter ranges) and returns a descriptive error instead
+// of silently accepting a malformed one; on error the plan is unchanged.
 class SensorFaultPlan {
  public:
-  void AddDropout(SensorChannel sensor, SimTime start, SimDuration duration);
-  void AddStuck(SensorChannel sensor, SimTime start, SimDuration duration);
-  void AddBiasDrift(SensorChannel sensor, SimTime start, SimDuration duration,
-                    double rate_per_s);
-  void AddNoiseInflation(SensorChannel sensor, SimTime start,
-                         SimDuration duration, double extra_stddev);
-  void AddGpsJump(SimTime start, SimDuration duration, double north_m,
-                  double east_m);
-  void AddBaroSpike(SimTime start, SimDuration duration, double magnitude_m,
-                    double probability);
-  void AddBatterySag(SimTime start, SimDuration duration,
-                     double sag_fraction);
+  Status AddDropout(SensorChannel sensor, SimTime start, SimDuration duration);
+  Status AddStuck(SensorChannel sensor, SimTime start, SimDuration duration);
+  Status AddBiasDrift(SensorChannel sensor, SimTime start,
+                      SimDuration duration, double rate_per_s);
+  Status AddNoiseInflation(SensorChannel sensor, SimTime start,
+                           SimDuration duration, double extra_stddev);
+  Status AddGpsJump(SimTime start, SimDuration duration, double north_m,
+                    double east_m);
+  Status AddBaroSpike(SimTime start, SimDuration duration, double magnitude_m,
+                      double probability);
+  Status AddBatterySag(SimTime start, SimDuration duration,
+                       double sag_fraction);
+
+  // Generic validated append — the manifest-loading path (fault windows
+  // deserialized by util/fault_plan_io land here). Rejects windows whose
+  // scope conflicts with the kind's pinned channel.
+  Status AddWindow(const FaultWindowSpec& window);
 
   const FaultSchedule& schedule() const { return schedule_; }
 
  private:
-  void Add(SensorFaultKind kind, SensorChannel sensor, SimTime start,
-           SimDuration duration, double p0 = 0.0, double p1 = 0.0);
+  Status Add(SensorFaultKind kind, SensorChannel sensor, SimTime start,
+             SimDuration duration, double p0 = 0.0, double p1 = 0.0);
 
   FaultSchedule schedule_;
 };

@@ -14,30 +14,30 @@ const char* LinkDirectionName(LinkDirection dir) {
   return "unknown";
 }
 
-void FaultPlan::AddOutage(SimTime start, SimDuration duration,
-                          LinkDirection dir) {
+Status FaultPlan::AddOutage(SimTime start, SimDuration duration,
+                            LinkDirection dir) {
   FaultWindowSpec w;
   w.kind = static_cast<int>(FaultKind::kOutage);
   w.scope = static_cast<int>(dir);
   w.start = start;
   w.end = start + duration;
-  schedule_.Add(w);
+  return AddWindow(w);
 }
 
-void FaultPlan::AddBurstLoss(SimTime start, SimDuration duration,
-                             double loss_probability, LinkDirection dir) {
+Status FaultPlan::AddBurstLoss(SimTime start, SimDuration duration,
+                               double loss_probability, LinkDirection dir) {
   FaultWindowSpec w;
   w.kind = static_cast<int>(FaultKind::kBurstLoss);
   w.scope = static_cast<int>(dir);
   w.start = start;
   w.end = start + duration;
   w.p0 = loss_probability;
-  schedule_.Add(w);
+  return AddWindow(w);
 }
 
-void FaultPlan::AddLatencyInflation(SimTime start, SimDuration duration,
-                                    double multiplier, SimDuration extra,
-                                    LinkDirection dir) {
+Status FaultPlan::AddLatencyInflation(SimTime start, SimDuration duration,
+                                      double multiplier, SimDuration extra,
+                                      LinkDirection dir) {
   FaultWindowSpec w;
   w.kind = static_cast<int>(FaultKind::kLatency);
   w.scope = static_cast<int>(dir);
@@ -45,7 +45,30 @@ void FaultPlan::AddLatencyInflation(SimTime start, SimDuration duration,
   w.end = start + duration;
   w.p0 = multiplier;
   w.d0 = extra;
-  schedule_.Add(w);
+  return AddWindow(w);
+}
+
+Status FaultPlan::AddWindow(const FaultWindowSpec& window) {
+  RETURN_IF_ERROR(FaultSchedule::ValidateWindow(window, kMaxFaultKind,
+                                                kMaxLinkDirection));
+  switch (static_cast<FaultKind>(window.kind)) {
+    case FaultKind::kOutage:
+      break;
+    case FaultKind::kBurstLoss:
+      if (window.p0 < 0 || window.p0 > 1) {
+        return InvalidArgumentError(
+            "burst-loss window: probability outside [0, 1]");
+      }
+      break;
+    case FaultKind::kLatency:
+      if (window.p0 < 0) {
+        return InvalidArgumentError(
+            "latency window: negative latency multiplier");
+      }
+      break;
+  }
+  schedule_.Add(window);
+  return OkStatus();
 }
 
 bool FaultPlan::InOutage(SimTime t, LinkDirection dir) const {

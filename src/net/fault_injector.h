@@ -33,32 +33,45 @@ enum class FaultKind {
   kLatency,    // Sampled latency is scaled and/or inflated by a constant.
 };
 
+inline constexpr int kMaxFaultKind = static_cast<int>(FaultKind::kLatency);
+inline constexpr int kMaxLinkDirection =
+    static_cast<int>(LinkDirection::kReverse);
+
 // A scripted fault schedule. Build it once before the scenario runs; the
 // decorated links consult it on every send. Windows may overlap (all
 // matching windows apply: loss probabilities are combined, latency effects
 // compose). Window parameters map onto the generic spec as
 // p0 = loss probability / latency multiplier, d0 = extra latency.
+//
+// Every builder validates the window (FaultSchedule::ValidateWindow plus
+// kind-specific parameter ranges) and rejects malformed input with a
+// descriptive Status instead of silently scheduling nonsense; on error the
+// plan is unchanged.
 class FaultPlan {
  public:
   // Total blackout of [start, start+duration) in |dir|.
-  void AddOutage(SimTime start, SimDuration duration,
-                 LinkDirection dir = LinkDirection::kBoth);
+  Status AddOutage(SimTime start, SimDuration duration,
+                   LinkDirection dir = LinkDirection::kBoth);
 
-  // Elevated random loss in the window.
-  void AddBurstLoss(SimTime start, SimDuration duration,
-                    double loss_probability,
-                    LinkDirection dir = LinkDirection::kBoth);
+  // Elevated random loss in the window; probability in [0, 1].
+  Status AddBurstLoss(SimTime start, SimDuration duration,
+                      double loss_probability,
+                      LinkDirection dir = LinkDirection::kBoth);
 
-  // Latency inflation: sampled latency * multiplier + extra.
-  void AddLatencyInflation(SimTime start, SimDuration duration,
-                           double multiplier, SimDuration extra,
-                           LinkDirection dir = LinkDirection::kBoth);
+  // Latency inflation: sampled latency * multiplier + extra (both >= 0).
+  Status AddLatencyInflation(SimTime start, SimDuration duration,
+                             double multiplier, SimDuration extra,
+                             LinkDirection dir = LinkDirection::kBoth);
 
   // One-sided blackout — models an asymmetric partition where traffic flows
   // one way only (e.g. uplink delivered, acks lost).
-  void AddPartition(SimTime start, SimDuration duration, LinkDirection dir) {
-    AddOutage(start, duration, dir);
+  Status AddPartition(SimTime start, SimDuration duration, LinkDirection dir) {
+    return AddOutage(start, duration, dir);
   }
+
+  // Generic validated append — the manifest-loading path (fault windows
+  // deserialized by util/fault_plan_io land here).
+  Status AddWindow(const FaultWindowSpec& window);
 
   const FaultSchedule& schedule() const { return schedule_; }
 

@@ -33,4 +33,42 @@ SimDuration WiredModel::SampleLatency(Rng& rng) const {
   return static_cast<SimDuration>(ms * 1e6);
 }
 
+const char* LinkProfileName(LinkProfile profile) {
+  switch (profile) {
+    case LinkProfile::kCellularLte:
+      return "lte";
+    case LinkProfile::kRfRemote:
+      return "rf";
+    case LinkProfile::kWired:
+      return "wired";
+  }
+  return "unknown";
+}
+
+StatusOr<LinkProfile> LinkProfileFromName(const std::string& name) {
+  if (name == "lte") {
+    return LinkProfile::kCellularLte;
+  }
+  if (name == "rf") {
+    return LinkProfile::kRfRemote;
+  }
+  if (name == "wired") {
+    return LinkProfile::kWired;
+  }
+  return InvalidArgumentError("unknown link profile \"" + name +
+                              "\" (expected one of: lte, rf, wired)");
+}
+
+std::unique_ptr<LinkModel> MakeLinkModel(LinkProfile profile) {
+  switch (profile) {
+    case LinkProfile::kRfRemote:
+      return std::make_unique<RfRemoteModel>();
+    case LinkProfile::kWired:
+      return std::make_unique<WiredModel>();
+    case LinkProfile::kCellularLte:
+      break;
+  }
+  return std::make_unique<CellularLteModel>();
+}
+
 }  // namespace androne

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/util/rng.h"
+#include "src/util/status.h"
 #include "src/util/time.h"
 
 namespace androne {
@@ -59,6 +60,18 @@ class WiredModel : public LinkModel {
   SimDuration SampleLatency(Rng& rng) const override;
   bool SampleLoss(Rng& rng) const override { (void)rng; return false; }
 };
+
+// Named link profile — the scenario DSL's network-condition axis
+// (FlyNetSim-style: the link regime is a first-class sweep dimension, not
+// an implementation detail of one bench).
+enum class LinkProfile { kCellularLte = 0, kRfRemote = 1, kWired = 2 };
+
+const char* LinkProfileName(LinkProfile profile);
+// Case-sensitive inverse of LinkProfileName; error on unknown names.
+StatusOr<LinkProfile> LinkProfileFromName(const std::string& name);
+
+// Fresh model instance for the profile (models are stateless samplers).
+std::unique_ptr<LinkModel> MakeLinkModel(LinkProfile profile);
 
 }  // namespace androne
 

@@ -1,0 +1,60 @@
+#include "src/obs/triage.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace androne {
+
+DivergencePoint FirstDivergentLine(const std::string& a,
+                                   const std::string& b) {
+  std::istringstream sa(a);
+  std::istringstream sb(b);
+  std::string la;
+  std::string lb;
+  DivergencePoint point;
+  int line = 0;
+  while (true) {
+    ++line;
+    bool has_a = static_cast<bool>(std::getline(sa, la));
+    bool has_b = static_cast<bool>(std::getline(sb, lb));
+    if (!has_a && !has_b) {
+      return point;  // line == 0: identical.
+    }
+    if (!has_a || !has_b || la != lb) {
+      point.line = line;
+      point.a = has_a ? la : "<eof>";
+      point.b = has_b ? lb : "<eof>";
+      return point;
+    }
+  }
+}
+
+std::string DescribeDivergence(const std::string& a, const std::string& b,
+                               const std::string& label_a,
+                               const std::string& label_b) {
+  DivergencePoint point = FirstDivergentLine(a, b);
+  if (point.identical()) {
+    return "texts are identical";
+  }
+  std::ostringstream out;
+  out << "first divergence at line " << point.line << ":\n  " << label_a
+      << ": " << point.a << "\n  " << label_b << ": " << point.b;
+  return out.str();
+}
+
+std::string FailureBucketKey(const std::string& family,
+                             std::vector<std::string> failed_assertions) {
+  std::sort(failed_assertions.begin(), failed_assertions.end());
+  std::string key = family;
+  if (failed_assertions.empty()) {
+    key += "|<no-assertion>";
+    return key;
+  }
+  for (const std::string& assertion : failed_assertions) {
+    key += "|";
+    key += assertion;
+  }
+  return key;
+}
+
+}  // namespace androne

@@ -1,0 +1,51 @@
+// Failure-triage text helpers (DESIGN.md §12). The obs layer's byte-stable
+// exports (TraceRecorder::ExportText, MetricsSnapshot::ToText) make "where
+// did two runs diverge?" a line diff; these helpers turn that diff into the
+// two artifacts campaign triage and the determinism harness key on:
+//
+//  - FirstDivergentLine: the 1-based line where two exports first differ
+//    (0 when identical). Against a trace export that line IS the first
+//    divergent trace event, since ExportText is one event per line.
+//  - DescribeDivergence: a human-readable two-line excerpt of that
+//    divergence for failure messages.
+//  - FailureBucketKey: the canonical bucket id a failing scenario lands in
+//    — scenario family + failed-assertion signature — so one root cause
+//    collapses to one bucket no matter how many sweep instances hit it.
+#ifndef SRC_OBS_TRIAGE_H_
+#define SRC_OBS_TRIAGE_H_
+
+#include <string>
+#include <vector>
+
+namespace androne {
+
+// One side of the first differing line between two texts.
+struct DivergencePoint {
+  int line = 0;  // 1-based line number; 0 means the texts are identical.
+  std::string a;  // The line in text A ("<eof>" if A ended first).
+  std::string b;  // The line in text B ("<eof>" if B ended first).
+
+  bool identical() const { return line == 0; }
+};
+
+// First line where |a| and |b| differ, comparing line by line.
+DivergencePoint FirstDivergentLine(const std::string& a, const std::string& b);
+
+// Failure-message rendering of FirstDivergentLine. |label_a|/|label_b| name
+// the two sides (e.g. "golden"/"actual", "faulted"/"nominal").
+std::string DescribeDivergence(const std::string& a, const std::string& b,
+                               const std::string& label_a = "A",
+                               const std::string& label_b = "B");
+
+// Canonical bucket key for a failed scenario: the scenario family (template
+// name — instance decorations like "#3" or "/t4" already stripped by the
+// caller) joined with the sorted failed-assertion signatures. Deterministic:
+// the assertion list is copied and sorted, so evaluation order is
+// irrelevant. An empty |failed_assertions| yields "<family>|<no-assertion>"
+// (the scenario failed without tripping an assertion, e.g. world skipped).
+std::string FailureBucketKey(const std::string& family,
+                             std::vector<std::string> failed_assertions);
+
+}  // namespace androne
+
+#endif  // SRC_OBS_TRIAGE_H_

@@ -1,0 +1,96 @@
+// Campaign engine (DESIGN.md §12): drives expanded scenarios through
+// FleetExecutor under the fleet's wall-clock budget/cancel machinery,
+// evaluates each scenario's assertions against its WorldResult, and triages
+// failures. Triage buckets failing scenarios by (family, failed-assertion
+// signature) — one root cause collapses to one bucket however many sweep
+// instances hit it — then re-runs each bucket's representative with full
+// tracing next to a fault-stripped "nominal twin" at the same seed; the
+// first divergent trace line localizes where the chaos first bent the run.
+//
+// The CampaignReport's text form is deterministic: byte-identical across
+// repeats and across executor thread counts (wall-clock time is reported
+// separately and excluded from the text and its digest).
+#ifndef SRC_SCENARIO_CAMPAIGN_H_
+#define SRC_SCENARIO_CAMPAIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+
+namespace androne {
+
+struct CampaignOptions {
+  std::string name;  // Report heading (usually the CampaignSpec name).
+  int threads = 1;
+  uint64_t base_seed = 1;      // Executor seed root (scenario seeds win).
+  int64_t wall_budget_ms = 0;  // 0 = unlimited; else skip/cancel past it.
+  // Re-run one representative per failure bucket (traced, plus its nominal
+  // twin) to pin the first divergent trace event. Serial, deterministic.
+  bool triage = true;
+  // Trace configuration for triage/repro re-runs. The capacity default is
+  // sized for worst-case scenario worlds (a stalled flight runs the full
+  // 600 s waypoint deadline, ~40k events) — a wrapped ring would lose the
+  // run's head and make "first divergence" meaningless.
+  uint32_t trace_categories = 0xffffffffu;  // kTraceAll.
+  size_t trace_capacity = 1 << 16;
+};
+
+// One failure equivalence class.
+struct FailureBucket {
+  std::string key;  // FailureBucketKey(family, failed assertions).
+  int count = 0;
+  bool expected = false;  // True when every member scenario expect_fails.
+  // Lowest-index failing scenario — the bucket's deterministic exemplar.
+  std::string representative;
+  uint64_t representative_seed = 0;
+  std::vector<std::string> failed_assertions;
+  // First divergent trace line between the traced representative and its
+  // fault-stripped nominal twin ("identical" when chaos never bent the
+  // trace, e.g. pure assertion miscalibration). Empty when triage is off.
+  std::string first_divergence;
+};
+
+struct CampaignReport {
+  std::string name;
+  int scenarios = 0;
+  int passed = 0;   // No failed assertions (and not expect_fail).
+  int failed = 0;   // At least one failed assertion.
+  int skipped = 0;  // Never ran: wall budget exhausted first.
+  // Contract violations: a scenario that failed without expect_fail, or an
+  // expect_fail scenario that passed. The CI smoke gate is unexpected == 0.
+  int unexpected = 0;
+  std::vector<FailureBucket> buckets;  // Sorted by key.
+  MetricsSnapshot metrics;             // Merged across all ran worlds.
+  uint64_t fleet_digest = 0;
+  double wall_seconds = 0;  // Excluded from ToText()/Digest().
+
+  // Deterministic text rendering (the campaign's byte-stable artifact).
+  std::string ToText() const;
+  // FNV digest of ToText().
+  uint64_t Digest() const;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options);
+
+  // Runs every scenario (|scenarios| must outlive the call and is not
+  // copied — world configs borrow the specs' fault plans). Blocking.
+  CampaignReport Run(const std::vector<ScenarioSpec>& scenarios);
+
+  // Re-runs one scenario by instance name with full tracing — the --repro
+  // path. The returned WorldResult carries trace_text, the digest pair,
+  // and the re-evaluated failed assertions.
+  static StatusOr<WorldResult> Repro(
+      const std::vector<ScenarioSpec>& scenarios, const std::string& name,
+      uint32_t trace_categories = 0xffffffffu,
+      size_t trace_capacity = 1 << 16);
+
+ private:
+  CampaignOptions options_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_SCENARIO_CAMPAIGN_H_

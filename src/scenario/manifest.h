@@ -1,0 +1,45 @@
+// Campaign manifest loading and dumping (DESIGN.md §12). One declarative
+// document composes the whole campaign: mission shape, tenant mix sweep,
+// network/sensor fault plans with jitter, link profile, memory budget,
+// crash-loop chaos, and expected-outcome assertions. Manifests are accepted
+// in the repo's two existing document formats — the XML subset (app
+// manifests, §5) and JSON (virtual drone definitions, Figure 2); a JSON
+// manifest is transliterated to the XML element tree internally so a single
+// validation path serves both.
+//
+// Loading is strictly validating and never aborts: unknown elements,
+// unknown attributes/keys, misspelled kind/scope names, non-numeric
+// fields, inverted/negative windows, pinned-channel conflicts, and
+// malformed assertion expressions all come back as descriptive Status
+// errors naming the offending construct.
+//
+// DumpCampaignManifest emits the canonical XML form: attributes at their
+// defaults are omitted, numbers use FormatNumberCompact, attribute order is
+// alphabetical (XmlElement::Dump), and assertions are re-spelled
+// canonically — so dump(parse(dump(parse(text)))) == dump(parse(text))
+// byte-for-byte, the golden round-trip contract.
+#ifndef SRC_SCENARIO_MANIFEST_H_
+#define SRC_SCENARIO_MANIFEST_H_
+
+#include <string>
+
+#include "src/scenario/generator.h"
+#include "src/util/fault_plan_io.h"
+
+namespace androne {
+
+// The two chaos layers' manifest vocabularies (element names, kind/scope
+// name tables). Exposed for tests and tools that hand-build windows.
+const FaultVocabulary& NetFaultVocabulary();
+const FaultVocabulary& SensorFaultVocabulary();
+
+// Parses a campaign manifest. The format is sniffed from the first
+// non-whitespace byte: '<' = XML, anything else = JSON.
+StatusOr<CampaignSpec> ParseCampaignManifest(const std::string& text);
+
+// Canonical XML serialization (see the round-trip contract above).
+std::string DumpCampaignManifest(const CampaignSpec& campaign);
+
+}  // namespace androne
+
+#endif  // SRC_SCENARIO_MANIFEST_H_

@@ -1,0 +1,146 @@
+#include "src/scenario/scenario.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/fault_plan_io.h"
+#include "src/util/json.h"
+
+namespace androne {
+
+namespace {
+
+// Resolution order documented on AssertionSpec. Returns false when the
+// metric exists nowhere in the result.
+bool ResolveMetric(const std::string& name, const WorldResult& result,
+                   double* out) {
+  if (name == "completed") {
+    *out = result.completed ? 1.0 : 0.0;
+    return true;
+  }
+  auto counter = result.counters.find(name);
+  if (counter != result.counters.end()) {
+    *out = counter->second;
+    return true;
+  }
+  auto metric = result.metrics.counters.find(name);
+  if (metric != result.metrics.counters.end()) {
+    *out = metric->second;
+    return true;
+  }
+  auto gauge = result.metrics.gauges.find(name);
+  if (gauge != result.metrics.gauges.end()) {
+    *out = gauge->second;
+    return true;
+  }
+  return false;
+}
+
+bool Compare(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+std::string AssertionSpec::ToExpr() const {
+  return metric + " " + CompareOpName(op) + " " + FormatNumberCompact(value);
+}
+
+StatusOr<AssertionSpec> ParseAssertion(const std::string& expr) {
+  std::istringstream in(expr);
+  std::string metric;
+  std::string op;
+  std::string number;
+  std::string extra;
+  in >> metric >> op >> number;
+  if (metric.empty() || op.empty() || number.empty() || (in >> extra)) {
+    return InvalidArgumentError("assertion \"" + expr +
+                                "\": expected \"<metric> <op> <number>\"");
+  }
+  AssertionSpec spec;
+  spec.metric = metric;
+  if (op == "<=") {
+    spec.op = CompareOp::kLe;
+  } else if (op == ">=") {
+    spec.op = CompareOp::kGe;
+  } else if (op == "==") {
+    spec.op = CompareOp::kEq;
+  } else if (op == "!=") {
+    spec.op = CompareOp::kNe;
+  } else if (op == "<") {
+    spec.op = CompareOp::kLt;
+  } else if (op == ">") {
+    spec.op = CompareOp::kGt;
+  } else {
+    return InvalidArgumentError("assertion \"" + expr +
+                                "\": unknown operator \"" + op +
+                                "\" (expected one of: <=, >=, ==, !=, <, >)");
+  }
+  ASSIGN_OR_RETURN(spec.value,
+                   ParseManifestNumber(number, "assertion \"" + expr + "\""));
+  return spec;
+}
+
+FleetWorldConfig ScenarioWorldConfig(const ScenarioSpec& spec) {
+  FleetWorldConfig config = spec.world;
+  config.net_faults =
+      spec.net_faults.schedule().empty() ? nullptr : &spec.net_faults;
+  config.sensor_faults =
+      spec.sensor_faults.schedule().empty() ? nullptr : &spec.sensor_faults;
+  return config;
+}
+
+std::vector<std::string> EvaluateAssertions(
+    const std::vector<AssertionSpec>& assertions, const WorldResult& result) {
+  static const std::vector<AssertionSpec> kImplicit = {
+      AssertionSpec{"completed", CompareOp::kEq, 1.0}};
+  const std::vector<AssertionSpec>& effective =
+      assertions.empty() ? kImplicit : assertions;
+
+  std::vector<std::string> failed;
+  for (const AssertionSpec& assertion : effective) {
+    double actual = 0;
+    if (!ResolveMetric(assertion.metric, result, &actual)) {
+      failed.push_back(assertion.ToExpr() + " [missing]");
+      continue;
+    }
+    if (!Compare(actual, assertion.op, assertion.value)) {
+      failed.push_back(assertion.ToExpr());
+    }
+  }
+  return failed;
+}
+
+}  // namespace androne

@@ -1,0 +1,83 @@
+// Scenario vocabulary for the chaos-campaign engine (DESIGN.md §12). A
+// ScenarioSpec is one fully-concrete world to run: a FleetWorldConfig
+// (mission shape, tenant count, link profile, memory budget, crash-loop
+// schedule) plus owned network/sensor fault plans, a private seed, and a
+// list of expected-outcome assertions evaluated against the WorldResult.
+// Specs come out of the generator (src/scenario/generator.h), which expands
+// parameterized templates from a manifest (src/scenario/manifest.h) into
+// thousands of concrete scenarios; the CampaignRunner
+// (src/scenario/campaign.h) drives them through FleetExecutor and triages
+// the failures.
+#ifndef SRC_SCENARIO_SCENARIO_H_
+#define SRC_SCENARIO_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/exec/fleet_executor.h"
+#include "src/exec/fleet_world.h"
+#include "src/hw/sensor_faults.h"
+#include "src/net/fault_injector.h"
+#include "src/util/status.h"
+
+namespace androne {
+
+// Assertion comparison operators; two-character spellings first so the
+// parser never truncates "<=" to "<".
+enum class CompareOp { kLe, kGe, kEq, kNe, kLt, kGt };
+
+const char* CompareOpName(CompareOp op);
+
+// One expected-outcome assertion: "<metric> <op> <number>", e.g.
+// "completed == 1" or "tenants_rejected >= 1". The metric resolves against
+// the WorldResult in this order: the special name "completed" (0/1), then
+// result.counters, then the structured metrics counters, then gauges. An
+// unresolvable metric fails the assertion with a distinct "[missing]"
+// signature instead of passing vacuously.
+struct AssertionSpec {
+  std::string metric;
+  CompareOp op = CompareOp::kEq;
+  double value = 0;
+
+  // Canonical spelling: single spaces, FormatNumberCompact number. Bucket
+  // keys and the manifest dumper both use this form.
+  std::string ToExpr() const;
+};
+
+// Parses "<metric> <op> <number>" (whitespace-separated, exactly three
+// tokens). Descriptive errors on malformed expressions, unknown operators,
+// and non-numeric bounds.
+StatusOr<AssertionSpec> ParseAssertion(const std::string& expr);
+
+// One concrete scenario. The fault plans are owned by the spec; build the
+// world config with ScenarioWorldConfig(), which pins the config's borrowed
+// plan pointers to this spec (so the spec must outlive the run and must not
+// be moved while a world holds the config).
+struct ScenarioSpec {
+  std::string name;    // Instance name: "<family>/t<tenants>#<rep>".
+  std::string family;  // Template name — the triage bucketing coarse key.
+  uint64_t seed = 1;   // World seed; never 0 (0 means "derive from index").
+  bool expect_fail = false;  // Seeded-failure scenarios: failing is passing.
+
+  FleetWorldConfig world;  // Chaos plan pointers left null; see below.
+  FaultPlan net_faults;
+  SensorFaultPlan sensor_faults;
+
+  std::vector<AssertionSpec> assertions;
+};
+
+// The spec's world config with the chaos plan pointers wired to the spec's
+// own (owned) plans; empty plans stay disabled (null pointer) so a no-chaos
+// scenario runs the exact plain-world code path.
+FleetWorldConfig ScenarioWorldConfig(const ScenarioSpec& spec);
+
+// Evaluates the scenario's assertions against a world result and returns
+// the canonical expressions of the failures (empty = scenario passed). A
+// scenario with no explicit assertions gets the implicit contract
+// "completed == 1". Unresolvable metrics report as "<expr> [missing]".
+std::vector<std::string> EvaluateAssertions(
+    const std::vector<AssertionSpec>& assertions, const WorldResult& result);
+
+}  // namespace androne
+
+#endif  // SRC_SCENARIO_SCENARIO_H_

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "src/util/status.h"
 #include "src/util/time.h"
 
 namespace androne {
@@ -38,6 +39,19 @@ struct FaultWindowSpec {
 class FaultSchedule {
  public:
   void Add(const FaultWindowSpec& window) { windows_.push_back(window); }
+
+  // Structural validation of one window against the owning layer's
+  // vocabulary ranges: rejects unknown kinds, out-of-range scopes, negative
+  // start times, inverted windows (end < start; zero-duration windows are
+  // legal and cover nothing), negative extra durations, and non-finite
+  // parameters. Layers route both their typed builders and manifest loading
+  // through this, so a malformed window is a descriptive error at build
+  // time instead of silent nonsense at replay time.
+  static Status ValidateWindow(const FaultWindowSpec& window, int max_kind,
+                               int max_scope);
+
+  // ValidateWindow over every window already in the schedule.
+  Status Validate(int max_kind, int max_scope) const;
 
   const std::vector<FaultWindowSpec>& windows() const { return windows_; }
   bool empty() const { return windows_.empty(); }

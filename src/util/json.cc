@@ -118,6 +118,12 @@ void Indent(std::string& out, int n) { out.append(static_cast<size_t>(n) * 2, ' 
 
 }  // namespace
 
+std::string FormatNumberCompact(double d) {
+  std::string out;
+  AppendNumber(out, d);
+  return out;
+}
+
 void JsonValue::DumpTo(std::string& out, int indent, bool pretty) const {
   switch (type()) {
     case JsonType::kNull:

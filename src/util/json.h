@@ -88,6 +88,12 @@ StatusOr<JsonValue> ParseJson(const std::string& text);
 // Escapes a string per JSON rules (used by the serializer; exposed for tests).
 std::string JsonEscape(const std::string& s);
 
+// The serializer's number form: integers print without a decimal point, and
+// everything else uses the shortest representation that parses back to the
+// exact double. Shared by the scenario-manifest dumper, whose byte-stable
+// round-trip contract needs one canonical number spelling.
+std::string FormatNumberCompact(double d);
+
 }  // namespace androne
 
 #endif  // SRC_UTIL_JSON_H_

@@ -5,7 +5,6 @@
 // name), which localizes the nondeterminism to one instrumented layer.
 #include <gtest/gtest.h>
 
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "src/exec/fleet_world.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/obs/triage.h"
 
 namespace androne {
 namespace {
@@ -32,25 +32,7 @@ FleetWorldConfig TracedConfig() {
 // First line where the two exports differ — the first divergent trace
 // event, since ExportText is one event per line after the header.
 std::string FirstDivergentEvent(const std::string& a, const std::string& b) {
-  std::istringstream sa(a);
-  std::istringstream sb(b);
-  std::string la;
-  std::string lb;
-  int line = 0;
-  while (true) {
-    ++line;
-    bool has_a = static_cast<bool>(std::getline(sa, la));
-    bool has_b = static_cast<bool>(std::getline(sb, lb));
-    if (!has_a && !has_b) {
-      return "identical";
-    }
-    if (!has_a || !has_b || la != lb) {
-      std::ostringstream out;
-      out << "first divergent trace event at line " << line << ":\n  run A: "
-          << (has_a ? la : "<eof>") << "\n  run B: " << (has_b ? lb : "<eof>");
-      return out.str();
-    }
-  }
+  return DescribeDivergence(a, b, "run A", "run B");
 }
 
 TEST(DeterminismTest, RepeatedWorldsExportIdenticalTracesAndMetrics) {

@@ -172,6 +172,22 @@ TEST(FleetExecutorTest, WallBudgetSkipsUnstartedWorlds) {
   EXPECT_GT(report.cancelled, 0);
   EXPECT_LT(report.completed, 50);
   EXPECT_EQ(report.completed + report.cancelled, 50);
+  // Never-ran worlds are tracked separately from started-then-cancelled
+  // ones, and the per-world flags must agree with the fleet tally.
+  EXPECT_GT(report.skipped, 0);
+  EXPECT_LE(report.skipped, report.cancelled);
+  int skipped_worlds = 0;
+  for (const WorldResult& world : report.worlds) {
+    if (world.skipped) {
+      ++skipped_worlds;
+      EXPECT_FALSE(world.completed);
+    }
+  }
+  EXPECT_EQ(report.skipped, skipped_worlds);
+  ASSERT_NE(report.metrics.counters.find("fleet.worlds_skipped"),
+            report.metrics.counters.end());
+  EXPECT_DOUBLE_EQ(report.metrics.counters.at("fleet.worlds_skipped"),
+                   static_cast<double>(report.skipped));
 }
 
 TEST(FleetExecutorTest, RequestCancelStopsRemainingWorlds) {

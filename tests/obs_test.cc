@@ -9,6 +9,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/obs/triage.h"
 #include "src/util/json.h"
 #include "src/util/sim_clock.h"
 
@@ -324,6 +325,47 @@ TEST(MetricsSnapshotTest, TextAndDigestAreDeterministic) {
   MetricsRegistry other;
   other.Add("z.last", 4);
   EXPECT_NE(one.Digest(), other.Snapshot().Digest());
+}
+
+// --- Triage helpers (campaign failure localization) ---
+
+TEST(TriageTest, FirstDivergentLineFindsEarliestDifference) {
+  EXPECT_TRUE(FirstDivergentLine("", "").identical());
+  EXPECT_TRUE(FirstDivergentLine("a\nb\nc\n", "a\nb\nc\n").identical());
+
+  DivergencePoint mid = FirstDivergentLine("a\nb\nc\n", "a\nX\nc\n");
+  EXPECT_EQ(mid.line, 2);
+  EXPECT_EQ(mid.a, "b");
+  EXPECT_EQ(mid.b, "X");
+
+  // One text being a prefix of the other diverges at the first missing
+  // line, reported as <eof> on the shorter side.
+  DivergencePoint tail = FirstDivergentLine("a\nb\n", "a\nb\nc\n");
+  EXPECT_EQ(tail.line, 3);
+  EXPECT_EQ(tail.a, "<eof>");
+  EXPECT_EQ(tail.b, "c");
+}
+
+TEST(TriageTest, DescribeDivergenceNamesBothSides) {
+  EXPECT_EQ(DescribeDivergence("same\n", "same\n"), "texts are identical");
+  std::string described =
+      DescribeDivergence("a\nb\n", "a\nZ\n", "faulted", "nominal");
+  EXPECT_NE(described.find("line 2"), std::string::npos);
+  EXPECT_NE(described.find("faulted: b"), std::string::npos);
+  EXPECT_NE(described.find("nominal: Z"), std::string::npos);
+}
+
+TEST(TriageTest, FailureBucketKeyIsOrderInvariant) {
+  EXPECT_EQ(FailureBucketKey("family", {}), "family|<no-assertion>");
+  EXPECT_EQ(FailureBucketKey("f", {"b >= 1", "a == 0"}),
+            FailureBucketKey("f", {"a == 0", "b >= 1"}));
+  EXPECT_EQ(FailureBucketKey("f", {"a == 0", "b >= 1"}),
+            "f|a == 0|b >= 1");
+  // Different family or different assertion set → different bucket.
+  EXPECT_NE(FailureBucketKey("f", {"a == 0"}),
+            FailureBucketKey("g", {"a == 0"}));
+  EXPECT_NE(FailureBucketKey("f", {"a == 0"}),
+            FailureBucketKey("f", {"a == 1"}));
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include "src/exec/fleet_executor.h"
 #include "src/exec/fleet_world.h"
 #include "src/obs/trace.h"
+#include "src/obs/triage.h"
 
 namespace androne {
 namespace {
@@ -55,26 +56,7 @@ std::string RunGoldenWorld() {
 
 std::string FirstDivergence(const std::string& expected,
                             const std::string& actual) {
-  std::istringstream exp(expected);
-  std::istringstream act(actual);
-  std::string eline;
-  std::string aline;
-  int line = 0;
-  while (true) {
-    ++line;
-    bool has_e = static_cast<bool>(std::getline(exp, eline));
-    bool has_a = static_cast<bool>(std::getline(act, aline));
-    if (!has_e && !has_a) {
-      return "texts are identical";
-    }
-    if (!has_e || !has_a || eline != aline) {
-      std::ostringstream out;
-      out << "first divergence at line " << line << ":\n  golden: "
-          << (has_e ? eline : "<eof>") << "\n  actual: "
-          << (has_a ? aline : "<eof>");
-      return out.str();
-    }
-  }
+  return DescribeDivergence(expected, actual, "golden", "actual");
 }
 
 TEST(TraceGoldenTest, CanonicalWorldMatchesCheckedInGolden) {
