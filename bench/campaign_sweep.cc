@@ -1,4 +1,4 @@
-// Chaos campaign sweep: expands the built-in six-family campaign (or a
+// Chaos campaign sweep: expands the built-in eight-family campaign (or a
 // manifest given with --manifest) into concrete scenarios, drives them
 // through the campaign runner, and proves the determinism contract — the
 // campaign report is byte-identical across a repeat run and across executor
@@ -6,7 +6,7 @@
 // smoke gate greps it for "unexpected": 0.
 //
 // Flags:
-//   --smoke            small campaign (~64 scenarios) instead of the full
+//   --smoke            small campaign (~74 scenarios) instead of the full
 //                      1000+ sweep
 //   --threads N        reference thread count (default 1)
 //   --manifest PATH    load a campaign manifest (XML or JSON) instead of
@@ -81,12 +81,12 @@ JitteredWindow SensorWindow(SensorFaultKind kind, SensorChannel channel,
   return jw;
 }
 
-// The built-in campaign: six scenario families covering the chaos axes. The
-// smoke variant keeps the same families at ~64 instances; the full sweep
-// fans out past 1000. One family (seeded_failure) is an intentional
-// failure — expect_fail scenarios prove the triage path buckets and
-// diverges something on every run, so a regression that silently stops
-// detecting failures flips the "unexpected" gate.
+// The built-in campaign: eight scenario families covering the chaos axes.
+// The smoke variant keeps the same families at ~75 instances; the full
+// sweep fans out past 1000. Two families (seeded_failure, crash_giveup)
+// are intentional failures — expect_fail scenarios prove the triage path
+// buckets and diverges something on every run, so a regression that
+// silently stops detecting failures flips the "unexpected" gate.
 CampaignSpec BuiltinCampaign(bool smoke) {
   CampaignSpec campaign;
   campaign.name = smoke ? "builtin-smoke" : "builtin-full";
@@ -159,6 +159,41 @@ CampaignSpec BuiltinCampaign(bool smoke) {
     t.crash_loop.max_restarts = 5;
     t.assertions = {Expect("completed", CompareOp::kEq, 1),
                     Expect("supervisor.restarts", CompareOp::kGe, 1)};
+    campaign.templates.push_back(t);
+  }
+  {
+    ScenarioTemplate t = base;
+    t.name = "crash";
+    t.repeat = repeats(110, 8);
+    // The world dies twice mid-flight and recovers from its latest
+    // checkpoint; the jitter sweeps where the crashes land across the
+    // mission. Recovery is bit-identical to the uninterrupted run, so the
+    // family's contract is full completion plus the recovery bookkeeping
+    // (which rides outside counters/metrics — hence the recovery.* names).
+    t.crash.at_s = {9, 22};
+    t.crash.checkpoint_s = 4;
+    t.crash.jitter_s = 5;
+    t.assertions = {Expect("completed", CompareOp::kEq, 1),
+                    Expect("recovery.crashes", CompareOp::kGe, 1),
+                    Expect("recovery.restores", CompareOp::kGe, 1),
+                    Expect("recovery.fixed_point_ok", CompareOp::kEq, 1),
+                    Expect("recovery.gave_up", CompareOp::kEq, 0)};
+    campaign.templates.push_back(t);
+  }
+  {
+    ScenarioTemplate t = base;
+    t.name = "crash_giveup";
+    t.repeat = repeats(3, 2);
+    t.expect_fail = true;
+    // More landing crashes than restore budget: the supervisor gives up,
+    // the world stays down, and completed == 1 fails — which is this
+    // family's point. Like seeded_failure, it proves the give-up path and
+    // the triage machinery keep detecting real failures.
+    t.crash.at_s = {6, 10, 14, 18};
+    t.crash.checkpoint_s = 3;
+    t.crash.max_restores = 2;
+    t.assertions = {Expect("completed", CompareOp::kEq, 1),
+                    Expect("recovery.gave_up", CompareOp::kEq, 0)};
     campaign.templates.push_back(t);
   }
   {

@@ -16,11 +16,16 @@
 # the thread-count-invariance digest check; BENCH_datapath.json
 # (bench/datapath_throughput): hot-loop throughput across the legacy /
 # sensor-bus / batched-telemetry modes plus the flight-digest-invariance
-# guard (batching must not change what the drone flew); and
-# BENCH_campaign.json (bench/campaign_sweep): the full builtin chaos
-# campaign with report determinism across repeats and thread counts. A
-# ~64-scenario campaign smoke also gates both the plain and sanitizer
-# builds: every failure must land in an expected bucket (unexpected == 0).
+# guard (batching must not change what the drone flew); BENCH_campaign.json
+# (bench/campaign_sweep): the full builtin chaos campaign with report
+# determinism across repeats and thread counts; and BENCH_recovery.json
+# (bench/recovery_sweep): crash/restore equivalence — a crashed world
+# restored from its latest checkpoint must replay bit-identical to the
+# uninterrupted run (the grep gate is "digest_match": true). A
+# ~74-scenario campaign smoke also gates both the plain and sanitizer
+# builds: every failure must land in an expected bucket (unexpected == 0),
+# and the recovery-equivalence tests run on the plain, ASan/UBSan, and
+# TSan builds.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,7 +44,7 @@ cmake -S . -B build -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure)
 
-# Chaos campaign smoke: a seeded ~64-scenario sweep of every builtin fault
+# Chaos campaign smoke: a seeded ~74-scenario sweep of every builtin fault
 # family. The binary exits nonzero if the report is nondeterministic or any
 # failure lands outside an expected bucket, so the `if !` belt below is
 # just a clearer failure message on top of set -e.
@@ -70,17 +75,20 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   (cd build-asan && ctest --output-on-failure)
 
   # The fleet executor is the one genuinely multi-threaded subsystem; its
-  # tests — and the trace/metrics determinism harness, which runs traced
-  # worlds on 1/2/8 executor threads — also run under TSan (a separate
-  # build dir — TSan is incompatible with ASan in one binary).
-  echo "=== exec + determinism tests: sanitizer build (thread) ==="
+  # tests — the trace/metrics determinism harness, which runs traced
+  # worlds on 1/2/8 executor threads, and the crash-recovery equivalence
+  # suite, whose restore-and-replay must stay bit-identical at any thread
+  # count — also run under TSan (a separate build dir — TSan is
+  # incompatible with ASan in one binary).
+  echo "=== exec + determinism + recovery tests: sanitizer build (thread) ==="
   cmake -S . -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DANDRONE_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target exec_test determinism_test \
-        trace_golden_test
+        trace_golden_test recovery_test
   ./build-tsan/tests/exec_test
   ./build-tsan/tests/determinism_test
   ./build-tsan/tests/trace_golden_test
+  ./build-tsan/tests/recovery_test
 
   # The same campaign smoke under ASan/UBSan: fault windows, triage
   # re-runs, and the manifest loader all exercise pointer-heavy paths.
@@ -121,6 +129,15 @@ if ! grep -q '"flight_digest_match": true' BENCH_datapath.json; then
   echo "FAIL: telemetry batching changed the flight digest" >&2
   exit 1
 fi
+
+echo "=== bench: recovery sweep ==="
+./build/bench/recovery_sweep --json BENCH_recovery.json
+if ! grep -q '"digest_match": true' BENCH_recovery.json; then
+  echo "FAIL: a crashed-and-recovered world diverged from its" \
+       "uninterrupted twin" >&2
+  exit 1
+fi
+echo "wrote BENCH_recovery.json"
 
 echo "=== bench: chaos campaign (full sweep) ==="
 ./build/bench/campaign_sweep --json BENCH_campaign.json

@@ -186,6 +186,15 @@ class BinderDriver {
     return transaction_count_ - fast_path_transactions_;
   }
 
+  // Checkpoint hook: overwrites the dispatch counters (the process/handle
+  // tables themselves are rebuilt by the restoring world's boot sequence).
+  void RestoreCounters(uint64_t transactions, uint64_t fast_path,
+                       uint64_t lookup_epoch) {
+    transaction_count_ = transactions;
+    fast_path_transactions_ = fast_path;
+    lookup_epoch_ = lookup_epoch;
+  }
+
   // Attaches the binder trace category: every dispatched transaction
   // records a begin/end span stamped with the calling container and
   // whether the parcel took the fast (untranslated) path. Nested

@@ -167,6 +167,35 @@ Status ContainerRuntime::RemoveContainer(ContainerId id) {
   return OkStatus();
 }
 
+Status ContainerRuntime::RestoreContainerState(ContainerId id,
+                                               ContainerState state,
+                                               uint64_t crash_count) {
+  ASSIGN_OR_RETURN(Container * container, Find(id));
+  if (container->state_ == ContainerState::kRunning &&
+      state != ContainerState::kRunning) {
+    // The snapshot caught this container between lives: silently drop the
+    // processes the restoring boot spawned (no trace, no crash listener).
+    for (const ContainerProcess& proc : container->processes_) {
+      process_owner_.erase(proc.pid);
+    }
+    container->processes_.clear();
+    driver_->DestroyContainer(id);
+  } else if (container->state_ != ContainerState::kRunning &&
+             state == ContainerState::kRunning) {
+    // The snapshot has a running life the restoring boot never started
+    // (e.g. a supervisor restart preceded the checkpoint). Quietly boot the
+    // default processes so process count and memory accounting match.
+    container->state_ = ContainerState::kRunning;
+    for (const std::string& proc_name :
+         DefaultProcessNames(container->kind())) {
+      RETURN_IF_ERROR(SpawnProcess(id, proc_name, /*euid=*/1000).status());
+    }
+  }
+  container->state_ = state;
+  container->crash_count_ = crash_count;
+  return OkStatus();
+}
+
 StatusOr<Container*> ContainerRuntime::Find(ContainerId id) {
   auto it = containers_.find(id);
   if (it == containers_.end()) {

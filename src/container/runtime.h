@@ -83,6 +83,25 @@ class ContainerRuntime {
   // container = the affected id). Pass nullptr to detach.
   void SetTrace(TraceRecorder* trace);
 
+  // --- Checkpoint hooks (DESIGN.md §13) ---
+  // Quietly overwrites a container's lifecycle state and crash count: no
+  // trace events, no crash listener, no process spawning/teardown. Restore
+  // paths use this after re-running the deterministic boot/deploy sequence
+  // — the process tables already exist; only the lifecycle coordinates
+  // (which life, how many crashes) moved while the snapshot was live.
+  // Restoring kCrashed/kStopped over a running container tears the
+  // processes down silently so memory accounting stays truthful.
+  Status RestoreContainerState(ContainerId id, ContainerState state,
+                               uint64_t crash_count);
+  // Overwrites the id allocators so post-restore creations/spawns allocate
+  // exactly the ids the interrupted run would have.
+  void RestoreIdCounters(ContainerId next_container_id, Pid next_pid) {
+    next_container_id_ = next_container_id;
+    next_pid_ = next_pid;
+  }
+  ContainerId next_container_id() const { return next_container_id_; }
+  Pid next_pid() const { return next_pid_; }
+
  private:
   Pid AllocatePid() { return next_pid_++; }
 

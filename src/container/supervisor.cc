@@ -1,7 +1,9 @@
 #include "src/container/supervisor.h"
 
 #include <algorithm>
+#include <string>
 
+#include "src/snapshot/state_io.h"
 #include "src/util/logging.h"
 
 namespace androne {
@@ -71,7 +73,8 @@ void ContainerSupervisor::OnCrash(ContainerId id) {
   ALOG(kWarning, "supervisor")
       << "container " << id << " crashed (streak " << w.streak
       << "); restarting in " << ToMillis(delay) << " ms";
-  clock_->ScheduleAfter(delay, [this, id] { AttemptRestart(id); });
+  w.restart_event =
+      clock_->ScheduleAfter(delay, [this, id] { AttemptRestart(id); });
 }
 
 void ContainerSupervisor::AttemptRestart(ContainerId id) {
@@ -81,6 +84,7 @@ void ContainerSupervisor::AttemptRestart(ContainerId id) {
   }
   Watched& w = it->second;
   w.restart_pending = false;
+  w.restart_event = 0;
   ++w.streak;
   Status status = runtime_->StartContainer(id);
   if (!status.ok()) {
@@ -95,6 +99,100 @@ void ContainerSupervisor::AttemptRestart(ContainerId id) {
   ++restarts_;
   episodes_.back().restarted_at = clock_->now();
   ALOG(kInfo, "supervisor") << "container " << id << " restarted";
+}
+
+void ContainerSupervisor::SaveState(SnapshotWriter& w,
+                                    TimerRegistry& timers) const {
+  w.Section("SUPV");
+  SaveRng(w, rng_);
+  w.U64(restarts_);
+  w.U64(gave_up_);
+  w.U64(watched_.size());
+  for (const auto& [id, watched] : watched_) {
+    w.I64(id);
+    w.U32(static_cast<uint32_t>(watched.streak));
+    w.I64(watched.last_start);
+    bool pending = watched.restart_pending;
+    SimTime when = 0;
+    uint64_t seq = 0;
+    if (pending &&
+        clock_->PendingInfo(watched.restart_event, &when, &seq)) {
+      timers.Add("sup." + std::to_string(id), when, seq);
+    } else {
+      pending = false;
+    }
+    w.Bool(pending);
+    w.Bool(watched.gave_up);
+  }
+  w.U64(episodes_.size());
+  for (const RestartEpisode& episode : episodes_) {
+    w.I64(episode.id);
+    w.I64(episode.crashed_at);
+    w.I64(episode.restarted_at);
+    w.U32(static_cast<uint32_t>(episode.streak));
+  }
+}
+
+Status ContainerSupervisor::RestoreState(SnapshotReader& r) {
+  RETURN_IF_ERROR(r.Section("SUPV"));
+  RETURN_IF_ERROR(RestoreRng(r, rng_));
+  RETURN_IF_ERROR(r.U64(&restarts_));
+  RETURN_IF_ERROR(r.U64(&gave_up_));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r.U64(&count));
+  if (count != watched_.size()) {
+    return InvalidArgumentError(
+        "supervisor checkpoint watch-table mismatch: snapshot has " +
+        std::to_string(count) + " entries, restoring world has " +
+        std::to_string(watched_.size()));
+  }
+  for (auto& [id, watched] : watched_) {
+    int64_t saved_id = 0;
+    RETURN_IF_ERROR(r.I64(&saved_id));
+    if (saved_id != id) {
+      return InvalidArgumentError(
+          "supervisor checkpoint watches container " +
+          std::to_string(saved_id) + ", restoring world watches " +
+          std::to_string(id));
+    }
+    uint32_t streak = 0;
+    RETURN_IF_ERROR(r.U32(&streak));
+    watched.streak = static_cast<int>(streak);
+    RETURN_IF_ERROR(r.I64(&watched.last_start));
+    RETURN_IF_ERROR(r.Bool(&watched.restart_pending));
+    RETURN_IF_ERROR(r.Bool(&watched.gave_up));
+    watched.restart_event = 0;  // Re-armed via RegisterTimers when pending.
+  }
+  RETURN_IF_ERROR(r.U64(&count));
+  episodes_.clear();
+  episodes_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    RestartEpisode episode;
+    int64_t episode_id = 0;
+    RETURN_IF_ERROR(r.I64(&episode_id));
+    episode.id = static_cast<ContainerId>(episode_id);
+    RETURN_IF_ERROR(r.I64(&episode.crashed_at));
+    RETURN_IF_ERROR(r.I64(&episode.restarted_at));
+    uint32_t streak = 0;
+    RETURN_IF_ERROR(r.U32(&streak));
+    episode.streak = static_cast<int>(streak);
+    episodes_.push_back(episode);
+  }
+  return OkStatus();
+}
+
+void ContainerSupervisor::RegisterTimers(TimerRearmer& rearmer) {
+  for (const auto& [id, watched] : watched_) {
+    if (!watched.restart_pending) {
+      continue;
+    }
+    const ContainerId captured = id;
+    rearmer.Register("sup." + std::to_string(id),
+                     [this, captured](SimTime when) {
+      watched_[captured].restart_event = clock_->ScheduleAt(
+          when, [this, captured] { AttemptRestart(captured); });
+    });
+  }
 }
 
 }  // namespace androne

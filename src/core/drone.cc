@@ -1,11 +1,11 @@
 #include "src/core/drone.h"
 
 #include <cmath>
+#include <string>
 
 #include "src/hw/camera.h"
-#include "src/hw/gimbal.h"
-#include "src/hw/sensors.h"
 #include "src/rt/load_profile.h"
+#include "src/snapshot/state_io.h"
 #include "src/util/logging.h"
 
 namespace androne {
@@ -33,15 +33,16 @@ Status AnDroneSystem::Boot() {
   physics_ = std::make_unique<QuadPhysics>(options_.base);
   DroneGroundTruth* truth = physics_->mutable_truth();
   bus_.Register(std::make_unique<Camera>(clock_, truth));
-  bus_.Register(
+  gps_ = bus_.Register(
       std::make_unique<GpsReceiver>(clock_, truth, options_.seed + 1));
-  bus_.Register(std::make_unique<Imu>(clock_, truth, options_.seed + 2));
-  bus_.Register(std::make_unique<Barometer>(clock_, truth, options_.seed + 3));
-  bus_.Register(
+  imu_ = bus_.Register(std::make_unique<Imu>(clock_, truth, options_.seed + 2));
+  baro_ = bus_.Register(
+      std::make_unique<Barometer>(clock_, truth, options_.seed + 3));
+  mag_ = bus_.Register(
       std::make_unique<Magnetometer>(clock_, truth, options_.seed + 4));
-  bus_.Register(std::make_unique<Microphone>(clock_));
-  bus_.Register(std::make_unique<Speaker>());
-  Gimbal* gimbal = bus_.Register(std::make_unique<Gimbal>());
+  microphone_ = bus_.Register(std::make_unique<Microphone>(clock_));
+  speaker_ = bus_.Register(std::make_unique<Speaker>());
+  gimbal_ = bus_.Register(std::make_unique<Gimbal>());
   motors_ = bus_.Register(std::make_unique<MotorSet>());
 
   // --- Containers ---
@@ -84,7 +85,7 @@ Status AnDroneSystem::Boot() {
   // The flight controller's own actuators stay with the flight container
   // (motors and the camera mount are flight-control hardware).
   RETURN_IF_ERROR(motors_->Open(flight_container_->id()));
-  RETURN_IF_ERROR(gimbal->Open(flight_container_->id()));
+  RETURN_IF_ERROR(gimbal_->Open(flight_container_->id()));
   ASSIGN_OR_RETURN(const ContainerProcess* ardupilot,
                    flight_container_->FindProcess("ardupilot"));
   ASSIGN_OR_RETURN(hal_bridge_, BinderHalBridge::Create(ardupilot->binder));
@@ -126,6 +127,7 @@ Status AnDroneSystem::Boot() {
     Parcel req;
     return ardupilot_proc->Transact(cam, kCamCapture, req).status();
   });
+  Gimbal* gimbal = gimbal_;
   ContainerId flight_id = flight_container_->id();
   flight_controller_->SetMountControl(
       [gimbal, flight_id](double pitch, double roll, double yaw) {
@@ -191,7 +193,8 @@ Status AnDroneSystem::Boot() {
 
   // Accounting + compute-power tick at 1 Hz.
   accounting_running_ = true;
-  clock_->ScheduleAfter(Seconds(1), [this] { AccountingTick(); });
+  accounting_event_ =
+      clock_->ScheduleAfter(Seconds(1), [this] { AccountingTick(); });
 
   booted_ = true;
   // Let sensors and the estimator warm up (GPS acquisition).
@@ -213,7 +216,8 @@ void AnDroneSystem::AccountingTick() {
   }
   battery_.Drain(compute_power_.Watts(0.08, 2 + vdrones, vdrones),
                  Seconds(1));
-  clock_->ScheduleAfter(Seconds(1), [this] { AccountingTick(); });
+  accounting_event_ =
+      clock_->ScheduleAfter(Seconds(1), [this] { AccountingTick(); });
 }
 
 StatusOr<VirtualDroneInstance*> AnDroneSystem::Deploy(
@@ -265,66 +269,6 @@ void AnDroneSystem::Event(FlightExecutionReport& report,
   ALOG(kInfo, "drone") << text;
 }
 
-Status AnDroneSystem::TakeoffToCruise(FlightExecutionReport& report) {
-  SetMode guided;
-  guided.custom_mode = static_cast<uint32_t>(CopterMode::kGuided);
-  PlannerSend(MavMessage{guided});
-  CommandLong arm;
-  arm.command = static_cast<uint16_t>(MavCmd::kComponentArmDisarm);
-  arm.param1 = 1;
-  PlannerSend(MavMessage{arm});
-  if (!flight_controller_->armed()) {
-    return FailedPreconditionError("arming failed (no GPS fix?)");
-  }
-  CommandLong takeoff;
-  takeoff.command = static_cast<uint16_t>(MavCmd::kNavTakeoff);
-  takeoff.param7 = static_cast<float>(options_.cruise_altitude_m);
-  PlannerSend(MavMessage{takeoff});
-  if (!RunClockUntil(
-          [this] {
-            return std::fabs(physics_->truth().position.altitude_m -
-                             options_.cruise_altitude_m) < 1.0;
-          },
-          Seconds(60))) {
-    return DeadlineExceededError("takeoff did not reach cruise altitude");
-  }
-  Event(report, "took off to cruise altitude");
-  return OkStatus();
-}
-
-Status AnDroneSystem::ReturnToBase(FlightExecutionReport& report) {
-  auto send_rtl = [this] {
-    CommandLong rtl;
-    rtl.command = static_cast<uint16_t>(MavCmd::kNavReturnToLaunch);
-    PlannerSend(MavMessage{rtl});
-  };
-  send_rtl();
-  // Same resumption contract as the route legs: a safety release parks the
-  // controller in loiter, so RTL must be re-issued after each override
-  // episode or the drone hovers at altitude until the landing deadline.
-  bool saw_override = false;
-  const SimTime deadline = clock_->now() + Seconds(600);
-  while (clock_->now() < deadline) {
-    if (!flight_controller_->armed()) {
-      Event(report, "returned to base and landed");
-      return OkStatus();
-    }
-    clock_->RunUntil(clock_->now() + Millis(100));
-    if (flight_controller_->safety().overriding()) {
-      saw_override = true;
-    } else if (saw_override) {
-      saw_override = false;
-      Event(report, "re-asserting return-to-launch after safety release");
-      send_rtl();
-    }
-  }
-  if (flight_controller_->armed()) {
-    return DeadlineExceededError("drone failed to return and land");
-  }
-  Event(report, "returned to base and landed");
-  return OkStatus();
-}
-
 void AnDroneSystem::ApplyTenantGeofence(const VirtualDroneInstance& vd,
                                         size_t waypoint) {
   const WaypointSpec& wp = vd.definition.waypoints[waypoint];
@@ -340,151 +284,281 @@ void AnDroneSystem::ClearGeofence() {
   flight_controller_->SetGeofence(GeofenceConfig{});
 }
 
-StatusOr<FlightExecutionReport> AnDroneSystem::ExecuteRoute(
-    const PlannedRoute& route, const std::vector<PlannerJob>& jobs) {
-  if (!booted_) {
-    return FailedPreconditionError("boot the drone first");
-  }
-  FlightExecutionReport report;
-  double battery_at_start = battery_.consumed_joules();
-  SimTime start = clock_->now();
-  pending_ends_.clear();
-  abort_requested_ = false;
-  abort_reason_.clear();
+// --- Mission phase machine (DESIGN.md §13) ---
 
-  RETURN_IF_ERROR(TakeoffToCruise(report));
+bool AnDroneSystem::Pulse() {
+  return !mission_pulse_ || mission_pulse_();
+}
 
-  for (const PlannedStop& stop : route.stops) {
-    if (abort_requested_) {
-      Event(report, "flight aborted (" + abort_reason_ +
-                        "); skipping remaining waypoints");
-      break;
+void AnDroneSystem::EnterPhase(MissionProgress::Phase phase) {
+  progress_.phase = phase;
+  progress_.entered = false;
+  progress_.saw_override = false;
+  progress_.phase_deadline = 0;
+}
+
+Status AnDroneSystem::PumpPhase(const std::function<bool()>& pred,
+                                const std::function<void()>& after_chunk,
+                                bool* satisfied) {
+  while (clock_->now() < progress_.phase_deadline) {
+    if (pred()) {
+      *satisfied = true;
+      return OkStatus();
     }
-    const PlannerJob& job = jobs[stop.job_index];
-    const std::string& vdrone_id = job.vdrone_ref;
+    clock_->RunUntil(clock_->now() + Millis(100));
+    if (after_chunk) {
+      after_chunk();
+    }
+    if (!Pulse()) {
+      return CancelledError("mission interrupted");
+    }
+  }
+  *satisfied = pred();
+  return OkStatus();
+}
+
+void AnDroneSystem::SendLegCommands(const GeoPoint& target) {
+  SetMode guided;
+  guided.custom_mode = static_cast<uint32_t>(CopterMode::kGuided);
+  PlannerSend(MavMessage{guided});
+  SetPositionTargetGlobalInt sp;
+  sp.lat_int = static_cast<int32_t>(target.latitude_deg * 1e7);
+  sp.lon_int = static_cast<int32_t>(target.longitude_deg * 1e7);
+  sp.alt = static_cast<float>(target.altitude_m);
+  sp.type_mask = 0x0FF8;
+  PlannerSend(MavMessage{sp});
+}
+
+void AnDroneSystem::SendRtlCommand() {
+  CommandLong rtl;
+  rtl.command = static_cast<uint16_t>(MavCmd::kNavReturnToLaunch);
+  PlannerSend(MavMessage{rtl});
+}
+
+Status AnDroneSystem::StepTakeoff() {
+  if (!progress_.entered) {
+    if (!Pulse()) {
+      return CancelledError("mission interrupted");
+    }
+    progress_.entered = true;
+    SetMode guided;
+    guided.custom_mode = static_cast<uint32_t>(CopterMode::kGuided);
+    PlannerSend(MavMessage{guided});
+    CommandLong arm;
+    arm.command = static_cast<uint16_t>(MavCmd::kComponentArmDisarm);
+    arm.param1 = 1;
+    PlannerSend(MavMessage{arm});
+    if (!flight_controller_->armed()) {
+      return FailedPreconditionError("arming failed (no GPS fix?)");
+    }
+    CommandLong takeoff;
+    takeoff.command = static_cast<uint16_t>(MavCmd::kNavTakeoff);
+    takeoff.param7 = static_cast<float>(options_.cruise_altitude_m);
+    PlannerSend(MavMessage{takeoff});
+    progress_.phase_deadline = clock_->now() + Seconds(60);
+  }
+  bool satisfied = false;
+  RETURN_IF_ERROR(PumpPhase(
+      [this] {
+        return std::fabs(physics_->truth().position.altitude_m -
+                         options_.cruise_altitude_m) < 1.0;
+      },
+      nullptr, &satisfied));
+  if (!satisfied) {
+    return DeadlineExceededError("takeoff did not reach cruise altitude");
+  }
+  Event(progress_.report, "took off to cruise altitude");
+  EnterPhase(MissionProgress::Phase::kLeg);
+  return OkStatus();
+}
+
+Status AnDroneSystem::StepLeg(const PlannedRoute& route,
+                              const std::vector<PlannerJob>& jobs) {
+  if (progress_.stop_index >= route.stops.size()) {
+    EnterPhase(MissionProgress::Phase::kRtl);
+    return OkStatus();
+  }
+  const PlannedStop& stop = route.stops[progress_.stop_index];
+  const PlannerJob& job = jobs[stop.job_index];
+  const std::string& vdrone_id = job.vdrone_ref;
+  if (!progress_.entered) {
+    if (!Pulse()) {
+      return CancelledError("mission interrupted");
+    }
+    if (abort_requested_) {
+      Event(progress_.report, "flight aborted (" + abort_reason_ +
+                                  "); skipping remaining waypoints");
+      EnterPhase(MissionProgress::Phase::kRtl);
+      return OkStatus();
+    }
     ASSIGN_OR_RETURN(VirtualDroneInstance * vd, vdc_->Find(vdrone_id));
     if (vd->exhausted) {
-      Event(report, "skipping waypoint for exhausted tenant " + vdrone_id);
-      continue;
+      Event(progress_.report,
+            "skipping waypoint for exhausted tenant " + vdrone_id);
+      ++progress_.stop_index;
+      return OkStatus();  // Re-enters kLeg for the next stop.
     }
-
     // Fly to the waypoint (planner-guided, paper Figure 4).
-    GeoPoint target = job.waypoint;
-    auto send_leg = [this, &target] {
-      SetMode guided;
-      guided.custom_mode = static_cast<uint32_t>(CopterMode::kGuided);
-      PlannerSend(MavMessage{guided});
-      SetPositionTargetGlobalInt sp;
-      sp.lat_int = static_cast<int32_t>(target.latitude_deg * 1e7);
-      sp.lon_int = static_cast<int32_t>(target.longitude_deg * 1e7);
-      sp.alt = static_cast<float>(target.altitude_m);
-      sp.type_mask = 0x0FF8;
-      PlannerSend(MavMessage{sp});
-    };
-    send_leg();
-    // En-route wait with safety-release resumption: the supervisor's
-    // release path parks the controller in loiter (its guided target may be
-    // minutes stale, so the controller will not chase it), which leaves
-    // resumption to the mission layer. After each observed override
-    // episode ends, the leg is re-asserted — otherwise a transient sensor
-    // glitch strands the drone in a hover until the leg deadline.
-    bool arrived = false;
-    bool saw_override = false;
-    const SimTime leg_deadline = clock_->now() + Seconds(600);
-    while (clock_->now() < leg_deadline) {
-      if (abort_requested_ ||
-          Distance3dMeters(physics_->truth().position, target) <
-              kArrivalThresholdM) {
-        arrived = true;
-        break;
-      }
-      clock_->RunUntil(clock_->now() + Millis(100));
-      if (flight_controller_->safety().overriding()) {
-        saw_override = true;
-      } else if (saw_override) {
-        saw_override = false;
-        Event(report, "re-asserting route leg after safety release");
-        send_leg();
-      }
-    }
-    if (!arrived && !abort_requested_ &&
-        Distance3dMeters(physics_->truth().position, target) >=
-            kArrivalThresholdM) {
-      return DeadlineExceededError("failed to reach waypoint");
-    }
-    if (abort_requested_) {
-      Event(report, "flight aborted (" + abort_reason_ + ") en route");
-      break;
-    }
-    Event(report, "arrived at waypoint " +
-                      std::to_string(job.waypoint_index) + " of " + vdrone_id);
-    ++report.waypoints_visited;
+    SendLegCommands(job.waypoint);
+    progress_.entered = true;
+    progress_.saw_override = false;
+    progress_.phase_deadline = clock_->now() + Seconds(600);
+  }
+  // En-route wait with safety-release resumption: the supervisor's release
+  // path parks the controller in loiter (its guided target may be minutes
+  // stale, so the controller will not chase it), which leaves resumption to
+  // the mission layer. After each observed override episode ends, the leg is
+  // re-asserted — otherwise a transient sensor glitch strands the drone in a
+  // hover until the leg deadline.
+  const GeoPoint target = job.waypoint;
+  bool satisfied = false;
+  RETURN_IF_ERROR(PumpPhase(
+      [this, target] {
+        return abort_requested_ ||
+               Distance3dMeters(physics_->truth().position, target) <
+                   kArrivalThresholdM;
+      },
+      [this, target] {
+        if (flight_controller_->safety().overriding()) {
+          progress_.saw_override = true;
+        } else if (progress_.saw_override) {
+          progress_.saw_override = false;
+          Event(progress_.report,
+                "re-asserting route leg after safety release");
+          SendLegCommands(target);
+        }
+      },
+      &satisfied));
+  if (!satisfied && !abort_requested_ &&
+      Distance3dMeters(physics_->truth().position, target) >=
+          kArrivalThresholdM) {
+    return DeadlineExceededError("failed to reach waypoint");
+  }
+  if (abort_requested_) {
+    Event(progress_.report,
+          "flight aborted (" + abort_reason_ + ") en route");
+    EnterPhase(MissionProgress::Phase::kRtl);
+    return OkStatus();
+  }
+  EnterPhase(MissionProgress::Phase::kDwell);
+  return OkStatus();
+}
 
+Status AnDroneSystem::StepDwell(const PlannedRoute& route,
+                                const std::vector<PlannerJob>& jobs) {
+  const PlannedStop& stop = route.stops[progress_.stop_index];
+  const PlannerJob& job = jobs[stop.job_index];
+  const std::string& vdrone_id = job.vdrone_ref;
+  ASSIGN_OR_RETURN(VirtualDroneInstance * vd, vdc_->Find(vdrone_id));
+  VirtualFlightController* vfc = VfcOf(vdrone_id);
+  const bool controls = vd->definition.WantsFlightControl();
+  if (!progress_.entered) {
+    if (!Pulse()) {
+      return CancelledError("mission interrupted");
+    }
+    progress_.entered = true;
+    Event(progress_.report,
+          "arrived at waypoint " + std::to_string(job.waypoint_index) +
+              " of " + vdrone_id);
+    ++progress_.report.waypoints_visited;
     // Hand over: geofenced flight control first, so it is already live when
     // the waypointActive() callback reaches the tenant's apps (paper §5:
     // "after receiving this callback, the app ... has access to flight
     // control"), then devices via the VDC.
-    VirtualFlightController* vfc = VfcOf(vdrone_id);
-    bool controls = vd->definition.WantsFlightControl();
     if (controls) {
       ApplyTenantGeofence(*vd, static_cast<size_t>(job.waypoint_index));
       if (vfc != nullptr) {
         vfc->GrantControl();
       }
-      Event(report, vdrone_id + " given flight control (geofenced)");
+      Event(progress_.report, vdrone_id + " given flight control (geofenced)");
     }
     RETURN_IF_ERROR(vdc_->NotifyWaypointReached(
         vdrone_id, static_cast<size_t>(job.waypoint_index)));
-
-    // Wait for the tenancy to end.
     SimDuration dwell_limit =
         controls ? SecondsF(vd->definition.max_duration_s + 5)
                  : SecondsF(options_.no_control_dwell_s);
-    std::string ended_id = vdrone_id;
-    RunClockUntil(
-        [this, &ended_id] {
-          if (abort_requested_) {
+    progress_.phase_deadline = clock_->now() + dwell_limit;
+  }
+  // Wait for the tenancy to end.
+  const std::string ended_id = vdrone_id;
+  bool satisfied = false;
+  RETURN_IF_ERROR(PumpPhase(
+      [this, ended_id] {
+        if (abort_requested_) {
+          return true;
+        }
+        for (const TenancyEnd& end : pending_ends_) {
+          if (end.vdrone_id == ended_id) {
             return true;
           }
-          for (const TenancyEnd& end : pending_ends_) {
-            if (end.vdrone_id == ended_id) {
-              return true;
-            }
-          }
-          return false;
-        },
-        dwell_limit);
-    TenancyEndReason reason = TenancyEndReason::kCompleted;
-    bool found_end = false;
-    for (const TenancyEnd& end : pending_ends_) {
-      if (end.vdrone_id == vdrone_id) {
-        reason = end.reason;
-        found_end = true;
-      }
+        }
+        return false;
+      },
+      nullptr, &satisfied));
+  TenancyEndReason reason = TenancyEndReason::kCompleted;
+  bool found_end = false;
+  for (const TenancyEnd& end : pending_ends_) {
+    if (end.vdrone_id == vdrone_id) {
+      reason = end.reason;
+      found_end = true;
     }
-    pending_ends_.clear();
-    if (abort_requested_ && !found_end) {
-      reason = TenancyEndReason::kInterrupted;
-    } else if (!found_end) {
-      reason = TenancyEndReason::kTimeExhausted;
-    }
-
-    // Take back control.
-    if (vfc != nullptr) {
-      vfc->RevokeControl();
-    }
-    ClearGeofence();
-    RETURN_IF_ERROR(vdc_->NotifyWaypointLeft(vdrone_id, reason));
-    Event(report, vdrone_id + " tenancy ended (" +
-                      TenancyEndReasonName(reason) + ")");
-
-    // Resume planner control toward the next objective.
-    SetMode guided;
-    guided.custom_mode = static_cast<uint32_t>(CopterMode::kGuided);
-    PlannerSend(MavMessage{guided});
+  }
+  pending_ends_.clear();
+  if (abort_requested_ && !found_end) {
+    reason = TenancyEndReason::kInterrupted;
+  } else if (!found_end) {
+    reason = TenancyEndReason::kTimeExhausted;
   }
 
-  RETURN_IF_ERROR(ReturnToBase(report));
+  // Take back control.
+  if (vfc != nullptr) {
+    vfc->RevokeControl();
+  }
+  ClearGeofence();
+  RETURN_IF_ERROR(vdc_->NotifyWaypointLeft(vdrone_id, reason));
+  Event(progress_.report,
+        vdrone_id + " tenancy ended (" + TenancyEndReasonName(reason) + ")");
+
+  // Resume planner control toward the next objective.
+  SetMode guided;
+  guided.custom_mode = static_cast<uint32_t>(CopterMode::kGuided);
+  PlannerSend(MavMessage{guided});
+  ++progress_.stop_index;
+  EnterPhase(MissionProgress::Phase::kLeg);
+  return OkStatus();
+}
+
+Status AnDroneSystem::StepRtl() {
+  if (!progress_.entered) {
+    if (!Pulse()) {
+      return CancelledError("mission interrupted");
+    }
+    progress_.entered = true;
+    progress_.saw_override = false;
+    SendRtlCommand();
+    progress_.phase_deadline = clock_->now() + Seconds(600);
+  }
+  // Same resumption contract as the route legs: a safety release parks the
+  // controller in loiter, so RTL must be re-issued after each override
+  // episode or the drone hovers at altitude until the landing deadline.
+  bool satisfied = false;
+  RETURN_IF_ERROR(PumpPhase(
+      [this] { return !flight_controller_->armed(); },
+      [this] {
+        if (flight_controller_->safety().overriding()) {
+          progress_.saw_override = true;
+        } else if (progress_.saw_override) {
+          progress_.saw_override = false;
+          Event(progress_.report,
+                "re-asserting return-to-launch after safety release");
+          SendRtlCommand();
+        }
+      },
+      &satisfied));
+  if (!satisfied) {
+    return DeadlineExceededError("drone failed to return and land");
+  }
+  Event(progress_.report, "returned to base and landed");
 
   // Post-flight: offload artifacts and save tenants to the VDR (Figure 4).
   // Anything with unserved waypoints is saved resumable — both exhausted
@@ -495,18 +569,321 @@ StatusOr<FlightExecutionReport> AnDroneSystem::ExecuteRoute(
         vd->waypoints_served < vd->definition.waypoints.size();
     (void)vdc_->StoreToVdr(vd->definition.id, resumable);
   }
-  Event(report, "virtual drones saved to VDR; files offloaded");
+  Event(progress_.report, "virtual drones saved to VDR; files offloaded");
 
-  report.completed = !abort_requested_;
-  report.flight_time_s = ToSecondsF(clock_->now() - start);
-  report.battery_used_j = battery_.consumed_joules() - battery_at_start;
-  return report;
+  progress_.report.completed = !abort_requested_;
+  progress_.report.flight_time_s = ToSecondsF(clock_->now() - progress_.start);
+  progress_.report.battery_used_j =
+      battery_.consumed_joules() - progress_.battery_at_start;
+  EnterPhase(MissionProgress::Phase::kDone);
+  return OkStatus();
+}
+
+Status AnDroneSystem::MissionStep(const PlannedRoute& route,
+                                  const std::vector<PlannerJob>& jobs) {
+  switch (progress_.phase) {
+    case MissionProgress::Phase::kTakeoff:
+      return StepTakeoff();
+    case MissionProgress::Phase::kLeg:
+      return StepLeg(route, jobs);
+    case MissionProgress::Phase::kDwell:
+      return StepDwell(route, jobs);
+    case MissionProgress::Phase::kRtl:
+      return StepRtl();
+    default:
+      return FailedPreconditionError("no mission in flight");
+  }
+}
+
+StatusOr<FlightExecutionReport> AnDroneSystem::DriveMission(
+    const PlannedRoute& route, const std::vector<PlannerJob>& jobs) {
+  while (progress_.phase != MissionProgress::Phase::kDone) {
+    RETURN_IF_ERROR(MissionStep(route, jobs));
+  }
+  return progress_.report;
+}
+
+StatusOr<FlightExecutionReport> AnDroneSystem::ExecuteRoute(
+    const PlannedRoute& route, const std::vector<PlannerJob>& jobs) {
+  if (!booted_) {
+    return FailedPreconditionError("boot the drone first");
+  }
+  progress_ = MissionProgress{};
+  progress_.phase = MissionProgress::Phase::kTakeoff;
+  progress_.battery_at_start = battery_.consumed_joules();
+  progress_.start = clock_->now();
+  pending_ends_.clear();
+  abort_requested_ = false;
+  abort_reason_.clear();
+  return DriveMission(route, jobs);
+}
+
+StatusOr<FlightExecutionReport> AnDroneSystem::ResumeRoute(
+    const PlannedRoute& route, const std::vector<PlannerJob>& jobs) {
+  if (!booted_) {
+    return FailedPreconditionError("boot the drone first");
+  }
+  if (!progress_.InFlight()) {
+    return FailedPreconditionError("no interrupted mission to resume");
+  }
+  return DriveMission(route, jobs);
 }
 
 void AnDroneSystem::RequestAbort(const std::string& reason) {
   abort_requested_ = true;
   abort_reason_ = reason;
   ALOG(kWarning, "drone") << "flight abort requested: " << reason;
+}
+
+// --- Checkpoint/restore (DESIGN.md §13) ---
+
+void MissionProgress::SaveState(SnapshotWriter& w) const {
+  w.Section("MISN");
+  w.U32(static_cast<uint32_t>(phase));
+  w.U64(stop_index);
+  w.I64(phase_deadline);
+  w.Bool(entered);
+  w.Bool(saw_override);
+  w.Bool(report.completed);
+  w.U64(report.events.size());
+  for (const std::string& event : report.events) {
+    w.Str(event);
+  }
+  w.F64(report.flight_time_s);
+  w.F64(report.battery_used_j);
+  w.U64(report.waypoints_visited);
+  w.F64(battery_at_start);
+  w.I64(start);
+}
+
+Status MissionProgress::RestoreState(SnapshotReader& r) {
+  RETURN_IF_ERROR(r.Section("MISN"));
+  uint32_t raw_phase = 0;
+  RETURN_IF_ERROR(r.U32(&raw_phase));
+  if (raw_phase > static_cast<uint32_t>(Phase::kDone)) {
+    return InvalidArgumentError("mission checkpoint has unknown phase " +
+                                std::to_string(raw_phase));
+  }
+  phase = static_cast<Phase>(raw_phase);
+  RETURN_IF_ERROR(r.U64(&stop_index));
+  RETURN_IF_ERROR(r.I64(&phase_deadline));
+  RETURN_IF_ERROR(r.Bool(&entered));
+  RETURN_IF_ERROR(r.Bool(&saw_override));
+  RETURN_IF_ERROR(r.Bool(&report.completed));
+  uint64_t events = 0;
+  RETURN_IF_ERROR(r.U64(&events));
+  report.events.resize(events);
+  for (uint64_t i = 0; i < events; ++i) {
+    RETURN_IF_ERROR(r.Str(&report.events[i]));
+  }
+  RETURN_IF_ERROR(r.F64(&report.flight_time_s));
+  RETURN_IF_ERROR(r.F64(&report.battery_used_j));
+  RETURN_IF_ERROR(r.U64(&report.waypoints_visited));
+  RETURN_IF_ERROR(r.F64(&battery_at_start));
+  return r.I64(&start);
+}
+
+void AnDroneSystem::SaveState(SnapshotWriter& w, TimerRegistry& timers) const {
+  w.Section("SYS ");
+  w.F64(battery_.remaining_joules());
+  w.Bool(abort_requested_);
+  w.Str(abort_reason_);
+  w.U64(pending_ends_.size());
+  for (const TenancyEnd& end : pending_ends_) {
+    w.Str(end.vdrone_id);
+    w.U32(static_cast<uint32_t>(end.reason));
+  }
+  w.Bool(accounting_running_);
+  {
+    SimTime when = 0;
+    uint64_t seq = 0;
+    bool pending = accounting_running_ &&
+                   clock_->PendingInfo(accounting_event_, &when, &seq);
+    if (pending) {
+      timers.Add("sys.accounting", when, seq);
+    }
+    w.Bool(pending);
+  }
+  progress_.SaveState(w);
+
+  // Hardware truth + noise streams.
+  physics_->SaveState(w);
+  SaveRng(w, gps_->checkpoint_rng());
+  w.U32(static_cast<uint32_t>(gps_->satellites()));
+  SaveRng(w, imu_->checkpoint_rng());
+  SaveRng(w, baro_->checkpoint_rng());
+  SaveRng(w, mag_->checkpoint_rng());
+  w.U64(microphone_->checkpoint_phase());
+  w.U64(speaker_->samples_played());
+  for (double throttle : motors_->throttles()) {
+    w.F64(throttle);
+  }
+  w.Bool(motors_->armed());
+  w.F64(gimbal_->pitch_deg());
+  w.F64(gimbal_->roll_deg());
+  w.F64(gimbal_->yaw_deg());
+  w.Bool(device_stack_.sensor_hub != nullptr);
+  if (device_stack_.sensor_hub != nullptr) {
+    device_stack_.sensor_hub->SaveState(w);
+  }
+  w.Bool(sensor_fault_injector_ != nullptr);
+  if (sensor_fault_injector_ != nullptr) {
+    sensor_fault_injector_->SaveState(w);
+  }
+  w.Bool(latency_sampler_ != nullptr);
+  if (latency_sampler_ != nullptr) {
+    SaveRng(w, latency_sampler_->checkpoint_rng());
+  }
+
+  // Flight stack + links + tenancy.
+  flight_controller_->SaveState(w, timers);
+  planner_sender_->SaveState(w, timers);
+  proxy_->SaveState(w, timers);
+  vdc_->SaveState(w);
+
+  // OS substrate counters (the tables themselves are rebuilt by the
+  // restoring world's deterministic boot).
+  w.U64(binder_.transaction_count());
+  w.U64(binder_.fast_path_transactions());
+  w.U64(binder_.lookup_epoch());
+  std::vector<Container*> containers = runtime_->ListContainers();
+  w.U64(containers.size());
+  for (Container* container : containers) {
+    w.I64(container->id());
+    w.U32(static_cast<uint32_t>(container->state()));
+    w.U64(container->crash_count());
+  }
+  w.I64(runtime_->next_container_id());
+  w.I64(runtime_->next_pid());
+}
+
+Status AnDroneSystem::RestoreState(SnapshotReader& r) {
+  if (!booted_) {
+    return FailedPreconditionError("boot the drone before restoring");
+  }
+  RETURN_IF_ERROR(r.Section("SYS "));
+  double battery_remaining = 0;
+  RETURN_IF_ERROR(r.F64(&battery_remaining));
+  battery_.RestoreRemaining(battery_remaining);
+  RETURN_IF_ERROR(r.Bool(&abort_requested_));
+  RETURN_IF_ERROR(r.Str(&abort_reason_));
+  uint64_t ends = 0;
+  RETURN_IF_ERROR(r.U64(&ends));
+  pending_ends_.clear();
+  for (uint64_t i = 0; i < ends; ++i) {
+    TenancyEnd end;
+    RETURN_IF_ERROR(r.Str(&end.vdrone_id));
+    uint32_t reason = 0;
+    RETURN_IF_ERROR(r.U32(&reason));
+    end.reason = static_cast<TenancyEndReason>(reason);
+    pending_ends_.push_back(end);
+  }
+  RETURN_IF_ERROR(r.Bool(&accounting_running_));
+  bool accounting_pending = false;
+  RETURN_IF_ERROR(r.Bool(&accounting_pending));
+  accounting_event_ = 0;  // Re-armed via RegisterTimers when pending.
+  RETURN_IF_ERROR(progress_.RestoreState(r));
+
+  RETURN_IF_ERROR(physics_->RestoreState(r));
+  RETURN_IF_ERROR(RestoreRng(r, gps_->checkpoint_rng()));
+  uint32_t satellites = 0;
+  RETURN_IF_ERROR(r.U32(&satellites));
+  gps_->set_satellites(static_cast<int>(satellites));
+  RETURN_IF_ERROR(RestoreRng(r, imu_->checkpoint_rng()));
+  RETURN_IF_ERROR(RestoreRng(r, baro_->checkpoint_rng()));
+  RETURN_IF_ERROR(RestoreRng(r, mag_->checkpoint_rng()));
+  uint64_t mic_phase = 0;
+  RETURN_IF_ERROR(r.U64(&mic_phase));
+  microphone_->RestorePhase(mic_phase);
+  uint64_t samples_played = 0;
+  RETURN_IF_ERROR(r.U64(&samples_played));
+  speaker_->RestoreSamplesPlayed(samples_played);
+  std::array<double, kNumMotors> throttles{};
+  for (double& throttle : throttles) {
+    RETURN_IF_ERROR(r.F64(&throttle));
+  }
+  bool motors_armed = false;
+  RETURN_IF_ERROR(r.Bool(&motors_armed));
+  motors_->RestoreActuatorState(throttles, motors_armed);
+  double pitch = 0, roll = 0, yaw = 0;
+  RETURN_IF_ERROR(r.F64(&pitch));
+  RETURN_IF_ERROR(r.F64(&roll));
+  RETURN_IF_ERROR(r.F64(&yaw));
+  gimbal_->RestoreOrientation(pitch, roll, yaw);
+  bool has_hub = false;
+  RETURN_IF_ERROR(r.Bool(&has_hub));
+  if (has_hub != (device_stack_.sensor_hub != nullptr)) {
+    return InvalidArgumentError(
+        "checkpoint sensor-hub presence does not match the restoring world");
+  }
+  if (has_hub) {
+    RETURN_IF_ERROR(device_stack_.sensor_hub->RestoreState(r));
+  }
+  bool has_faults = false;
+  RETURN_IF_ERROR(r.Bool(&has_faults));
+  if (has_faults != (sensor_fault_injector_ != nullptr)) {
+    return InvalidArgumentError(
+        "checkpoint sensor-fault presence does not match the restoring world");
+  }
+  if (has_faults) {
+    RETURN_IF_ERROR(sensor_fault_injector_->RestoreState(r));
+  }
+  bool has_sampler = false;
+  RETURN_IF_ERROR(r.Bool(&has_sampler));
+  if (has_sampler != (latency_sampler_ != nullptr)) {
+    return InvalidArgumentError(
+        "checkpoint latency-sampler presence does not match the restoring "
+        "world");
+  }
+  if (has_sampler) {
+    RETURN_IF_ERROR(RestoreRng(r, latency_sampler_->checkpoint_rng()));
+  }
+
+  RETURN_IF_ERROR(flight_controller_->RestoreState(r));
+  RETURN_IF_ERROR(planner_sender_->RestoreState(r));
+  RETURN_IF_ERROR(proxy_->RestoreState(r));
+  RETURN_IF_ERROR(vdc_->RestoreState(r));
+
+  uint64_t transactions = 0, fast_path = 0, lookup_epoch = 0;
+  RETURN_IF_ERROR(r.U64(&transactions));
+  RETURN_IF_ERROR(r.U64(&fast_path));
+  RETURN_IF_ERROR(r.U64(&lookup_epoch));
+  binder_.RestoreCounters(transactions, fast_path, lookup_epoch);
+  uint64_t container_count = 0;
+  RETURN_IF_ERROR(r.U64(&container_count));
+  if (container_count != runtime_->ListContainers().size()) {
+    return InvalidArgumentError(
+        "checkpoint container roster mismatch: snapshot has " +
+        std::to_string(container_count) + " containers, restoring world has " +
+        std::to_string(runtime_->ListContainers().size()));
+  }
+  for (uint64_t i = 0; i < container_count; ++i) {
+    int64_t id = 0;
+    uint32_t state = 0;
+    uint64_t crash_count = 0;
+    RETURN_IF_ERROR(r.I64(&id));
+    RETURN_IF_ERROR(r.U32(&state));
+    RETURN_IF_ERROR(r.U64(&crash_count));
+    RETURN_IF_ERROR(runtime_->RestoreContainerState(
+        static_cast<ContainerId>(id), static_cast<ContainerState>(state),
+        crash_count));
+  }
+  int64_t next_container_id = 0, next_pid = 0;
+  RETURN_IF_ERROR(r.I64(&next_container_id));
+  RETURN_IF_ERROR(r.I64(&next_pid));
+  runtime_->RestoreIdCounters(static_cast<ContainerId>(next_container_id),
+                              static_cast<Pid>(next_pid));
+  return OkStatus();
+}
+
+void AnDroneSystem::RegisterTimers(TimerRearmer& rearmer) {
+  rearmer.Register("sys.accounting", [this](SimTime when) {
+    accounting_event_ =
+        clock_->ScheduleAt(when, [this] { AccountingTick(); });
+  });
+  flight_controller_->RegisterTimers(rearmer);
+  planner_sender_->RegisterTimers(rearmer);
+  proxy_->RegisterTimers(rearmer);
 }
 
 }  // namespace androne

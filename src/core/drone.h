@@ -18,10 +18,13 @@
 #include "src/core/vdc.h"
 #include "src/flight/flight_controller.h"
 #include "src/flight/hal_bridge.h"
+#include "src/hw/gimbal.h"
 #include "src/hw/power.h"
+#include "src/hw/sensors.h"
 #include "src/mavlink/reliable.h"
 #include "src/mavproxy/mavproxy.h"
 #include "src/rt/kernel_model.h"
+#include "src/snapshot/snapshot.h"
 
 namespace androne {
 
@@ -66,6 +69,39 @@ struct FlightExecutionReport {
   size_t waypoints_visited = 0;
 };
 
+// The route executor as a resumable phase machine (DESIGN.md §13). The
+// mission driver pumps the clock in 100 ms chunks and invokes the mission
+// pulse between chunks; all cross-chunk state lives here so a checkpoint
+// taken at any pulse captures exactly where the mission stands. Phase entry
+// actions run only once (|entered| latches), which lets phase-boundary
+// checkpoints land *before* the entry commands: a restored world re-enters
+// the phase and re-issues them deterministically.
+struct MissionProgress {
+  enum class Phase : uint32_t {
+    kIdle = 0,     // No mission driven yet (or finished long ago).
+    kTakeoff = 1,  // Arming + climb to cruise altitude.
+    kLeg = 2,      // Planner-guided flight toward stop |stop_index|.
+    kDwell = 3,    // Tenancy active at stop |stop_index|.
+    kRtl = 4,      // Return to base + landing + post-flight saves.
+    kDone = 5,     // Report complete.
+  };
+  Phase phase = Phase::kIdle;
+  size_t stop_index = 0;       // Route stop being flown/served.
+  SimTime phase_deadline = 0;  // Absolute timeout of the current wait.
+  bool entered = false;        // Phase entry actions already issued.
+  bool saw_override = false;   // Safety override observed during this wait.
+  FlightExecutionReport report;
+  double battery_at_start = 0;
+  SimTime start = 0;
+
+  bool InFlight() const {
+    return phase != Phase::kIdle && phase != Phase::kDone;
+  }
+
+  void SaveState(SnapshotWriter& w) const;
+  Status RestoreState(SnapshotReader& r);
+};
+
 class AnDroneSystem {
  public:
   AnDroneSystem(SimClock* clock, AnDroneOptions options);
@@ -85,6 +121,33 @@ class AnDroneSystem {
   // management, return to base, landing, then VDR save + file offload.
   StatusOr<FlightExecutionReport> ExecuteRoute(
       const PlannedRoute& route, const std::vector<PlannerJob>& jobs);
+
+  // Continues a mission whose MissionProgress was restored from a
+  // checkpoint: drives the same phase machine from wherever the snapshot
+  // left it. The route/jobs must be the ones the interrupted mission flew.
+  StatusOr<FlightExecutionReport> ResumeRoute(
+      const PlannedRoute& route, const std::vector<PlannerJob>& jobs);
+
+  // Invoked between every 100 ms clock chunk the mission driver runs and
+  // once at each phase entry (before the entry commands go out). Returning
+  // false stops the driver immediately — ExecuteRoute/ResumeRoute then
+  // return CANCELLED ("mission interrupted"), which the fleet recovery
+  // loop maps to a scheduled crash. The checkpoint policy lives in this
+  // hook: it sees the world quiescent between events.
+  using MissionPulse = std::function<bool()>;
+  void SetMissionPulse(MissionPulse pulse) { mission_pulse_ = std::move(pulse); }
+  const MissionProgress& mission_progress() const { return progress_; }
+
+  // --- Checkpoint/restore (DESIGN.md §13) ---
+  // Persists the complete dynamic state of the booted system: hardware
+  // (physics truth, sensor RNG streams, actuators, battery), the flight
+  // stack, MAVProxy + VFCs, the VDC's tenancy/accounting state, container
+  // lifecycle counters, binder counters, and the mission phase machine.
+  // The restoring system must have been built by the identical Boot() +
+  // Deploy() sequence at the same seed before RestoreState is called.
+  void SaveState(SnapshotWriter& w, TimerRegistry& timers) const;
+  Status RestoreState(SnapshotReader& r);
+  void RegisterTimers(TimerRearmer& rearmer);
 
   // Aborts the in-progress flight (inclement weather, operator override —
   // paper §2): the active tenancy ends as interrupted, remaining stops are
@@ -120,19 +183,51 @@ class AnDroneSystem {
   // Planner-endpoint MAVLink helpers.
   void PlannerSend(const MavMessage& message);
   void AccountingTick();
-  Status TakeoffToCruise(FlightExecutionReport& report);
-  Status ReturnToBase(FlightExecutionReport& report);
   void ApplyTenantGeofence(const VirtualDroneInstance& vd, size_t waypoint);
   void ClearGeofence();
   void Event(FlightExecutionReport& report, const std::string& text);
 
+  // Mission phase machine (see MissionProgress). DriveMission loops
+  // MissionStep until kDone; each step performs at most one phase's entry +
+  // wait, pumping the clock in 100 ms chunks and pulsing between them.
+  StatusOr<FlightExecutionReport> DriveMission(
+      const PlannedRoute& route, const std::vector<PlannerJob>& jobs);
+  Status MissionStep(const PlannedRoute& route,
+                     const std::vector<PlannerJob>& jobs);
+  Status StepTakeoff();
+  Status StepLeg(const PlannedRoute& route,
+                 const std::vector<PlannerJob>& jobs);
+  Status StepDwell(const PlannedRoute& route,
+                   const std::vector<PlannerJob>& jobs);
+  Status StepRtl();
+  void EnterPhase(MissionProgress::Phase phase);
+  bool Pulse();  // False = interrupted (crash scheduled by the pulse owner).
+  void SendLegCommands(const GeoPoint& target);
+  void SendRtlCommand();
+  // Pumps the clock in 100 ms chunks until |pred| holds or the phase
+  // deadline passes, with RunClockUntil's check ordering (predicate at the
+  // top of each chunk, once more after the deadline). |after_chunk| (may be
+  // null) runs after every chunk — the legs hang their safety-release
+  // resumption there — then the mission pulse; a vetoing pulse returns
+  // CANCELLED. *satisfied reports the final predicate value.
+  Status PumpPhase(const std::function<bool()>& pred,
+                   const std::function<void()>& after_chunk, bool* satisfied);
+
   SimClock* clock_;
   AnDroneOptions options_;
 
-  // Hardware.
+  // Hardware. The raw sensor/actuator pointers are owned by |bus_| and kept
+  // here so the checkpoint path can reach their noise streams directly.
   std::unique_ptr<QuadPhysics> physics_;
   HardwareBus bus_;
   MotorSet* motors_ = nullptr;
+  GpsReceiver* gps_ = nullptr;
+  Imu* imu_ = nullptr;
+  Barometer* baro_ = nullptr;
+  Magnetometer* mag_ = nullptr;
+  Microphone* microphone_ = nullptr;
+  Speaker* speaker_ = nullptr;
+  Gimbal* gimbal_ = nullptr;
   Battery battery_;
   ComputePowerModel compute_power_;
 
@@ -171,8 +266,12 @@ class AnDroneSystem {
 
   bool booted_ = false;
   bool accounting_running_ = false;
+  EventId accounting_event_ = 0;
   bool abort_requested_ = false;
   std::string abort_reason_;
+
+  MissionProgress progress_;
+  MissionPulse mission_pulse_;
 };
 
 }  // namespace androne

@@ -23,6 +23,7 @@
 #include "src/core/sdk.h"
 #include "src/services/app.h"
 #include "src/services/system_server.h"
+#include "src/snapshot/snapshot.h"
 #include "src/util/sim_clock.h"
 
 namespace androne {
@@ -181,6 +182,13 @@ class Vdc {
   StatusOr<VirtualDroneInstance*> Find(const std::string& vdrone_id);
   const std::string& active_tenant() const { return active_tenant_; }
   std::vector<VirtualDroneInstance*> instances();
+
+  // --- Checkpoint/restore (DESIGN.md §13) ---
+  // Persists the per-tenant flight/accounting state, the active tenancy, and
+  // the uid allocator. The restoring VDC must hold the identical deployment
+  // roster (same Deploy calls in the same order) before RestoreState.
+  void SaveState(SnapshotWriter& w) const;
+  Status RestoreState(SnapshotReader& r);
 
  private:
   Status InstallApps(VirtualDroneInstance& vd);

@@ -1,6 +1,8 @@
 #include "src/exec/fleet_executor.h"
 
+#include <atomic>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "src/exec/thread_pool.h"
@@ -29,11 +31,12 @@ FleetReport FleetExecutor::Run(int num_worlds, const WorldFn& fn) {
 
   FleetReport report;
   report.worlds.resize(static_cast<size_t>(num_worlds));
+  std::atomic<int> retried{0};
 
   {
     ThreadPool pool(options_.threads);
     for (int i = 0; i < num_worlds; ++i) {
-      pool.Submit([this, i, &fn, &report, budgeted, deadline] {
+      pool.Submit([this, i, &fn, &report, &retried, budgeted, deadline] {
         WorldContext ctx;
         ctx.index = i;
         ctx.seed = WorldSeed(options_.base_seed, i);
@@ -51,6 +54,16 @@ FleetReport FleetExecutor::Run(int num_worlds, const WorldFn& fn) {
           return;
         }
         out = fn(ctx);
+        if (out.infra_failure && !ctx.ShouldCancel()) {
+          // Infrastructure failures (the world never came up — boot, deploy
+          // machinery, planner) are not scenario outcomes: give the world
+          // one more chance after a short wall-clock breather. Worlds are
+          // deterministic in (config, seed), so a retry that succeeds
+          // produces exactly the result the first attempt should have.
+          std::this_thread::sleep_for(std::chrono::milliseconds(25));
+          retried.fetch_add(1, std::memory_order_relaxed);
+          out = fn(ctx);
+        }
         out.index = i;
         // Worlds that report their own seed (scenario sweeps override the
         // index-derived default) keep it; plain worlds get the context seed.
@@ -86,6 +99,13 @@ FleetReport FleetExecutor::Run(int num_worlds, const WorldFn& fn) {
     digest = Fnv1a64Value(world.digest, digest);
   }
   report.fleet_digest = digest;
+  report.retried = retried.load(std::memory_order_relaxed);
+  if (report.retried > 0) {
+    // Like worlds_skipped below: a metrics snapshot alone must reveal that
+    // some worlds needed a second attempt.
+    report.metrics.counters["fleet.worlds_retried"] +=
+        static_cast<double>(report.retried);
+  }
   if (report.skipped > 0) {
     // Surface the skip count inside the merged metrics too, so a snapshot
     // alone (without the report struct) still reveals silently-dropped

@@ -54,6 +54,27 @@ struct WorldResult {
   // from worlds that started and cancelled mid-flight (both have
   // completed == false, but a skipped world produced no data at all).
   bool skipped = false;
+  // True when the world failed to come up at all — boot, chaos-payload
+  // start, a non-tolerated deploy rejection, a planner failure, or a
+  // checkpoint that would not restore. Infrastructure failures are not
+  // scenario outcomes: the executor retries such worlds once (with a short
+  // wall-clock backoff) and counts the retry in "fleet.worlds_retried"
+  // instead of folding the world into the skipped bucket.
+  bool infra_failure = false;
+  // Crash-recovery bookkeeping (DESIGN.md §13). Deliberately kept out of
+  // |counters|, |metrics|, and both digests: a crashed-and-recovered world
+  // must be bit-identical to its uninterrupted twin everywhere that merges
+  // or digests, so recovery telemetry rides in this side struct only.
+  struct Recovery {
+    int crashes = 0;            // Scheduled crash events that landed.
+    int restores = 0;           // Checkpoint restores performed.
+    int replays_from_boot = 0;  // Crashes recovered with no checkpoint yet.
+    int checkpoints_saved = 0;  // Checkpoints captured across all attempts.
+    uint64_t checkpoint_bytes = 0;  // Size of the latest checkpoint blob.
+    bool fixed_point_ok = true;     // save→restore→save byte equality held.
+    bool gave_up = false;           // Restore budget exhausted; world down.
+  };
+  Recovery recovery;
   // Scenario identity and per-assertion failures, filled by campaign runs
   // (empty for plain fleet benches). Assertions are canonical expression
   // strings — triage buckets key on them.
@@ -88,6 +109,9 @@ struct FleetReport {
   // |metrics| so downstream consumers can't conflate "ran 200 worlds" with
   // "ran 120 and silently dropped 80".
   int skipped = 0;
+  // Worlds that reported an infrastructure failure and were re-run once.
+  // Also published as the "fleet.worlds_retried" counter in |metrics|.
+  int retried = 0;
   uint64_t events_run = 0;
   std::map<std::string, double> counters;
   std::map<std::string, Histogram> histograms;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "src/net/link_model.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/snapshot/checkpoint.h"
 #include "src/util/bytes.h"
 
 namespace androne {
@@ -37,6 +39,599 @@ VirtualDroneDefinition MakeTenant(int index, const GeoPoint& waypoint,
   return def;
 }
 
+// Binds a checkpoint to the (config, seed) world that wrote it: every config
+// knob that shapes deterministic construction folds into the fingerprint, so
+// restoring into a differently-configured world fails at the header.
+uint64_t ConfigFingerprint(const FleetWorldConfig& config) {
+  uint64_t fp = kFnv1a64Offset;
+  fp = Fnv1a64Value(config.tenants, fp);
+  fp = Fnv1a64Value(config.dwell_s, fp);
+  fp = Fnv1a64Value(config.waypoint_spread_m, fp);
+  fp = Fnv1a64Value(config.annealing_iterations, fp);
+  fp = Fnv1a64Value(config.sensor_bus, fp);
+  fp = Fnv1a64Value(config.batch_telemetry, fp);
+  fp = Fnv1a64Value(config.batch_flush_bytes, fp);
+  fp = Fnv1a64Value(config.batch_flush_ms, fp);
+  fp = Fnv1a64Value(config.memory_budget_mb, fp);
+  fp = Fnv1a64Value(config.trace_categories, fp);
+  fp = Fnv1a64Value(static_cast<int>(config.downlink_profile), fp);
+  fp = Fnv1a64Value(config.net_faults != nullptr, fp);
+  fp = Fnv1a64Value(config.sensor_faults != nullptr, fp);
+  fp = Fnv1a64Value(config.crash_loop.count, fp);
+  fp = Fnv1a64Value(config.crash_loop.start_s, fp);
+  fp = Fnv1a64Value(config.crash_loop.period_s, fp);
+  fp = Fnv1a64Value(config.crash_loop.max_restarts, fp);
+  fp = Fnv1a64Value(config.tolerate_deploy_rejection, fp);
+  fp = Fnv1a64Value(config.crash_at_s.size(), fp);
+  for (double at : config.crash_at_s) {
+    fp = Fnv1a64Value(at, fp);
+  }
+  return fp;
+}
+
+// One life of a fleet world: deterministic construction (identical for a
+// fresh run and for a restore target), the mission flight, and the result
+// scrape. The recovery loop in RunFleetWorld builds one attempt per life —
+// a crash tears the whole attempt down, exactly like a process death.
+class WorldAttempt {
+ public:
+  WorldAttempt(const FleetWorldConfig& config, const WorldContext& ctx,
+               int crashes_consumed)
+      : config_(config),
+        ctx_(ctx),
+        crashes_consumed_(crashes_consumed),
+        fingerprint_(ConfigFingerprint(config)) {}
+
+  // Deterministic construction: trace wiring, boot, deploys, chaos payload,
+  // downlink, cancel poll, scheduled crash events. Identical for every
+  // attempt at the same (config, seed) — restore overwrites dynamic state
+  // on top of this. A failure here is infrastructure, not scenario.
+  Status Build() {
+    trace_ = config_.trace;
+    if (trace_ == nullptr && config_.trace_categories != 0) {
+      owned_trace_ = std::make_unique<TraceRecorder>(config_.trace_categories,
+                                                     config_.trace_capacity);
+      trace_ = owned_trace_.get();
+    }
+    if (trace_ != nullptr) {
+      trace_->BindClock(&clock_);
+      AttachClockTrace(&clock_, trace_);
+    }
+
+    AnDroneOptions options;
+    options.base = kFleetBase;
+    options.seed = ctx_.seed;
+    options.use_sensor_bus = config_.sensor_bus;
+    options.memory_budget_mb = config_.memory_budget_mb;
+    options.trace = trace_;
+    options.sensor_faults = config_.sensor_faults;
+    system_ = std::make_unique<AnDroneSystem>(&clock_, options);
+    RETURN_IF_ERROR(system_->Boot());
+    if (config_.batch_telemetry) {
+      TelemetryBatchConfig batch;
+      batch.flush_bytes = config_.batch_flush_bytes;
+      batch.flush_after = Millis(config_.batch_flush_ms);
+      system_->proxy().EnableTelemetryBatching(batch);
+    }
+
+    // Tenant waypoints scatter around the base, drawn from a world-private
+    // stream so two worlds with different seeds fly different routes.
+    Rng placement(SplitMix64(ctx_.seed ^ 0x57a9c0ffee));
+    for (int i = 0; i < config_.tenants; ++i) {
+      double north = placement.Uniform(-config_.waypoint_spread_m,
+                                       config_.waypoint_spread_m);
+      double east = placement.Uniform(-config_.waypoint_spread_m,
+                                      config_.waypoint_spread_m);
+      GeoPoint waypoint = FromNed(kFleetBase, NedPoint{north, east, -15});
+      auto deployed = system_->Deploy(MakeTenant(i, waypoint, config_.dwell_s),
+                                      WhitelistTemplate::kStandard);
+      if (!deployed.ok()) {
+        if (config_.tolerate_deploy_rejection) {
+          // Memory-pressure scenarios assert on this split (paper Figure
+          // 12): the admission rejection is the datum, not a world failure.
+          ++tenants_rejected_;
+          continue;
+        }
+        return deployed.status();
+      }
+      tenants_.push_back(*deployed);
+      PlannerJob job;
+      job.vdrone_id = i;
+      job.vdrone_ref = "vd-" + std::to_string(i);
+      job.waypoint = waypoint;
+      job.service_energy_j = 170.0 * config_.dwell_s;
+      job.service_time_s = config_.dwell_s;
+      jobs_.push_back(job);
+    }
+
+    // Crash-loop chaos: a bystander payload container crashed on schedule,
+    // supervised (backoff restarts, give-up) by a world-owned supervisor.
+    // Isolation means the flight must not notice.
+    if (config_.crash_loop.enabled()) {
+      auto payload = system_->runtime().CreateContainer(
+          "chaos-payload", ContainerKind::kVirtualDrone, system_->base_image());
+      RETURN_IF_ERROR(payload.status());
+      RETURN_IF_ERROR(system_->runtime().StartContainer((*payload)->id()));
+      SupervisorPolicy policy;
+      policy.max_consecutive_restarts = config_.crash_loop.max_restarts;
+      chaos_supervisor_ = std::make_unique<ContainerSupervisor>(
+          &clock_, &system_->runtime(), policy, SplitMix64(ctx_.seed ^ 0xc4a5));
+      chaos_payload_ = (*payload)->id();
+      chaos_supervisor_->Watch(chaos_payload_);
+      chaos_events_.resize(static_cast<size_t>(config_.crash_loop.count), 0);
+      for (int k = 0; k < config_.crash_loop.count; ++k) {
+        SimDuration at = SecondsF(config_.crash_loop.start_s +
+                                  k * config_.crash_loop.period_s);
+        chaos_events_[static_cast<size_t>(k)] = clock_.ScheduleAfter(at, [this] {
+          // A crash only lands on a running life; between backoff and
+          // restart the container is already down and the scheduled crash
+          // is a no-op.
+          (void)system_->runtime().CrashContainer(chaos_payload_);
+        });
+      }
+    }
+
+    // Planner downlink: telemetry fanned to the planner endpoint is encoded
+    // into MAVProxy's reused wire scratch, VPN-encapsulated, and shipped over
+    // a seeded link channel — the §6.5 ground path, per world. The scenario's
+    // link profile picks the regime; a fault plan decorates it with scripted
+    // outage/burst-loss/latency windows.
+    link_ = MakeLinkModel(config_.downlink_profile);
+    LinkModel* downlink_model = link_.get();
+    if (config_.net_faults != nullptr) {
+      faulty_link_ = std::make_unique<FaultyLinkModel>(
+          link_.get(), config_.net_faults, &clock_, LinkDirection::kForward);
+      downlink_model = faulty_link_.get();
+    }
+    downlink_ = std::make_unique<NetworkChannel>(
+        &clock_, downlink_model, SplitMix64(ctx_.seed + 0x11e7));
+    tunnel_tx_ = std::make_unique<VpnTunnel>(downlink_.get(), 42);
+    tunnel_rx_ = std::make_unique<VpnTunnel>(downlink_.get(), 42);
+    if (trace_ != nullptr) {
+      downlink_->SetTrace(trace_);
+      tunnel_tx_->SetTrace(trace_);
+      tunnel_rx_->SetTrace(trace_);
+    }
+    tunnel_rx_->SetReceiver([this](const std::vector<uint8_t>& bytes) {
+      ++frames_down_;
+      bytes_down_ += bytes.size();
+    });
+    system_->proxy().SetPlannerWireSink(
+        [this](const std::vector<uint8_t>& bytes) { tunnel_tx_->Send(bytes); });
+
+    // Cooperative fleet cancellation: a once-per-sim-second clock event
+    // polls the shared flag and aborts the flight (RTL + resumable saves)
+    // when the fleet budget expires or an operator cancels.
+    poll_event_ = clock_.ScheduleAfter(Seconds(1), [this] { PollCancel(); });
+
+    // The crash fault family: each scheduled sim-time kills this world.
+    // ScheduleAt clamps to now, so a crash time inside the boot warmup
+    // lands at the first mission pulse.
+    ArmCrashEvents();
+    return OkStatus();
+  }
+
+  // Restores the latest checkpoint on top of the freshly built world:
+  // header validation, component state in save order, clock rewind, timer
+  // re-arm, then the save→restore→save byte fixed-point self-check.
+  Status RestoreFromBlob(const std::string& blob) {
+    SnapshotReader r(blob);
+    CheckpointHeader header;
+    RETURN_IF_ERROR(header.Load(r, ctx_.seed, fingerprint_));
+    RETURN_IF_ERROR(RestoreWorld(r));
+    clock_.ResetForRestore(header.sim_time, saved_events_run_);
+    TimerRearmer rearmer;
+    RegisterWorldTimers(rearmer);
+    RETURN_IF_ERROR(rearmer.Replay(r));
+    if (r.remaining() != 0) {
+      return InvalidArgumentError(
+          "checkpoint has " + std::to_string(r.remaining()) +
+          " trailing bytes after the timer table");
+    }
+    have_checkpoint_ = true;
+    last_checkpoint_time_ = header.sim_time;
+    last_checkpoint_phase_ = system_->mission_progress().phase;
+    fixed_point_ok_ = (SaveCheckpointBlob() == blob);
+    // ResetForRestore dropped the crash events Build armed; re-arm the
+    // not-yet-consumed remainder on the restored timeline. (They are never
+    // part of the snapshot itself — see ArmCrashEvents.)
+    ArmCrashEvents();
+    return OkStatus();
+  }
+
+  // Plans and flies the route (fresh or resumed), then drains the downlink.
+  // Returns CANCELLED exactly when a scheduled crash landed mid-mission;
+  // any other non-OK status is an infrastructure failure.
+  Status Fly(bool resumed, CheckpointStore* store) {
+    system_->SetMissionPulse([this, store] {
+      if (crashed_) {
+        return false;  // The world process dies here.
+      }
+      MaybeCheckpoint(store);
+      return true;
+    });
+    if (!jobs_.empty()) {
+      EnergyModel energy;
+      PlannerConfig pc;
+      pc.depot = kFleetBase;
+      pc.fleet_size = 1;
+      pc.annealing_iterations = config_.annealing_iterations;
+      FlightPlanner planner(energy, pc);
+      auto plan = planner.Plan(jobs_);
+      if (!plan.ok()) {
+        return plan.status();
+      }
+      if (plan->routes.empty()) {
+        return InternalError("fleet world planner produced no route");
+      }
+      auto flight = resumed ? system_->ResumeRoute(plan->routes[0], jobs_)
+                            : system_->ExecuteRoute(plan->routes[0], jobs_);
+      if (flight.ok()) {
+        flight_report_ = std::move(*flight);
+      } else if (flight.status().code() == StatusCode::kCancelled &&
+                 crashed_) {
+        return flight.status();  // Crash landed; the recovery loop takes over.
+      } else {
+        // A flight abort (safety cutoff under sensor chaos, battery floor,
+        // mission timeout) is a scenario outcome, not an infrastructure
+        // failure: the world still drains, exports counters/metrics/trace,
+        // and reports completed = false — triage needs the faulted world's
+        // trace to diff against its nominal twin.
+        flight_ok_ = false;
+      }
+    } else {
+      // Every tenant was rejected at admission (memory-pressure scenarios
+      // with tolerate_deploy_rejection): no route to fly, but the world
+      // still completes — the admitted/rejected split is its result. Run a
+      // few simulated seconds so scheduled chaos (crash loops) plays out.
+      system_->RunClockUntil([] { return false; }, Seconds(30));
+    }
+    // Drain the downlink: flush any residual telemetry batch and run one
+    // more simulated second so in-flight datagrams reach the receiver
+    // before the counters and latency histogram are read.
+    system_->proxy().FlushTelemetryBatch();
+    system_->RunClockUntil([] { return false; }, Seconds(1));
+    return OkStatus();
+  }
+
+  // Scrapes the world boundary into |result|: counters, the structured
+  // metrics snapshot, the trace export, and the determinism digests.
+  void Finish(WorldResult& result) {
+    result.completed = flight_ok_ && !system_->abort_requested();
+    result.events_run = clock_.events_run();
+    result.counters["waypoints_visited"] =
+        static_cast<double>(flight_report_.waypoints_visited);
+    result.counters["flight_time_s"] = flight_report_.flight_time_s;
+    result.counters["battery_used_j"] = flight_report_.battery_used_j;
+    result.counters["tenants_admitted"] = static_cast<double>(tenants_.size());
+    result.counters["tenants_rejected"] =
+        static_cast<double>(tenants_rejected_);
+    result.counters["downlink_frames"] = static_cast<double>(frames_down_);
+    result.counters["downlink_bytes"] = static_cast<double>(bytes_down_);
+    result.counters["downlink_lost"] = static_cast<double>(downlink_->lost());
+    result.counters["downlink_flushes"] =
+        static_cast<double>(system_->proxy().wire_flushes());
+    result.counters["wire_frames"] =
+        static_cast<double>(system_->proxy().wire_frames());
+    result.histograms["downlink_latency_us"] = downlink_->latency_us();
+
+    // Structured metrics snapshot (DESIGN.md §11): scraped once at the
+    // world boundary, merged fleet-wide in index order by FleetExecutor.
+    {
+      BinderDriver* binder = system_->runtime().binder();
+      MetricsRegistry metrics;
+      metrics.Add("world.events_run", static_cast<double>(clock_.events_run()));
+      metrics.Add("binder.txns",
+                  static_cast<double>(binder->transaction_count()));
+      metrics.Add("binder.txns_fast_path",
+                  static_cast<double>(binder->fast_path_transactions()));
+      metrics.Add("binder.txns_translated",
+                  static_cast<double>(binder->translated_transactions()));
+      metrics.Add("mav.wire_frames",
+                  static_cast<double>(system_->proxy().wire_frames()));
+      metrics.Add("mav.wire_flushes",
+                  static_cast<double>(system_->proxy().wire_flushes()));
+      metrics.Add("net.downlink_frames", static_cast<double>(frames_down_));
+      metrics.Add("net.downlink_bytes", static_cast<double>(bytes_down_));
+      metrics.Add("net.downlink_lost", static_cast<double>(downlink_->lost()));
+      metrics.Add("rt.fast_loops",
+                  static_cast<double>(system_->flight().fast_loop_count()));
+      metrics.Add("rt.deadline_misses",
+                  static_cast<double>(system_->flight().missed_deadlines()));
+      metrics.Set("container.memory_mb", system_->runtime().MemoryUsageMb());
+      metrics.Hist("downlink_latency_us").Merge(downlink_->latency_us());
+      if (trace_ != nullptr) {
+        metrics.Add("trace.recorded", static_cast<double>(trace_->recorded()));
+        metrics.Add("trace.dropped", static_cast<double>(trace_->dropped()));
+      }
+      metrics.Add("fleet.tenants_admitted",
+                  static_cast<double>(tenants_.size()));
+      metrics.Add("fleet.tenants_rejected",
+                  static_cast<double>(tenants_rejected_));
+      if (faulty_link_ != nullptr) {
+        metrics.Add("net.outage_losses",
+                    static_cast<double>(faulty_link_->counters().outage_losses));
+        metrics.Add("net.burst_losses",
+                    static_cast<double>(faulty_link_->counters().burst_losses));
+        metrics.Add(
+            "net.inflated_samples",
+            static_cast<double>(faulty_link_->counters().inflated_samples));
+      }
+      if (const SensorFaultInjector* inj = system_->sensor_fault_injector()) {
+        metrics.Add("sensor.dropouts",
+                    static_cast<double>(inj->counters().dropouts));
+        metrics.Add("sensor.stuck_reads",
+                    static_cast<double>(inj->counters().stuck_reads));
+        metrics.Add("sensor.corrupted_reads",
+                    static_cast<double>(inj->counters().corrupted_reads));
+      }
+      {
+        const auto& episodes = system_->flight().safety().episodes();
+        int cutoffs = 0;
+        int deepest = 0;
+        for (const SafetyEpisode& episode : episodes) {
+          deepest = std::max(deepest, static_cast<int>(episode.deepest));
+          if (episode.deepest == SafetyStage::kCutoff) {
+            ++cutoffs;
+          }
+        }
+        metrics.Add("safety.episodes", static_cast<double>(episodes.size()));
+        metrics.Add("safety.cutoffs", static_cast<double>(cutoffs));
+        metrics.Add("safety.deepest_stage", static_cast<double>(deepest));
+      }
+      if (chaos_supervisor_ != nullptr) {
+        chaos_supervisor_->ExportMetrics(metrics);
+      }
+      result.metrics = metrics.Snapshot();
+    }
+    // A caller-owned recorder is exported by the caller; only a world-owned
+    // recorder's export rides back on the result.
+    if (owned_trace_ != nullptr) {
+      result.trace_text = owned_trace_->ExportText();
+    }
+
+    // The determinism digest covers the physical flight (every logged
+    // attitude sample) and the downlink latency distribution: if either
+    // diverges across thread counts, fleet digests split. The flight digest
+    // is also exported on its own — it must be invariant to transport-level
+    // choices like telemetry batching, which legitimately change the full
+    // digest.
+    result.flight_digest = FlightLogDigest(system_->flight().flight_log());
+    uint64_t digest = result.flight_digest;
+    digest = Fnv1a64Value(downlink_->latency_us().Digest(), digest);
+    digest = Fnv1a64Value(frames_down_, digest);
+    digest = Fnv1a64Value(bytes_down_, digest);
+    result.digest = digest;
+  }
+
+  // First crash index this life consumed, plus one — the next attempt's
+  // crash cursor.
+  int next_crash_cursor() const { return crash_fired_index_ + 1; }
+  bool fixed_point_ok() const { return fixed_point_ok_; }
+
+ private:
+  void PollCancel() {
+    if (ctx_.ShouldCancel()) {
+      system_->RequestAbort("fleet cancelled");
+      return;
+    }
+    poll_event_ = clock_.ScheduleAfter(Seconds(1), [this] { PollCancel(); });
+  }
+
+  // The crash schedule is config, not world state: crash events are never
+  // persisted in checkpoints and already-consumed crashes are never armed
+  // again. The surviving timeline therefore dispatches zero crash events —
+  // which is what keeps a recovered world's events_run (and the sampled
+  // clock trace) bit-identical to the uninterrupted run's.
+  void ArmCrashEvents() {
+    crash_events_.assign(config_.crash_at_s.size(), 0);
+    for (size_t k = static_cast<size_t>(crashes_consumed_);
+         k < config_.crash_at_s.size(); ++k) {
+      crash_events_[k] =
+          clock_.ScheduleAt(SecondsF(config_.crash_at_s[k]), [this, k] {
+            OnCrashEvent(static_cast<int>(k));
+          });
+    }
+  }
+
+  void OnCrashEvent(int k) {
+    crashed_ = true;
+    crash_fired_index_ = std::max(crash_fired_index_, k);
+  }
+
+  void MaybeCheckpoint(CheckpointStore* store) {
+    if (store == nullptr || !config_.checkpoint.enabled()) {
+      return;
+    }
+    const MissionProgress& progress = system_->mission_progress();
+    bool due = !have_checkpoint_;  // Always capture a first checkpoint.
+    if (!due && config_.checkpoint.at_phase_boundaries &&
+        progress.phase != last_checkpoint_phase_) {
+      due = true;
+    }
+    if (!due && config_.checkpoint.period_s > 0 &&
+        clock_.now() >=
+            last_checkpoint_time_ + SecondsF(config_.checkpoint.period_s)) {
+      due = true;
+    }
+    if (!due) {
+      return;
+    }
+    (void)store->Put(clock_.now(), SaveCheckpointBlob());
+    have_checkpoint_ = true;
+    last_checkpoint_time_ = clock_.now();
+    last_checkpoint_phase_ = progress.phase;
+  }
+
+  // Serializes the complete world: header, world-level state, every
+  // component in a fixed order, then the timer table. Pure reads — taking a
+  // checkpoint never perturbs the world, which is what lets checkpoint
+  // cadence vary without moving the digest.
+  std::string SaveCheckpointBlob() {
+    SnapshotWriter w;
+    TimerRegistry timers;
+    CheckpointHeader header;
+    header.seed = ctx_.seed;
+    header.world_fingerprint = fingerprint_;
+    header.sim_time = clock_.now();
+    header.Save(w);
+    SaveWorld(w, timers);
+    timers.Persist(w);
+    return w.Take();
+  }
+
+  void SaveWorld(SnapshotWriter& w, TimerRegistry& timers) {
+    w.Section("WRLD");
+    w.U64(clock_.events_run());
+    w.U64(frames_down_);
+    w.U64(bytes_down_);
+    SimTime when = 0;
+    uint64_t seq = 0;
+    bool poll_pending = clock_.PendingInfo(poll_event_, &when, &seq);
+    w.Bool(poll_pending);
+    if (poll_pending) {
+      timers.Add("world.poll", when, seq);
+    }
+    w.U64(chaos_events_.size());
+    for (size_t k = 0; k < chaos_events_.size(); ++k) {
+      bool pending = clock_.PendingInfo(chaos_events_[k], &when, &seq);
+      w.Bool(pending);
+      if (pending) {
+        timers.Add("world.chaosloop." + std::to_string(k), when, seq);
+      }
+    }
+    w.Bool(chaos_supervisor_ != nullptr);
+    if (chaos_supervisor_ != nullptr) {
+      chaos_supervisor_->SaveState(w, timers);
+    }
+    w.Bool(faulty_link_ != nullptr);
+    if (faulty_link_ != nullptr) {
+      const FaultCounters& c = faulty_link_->counters();
+      w.U64(c.outage_losses);
+      w.U64(c.burst_losses);
+      w.U64(c.inflated_samples);
+    }
+    downlink_->SaveState(w, timers, "net.down");
+    tunnel_tx_->SaveState(w);
+    tunnel_rx_->SaveState(w);
+    w.Bool(trace_ != nullptr);
+    if (trace_ != nullptr) {
+      trace_->SaveState(w);
+    }
+    system_->SaveState(w, timers);
+  }
+
+  Status RestoreWorld(SnapshotReader& r) {
+    RETURN_IF_ERROR(r.Section("WRLD"));
+    RETURN_IF_ERROR(r.U64(&saved_events_run_));
+    RETURN_IF_ERROR(r.U64(&frames_down_));
+    RETURN_IF_ERROR(r.U64(&bytes_down_));
+    bool pending = false;
+    RETURN_IF_ERROR(r.Bool(&pending));  // Poll re-armed via the timer table.
+    uint64_t count = 0;
+    RETURN_IF_ERROR(r.U64(&count));
+    if (count != chaos_events_.size()) {
+      return InvalidArgumentError(
+          "checkpoint has " + std::to_string(count) +
+          " chaos-loop events, restoring world has " +
+          std::to_string(chaos_events_.size()));
+    }
+    for (size_t k = 0; k < chaos_events_.size(); ++k) {
+      RETURN_IF_ERROR(r.Bool(&pending));
+      if (!pending) {
+        chaos_events_[k] = 0;
+      }
+    }
+    bool present = false;
+    RETURN_IF_ERROR(r.Bool(&present));
+    if (present != (chaos_supervisor_ != nullptr)) {
+      return InvalidArgumentError(
+          "checkpoint chaos-supervisor presence mismatch");
+    }
+    if (chaos_supervisor_ != nullptr) {
+      RETURN_IF_ERROR(chaos_supervisor_->RestoreState(r));
+    }
+    RETURN_IF_ERROR(r.Bool(&present));
+    if (present != (faulty_link_ != nullptr)) {
+      return InvalidArgumentError("checkpoint fault-plan presence mismatch");
+    }
+    if (faulty_link_ != nullptr) {
+      FaultCounters c;
+      RETURN_IF_ERROR(r.U64(&c.outage_losses));
+      RETURN_IF_ERROR(r.U64(&c.burst_losses));
+      RETURN_IF_ERROR(r.U64(&c.inflated_samples));
+      faulty_link_->RestoreCounters(c);
+    }
+    RETURN_IF_ERROR(downlink_->RestoreState(r));
+    RETURN_IF_ERROR(tunnel_tx_->RestoreState(r));
+    RETURN_IF_ERROR(tunnel_rx_->RestoreState(r));
+    RETURN_IF_ERROR(r.Bool(&present));
+    if (present != (trace_ != nullptr)) {
+      return InvalidArgumentError("checkpoint trace presence mismatch");
+    }
+    if (trace_ != nullptr) {
+      RETURN_IF_ERROR(trace_->RestoreState(r));
+    }
+    return system_->RestoreState(r);
+  }
+
+  void RegisterWorldTimers(TimerRearmer& rearmer) {
+    rearmer.Register("world.poll", [this](SimTime at) {
+      poll_event_ = clock_.ScheduleAt(at, [this] { PollCancel(); });
+    });
+    for (size_t k = 0; k < chaos_events_.size(); ++k) {
+      rearmer.Register("world.chaosloop." + std::to_string(k),
+                       [this, k](SimTime at) {
+        chaos_events_[k] = clock_.ScheduleAt(at, [this] {
+          (void)system_->runtime().CrashContainer(chaos_payload_);
+        });
+      });
+    }
+    if (chaos_supervisor_ != nullptr) {
+      chaos_supervisor_->RegisterTimers(rearmer);
+    }
+    downlink_->RegisterTimers(rearmer, "net.down");
+    system_->RegisterTimers(rearmer);
+  }
+
+  const FleetWorldConfig& config_;
+  const WorldContext& ctx_;
+  const int crashes_consumed_;
+  const uint64_t fingerprint_;
+
+  SimClock clock_;
+  std::unique_ptr<TraceRecorder> owned_trace_;
+  TraceRecorder* trace_ = nullptr;
+  std::unique_ptr<AnDroneSystem> system_;
+  std::vector<VirtualDroneInstance*> tenants_;
+  std::vector<PlannerJob> jobs_;
+  int tenants_rejected_ = 0;
+  std::unique_ptr<ContainerSupervisor> chaos_supervisor_;
+  ContainerId chaos_payload_ = 0;
+  std::vector<EventId> chaos_events_;
+  std::unique_ptr<LinkModel> link_;
+  std::unique_ptr<FaultyLinkModel> faulty_link_;
+  std::unique_ptr<NetworkChannel> downlink_;
+  std::unique_ptr<VpnTunnel> tunnel_tx_;
+  std::unique_ptr<VpnTunnel> tunnel_rx_;
+  uint64_t frames_down_ = 0;
+  uint64_t bytes_down_ = 0;
+  EventId poll_event_ = 0;
+  std::vector<EventId> crash_events_;
+
+  bool crashed_ = false;
+  int crash_fired_index_ = -1;
+  uint64_t saved_events_run_ = 0;
+
+  bool have_checkpoint_ = false;
+  SimTime last_checkpoint_time_ = 0;
+  MissionProgress::Phase last_checkpoint_phase_ = MissionProgress::Phase::kIdle;
+  bool fixed_point_ok_ = true;
+
+  FlightExecutionReport flight_report_;
+  bool flight_ok_ = true;
+};
+
 }  // namespace
 
 WorldResult RunFleetWorld(const FleetWorldConfig& config,
@@ -45,287 +640,62 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   result.index = ctx.index;
   result.seed = ctx.seed;
 
-  SimClock clock;
+  // Checkpoints and the restore budget outlive individual attempts — a
+  // crash kills the world, not its persisted state.
+  CheckpointStore store;
+  CheckpointStore* store_ptr = config.checkpoint.enabled() ? &store : nullptr;
+  RestoreSupervisor restore_supervisor(config.restore,
+                                       SplitMix64(ctx.seed ^ 0x5e5c0ffe));
+  int crashes_consumed = 0;
 
-  // Tracing is strictly per world: the recorder lives on this stack frame
-  // (or is caller-owned for single-world bench runs), shares nothing with
-  // sibling worlds, and its export rides back on the WorldResult — so
-  // traced fleets stay thread-count invariant.
-  std::unique_ptr<TraceRecorder> owned_trace;
-  TraceRecorder* trace = config.trace;
-  if (trace == nullptr && config.trace_categories != 0) {
-    owned_trace = std::make_unique<TraceRecorder>(config.trace_categories,
-                                                  config.trace_capacity);
-    trace = owned_trace.get();
-  }
-  if (trace != nullptr) {
-    trace->BindClock(&clock);
-    AttachClockTrace(&clock, trace);
-  }
-
-  AnDroneOptions options;
-  options.base = kFleetBase;
-  options.seed = ctx.seed;
-  options.use_sensor_bus = config.sensor_bus;
-  options.memory_budget_mb = config.memory_budget_mb;
-  options.trace = trace;
-  options.sensor_faults = config.sensor_faults;
-  AnDroneSystem system(&clock, options);
-  if (!system.Boot().ok()) {
-    return result;
-  }
-  if (config.batch_telemetry) {
-    TelemetryBatchConfig batch;
-    batch.flush_bytes = config.batch_flush_bytes;
-    batch.flush_after = Millis(config.batch_flush_ms);
-    system.proxy().EnableTelemetryBatching(batch);
-  }
-
-  // Tenant waypoints scatter around the base, drawn from a world-private
-  // stream so two worlds with different seeds fly different routes.
-  Rng placement(SplitMix64(ctx.seed ^ 0x57a9c0ffee));
-  std::vector<VirtualDroneInstance*> tenants;
-  std::vector<PlannerJob> jobs;
-  int tenants_rejected = 0;
-  for (int i = 0; i < config.tenants; ++i) {
-    double north = placement.Uniform(-config.waypoint_spread_m,
-                                     config.waypoint_spread_m);
-    double east = placement.Uniform(-config.waypoint_spread_m,
-                                    config.waypoint_spread_m);
-    GeoPoint waypoint = FromNed(kFleetBase, NedPoint{north, east, -15});
-    auto deployed =
-        system.Deploy(MakeTenant(i, waypoint, config.dwell_s),
-                      WhitelistTemplate::kStandard);
-    if (!deployed.ok()) {
-      if (config.tolerate_deploy_rejection) {
-        // Memory-pressure scenarios assert on this split (paper Figure 12):
-        // the admission rejection is the datum, not a world failure.
-        ++tenants_rejected;
-        continue;
+  for (;;) {
+    WorldAttempt attempt(config, ctx, crashes_consumed);
+    if (!attempt.Build().ok()) {
+      result.infra_failure = true;
+      return result;
+    }
+    bool resumed = false;
+    if (crashes_consumed > 0 && store.count() > 0) {
+      auto blob = store.Latest();
+      if (!blob.ok() || !attempt.RestoreFromBlob(*blob).ok()) {
+        result.infra_failure = true;
+        return result;
       }
-      return result;
+      resumed = true;
+      ++result.recovery.restores;
+      result.recovery.fixed_point_ok =
+          result.recovery.fixed_point_ok && attempt.fixed_point_ok();
+    } else if (crashes_consumed > 0) {
+      // Crashed before the first checkpoint: the only recovery is to re-fly
+      // from boot. Determinism makes that exact, just slower.
+      ++result.recovery.replays_from_boot;
     }
-    tenants.push_back(*deployed);
-    PlannerJob job;
-    job.vdrone_id = i;
-    job.vdrone_ref = "vd-" + std::to_string(i);
-    job.waypoint = waypoint;
-    job.service_energy_j = 170.0 * config.dwell_s;
-    job.service_time_s = config.dwell_s;
-    jobs.push_back(job);
-  }
-
-  // Crash-loop chaos: a bystander payload container crashed on schedule,
-  // supervised (backoff restarts, give-up) by a world-owned supervisor.
-  // Isolation means the flight must not notice.
-  std::unique_ptr<ContainerSupervisor> chaos_supervisor;
-  if (config.crash_loop.enabled()) {
-    auto payload = system.runtime().CreateContainer(
-        "chaos-payload", ContainerKind::kVirtualDrone, system.base_image());
-    if (!payload.ok() ||
-        !system.runtime().StartContainer((*payload)->id()).ok()) {
-      return result;
-    }
-    SupervisorPolicy policy;
-    policy.max_consecutive_restarts = config.crash_loop.max_restarts;
-    chaos_supervisor = std::make_unique<ContainerSupervisor>(
-        &clock, &system.runtime(), policy, SplitMix64(ctx.seed ^ 0xc4a5));
-    ContainerId payload_id = (*payload)->id();
-    chaos_supervisor->Watch(payload_id);
-    for (int k = 0; k < config.crash_loop.count; ++k) {
-      SimDuration at = SecondsF(config.crash_loop.start_s +
-                                k * config.crash_loop.period_s);
-      clock.ScheduleAfter(at, [&system, payload_id] {
-        // A crash only lands on a running life; between backoff and restart
-        // the container is already down and the scheduled crash is a no-op.
-        (void)system.runtime().CrashContainer(payload_id);
-      });
-    }
-  }
-
-  // Planner downlink: telemetry fanned to the planner endpoint is encoded
-  // into MAVProxy's reused wire scratch, VPN-encapsulated, and shipped over
-  // a seeded link channel — the §6.5 ground path, per world. The scenario's
-  // link profile picks the regime; a fault plan decorates it with scripted
-  // outage/burst-loss/latency windows.
-  std::unique_ptr<LinkModel> link = MakeLinkModel(config.downlink_profile);
-  std::unique_ptr<FaultyLinkModel> faulty_link;
-  LinkModel* downlink_model = link.get();
-  if (config.net_faults != nullptr) {
-    faulty_link = std::make_unique<FaultyLinkModel>(
-        link.get(), config.net_faults, &clock, LinkDirection::kForward);
-    downlink_model = faulty_link.get();
-  }
-  NetworkChannel downlink(&clock, downlink_model,
-                          SplitMix64(ctx.seed + 0x11e7));
-  VpnTunnel tunnel_tx(&downlink, 42);
-  VpnTunnel tunnel_rx(&downlink, 42);
-  if (trace != nullptr) {
-    downlink.SetTrace(trace);
-    tunnel_tx.SetTrace(trace);
-    tunnel_rx.SetTrace(trace);
-  }
-  uint64_t frames_down = 0;
-  uint64_t bytes_down = 0;
-  tunnel_rx.SetReceiver([&](const std::vector<uint8_t>& bytes) {
-    ++frames_down;
-    bytes_down += bytes.size();
-  });
-  system.proxy().SetPlannerWireSink(
-      [&](const std::vector<uint8_t>& bytes) { tunnel_tx.Send(bytes); });
-
-  // Cooperative fleet cancellation: a once-per-sim-second clock event polls
-  // the shared flag and aborts the flight (RTL + resumable saves) when the
-  // fleet budget expires or an operator cancels.
-  std::function<void()> poll_cancel = [&] {
-    if (ctx.ShouldCancel()) {
-      system.RequestAbort("fleet cancelled");
-      return;
-    }
-    clock.ScheduleAfter(Seconds(1), poll_cancel);
-  };
-  clock.ScheduleAfter(Seconds(1), poll_cancel);
-
-  FlightExecutionReport flight_report;
-  bool flight_ok = true;
-  if (!jobs.empty()) {
-    EnergyModel energy;
-    PlannerConfig pc;
-    pc.depot = kFleetBase;
-    pc.fleet_size = 1;
-    pc.annealing_iterations = config.annealing_iterations;
-    FlightPlanner planner(energy, pc);
-    auto plan = planner.Plan(jobs);
-    if (!plan.ok() || plan->routes.empty()) {
-      return result;
-    }
-
-    auto flight = system.ExecuteRoute(plan->routes[0], jobs);
-    if (flight.ok()) {
-      flight_report = std::move(*flight);
-    } else {
-      // A flight abort (safety cutoff under sensor chaos, battery floor,
-      // mission timeout) is a scenario outcome, not an infrastructure
-      // failure: the world still drains, exports counters/metrics/trace,
-      // and reports completed = false — triage needs the faulted world's
-      // trace to diff against its nominal twin.
-      flight_ok = false;
-    }
-  } else {
-    // Every tenant was rejected at admission (memory-pressure scenarios
-    // with tolerate_deploy_rejection): no route to fly, but the world still
-    // completes — the admitted/rejected split is its result. Run a few
-    // simulated seconds so scheduled chaos (crash loops) plays out.
-    system.RunClockUntil([] { return false; }, Seconds(30));
-  }
-  // Drain the downlink: flush any residual telemetry batch and run one more
-  // simulated second so in-flight datagrams reach the receiver before the
-  // counters and latency histogram are read.
-  system.proxy().FlushTelemetryBatch();
-  system.RunClockUntil([] { return false; }, Seconds(1));
-
-  result.completed = flight_ok && !system.abort_requested();
-  result.events_run = clock.events_run();
-  result.counters["waypoints_visited"] =
-      static_cast<double>(flight_report.waypoints_visited);
-  result.counters["flight_time_s"] = flight_report.flight_time_s;
-  result.counters["battery_used_j"] = flight_report.battery_used_j;
-  result.counters["tenants_admitted"] = static_cast<double>(tenants.size());
-  result.counters["tenants_rejected"] = static_cast<double>(tenants_rejected);
-  result.counters["downlink_frames"] = static_cast<double>(frames_down);
-  result.counters["downlink_bytes"] = static_cast<double>(bytes_down);
-  result.counters["downlink_lost"] = static_cast<double>(downlink.lost());
-  result.counters["downlink_flushes"] =
-      static_cast<double>(system.proxy().wire_flushes());
-  result.counters["wire_frames"] =
-      static_cast<double>(system.proxy().wire_frames());
-  result.histograms["downlink_latency_us"] = downlink.latency_us();
-
-  // Structured metrics snapshot (DESIGN.md §11): scraped once at the world
-  // boundary, merged fleet-wide in index order by FleetExecutor.
-  {
-    BinderDriver* binder = system.runtime().binder();
-    MetricsRegistry metrics;
-    metrics.Add("world.events_run", static_cast<double>(clock.events_run()));
-    metrics.Add("binder.txns",
-                static_cast<double>(binder->transaction_count()));
-    metrics.Add("binder.txns_fast_path",
-                static_cast<double>(binder->fast_path_transactions()));
-    metrics.Add("binder.txns_translated",
-                static_cast<double>(binder->translated_transactions()));
-    metrics.Add("mav.wire_frames",
-                static_cast<double>(system.proxy().wire_frames()));
-    metrics.Add("mav.wire_flushes",
-                static_cast<double>(system.proxy().wire_flushes()));
-    metrics.Add("net.downlink_frames", static_cast<double>(frames_down));
-    metrics.Add("net.downlink_bytes", static_cast<double>(bytes_down));
-    metrics.Add("net.downlink_lost", static_cast<double>(downlink.lost()));
-    metrics.Add("rt.fast_loops",
-                static_cast<double>(system.flight().fast_loop_count()));
-    metrics.Add("rt.deadline_misses",
-                static_cast<double>(system.flight().missed_deadlines()));
-    metrics.Set("container.memory_mb", system.runtime().MemoryUsageMb());
-    metrics.Hist("downlink_latency_us").Merge(downlink.latency_us());
-    if (trace != nullptr) {
-      metrics.Add("trace.recorded", static_cast<double>(trace->recorded()));
-      metrics.Add("trace.dropped", static_cast<double>(trace->dropped()));
-    }
-    metrics.Add("fleet.tenants_admitted", static_cast<double>(tenants.size()));
-    metrics.Add("fleet.tenants_rejected",
-                static_cast<double>(tenants_rejected));
-    if (faulty_link != nullptr) {
-      metrics.Add("net.outage_losses",
-                  static_cast<double>(faulty_link->counters().outage_losses));
-      metrics.Add("net.burst_losses",
-                  static_cast<double>(faulty_link->counters().burst_losses));
-      metrics.Add(
-          "net.inflated_samples",
-          static_cast<double>(faulty_link->counters().inflated_samples));
-    }
-    if (const SensorFaultInjector* inj = system.sensor_fault_injector()) {
-      metrics.Add("sensor.dropouts",
-                  static_cast<double>(inj->counters().dropouts));
-      metrics.Add("sensor.stuck_reads",
-                  static_cast<double>(inj->counters().stuck_reads));
-      metrics.Add("sensor.corrupted_reads",
-                  static_cast<double>(inj->counters().corrupted_reads));
-    }
-    {
-      const auto& episodes = system.flight().safety().episodes();
-      int cutoffs = 0;
-      int deepest = 0;
-      for (const SafetyEpisode& episode : episodes) {
-        deepest = std::max(deepest, static_cast<int>(episode.deepest));
-        if (episode.deepest == SafetyStage::kCutoff) {
-          ++cutoffs;
-        }
+    Status flight = attempt.Fly(resumed, store_ptr);
+    if (flight.code() == StatusCode::kCancelled) {
+      ++result.recovery.crashes;
+      crashes_consumed = attempt.next_crash_cursor();
+      SimTime checkpoint_time = store.count() > 0 ? store.latest_time() : -1;
+      if (!restore_supervisor.BeginRestore(checkpoint_time)) {
+        // Restore budget spent: the world stays down. That is a scenario
+        // outcome (completed = false), not an infrastructure failure — the
+        // crashed attempt's counters/metrics/trace still export for triage.
+        result.recovery.gave_up = true;
+        attempt.Finish(result);
+        result.completed = false;
+        break;
       }
-      metrics.Add("safety.episodes", static_cast<double>(episodes.size()));
-      metrics.Add("safety.cutoffs", static_cast<double>(cutoffs));
-      metrics.Add("safety.deepest_stage", static_cast<double>(deepest));
+      restore_supervisor.FinishRestore();
+      continue;
     }
-    if (chaos_supervisor != nullptr) {
-      chaos_supervisor->ExportMetrics(metrics);
+    if (!flight.ok()) {
+      result.infra_failure = true;
+      return result;
     }
-    result.metrics = metrics.Snapshot();
+    attempt.Finish(result);
+    break;
   }
-  // A caller-owned recorder is exported by the caller; only a world-owned
-  // recorder's export rides back on the result.
-  if (owned_trace != nullptr) {
-    result.trace_text = owned_trace->ExportText();
-  }
-
-  // The determinism digest covers the physical flight (every logged attitude
-  // sample) and the downlink latency distribution: if either diverges across
-  // thread counts, fleet digests split. The flight digest is also exported
-  // on its own — it must be invariant to transport-level choices like
-  // telemetry batching, which legitimately change the full digest.
-  result.flight_digest = FlightLogDigest(system.flight().flight_log());
-  uint64_t digest = result.flight_digest;
-  digest = Fnv1a64Value(downlink.latency_us().Digest(), digest);
-  digest = Fnv1a64Value(frames_down, digest);
-  digest = Fnv1a64Value(bytes_down, digest);
-  result.digest = digest;
+  result.recovery.checkpoints_saved = store.count();
+  result.recovery.checkpoint_bytes = static_cast<uint64_t>(store.latest_bytes());
   return result;
 }
 

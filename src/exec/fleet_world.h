@@ -8,10 +8,14 @@
 #ifndef SRC_EXEC_FLEET_WORLD_H_
 #define SRC_EXEC_FLEET_WORLD_H_
 
+#include <vector>
+
+#include "src/container/supervisor.h"
 #include "src/exec/fleet_executor.h"
 #include "src/hw/sensor_faults.h"
 #include "src/net/fault_injector.h"
 #include "src/net/link_model.h"
+#include "src/snapshot/checkpoint.h"
 
 namespace androne {
 
@@ -71,6 +75,24 @@ struct FleetWorldConfig {
   const SensorFaultPlan* sensor_faults = nullptr;
   // Crash-loop chaos on a payload container (see CrashLoopConfig).
   CrashLoopConfig crash_loop;
+  // --- Checkpoint/restore + crash recovery (DESIGN.md §13) ---
+  // When the world captures checkpoints of its complete state. Disabled by
+  // default (captures are pure reads of world state, but plain benches
+  // shouldn't pay for serialization they never restore from).
+  CheckpointPolicy checkpoint{/*period_s=*/0, /*at_phase_boundaries=*/false};
+  // The crash fault family: at each listed sim-time (seconds) the world
+  // process dies mid-flight — the mission driver stops at the next 100 ms
+  // chunk boundary and the recovery loop rebuilds the world, restores the
+  // latest checkpoint, and replays (or replays from boot when no
+  // checkpoint exists yet). The recovered world's digest, trace, and
+  // metrics are bit-identical to the uninterrupted run at the same seed.
+  // Crashes land only while the mission driver is pumping (checkpoints and
+  // crash detection both live in the mission pulse).
+  std::vector<double> crash_at_s;
+  // Restore-with-backoff discipline for crashed worlds. Backoff delays are
+  // recorded per episode, never slept — sleeping simulated time inside the
+  // restored timeline would break the bit-identical-replay guarantee.
+  RestorePolicy restore;
   // Deploy rejections (memory admission) become the tenants_rejected
   // counter instead of failing the world — the memory-pressure scenarios
   // assert on the admitted/rejected split (paper Figure 12), so a rejected

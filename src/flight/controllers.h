@@ -6,6 +6,7 @@
 #include <array>
 
 #include "src/hw/motors.h"
+#include "src/snapshot/snapshot.h"
 #include "src/util/time.h"
 
 namespace androne {
@@ -17,6 +18,18 @@ class PidLoop {
 
   double Update(double error, SimDuration dt);
   void Reset();
+
+  // Checkpoint/restore: dynamic state only (gains are config).
+  void SaveState(SnapshotWriter& w) const {
+    w.F64(integrator_);
+    w.F64(last_error_);
+    w.Bool(has_last_);
+  }
+  Status RestoreState(SnapshotReader& r) {
+    RETURN_IF_ERROR(r.F64(&integrator_));
+    RETURN_IF_ERROR(r.F64(&last_error_));
+    return r.Bool(&has_last_);
+  }
 
  private:
   double kp_, ki_, kd_;
@@ -45,6 +58,17 @@ class AttitudeController {
                                         double p, double q, double r,
                                         SimDuration dt);
   void Reset();
+
+  void SaveState(SnapshotWriter& w) const {
+    roll_rate_pid_.SaveState(w);
+    pitch_rate_pid_.SaveState(w);
+    yaw_rate_pid_.SaveState(w);
+  }
+  Status RestoreState(SnapshotReader& r) {
+    RETURN_IF_ERROR(roll_rate_pid_.RestoreState(r));
+    RETURN_IF_ERROR(pitch_rate_pid_.RestoreState(r));
+    return yaw_rate_pid_.RestoreState(r);
+  }
 
  private:
   PidLoop roll_rate_pid_;
@@ -82,6 +106,27 @@ class PositionController {
   void Reset();
   void set_max_speed(double ms) { limits_.max_speed_ms = ms; }
   const PositionControllerLimits& limits() const { return limits_; }
+
+  // max_speed is mutable at runtime (DO_CHANGE_SPEED / WPNAV_SPEED), so the
+  // whole limit block travels with the dynamic state.
+  void SaveState(SnapshotWriter& w) const {
+    w.F64(limits_.max_tilt_rad);
+    w.F64(limits_.max_speed_ms);
+    w.F64(limits_.max_climb_ms);
+    w.F64(limits_.max_descent_ms);
+    vel_n_pid_.SaveState(w);
+    vel_e_pid_.SaveState(w);
+    vel_d_pid_.SaveState(w);
+  }
+  Status RestoreState(SnapshotReader& r) {
+    RETURN_IF_ERROR(r.F64(&limits_.max_tilt_rad));
+    RETURN_IF_ERROR(r.F64(&limits_.max_speed_ms));
+    RETURN_IF_ERROR(r.F64(&limits_.max_climb_ms));
+    RETURN_IF_ERROR(r.F64(&limits_.max_descent_ms));
+    RETURN_IF_ERROR(vel_n_pid_.RestoreState(r));
+    RETURN_IF_ERROR(vel_e_pid_.RestoreState(r));
+    return vel_d_pid_.RestoreState(r);
+  }
 
  private:
   double hover_throttle_;

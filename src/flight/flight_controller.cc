@@ -49,20 +49,22 @@ void FlightController::Start() {
     return;
   }
   running_ = true;
-  clock_->ScheduleAfter(SecondsF(1.0 / config_.fast_loop_hz),
-                        [this] { FastLoop(); });
+  fast_loop_event_ = clock_->ScheduleAfter(SecondsF(1.0 / config_.fast_loop_hz),
+                                           [this] { FastLoop(); });
   StartTelemetry();
 }
 
 void FlightController::Stop() { running_ = false; }
 
 void FlightController::StartTelemetry() {
-  clock_->ScheduleAfter(SecondsF(1.0 / config_.heartbeat_hz),
-                        [this] { HeartbeatTick(); });
-  clock_->ScheduleAfter(SecondsF(1.0 / config_.attitude_telemetry_hz),
-                        [this] { AttitudeTick(); });
-  clock_->ScheduleAfter(SecondsF(1.0 / config_.position_telemetry_hz),
-                        [this] { PositionTick(); });
+  heartbeat_event_ = clock_->ScheduleAfter(SecondsF(1.0 / config_.heartbeat_hz),
+                                           [this] { HeartbeatTick(); });
+  attitude_event_ =
+      clock_->ScheduleAfter(SecondsF(1.0 / config_.attitude_telemetry_hz),
+                            [this] { AttitudeTick(); });
+  position_event_ =
+      clock_->ScheduleAfter(SecondsF(1.0 / config_.position_telemetry_hz),
+                            [this] { PositionTick(); });
 }
 
 void FlightController::HeartbeatTick() {
@@ -76,8 +78,8 @@ void FlightController::HeartbeatTick() {
   hb.system_status = static_cast<uint8_t>(armed_ ? MavState::kActive
                                                  : MavState::kStandby);
   Send(MavMessage{hb});
-  clock_->ScheduleAfter(SecondsF(1.0 / config_.heartbeat_hz),
-                        [this] { HeartbeatTick(); });
+  heartbeat_event_ = clock_->ScheduleAfter(SecondsF(1.0 / config_.heartbeat_hz),
+                                           [this] { HeartbeatTick(); });
 }
 
 void FlightController::AttitudeTick() {
@@ -90,8 +92,9 @@ void FlightController::AttitudeTick() {
   att.pitch = static_cast<float>(estimator_.attitude().pitch_rad);
   att.yaw = static_cast<float>(estimator_.attitude().yaw_rad);
   Send(MavMessage{att});
-  clock_->ScheduleAfter(SecondsF(1.0 / config_.attitude_telemetry_hz),
-                        [this] { AttitudeTick(); });
+  attitude_event_ =
+      clock_->ScheduleAfter(SecondsF(1.0 / config_.attitude_telemetry_hz),
+                            [this] { AttitudeTick(); });
 }
 
 void FlightController::PositionTick() {
@@ -141,8 +144,9 @@ void FlightController::PositionTick() {
       (10.5 + 2.1 * std::max(0.0, sensed)) * 1000);
   ss.battery_remaining = static_cast<int8_t>(sensed * 100);
   Send(MavMessage{ss});
-  clock_->ScheduleAfter(SecondsF(1.0 / config_.position_telemetry_hz),
-                        [this] { PositionTick(); });
+  position_event_ =
+      clock_->ScheduleAfter(SecondsF(1.0 / config_.position_telemetry_hz),
+                            [this] { PositionTick(); });
 }
 
 NedPoint FlightController::EstimatedNed() const {
@@ -299,7 +303,7 @@ void FlightController::FastLoop() {
     log_.Record(entry);
   }
 
-  clock_->ScheduleAfter(period, [this] { FastLoop(); });
+  fast_loop_event_ = clock_->ScheduleAfter(period, [this] { FastLoop(); });
 }
 
 void FlightController::RunControl(SimDuration dt) {
@@ -832,6 +836,195 @@ void FlightController::HandleParamSet(const ParamSet& ps) {
   pv.param_id = ps.param_id;
   pv.param_count = static_cast<uint16_t>(params_.size());
   Send(MavMessage{pv});
+}
+
+namespace {
+
+void SaveOptionalNed(SnapshotWriter& w, const std::optional<NedPoint>& p) {
+  w.Bool(p.has_value());
+  if (p.has_value()) {
+    SaveNedPoint(w, *p);
+  }
+}
+
+Status RestoreOptionalNed(SnapshotReader& r, std::optional<NedPoint>& p) {
+  bool present = false;
+  RETURN_IF_ERROR(r.Bool(&present));
+  p.reset();
+  if (present) {
+    p.emplace();
+    return RestoreNedPoint(r, *p);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+void FlightController::SaveState(SnapshotWriter& w,
+                                 TimerRegistry& timers) const {
+  w.Section("FCTL");
+  w.Bool(running_);
+  w.Bool(armed_);
+  w.U32(static_cast<uint32_t>(mode_));
+  SaveOptionalNed(w, guided_target_);
+  SaveOptionalNed(w, guided_velocity_);
+  w.F64(target_yaw_);
+  SaveNedPoint(w, hold_target_);
+  w.U64(mission_.size());
+  for (const GeoPoint& p : mission_) {
+    SaveGeoPoint(w, p);
+  }
+  w.U64(mission_index_);
+  w.I64(rtl_phase_);
+  for (uint16_t c : rc_.chan) {
+    w.U32(c);
+  }
+  w.U8(rc_.target_system);
+  w.U8(rc_.target_component);
+  w.Bool(rc_active_);
+  w.Bool(fence_.enabled);
+  SaveGeoPoint(w, fence_.center);
+  w.F64(fence_.radius_m);
+  w.F64(fence_.max_altitude_m);
+  w.Bool(fence_recovering_);
+  SaveNedPoint(w, fence_recovery_target_);
+  w.U64(params_.size());
+  for (const auto& [name, value] : params_) {
+    w.Str(name);
+    w.F64(value);
+  }
+  w.Bool(battery_failsafe_triggered_);
+  w.Bool(gps_glitch_);
+  for (double o : last_output_) {
+    w.F64(o);
+  }
+  w.U64(fast_loops_);
+  w.U64(missed_deadlines_);
+  w.U8(tx_seq_);
+  w.I64(last_gps_read_);
+  w.I64(last_slow_read_);
+  w.I64(last_fence_check_);
+  estimator_.SaveState(w);
+  deduper_.SaveState(w);
+  attitude_ctrl_.SaveState(w);
+  position_ctrl_.SaveState(w);
+  safety_.SaveState(w);
+  log_.SaveState(w);
+
+  SimTime when = 0;
+  uint64_t seq = 0;
+  if (fast_loop_event_ != 0 &&
+      clock_->PendingInfo(fast_loop_event_, &when, &seq)) {
+    timers.Add("fc.fast", when, seq);
+  }
+  if (heartbeat_event_ != 0 &&
+      clock_->PendingInfo(heartbeat_event_, &when, &seq)) {
+    timers.Add("fc.heartbeat", when, seq);
+  }
+  if (attitude_event_ != 0 &&
+      clock_->PendingInfo(attitude_event_, &when, &seq)) {
+    timers.Add("fc.attitude", when, seq);
+  }
+  if (position_event_ != 0 &&
+      clock_->PendingInfo(position_event_, &when, &seq)) {
+    timers.Add("fc.position", when, seq);
+  }
+}
+
+Status FlightController::RestoreState(SnapshotReader& r) {
+  RETURN_IF_ERROR(r.Section("FCTL"));
+  RETURN_IF_ERROR(r.Bool(&running_));
+  RETURN_IF_ERROR(r.Bool(&armed_));
+  uint32_t mode = 0;
+  RETURN_IF_ERROR(r.U32(&mode));
+  mode_ = static_cast<CopterMode>(mode);
+  RETURN_IF_ERROR(RestoreOptionalNed(r, guided_target_));
+  RETURN_IF_ERROR(RestoreOptionalNed(r, guided_velocity_));
+  RETURN_IF_ERROR(r.F64(&target_yaw_));
+  RETURN_IF_ERROR(RestoreNedPoint(r, hold_target_));
+  uint64_t mission_size = 0;
+  RETURN_IF_ERROR(r.U64(&mission_size));
+  mission_.clear();
+  for (uint64_t i = 0; i < mission_size; ++i) {
+    GeoPoint p;
+    RETURN_IF_ERROR(RestoreGeoPoint(r, p));
+    mission_.push_back(p);
+  }
+  uint64_t mission_index = 0;
+  RETURN_IF_ERROR(r.U64(&mission_index));
+  mission_index_ = static_cast<size_t>(mission_index);
+  int64_t rtl_phase = 0;
+  RETURN_IF_ERROR(r.I64(&rtl_phase));
+  rtl_phase_ = static_cast<int>(rtl_phase);
+  for (uint16_t& c : rc_.chan) {
+    uint32_t v = 0;
+    RETURN_IF_ERROR(r.U32(&v));
+    c = static_cast<uint16_t>(v);
+  }
+  RETURN_IF_ERROR(r.U8(&rc_.target_system));
+  RETURN_IF_ERROR(r.U8(&rc_.target_component));
+  RETURN_IF_ERROR(r.Bool(&rc_active_));
+  RETURN_IF_ERROR(r.Bool(&fence_.enabled));
+  RETURN_IF_ERROR(RestoreGeoPoint(r, fence_.center));
+  RETURN_IF_ERROR(r.F64(&fence_.radius_m));
+  RETURN_IF_ERROR(r.F64(&fence_.max_altitude_m));
+  RETURN_IF_ERROR(r.Bool(&fence_recovering_));
+  RETURN_IF_ERROR(RestoreNedPoint(r, fence_recovery_target_));
+  uint64_t param_count = 0;
+  RETURN_IF_ERROR(r.U64(&param_count));
+  params_.clear();
+  for (uint64_t i = 0; i < param_count; ++i) {
+    std::string name;
+    double value = 0;
+    RETURN_IF_ERROR(r.Str(&name));
+    RETURN_IF_ERROR(r.F64(&value));
+    params_[name] = value;
+  }
+  RETURN_IF_ERROR(r.Bool(&battery_failsafe_triggered_));
+  RETURN_IF_ERROR(r.Bool(&gps_glitch_));
+  for (double& o : last_output_) {
+    RETURN_IF_ERROR(r.F64(&o));
+  }
+  RETURN_IF_ERROR(r.U64(&fast_loops_));
+  RETURN_IF_ERROR(r.U64(&missed_deadlines_));
+  RETURN_IF_ERROR(r.U8(&tx_seq_));
+  RETURN_IF_ERROR(r.I64(&last_gps_read_));
+  RETURN_IF_ERROR(r.I64(&last_slow_read_));
+  RETURN_IF_ERROR(r.I64(&last_fence_check_));
+  RETURN_IF_ERROR(estimator_.RestoreState(r));
+  RETURN_IF_ERROR(deduper_.RestoreState(r));
+  RETURN_IF_ERROR(attitude_ctrl_.RestoreState(r));
+  RETURN_IF_ERROR(position_ctrl_.RestoreState(r));
+  RETURN_IF_ERROR(safety_.RestoreState(r));
+  RETURN_IF_ERROR(log_.RestoreState(r));
+  // Derived: mirror the restored WPNAV_SPEED into the position controller
+  // exactly as HandleParamSet would have (the PID state above already
+  // carried the live limits, so this is belt-and-braces for params-only
+  // divergence).
+  auto it = params_.find("WPNAV_SPEED");
+  if (it != params_.end()) {
+    position_ctrl_.set_max_speed(it->second);
+  }
+  fast_loop_event_ = 0;
+  heartbeat_event_ = 0;
+  attitude_event_ = 0;
+  position_event_ = 0;
+  return OkStatus();
+}
+
+void FlightController::RegisterTimers(TimerRearmer& rearmer) {
+  rearmer.Register("fc.fast", [this](SimTime when) {
+    fast_loop_event_ = clock_->ScheduleAt(when, [this] { FastLoop(); });
+  });
+  rearmer.Register("fc.heartbeat", [this](SimTime when) {
+    heartbeat_event_ = clock_->ScheduleAt(when, [this] { HeartbeatTick(); });
+  });
+  rearmer.Register("fc.attitude", [this](SimTime when) {
+    attitude_event_ = clock_->ScheduleAt(when, [this] { AttitudeTick(); });
+  });
+  rearmer.Register("fc.position", [this](SimTime when) {
+    position_event_ = clock_->ScheduleAt(when, [this] { PositionTick(); });
+  });
 }
 
 }  // namespace androne

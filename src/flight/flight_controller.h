@@ -30,6 +30,7 @@
 #include "src/mavlink/messages.h"
 #include "src/mavlink/reliable.h"
 #include "src/rt/kernel_model.h"
+#include "src/snapshot/snapshot.h"
 #include "src/util/sim_clock.h"
 
 namespace androne {
@@ -143,6 +144,17 @@ class FlightController {
   SafetySupervisor& safety() { return safety_; }
   double parameter(const std::string& name, double fallback) const;
 
+  // --- Checkpoint/restore (DESIGN.md §13) ---
+  // Serializes every field that influences future control decisions plus
+  // the four periodic loops' armed deadlines (keys fc.fast / fc.heartbeat /
+  // fc.attitude / fc.position). Callbacks (sender, fence, safety, camera)
+  // are re-wired by the restoring world, not persisted.
+  void SaveState(SnapshotWriter& w, TimerRegistry& timers) const;
+  Status RestoreState(SnapshotReader& r);
+  // Registers the loop re-arm handlers on |rearmer|; the restoring world
+  // calls this after RestoreState and before TimerRearmer::Replay.
+  void RegisterTimers(TimerRearmer& rearmer);
+
  private:
   void FastLoop();
   void RunControl(SimDuration dt);
@@ -222,6 +234,12 @@ class FlightController {
   uint64_t fast_loops_ = 0;
   uint64_t missed_deadlines_ = 0;
   uint8_t tx_seq_ = 0;
+  // Armed loop timers, retained so checkpoints can persist their deadlines
+  // (0 = not scheduled).
+  EventId fast_loop_event_ = 0;
+  EventId heartbeat_event_ = 0;
+  EventId attitude_event_ = 0;
+  EventId position_event_ = 0;
   // Sensor read scheduling (GPS 5 Hz, baro 25 Hz, mag 25 Hz).
   SimTime last_gps_read_ = -Seconds(1);
   SimTime last_slow_read_ = -Seconds(1);

@@ -10,6 +10,8 @@
 
 #include "src/hw/ground_truth.h"
 #include "src/hw/motors.h"
+#include "src/hw/sensor_io.h"
+#include "src/snapshot/snapshot.h"
 #include "src/util/geo.h"
 #include "src/util/time.h"
 
@@ -50,6 +52,53 @@ class QuadPhysics {
 
   // Hover throttle for this airframe (used by controllers as feed-forward).
   double hover_throttle() const;
+
+  // Checkpoint/restore: the full rigid-body state plus the derived ground
+  // truth (params/home are config).
+  void SaveState(SnapshotWriter& w) const {
+    w.Section("PHYS");
+    SaveNedPoint(w, ned_);
+    SaveNedPoint(w, vel_);
+    w.F64(roll_);
+    w.F64(pitch_);
+    w.F64(yaw_);
+    w.F64(p_);
+    w.F64(q_);
+    w.F64(r_);
+    SaveGeoPoint(w, truth_.position);
+    SaveNedPoint(w, truth_.velocity_ms);
+    w.F64(truth_.roll_rad);
+    w.F64(truth_.pitch_rad);
+    w.F64(truth_.yaw_rad);
+    w.F64(truth_.roll_rate_rads);
+    w.F64(truth_.pitch_rate_rads);
+    w.F64(truth_.yaw_rate_rads);
+    w.F64(truth_.accel_up_mss);
+    w.F64(truth_.rotor_power_w);
+    w.Bool(truth_.airborne);
+  }
+  Status RestoreState(SnapshotReader& r) {
+    RETURN_IF_ERROR(r.Section("PHYS"));
+    RETURN_IF_ERROR(RestoreNedPoint(r, ned_));
+    RETURN_IF_ERROR(RestoreNedPoint(r, vel_));
+    RETURN_IF_ERROR(r.F64(&roll_));
+    RETURN_IF_ERROR(r.F64(&pitch_));
+    RETURN_IF_ERROR(r.F64(&yaw_));
+    RETURN_IF_ERROR(r.F64(&p_));
+    RETURN_IF_ERROR(r.F64(&q_));
+    RETURN_IF_ERROR(r.F64(&r_));
+    RETURN_IF_ERROR(RestoreGeoPoint(r, truth_.position));
+    RETURN_IF_ERROR(RestoreNedPoint(r, truth_.velocity_ms));
+    RETURN_IF_ERROR(r.F64(&truth_.roll_rad));
+    RETURN_IF_ERROR(r.F64(&truth_.pitch_rad));
+    RETURN_IF_ERROR(r.F64(&truth_.yaw_rad));
+    RETURN_IF_ERROR(r.F64(&truth_.roll_rate_rads));
+    RETURN_IF_ERROR(r.F64(&truth_.pitch_rate_rads));
+    RETURN_IF_ERROR(r.F64(&truth_.yaw_rate_rads));
+    RETURN_IF_ERROR(r.F64(&truth_.accel_up_mss));
+    RETURN_IF_ERROR(r.F64(&truth_.rotor_power_w));
+    return r.Bool(&truth_.airborne);
+  }
 
  private:
   void UpdateGroundTruth();

@@ -26,6 +26,13 @@ class Gimbal : public HardwareDevice {
   double roll_deg() const { return roll_deg_; }
   double yaw_deg() const { return yaw_deg_; }
 
+  // Checkpoint restore: overwrites the pointing state directly.
+  void RestoreOrientation(double pitch_deg, double roll_deg, double yaw_deg) {
+    pitch_deg_ = pitch_deg;
+    roll_deg_ = roll_deg;
+    yaw_deg_ = yaw_deg;
+  }
+
  private:
   double pitch_deg_ = 0;
   double roll_deg_ = 0;

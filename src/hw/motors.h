@@ -31,6 +31,14 @@ class MotorSet : public HardwareDevice {
   Status Arm(ContainerId caller);
   Status Disarm(ContainerId caller);
 
+  // Checkpoint restore: overwrites the actuator state directly (bypasses
+  // the open check — the restoring world rebuilt the same opener).
+  void RestoreActuatorState(const std::array<double, kNumMotors>& throttles,
+                            bool armed) {
+    throttles_ = throttles;
+    armed_ = armed;
+  }
+
  private:
   std::array<double, kNumMotors> throttles_{0, 0, 0, 0};
   bool armed_ = false;

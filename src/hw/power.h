@@ -53,6 +53,10 @@ class Battery {
     return 10.5 + 2.1 * std::max(0.0, fraction_remaining());
   }
 
+  // Checkpoint hook: the remaining charge is the battery's only dynamic
+  // state (capacity is config).
+  void RestoreRemaining(double remaining_j) { remaining_j_ = remaining_j; }
+
  private:
   double capacity_j_;
   double remaining_j_;

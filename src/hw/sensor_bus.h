@@ -19,7 +19,9 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/hw/sensor_io.h"
 #include "src/hw/sensors.h"
+#include "src/snapshot/snapshot.h"
 #include "src/util/sim_clock.h"
 #include "src/util/status.h"
 
@@ -72,6 +74,39 @@ class SensorBus {
     return reader_retries_.load(std::memory_order_relaxed);
   }
 
+  // Checkpoint/restore (DESIGN.md §13). Saved between publishes, so the
+  // sequence is always even at capture time.
+  void SaveState(SnapshotWriter& w) const {
+    w.Section("SBUS");
+    w.U64(sequence_.load(std::memory_order_acquire));
+    SaveImuSample(w, slot_.imu);
+    SaveGpsFix(w, slot_.gps);
+    w.F64(slot_.baro_altitude_m);
+    w.F64(slot_.mag_heading_rad);
+    w.I64(slot_.baro_mag_time);
+    w.I64(slot_.publish_time);
+    w.U64(publishes_);
+    w.U64(reader_retries_.load(std::memory_order_relaxed));
+  }
+
+  Status RestoreState(SnapshotReader& r) {
+    RETURN_IF_ERROR(r.Section("SBUS"));
+    uint64_t sequence;
+    RETURN_IF_ERROR(r.U64(&sequence));
+    RETURN_IF_ERROR(RestoreImuSample(r, slot_.imu));
+    RETURN_IF_ERROR(RestoreGpsFix(r, slot_.gps));
+    RETURN_IF_ERROR(r.F64(&slot_.baro_altitude_m));
+    RETURN_IF_ERROR(r.F64(&slot_.mag_heading_rad));
+    RETURN_IF_ERROR(r.I64(&slot_.baro_mag_time));
+    RETURN_IF_ERROR(r.I64(&slot_.publish_time));
+    RETURN_IF_ERROR(r.U64(&publishes_));
+    uint64_t retries;
+    RETURN_IF_ERROR(r.U64(&retries));
+    reader_retries_.store(retries, std::memory_order_relaxed);
+    sequence_.store(sequence, std::memory_order_release);
+    return OkStatus();
+  }
+
  private:
   std::atomic<uint64_t> sequence_{0};  // Odd while a publish is in flight.
   SensorSnapshot slot_;
@@ -112,6 +147,25 @@ class SensorHub {
   }
 
   uint64_t samples_drawn() const { return samples_drawn_; }
+
+  // Checkpoint/restore: the cadence bookkeeping plus the published slot.
+  void SaveState(SnapshotWriter& w) const {
+    w.Section("SHUB");
+    bus_.SaveState(w);
+    w.I64(last_imu_time_);
+    w.I64(last_slow_time_);
+    w.I64(last_gps_time_);
+    w.U64(samples_drawn_);
+  }
+
+  Status RestoreState(SnapshotReader& r) {
+    RETURN_IF_ERROR(r.Section("SHUB"));
+    RETURN_IF_ERROR(bus_.RestoreState(r));
+    RETURN_IF_ERROR(r.I64(&last_imu_time_));
+    RETURN_IF_ERROR(r.I64(&last_slow_time_));
+    RETURN_IF_ERROR(r.I64(&last_gps_time_));
+    return r.U64(&samples_drawn_);
+  }
 
  private:
   SimClock* clock_;

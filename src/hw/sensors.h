@@ -37,6 +37,11 @@ class GpsReceiver : public HardwareDevice {
   StatusOr<GpsFix> ReadFix(ContainerId caller);
 
   void set_satellites(int n) { satellites_ = n; }
+  int satellites() const { return satellites_; }
+
+  // Checkpoint access: the noise stream is world state — a restored world
+  // must continue drawing the same sensor noise sequence.
+  Rng& checkpoint_rng() { return rng_; }
 
  private:
   SimClock* clock_;
@@ -56,6 +61,8 @@ class Imu : public HardwareDevice {
   Imu(SimClock* clock, const DroneGroundTruth* truth, uint64_t seed);
   StatusOr<ImuSample> ReadSample(ContainerId caller);
 
+  Rng& checkpoint_rng() { return rng_; }
+
  private:
   SimClock* clock_;
   const DroneGroundTruth* truth_;
@@ -67,6 +74,8 @@ class Barometer : public HardwareDevice {
   Barometer(SimClock* clock, const DroneGroundTruth* truth, uint64_t seed);
   // Altitude above home, meters, with ~0.1 m noise.
   StatusOr<double> ReadAltitudeM(ContainerId caller);
+
+  Rng& checkpoint_rng() { return rng_; }
 
  private:
   SimClock* clock_;
@@ -80,6 +89,8 @@ class Magnetometer : public HardwareDevice {
   // Heading in radians (0 = north), with small noise.
   StatusOr<double> ReadHeadingRad(ContainerId caller);
 
+  Rng& checkpoint_rng() { return rng_; }
+
  private:
   SimClock* clock_;
   const DroneGroundTruth* truth_;
@@ -91,6 +102,9 @@ class Microphone : public HardwareDevice {
   explicit Microphone(SimClock* clock);
   // Returns |samples| synthetic PCM samples.
   StatusOr<std::vector<int16_t>> Record(ContainerId caller, size_t samples);
+
+  uint64_t checkpoint_phase() const { return phase_; }
+  void RestorePhase(uint64_t phase) { phase_ = phase; }
 
  private:
   SimClock* clock_;
@@ -109,6 +123,7 @@ class Speaker : public HardwareDevice {
   Status Play(ContainerId caller, size_t samples);
 
   uint64_t samples_played() const { return samples_played_; }
+  void RestoreSamplesPlayed(uint64_t n) { samples_played_ = n; }
 
  private:
   uint64_t samples_played_ = 0;

@@ -15,10 +15,58 @@
 #include <optional>
 
 #include "src/mavlink/messages.h"
+#include "src/snapshot/snapshot.h"
 #include "src/util/backoff.h"
 #include "src/util/sim_clock.h"
 
 namespace androne {
+
+// Snapshot adapters for the two command-channel payload types.
+inline void SaveCommandLong(SnapshotWriter& w, const CommandLong& cmd) {
+  w.F64(cmd.param1);
+  w.F64(cmd.param2);
+  w.F64(cmd.param3);
+  w.F64(cmd.param4);
+  w.F64(cmd.param5);
+  w.F64(cmd.param6);
+  w.F64(cmd.param7);
+  w.U32(cmd.command);
+  w.U8(cmd.target_system);
+  w.U8(cmd.target_component);
+  w.U8(cmd.confirmation);
+}
+
+inline Status RestoreCommandLong(SnapshotReader& r, CommandLong& cmd) {
+  double params[7];
+  for (double& p : params) {
+    RETURN_IF_ERROR(r.F64(&p));
+  }
+  cmd.param1 = static_cast<float>(params[0]);
+  cmd.param2 = static_cast<float>(params[1]);
+  cmd.param3 = static_cast<float>(params[2]);
+  cmd.param4 = static_cast<float>(params[3]);
+  cmd.param5 = static_cast<float>(params[4]);
+  cmd.param6 = static_cast<float>(params[5]);
+  cmd.param7 = static_cast<float>(params[6]);
+  uint32_t command = 0;
+  RETURN_IF_ERROR(r.U32(&command));
+  cmd.command = static_cast<uint16_t>(command);
+  RETURN_IF_ERROR(r.U8(&cmd.target_system));
+  RETURN_IF_ERROR(r.U8(&cmd.target_component));
+  return r.U8(&cmd.confirmation);
+}
+
+inline void SaveCommandAck(SnapshotWriter& w, const CommandAck& ack) {
+  w.U32(ack.command);
+  w.U8(ack.result);
+}
+
+inline Status RestoreCommandAck(SnapshotReader& r, CommandAck& ack) {
+  uint32_t command = 0;
+  RETURN_IF_ERROR(r.U32(&command));
+  ack.command = static_cast<uint16_t>(command);
+  return r.U8(&ack.result);
+}
 
 struct RetryConfig {
   // Time to wait for COMMAND_ACK before the first retransmission. Should
@@ -75,6 +123,15 @@ class ReliableCommandSender {
   uint64_t acked() const { return acked_; }
   uint64_t gave_up() const { return gave_up_; }
 
+  // --- Checkpoint/restore (DESIGN.md §13) ---
+  // Pending commands persist with their armed retry deadlines under keys
+  // "rel.<command_id>"; sinks/callbacks are re-wired by the caller.
+  void SaveState(SnapshotWriter& w, TimerRegistry& timers) const;
+  Status RestoreState(SnapshotReader& r);
+  // Registers one re-arm handler per restored pending command. Call after
+  // RestoreState, before TimerRearmer::Replay.
+  void RegisterTimers(TimerRearmer& rearmer);
+
  private:
   struct Pending {
     CommandLong cmd;
@@ -128,6 +185,47 @@ class CommandDeduper {
   void RecordAck(const CommandAck& ack);
 
   uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+
+  // Checkpoint/restore: the dedup window is digest-relevant state (a
+  // duplicate arriving after restore must still be suppressed).
+  void SaveState(SnapshotWriter& w) const {
+    w.Section("DEDU");
+    w.U64(entries_.size());
+    for (const Entry& e : entries_) {
+      w.U8(e.sysid);
+      w.U8(e.compid);
+      w.U8(e.seq);
+      SaveCommandLong(w, e.cmd);
+      w.I64(e.time);
+      w.Bool(e.ack.has_value());
+      if (e.ack.has_value()) {
+        SaveCommandAck(w, *e.ack);
+      }
+    }
+    w.U64(duplicates_suppressed_);
+  }
+  Status RestoreState(SnapshotReader& r) {
+    RETURN_IF_ERROR(r.Section("DEDU"));
+    uint64_t n = 0;
+    RETURN_IF_ERROR(r.U64(&n));
+    entries_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      Entry e;
+      RETURN_IF_ERROR(r.U8(&e.sysid));
+      RETURN_IF_ERROR(r.U8(&e.compid));
+      RETURN_IF_ERROR(r.U8(&e.seq));
+      RETURN_IF_ERROR(RestoreCommandLong(r, e.cmd));
+      RETURN_IF_ERROR(r.I64(&e.time));
+      bool has_ack = false;
+      RETURN_IF_ERROR(r.Bool(&has_ack));
+      if (has_ack) {
+        e.ack.emplace();
+        RETURN_IF_ERROR(RestoreCommandAck(r, *e.ack));
+      }
+      entries_.push_back(std::move(e));
+    }
+    return r.U64(&duplicates_suppressed_);
+  }
 
  private:
   struct Entry {

@@ -28,7 +28,7 @@ void LinkWatchdog::Start() {
 }
 
 void LinkWatchdog::ScheduleTick() {
-  clock_->ScheduleAfter(config_.check_period, [this] {
+  tick_event_ = clock_->ScheduleAfter(config_.check_period, [this] {
     if (!running_) {
       return;
     }

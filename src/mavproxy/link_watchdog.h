@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/snapshot/snapshot.h"
 #include "src/util/sim_clock.h"
 
 namespace androne {
@@ -65,6 +66,61 @@ class LinkWatchdog {
   uint64_t heartbeats_seen() const { return heartbeats_seen_; }
   const std::vector<FailsafeEpisode>& episodes() const { return episodes_; }
 
+  // Checkpoint/restore: the failsafe machine, heartbeat bookkeeping, and
+  // the armed periodic check (key "mav.watchdog").
+  void SaveState(SnapshotWriter& w, TimerRegistry& timers) const {
+    w.Section("WDOG");
+    w.Bool(running_);
+    w.U32(static_cast<uint32_t>(stage_));
+    w.I64(last_heartbeat_);
+    w.U64(heartbeats_seen_);
+    w.U64(episodes_.size());
+    for (const FailsafeEpisode& e : episodes_) {
+      w.I64(e.entered);
+      w.I64(e.recovered);
+      w.U32(static_cast<uint32_t>(e.deepest));
+    }
+    SimTime when = 0;
+    uint64_t seq = 0;
+    if (tick_event_ != 0 && clock_->PendingInfo(tick_event_, &when, &seq)) {
+      timers.Add("mav.watchdog", when, seq);
+    }
+  }
+  Status RestoreState(SnapshotReader& r) {
+    RETURN_IF_ERROR(r.Section("WDOG"));
+    RETURN_IF_ERROR(r.Bool(&running_));
+    uint32_t stage = 0;
+    RETURN_IF_ERROR(r.U32(&stage));
+    stage_ = static_cast<LinkFailsafeStage>(stage);
+    RETURN_IF_ERROR(r.I64(&last_heartbeat_));
+    RETURN_IF_ERROR(r.U64(&heartbeats_seen_));
+    uint64_t n = 0;
+    RETURN_IF_ERROR(r.U64(&n));
+    episodes_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      FailsafeEpisode e;
+      RETURN_IF_ERROR(r.I64(&e.entered));
+      RETURN_IF_ERROR(r.I64(&e.recovered));
+      uint32_t deepest = 0;
+      RETURN_IF_ERROR(r.U32(&deepest));
+      e.deepest = static_cast<LinkFailsafeStage>(deepest);
+      episodes_.push_back(e);
+    }
+    tick_event_ = 0;
+    return OkStatus();
+  }
+  void RegisterTimers(TimerRearmer& rearmer) {
+    rearmer.Register("mav.watchdog", [this](SimTime when) {
+      tick_event_ = clock_->ScheduleAt(when, [this] {
+        if (!running_) {
+          return;
+        }
+        Check();
+        ScheduleTick();
+      });
+    });
+  }
+
  private:
   void Check();
   void ScheduleTick();
@@ -78,6 +134,7 @@ class LinkWatchdog {
   SimTime last_heartbeat_ = 0;
   uint64_t heartbeats_seen_ = 0;
   std::vector<FailsafeEpisode> episodes_;
+  EventId tick_event_ = 0;
 };
 
 }  // namespace androne

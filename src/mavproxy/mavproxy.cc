@@ -162,6 +162,78 @@ void MavProxy::OnSafetyRelease() {
   }
 }
 
+void MavProxy::SaveState(SnapshotWriter& w, TimerRegistry& timers) const {
+  w.Section("PRXY");
+  w.U8(failsafe_seq_);
+  w.U64(master_frames_);
+  w.U64(wire_frames_);
+  w.U64(wire_flushes_);
+  w.Bytes(batch_scratch_.data(), batch_scratch_.size());
+  bool deadline_armed = batch_deadline_armed_;
+  SimTime when = 0;
+  uint64_t seq = 0;
+  if (deadline_armed && clock_->PendingInfo(batch_deadline_, &when, &seq)) {
+    timers.Add("mav.batch", when, seq);
+  } else {
+    deadline_armed = false;
+  }
+  w.Bool(deadline_armed);
+  w.Bool(watchdog_ != nullptr);
+  if (watchdog_ != nullptr) {
+    watchdog_->SaveState(w, timers);
+  }
+  w.U64(vfcs_.size());
+  for (const auto& vfc : vfcs_) {
+    vfc->SaveState(w);
+  }
+}
+
+Status MavProxy::RestoreState(SnapshotReader& r) {
+  RETURN_IF_ERROR(r.Section("PRXY"));
+  RETURN_IF_ERROR(r.U8(&failsafe_seq_));
+  RETURN_IF_ERROR(r.U64(&master_frames_));
+  RETURN_IF_ERROR(r.U64(&wire_frames_));
+  RETURN_IF_ERROR(r.U64(&wire_flushes_));
+  RETURN_IF_ERROR(r.BytesInto(&batch_scratch_));
+  RETURN_IF_ERROR(r.Bool(&batch_deadline_armed_));
+  batch_deadline_ = 0;  // Re-armed via RegisterTimers when it was armed.
+  bool has_watchdog = false;
+  RETURN_IF_ERROR(r.Bool(&has_watchdog));
+  if (has_watchdog) {
+    if (watchdog_ == nullptr) {
+      return InvalidArgumentError(
+          "mavproxy checkpoint has link-watchdog state but the restoring "
+          "world did not enable the link failsafe");
+    }
+    RETURN_IF_ERROR(watchdog_->RestoreState(r));
+  }
+  uint64_t vfc_count = 0;
+  RETURN_IF_ERROR(r.U64(&vfc_count));
+  if (vfc_count != vfcs_.size()) {
+    return InvalidArgumentError(
+        "mavproxy checkpoint VFC roster mismatch: snapshot has " +
+        std::to_string(vfc_count) + " VFCs, restoring world has " +
+        std::to_string(vfcs_.size()));
+  }
+  for (const auto& vfc : vfcs_) {
+    RETURN_IF_ERROR(vfc->RestoreState(r));
+  }
+  return OkStatus();
+}
+
+void MavProxy::RegisterTimers(TimerRearmer& rearmer) {
+  rearmer.Register("mav.batch", [this](SimTime when) {
+    batch_deadline_ = clock_->ScheduleAt(when, [this] {
+      batch_deadline_armed_ = false;
+      FlushTelemetryBatch();
+    });
+    batch_deadline_armed_ = true;
+  });
+  if (watchdog_ != nullptr) {
+    watchdog_->RegisterTimers(rearmer);
+  }
+}
+
 LinkWatchdog* MavProxy::EnableLinkFailsafe(const LinkWatchdogConfig& config) {
   if (watchdog_ != nullptr) {
     return watchdog_.get();

@@ -100,6 +100,15 @@ class MavProxy {
   uint64_t wire_frames() const { return wire_frames_; }
   uint64_t wire_flushes() const { return wire_flushes_; }
 
+  // --- Checkpoint/restore (DESIGN.md §13) ---
+  // Persists counters, the in-flight telemetry batch (bytes + armed
+  // deadline, key "mav.batch"), watchdog state, and each VFC's view machine
+  // in creation order. The restoring world must have created the identical
+  // VFC roster (same Deploy at the same seed) before RestoreState.
+  void SaveState(SnapshotWriter& w, TimerRegistry& timers) const;
+  Status RestoreState(SnapshotReader& r);
+  void RegisterTimers(TimerRearmer& rearmer);
+
  private:
   void SendToMaster(const MavlinkFrame& frame);
 

@@ -16,6 +16,7 @@
 
 #include "src/mavlink/messages.h"
 #include "src/mavproxy/whitelist.h"
+#include "src/snapshot/snapshot.h"
 #include "src/util/geo.h"
 #include "src/util/sim_clock.h"
 
@@ -86,6 +87,58 @@ class VirtualFlightController {
   }
   uint64_t commands_forwarded() const { return commands_forwarded_; }
   uint64_t commands_declined() const { return commands_declined_; }
+
+  // Checkpoint/restore: the virtualized-view machine and counters (wiring,
+  // whitelist, and tenant id are config recreated by the restoring world).
+  void SaveState(SnapshotWriter& w) const {
+    w.Section("VFC ");
+    w.U32(static_cast<uint32_t>(state_));
+    w.Bool(fence_suspended_);
+    w.Bool(link_suspended_);
+    w.Bool(safety_suspended_);
+    w.Bool(waypoint_.has_value());
+    if (waypoint_.has_value()) {
+      w.F64(waypoint_->latitude_deg);
+      w.F64(waypoint_->longitude_deg);
+      w.F64(waypoint_->altitude_m);
+    }
+    w.F64(virtual_altitude_m_);
+    w.F64(virtual_position_.latitude_deg);
+    w.F64(virtual_position_.longitude_deg);
+    w.F64(virtual_position_.altitude_m);
+    w.I64(last_view_update_);
+    w.F64(last_real_altitude_m_);
+    w.U8(tx_seq_);
+    w.U64(commands_forwarded_);
+    w.U64(commands_declined_);
+  }
+  Status RestoreState(SnapshotReader& r) {
+    RETURN_IF_ERROR(r.Section("VFC "));
+    uint32_t state = 0;
+    RETURN_IF_ERROR(r.U32(&state));
+    state_ = static_cast<VfcState>(state);
+    RETURN_IF_ERROR(r.Bool(&fence_suspended_));
+    RETURN_IF_ERROR(r.Bool(&link_suspended_));
+    RETURN_IF_ERROR(r.Bool(&safety_suspended_));
+    bool has_waypoint = false;
+    RETURN_IF_ERROR(r.Bool(&has_waypoint));
+    waypoint_.reset();
+    if (has_waypoint) {
+      waypoint_.emplace();
+      RETURN_IF_ERROR(r.F64(&waypoint_->latitude_deg));
+      RETURN_IF_ERROR(r.F64(&waypoint_->longitude_deg));
+      RETURN_IF_ERROR(r.F64(&waypoint_->altitude_m));
+    }
+    RETURN_IF_ERROR(r.F64(&virtual_altitude_m_));
+    RETURN_IF_ERROR(r.F64(&virtual_position_.latitude_deg));
+    RETURN_IF_ERROR(r.F64(&virtual_position_.longitude_deg));
+    RETURN_IF_ERROR(r.F64(&virtual_position_.altitude_m));
+    RETURN_IF_ERROR(r.I64(&last_view_update_));
+    RETURN_IF_ERROR(r.F64(&last_real_altitude_m_));
+    RETURN_IF_ERROR(r.U8(&tx_seq_));
+    RETURN_IF_ERROR(r.U64(&commands_forwarded_));
+    return r.U64(&commands_declined_);
+  }
 
  private:
   void SendToClient(const MavMessage& message);

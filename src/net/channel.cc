@@ -1,8 +1,10 @@
 #include "src/net/channel.h"
 
+#include <string>
 #include <utility>
 
 #include "src/obs/trace.h"
+#include "src/snapshot/state_io.h"
 
 namespace androne {
 
@@ -30,24 +32,100 @@ void NetworkChannel::SendShared(SharedPayload payload) {
     return;
   }
   SimDuration latency = link_->SampleLatency(rng_);
-  clock_->ScheduleAfter(latency,
-                        [this, latency, payload = std::move(payload)] {
-    if (!receiver_) {
-      // No receiver (never set or torn down): count the datagram as dropped
-      // rather than invoking an empty std::function.
-      ++dropped_no_receiver_;
-      if (trace_ != nullptr && trace_->enabled(kTraceNet)) {
-        trace_->Instant(kTraceNet, drop_name_);
-      }
-      return;
-    }
-    ++delivered_;
-    latency_us_.Record(ToMicros(latency));
+  // In-flight datagrams live in a registry keyed by a persistent monotone id
+  // (not the transient EventId) so checkpoints can enumerate and re-arm them.
+  const uint64_t id = next_inflight_id_++;
+  Inflight& entry = inflight_[id];
+  entry.payload = std::move(payload);
+  entry.latency = latency;
+  entry.event = clock_->ScheduleAfter(latency, [this, id] { Deliver(id); });
+}
+
+void NetworkChannel::Deliver(uint64_t id) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) {
+    return;
+  }
+  SharedPayload payload = std::move(it->second.payload);
+  SimDuration latency = it->second.latency;
+  inflight_.erase(it);
+  if (!receiver_) {
+    // No receiver (never set or torn down): count the datagram as dropped
+    // rather than invoking an empty std::function.
+    ++dropped_no_receiver_;
     if (trace_ != nullptr && trace_->enabled(kTraceNet)) {
-      trace_->Instant(kTraceNet, delivered_name_, -1, ToMicros(latency));
+      trace_->Instant(kTraceNet, drop_name_);
     }
-    receiver_(*payload);
-  });
+    return;
+  }
+  ++delivered_;
+  latency_us_.Record(ToMicros(latency));
+  if (trace_ != nullptr && trace_->enabled(kTraceNet)) {
+    trace_->Instant(kTraceNet, delivered_name_, -1, ToMicros(latency));
+  }
+  receiver_(*payload);
+}
+
+void NetworkChannel::SaveState(SnapshotWriter& w, TimerRegistry& timers,
+                               const std::string& prefix) const {
+  w.Section("CHAN");
+  SaveRng(w, rng_);
+  w.U64(next_inflight_id_);
+  w.U64(sent_);
+  w.U64(delivered_);
+  w.U64(lost_);
+  w.U64(dropped_no_receiver_);
+  SaveHistogram(w, latency_us_);
+  w.U64(inflight_.size());
+  for (const auto& [id, entry] : inflight_) {
+    w.U64(id);
+    w.I64(entry.latency);
+    w.Bytes(entry.payload->data(), entry.payload->size());
+    SimTime when = 0;
+    uint64_t seq = 0;
+    if (clock_->PendingInfo(entry.event, &when, &seq)) {
+      timers.Add(prefix + "." + std::to_string(id), when, seq);
+    }
+  }
+}
+
+Status NetworkChannel::RestoreState(SnapshotReader& r) {
+  RETURN_IF_ERROR(r.Section("CHAN"));
+  RETURN_IF_ERROR(RestoreRng(r, rng_));
+  RETURN_IF_ERROR(r.U64(&next_inflight_id_));
+  RETURN_IF_ERROR(r.U64(&sent_));
+  RETURN_IF_ERROR(r.U64(&delivered_));
+  RETURN_IF_ERROR(r.U64(&lost_));
+  RETURN_IF_ERROR(r.U64(&dropped_no_receiver_));
+  RETURN_IF_ERROR(RestoreHistogram(r, latency_us_));
+  uint64_t count = 0;
+  RETURN_IF_ERROR(r.U64(&count));
+  inflight_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    RETURN_IF_ERROR(r.U64(&id));
+    Inflight entry;
+    RETURN_IF_ERROR(r.I64(&entry.latency));
+    std::vector<uint8_t> bytes;
+    RETURN_IF_ERROR(r.BytesInto(&bytes));
+    entry.payload =
+        std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+    entry.event = 0;  // Re-armed via RegisterTimers.
+    inflight_.emplace(id, std::move(entry));
+  }
+  return OkStatus();
+}
+
+void NetworkChannel::RegisterTimers(TimerRearmer& rearmer,
+                                    const std::string& prefix) {
+  for (const auto& [id, entry] : inflight_) {
+    const uint64_t captured = id;
+    rearmer.Register(prefix + "." + std::to_string(id),
+                     [this, captured](SimTime when) {
+      inflight_[captured].event =
+          clock_->ScheduleAt(when, [this, captured] { Deliver(captured); });
+    });
+  }
 }
 
 void NetworkChannel::SetTrace(TraceRecorder* trace) {

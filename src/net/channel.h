@@ -7,11 +7,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/net/link_model.h"
+#include "src/snapshot/snapshot.h"
 #include "src/util/histogram.h"
 #include "src/util/sim_clock.h"
 
@@ -67,17 +69,41 @@ class NetworkChannel {
   uint64_t dropped_no_receiver() const { return dropped_no_receiver_; }
   // One-way latency of delivered datagrams, microseconds.
   const Histogram& latency_us() const { return latency_us_; }
+  size_t inflight() const { return inflight_.size(); }
+
+  // --- Checkpoint/restore (DESIGN.md §13) ---
+  // In-flight datagrams persist with their payload bytes and armed delivery
+  // deadlines under keys "<prefix>.<id>"; the receiver is re-wired by the
+  // restoring world.
+  void SaveState(SnapshotWriter& w, TimerRegistry& timers,
+                 const std::string& prefix) const;
+  Status RestoreState(SnapshotReader& r);
+  // Registers one re-arm handler per restored in-flight datagram. Call
+  // after RestoreState, before TimerRearmer::Replay, with the same prefix
+  // the save used.
+  void RegisterTimers(TimerRearmer& rearmer, const std::string& prefix);
 
  private:
   struct BufferPool {
     std::vector<std::unique_ptr<std::vector<uint8_t>>> free;
   };
+  // One scheduled-but-undelivered datagram, held in a registry (keyed by a
+  // monotone id) so checkpoints can enumerate the in-flight set.
+  struct Inflight {
+    SharedPayload payload;
+    SimDuration latency = 0;
+    EventId event = 0;
+  };
+
+  void Deliver(uint64_t id);
 
   SimClock* clock_;
   const LinkModel* link_;
   Rng rng_;
   Receiver receiver_;
   std::shared_ptr<BufferPool> pool_ = std::make_shared<BufferPool>();
+  std::map<uint64_t, Inflight> inflight_;
+  uint64_t next_inflight_id_ = 0;
   uint64_t sent_ = 0;
   uint64_t delivered_ = 0;
   uint64_t lost_ = 0;
@@ -121,6 +147,17 @@ class VpnTunnel {
   void Send(const std::vector<uint8_t>& payload);
 
   uint64_t rejected_datagrams() const { return rejected_; }
+
+  // Checkpoint/restore: only the rejection counter is dynamic state (the
+  // scratch buffers are transient and the receiver is re-wired on restore).
+  void SaveState(SnapshotWriter& w) const {
+    w.Section("VPN ");
+    w.U64(rejected_);
+  }
+  Status RestoreState(SnapshotReader& r) {
+    RETURN_IF_ERROR(r.Section("VPN "));
+    return r.U64(&rejected_);
+  }
 
   // Attaches the net trace category: encapsulations record an instant
   // ("vpn.encap", arg = encapsulated bytes), successful decapsulations

@@ -115,6 +115,9 @@ class FaultyLinkModel : public LinkModel {
   bool SampleLoss(Rng& rng) const override;
 
   const FaultCounters& counters() const { return counters_; }
+  // Checkpoint hook: the counters are the decorator's only dynamic state
+  // (the plan and base model are config).
+  void RestoreCounters(const FaultCounters& counters) { counters_ = counters; }
 
  private:
   const LinkModel* base_;

@@ -202,6 +202,79 @@ void TraceRecorder::Clear() {
   recorded_ = 0;
 }
 
+void TraceRecorder::SaveState(SnapshotWriter& w) const {
+  w.Section("TRCE");
+  w.U32(categories_);
+  w.U64(capacity_);
+  w.U64(recorded_);
+  w.U64(head_);
+  w.U64(ring_.size());
+  for (const TraceEvent& ev : ring_) {
+    w.I64(ev.ts);
+    w.U32(ev.category);
+    w.U32(ev.name_id);
+    w.U8(static_cast<uint8_t>(ev.kind));
+    w.U32(static_cast<uint32_t>(ev.container));
+    w.I64(ev.arg);
+  }
+  // Skip the reserved "?" entry at id 0 — the constructor recreates it.
+  w.U64(names_.size() - 1);
+  for (size_t i = 1; i < names_.size(); ++i) {
+    w.Str(names_[i]);
+  }
+}
+
+Status TraceRecorder::RestoreState(SnapshotReader& r) {
+  RETURN_IF_ERROR(r.Section("TRCE"));
+  uint32_t categories;
+  uint64_t capacity;
+  RETURN_IF_ERROR(r.U32(&categories));
+  RETURN_IF_ERROR(r.U64(&capacity));
+  if (categories != categories_ || capacity != capacity_) {
+    return InvalidArgumentError(
+        "trace checkpoint was recorded with a different category mask or "
+        "ring capacity than this recorder");
+  }
+  RETURN_IF_ERROR(r.U64(&recorded_));
+  uint64_t head;
+  uint64_t size;
+  RETURN_IF_ERROR(r.U64(&head));
+  RETURN_IF_ERROR(r.U64(&size));
+  head_ = head;
+  ring_.resize(size);
+  for (TraceEvent& ev : ring_) {
+    uint8_t kind;
+    uint32_t container;
+    RETURN_IF_ERROR(r.I64(&ev.ts));
+    RETURN_IF_ERROR(r.U32(&ev.category));
+    RETURN_IF_ERROR(r.U32(&ev.name_id));
+    RETURN_IF_ERROR(r.U8(&kind));
+    RETURN_IF_ERROR(r.U32(&container));
+    RETURN_IF_ERROR(r.I64(&ev.arg));
+    ev.kind = static_cast<TraceEventKind>(kind);
+    ev.container = static_cast<int32_t>(container);
+  }
+  uint64_t name_count;
+  RETURN_IF_ERROR(r.U64(&name_count));
+  for (uint64_t i = 0; i < name_count; ++i) {
+    std::string name;
+    RETURN_IF_ERROR(r.Str(&name));
+    if (i + 1 < names_.size()) {
+      // Instrumentation already re-interned this id during the restored
+      // world's wiring; the orders must agree or every cached id is wrong.
+      if (names_[i + 1] != name) {
+        return InvalidArgumentError(
+            "trace checkpoint name table diverges from this world's "
+            "instrumentation at id " + std::to_string(i + 1) + ": saved '" +
+            name + "' vs live '" + names_[i + 1] + "'");
+      }
+    } else {
+      InternName(name);
+    }
+  }
+  return OkStatus();
+}
+
 void AttachClockTrace(SimClock* clock, TraceRecorder* trace,
                       uint64_t sample_every) {
   if (clock == nullptr || trace == nullptr || !trace->enabled(kTraceClock)) {
@@ -211,14 +284,19 @@ void AttachClockTrace(SimClock* clock, TraceRecorder* trace,
     sample_every = 1;
   }
   uint32_t name = trace->InternName("clock.dispatch");
-  // The hook only reads the recorder and a private counter — it never
-  // touches the event being dispatched, so tracing cannot perturb the run.
-  clock->SetDispatchHook(
-      [trace, name, sample_every, count = uint64_t{0}](SimTime) mutable {
-        if (++count % sample_every == 0) {
-          trace->Counter(kTraceClock, name, static_cast<int64_t>(count));
-        }
-      });
+  // The hook reads the clock's own dispatch counter rather than keeping a
+  // private one: the count then survives checkpoint/restore (events_run is
+  // part of the snapshot), so a recovered world's sampled counter events
+  // land at the same dispatch numbers as the uninterrupted run's. The hook
+  // never touches the event being dispatched, so tracing cannot perturb
+  // the run.
+  const SimClock* counted = clock;
+  clock->SetDispatchHook([trace, name, sample_every, counted](SimTime) {
+    uint64_t count = counted->events_run();
+    if (count % sample_every == 0) {
+      trace->Counter(kTraceClock, name, static_cast<int64_t>(count));
+    }
+  });
 }
 
 }  // namespace androne

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/snapshot/snapshot.h"
 #include "src/util/sim_clock.h"
 
 namespace androne {
@@ -129,6 +130,15 @@ class TraceRecorder {
   // Drops buffered events and accounting; interned names are kept (cached
   // ids held by instrumentation stay valid).
   void Clear();
+
+  // --- Checkpoint support (DESIGN.md §13) ---
+  // Persists/overwrites the ring contents, accounting, and the interned
+  // name table. Restore requires that the recorder's boot-time interning
+  // produced a prefix of the saved table in the same order (true when the
+  // restored world re-ran the identical wiring path); a mismatch means the
+  // checkpoint came from differently-instrumented code and is an error.
+  void SaveState(SnapshotWriter& w) const;
+  Status RestoreState(SnapshotReader& r);
 
  private:
   const SimClock* clock_ = nullptr;

@@ -60,6 +60,10 @@ class WakeLatencySampler {
 
   const LatencyModelParams& params() const { return params_; }
 
+  // Checkpoint access: the latency stream is world state — a restored world
+  // must draw the same wake latencies.
+  Rng& checkpoint_rng() { return rng_; }
+
  private:
   LatencyModelParams params_;
   Rng rng_;

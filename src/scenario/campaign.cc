@@ -38,6 +38,14 @@ WorldResult RunNominalTwin(const ScenarioSpec& spec, const WorldContext& ctx,
                            uint32_t trace_categories, size_t trace_capacity) {
   FleetWorldConfig config = spec.world;  // Plan pointers stay null.
   config.crash_loop = CrashLoopConfig{};
+  // Crash-family worlds replay bit-identically after recovery, so a twin
+  // with the crashes stripped (and checkpointing off — captures are pure
+  // reads, but the twin should run the plain path) is still the exact
+  // no-chaos baseline.
+  config.crash_at_s.clear();
+  config.checkpoint = CheckpointPolicy{/*period_s=*/0,
+                                       /*at_phase_boundaries=*/false};
+  config.restore = RestorePolicy{};
   config.trace_categories = trace_categories;
   config.trace_capacity = trace_capacity;
   WorldContext twin_ctx = ctx;

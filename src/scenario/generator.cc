@@ -32,6 +32,29 @@ Status AddJittered(Plan& plan, const JitteredWindow& spec, Rng& rng,
 
 }  // namespace
 
+Status ValidateCrashPlan(const CrashPlanConfig& crash,
+                         const std::string& where) {
+  double previous = 0;
+  for (double at : crash.at_s) {
+    if (at <= previous) {
+      return InvalidArgumentError(
+          where + ": crash at_s times must be positive and strictly "
+                  "ascending");
+    }
+    previous = at;
+  }
+  if (crash.checkpoint_s < 0) {
+    return InvalidArgumentError(where + ": negative crash checkpoint_s");
+  }
+  if (crash.jitter_s < 0) {
+    return InvalidArgumentError(where + ": negative crash jitter_s");
+  }
+  if (crash.max_restores < 0) {
+    return InvalidArgumentError(where + ": negative crash max_restores");
+  }
+  return OkStatus();
+}
+
 StatusOr<std::vector<ScenarioSpec>> ExpandScenarios(
     const CampaignSpec& campaign) {
   std::vector<ScenarioSpec> scenarios;
@@ -49,6 +72,9 @@ StatusOr<std::vector<ScenarioSpec>> ExpandScenarios(
       return InvalidArgumentError(where + ": invalid tenant range [" +
                                   std::to_string(tmpl.tenants_min) + ", " +
                                   std::to_string(tmpl.tenants_max) + "]");
+    }
+    if (tmpl.crash.enabled()) {
+      RETURN_IF_ERROR(ValidateCrashPlan(tmpl.crash, where));
     }
 
     // Template-level seed chain: decorrelated from sibling templates even
@@ -84,6 +110,23 @@ StatusOr<std::vector<ScenarioSpec>> ExpandScenarios(
         for (const JitteredWindow& w : tmpl.sensor_windows) {
           RETURN_IF_ERROR(AddJittered(spec.sensor_faults, w, jitter,
                                       where + " sensor_fault"));
+        }
+        if (tmpl.crash.enabled()) {
+          // One shift for the whole schedule preserves the inter-crash
+          // gaps — the sweep probes where crashes land in the mission,
+          // not the spacing between them.
+          double shift = 0;
+          if (tmpl.crash.jitter_s > 0) {
+            shift =
+                jitter.Uniform(-tmpl.crash.jitter_s, tmpl.crash.jitter_s);
+          }
+          for (double at : tmpl.crash.at_s) {
+            spec.world.crash_at_s.push_back(std::max(0.0, at + shift));
+          }
+          spec.world.checkpoint.period_s = tmpl.crash.checkpoint_s;
+          spec.world.checkpoint.at_phase_boundaries =
+              tmpl.crash.phase_checkpoints;
+          spec.world.restore.max_restores = tmpl.crash.max_restores;
         }
         scenarios.push_back(std::move(spec));
       }

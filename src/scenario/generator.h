@@ -25,6 +25,30 @@ struct JitteredWindow {
   double start_jitter_s = 0;
 };
 
+// The crash fault family (DESIGN.md §13): the world process dies at each
+// listed sim-time mid-flight, reloads its latest checkpoint (or replays
+// from boot when none exists yet), and resumes — bit-identical to the
+// uninterrupted run. |jitter_s| shifts the whole schedule per instance
+// (gaps preserved, clamped at t=0) so repeated instances crash at
+// different mission phases; |max_restores| bounds the restore budget, so
+// a template with more landing crashes than budget is a seeded give-up
+// (pair it with expect_fail).
+struct CrashPlanConfig {
+  std::vector<double> at_s;     // Crash sim-times; empty disables the axis.
+  double checkpoint_s = 0;      // Periodic checkpoint cadence; 0 = off.
+  bool phase_checkpoints = true;  // Checkpoint at mission phase entry.
+  double jitter_s = 0;
+  int max_restores = 3;
+
+  bool enabled() const { return !at_s.empty(); }
+};
+
+// Structural validation shared by the manifest loader and the expander:
+// crash times must be positive and strictly ascending, the cadence and
+// jitter non-negative, the restore budget >= 0.
+Status ValidateCrashPlan(const CrashPlanConfig& crash,
+                         const std::string& where);
+
 // A parameterized scenario family, straight from one manifest <scenario>
 // element. Field defaults are the manifest defaults — the dumper omits
 // attributes still at these values.
@@ -41,6 +65,7 @@ struct ScenarioTemplate {
   bool tolerate_rejection = false;
   bool expect_fail = false;
   CrashLoopConfig crash_loop;
+  CrashPlanConfig crash;
   std::vector<JitteredWindow> net_windows;
   std::vector<JitteredWindow> sensor_windows;
   std::vector<AssertionSpec> assertions;

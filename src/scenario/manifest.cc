@@ -18,6 +18,7 @@ constexpr char kJitterAttr[] = "jitter_s";
 // (omission). Must track the ScenarioTemplate member initializers.
 const ScenarioTemplate kTemplateDefaults;
 const CrashLoopConfig kCrashLoopDefaults;
+const CrashPlanConfig kCrashDefaults;
 
 StatusOr<int> ParseManifestInt(const std::string& text,
                                const std::string& what, int min_value) {
@@ -149,6 +150,68 @@ StatusOr<CrashLoopConfig> ParseCrashLoop(const XmlElement& element) {
   return config;
 }
 
+// "8,20,31" -> {8, 20, 31}. The separator is a comma so the list rides in
+// one XML attribute; spaces around entries are not accepted (the canonical
+// dump never emits them).
+StatusOr<std::vector<double>> ParseCrashTimes(const std::string& text,
+                                              const std::string& what) {
+  std::vector<double> times;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    size_t end = comma == std::string::npos ? text.size() : comma;
+    ASSIGN_OR_RETURN(double value,
+                     ParseManifestNumber(text.substr(start, end - start),
+                                         what));
+    times.push_back(value);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return times;
+}
+
+StatusOr<CrashPlanConfig> ParseCrash(const XmlElement& element) {
+  RETURN_IF_ERROR(CheckNoText(element));
+  RETURN_IF_ERROR(CheckAttributes(
+      element, {"at_s", "checkpoint_s", "phase_checkpoints", kJitterAttr,
+                "max_restores"}));
+  if (!element.children.empty()) {
+    return InvalidArgumentError("<crash>: unexpected child element");
+  }
+  CrashPlanConfig config;
+  if (element.Attr("at_s").empty()) {
+    return InvalidArgumentError("<crash>: missing at_s attribute");
+  }
+  ASSIGN_OR_RETURN(config.at_s,
+                   ParseCrashTimes(element.Attr("at_s"), "<crash> at_s"));
+  ASSIGN_OR_RETURN(
+      config.checkpoint_s,
+      ParseManifestNumber(
+          element.Attr("checkpoint_s",
+                       FormatNumberCompact(config.checkpoint_s)),
+          "<crash> checkpoint_s"));
+  ASSIGN_OR_RETURN(
+      config.phase_checkpoints,
+      ParseManifestBool(
+          element.Attr("phase_checkpoints",
+                       config.phase_checkpoints ? "true" : "false"),
+          "<crash> phase_checkpoints"));
+  ASSIGN_OR_RETURN(
+      config.jitter_s,
+      ParseManifestNumber(
+          element.Attr(kJitterAttr, FormatNumberCompact(config.jitter_s)),
+          std::string("<crash> ") + kJitterAttr));
+  ASSIGN_OR_RETURN(
+      config.max_restores,
+      ParseManifestInt(element.Attr("max_restores",
+                                    std::to_string(config.max_restores)),
+                       "<crash> max_restores", 0));
+  RETURN_IF_ERROR(ValidateCrashPlan(config, "<crash>"));
+  return config;
+}
+
 StatusOr<ScenarioTemplate> ParseScenarioElement(const XmlElement& element) {
   RETURN_IF_ERROR(CheckNoText(element));
   RETURN_IF_ERROR(CheckAttributes(
@@ -252,6 +315,12 @@ StatusOr<ScenarioTemplate> ParseScenarioElement(const XmlElement& element) {
       }
       have_crash_loop = true;
       ASSIGN_OR_RETURN(tmpl.crash_loop, ParseCrashLoop(*child));
+    } else if (child->name == "crash") {
+      if (tmpl.crash.enabled()) {
+        return InvalidArgumentError(where +
+                                    ": more than one <crash> element");
+      }
+      ASSIGN_OR_RETURN(tmpl.crash, ParseCrash(*child));
     } else if (child->name == "assert") {
       RETURN_IF_ERROR(CheckNoText(*child));
       RETURN_IF_ERROR(CheckAttributes(*child, {"expr"}));
@@ -361,6 +430,10 @@ StatusOr<std::unique_ptr<XmlElement>> JsonScenarioToElement(
     } else if (key == "crash_loop") {
       ASSIGN_OR_RETURN(auto child, ObjectToElement(field, "crash_loop",
                                                    what + ".crash_loop"));
+      element->children.push_back(std::move(child));
+    } else if (key == "crash") {
+      ASSIGN_OR_RETURN(auto child,
+                       ObjectToElement(field, "crash", what + ".crash"));
       element->children.push_back(std::move(child));
     } else if (key == "asserts") {
       if (!field.is_array()) {
@@ -498,6 +571,29 @@ std::unique_ptr<XmlElement> DumpScenario(const ScenarioTemplate& tmpl) {
     EmitIntUnlessDefault(*crash, "max_restarts",
                          tmpl.crash_loop.max_restarts,
                          kCrashLoopDefaults.max_restarts);
+    element->children.push_back(std::move(crash));
+  }
+  if (tmpl.crash.enabled()) {
+    auto crash = std::make_unique<XmlElement>();
+    crash->name = "crash";
+    std::string at_s;
+    for (double at : tmpl.crash.at_s) {
+      if (!at_s.empty()) {
+        at_s += ',';
+      }
+      at_s += FormatNumberCompact(at);
+    }
+    crash->attributes["at_s"] = at_s;
+    EmitNumberUnlessDefault(*crash, "checkpoint_s", tmpl.crash.checkpoint_s,
+                            kCrashDefaults.checkpoint_s);
+    if (tmpl.crash.phase_checkpoints != kCrashDefaults.phase_checkpoints) {
+      crash->attributes["phase_checkpoints"] =
+          tmpl.crash.phase_checkpoints ? "true" : "false";
+    }
+    EmitNumberUnlessDefault(*crash, kJitterAttr, tmpl.crash.jitter_s,
+                            kCrashDefaults.jitter_s);
+    EmitIntUnlessDefault(*crash, "max_restores", tmpl.crash.max_restores,
+                         kCrashDefaults.max_restores);
     element->children.push_back(std::move(crash));
   }
   for (const AssertionSpec& assertion : tmpl.assertions) {

@@ -1,7 +1,8 @@
 // Campaign manifest loading and dumping (DESIGN.md §12). One declarative
 // document composes the whole campaign: mission shape, tenant mix sweep,
 // network/sensor fault plans with jitter, link profile, memory budget,
-// crash-loop chaos, and expected-outcome assertions. Manifests are accepted
+// crash-loop chaos, crash/recovery schedules (the <crash> fault family,
+// DESIGN.md §13), and expected-outcome assertions. Manifests are accepted
 // in the repo's two existing document formats — the XML subset (app
 // manifests, §5) and JSON (virtual drone definitions, Figure 2); a JSON
 // manifest is transliterated to the XML element tree internally so a single

@@ -1,6 +1,7 @@
 #include "src/scenario/scenario.h"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "src/util/fault_plan_io.h"
@@ -16,6 +17,33 @@ bool ResolveMetric(const std::string& name, const WorldResult& result,
                    double* out) {
   if (name == "completed") {
     *out = result.completed ? 1.0 : 0.0;
+    return true;
+  }
+  // Recovery bookkeeping is deliberately absent from counters/metrics (a
+  // recovered world must merge identically to its uninterrupted twin), so
+  // crash-family scenarios reach it through these virtual names instead.
+  if (name == "recovery.crashes") {
+    *out = result.recovery.crashes;
+    return true;
+  }
+  if (name == "recovery.restores") {
+    *out = result.recovery.restores;
+    return true;
+  }
+  if (name == "recovery.replays_from_boot") {
+    *out = result.recovery.replays_from_boot;
+    return true;
+  }
+  if (name == "recovery.checkpoints_saved") {
+    *out = result.recovery.checkpoints_saved;
+    return true;
+  }
+  if (name == "recovery.gave_up") {
+    *out = result.recovery.gave_up ? 1.0 : 0.0;
+    return true;
+  }
+  if (name == "recovery.fixed_point_ok") {
+    *out = result.recovery.fixed_point_ok ? 1.0 : 0.0;
     return true;
   }
   auto counter = result.counters.find(name);
@@ -34,6 +62,48 @@ bool ResolveMetric(const std::string& name, const WorldResult& result,
     return true;
   }
   return false;
+}
+
+bool IsDigestMetric(const std::string& name) {
+  return name == "digest" || name == "flight_digest";
+}
+
+std::string FormatDigestHex(uint64_t value) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+StatusOr<uint64_t> ParseDigestHex(const std::string& token,
+                                  const std::string& expr) {
+  if (token.size() < 3 || token[0] != '0' ||
+      (token[1] != 'x' && token[1] != 'X')) {
+    return InvalidArgumentError("assertion \"" + expr +
+                                "\": digest value must be 0x-prefixed hex");
+  }
+  if (token.size() > 18) {
+    return InvalidArgumentError("assertion \"" + expr +
+                                "\": digest value has more than 16 hex "
+                                "digits");
+  }
+  uint64_t value = 0;
+  for (size_t i = 2; i < token.size(); ++i) {
+    char c = token[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return InvalidArgumentError("assertion \"" + expr + "\": \"" + token +
+                                  "\" is not a hex digest value");
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return value;
 }
 
 bool Compare(double lhs, CompareOp op, double rhs) {
@@ -75,6 +145,10 @@ const char* CompareOpName(CompareOp op) {
 }
 
 std::string AssertionSpec::ToExpr() const {
+  if (is_digest) {
+    return metric + " " + CompareOpName(op) + " " +
+           FormatDigestHex(digest_value);
+  }
   return metric + " " + CompareOpName(op) + " " + FormatNumberCompact(value);
 }
 
@@ -108,6 +182,16 @@ StatusOr<AssertionSpec> ParseAssertion(const std::string& expr) {
                                 "\": unknown operator \"" + op +
                                 "\" (expected one of: <=, >=, ==, !=, <, >)");
   }
+  if (IsDigestMetric(metric)) {
+    if (spec.op != CompareOp::kEq && spec.op != CompareOp::kNe) {
+      return InvalidArgumentError("assertion \"" + expr + "\": " + metric +
+                                  " supports only == and != (a digest has "
+                                  "no order)");
+    }
+    spec.is_digest = true;
+    ASSIGN_OR_RETURN(spec.digest_value, ParseDigestHex(number, expr));
+    return spec;
+  }
   ASSIGN_OR_RETURN(spec.value,
                    ParseManifestNumber(number, "assertion \"" + expr + "\""));
   return spec;
@@ -131,6 +215,21 @@ std::vector<std::string> EvaluateAssertions(
 
   std::vector<std::string> failed;
   for (const AssertionSpec& assertion : effective) {
+    if (assertion.is_digest) {
+      // Exact 64-bit comparison: digests must never round-trip through
+      // double. Failures keep the canonical expression only — including
+      // the observed digest would split one root cause into per-seed
+      // triage buckets.
+      uint64_t actual = assertion.metric == "digest" ? result.digest
+                                                     : result.flight_digest;
+      bool holds = assertion.op == CompareOp::kEq
+                       ? actual == assertion.digest_value
+                       : actual != assertion.digest_value;
+      if (!holds) {
+        failed.push_back(assertion.ToExpr());
+      }
+      continue;
+    }
     double actual = 0;
     if (!ResolveMetric(assertion.metric, result, &actual)) {
       failed.push_back(assertion.ToExpr() + " [missing]");

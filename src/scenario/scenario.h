@@ -30,23 +30,39 @@ const char* CompareOpName(CompareOp op);
 
 // One expected-outcome assertion: "<metric> <op> <number>", e.g.
 // "completed == 1" or "tenants_rejected >= 1". The metric resolves against
-// the WorldResult in this order: the special name "completed" (0/1), then
-// result.counters, then the structured metrics counters, then gauges. An
-// unresolvable metric fails the assertion with a distinct "[missing]"
-// signature instead of passing vacuously.
+// the WorldResult in this order: the special names ("completed",
+// "recovery.crashes", "recovery.restores", "recovery.replays_from_boot",
+// "recovery.checkpoints_saved", "recovery.gave_up",
+// "recovery.fixed_point_ok"), then result.counters, then the structured
+// metrics counters, then gauges. An unresolvable metric fails the
+// assertion with a distinct "[missing]" signature instead of passing
+// vacuously.
+//
+// Digest pinning: the metric names "digest" and "flight_digest" switch the
+// assertion into exact 64-bit mode — "digest == 0x1f00badc0ffee123" — so a
+// manifest can pin a scenario's determinism digest without the round-trip
+// through double (which would silently lose the low bits past 2^53). Digest
+// assertions accept only == and != and only a 0x-prefixed hex value; the
+// canonical spelling always zero-pads to 16 hex digits.
 struct AssertionSpec {
   std::string metric;
   CompareOp op = CompareOp::kEq;
   double value = 0;
+  // Exact-digest mode (metric "digest" or "flight_digest"): the 64-bit
+  // expected value lives here and |value| is unused.
+  bool is_digest = false;
+  uint64_t digest_value = 0;
 
-  // Canonical spelling: single spaces, FormatNumberCompact number. Bucket
-  // keys and the manifest dumper both use this form.
+  // Canonical spelling: single spaces, FormatNumberCompact number (or
+  // 0x%016x for digest assertions). Bucket keys and the manifest dumper
+  // both use this form.
   std::string ToExpr() const;
 };
 
 // Parses "<metric> <op> <number>" (whitespace-separated, exactly three
 // tokens). Descriptive errors on malformed expressions, unknown operators,
-// and non-numeric bounds.
+// non-numeric bounds, and malformed digest assertions (wrong operator,
+// missing 0x prefix, more than 16 hex digits).
 StatusOr<AssertionSpec> ParseAssertion(const std::string& expr);
 
 // One concrete scenario. The fault plans are owned by the spec; build the

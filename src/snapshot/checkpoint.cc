@@ -1,0 +1,68 @@
+#include "src/snapshot/checkpoint.h"
+
+namespace androne {
+
+void CheckpointHeader::Save(SnapshotWriter& w) const {
+  w.U64(kSnapshotMagic);
+  w.U32(version);
+  w.U64(seed);
+  w.U64(world_fingerprint);
+  w.I64(sim_time);
+}
+
+Status CheckpointHeader::Load(SnapshotReader& r, uint64_t expected_seed,
+                              uint64_t expected_fingerprint) {
+  uint64_t magic;
+  RETURN_IF_ERROR(r.U64(&magic));
+  if (magic != kSnapshotMagic) {
+    return InvalidArgumentError("not an AnDrone world checkpoint (bad magic)");
+  }
+  RETURN_IF_ERROR(r.U32(&version));
+  if (version != kSnapshotFormatVersion) {
+    return InvalidArgumentError(
+        "checkpoint format version mismatch: blob is v" +
+        std::to_string(version) + ", this build reads v" +
+        std::to_string(kSnapshotFormatVersion) +
+        " — checkpoints are only restorable by the build that wrote them");
+  }
+  RETURN_IF_ERROR(r.U64(&seed));
+  if (seed != expected_seed) {
+    return InvalidArgumentError(
+        "checkpoint belongs to a different world: seed mismatch");
+  }
+  RETURN_IF_ERROR(r.U64(&world_fingerprint));
+  if (world_fingerprint != expected_fingerprint) {
+    return InvalidArgumentError(
+        "checkpoint belongs to a differently-configured world: "
+        "fingerprint mismatch");
+  }
+  return r.I64(&sim_time);
+}
+
+Status CheckpointStore::Put(SimTime sim_time, std::string blob) {
+  size_t bytes = blob.size();
+  LayerId layer = images_.AddLayer(
+      LayerFiles{{"/checkpoint/state", {std::move(blob), false}}});
+  ASSIGN_OR_RETURN(ImageId image,
+                   images_.CreateImage("ckpt@" + std::to_string(sim_time),
+                                       {layer}));
+  latest_image_ = image;
+  latest_time_ = sim_time;
+  latest_bytes_ = bytes;
+  ++count_;
+  return OkStatus();
+}
+
+StatusOr<std::string> CheckpointStore::Latest() const {
+  if (latest_image_ == 0) {
+    return NotFoundError("no checkpoint captured yet");
+  }
+  ASSIGN_OR_RETURN(auto files, images_.Flatten(latest_image_));
+  auto it = files.find("/checkpoint/state");
+  if (it == files.end()) {
+    return InternalError("checkpoint image missing state file");
+  }
+  return it->second;
+}
+
+}  // namespace androne

@@ -1,0 +1,65 @@
+// Inline serialization helpers for the util-layer value types (Rng,
+// Histogram): util stays snapshot-agnostic by exposing plain State structs,
+// and these adapters move them through the snapshot byte stream.
+#ifndef SRC_SNAPSHOT_STATE_IO_H_
+#define SRC_SNAPSHOT_STATE_IO_H_
+
+#include "src/snapshot/snapshot.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+
+namespace androne {
+
+inline void SaveRng(SnapshotWriter& w, const Rng& rng) {
+  Rng::State st = rng.SaveState();
+  for (int i = 0; i < 4; ++i) {
+    w.U64(st.s[i]);
+  }
+  w.Bool(st.has_spare_gaussian);
+  w.F64(st.spare_gaussian);
+}
+
+inline Status RestoreRng(SnapshotReader& r, Rng& rng) {
+  Rng::State st;
+  for (int i = 0; i < 4; ++i) {
+    RETURN_IF_ERROR(r.U64(&st.s[i]));
+  }
+  RETURN_IF_ERROR(r.Bool(&st.has_spare_gaussian));
+  RETURN_IF_ERROR(r.F64(&st.spare_gaussian));
+  rng.RestoreState(st);
+  return OkStatus();
+}
+
+inline void SaveHistogram(SnapshotWriter& w, const Histogram& h) {
+  Histogram::State st = h.SaveState();
+  w.U64(st.buckets.size());
+  for (uint64_t b : st.buckets) {
+    w.U64(b);
+  }
+  w.U64(st.count);
+  w.F64(st.sum);
+  w.F64(st.sum_sq);
+  w.I64(st.min);
+  w.I64(st.max);
+}
+
+inline Status RestoreHistogram(SnapshotReader& r, Histogram& h) {
+  Histogram::State st;
+  uint64_t buckets;
+  RETURN_IF_ERROR(r.U64(&buckets));
+  st.buckets.resize(buckets);
+  for (uint64_t i = 0; i < buckets; ++i) {
+    RETURN_IF_ERROR(r.U64(&st.buckets[i]));
+  }
+  RETURN_IF_ERROR(r.U64(&st.count));
+  RETURN_IF_ERROR(r.F64(&st.sum));
+  RETURN_IF_ERROR(r.F64(&st.sum_sq));
+  RETURN_IF_ERROR(r.I64(&st.min));
+  RETURN_IF_ERROR(r.I64(&st.max));
+  h.RestoreState(st);
+  return OkStatus();
+}
+
+}  // namespace androne
+
+#endif  // SRC_SNAPSHOT_STATE_IO_H_

@@ -106,6 +106,35 @@ bool SimClock::PopAndRunLive() {
 
 bool SimClock::RunNext() { return PopAndRunLive(); }
 
+bool SimClock::PendingInfo(EventId id, SimTime* when, uint64_t* seq) const {
+  uint32_t slot = static_cast<uint32_t>(id >> 32);
+  uint32_t generation = static_cast<uint32_t>(id);
+  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+    return false;
+  }
+  for (const Event& ev : heap_) {
+    if (ev.slot == slot && ev.generation == generation) {
+      *when = ev.when;
+      *seq = ev.seq;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimClock::ResetForRestore(SimTime now, uint64_t events_run) {
+  for (const Event& ev : heap_) {
+    if (IsLive(ev)) {
+      RetireSlot(ev.slot);
+    }
+  }
+  heap_.clear();
+  live_count_ = 0;
+  cancelled_pending_ = 0;
+  now_ = now;
+  events_run_ = events_run;
+}
+
 void SimClock::RunUntil(SimTime until) {
   for (;;) {
     // Skim tombstones first: a cancelled entry ahead of |until| must not let

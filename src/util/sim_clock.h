@@ -83,6 +83,22 @@ class SimClock {
   // Times the heap was compacted to shed tombstones.
   uint64_t compactions() const { return compactions_; }
 
+  // --- Checkpoint/restore support (DESIGN.md §13) ---
+
+  // Looks up a still-pending event: fills its absolute deadline and FIFO
+  // sequence stamp and returns true, or returns false when the event
+  // already ran or was cancelled. Save paths use this to persist each
+  // armed timer's (deadline, order) so restore can re-schedule them in the
+  // original relative dispatch order. O(heap) — checkpoint-time only.
+  bool PendingInfo(EventId id, SimTime* when, uint64_t* seq) const;
+
+  // Restore entry point: drops every pending event (their closures belong
+  // to the pre-restore world), rewinds/advances the clock to |now| and
+  // overwrites the executed-event counter. Slot generations are NOT reset,
+  // so stale EventIds held by the caller read as already-run. Components
+  // re-arm their own timers afterwards.
+  void ResetForRestore(SimTime now, uint64_t events_run);
+
  private:
   struct Slot {
     uint32_t generation = 1;  // Bumped on run/cancel; stale entries mismatch.

@@ -57,6 +57,9 @@ std::ostream& operator<<(std::ostream& os, const Status& status) {
 
 Status OkStatus() { return Status(); }
 
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
 Status InvalidArgumentError(std::string message) {
   return Status(StatusCode::kInvalidArgument, std::move(message));
 }

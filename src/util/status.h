@@ -61,6 +61,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 // Convenience constructors mirroring the canonical error space.
 Status OkStatus();
+Status CancelledError(std::string message);
 Status InvalidArgumentError(std::string message);
 Status NotFoundError(std::string message);
 Status AlreadyExistsError(std::string message);

@@ -194,6 +194,62 @@ TEST_F(CampaignTest, ReproReplaysOneScenarioWithFullTracing) {
             std::string::npos);
 }
 
+TEST_F(CampaignTest, CrashFamilyRecoversAndPassesRecoveryAssertions) {
+  CampaignSpec campaign;
+  campaign.seed = 41;
+  ScenarioTemplate tmpl = SmallTemplate("crashrec");
+  tmpl.crash.at_s = {4};
+  tmpl.crash.checkpoint_s = 2;
+  tmpl.assertions = {*ParseAssertion("completed == 1"),
+                     *ParseAssertion("recovery.crashes >= 1"),
+                     *ParseAssertion("recovery.restores >= 1"),
+                     *ParseAssertion("recovery.fixed_point_ok == 1"),
+                     *ParseAssertion("recovery.gave_up == 0")};
+  campaign.templates.push_back(tmpl);
+  std::vector<ScenarioSpec> scenarios = Expand(campaign);
+
+  CampaignOptions options;
+  options.triage = false;
+  CampaignReport report = CampaignRunner(options).Run(scenarios);
+  EXPECT_EQ(report.passed, 1);
+  EXPECT_EQ(report.unexpected, 0) << report.ToText();
+  // Recovery bookkeeping must stay out of the merged metrics — a recovered
+  // world merges identically to an uninterrupted one.
+  EXPECT_EQ(report.metrics.counters.count("recovery.crashes"), 0u);
+  EXPECT_EQ(report.metrics.counters.count("recovery.restores"), 0u);
+}
+
+TEST_F(CampaignTest, DigestAssertionPinsAWorldAndCatchesDrift) {
+  CampaignSpec campaign;
+  campaign.seed = 43;
+  campaign.templates.push_back(SmallTemplate("pinned"));
+  std::vector<ScenarioSpec> scenarios = Expand(campaign);
+
+  // Learn the world's digest once, then pin it: the assertion must pass.
+  auto probe = CampaignRunner::Repro(scenarios, "pinned/t1#0");
+  ASSERT_TRUE(probe.ok()) << probe.status().message();
+  AssertionSpec pin;
+  pin.metric = "digest";
+  pin.op = CompareOp::kEq;
+  pin.is_digest = true;
+  pin.digest_value = probe->digest;
+  scenarios[0].assertions = {pin};
+
+  CampaignOptions options;
+  options.triage = false;
+  CampaignReport pinned = CampaignRunner(options).Run(scenarios);
+  EXPECT_EQ(pinned.passed, 1);
+  EXPECT_EQ(pinned.unexpected, 0) << pinned.ToText();
+
+  // One bit of drift fails with the canonical hex signature in the bucket.
+  pin.digest_value = probe->digest ^ 1;
+  scenarios[0].assertions = {pin};
+  CampaignReport drifted = CampaignRunner(options).Run(scenarios);
+  EXPECT_EQ(drifted.failed, 1);
+  ASSERT_EQ(drifted.buckets.size(), 1u);
+  EXPECT_EQ(drifted.buckets[0].key, "pinned|" + pin.ToExpr());
+}
+
 TEST_F(CampaignTest, CrashLoopScenarioExportsSupervisorCounters) {
   CampaignSpec campaign;
   campaign.seed = 31;

@@ -1,0 +1,298 @@
+// Crash-recovery equivalence (DESIGN.md §13): a fleet world killed
+// mid-flight by the crash fault family, restored from its latest checkpoint
+// and replayed, must be bit-identical to the uninterrupted run at the same
+// seed — same digest, same trace export, same metrics — at any crash point,
+// any checkpoint cadence, and any executor thread count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/exec/fleet_executor.h"
+#include "src/exec/fleet_world.h"
+#include "src/obs/trace.h"
+#include "src/snapshot/checkpoint.h"
+
+namespace androne {
+namespace {
+
+FleetWorldConfig BaseConfig() {
+  FleetWorldConfig config;
+  config.tenants = 2;
+  config.dwell_s = 10;
+  config.annealing_iterations = 120;
+  // Trace everything so the equivalence check covers the trace ring too.
+  config.trace_categories = kTraceAll;
+  return config;
+}
+
+WorldContext MakeContext(uint64_t seed) {
+  WorldContext ctx;
+  ctx.index = 0;
+  ctx.seed = seed;
+  return ctx;
+}
+
+// The two checkpoint cadences the acceptance matrix sweeps: phase-boundary
+// captures and a pure periodic cadence.
+CheckpointPolicy PhaseBoundaryCadence() {
+  CheckpointPolicy policy;
+  policy.period_s = 0;
+  policy.at_phase_boundaries = true;
+  return policy;
+}
+
+CheckpointPolicy PeriodicCadence() {
+  CheckpointPolicy policy;
+  policy.period_s = 4;
+  policy.at_phase_boundaries = false;
+  return policy;
+}
+
+void ExpectEquivalent(const WorldResult& baseline, const WorldResult& run,
+                      const std::string& label) {
+  EXPECT_EQ(baseline.completed, run.completed) << label;
+  EXPECT_EQ(baseline.digest, run.digest) << label;
+  EXPECT_EQ(baseline.flight_digest, run.flight_digest) << label;
+  EXPECT_EQ(baseline.events_run, run.events_run) << label;
+  EXPECT_EQ(baseline.counters, run.counters) << label;
+  EXPECT_EQ(baseline.metrics.Digest(), run.metrics.Digest()) << label;
+  EXPECT_EQ(baseline.metrics.ToText(), run.metrics.ToText()) << label;
+  EXPECT_EQ(baseline.trace_text, run.trace_text) << label;
+}
+
+TEST(RecoveryEquivalenceTest, CheckpointingAloneDoesNotMoveTheWorld) {
+  // Captures are pure reads: a world that checkpoints but never crashes is
+  // byte-identical to one that never checkpoints.
+  WorldResult plain = RunFleetWorld(BaseConfig(), MakeContext(11));
+  ASSERT_TRUE(plain.completed);
+
+  FleetWorldConfig config = BaseConfig();
+  config.checkpoint = PhaseBoundaryCadence();
+  WorldResult checkpointed = RunFleetWorld(config, MakeContext(11));
+  EXPECT_GT(checkpointed.recovery.checkpoints_saved, 0);
+  ExpectEquivalent(plain, checkpointed, "checkpointing on vs off");
+}
+
+TEST(RecoveryEquivalenceTest, AnyCrashPointAnyCadenceReplaysBitIdentical) {
+  // >= 3 crash points x >= 2 cadences: every recovered run must match the
+  // uninterrupted baseline at the same seed.
+  WorldResult baseline = RunFleetWorld(BaseConfig(), MakeContext(17));
+  ASSERT_TRUE(baseline.completed);
+
+  const std::vector<double> crash_points = {6.0, 14.0, 27.0};
+  const std::vector<CheckpointPolicy> cadences = {PhaseBoundaryCadence(),
+                                                  PeriodicCadence()};
+  for (double crash_at : crash_points) {
+    for (size_t c = 0; c < cadences.size(); ++c) {
+      FleetWorldConfig config = BaseConfig();
+      config.checkpoint = cadences[c];
+      config.crash_at_s = {crash_at};
+      WorldResult recovered = RunFleetWorld(config, MakeContext(17));
+      const std::string label = "crash at " + std::to_string(crash_at) +
+                                "s, cadence " + std::to_string(c);
+      EXPECT_EQ(recovered.recovery.crashes, 1) << label;
+      EXPECT_EQ(recovered.recovery.restores, 1) << label;
+      EXPECT_TRUE(recovered.recovery.fixed_point_ok) << label;
+      EXPECT_FALSE(recovered.infra_failure) << label;
+      ExpectEquivalent(baseline, recovered, label);
+    }
+  }
+}
+
+TEST(RecoveryEquivalenceTest, BackToBackCrashesRecoverBitIdentical) {
+  WorldResult baseline = RunFleetWorld(BaseConfig(), MakeContext(23));
+  ASSERT_TRUE(baseline.completed);
+
+  FleetWorldConfig config = BaseConfig();
+  config.checkpoint = PhaseBoundaryCadence();
+  config.crash_at_s = {8.0, 18.0, 26.0};
+  WorldResult recovered = RunFleetWorld(config, MakeContext(23));
+  EXPECT_EQ(recovered.recovery.crashes, 3);
+  EXPECT_EQ(recovered.recovery.restores, 3);
+  EXPECT_TRUE(recovered.recovery.fixed_point_ok);
+  EXPECT_FALSE(recovered.recovery.gave_up);
+  EXPECT_GT(recovered.recovery.checkpoint_bytes, 0u);
+  ExpectEquivalent(baseline, recovered, "three crashes");
+}
+
+TEST(RecoveryEquivalenceTest, ReplayFromBootWhenNoCheckpointExists) {
+  // Checkpointing disabled: the only recovery is re-flying from boot, which
+  // determinism makes exact.
+  WorldResult baseline = RunFleetWorld(BaseConfig(), MakeContext(29));
+  ASSERT_TRUE(baseline.completed);
+
+  FleetWorldConfig config = BaseConfig();
+  config.crash_at_s = {12.0};
+  WorldResult recovered = RunFleetWorld(config, MakeContext(29));
+  EXPECT_EQ(recovered.recovery.crashes, 1);
+  EXPECT_EQ(recovered.recovery.restores, 0);
+  EXPECT_EQ(recovered.recovery.replays_from_boot, 1);
+  ExpectEquivalent(baseline, recovered, "replay from boot");
+}
+
+TEST(RecoveryEquivalenceTest, RecoveredWorldsUnderChaosStayEquivalent) {
+  // Recovery composes with the other chaos axes: a crash-looped payload
+  // container (supervised restarts with armed backoff timers in the
+  // checkpoint) must survive the kill/restore cycle too.
+  FleetWorldConfig chaotic = BaseConfig();
+  chaotic.crash_loop.count = 3;
+  chaotic.crash_loop.start_s = 4;
+  chaotic.crash_loop.period_s = 6;
+  WorldResult baseline = RunFleetWorld(chaotic, MakeContext(31));
+  ASSERT_TRUE(baseline.completed);
+
+  FleetWorldConfig config = chaotic;
+  config.checkpoint = PhaseBoundaryCadence();
+  config.crash_at_s = {9.0, 21.0};
+  WorldResult recovered = RunFleetWorld(config, MakeContext(31));
+  EXPECT_EQ(recovered.recovery.crashes, 2);
+  EXPECT_TRUE(recovered.recovery.fixed_point_ok);
+  ExpectEquivalent(baseline, recovered, "crash loop + world crashes");
+}
+
+TEST(RecoveryEquivalenceTest, ThreadCountInvariantWithCrashes) {
+  // The acceptance matrix's thread axis: fleets with crashing worlds must
+  // produce the same fleet digest (and per-world results) at 1/2/8 threads.
+  FleetWorldConfig config = BaseConfig();
+  config.checkpoint = PhaseBoundaryCadence();
+  config.crash_at_s = {7.0, 19.0};
+
+  FleetOptions options;
+  options.base_seed = 5;
+  options.threads = 1;
+  FleetReport one = FleetExecutor(options).Run(4, MakeFleetWorld(config));
+  ASSERT_EQ(one.completed, 4);
+
+  for (int threads : {2, 8}) {
+    options.threads = threads;
+    FleetReport report = FleetExecutor(options).Run(4, MakeFleetWorld(config));
+    EXPECT_EQ(report.completed, 4) << threads;
+    EXPECT_EQ(report.fleet_digest, one.fleet_digest) << threads;
+    for (int i = 0; i < 4; ++i) {
+      ExpectEquivalent(one.worlds[static_cast<size_t>(i)],
+                       report.worlds[static_cast<size_t>(i)],
+                       "world " + std::to_string(i) + " at " +
+                           std::to_string(threads) + " threads");
+    }
+  }
+
+  // And a crashing fleet matches the never-crashed fleet at the same seeds.
+  FleetWorldConfig plain = BaseConfig();
+  options.threads = 2;
+  FleetReport uninterrupted =
+      FleetExecutor(options).Run(4, MakeFleetWorld(plain));
+  EXPECT_EQ(uninterrupted.fleet_digest, one.fleet_digest);
+}
+
+TEST(RecoveryEquivalenceTest, GiveUpAfterRestoreBudgetIsScenarioOutcome) {
+  FleetWorldConfig config = BaseConfig();
+  config.checkpoint = PhaseBoundaryCadence();
+  config.crash_at_s = {6.0, 10.0, 14.0, 18.0};
+  config.restore.max_restores = 2;
+  WorldResult result = RunFleetWorld(config, MakeContext(37));
+  EXPECT_TRUE(result.recovery.gave_up);
+  EXPECT_EQ(result.recovery.restores, 2);
+  EXPECT_FALSE(result.completed);
+  // A spent restore budget is a scenario outcome, not an infrastructure
+  // failure — the executor must not retry the whole world.
+  EXPECT_FALSE(result.infra_failure);
+}
+
+// --- Checkpoint header validation ---
+
+TEST(CheckpointHeaderTest, RejectsVersionMismatchDescriptively) {
+  SnapshotWriter w;
+  CheckpointHeader out;
+  out.version = kSnapshotFormatVersion + 1;
+  out.seed = 7;
+  out.world_fingerprint = 9;
+  out.sim_time = Seconds(5);
+  out.Save(w);
+
+  SnapshotReader r(w.bytes());
+  CheckpointHeader in;
+  Status status = in.Load(r, 7, 9);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("version"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(CheckpointHeaderTest, RejectsForeignSeedAndFingerprint) {
+  SnapshotWriter w;
+  CheckpointHeader out;
+  out.seed = 7;
+  out.world_fingerprint = 9;
+  out.Save(w);
+
+  {
+    SnapshotReader r(w.bytes());
+    CheckpointHeader in;
+    EXPECT_FALSE(in.Load(r, 8, 9).ok());  // Wrong seed.
+  }
+  {
+    SnapshotReader r(w.bytes());
+    CheckpointHeader in;
+    EXPECT_FALSE(in.Load(r, 7, 10).ok());  // Wrong config fingerprint.
+  }
+  {
+    SnapshotReader r(w.bytes());
+    CheckpointHeader in;
+    EXPECT_TRUE(in.Load(r, 7, 9).ok());
+  }
+}
+
+TEST(CheckpointHeaderTest, RejectsGarbageMagic) {
+  std::string garbage = "definitely not a checkpoint blob";
+  SnapshotReader r(garbage);
+  CheckpointHeader in;
+  Status status = in.Load(r, 0, 0);
+  EXPECT_FALSE(status.ok());
+}
+
+// --- Executor infra-failure retry ---
+
+TEST(FleetExecutorRetryTest, RetriesInfraFailuresOnceAndCountsThem) {
+  // Worlds 1 and 3 fail with an infrastructure error on their first attempt
+  // and succeed on the retry; the rest succeed immediately.
+  std::atomic<int> attempts[4] = {{0}, {0}, {0}, {0}};
+  WorldFn fn = [&attempts](const WorldContext& ctx) {
+    WorldResult result;
+    result.seed = ctx.seed;
+    int attempt = attempts[ctx.index].fetch_add(1) + 1;
+    if ((ctx.index == 1 || ctx.index == 3) && attempt == 1) {
+      result.infra_failure = true;
+      return result;
+    }
+    result.completed = true;
+    result.digest = ctx.seed;
+    return result;
+  };
+
+  FleetOptions options;
+  options.threads = 2;
+  FleetReport report = FleetExecutor(options).Run(4, fn);
+  EXPECT_EQ(report.completed, 4);
+  EXPECT_EQ(report.retried, 2);
+  EXPECT_EQ(report.metrics.counters.at("fleet.worlds_retried"), 2.0);
+  EXPECT_EQ(attempts[1].load(), 2);
+  EXPECT_EQ(attempts[3].load(), 2);
+}
+
+TEST(FleetExecutorRetryTest, PersistentInfraFailureIsNotRetriedForever) {
+  std::atomic<int> attempts{0};
+  WorldFn fn = [&attempts](const WorldContext&) {
+    attempts.fetch_add(1);
+    WorldResult result;
+    result.infra_failure = true;
+    return result;
+  };
+  FleetOptions options;
+  FleetReport report = FleetExecutor(options).Run(1, fn);
+  EXPECT_EQ(report.completed, 0);
+  EXPECT_EQ(report.retried, 1);
+  EXPECT_EQ(attempts.load(), 2);  // Original + exactly one retry.
+}
+
+}  // namespace
+}  // namespace androne

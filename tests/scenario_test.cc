@@ -79,6 +79,90 @@ TEST(AssertionTest, EvaluationResolvesAcrossResultLayers) {
   EXPECT_EQ(failed[0], "no.such.metric > 0 [missing]");
 }
 
+TEST(AssertionTest, DigestGrammarParsesToCanonicalHex) {
+  auto parsed = ParseAssertion("digest == 0x42");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_TRUE(parsed->is_digest);
+  EXPECT_EQ(parsed->digest_value, 0x42u);
+  EXPECT_EQ(parsed->ToExpr(), "digest == 0x0000000000000042");
+  auto again = ParseAssertion(parsed->ToExpr());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToExpr(), parsed->ToExpr());
+
+  // Uppercase hex is accepted and canonicalized to lowercase.
+  auto upper = ParseAssertion("flight_digest != 0XDEADBEEF");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(upper->ToExpr(), "flight_digest != 0x00000000deadbeef");
+}
+
+TEST(AssertionTest, DigestAssertionsCompareExact64Bits) {
+  WorldResult result;
+  result.completed = true;
+  // A value past 2^53: a round-trip through double would lose the low
+  // bits and make the == pass against a corrupted digest.
+  result.digest = 0x1f00badc0ffee123ull;
+  result.flight_digest = 0x42;
+
+  std::vector<AssertionSpec> good = {
+      *ParseAssertion("digest == 0x1f00badc0ffee123"),
+      *ParseAssertion("flight_digest == 0x42"),
+      *ParseAssertion("digest != 0x1f00badc0ffee124"),
+  };
+  EXPECT_TRUE(EvaluateAssertions(good, result).empty());
+
+  // One low bit off must fail — and the failure signature is canonical.
+  std::vector<AssertionSpec> off_by_a_bit = {
+      *ParseAssertion("digest == 0x1f00badc0ffee122")};
+  auto failed = EvaluateAssertions(off_by_a_bit, result);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], "digest == 0x1f00badc0ffee122");
+}
+
+TEST(AssertionTest, RejectsMalformedDigestAssertions) {
+  auto ordered = ParseAssertion("digest >= 0x1");
+  ASSERT_FALSE(ordered.ok());
+  EXPECT_NE(ordered.status().message().find("== and !="), std::string::npos);
+  auto decimal = ParseAssertion("digest == 123");
+  ASSERT_FALSE(decimal.ok());
+  EXPECT_NE(decimal.status().message().find("0x-prefixed"),
+            std::string::npos);
+  EXPECT_FALSE(ParseAssertion("digest == 0x").ok());
+  EXPECT_FALSE(ParseAssertion("flight_digest == 0xg1").ok());
+  auto too_long = ParseAssertion("digest == 0x12345678123456789");
+  ASSERT_FALSE(too_long.ok());
+  EXPECT_NE(too_long.status().message().find("16 hex"), std::string::npos);
+}
+
+TEST(AssertionTest, RecoveryBookkeepingResolvesThroughVirtualNames) {
+  WorldResult result;
+  result.completed = true;
+  result.recovery.crashes = 2;
+  result.recovery.restores = 1;
+  result.recovery.replays_from_boot = 1;
+  result.recovery.checkpoints_saved = 5;
+  result.recovery.fixed_point_ok = true;
+  result.recovery.gave_up = false;
+
+  std::vector<AssertionSpec> assertions = {
+      *ParseAssertion("recovery.crashes == 2"),
+      *ParseAssertion("recovery.restores >= 1"),
+      *ParseAssertion("recovery.replays_from_boot == 1"),
+      *ParseAssertion("recovery.checkpoints_saved >= 5"),
+      *ParseAssertion("recovery.fixed_point_ok == 1"),
+      *ParseAssertion("recovery.gave_up == 0"),
+  };
+  EXPECT_TRUE(EvaluateAssertions(assertions, result).empty());
+
+  // The virtual names never leak into counters/metrics — they resolve even
+  // though the maps are empty — and a gave-up world flips two of them.
+  result.recovery.gave_up = true;
+  result.recovery.fixed_point_ok = false;
+  auto failed = EvaluateAssertions(assertions, result);
+  ASSERT_EQ(failed.size(), 2u);
+  EXPECT_EQ(failed[0], "recovery.fixed_point_ok == 1");
+  EXPECT_EQ(failed[1], "recovery.gave_up == 0");
+}
+
 TEST(AssertionTest, EmptyListGetsImplicitCompletedContract) {
   WorldResult incomplete;
   incomplete.completed = false;
@@ -115,6 +199,12 @@ constexpr char kFullManifest[] = R"(
             memory_mb="0" tolerate_rejection="true">
     <assert expr="tenants_rejected >= 1"/>
   </scenario>
+  <scenario name="recovery" tenants="1">
+    <crash at_s="9,22" checkpoint_s="4" jitter_s="5"/>
+    <assert expr="completed == 1"/>
+    <assert expr="recovery.crashes >= 1"/>
+    <assert expr="digest == 0xc0ffee"/>
+  </scenario>
 </campaign>
 )";
 
@@ -123,7 +213,7 @@ TEST(ManifestTest, ParsesFullFeaturedXmlManifest) {
   ASSERT_TRUE(campaign.ok()) << campaign.status().message();
   EXPECT_EQ(campaign->name, "chaos");
   EXPECT_EQ(campaign->seed, 7u);
-  ASSERT_EQ(campaign->templates.size(), 3u);
+  ASSERT_EQ(campaign->templates.size(), 4u);
 
   const ScenarioTemplate& link = campaign->templates[0];
   EXPECT_EQ(link.repeat, 3);
@@ -147,7 +237,22 @@ TEST(ManifestTest, ParsesFullFeaturedXmlManifest) {
   EXPECT_EQ(sensors.assertions[0].ToExpr(), "waypoints_visited >= 100");
 
   EXPECT_TRUE(campaign->templates[2].tolerate_rejection);
-  EXPECT_EQ(campaign->instance_count(), 9 + 1 + 2);
+
+  const ScenarioTemplate& recovery = campaign->templates[3];
+  ASSERT_TRUE(recovery.crash.enabled());
+  ASSERT_EQ(recovery.crash.at_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(recovery.crash.at_s[0], 9.0);
+  EXPECT_DOUBLE_EQ(recovery.crash.at_s[1], 22.0);
+  EXPECT_DOUBLE_EQ(recovery.crash.checkpoint_s, 4.0);
+  EXPECT_TRUE(recovery.crash.phase_checkpoints);  // Default stays on.
+  EXPECT_DOUBLE_EQ(recovery.crash.jitter_s, 5.0);
+  EXPECT_EQ(recovery.crash.max_restores, 3);
+  ASSERT_EQ(recovery.assertions.size(), 3u);
+  EXPECT_TRUE(recovery.assertions[2].is_digest);
+  EXPECT_EQ(recovery.assertions[2].ToExpr(),
+            "digest == 0x0000000000c0ffee");
+
+  EXPECT_EQ(campaign->instance_count(), 9 + 1 + 2 + 1);
 }
 
 TEST(ManifestTest, JsonManifestParsesToSameCampaignAsXml) {
@@ -182,6 +287,12 @@ TEST(ManifestTest, JsonManifestParsesToSameCampaignAsXml) {
         "name": "memory", "tenants_min": 4, "tenants_max": 5,
         "memory_mb": 0, "tolerate_rejection": true,
         "asserts": ["tenants_rejected >= 1"]
+      },
+      {
+        "name": "recovery", "tenants": 1,
+        "crash": {"at_s": "9,22", "checkpoint_s": 4, "jitter_s": 5},
+        "asserts": ["completed == 1", "recovery.crashes >= 1",
+                    "digest == 0xc0ffee"]
       }
     ]
   })";
@@ -315,6 +426,48 @@ TEST(ManifestTest, RejectsBadCrashLoopAndAssertions) {
       "<campaign><scenario name=\"x\"><assert expr=\"completed ~ 1\"/>"
       "</scenario></campaign>",
       "unknown operator");
+}
+
+TEST(ManifestTest, RejectsBadCrashElements) {
+  ExpectManifestError(
+      "<campaign><scenario name=\"x\"><crash/></scenario></campaign>",
+      "missing at_s");
+  ExpectManifestError(
+      "<campaign><scenario name=\"x\"><crash at_s=\"oops\"/>"
+      "</scenario></campaign>",
+      "at_s");
+  ExpectManifestError(
+      "<campaign><scenario name=\"x\"><crash at_s=\"22,9\"/>"
+      "</scenario></campaign>",
+      "ascending");
+  ExpectManifestError(
+      "<campaign><scenario name=\"x\"><crash at_s=\"0\"/>"
+      "</scenario></campaign>",
+      "positive");
+  ExpectManifestError(
+      "<campaign><scenario name=\"x\"><crash at_s=\"5\" "
+      "checkpoint_s=\"-1\"/></scenario></campaign>",
+      "checkpoint_s");
+  ExpectManifestError(
+      "<campaign><scenario name=\"x\"><crash at_s=\"5\" "
+      "jitter_s=\"-1\"/></scenario></campaign>",
+      "jitter");
+  ExpectManifestError(
+      "<campaign><scenario name=\"x\"><crash at_s=\"5\" "
+      "max_restores=\"-1\"/></scenario></campaign>",
+      "out of range");
+  ExpectManifestError(
+      "<campaign><scenario name=\"x\"><crash at_s=\"5\"/>"
+      "<crash at_s=\"9\"/></scenario></campaign>",
+      "more than one <crash>");
+  ExpectManifestError(
+      "<campaign><scenario name=\"x\"><crash at_s=\"5\" "
+      "phase_checkpoints=\"maybe\"/></scenario></campaign>",
+      "not a boolean");
+  ExpectManifestError(
+      "<campaign><scenario name=\"x\"><assert expr=\"digest == 99\"/>"
+      "</scenario></campaign>",
+      "0x-prefixed");
 }
 
 TEST(ManifestTest, RejectsBadJsonShapes) {
@@ -461,6 +614,66 @@ TEST(GeneratorTest, RejectsStructurallyInvalidTemplates) {
   campaign.templates[0].name = "";
   campaign.templates[0].tenants_max = 3;
   EXPECT_FALSE(ExpandScenarios(campaign).ok());
+}
+
+TEST(GeneratorTest, CrashFamilyExpandsIntoWorldConfigWithSharedShift) {
+  CampaignSpec campaign;
+  campaign.seed = 7;
+  ScenarioTemplate tmpl;
+  tmpl.name = "crashrec";
+  tmpl.repeat = 8;
+  tmpl.crash.at_s = {9, 22};
+  tmpl.crash.checkpoint_s = 4;
+  tmpl.crash.jitter_s = 5;
+  tmpl.crash.max_restores = 2;
+  campaign.templates.push_back(tmpl);
+
+  auto scenarios = ExpandScenarios(campaign);
+  ASSERT_TRUE(scenarios.ok()) << scenarios.status().message();
+  ASSERT_EQ(scenarios->size(), 8u);
+  bool any_shifted = false;
+  for (const ScenarioSpec& spec : *scenarios) {
+    ASSERT_EQ(spec.world.crash_at_s.size(), 2u);
+    EXPECT_GE(spec.world.crash_at_s[0], 0.0);
+    // One shift for the whole schedule: the inter-crash gap is invariant.
+    EXPECT_DOUBLE_EQ(spec.world.crash_at_s[1] - spec.world.crash_at_s[0],
+                     13.0);
+    EXPECT_DOUBLE_EQ(spec.world.checkpoint.period_s, 4.0);
+    EXPECT_TRUE(spec.world.checkpoint.at_phase_boundaries);
+    EXPECT_EQ(spec.world.restore.max_restores, 2);
+    if (spec.world.crash_at_s[0] != 9.0) {
+      any_shifted = true;
+    }
+  }
+  EXPECT_TRUE(any_shifted);  // Jitter actually engages across the sweep.
+
+  // Same campaign, same expansion: crash schedules replay exactly.
+  auto again = ExpandScenarios(campaign);
+  ASSERT_TRUE(again.ok());
+  for (size_t i = 0; i < scenarios->size(); ++i) {
+    EXPECT_EQ((*scenarios)[i].world.crash_at_s,
+              (*again)[i].world.crash_at_s);
+  }
+}
+
+TEST(GeneratorTest, RejectsInvalidCrashPlans) {
+  CampaignSpec campaign;
+  ScenarioTemplate tmpl;
+  tmpl.name = "bad";
+  tmpl.crash.at_s = {5, 5};  // Not strictly ascending.
+  campaign.templates.push_back(tmpl);
+  EXPECT_FALSE(ExpandScenarios(campaign).ok());
+
+  campaign.templates[0].crash.at_s = {5, 9};
+  campaign.templates[0].crash.checkpoint_s = -1;
+  EXPECT_FALSE(ExpandScenarios(campaign).ok());
+
+  campaign.templates[0].crash.checkpoint_s = 0;
+  campaign.templates[0].crash.max_restores = -1;
+  EXPECT_FALSE(ExpandScenarios(campaign).ok());
+
+  campaign.templates[0].crash.max_restores = 3;
+  EXPECT_TRUE(ExpandScenarios(campaign).ok());
 }
 
 TEST(GeneratorTest, ScenarioWorldConfigPinsOnlyNonEmptyPlans) {
