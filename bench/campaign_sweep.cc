@@ -379,8 +379,12 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(p.digest),
                 p.matches_reference ? "ok" : "DIVERGED");
   }
-  std::printf("\n  report %s across repeat and thread counts\n\n",
+  std::printf("\n  report %s across repeat and thread counts\n",
               deterministic ? "IDENTICAL" : "DIVERGED");
+  std::printf("  template reuse: %llu scenario(s) cold-booted a boot family, "
+              "%llu cloned from a template\n\n",
+              static_cast<unsigned long long>(reference.template_misses),
+              static_cast<unsigned long long>(reference.template_hits));
   std::printf("%s", reference.ToText().c_str());
   BenchNote("every scenario seed chains from (campaign seed, template, "
             "instance) — the sweep replays bit-identically anywhere");
@@ -396,6 +400,10 @@ int Run(int argc, char** argv) {
     doc["skipped"] = static_cast<double>(reference.skipped);
     doc["unexpected"] = static_cast<double>(reference.unexpected);
     doc["deterministic"] = deterministic;
+    // World-template reuse (DESIGN.md §14): scenarios served from a cached
+    // boot template vs scenarios that cold-booted a boot family.
+    doc["template_cold_boots"] = static_cast<double>(reference.template_misses);
+    doc["template_clones"] = static_cast<double>(reference.template_hits);
     doc["report_digest"] = HexDigest(reference.Digest());
     doc["fleet_digest"] = HexDigest(reference.fleet_digest);
     JsonArray buckets;

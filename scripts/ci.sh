@@ -12,8 +12,11 @@
 # (bench/fault_sweep) and the sensor fault sweep (bench/sensor_fault_sweep)
 # merged into one document. Fragments go to BENCH_*.json.tmp (gitignored);
 # the merged file is the committed record. Also refreshes
-# BENCH_fleet_scale.json (bench/fleet_scale): fleet-executor throughput and
-# the thread-count-invariance digest check; BENCH_datapath.json
+# BENCH_fleet_scale.json (bench/fleet_scale): fleet-executor throughput,
+# the thread-count-invariance digest check, and the boot-once/fork-many
+# cloning gates (grep "digests_match"/"clone_digest_match": true and
+# "clone_speedup_ge_3": true — cloned worlds must match cold-booted ones
+# bit for bit and cut per-world startup by at least 3x); BENCH_datapath.json
 # (bench/datapath_throughput): hot-loop throughput across the legacy /
 # sensor-bus / batched-telemetry modes plus the flight-digest-invariance
 # guard (batching must not change what the drone flew); BENCH_campaign.json
@@ -76,19 +79,25 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
 
   # The fleet executor is the one genuinely multi-threaded subsystem; its
   # tests — the trace/metrics determinism harness, which runs traced
-  # worlds on 1/2/8 executor threads, and the crash-recovery equivalence
+  # worlds on 1/2/8 executor threads, the crash-recovery equivalence
   # suite, whose restore-and-replay must stay bit-identical at any thread
-  # count — also run under TSan (a separate build dir — TSan is
-  # incompatible with ASan in one binary).
+  # count, and the clone-determinism matrix (WorldTemplateTest: a cloned
+  # world must be digest-identical to its cold-booted twin, including under
+  # the blocking template-builder protocol at 2/8 threads) — also run under
+  # TSan (a separate build dir — TSan is incompatible with ASan in one
+  # binary). The clone-determinism tests ride inside exec_test and
+  # recovery_test, so all three builds (plain ctest, ASan/UBSan ctest,
+  # TSan below) exercise them.
   echo "=== exec + determinism + recovery tests: sanitizer build (thread) ==="
   cmake -S . -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DANDRONE_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target exec_test determinism_test \
-        trace_golden_test recovery_test
+        trace_golden_test recovery_test util_test
   ./build-tsan/tests/exec_test
   ./build-tsan/tests/determinism_test
   ./build-tsan/tests/trace_golden_test
   ./build-tsan/tests/recovery_test
+  ./build-tsan/tests/util_test --gtest_filter='*Arena*'
 
   # The same campaign smoke under ASan/UBSan: fault windows, triage
   # re-runs, and the manifest loader all exercise pointer-heavy paths.
@@ -119,6 +128,22 @@ echo "=== bench: fleet scale ==="
 ./build/bench/fleet_scale --json BENCH_fleet_scale.json \
     --metrics BENCH_fleet_metrics.txt
 echo "wrote BENCH_fleet_metrics.txt (merged fleet metric snapshot)"
+# Determinism gates: the fleet digest must be thread-count invariant AND
+# the templated (boot-once/fork-many) fleet must match the cold-booted
+# fleet bit for bit; the clone path must also actually pay off (>= 3x
+# cheaper per-world startup than a cold boot).
+if ! grep -q '"digests_match": true' BENCH_fleet_scale.json; then
+  echo "FAIL: fleet digest varied across executor thread counts" >&2
+  exit 1
+fi
+if ! grep -q '"clone_digest_match": true' BENCH_fleet_scale.json; then
+  echo "FAIL: template-cloned fleet diverged from the cold-booted fleet" >&2
+  exit 1
+fi
+if ! grep -q '"clone_speedup_ge_3": true' BENCH_fleet_scale.json; then
+  echo "FAIL: world cloning is under the 3x startup-speedup floor" >&2
+  exit 1
+fi
 
 echo "=== bench: datapath throughput ==="
 ./build/bench/datapath_throughput --json BENCH_datapath.json \

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/arena.h"
 #include "src/util/status.h"
 
 namespace androne {
@@ -75,6 +76,15 @@ class Parcel {
   // introspection of the recycling behaviour).
   static size_t FreelistSize();
 
+  // Routes this thread's parcel entry storage into |arena| (nullptr = the
+  // global allocator, the default). The fleet executor points each worker
+  // at its per-worker arena before running a world (DESIGN.md §14).
+  // Whenever the arena identity *or its reset generation* changes, the
+  // freelist is cleared first — recycled capacity must never dangle into a
+  // torn-down arena generation. Parcels alive across a scratch-arena
+  // switch keep their old storage and are excluded from recycling.
+  static void SetScratchArena(Arena* arena);
+
  private:
   friend class BinderDriver;
 
@@ -87,6 +97,8 @@ class Parcel {
     std::string text;
   };
 
+  using EntryVec = std::vector<Entry, ArenaAllocator<Entry>>;
+
   StatusOr<const Entry*> Next(Kind expected) const;
   // Driver-side append of a binder reference (keeps binder_entries_ honest
   // when the driver builds delivery parcels directly).
@@ -94,9 +106,9 @@ class Parcel {
   // Returns this parcel's entry vector to the thread-local freelist.
   void ReleaseEntries();
   // Per-thread pool of retired entry vectors (capacity preserved).
-  static std::vector<std::vector<Entry>>& LocalFreelist();
+  static std::vector<EntryVec>& LocalFreelist();
 
-  std::vector<Entry> entries_;
+  EntryVec entries_;
   mutable size_t cursor_ = 0;
   size_t binder_entries_ = 0;
 };

@@ -28,18 +28,20 @@ Status AnDroneSystem::Boot() {
   if (booted_) {
     return FailedPreconditionError("already booted");
   }
+  const uint64_t boot_seed =
+      options_.boot_seed != 0 ? options_.boot_seed : options_.seed;
 
   // --- Hardware ---
   physics_ = std::make_unique<QuadPhysics>(options_.base);
   DroneGroundTruth* truth = physics_->mutable_truth();
   bus_.Register(std::make_unique<Camera>(clock_, truth));
   gps_ = bus_.Register(
-      std::make_unique<GpsReceiver>(clock_, truth, options_.seed + 1));
-  imu_ = bus_.Register(std::make_unique<Imu>(clock_, truth, options_.seed + 2));
+      std::make_unique<GpsReceiver>(clock_, truth, boot_seed + 1));
+  imu_ = bus_.Register(std::make_unique<Imu>(clock_, truth, boot_seed + 2));
   baro_ = bus_.Register(
-      std::make_unique<Barometer>(clock_, truth, options_.seed + 3));
+      std::make_unique<Barometer>(clock_, truth, boot_seed + 3));
   mag_ = bus_.Register(
-      std::make_unique<Magnetometer>(clock_, truth, options_.seed + 4));
+      std::make_unique<Magnetometer>(clock_, truth, boot_seed + 4));
   microphone_ = bus_.Register(std::make_unique<Microphone>(clock_));
   speaker_ = bus_.Register(std::make_unique<Speaker>());
   gimbal_ = bus_.Register(std::make_unique<Gimbal>());
@@ -104,7 +106,7 @@ Status AnDroneSystem::Boot() {
   // fault plan is orthogonal to the fast-path/binder-path decision.
   if (options_.sensor_faults != nullptr) {
     sensor_fault_injector_ = std::make_unique<SensorFaultInjector>(
-        options_.sensor_faults, clock_, options_.seed + 13);
+        options_.sensor_faults, clock_, boot_seed + 13);
     faulty_sensors_ = std::make_unique<FaultySensorSource>(
         sensor_source, sensor_fault_injector_.get());
     sensor_source = faulty_sensors_.get();
@@ -116,7 +118,7 @@ Status AnDroneSystem::Boot() {
       clock_, physics_.get(), motors_, sensor_source, &battery_, fc_config);
   if (options_.inject_kernel_latency) {
     latency_sampler_ = std::make_unique<WakeLatencySampler>(
-        options_.kernel, IdleLoad(), options_.seed + 9);
+        options_.kernel, IdleLoad(), boot_seed + 9);
     flight_controller_->SetLatencySampler(latency_sampler_.get());
   }
   // MAV_CMD_DO_DIGICAM_CONTROL routes through the shared CameraService
@@ -150,7 +152,7 @@ Status AnDroneSystem::Boot() {
   // Planner commands go out ack-tracked: locally the ack resolves in the
   // same event, but the same executor then survives a lossy planner link.
   planner_sender_ = std::make_unique<ReliableCommandSender>(
-      clock_, RetryConfig{}, options_.seed + 11);
+      clock_, RetryConfig{}, boot_seed + 11);
   planner_sender_->SetSendSink([this](const MavlinkFrame& frame) {
     proxy_->HandlePlannerFrame(frame);
   });
@@ -197,9 +199,32 @@ Status AnDroneSystem::Boot() {
       clock_->ScheduleAfter(Seconds(1), [this] { AccountingTick(); });
 
   booted_ = true;
-  // Let sensors and the estimator warm up (GPS acquisition).
-  clock_->RunFor(Seconds(2));
+  // Let sensors and the estimator warm up (GPS acquisition). The clone
+  // path skips this: a template snapshot captured after warmup is about
+  // to be overlaid, and ResetForRestore drops boot's pending timers.
+  if (options_.boot_warmup) {
+    clock_->RunFor(Seconds(2));
+  }
   return OkStatus();
+}
+
+void AnDroneSystem::ReseedStreams(uint64_t seed) {
+  // Each stream is reset to exactly the state its constructor at
+  // options.seed == |seed| would have produced — same derived seed per
+  // stream, so a reseeded canonical boot equals a legacy single-seed boot
+  // from this point on *for mission-time draws*.
+  gps_->checkpoint_rng() = Rng(seed + 1);
+  imu_->checkpoint_rng() = Rng(seed + 2);
+  baro_->checkpoint_rng() = Rng(seed + 3);
+  mag_->checkpoint_rng() = Rng(seed + 4);
+  if (latency_sampler_ != nullptr) {
+    latency_sampler_->checkpoint_rng() = Rng(seed + 9);
+  }
+  planner_sender_->checkpoint_rng() = Rng(seed + 11);
+  if (sensor_fault_injector_ != nullptr) {
+    sensor_fault_injector_->checkpoint_rng() =
+        Rng(SplitMix64((seed + 13) ^ 0x5ef5u));
+  }
 }
 
 void AnDroneSystem::AccountingTick() {

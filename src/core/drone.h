@@ -33,6 +33,18 @@ class TraceRecorder;
 struct AnDroneOptions {
   GeoPoint base;                 // Launch/return position.
   uint64_t seed = 1;
+  // Seed used to construct the *boot-time* RNG streams (sensor noise,
+  // kernel wake latency, reliable-sender jitter, sensor-fault noise).
+  // 0 means "use |seed|" — the historical single-seed behavior. The
+  // boot-once/fork-many path (DESIGN.md §14) boots every fleet world with
+  // one canonical boot seed so post-boot state is seed-independent, then
+  // calls ReseedStreams(seed) at the post-boot/pre-mission boundary.
+  uint64_t boot_seed = 0;
+  // When false, Boot() skips the 2 s sensor/estimator warmup run. Only
+  // the clone path uses this: it restores a template snapshot captured
+  // *after* warmup, so running warmup first would be wasted work (and its
+  // pending timers are dropped by SimClock::ResetForRestore anyway).
+  bool boot_warmup = true;
   PreemptionModel kernel = PreemptionModel::kPreemptRt;
   bool inject_kernel_latency = true;
   WhitelistTemplate default_whitelist = WhitelistTemplate::kStandard;
@@ -109,6 +121,15 @@ class AnDroneSystem {
 
   // Boots containers, services, and the flight stack. Call once.
   Status Boot();
+
+  // Re-seeds every RNG stream that Boot() created, to exactly the state a
+  // fresh construction with options.seed == |seed| would produce. This is
+  // the divergence point of boot-once/fork-many (DESIGN.md §14): worlds
+  // share one canonical boot (same boot_seed ⇒ byte-identical post-boot
+  // state, whether cold-booted or restored from the template blob), then
+  // fork here into per-world randomness. Call at the post-boot boundary,
+  // before any Deploy or mission traffic.
+  void ReseedStreams(uint64_t seed);
 
   // Deploys a virtual drone and creates its VFC with the given whitelist.
   StatusOr<VirtualDroneInstance*> Deploy(const VirtualDroneDefinition& def,

@@ -5,7 +5,11 @@
 #include <thread>
 #include <utility>
 
+#include <memory>
+#include <vector>
+
 #include "src/exec/thread_pool.h"
+#include "src/util/arena.h"
 #include "src/util/bytes.h"
 #include "src/util/rng.h"
 
@@ -34,13 +38,31 @@ FleetReport FleetExecutor::Run(int num_worlds, const WorldFn& fn) {
   std::atomic<int> retried{0};
 
   {
+    // One arena per worker, not per world: a worker runs its worlds
+    // serially, so Reset() between worlds recycles the same warm slabs
+    // for every world that lands on that worker (shard-per-worker
+    // placement). Declared before the pool so the arenas strictly outlive
+    // every worker thread.
+    std::vector<std::unique_ptr<Arena>> arenas;
     ThreadPool pool(options_.threads);
+    arenas.reserve(static_cast<size_t>(pool.size()));
+    for (int i = 0; i < pool.size(); ++i) {
+      arenas.push_back(std::make_unique<Arena>());
+    }
     for (int i = 0; i < num_worlds; ++i) {
-      pool.Submit([this, i, &fn, &report, &retried, budgeted, deadline] {
+      pool.Submit([this, i, &fn, &report, &retried, &arenas, budgeted,
+                   deadline] {
         WorldContext ctx;
         ctx.index = i;
         ctx.seed = WorldSeed(options_.base_seed, i);
         ctx.cancelled = &cancel_;
+        const int worker = ThreadPool::CurrentWorkerIndex();
+        if (worker >= 0 && worker < static_cast<int>(arenas.size())) {
+          ctx.arena = arenas[static_cast<size_t>(worker)].get();
+          // The previous world on this worker is fully torn down (tasks on
+          // one worker are serial); reclaim its arena space for this one.
+          ctx.arena->Reset();
+        }
         WorldResult& out = report.worlds[static_cast<size_t>(i)];
         if (budgeted && std::chrono::steady_clock::now() >= deadline) {
           cancel_.store(true, std::memory_order_relaxed);
@@ -62,6 +84,9 @@ FleetReport FleetExecutor::Run(int num_worlds, const WorldFn& fn) {
           // produces exactly the result the first attempt should have.
           std::this_thread::sleep_for(std::chrono::milliseconds(25));
           retried.fetch_add(1, std::memory_order_relaxed);
+          if (ctx.arena != nullptr) {
+            ctx.arena->Reset();  // The failed attempt's world is gone.
+          }
           out = fn(ctx);
         }
         out.index = i;
@@ -88,6 +113,14 @@ FleetReport FleetExecutor::Run(int num_worlds, const WorldFn& fn) {
     }
     ++report.completed;
     report.events_run += world.events_run;
+    if (world.provision.cloned) {
+      ++report.worlds_cloned;
+    }
+    if (world.provision.built_template) {
+      ++report.templates_built;
+    }
+    report.boot_seconds += static_cast<double>(world.provision.boot_ns) * 1e-9;
+    report.fly_seconds += static_cast<double>(world.provision.fly_ns) * 1e-9;
     for (const auto& [name, value] : world.counters) {
       report.counters[name] += value;
     }

@@ -29,6 +29,8 @@
 
 namespace androne {
 
+class Arena;
+
 // Everything a world function receives. Worlds must derive all randomness
 // from |seed| and poll |cancelled| at convenient boundaries (e.g. a periodic
 // sim-clock event) to honor the fleet's wall-clock budget.
@@ -36,6 +38,12 @@ struct WorldContext {
   int index = 0;
   uint64_t seed = 0;
   const std::atomic<bool>* cancelled = nullptr;
+  // Per-worker bump allocator (borrowed, may be null): the executor resets
+  // it between the worlds a worker runs, so world-lifetime containers
+  // (event heap, trace ring, in-flight registries, parcel scratch) can
+  // carve from warm slabs instead of the global allocator (DESIGN.md §14).
+  // Never simulation-visible: allocation placement must not affect digests.
+  Arena* arena = nullptr;
 
   bool ShouldCancel() const {
     return cancelled != nullptr && cancelled->load(std::memory_order_relaxed);
@@ -75,6 +83,21 @@ struct WorldResult {
     bool gave_up = false;           // Restore budget exhausted; world down.
   };
   Recovery recovery;
+  // Boot-provisioning bookkeeping (DESIGN.md §14). Same discipline as
+  // |Recovery|: wall-clock timings and template-placement attribution are
+  // scheduling-dependent, so they ride in a side struct that is excluded
+  // from |counters|, |metrics|, and both digests. The deterministic
+  // aggregate (template hits/misses per fleet) is published by the caller
+  // that owns the WorldTemplateCache, not per world.
+  struct Provision {
+    bool cloned = false;       // Restored from a world template blob.
+    bool built_template = false;  // This world cold-booted + published it.
+    uint64_t boot_ns = 0;      // Wall time to a deployed, mission-ready world.
+    uint64_t fly_ns = 0;       // Wall time spent flying the mission.
+    uint64_t arena_bytes_reserved = 0;  // Worker arena footprint after run.
+    uint64_t arena_chunks = 0;
+  };
+  Provision provision;
   // Scenario identity and per-assertion failures, filled by campaign runs
   // (empty for plain fleet benches). Assertions are canonical expression
   // strings — triage buckets key on them.
@@ -112,6 +135,12 @@ struct FleetReport {
   // Worlds that reported an infrastructure failure and were re-run once.
   // Also published as the "fleet.worlds_retried" counter in |metrics|.
   int retried = 0;
+  // Provisioning rollup across |worlds| (from the Provision side structs;
+  // wall-clock, excluded from |metrics| and the digest like |wall_seconds|).
+  int worlds_cloned = 0;
+  int templates_built = 0;
+  double boot_seconds = 0;  // Summed across worlds (not wall-parallel time).
+  double fly_seconds = 0;
   uint64_t events_run = 0;
   std::map<std::string, double> counters;
   std::map<std::string, Histogram> histograms;

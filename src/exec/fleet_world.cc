@@ -1,23 +1,28 @@
 #include "src/exec/fleet_world.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/binder/parcel.h"
 #include "src/cloud/energy_model.h"
 #include "src/cloud/flight_planner.h"
 #include "src/container/supervisor.h"
 #include "src/core/drone.h"
+#include "src/exec/world_template.h"
 #include "src/flight/flight_log.h"
 #include "src/net/channel.h"
 #include "src/net/link_model.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/snapshot/checkpoint.h"
+#include "src/util/arena.h"
 #include "src/util/bytes.h"
+#include "src/util/fault_plan.h"
 
 namespace androne {
 
@@ -37,6 +42,58 @@ VirtualDroneDefinition MakeTenant(int index, const GeoPoint& waypoint,
   def.energy_allotted_j = 45000;
   def.waypoint_devices = {"camera", "gps", "flight-control"};
   return def;
+}
+
+// The boot seed every template-family member boots with (DESIGN.md §14).
+// A run-stable constant, deliberately NOT derived from the per-world seed
+// or the fingerprint: boot-time RNG draws (warmup sensor noise) must be
+// identical for every member so the post-boot state is family-wide shared;
+// per-world divergence starts at ReseedStreams(world_seed) at the boundary.
+constexpr uint64_t kCanonicalBootSeed = 0x5eedb007'0a11ce5dull;
+
+// Wall-clock nanoseconds since an arbitrary epoch (provisioning telemetry
+// only — never folded into anything deterministic).
+uint64_t WallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Sensor warmup horizon: Boot runs the clock this long before the mission
+// boundary, so only fault windows that can overlap [0, 2 s) shape the
+// template's post-boot state.
+constexpr SimTime kWarmupHorizon = Seconds(2);
+
+// Keys the template cache: ONLY config knobs that act before the
+// post-boot/pre-deploy boundary fold in. Everything that acts after the
+// boundary (tenants, dwell, planner effort, batching, downlink profile,
+// net faults, crash schedules) deliberately does not split the cache —
+// that sharing is what lets a whole campaign boot a handful of templates.
+uint64_t TemplateFingerprint(const FleetWorldConfig& config) {
+  uint64_t fp = kFnv1a64Offset;
+  fp = Fnv1a64Value(config.sensor_bus, fp);
+  fp = Fnv1a64Value(config.memory_budget_mb, fp);
+  fp = Fnv1a64Value(config.trace_categories, fp);
+  fp = Fnv1a64Value(config.trace_capacity, fp);
+  fp = Fnv1a64Value(config.sensor_faults != nullptr, fp);
+  if (config.sensor_faults != nullptr) {
+    // Only windows that can touch the warmup horizon shape boot state; two
+    // plans that differ purely after the boundary share a template.
+    for (const FaultWindowSpec& w : config.sensor_faults->schedule().windows()) {
+      if (w.start >= kWarmupHorizon || w.end <= 0) {
+        continue;
+      }
+      fp = Fnv1a64Value(w.kind, fp);
+      fp = Fnv1a64Value(w.scope, fp);
+      fp = Fnv1a64Value(w.start, fp);
+      fp = Fnv1a64Value(w.end, fp);
+      fp = Fnv1a64Value(w.p0, fp);
+      fp = Fnv1a64Value(w.p1, fp);
+      fp = Fnv1a64Value(w.d0, fp);
+    }
+  }
+  return fp;
 }
 
 // Binds a checkpoint to the (config, seed) world that wrote it: every config
@@ -80,17 +137,20 @@ class WorldAttempt {
       : config_(config),
         ctx_(ctx),
         crashes_consumed_(crashes_consumed),
-        fingerprint_(ConfigFingerprint(config)) {}
+        fingerprint_(ConfigFingerprint(config)),
+        clock_(ctx.arena) {}
 
-  // Deterministic construction: trace wiring, boot, deploys, chaos payload,
-  // downlink, cancel poll, scheduled crash events. Identical for every
-  // attempt at the same (config, seed) — restore overwrites dynamic state
-  // on top of this. A failure here is infrastructure, not scenario.
+  // Deterministic construction: trace wiring, boot (cold or cloned from a
+  // world template), deploys, chaos payload, downlink, cancel poll,
+  // scheduled crash events. Identical for every attempt at the same
+  // (config, seed) — restore overwrites dynamic state on top of this. A
+  // failure here is infrastructure, not scenario.
   Status Build() {
+    const uint64_t boot_start_ns = WallNowNs();
     trace_ = config_.trace;
     if (trace_ == nullptr && config_.trace_categories != 0) {
-      owned_trace_ = std::make_unique<TraceRecorder>(config_.trace_categories,
-                                                     config_.trace_capacity);
+      owned_trace_ = std::make_unique<TraceRecorder>(
+          config_.trace_categories, config_.trace_capacity, ctx_.arena);
       trace_ = owned_trace_.get();
     }
     if (trace_ != nullptr) {
@@ -98,15 +158,64 @@ class WorldAttempt {
       AttachClockTrace(&clock_, trace_);
     }
 
+    // Template resolution (DESIGN.md §14). A caller-owned recorder
+    // (config_.trace) accumulates events across worlds, so those worlds are
+    // never template-shareable — they always cold-boot.
+    WorldTemplateCache* templates =
+        config_.trace == nullptr ? config_.templates : nullptr;
+    std::shared_ptr<const WorldTemplate> tpl;
+    bool builder = false;
+    uint64_t template_fp = 0;
+    if (templates != nullptr) {
+      template_fp = TemplateFingerprint(config_);
+      tpl = templates->Acquire(template_fp, &builder);
+      cloned_ = tpl != nullptr;
+    }
+
     AnDroneOptions options;
     options.base = kFleetBase;
     options.seed = ctx_.seed;
+    // Every world (cold, builder, or clone) boots from the canonical boot
+    // seed and is re-seeded with its own seed at the post-boot boundary —
+    // that single fork point is what makes a clone digest-identical to a
+    // cold boot. Clones skip the warmup the template blob already contains.
+    options.boot_seed = kCanonicalBootSeed;
+    options.boot_warmup = !cloned_;
     options.use_sensor_bus = config_.sensor_bus;
     options.memory_budget_mb = config_.memory_budget_mb;
     options.trace = trace_;
     options.sensor_faults = config_.sensor_faults;
     system_ = std::make_unique<AnDroneSystem>(&clock_, options);
-    RETURN_IF_ERROR(system_->Boot());
+    {
+      Status booted = system_->Boot();
+      if (!booted.ok()) {
+        if (builder) {
+          templates->AbandonBuild(template_fp);  // Re-elect a waiter.
+        }
+        return booted;
+      }
+    }
+    if (cloned_) {
+      Status restored = RestoreTemplate(*tpl);
+      if (!restored.ok()) {
+        return restored;
+      }
+    } else if (builder) {
+      auto built = std::make_shared<WorldTemplate>();
+      built->fingerprint = template_fp;
+      built->boot_seed = kCanonicalBootSeed;
+      built->blob = SaveTemplateBlob(template_fp);
+      built->sim_time = clock_.now();
+      built->events_run = clock_.events_run();
+      built->boot_ns = WallNowNs() - boot_start_ns;
+      built_template_ = true;
+      templates->Publish(std::move(built));
+    }
+    // The fork point: from here on, every RNG draw comes from the world's
+    // own seed. Runs on ALL paths (including template-less cold boots) so
+    // the three ways to reach this line are byte-equivalent.
+    system_->ReseedStreams(ctx_.seed);
+
     if (config_.batch_telemetry) {
       TelemetryBatchConfig batch;
       batch.flush_bytes = config_.batch_flush_bytes;
@@ -184,7 +293,7 @@ class WorldAttempt {
       downlink_model = faulty_link_.get();
     }
     downlink_ = std::make_unique<NetworkChannel>(
-        &clock_, downlink_model, SplitMix64(ctx_.seed + 0x11e7));
+        &clock_, downlink_model, SplitMix64(ctx_.seed + 0x11e7), ctx_.arena);
     tunnel_tx_ = std::make_unique<VpnTunnel>(downlink_.get(), 42);
     tunnel_rx_ = std::make_unique<VpnTunnel>(downlink_.get(), 42);
     if (trace_ != nullptr) {
@@ -208,6 +317,7 @@ class WorldAttempt {
     // ScheduleAt clamps to now, so a crash time inside the boot warmup
     // lands at the first mission pulse.
     ArmCrashEvents();
+    boot_ns_ = WallNowNs() - boot_start_ns;
     return OkStatus();
   }
 
@@ -239,10 +349,74 @@ class WorldAttempt {
     return OkStatus();
   }
 
+  // Serializes the post-boot/pre-deploy boundary: header (canonical boot
+  // seed + template fingerprint), the trace ring (warmup events included,
+  // so a traced clone exports the identical text), the executed-event
+  // count, the full system, and the armed boot timers. Captured exactly
+  // once per family, by the elected builder, before any per-world wiring.
+  std::string SaveTemplateBlob(uint64_t template_fp) {
+    SnapshotWriter w;
+    TimerRegistry timers;
+    CheckpointHeader header;
+    header.seed = kCanonicalBootSeed;
+    header.world_fingerprint = template_fp;
+    header.sim_time = clock_.now();
+    header.Save(w);
+    w.Bool(trace_ != nullptr);
+    if (trace_ != nullptr) {
+      trace_->SaveState(w);
+    }
+    w.U64(clock_.events_run());
+    system_->SaveState(w, timers);
+    timers.Persist(w);
+    return w.Take();
+  }
+
+  // Overlays the template blob on a structure-only boot (boot_warmup was
+  // false): component state, clock rewind to the capture point, timer
+  // re-arm. No fixed-point self-check and no have_checkpoint_ — this is
+  // provisioning, not mission recovery; MaybeCheckpoint still captures a
+  // first mission checkpoint as usual.
+  Status RestoreTemplate(const WorldTemplate& tpl) {
+    SnapshotReader r(tpl.blob);
+    CheckpointHeader header;
+    RETURN_IF_ERROR(header.Load(r, tpl.boot_seed, tpl.fingerprint));
+    bool traced = false;
+    RETURN_IF_ERROR(r.Bool(&traced));
+    if (traced != (trace_ != nullptr)) {
+      return InvalidArgumentError("template trace presence mismatch");
+    }
+    if (trace_ != nullptr) {
+      RETURN_IF_ERROR(trace_->RestoreState(r));
+    }
+    uint64_t events_run = 0;
+    RETURN_IF_ERROR(r.U64(&events_run));
+    RETURN_IF_ERROR(system_->RestoreState(r));
+    // Drops the structure-only boot's pending events; Replay re-creates
+    // the armed boot timers from the template's timer table.
+    clock_.ResetForRestore(header.sim_time, events_run);
+    TimerRearmer rearmer;
+    system_->RegisterTimers(rearmer);
+    RETURN_IF_ERROR(rearmer.Replay(r));
+    if (r.remaining() != 0) {
+      return InvalidArgumentError(
+          "template blob has " + std::to_string(r.remaining()) +
+          " trailing bytes after the timer table");
+    }
+    return OkStatus();
+  }
+
   // Plans and flies the route (fresh or resumed), then drains the downlink.
   // Returns CANCELLED exactly when a scheduled crash landed mid-mission;
   // any other non-OK status is an infrastructure failure.
   Status Fly(bool resumed, CheckpointStore* store) {
+    const uint64_t fly_start_ns = WallNowNs();
+    Status status = FlyImpl(resumed, store);
+    fly_ns_ = WallNowNs() - fly_start_ns;
+    return status;
+  }
+
+  Status FlyImpl(bool resumed, CheckpointStore* store) {
     system_->SetMissionPulse([this, store] {
       if (crashed_) {
         return false;  // The world process dies here.
@@ -382,6 +556,19 @@ class WorldAttempt {
       if (chaos_supervisor_ != nullptr) {
         chaos_supervisor_->ExportMetrics(metrics);
       }
+      if (config_.provision_metrics) {
+        // Opt-in only: wall-clock timings and arena placement vary run to
+        // run, and per-world metrics must stay deterministic by default
+        // (the cross-thread-count digest tests compare them verbatim).
+        metrics.Add(cloned_ ? "world.clone_ns" : "world.boot_ns",
+                    static_cast<double>(boot_ns_));
+        if (ctx_.arena != nullptr) {
+          metrics.Set("arena.bytes_reserved",
+                      static_cast<double>(ctx_.arena->bytes_reserved()));
+          metrics.Set("arena.chunks",
+                      static_cast<double>(ctx_.arena->chunks()));
+        }
+      }
       result.metrics = metrics.Snapshot();
     }
     // A caller-owned recorder is exported by the caller; only a world-owned
@@ -408,6 +595,10 @@ class WorldAttempt {
   // crash cursor.
   int next_crash_cursor() const { return crash_fired_index_ + 1; }
   bool fixed_point_ok() const { return fixed_point_ok_; }
+  bool cloned() const { return cloned_; }
+  bool built_template() const { return built_template_; }
+  uint64_t boot_ns() const { return boot_ns_; }
+  uint64_t fly_ns() const { return fly_ns_; }
 
  private:
   void PollCancel() {
@@ -630,6 +821,24 @@ class WorldAttempt {
 
   FlightExecutionReport flight_report_;
   bool flight_ok_ = true;
+
+  // Provisioning telemetry (side-struct data; never digested).
+  bool cloned_ = false;
+  bool built_template_ = false;
+  uint64_t boot_ns_ = 0;
+  uint64_t fly_ns_ = 0;
+};
+
+// Routes the current thread's parcel scratch storage into the world's
+// worker arena for the world's lifetime. Restoring to nullptr on exit also
+// flushes the thread's freelist, so no recycled parcel capacity can outlive
+// the arena (RunFleetWorld is callable off-pool with a stack-local arena).
+class ScratchArenaGuard {
+ public:
+  explicit ScratchArenaGuard(Arena* arena) { Parcel::SetScratchArena(arena); }
+  ~ScratchArenaGuard() { Parcel::SetScratchArena(nullptr); }
+  ScratchArenaGuard(const ScratchArenaGuard&) = delete;
+  ScratchArenaGuard& operator=(const ScratchArenaGuard&) = delete;
 };
 
 }  // namespace
@@ -639,6 +848,7 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   WorldResult result;
   result.index = ctx.index;
   result.seed = ctx.seed;
+  ScratchArenaGuard scratch(ctx.arena);
 
   // Checkpoints and the restore budget outlive individual attempts — a
   // crash kills the world, not its persisted state.
@@ -671,6 +881,13 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
       ++result.recovery.replays_from_boot;
     }
     Status flight = attempt.Fly(resumed, store_ptr);
+    // Provisioning rollup across attempts (a recovery loop boots several
+    // lives; their wall costs sum). Side-struct only — see Provision.
+    result.provision.cloned = result.provision.cloned || attempt.cloned();
+    result.provision.built_template =
+        result.provision.built_template || attempt.built_template();
+    result.provision.boot_ns += attempt.boot_ns();
+    result.provision.fly_ns += attempt.fly_ns();
     if (flight.code() == StatusCode::kCancelled) {
       ++result.recovery.crashes;
       crashes_consumed = attempt.next_crash_cursor();
@@ -696,6 +913,10 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   }
   result.recovery.checkpoints_saved = store.count();
   result.recovery.checkpoint_bytes = static_cast<uint64_t>(store.latest_bytes());
+  if (ctx.arena != nullptr) {
+    result.provision.arena_bytes_reserved = ctx.arena->bytes_reserved();
+    result.provision.arena_chunks = ctx.arena->chunks();
+  }
   return result;
 }
 

@@ -20,6 +20,7 @@
 namespace androne {
 
 class TraceRecorder;
+class WorldTemplateCache;
 
 // Scripted crash-loop chaos: a payload virtual-drone container is crashed
 // |count| times, the first at |start_s| then every |period_s|, while a
@@ -98,6 +99,21 @@ struct FleetWorldConfig {
   // assert on the admitted/rejected split (paper Figure 12), so a rejected
   // tenant is data, not an error.
   bool tolerate_deploy_rejection = false;
+
+  // --- Boot-once/fork-many world cloning (DESIGN.md §14) ---
+  // Shared template cache (borrowed, may be null; must outlive the run).
+  // When set, the first world per boot-fingerprint cold-boots the stack,
+  // snapshots it at the post-boot/pre-deploy boundary, and publishes the
+  // blob; every later world with the same fingerprint restores from the
+  // blob instead of re-running boot + sensor warmup. Per-world RNG streams
+  // are re-seeded from WorldContext::seed at that boundary on BOTH paths,
+  // so a cloned world is digest-identical to a cold-booted one.
+  WorldTemplateCache* templates = nullptr;
+  // Publish per-world provisioning metrics (world.boot_ns, world.clone_ns,
+  // arena.bytes_reserved, arena.chunks) into WorldResult::metrics. Off by
+  // default: these are wall-clock/placement values, and per-world metrics
+  // must stay deterministic for the cross-thread-count digest contract.
+  bool provision_metrics = false;
 };
 
 // Runs one world to completion (or early abort on fleet cancellation) and

@@ -127,4 +127,8 @@ int ThreadPool::HardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+int ThreadPool::CurrentWorkerIndex() {
+  return tl_pool != nullptr ? static_cast<int>(tl_worker) : -1;
+}
+
 }  // namespace androne

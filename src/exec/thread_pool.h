@@ -49,6 +49,12 @@ class ThreadPool {
   // std::thread::hardware_concurrency with a >= 1 guarantee.
   static int HardwareThreads();
 
+  // Index of the pool worker running the current thread, or -1 when called
+  // off-pool (e.g. from the submitting thread). Lets the fleet executor map
+  // a task to per-worker resources (arena slabs) without threading an index
+  // through every task signature.
+  static int CurrentWorkerIndex();
+
  private:
   struct Worker {
     std::mutex mu;

@@ -1,0 +1,65 @@
+#include "src/exec/world_template.h"
+
+#include <utility>
+
+namespace androne {
+
+std::shared_ptr<const WorldTemplate> WorldTemplateCache::Acquire(
+    uint64_t fingerprint, bool* builder) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(fingerprint);
+    if (it == entries_.end()) {
+      entries_[fingerprint];  // Reserve: null template = build in progress.
+      ++misses_;
+      *builder = true;
+      return nullptr;
+    }
+    if (it->second.tpl != nullptr) {
+      ++hits_;
+      *builder = false;
+      return it->second.tpl;
+    }
+    cv_.wait(lock);  // A builder is cold-booting this family; wait for it.
+  }
+}
+
+void WorldTemplateCache::Publish(std::shared_ptr<const WorldTemplate> tpl) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[tpl->fingerprint].tpl = std::move(tpl);
+  }
+  cv_.notify_all();
+}
+
+void WorldTemplateCache::AbandonBuild(uint64_t fingerprint) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(fingerprint);
+    if (it != entries_.end() && it->second.tpl == nullptr) {
+      entries_.erase(it);
+    }
+  }
+  cv_.notify_all();
+}
+
+uint64_t WorldTemplateCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t WorldTemplateCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t WorldTemplateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t published = 0;
+  for (const auto& [fp, entry] : entries_) {
+    published += entry.tpl != nullptr ? 1 : 0;
+  }
+  return published;
+}
+
+}  // namespace androne

@@ -118,6 +118,7 @@ class SensorFaultInjector {
   double ApplyBatteryFraction(double fraction);
 
   const SensorFaultCounters& counters() const { return counters_; }
+  Rng& checkpoint_rng() { return rng_; }
 
   // Checkpoint/restore: the noise stream, fault counters, and stuck-value
   // latches are the injector's only dynamic state (the plan is config).

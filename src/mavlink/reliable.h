@@ -118,6 +118,7 @@ class ReliableCommandSender {
 
   // --- Introspection ---
   size_t pending() const { return pending_.size(); }
+  Rng& checkpoint_rng() { return rng_; }
   uint64_t commands_sent() const { return commands_sent_; }
   uint64_t retransmissions() const { return retransmissions_; }
   uint64_t acked() const { return acked_; }

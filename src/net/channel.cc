@@ -15,8 +15,11 @@ constexpr size_t kBufferPoolCap = 32;
 }  // namespace
 
 NetworkChannel::NetworkChannel(SimClock* clock, const LinkModel* link,
-                               uint64_t seed)
-    : clock_(clock), link_(link), rng_(seed) {}
+                               uint64_t seed, Arena* arena)
+    : clock_(clock),
+      link_(link),
+      rng_(seed),
+      inflight_(ArenaAllocator<std::pair<const uint64_t, Inflight>>(arena)) {}
 
 void NetworkChannel::Send(std::vector<uint8_t> payload) {
   SendShared(std::make_shared<const std::vector<uint8_t>>(std::move(payload)));

@@ -30,7 +30,12 @@ class NetworkChannel {
   // heap maintenance — a by-value payload would be deep-copied there).
   using SharedPayload = std::shared_ptr<const std::vector<uint8_t>>;
 
-  NetworkChannel(SimClock* clock, const LinkModel* link, uint64_t seed);
+  // |arena| (optional, borrowed) backs the in-flight datagram registry, so
+  // per-send map nodes come from the owning world's arena (DESIGN.md §14).
+  // Payload buffers stay on the recycled BufferPool — they are shared with
+  // delivery closures that can outlive a world teardown ordering.
+  NetworkChannel(SimClock* clock, const LinkModel* link, uint64_t seed,
+                 Arena* arena = nullptr);
 
   void SetReceiver(Receiver receiver) { receiver_ = std::move(receiver); }
 
@@ -102,7 +107,9 @@ class NetworkChannel {
   Rng rng_;
   Receiver receiver_;
   std::shared_ptr<BufferPool> pool_ = std::make_shared<BufferPool>();
-  std::map<uint64_t, Inflight> inflight_;
+  std::map<uint64_t, Inflight, std::less<uint64_t>,
+           ArenaAllocator<std::pair<const uint64_t, Inflight>>>
+      inflight_;
   uint64_t next_inflight_id_ = 0;
   uint64_t sent_ = 0;
   uint64_t delivered_ = 0;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/exec/world_template.h"
 #include "src/obs/triage.h"
 #include "src/util/bytes.h"
 
@@ -18,10 +19,12 @@ namespace {
 WorldResult RunScenarioWorld(const ScenarioSpec& spec,
                              const WorldContext& ctx,
                              uint32_t trace_categories,
-                             size_t trace_capacity) {
+                             size_t trace_capacity,
+                             WorldTemplateCache* templates) {
   FleetWorldConfig config = ScenarioWorldConfig(spec);
   config.trace_categories = trace_categories;
   config.trace_capacity = trace_capacity;
+  config.templates = templates;
   WorldContext scenario_ctx = ctx;
   scenario_ctx.seed = spec.seed;
   WorldResult result = RunFleetWorld(config, scenario_ctx);
@@ -35,8 +38,10 @@ WorldResult RunScenarioWorld(const ScenarioSpec& spec,
 // no chaos. Diffing its trace against the faulted run's localizes the first
 // event the chaos perturbed.
 WorldResult RunNominalTwin(const ScenarioSpec& spec, const WorldContext& ctx,
-                           uint32_t trace_categories, size_t trace_capacity) {
+                           uint32_t trace_categories, size_t trace_capacity,
+                           WorldTemplateCache* templates) {
   FleetWorldConfig config = spec.world;  // Plan pointers stay null.
+  config.templates = templates;
   config.crash_loop = CrashLoopConfig{};
   // Crash-family worlds replay bit-identically after recovery, so a twin
   // with the crashes stripped (and checkpointing off — captures are pure
@@ -129,14 +134,19 @@ CampaignReport CampaignRunner::Run(
   fleet.wall_budget_ms = options_.wall_budget_ms;
   FleetExecutor executor(fleet);
 
+  // One template cache for the whole sweep: scenarios sharing a boot
+  // fingerprint (most of a campaign — chaos axes act after the boundary)
+  // cold-boot exactly once per family and clone thereafter.
+  WorldTemplateCache templates;
+
   // Campaign worlds run untraced — tracing is reserved for the serial
   // triage re-runs, so the sweep itself stays at production cost.
   FleetReport fleet_report = executor.Run(
       static_cast<int>(scenarios.size()),
-      [&scenarios](const WorldContext& ctx) {
+      [&scenarios, &templates](const WorldContext& ctx) {
         return RunScenarioWorld(scenarios[static_cast<size_t>(ctx.index)],
                                 ctx, /*trace_categories=*/0,
-                                /*trace_capacity=*/0);
+                                /*trace_capacity=*/0, &templates);
       });
 
   CampaignReport report;
@@ -146,6 +156,19 @@ CampaignReport CampaignRunner::Run(
   report.metrics = fleet_report.metrics;
   report.fleet_digest = fleet_report.fleet_digest;
   report.wall_seconds = fleet_report.wall_seconds;
+  // Snapshot before triage: triage re-runs acquire from the same cache but
+  // report only sweep-phase reuse.
+  report.template_hits = templates.hits();
+  report.template_misses = templates.misses();
+  // Also surfaced through the merged metrics (like worlds_skipped): totals
+  // are deterministic — exactly one miss per boot family, hits = runs -
+  // misses — so they ride the byte-stable metrics digest.
+  if (report.template_hits + report.template_misses > 0) {
+    report.metrics.counters["fleet.template_hits"] +=
+        static_cast<double>(report.template_hits);
+    report.metrics.counters["fleet.template_misses"] +=
+        static_cast<double>(report.template_misses);
+  }
 
   // Bucket failures in world-index order; map keys keep the bucket list
   // sorted and the representative (first failing index) deterministic.
@@ -193,9 +216,11 @@ CampaignReport CampaignRunner::Run(
       WorldContext ctx;
       ctx.index = bucket_indices[key];
       WorldResult faulted = RunScenarioWorld(
-          spec, ctx, options_.trace_categories, options_.trace_capacity);
+          spec, ctx, options_.trace_categories, options_.trace_capacity,
+          &templates);
       WorldResult nominal = RunNominalTwin(
-          spec, ctx, options_.trace_categories, options_.trace_capacity);
+          spec, ctx, options_.trace_categories, options_.trace_capacity,
+          &templates);
       bucket.first_divergence =
           CompactDivergence(faulted.trace_text, nominal.trace_text);
     }
@@ -212,7 +237,7 @@ StatusOr<WorldResult> CampaignRunner::Repro(
       WorldContext ctx;
       ctx.index = static_cast<int>(i);
       return RunScenarioWorld(scenarios[i], ctx, trace_categories,
-                              trace_capacity);
+                              trace_capacity, /*templates=*/nullptr);
     }
   }
   return NotFoundError("no scenario named \"" + name +

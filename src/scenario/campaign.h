@@ -64,6 +64,14 @@ struct CampaignReport {
   MetricsSnapshot metrics;             // Merged across all ran worlds.
   uint64_t fleet_digest = 0;
   double wall_seconds = 0;  // Excluded from ToText()/Digest().
+  // World-template reuse across the sweep (DESIGN.md §14): scenarios whose
+  // boot fingerprint was already cached cloned from the template instead of
+  // cold-booting. misses = distinct boot families, hits = scenarios served
+  // from a template. Excluded from ToText()/Digest() like wall_seconds —
+  // budget-skipped scenarios never acquire, so a budgeted run's counts are
+  // wall-clock-shaped.
+  uint64_t template_hits = 0;
+  uint64_t template_misses = 0;
 
   // Deterministic text rendering (the campaign's byte-stable artifact).
   std::string ToText() const;

@@ -1,0 +1,108 @@
+// Per-world bump-pointer arena (DESIGN.md §14).
+//
+// A world's hot path (SimClock event slots, channel in-flight maps, the
+// trace ring, parcel scratch) allocates from one Arena owned by the worker
+// that runs the world. Allocation is a pointer bump inside chunked slabs;
+// individual frees are no-ops; the world teardown calls Reset(), which
+// rewinds every chunk but keeps the memory mapped, so the *next* world on
+// the same worker reuses the slabs without touching the global allocator.
+//
+// The arena is single-threaded by contract: exactly one world uses it at a
+// time, and the fleet executor hands each worker its own arena. Nothing
+// here is locked.
+#ifndef ANDRONE_UTIL_ARENA_H_
+#define ANDRONE_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace androne {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 256 * 1024;
+
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `bytes` of storage aligned to `align` (a power of two).
+  // Never returns nullptr; grows by whole chunks. Requests larger than
+  // the chunk size get a dedicated chunk.
+  void* Allocate(size_t bytes, size_t align);
+
+  // Rewinds all chunks without unmapping them. Everything previously
+  // allocated is invalidated; bytes_reserved() is unchanged, so the next
+  // user bump-allocates into already-warm slabs.
+  void Reset();
+
+  // Frees every chunk (used by tests; the executor keeps arenas warm).
+  void Release();
+
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t bytes_used() const { return bytes_used_; }
+  size_t chunks() const { return chunks_.size(); }
+  size_t resets() const { return resets_; }
+
+ private:
+  struct Chunk {
+    char* data;
+    size_t size;
+  };
+
+  std::vector<Chunk> chunks_;
+  size_t active_ = 0;  // chunk currently being bumped
+  size_t offset_ = 0;  // cursor within the active chunk
+  size_t chunk_bytes_;
+  size_t bytes_reserved_ = 0;
+  size_t bytes_used_ = 0;
+  size_t resets_ = 0;
+};
+
+// STL-compatible handle onto an Arena. A null arena falls back to the
+// global allocator, so container types can be arena-parameterized
+// unconditionally and only pay the arena semantics when one is attached.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() : arena_(nullptr) {}
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    if (arena_ == nullptr) {
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  void deallocate(T* p, size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena storage is reclaimed wholesale by Arena::Reset().
+  }
+
+  Arena* arena() const { return arena_; }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename A, typename B>
+bool operator==(const ArenaAllocator<A>& a, const ArenaAllocator<B>& b) {
+  return a.arena() == b.arena();
+}
+template <typename A, typename B>
+bool operator!=(const ArenaAllocator<A>& a, const ArenaAllocator<B>& b) {
+  return !(a == b);
+}
+
+}  // namespace androne
+
+#endif  // ANDRONE_UTIL_ARENA_H_

@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/exec/fleet_executor.h"
 #include "src/exec/fleet_world.h"
 #include "src/exec/thread_pool.h"
+#include "src/exec/world_template.h"
 
 namespace androne {
 namespace {
@@ -319,6 +321,123 @@ TEST(FleetWorldTest, TelemetryBatchingPreservesTheFlightDigest) {
             unbatched.counters.at("wire_frames"));
   EXPECT_LT(batched.counters.at("downlink_flushes"),
             unbatched.counters.at("downlink_flushes"));
+}
+
+// --- World templates (boot-once/fork-many, DESIGN.md §14) ---
+
+TEST(WorldTemplateTest, CloneEqualsColdBootAcrossSeedsThreadsAndTracing) {
+  // The acceptance matrix: seed x thread count x traced/untraced. A
+  // templated fleet (one cold boot per row, the rest cloned from the
+  // template blob) must be bit-identical to the template-less fleet —
+  // fleet digest, per-world digest/flight digest, metrics, trace export.
+  const int kWorlds = 4;
+  for (uint64_t base_seed : {uint64_t{2026}, uint64_t{901}}) {
+    for (uint32_t categories : {uint32_t{0}, uint32_t{0xffffffffu}}) {
+      FleetWorldConfig config;
+      config.tenants = 1;
+      config.dwell_s = 5;
+      config.annealing_iterations = 50;
+      config.trace_categories = categories;
+
+      FleetOptions cold_options;
+      cold_options.threads = 1;
+      cold_options.base_seed = base_seed;
+      FleetReport cold =
+          FleetExecutor(cold_options).Run(kWorlds, MakeFleetWorld(config));
+      ASSERT_EQ(cold.completed, kWorlds);
+
+      for (int threads : {1, 2, 8}) {
+        const std::string label = "seed " + std::to_string(base_seed) +
+                                  (categories != 0 ? " traced" : " untraced") +
+                                  " threads " + std::to_string(threads);
+        WorldTemplateCache templates;
+        FleetWorldConfig cloned_config = config;
+        cloned_config.templates = &templates;
+        FleetOptions options;
+        options.threads = threads;
+        options.base_seed = base_seed;
+        FleetReport cloned =
+            FleetExecutor(options).Run(kWorlds, MakeFleetWorld(cloned_config));
+        ASSERT_EQ(cloned.completed, kWorlds) << label;
+        // The blocking builder protocol makes reuse counts deterministic at
+        // any thread count: exactly one miss per boot family.
+        EXPECT_EQ(templates.misses(), 1u) << label;
+        EXPECT_EQ(templates.hits(), static_cast<uint64_t>(kWorlds - 1))
+            << label;
+        EXPECT_EQ(cloned.worlds_cloned, kWorlds - 1) << label;
+        EXPECT_EQ(cloned.templates_built, 1) << label;
+        EXPECT_EQ(cloned.fleet_digest, cold.fleet_digest) << label;
+        EXPECT_EQ(cloned.events_run, cold.events_run) << label;
+        for (int w = 0; w < kWorlds; ++w) {
+          const WorldResult& a = cold.worlds[w];
+          const WorldResult& b = cloned.worlds[w];
+          EXPECT_EQ(a.digest, b.digest) << label << " world " << w;
+          EXPECT_EQ(a.flight_digest, b.flight_digest)
+              << label << " world " << w;
+          EXPECT_EQ(a.counters, b.counters) << label << " world " << w;
+          EXPECT_EQ(a.metrics.ToText(), b.metrics.ToText())
+              << label << " world " << w;
+          EXPECT_EQ(a.trace_text, b.trace_text) << label << " world " << w;
+        }
+      }
+    }
+  }
+}
+
+TEST(WorldTemplateTest, BootRelevantKnobsInvalidateTheTemplate) {
+  // The cache keys on boot-relevant knobs only: a config differing in one
+  // must cold-boot its own template, while post-boundary mission knobs
+  // (tenants, dwell) share the boot family — and the shared-template clone
+  // is still digest-identical to its own cold-booted twin.
+  WorldTemplateCache templates;
+  WorldContext ctx;
+  ctx.index = 0;
+  ctx.seed = FleetExecutor::WorldSeed(77, 0);
+
+  FleetWorldConfig base;
+  base.tenants = 1;
+  base.dwell_s = 5;
+  base.annealing_iterations = 50;
+  base.templates = &templates;
+
+  WorldResult first = RunFleetWorld(base, ctx);
+  ASSERT_TRUE(first.completed);
+  EXPECT_EQ(templates.misses(), 1u);
+  EXPECT_TRUE(first.provision.built_template);
+
+  // Boot-relevant: the memory budget shapes the booted board.
+  FleetWorldConfig budget = base;
+  budget.memory_budget_mb = 2048;
+  ASSERT_TRUE(RunFleetWorld(budget, ctx).completed);
+  EXPECT_EQ(templates.misses(), 2u);
+
+  // Boot-relevant: the legacy sensor path boots a different stack.
+  FleetWorldConfig legacy = base;
+  legacy.sensor_bus = false;
+  legacy.batch_telemetry = false;
+  ASSERT_TRUE(RunFleetWorld(legacy, ctx).completed);
+  EXPECT_EQ(templates.misses(), 3u);
+  EXPECT_EQ(templates.hits(), 0u);
+
+  // Post-boundary mission shape: shares the first boot family...
+  FleetWorldConfig mission = base;
+  mission.tenants = 2;
+  mission.dwell_s = 8;
+  WorldResult cloned = RunFleetWorld(mission, ctx);
+  ASSERT_TRUE(cloned.completed);
+  EXPECT_EQ(templates.misses(), 3u);
+  EXPECT_EQ(templates.hits(), 1u);
+  EXPECT_TRUE(cloned.provision.cloned);
+
+  // ...and the clone is exactly the world a cold boot would have flown.
+  FleetWorldConfig mission_cold = mission;
+  mission_cold.templates = nullptr;
+  WorldResult cold = RunFleetWorld(mission_cold, ctx);
+  ASSERT_TRUE(cold.completed);
+  EXPECT_EQ(cloned.digest, cold.digest);
+  EXPECT_EQ(cloned.flight_digest, cold.flight_digest);
+  EXPECT_EQ(cloned.counters, cold.counters);
+  EXPECT_EQ(cloned.metrics.ToText(), cold.metrics.ToText());
 }
 
 TEST(FleetWorldTest, LegacySensorPathStillFliesTheWorld) {

@@ -10,6 +10,7 @@
 
 #include "src/exec/fleet_executor.h"
 #include "src/exec/fleet_world.h"
+#include "src/exec/world_template.h"
 #include "src/obs/trace.h"
 #include "src/snapshot/checkpoint.h"
 
@@ -183,6 +184,40 @@ TEST(RecoveryEquivalenceTest, ThreadCountInvariantWithCrashes) {
   FleetReport uninterrupted =
       FleetExecutor(options).Run(4, MakeFleetWorld(plain));
   EXPECT_EQ(uninterrupted.fleet_digest, one.fleet_digest);
+}
+
+TEST(RecoveryEquivalenceTest, ReplayFromTemplateBlobStaysBitIdentical) {
+  // Crash recovery composes with world cloning (DESIGN.md §14): a templated
+  // world that crashes with no checkpoint yet rebuilds its replacement
+  // attempt from the template blob (a clone, not a re-boot), and the
+  // recovered run must still be bit-identical to the plain cold-booted
+  // uninterrupted baseline.
+  WorldResult baseline = RunFleetWorld(BaseConfig(), MakeContext(41));
+  ASSERT_TRUE(baseline.completed);
+
+  WorldTemplateCache templates;
+  FleetWorldConfig config = BaseConfig();
+  config.templates = &templates;
+  config.crash_at_s = {12.0};
+  WorldResult recovered = RunFleetWorld(config, MakeContext(41));
+  EXPECT_EQ(recovered.recovery.crashes, 1);
+  EXPECT_EQ(recovered.recovery.restores, 0);
+  EXPECT_EQ(recovered.recovery.replays_from_boot, 1);
+  // The first attempt cold-boots and publishes; the post-crash replay
+  // attempt clones from the published blob.
+  EXPECT_EQ(templates.misses(), 1u);
+  EXPECT_GE(templates.hits(), 1u);
+  EXPECT_TRUE(recovered.provision.cloned);
+  ExpectEquivalent(baseline, recovered, "replay from template blob");
+
+  // Checkpointed recovery under templates stays exact too.
+  FleetWorldConfig checkpointed = config;
+  checkpointed.checkpoint = PhaseBoundaryCadence();
+  checkpointed.crash_at_s = {8.0, 20.0};
+  WorldResult restored = RunFleetWorld(checkpointed, MakeContext(41));
+  EXPECT_EQ(restored.recovery.crashes, 2);
+  EXPECT_EQ(restored.recovery.restores, 2);
+  ExpectEquivalent(baseline, restored, "checkpoint restore under templates");
 }
 
 TEST(RecoveryEquivalenceTest, GiveUpAfterRestoreBudgetIsScenarioOutcome) {

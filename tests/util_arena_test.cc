@@ -1,0 +1,132 @@
+// Arena allocator edge cases (DESIGN.md §14): alignment, chunk growth,
+// oversized requests, reset/reuse semantics, and the STL-facing
+// ArenaAllocator with its heap fallback.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/util/arena.h"
+
+namespace androne {
+namespace {
+
+bool IsAligned(const void* p, size_t align) {
+  return reinterpret_cast<uintptr_t>(p) % align == 0;
+}
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(1024);
+  char* a = static_cast<char*>(arena.Allocate(3, 1));
+  char* b = static_cast<char*>(arena.Allocate(8, 8));
+  char* c = static_cast<char*>(arena.Allocate(1, 64));
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(IsAligned(b, 8));
+  EXPECT_TRUE(IsAligned(c, 64));
+  // Disjoint: writing each region must not clobber the others.
+  a[0] = 'a';
+  b[0] = 'b';
+  c[0] = 'c';
+  EXPECT_EQ(a[0], 'a');
+  EXPECT_EQ(b[0], 'b');
+  EXPECT_EQ(arena.chunks(), 1u);
+}
+
+TEST(ArenaTest, GrowsByWholeChunksAndTracksReservation) {
+  Arena arena(256);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  for (int i = 0; i < 16; ++i) arena.Allocate(100, 8);
+  EXPECT_GT(arena.chunks(), 1u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+  EXPECT_GE(arena.bytes_used(), 1600u);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(128);
+  void* small = arena.Allocate(16, 8);
+  void* big = arena.Allocate(4096, 16);
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(big, nullptr);
+  EXPECT_TRUE(IsAligned(big, 16));
+  EXPECT_EQ(arena.chunks(), 2u);
+  // The next small allocation must not be forced into a huge chunk.
+  size_t reserved = arena.bytes_reserved();
+  arena.Allocate(16, 8);
+  EXPECT_GE(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, ResetRetainsChunksAndReusesThem) {
+  Arena arena(512);
+  for (int i = 0; i < 8; ++i) arena.Allocate(400, 8);
+  size_t chunks = arena.chunks();
+  size_t reserved = arena.bytes_reserved();
+  ASSERT_GT(chunks, 1u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.chunks(), chunks);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.resets(), 1u);
+
+  // The same allocation pattern after Reset must not grow the arena:
+  // that is the no-global-allocator-on-the-fly-path property.
+  for (int i = 0; i < 8; ++i) arena.Allocate(400, 8);
+  EXPECT_EQ(arena.chunks(), chunks);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, ZeroByteAllocationIsValidAndUnique) {
+  Arena arena(128);
+  void* a = arena.Allocate(0, 1);
+  void* b = arena.Allocate(0, 1);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+}
+
+TEST(ArenaTest, ReleaseDropsEverything) {
+  Arena arena(128);
+  arena.Allocate(64, 8);
+  arena.Release();
+  EXPECT_EQ(arena.chunks(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  // Still usable after Release.
+  EXPECT_NE(arena.Allocate(8, 8), nullptr);
+}
+
+TEST(ArenaAllocatorTest, VectorUsesArenaStorage) {
+  Arena arena(4096);
+  std::vector<uint64_t, ArenaAllocator<uint64_t>> v{
+      ArenaAllocator<uint64_t>(&arena)};
+  for (uint64_t i = 0; i < 200; ++i) v.push_back(i);
+  EXPECT_GT(arena.bytes_used(), 200 * sizeof(uint64_t) - 1);
+  for (uint64_t i = 0; i < 200; ++i) ASSERT_EQ(v[i], i);
+}
+
+TEST(ArenaAllocatorTest, MapUsesArenaStorage) {
+  Arena arena(4096);
+  using Alloc = ArenaAllocator<std::pair<const uint64_t, uint64_t>>;
+  std::map<uint64_t, uint64_t, std::less<uint64_t>, Alloc> m{Alloc(&arena)};
+  for (uint64_t i = 0; i < 64; ++i) m[i] = i * 3;
+  EXPECT_GT(arena.bytes_used(), 0u);
+  EXPECT_EQ(m.at(63), 189u);
+  m.erase(12);  // node "free" is a no-op into the arena
+  EXPECT_EQ(m.size(), 63u);
+}
+
+TEST(ArenaAllocatorTest, NullArenaFallsBackToHeap) {
+  std::vector<int, ArenaAllocator<int>> v;  // default: no arena
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v[99], 99);
+}
+
+TEST(ArenaAllocatorTest, EqualityIsArenaIdentity) {
+  Arena a(128), b(128);
+  EXPECT_TRUE(ArenaAllocator<int>(&a) == ArenaAllocator<char>(&a));
+  EXPECT_TRUE(ArenaAllocator<int>(&a) != ArenaAllocator<int>(&b));
+  EXPECT_TRUE(ArenaAllocator<int>() == ArenaAllocator<long>());
+}
+
+}  // namespace
+}  // namespace androne
