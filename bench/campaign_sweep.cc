@@ -16,11 +16,16 @@
 //   --repro NAME       re-run one scenario by instance name with full
 //                      tracing and exit (pairs with --trace)
 //   --trace PATH       where --repro writes the full trace text
+//   --baseline PATH    a prior run's --json report; the sweep diffs triage
+//                      buckets against it and fails on newly-appearing
+//                      unexpected failure buckets (regressions), while
+//                      flagging resolved ones
 //   --json PATH        machine-readable results
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -242,6 +247,66 @@ struct Pass {
   bool matches_reference = false;
 };
 
+// Triage-bucket diff against a prior run's --json report. A bucket is keyed
+// by its canonical assertion expression (or divergence signature), so the
+// same failure mode lands in the same bucket across runs — a key present
+// now but absent from the baseline is a newly-appearing failure mode.
+struct BaselineDiff {
+  bool loaded = false;
+  std::string error;
+  std::string campaign;          // Baseline's campaign name (sanity check).
+  std::vector<std::string> new_unexpected;  // Regressions: new + !expected.
+  std::vector<std::string> new_expected;    // New but expect_fail families.
+  std::vector<std::string> resolved;        // In baseline, gone now.
+};
+
+BaselineDiff DiffAgainstBaseline(const char* path,
+                                 const CampaignReport& current) {
+  BaselineDiff diff;
+  std::ifstream in(path);
+  if (!in) {
+    diff.error = std::string("cannot open baseline report ") + path;
+    return diff;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  StatusOr<JsonValue> doc = ParseJson(text.str());
+  if (!doc.ok()) {
+    diff.error = std::string("baseline report ") + path + ": " +
+                 doc.status().message();
+    return diff;
+  }
+  const JsonValue* buckets = doc->Find("buckets");
+  if (buckets == nullptr || !buckets->is_array()) {
+    diff.error = std::string("baseline report ") + path +
+                 ": no \"buckets\" array (not a campaign_sweep --json file?)";
+    return diff;
+  }
+  diff.loaded = true;
+  diff.campaign = doc->GetStringOr("campaign", "");
+  std::set<std::string> baseline_keys;
+  for (const JsonValue& bucket : buckets->AsArray()) {
+    const std::string key = bucket.GetStringOr("key", "");
+    if (!key.empty()) {
+      baseline_keys.insert(key);
+    }
+  }
+  std::set<std::string> current_keys;
+  for (const FailureBucket& bucket : current.buckets) {
+    current_keys.insert(bucket.key);
+    if (baseline_keys.count(bucket.key) == 0) {
+      (bucket.expected ? diff.new_expected : diff.new_unexpected)
+          .push_back(bucket.key);
+    }
+  }
+  for (const std::string& key : baseline_keys) {
+    if (current_keys.count(key) == 0) {
+      diff.resolved.push_back(key);
+    }
+  }
+  return diff;
+}
+
 CampaignReport RunPass(const std::string& name,
                        const std::vector<ScenarioSpec>& scenarios,
                        int threads) {
@@ -291,6 +356,7 @@ int Run(int argc, char** argv) {
   const char* dump_path = FlagArg(argc, argv, "--dump-manifest");
   const char* repro_name = FlagArg(argc, argv, "--repro");
   const char* trace_path = FlagArg(argc, argv, "--trace");
+  const char* baseline_path = FlagArg(argc, argv, "--baseline");
   const char* json_path = JsonPathArg(argc, argv);
   const char* threads_arg = FlagArg(argc, argv, "--threads");
   const int threads = threads_arg != nullptr ? std::atoi(threads_arg) : 1;
@@ -386,6 +452,43 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(reference.template_misses),
               static_cast<unsigned long long>(reference.template_hits));
   std::printf("%s", reference.ToText().c_str());
+
+  // Baseline diff: newly-appearing unexpected buckets are regressions the
+  // exit code refuses to swallow; resolved buckets are progress worth a
+  // line in the log.
+  BaselineDiff diff;
+  bool baseline_clean = true;
+  if (baseline_path != nullptr) {
+    diff = DiffAgainstBaseline(baseline_path, reference);
+    if (!diff.loaded) {
+      std::printf("\n  baseline: %s\n", diff.error.c_str());
+      baseline_clean = false;
+    } else {
+      if (!diff.campaign.empty() && diff.campaign != campaign.name) {
+        std::printf("\n  baseline: WARNING — comparing campaign \"%s\" "
+                    "against baseline of \"%s\"\n",
+                    campaign.name.c_str(), diff.campaign.c_str());
+      }
+      std::printf("\n  baseline diff vs %s:\n", baseline_path);
+      for (const std::string& key : diff.new_unexpected) {
+        std::printf("    NEW unexpected bucket: %s\n", key.c_str());
+      }
+      for (const std::string& key : diff.new_expected) {
+        std::printf("    new expected bucket:   %s\n", key.c_str());
+      }
+      for (const std::string& key : diff.resolved) {
+        std::printf("    resolved bucket:       %s\n", key.c_str());
+      }
+      if (diff.new_unexpected.empty() && diff.new_expected.empty() &&
+          diff.resolved.empty()) {
+        std::printf("    no bucket changes\n");
+      }
+      baseline_clean = diff.new_unexpected.empty();
+      std::printf("  baseline verdict: %s\n",
+                  baseline_clean ? "no new unexpected failure buckets"
+                                 : "NEW UNEXPECTED FAILURE BUCKETS");
+    }
+  }
   BenchNote("every scenario seed chains from (campaign seed, template, "
             "instance) — the sweep replays bit-identically anywhere");
 
@@ -429,9 +532,29 @@ int Run(int argc, char** argv) {
       rows.push_back(JsonValue(row));
     }
     doc["rows"] = JsonValue(rows);
+    if (baseline_path != nullptr) {
+      JsonObject b;
+      b["path"] = baseline_path;
+      b["loaded"] = diff.loaded;
+      if (!diff.error.empty()) {
+        b["error"] = diff.error;
+      }
+      auto keys = [](const std::vector<std::string>& v) {
+        JsonArray a;
+        for (const std::string& key : v) {
+          a.push_back(JsonValue(key));
+        }
+        return JsonValue(a);
+      };
+      b["new_unexpected_buckets"] = keys(diff.new_unexpected);
+      b["new_expected_buckets"] = keys(diff.new_expected);
+      b["resolved_buckets"] = keys(diff.resolved);
+      b["clean"] = baseline_clean;
+      doc["baseline"] = JsonValue(b);
+    }
     WriteJsonDoc(json_path, doc);
   }
-  return deterministic && reference.unexpected == 0 ? 0 : 1;
+  return deterministic && reference.unexpected == 0 && baseline_clean ? 0 : 1;
 }
 
 }  // namespace

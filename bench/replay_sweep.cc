@@ -1,0 +1,265 @@
+// Replay sweep (DESIGN.md §15): record one seeded world per fault family,
+// replay it from the log, and prove the two headline claims — the replay
+// lands on the exact bytes of the recording run (digest, flight digest,
+// metrics, trace), and it gets there at least twice as fast. The speedup
+// comes from what replay skips: sensor synthesis, estimator filtering, the
+// attitude cascade, physics integration, and planner annealing; the
+// discrete layer (clock, MAVLink, proxy, safety supervisor, mission
+// driver, telemetry, metrics) re-executes live.
+//
+// Timing uses process CPU time, not wall time: replay and resim are both
+// CPU-bound single-world runs, and CPU time is stable where wall time
+// jitters with scheduler noise. Each cell is best-of --reps.
+//
+// The sweep also exercises fork-and-explore: a what-if fan-out from the
+// baseline world's last decision-point checkpoint, whose control branch
+// must continue the recorded timeline bit-identically.
+//
+// Flags:
+//   --reps N       repetitions per timed cell, best-of (default 3)
+//   --seed N       world seed (default 2026)
+//   --branches N   fork-and-explore branch count (default 4)
+//   --json PATH    machine-readable results; the CI gate greps for
+//                  "digest_match": true and "replay_speedup_ge_2": true
+#include <ctime>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/exec/fleet_executor.h"
+#include "src/exec/fleet_world.h"
+#include "src/hw/sensor_faults.h"
+#include "src/net/fault_injector.h"
+#include "src/replay/explore.h"
+#include "src/replay/replay_log.h"
+#include "src/util/logging.h"
+
+namespace androne {
+namespace {
+
+constexpr uint64_t kDefaultSeed = 2026;
+constexpr int kDefaultReps = 3;
+constexpr int kDefaultBranches = 4;
+
+// The reference mission (same as the recovery sweep): two tenants with
+// long dwells, a ~128 sim-second flight. Long missions are the regime
+// replay is for — the longer the flight, the more continuous-plane work
+// the log amortizes away.
+FleetWorldConfig MissionConfig() {
+  FleetWorldConfig config;
+  config.tenants = 2;
+  config.dwell_s = 15;
+  config.annealing_iterations = 200;
+  return config;
+}
+
+double CpuNowS() {
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct Timed {
+  WorldResult result;
+  double cpu_s = 0;  // Best of the repetitions.
+};
+
+Timed RunTimed(const FleetWorldConfig& config, uint64_t seed, int reps) {
+  Timed timed;
+  for (int rep = 0; rep < reps; ++rep) {
+    WorldContext ctx;
+    ctx.seed = seed;
+    const double start = CpuNowS();
+    WorldResult result = RunFleetWorld(config, ctx);
+    const double cpu_s = CpuNowS() - start;
+    if (rep == 0 || cpu_s < timed.cpu_s) {
+      timed.cpu_s = cpu_s;
+    }
+    timed.result = std::move(result);
+  }
+  return timed;
+}
+
+bool Matches(const WorldResult& replayed, const WorldResult& baseline) {
+  return replayed.completed == baseline.completed &&
+         replayed.digest == baseline.digest &&
+         replayed.flight_digest == baseline.flight_digest &&
+         replayed.counters == baseline.counters &&
+         replayed.metrics.Digest() == baseline.metrics.Digest() &&
+         replayed.trace_text == baseline.trace_text;
+}
+
+struct Family {
+  const char* name;
+  const FaultPlan* net_faults = nullptr;
+  const SensorFaultPlan* sensor_faults = nullptr;
+};
+
+struct Row {
+  std::string family;
+  double resim_ms = 0;
+  double replay_ms = 0;
+  double speedup = 0;
+  bool digest_match = false;
+  uint64_t ticks = 0;
+  uint64_t log_bytes = 0;
+  uint64_t underruns = 0;
+};
+
+int Run(int argc, char** argv) {
+  const char* reps_arg = FlagArg(argc, argv, "--reps");
+  const char* seed_arg = FlagArg(argc, argv, "--seed");
+  const char* branches_arg = FlagArg(argc, argv, "--branches");
+  const char* json_path = JsonPathArg(argc, argv);
+
+  const int reps =
+      std::max(1, reps_arg != nullptr ? std::atoi(reps_arg) : kDefaultReps);
+  const uint64_t seed = seed_arg != nullptr
+                            ? std::strtoull(seed_arg, nullptr, 0)
+                            : kDefaultSeed;
+  const int branches = std::max(
+      1, branches_arg != nullptr ? std::atoi(branches_arg) : kDefaultBranches);
+
+  SetMinLogLevel(LogLevel::kWarning);
+  BenchHeader("Replay sweep",
+              "record-once replay: bit-identity and resim speedup");
+
+  // The fault families the sweep records under. Chaos makes the claim
+  // stronger, not weaker: a replayed world re-executes the discrete layer
+  // (failsafes, glitch handling, retries) against the recorded plane, so
+  // the equivalence must hold under fault pressure too.
+  FaultPlan link_loss;
+  (void)link_loss.AddBurstLoss(Seconds(20), Seconds(60), 0.15);
+  SensorFaultPlan sensor_chaos;
+  (void)sensor_chaos.AddNoiseInflation(SensorChannel::kGps, Seconds(25),
+                                       Seconds(30), 1.5);
+  (void)sensor_chaos.AddBaroSpike(Seconds(60), Seconds(20), 12.0, 0.02);
+  const std::vector<Family> families = {
+      {"baseline", nullptr, nullptr},
+      {"link_loss", &link_loss, nullptr},
+      {"sensor_chaos", nullptr, &sensor_chaos},
+  };
+
+  std::printf("  seed %llx, best of %d reps, CPU time\n\n",
+              static_cast<unsigned long long>(seed), reps);
+  std::printf("  %-14s %10s %10s %9s %10s %10s  %s\n", "family", "resim ms",
+              "replay ms", "speedup", "ticks", "log KB", "digest");
+
+  std::vector<Row> rows;
+  bool all_match = true;
+  double min_speedup = 0;
+  for (const Family& family : families) {
+    FleetWorldConfig mission = MissionConfig();
+    mission.net_faults = family.net_faults;
+    mission.sensor_faults = family.sensor_faults;
+
+    // Record once (untimed), then time live resim vs replay-from-log.
+    ReplayLogStore store;
+    FleetWorldConfig record = mission;
+    record.record_into = &store;
+    WorldContext record_ctx;
+    record_ctx.seed = seed;
+    WorldResult recorded = RunFleetWorld(record, record_ctx);
+    if (recorded.infra_failure) {
+      std::printf("  %-14s RECORD FAILED\n", family.name);
+      all_match = false;
+      continue;
+    }
+
+    Timed resim = RunTimed(mission, seed, reps);
+    FleetWorldConfig replay = mission;
+    replay.replay_from = &store;
+    Timed replayed = RunTimed(replay, seed, reps);
+
+    Row row;
+    row.family = family.name;
+    row.resim_ms = resim.cpu_s * 1e3;
+    row.replay_ms = replayed.cpu_s * 1e3;
+    row.speedup = replayed.cpu_s > 0 ? resim.cpu_s / replayed.cpu_s : 0;
+    row.digest_match = replayed.result.replay.digest_match &&
+                       replayed.result.replay.underruns == 0 &&
+                       Matches(replayed.result, recorded) &&
+                       Matches(resim.result, recorded);
+    row.ticks = replayed.result.replay.ticks;
+    row.log_bytes = replayed.result.replay.log_bytes;
+    row.underruns = replayed.result.replay.underruns;
+    all_match = all_match && row.digest_match;
+    min_speedup = rows.empty() ? row.speedup
+                               : std::min(min_speedup, row.speedup);
+    std::printf("  %-14s %10.2f %10.2f %8.2fx %10llu %10.1f  %s\n",
+                family.name, row.resim_ms, row.replay_ms, row.speedup,
+                static_cast<unsigned long long>(row.ticks),
+                static_cast<double>(row.log_bytes) / 1024.0,
+                row.digest_match ? "identical" : "DIVERGED");
+    rows.push_back(row);
+  }
+
+  // Fork-and-explore on the baseline family: the control branch must
+  // continue the recorded timeline bit-identically; the divergent branches
+  // just have to come back as data.
+  ExploreOptions explore;
+  explore.config = MissionConfig();
+  explore.seed = seed;
+  explore.branches = branches;
+  explore.threads = 2;
+  auto what_if = ExploreFromDecisionPoint(explore);
+  bool explore_ok = what_if.ok() && what_if->control_match;
+  if (what_if.ok()) {
+    std::printf("\n%s", what_if->ToText().c_str());
+  } else {
+    std::printf("\n  fork-and-explore FAILED: %s\n",
+                what_if.status().message().c_str());
+  }
+  all_match = all_match && explore_ok;
+
+  const bool speedup_ge_2 = min_speedup >= 2.0;
+  std::printf("\n  replayed worlds %s the recording runs\n",
+              all_match ? "MATCH" : "DIVERGE FROM");
+  std::printf("  replay is %.2fx resim at worst — %s the 2x gate\n\n",
+              min_speedup, speedup_ge_2 ? "clears" : "MISSES");
+  BenchNote("a replayed world re-executes the discrete layer against the "
+            "recorded flight plane and lands on the recording's exact bytes");
+
+  if (json_path != nullptr) {
+    JsonObject doc;
+    doc["bench"] = "replay_sweep";
+    doc["seed"] = HexDigest(seed);
+    doc["reps"] = static_cast<double>(reps);
+    doc["digest_match"] = all_match;
+    doc["replay_speedup_ge_2"] = speedup_ge_2;
+    doc["min_speedup"] = min_speedup;
+    doc["explore_branches"] =
+        static_cast<double>(what_if.ok() ? what_if->branches.size() : 0);
+    doc["explore_branches_completed"] = static_cast<double>(
+        what_if.ok() ? what_if->branches_completed : 0);
+    doc["explore_control_match"] = explore_ok;
+    JsonArray out_rows;
+    for (const Row& row : rows) {
+      JsonObject r;
+      r["family"] = row.family;
+      r["resim_ms"] = row.resim_ms;
+      r["replay_ms"] = row.replay_ms;
+      r["speedup"] = row.speedup;
+      r["digest_match"] = row.digest_match;
+      r["ticks"] = static_cast<double>(row.ticks);
+      r["log_bytes"] = static_cast<double>(row.log_bytes);
+      r["underruns"] = static_cast<double>(row.underruns);
+      out_rows.push_back(JsonValue(r));
+    }
+    doc["rows"] = JsonValue(out_rows);
+    WriteJsonDoc(json_path, doc);
+  }
+  // Exit gates on correctness only; the 2x speedup gate lives in the CI
+  // grep of the JSON so a noisy box fails loudly there, not silently here.
+  return all_match ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace androne
+
+int main(int argc, char** argv) { return androne::Run(argc, argv); }

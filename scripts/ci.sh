@@ -24,11 +24,14 @@
 # determinism across repeats and thread counts; and BENCH_recovery.json
 # (bench/recovery_sweep): crash/restore equivalence — a crashed world
 # restored from its latest checkpoint must replay bit-identical to the
-# uninterrupted run (the grep gate is "digest_match": true). A
-# ~74-scenario campaign smoke also gates both the plain and sanitizer
-# builds: every failure must land in an expected bucket (unexpected == 0),
-# and the recovery-equivalence tests run on the plain, ASan/UBSan, and
-# TSan builds.
+# uninterrupted run (the grep gate is "digest_match": true); and
+# BENCH_replay.json (bench/replay_sweep): record-once replay — a world
+# replayed from its log must land on the recording's exact bytes
+# ("digest_match": true) at better than twice resim speed
+# ("replay_speedup_ge_2": true). A ~74-scenario campaign smoke also gates
+# both the plain and sanitizer builds: every failure must land in an
+# expected bucket (unexpected == 0), and the recovery-equivalence and
+# replay-equivalence tests run on the plain, ASan/UBSan, and TSan builds.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -88,15 +91,18 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # binary). The clone-determinism tests ride inside exec_test and
   # recovery_test, so all three builds (plain ctest, ASan/UBSan ctest,
   # TSan below) exercise them.
-  echo "=== exec + determinism + recovery tests: sanitizer build (thread) ==="
+  echo "=== exec + determinism + recovery + replay tests: sanitizer build (thread) ==="
   cmake -S . -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DANDRONE_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target exec_test determinism_test \
-        trace_golden_test recovery_test util_test
+        trace_golden_test recovery_test replay_test util_test
   ./build-tsan/tests/exec_test
   ./build-tsan/tests/determinism_test
   ./build-tsan/tests/trace_golden_test
   ./build-tsan/tests/recovery_test
+  # Replay under TSan: the shared ReplayLogStore (record fleet, replay at
+  # 1/2/8 threads) and the parsed-log cache are the cross-thread surfaces.
+  ./build-tsan/tests/replay_test
   ./build-tsan/tests/util_test --gtest_filter='*Arena*'
 
   # The same campaign smoke under ASan/UBSan: fault windows, triage
@@ -163,6 +169,18 @@ if ! grep -q '"digest_match": true' BENCH_recovery.json; then
   exit 1
 fi
 echo "wrote BENCH_recovery.json"
+
+echo "=== bench: replay sweep ==="
+./build/bench/replay_sweep --json BENCH_replay.json
+if ! grep -q '"digest_match": true' BENCH_replay.json; then
+  echo "FAIL: a replayed world diverged from its recording run" >&2
+  exit 1
+fi
+if ! grep -q '"replay_speedup_ge_2": true' BENCH_replay.json; then
+  echo "FAIL: replay is under the 2x resim-speedup floor" >&2
+  exit 1
+fi
+echo "wrote BENCH_replay.json"
 
 echo "=== bench: chaos campaign (full sweep) ==="
 ./build/bench/campaign_sweep --json BENCH_campaign.json

@@ -199,6 +199,10 @@ class AnDroneSystem {
   const SensorFaultInjector* sensor_fault_injector() const {
     return sensor_fault_injector_.get();
   }
+  // Mutable view for the replay engine's footer install (DESIGN.md §15).
+  SensorFaultInjector* mutable_sensor_fault_injector() {
+    return sensor_fault_injector_.get();
+  }
 
  private:
   // Planner-endpoint MAVLink helpers.

@@ -98,6 +98,25 @@ struct WorldResult {
     uint64_t arena_chunks = 0;
   };
   Provision provision;
+  // Record/replay bookkeeping (DESIGN.md §15). Same discipline as
+  // |Recovery| and |Provision|: a replayed world must be bit-identical to
+  // the run that recorded it everywhere that merges or digests, so replay
+  // telemetry (log sizes, tick counts, the digest-match verdict, governor
+  // pacing) rides in this side struct only.
+  struct Replay {
+    bool recorded = false;   // This run produced a replay log.
+    bool replayed = false;   // This run was driven from a replay log.
+    // Replay only: digest, flight digest, metrics digest, trace hash, and
+    // completion all matched the recording run's footer.
+    bool digest_match = false;
+    uint64_t log_bytes = 0;
+    uint64_t ticks = 0;       // Ticks recorded (record) / installed (replay).
+    uint64_t underruns = 0;   // Replay ticks the log ran dry (live fallback).
+    // --speed governor pacing (0 when unthrottled).
+    int64_t governor_slept_us = 0;
+    int64_t governor_sleeps = 0;
+  };
+  Replay replay;
   // Scenario identity and per-assertion failures, filled by campaign runs
   // (empty for plain fleet benches). Assertions are canonical expression
   // strings — triage buckets key on them.

@@ -19,10 +19,13 @@
 #include "src/net/link_model.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/replay/replay_log.h"
 #include "src/snapshot/checkpoint.h"
 #include "src/util/arena.h"
 #include "src/util/bytes.h"
 #include "src/util/fault_plan.h"
+#include "src/util/logging.h"
+#include "src/util/time_governor.h"
 
 namespace androne {
 
@@ -317,7 +320,46 @@ class WorldAttempt {
     // ScheduleAt clamps to now, so a crash time inside the boot warmup
     // lands at the first mission pulse.
     ArmCrashEvents();
+
+    // Record/replay attachment (DESIGN.md §15). Hooks draw no randomness,
+    // so attaching after the reseed boundary keeps all three boot paths
+    // byte-equivalent. Replay parses and validates the log up front — a
+    // missing/mismatched/corrupt log fails the build, never mid-flight.
+    if (config_.replay_from != nullptr) {
+      auto parsed = config_.replay_from->Parsed(ctx_.seed, fingerprint_);
+      if (!parsed.ok()) {
+        return parsed.status();
+      }
+      replay_log_ = std::move(*parsed);
+      system_->flight().SetPlaneSource([this]() -> const FlightPlaneSample* {
+        if (replay_cursor_ >= replay_log_->ticks().size()) {
+          return nullptr;
+        }
+        return &replay_log_->ticks()[replay_cursor_++];
+      });
+    }
+    if (config_.record_into != nullptr) {
+      recorder_ = std::make_unique<ReplayLogWriter>(ctx_.seed, fingerprint_);
+      system_->flight().SetPlaneRecorder(
+          [this](const FlightPlaneSample& sample) {
+            recorder_->Append(sample);
+          });
+    }
+
     boot_ns_ = WallNowNs() - boot_start_ns;
+    return OkStatus();
+  }
+
+  // Fork-and-explore (DESIGN.md §15): overlays a decision-point checkpoint
+  // on the freshly built world, then (for divergent branches) re-seeds
+  // every RNG stream so the continuation explores a different future.
+  // reseed == 0 is the control branch: the original streams continue and
+  // the tail must reproduce the recorded run bit-identically.
+  Status ForkFrom(const std::string& blob, uint64_t reseed) {
+    RETURN_IF_ERROR(RestoreFromBlob(blob));
+    if (reseed != 0) {
+      system_->ReseedStreams(reseed);
+    }
     return OkStatus();
   }
 
@@ -417,29 +459,56 @@ class WorldAttempt {
   }
 
   Status FlyImpl(bool resumed, CheckpointStore* store) {
+    if (config_.speed > 0) {
+      TimeGovernor::Options pace;
+      pace.speed = config_.speed;
+      governor_ = std::make_unique<TimeGovernor>(pace);
+      governor_->Start(clock_.now());
+    }
     system_->SetMissionPulse([this, store] {
       if (crashed_) {
         return false;  // The world process dies here.
       }
-      MaybeCheckpoint(store);
+      if (governor_ != nullptr) {
+        governor_->Pace(clock_.now());
+      }
+      // A replaying world never checkpoints: the skipped continuous layer
+      // (physics internals, estimator filter state, sensor RNG streams)
+      // is deliberately stale, so a blob captured here could not restore.
+      if (replay_log_ == nullptr) {
+        MaybeCheckpoint(store);
+      }
       return true;
     });
     if (!jobs_.empty()) {
-      EnergyModel energy;
-      PlannerConfig pc;
-      pc.depot = kFleetBase;
-      pc.fleet_size = 1;
-      pc.annealing_iterations = config_.annealing_iterations;
-      FlightPlanner planner(energy, pc);
-      auto plan = planner.Plan(jobs_);
-      if (!plan.ok()) {
-        return plan.status();
+      PlannedRoute route;
+      if (replay_log_ != nullptr && replay_log_->have_plan()) {
+        // Replay skips the planner's annealing entirely — the recorded
+        // route is the one the original run derived (and planning is a
+        // pure function of (config, seed), so re-deriving it would only
+        // burn the CPU the fast path exists to save).
+        route = replay_log_->plan();
+      } else {
+        EnergyModel energy;
+        PlannerConfig pc;
+        pc.depot = kFleetBase;
+        pc.fleet_size = 1;
+        pc.annealing_iterations = config_.annealing_iterations;
+        FlightPlanner planner(energy, pc);
+        auto plan = planner.Plan(jobs_);
+        if (!plan.ok()) {
+          return plan.status();
+        }
+        if (plan->routes.empty()) {
+          return InternalError("fleet world planner produced no route");
+        }
+        route = plan->routes[0];
       }
-      if (plan->routes.empty()) {
-        return InternalError("fleet world planner produced no route");
+      if (recorder_ != nullptr) {
+        recorder_->SetPlan(route);
       }
-      auto flight = resumed ? system_->ResumeRoute(plan->routes[0], jobs_)
-                            : system_->ExecuteRoute(plan->routes[0], jobs_);
+      auto flight = resumed ? system_->ResumeRoute(route, jobs_)
+                            : system_->ExecuteRoute(route, jobs_);
       if (flight.ok()) {
         flight_report_ = std::move(*flight);
       } else if (flight.status().code() == StatusCode::kCancelled &&
@@ -465,6 +534,14 @@ class WorldAttempt {
     // before the counters and latency histogram are read.
     system_->proxy().FlushTelemetryBatch();
     system_->RunClockUntil([] { return false; }, Seconds(1));
+    // Replay: the skipped sensor reads never consulted the fault injector,
+    // so its tallies are installed from the recording run's footer before
+    // the metrics scrape — sensor.* (and the metrics digest) then match.
+    if (replay_log_ != nullptr && replay_log_->footer().have_sensor_counters) {
+      if (SensorFaultInjector* inj = system_->mutable_sensor_fault_injector()) {
+        inj->RestoreCounters(replay_log_->footer().sensor_counters);
+      }
+    }
     return OkStatus();
   }
 
@@ -589,6 +666,49 @@ class WorldAttempt {
     digest = Fnv1a64Value(frames_down_, digest);
     digest = Fnv1a64Value(bytes_down_, digest);
     result.digest = digest;
+  }
+
+  // Replay-engine epilogue, after Finish has scraped the result: seal and
+  // publish the recorded log, verify a replay against the recorded footer,
+  // and surface governor pacing — all into the Replay side struct (never
+  // counters/metrics/digests; see WorldResult::Replay).
+  void FinalizeReplay(WorldResult& result) {
+    const uint64_t trace_hash =
+        Fnv1a64(result.trace_text.data(), result.trace_text.size());
+    if (replay_log_ != nullptr) {
+      const ReplayFooter& footer = replay_log_->footer();
+      result.replay.replayed = true;
+      result.replay.log_bytes = replay_log_->byte_size();
+      result.replay.ticks = system_->flight().replay_ticks();
+      result.replay.underruns = system_->flight().replay_underruns();
+      result.replay.digest_match =
+          result.digest == footer.digest &&
+          result.flight_digest == footer.flight_digest &&
+          result.metrics.Digest() == footer.metrics_digest &&
+          trace_hash == footer.trace_hash &&
+          result.completed == footer.completed;
+    }
+    if (recorder_ != nullptr) {
+      ReplayFooter footer;
+      if (const SensorFaultInjector* inj = system_->sensor_fault_injector()) {
+        footer.have_sensor_counters = true;
+        footer.sensor_counters = inj->counters();
+      }
+      footer.digest = result.digest;
+      footer.flight_digest = result.flight_digest;
+      footer.metrics_digest = result.metrics.Digest();
+      footer.trace_hash = trace_hash;
+      footer.completed = result.completed;
+      std::string bytes = recorder_->Finalize(footer);
+      result.replay.recorded = true;
+      result.replay.log_bytes = bytes.size();
+      result.replay.ticks = recorder_->tick_count();
+      config_.record_into->Put(ctx_.seed, std::move(bytes));
+    }
+    if (governor_ != nullptr) {
+      result.replay.governor_slept_us = governor_->slept_us();
+      result.replay.governor_sleeps = governor_->sleeps();
+    }
   }
 
   // First crash index this life consumed, plus one — the next attempt's
@@ -822,6 +942,13 @@ class WorldAttempt {
   FlightExecutionReport flight_report_;
   bool flight_ok_ = true;
 
+  // Record/replay engine (DESIGN.md §15). The parsed log is shared with
+  // the store's cache (and any sibling replays of the same seed).
+  std::shared_ptr<const ReplayLog> replay_log_;
+  size_t replay_cursor_ = 0;
+  std::unique_ptr<ReplayLogWriter> recorder_;
+  std::unique_ptr<TimeGovernor> governor_;
+
   // Provisioning telemetry (side-struct data; never digested).
   bool cloned_ = false;
   bool built_template_ = false;
@@ -850,9 +977,27 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
   result.seed = ctx.seed;
   ScratchArenaGuard scratch(ctx.arena);
 
+  // The replay engine and the crash fault family are mutually exclusive: a
+  // recovery loop re-runs ticks from the last checkpoint, which would
+  // duplicate recorded samples (record) or desynchronize the tick cursor
+  // (replay). Reject the combination loudly instead of corrupting a log.
+  if ((config.record_into != nullptr || config.replay_from != nullptr ||
+       config.fork_blob != nullptr) &&
+      !config.crash_at_s.empty()) {
+    ALOG(kError, "fleet")
+        << "world " << ctx.index
+        << ": record/replay/fork cannot be combined with crash_at_s";
+    result.infra_failure = true;
+    return result;
+  }
+
   // Checkpoints and the restore budget outlive individual attempts — a
-  // crash kills the world, not its persisted state.
-  CheckpointStore store;
+  // crash kills the world, not its persisted state. A caller-owned sink
+  // (fork-and-explore harvesting decision points) substitutes for the
+  // run-local store when configured.
+  CheckpointStore local_store;
+  CheckpointStore& store =
+      config.checkpoint_sink != nullptr ? *config.checkpoint_sink : local_store;
   CheckpointStore* store_ptr = config.checkpoint.enabled() ? &store : nullptr;
   RestoreSupervisor restore_supervisor(config.restore,
                                        SplitMix64(ctx.seed ^ 0x5e5c0ffe));
@@ -865,7 +1010,13 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
       return result;
     }
     bool resumed = false;
-    if (crashes_consumed > 0 && store.count() > 0) {
+    if (config.fork_blob != nullptr) {
+      if (!attempt.ForkFrom(*config.fork_blob, config.fork_reseed).ok()) {
+        result.infra_failure = true;
+        return result;
+      }
+      resumed = true;
+    } else if (crashes_consumed > 0 && store.count() > 0) {
       auto blob = store.Latest();
       if (!blob.ok() || !attempt.RestoreFromBlob(*blob).ok()) {
         result.infra_failure = true;
@@ -898,6 +1049,7 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
         // crashed attempt's counters/metrics/trace still export for triage.
         result.recovery.gave_up = true;
         attempt.Finish(result);
+        attempt.FinalizeReplay(result);
         result.completed = false;
         break;
       }
@@ -909,6 +1061,7 @@ WorldResult RunFleetWorld(const FleetWorldConfig& config,
       return result;
     }
     attempt.Finish(result);
+    attempt.FinalizeReplay(result);
     break;
   }
   result.recovery.checkpoints_saved = store.count();

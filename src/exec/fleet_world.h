@@ -19,6 +19,7 @@
 
 namespace androne {
 
+class ReplayLogStore;
 class TraceRecorder;
 class WorldTemplateCache;
 
@@ -114,6 +115,39 @@ struct FleetWorldConfig {
   // default: these are wall-clock/placement values, and per-world metrics
   // must stay deterministic for the cross-thread-count digest contract.
   bool provision_metrics = false;
+
+  // --- Record-once replay engine (DESIGN.md §15) ---
+  // Record: each world serializes its continuous flight plane (per-tick
+  // estimator outputs + ground truth + wake latency), the planned route,
+  // and an expected-outcome footer into this store, keyed by the world's
+  // own seed. Borrowed, thread-safe, must outlive the run.
+  ReplayLogStore* record_into = nullptr;
+  // Replay: each world loads its log by seed and runs the fast path —
+  // sensor synthesis, estimator filtering, the attitude cascade, physics
+  // integration, and planner annealing are all skipped; the discrete layer
+  // re-executes live and the result is asserted bit-identical via the
+  // footer (WorldResult::Replay::digest_match). A missing log or a
+  // seed/fingerprint mismatch is an infrastructure failure. Both stores
+  // may be set at once (record-during-replay reproduces the log bytes —
+  // the fixed-point property). Incompatible with crash_at_s: a recovery
+  // loop re-runs ticks, which would duplicate or desynchronize the log.
+  const ReplayLogStore* replay_from = nullptr;
+  // Fork-and-explore: restore this checkpoint blob (borrowed; captured by
+  // an earlier run of the SAME config + seed) on top of the freshly built
+  // world and resume the mission from it. fork_reseed != 0 re-seeds every
+  // RNG stream at the fork point for a divergent what-if branch; 0 keeps
+  // the original streams, making the continuation bit-identical to the
+  // recorded run's tail (the control branch).
+  const std::string* fork_blob = nullptr;
+  uint64_t fork_reseed = 0;
+  // Caller-owned checkpoint store. When set, checkpoints persist here (so
+  // fork-and-explore can harvest decision-point blobs after the run)
+  // instead of a run-local store. Borrowed; must outlive the run.
+  CheckpointStore* checkpoint_sink = nullptr;
+  // --speed governor: sim seconds per wall second, paced at the mission
+  // pulse. 0 (default) = unthrottled. Pacing only ever sleeps the worker;
+  // it never touches the SimClock, so digests are identical at any speed.
+  double speed = 0;
 };
 
 // Runs one world to completion (or early abort on fleet cancellation) and

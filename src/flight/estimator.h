@@ -89,6 +89,30 @@ class Estimator {
   // the safety supervisor monitors raw measurements, not blended state.
   const std::array<double, 3>& last_gyro() const { return last_gyro_; }
 
+  // Replay fast path (DESIGN.md §15): installs the externally-consumed
+  // outputs recorded by a reference run, skipping the filter math entirely.
+  // Only the consumed surface is written — attitude, position/velocity,
+  // fix staleness, per-sensor health verdicts, raw rates, dead-reckoning —
+  // so a replayed estimator answers every live query (safety supervisor,
+  // mode logic, telemetry, fence) exactly as the recording run did. The
+  // internal filter state (baro latch, stuck-IMU detector, accept/reject
+  // tallies) is deliberately left stale: a replaying world never
+  // checkpoints and never resumes live filtering mid-replay.
+  void InstallReplayOutputs(
+      const AttitudeEstimate& attitude, const PositionEstimate& position,
+      SimTime last_fix_time,
+      const std::array<SensorHealth, kNumEstimatorSensors>& health,
+      const std::array<double, 3>& gyro, bool dead_reckoning) {
+    attitude_ = attitude;
+    position_ = position;
+    last_fix_time_ = last_fix_time;
+    for (int i = 0; i < kNumEstimatorSensors; ++i) {
+      health_[static_cast<size_t>(i)].health = health[static_cast<size_t>(i)];
+    }
+    last_gyro_ = gyro;
+    dead_reckoning_ = dead_reckoning;
+  }
+
   // Checkpoint/restore (DESIGN.md §13): every blended/latched value, the
   // per-sensor health machines, and the stuck-IMU detector travel together
   // so a restored estimator continues the exact same filter trajectory.

@@ -247,40 +247,85 @@ void FlightController::FastLoop() {
   SimDuration period = SecondsF(1.0 / config_.fast_loop_hz);
   ++fast_loops_;
 
-  // Kernel wake latency: a late wake past the loop budget misses this
-  // control cycle — motors hold their previous outputs (paper §6.2).
-  bool missed = false;
-  if (latency_source_) {
-    double latency_us = latency_source_();
-    if (latency_us > kArdupilotFastLoopBudgetUs) {
-      missed = true;
-      ++missed_deadlines_;
+  // Replay fast path (DESIGN.md §15): drive this tick from the recorded
+  // continuous-plane sample instead of the live sensor → estimator →
+  // attitude-cascade → physics pipeline. The discrete layer below (deadline
+  // accounting, safety supervisor, mode logic, failsafes, flight log) still
+  // executes live against the installed values. A dry source counts an
+  // underrun and falls back to the live pipeline for the tick.
+  const FlightPlaneSample* replay = nullptr;
+  if (plane_source_) {
+    replay = plane_source_();
+    if (replay == nullptr) {
+      ++replay_underruns_;
+    } else {
+      ++replay_ticks_;
     }
+  }
+
+  // Kernel wake latency: a late wake past the loop budget misses this
+  // control cycle — motors hold their previous outputs (paper §6.2). At
+  // replay the recorded per-tick latency substitutes for the sampler
+  // (negative = the recording run had no latency source).
+  double latency_us = -1;
+  if (replay != nullptr) {
+    latency_us = replay->wake_latency_us;
+  } else if (latency_source_) {
+    latency_us = latency_source_();
+  }
+  bool missed = latency_us > kArdupilotFastLoopBudgetUs;
+  if (missed) {
+    ++missed_deadlines_;
   }
   safety_.RecordDeadline(missed);
 
+  if (replay != nullptr) {
+    // Phase 1 of the two-phase install: control logic must see *this*
+    // tick's estimator outputs but the *previous* tick's ground truth
+    // (live physics steps after RunControl), so the estimator installs
+    // here and the truth installs after the control block.
+    std::array<SensorHealth, kNumEstimatorSensors> health;
+    for (int i = 0; i < kNumEstimatorSensors; ++i) {
+      health[static_cast<size_t>(i)] = static_cast<SensorHealth>(
+          replay->est_health[static_cast<size_t>(i)]);
+    }
+    estimator_.InstallReplayOutputs(replay->est_attitude,
+                                    replay->est_position,
+                                    replay->est_last_fix_time, health,
+                                    replay->est_gyro,
+                                    replay->est_dead_reckoning);
+  }
+
   if (!missed) {
-    RunControl(period);
+    RunControl(period, /*replaying=*/replay != nullptr);
   } else if (armed_) {
     // Simplex split: the complex stack lost this cycle, but the safety
     // supervisor is exempt — it still observes, and if it is overriding it
     // still flies instead of letting the motors coast on stale outputs.
     SafetyVerdict verdict = SafetyTick(period);
-    if (verdict.overriding) {
-      std::array<double, kNumMotors> out{0, 0, 0, 0};
-      if (!verdict.cut_motors) {
-        out = OverrideOutput(verdict, period);
+    if (replay == nullptr) {
+      if (verdict.overriding) {
+        std::array<double, kNumMotors> out{0, 0, 0, 0};
+        if (!verdict.cut_motors) {
+          out = OverrideOutput(verdict, period);
+        }
+        last_output_ = out;
+        (void)motors_->SetThrottles(motors_->opener(), out);
+      } else {
+        (void)motors_->SetThrottles(motors_->opener(), last_output_);
       }
-      last_output_ = out;
-      (void)motors_->SetThrottles(motors_->opener(), out);
-    } else {
-      (void)motors_->SetThrottles(motors_->opener(), last_output_);
     }
   }
 
   // Advance the airframe and drain the battery (rotor power only; compute
-  // power is accounted machine-wide by the power model).
-  physics_->Step(period, *motors_);
+  // power is accounted machine-wide by the power model). Phase 2 at
+  // replay: the recorded truth lands here — including rotor_power_w, so
+  // the unchanged Drain line integrates the exact same energy.
+  if (replay != nullptr) {
+    *physics_->mutable_truth() = replay->truth;
+  } else {
+    physics_->Step(period, *motors_);
+  }
   battery_->Drain(physics_->total_rotor_power_w(), period);
 
   // Flight log at log_hz.
@@ -303,31 +348,59 @@ void FlightController::FastLoop() {
     log_.Record(entry);
   }
 
+  // Recorder (active in both modes — record-during-replay must reproduce
+  // the log byte-for-byte): capture exactly what a replaying tick installs,
+  // post-read estimator outputs and post-step truth.
+  if (plane_recorder_) {
+    FlightPlaneSample sample;
+    sample.wake_latency_us = latency_us;
+    sample.est_attitude = estimator_.attitude();
+    sample.est_position = estimator_.position();
+    sample.est_last_fix_time = estimator_.last_fix_time();
+    for (int i = 0; i < kNumEstimatorSensors; ++i) {
+      sample.est_health[static_cast<size_t>(i)] = static_cast<uint8_t>(
+          estimator_.health(static_cast<EstimatorSensor>(i)).health);
+    }
+    sample.est_gyro = estimator_.last_gyro();
+    sample.est_dead_reckoning = estimator_.dead_reckoning();
+    sample.truth = physics_->truth();
+    plane_recorder_(sample);
+  }
+
   fast_loop_event_ = clock_->ScheduleAfter(period, [this] { FastLoop(); });
 }
 
-void FlightController::RunControl(SimDuration dt) {
-  // Sensor reads: IMU every tick; baro/mag at 25 Hz; GPS at 5 Hz.
-  auto imu = sensors_->ReadImu();
-  if (imu.ok()) {
-    estimator_.UpdateImu(*imu, dt);
+void FlightController::RunControl(SimDuration dt, bool replaying) {
+  // Sensor reads: IMU every tick; baro/mag at 25 Hz; GPS at 5 Hz. At
+  // replay the reads and filter updates are skipped (their outputs were
+  // installed by FastLoop) but the cadence stamps still advance, so an
+  // underrun tick that falls back live resumes the exact read schedule.
+  if (!replaying) {
+    auto imu = sensors_->ReadImu();
+    if (imu.ok()) {
+      estimator_.UpdateImu(*imu, dt);
+    }
   }
   if (clock_->now() - last_slow_read_ >= Millis(40)) {
     last_slow_read_ = clock_->now();
-    auto baro = sensors_->ReadBaroAltitude();
-    if (baro.ok()) {
-      estimator_.UpdateBaro(*baro);
-    }
-    auto mag = sensors_->ReadMagHeading();
-    if (mag.ok()) {
-      estimator_.UpdateMag(*mag);
+    if (!replaying) {
+      auto baro = sensors_->ReadBaroAltitude();
+      if (baro.ok()) {
+        estimator_.UpdateBaro(*baro);
+      }
+      auto mag = sensors_->ReadMagHeading();
+      if (mag.ok()) {
+        estimator_.UpdateMag(*mag);
+      }
     }
   }
   if (clock_->now() - last_gps_read_ >= Millis(200)) {
     last_gps_read_ = clock_->now();
-    auto gps = sensors_->ReadGps();
-    if (gps.ok()) {
-      estimator_.UpdateGps(*gps);
+    if (!replaying) {
+      auto gps = sensors_->ReadGps();
+      if (gps.ok()) {
+        estimator_.UpdateGps(*gps);
+      }
     }
     // GPS glitch detection (EKF-failsafe analog): with no fresh fix the
     // position/velocity estimates are stale and must not drive the outer
@@ -380,22 +453,31 @@ void FlightController::RunControl(SimDuration dt) {
 
   // While the supervisor is overriding, the complex mode logic is bypassed
   // entirely — its mission/mode state machines would act on the same
-  // estimates the override distrusts.
-  std::array<double, kNumMotors> out;
+  // estimates the override distrusts. At replay the mode logic still runs
+  // (mission advance, RTL phases, StatusTexts are discrete state) but the
+  // attitude cascade and motor writes are skipped — their only consumer is
+  // the physics step, which the recorded truth replaces.
   if (safety_verdict.overriding) {
-    out = OverrideOutput(safety_verdict, dt);
+    if (!replaying) {
+      std::array<double, kNumMotors> out = OverrideOutput(safety_verdict, dt);
+      last_output_ = out;
+      (void)motors_->SetThrottles(motors_->opener(), out);
+    }
   } else {
     AttitudeTarget target = ComputeModeTarget(dt);
-    const DroneGroundTruth& truth = physics_->truth();
-    // Inner loops consume the *estimated* attitude and the gyro rates
-    // (which the IMU provides essentially directly).
-    out = attitude_ctrl_.Update(
-        target, estimator_.attitude().roll_rad,
-        estimator_.attitude().pitch_rad, estimator_.attitude().yaw_rad,
-        truth.roll_rate_rads, truth.pitch_rate_rads, truth.yaw_rate_rads, dt);
+    if (!replaying) {
+      const DroneGroundTruth& truth = physics_->truth();
+      // Inner loops consume the *estimated* attitude and the gyro rates
+      // (which the IMU provides essentially directly).
+      std::array<double, kNumMotors> out = attitude_ctrl_.Update(
+          target, estimator_.attitude().roll_rad,
+          estimator_.attitude().pitch_rad, estimator_.attitude().yaw_rad,
+          truth.roll_rate_rads, truth.pitch_rate_rads, truth.yaw_rate_rads,
+          dt);
+      last_output_ = out;
+      (void)motors_->SetThrottles(motors_->opener(), out);
+    }
   }
-  last_output_ = out;
-  (void)motors_->SetThrottles(motors_->opener(), out);
 
   // LAND completes when the airframe settles on the ground.
   if (mode_ == CopterMode::kLand && !physics_->truth().airborne &&

@@ -58,10 +58,41 @@ struct FlightControllerConfig {
   SafetyEnvelope safety;
 };
 
+// One fast-loop tick's worth of continuous-flight-plane state (DESIGN.md
+// §15): everything the discrete control/safety/telemetry layer consumes
+// from the sensor→estimator→physics pipeline. Recording this per tick and
+// re-installing it at replay lets the controller skip sensor synthesis,
+// estimator filtering, the attitude cascade, and the physics integration —
+// the expensive continuous math — while the discrete layer (mode logic,
+// failsafes, fence, safety supervisor, MAVLink, flight log) re-executes
+// live and lands on bit-identical digests.
+struct FlightPlaneSample {
+  // Injected kernel wake latency for this tick; < 0 means the recording
+  // run had no latency source attached.
+  double wake_latency_us = -1;
+  // Estimator outputs, as visible after this tick's sensor reads.
+  AttitudeEstimate est_attitude;
+  PositionEstimate est_position;
+  SimTime est_last_fix_time = -1;
+  std::array<uint8_t, kNumEstimatorSensors> est_health{};
+  std::array<double, 3> est_gyro{};
+  bool est_dead_reckoning = false;
+  // Physics ground truth after this tick's integration step.
+  DroneGroundTruth truth;
+};
+
 class FlightController {
  public:
   using Sender = std::function<void(const MavlinkFrame&)>;
   using FenceCallback = std::function<void()>;
+  // Record/replay seams (DESIGN.md §15). The recorder is called once at
+  // the end of every fast-loop tick; it stays active during replay so
+  // record-during-replay reproduces the log byte-for-byte (the fixed-point
+  // property the replay tests pin). The source supplies the next recorded
+  // sample at the start of each tick; returning nullptr (log exhausted)
+  // counts an underrun and falls back to the live pipeline for that tick.
+  using PlaneRecorder = std::function<void(const FlightPlaneSample&)>;
+  using PlaneSource = std::function<const FlightPlaneSample*()>;
 
   FlightController(SimClock* clock, QuadPhysics* physics, MotorSet* motors,
                    SensorSource* sensors, Battery* battery,
@@ -82,6 +113,13 @@ class FlightController {
   // deadline-miss storms with this); overrides any sampler.
   void SetLatencySource(std::function<double()> source) {
     latency_source_ = std::move(source);
+  }
+
+  void SetPlaneRecorder(PlaneRecorder recorder) {
+    plane_recorder_ = std::move(recorder);
+  }
+  void SetPlaneSource(PlaneSource source) {
+    plane_source_ = std::move(source);
   }
 
   // Battery *gauge* seam: what the controller believes about the battery
@@ -130,6 +168,10 @@ class FlightController {
   bool fence_recovering() const { return fence_recovering_; }
   uint64_t fast_loop_count() const { return fast_loops_; }
   uint64_t missed_deadlines() const { return missed_deadlines_; }
+  // Ticks driven from a recorded plane sample / ticks where the source ran
+  // dry and the live pipeline filled in.
+  uint64_t replay_ticks() const { return replay_ticks_; }
+  uint64_t replay_underruns() const { return replay_underruns_; }
   // COMMAND_LONG retransmissions recognized and suppressed (the cached ack
   // is re-sent instead of re-executing the command).
   uint64_t duplicate_commands() const {
@@ -157,7 +199,7 @@ class FlightController {
 
  private:
   void FastLoop();
-  void RunControl(SimDuration dt);
+  void RunControl(SimDuration dt, bool replaying);
   void CheckFence();
   AttitudeTarget ComputeModeTarget(SimDuration dt);
   void Send(const MavMessage& message);
@@ -188,6 +230,10 @@ class FlightController {
   FlightControllerConfig config_;
   std::function<double()> latency_source_;
   std::function<double()> battery_gauge_;
+  PlaneRecorder plane_recorder_;
+  PlaneSource plane_source_;
+  uint64_t replay_ticks_ = 0;
+  uint64_t replay_underruns_ = 0;
 
   Estimator estimator_;
   CommandDeduper deduper_;

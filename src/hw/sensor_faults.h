@@ -119,6 +119,13 @@ class SensorFaultInjector {
 
   const SensorFaultCounters& counters() const { return counters_; }
   Rng& checkpoint_rng() { return rng_; }
+  // Replay fast path (DESIGN.md §15): a replaying world never consults the
+  // injector (the FC's sensor reads are skipped), so the recorded run's
+  // final tallies are installed from the replay-log footer to keep the
+  // sensor.* metrics — and the metrics digest — identical.
+  void RestoreCounters(const SensorFaultCounters& counters) {
+    counters_ = counters;
+  }
 
   // Checkpoint/restore: the noise stream, fault counters, and stuck-value
   // latches are the injector's only dynamic state (the plan is config).

@@ -1,0 +1,144 @@
+#include "src/replay/explore.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/snapshot/checkpoint.h"
+#include "src/util/rng.h"
+
+namespace androne {
+
+namespace {
+
+// Salt for divergent-branch reseeds; any stable constant works, it only
+// needs to decorrelate branch streams from the world's own seed lineage.
+constexpr uint64_t kBranchSalt = 0xf02c'ba5e'd1ce'5eedULL;
+
+BranchOutcome ScrapeBranch(const WorldResult& result, uint64_t reseed) {
+  BranchOutcome out;
+  out.branch = result.index;
+  out.reseed = reseed;
+  out.completed = result.completed;
+  out.infra_failure = result.infra_failure;
+  out.digest = result.digest;
+  out.flight_digest = result.flight_digest;
+  auto counter = [&result](const char* name) {
+    auto it = result.counters.find(name);
+    return it == result.counters.end() ? 0.0 : it->second;
+  };
+  out.waypoints_visited = counter("waypoints_visited");
+  out.flight_time_s = counter("flight_time_s");
+  out.battery_used_j = counter("battery_used_j");
+  return out;
+}
+
+}  // namespace
+
+std::string WhatIfReport::ToText() const {
+  std::string text;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "what-if: fork @ %.1fs, %zu branches, %d completed, "
+                "control %s (blob %llu bytes)\n",
+                ToSecondsF(fork_time), branches.size(), branches_completed,
+                control_match ? "bit-identical" : "DIVERGED",
+                static_cast<unsigned long long>(fork_blob_bytes));
+  text += line;
+  for (const BranchOutcome& b : branches) {
+    std::snprintf(
+        line, sizeof(line),
+        "  branch %d%s: %s, waypoints %.0f, flight %.1fs, "
+        "battery %.0fJ, digest %016llx\n",
+        b.branch, b.reseed == 0 ? " (control)" : "",
+        b.infra_failure ? "INFRA-FAILURE" : (b.completed ? "completed" : "aborted"),
+        b.waypoints_visited, b.flight_time_s, b.battery_used_j,
+        static_cast<unsigned long long>(b.digest));
+    text += line;
+  }
+  return text;
+}
+
+StatusOr<WhatIfReport> ExploreFromDecisionPoint(const ExploreOptions& options) {
+  if (options.branches < 1) {
+    return InvalidArgumentError("explore: need at least one branch");
+  }
+  if (!options.config.crash_at_s.empty()) {
+    return InvalidArgumentError(
+        "explore: crash_at_s cannot be combined with fork-and-explore");
+  }
+
+  // Original run, capturing decision-point checkpoints into a store the
+  // branches can fork from after the world is gone.
+  CheckpointStore decision_points;
+  FleetWorldConfig record_config = options.config;
+  record_config.record_into = nullptr;
+  record_config.replay_from = nullptr;
+  record_config.fork_blob = nullptr;
+  record_config.checkpoint_sink = &decision_points;
+  if (!record_config.checkpoint.enabled()) {
+    record_config.checkpoint.period_s = options.default_checkpoint_period_s;
+  }
+  WorldContext original_ctx;
+  original_ctx.index = 0;
+  original_ctx.seed = options.seed;
+  WhatIfReport report;
+  report.original = RunFleetWorld(record_config, original_ctx);
+  if (report.original.infra_failure) {
+    return InternalError("explore: original run failed to come up");
+  }
+  if (decision_points.count() == 0) {
+    return FailedPreconditionError(
+        "explore: original run captured no checkpoint to fork "
+        "(mission too short for the checkpoint cadence?)");
+  }
+  auto blob = decision_points.Latest();
+  RETURN_IF_ERROR(blob.status());
+  const std::string fork_blob = std::move(*blob);
+  report.fork_time = decision_points.latest_time();
+  report.fork_blob_bytes = fork_blob.size();
+
+  // Branch fan-out. Every branch restores the same blob under the SAME
+  // world seed (the checkpoint header pins it); divergence comes only from
+  // the post-fork reseed. The executor's own per-index seeds are ignored.
+  FleetWorldConfig branch_config = options.config;
+  branch_config.record_into = nullptr;
+  branch_config.replay_from = nullptr;
+  branch_config.checkpoint_sink = nullptr;
+  branch_config.checkpoint = CheckpointPolicy{0, false};
+  branch_config.fork_blob = &fork_blob;
+
+  std::vector<uint64_t> reseeds(static_cast<size_t>(options.branches), 0);
+  for (int b = 1; b < options.branches; ++b) {
+    reseeds[static_cast<size_t>(b)] =
+        SplitMix64(options.seed ^ kBranchSalt ^ static_cast<uint64_t>(b));
+  }
+
+  FleetOptions fleet;
+  fleet.threads = options.threads;
+  fleet.base_seed = options.seed;
+  FleetExecutor executor(fleet);
+  FleetReport fan_out = executor.Run(
+      options.branches, [&](const WorldContext& ctx) {
+        FleetWorldConfig config = branch_config;
+        config.fork_reseed = reseeds[static_cast<size_t>(ctx.index)];
+        WorldContext branch_ctx = ctx;
+        branch_ctx.seed = options.seed;  // Header-pinned; never per-index.
+        return RunFleetWorld(config, branch_ctx);
+      });
+
+  for (const WorldResult& world : fan_out.worlds) {
+    BranchOutcome out =
+        ScrapeBranch(world, reseeds[static_cast<size_t>(world.index)]);
+    if (out.completed) {
+      ++report.branches_completed;
+    }
+    report.branches.push_back(out);
+  }
+  report.control_match =
+      !fan_out.worlds.empty() &&
+      fan_out.worlds[0].digest == report.original.digest &&
+      fan_out.worlds[0].flight_digest == report.original.flight_digest;
+  return report;
+}
+
+}  // namespace androne

@@ -1,0 +1,73 @@
+// Fork-and-explore (DESIGN.md §15): restore a checkpoint captured at a
+// decision point of a recorded run and fly N divergent continuations in
+// parallel through the fleet executor. Branch 0 keeps the original RNG
+// streams — its tail must reproduce the recording run bit-identically (the
+// control that proves the fork machinery is exact); every other branch
+// re-seeds all world streams at the fork point, so its future (sensor
+// noise, link loss, latency draws) diverges while its past is shared. The
+// merged what-if report shows how wide the outcome envelope is from that
+// single decision point.
+#ifndef SRC_REPLAY_EXPLORE_H_
+#define SRC_REPLAY_EXPLORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exec/fleet_executor.h"
+#include "src/exec/fleet_world.h"
+#include "src/util/status.h"
+
+namespace androne {
+
+struct ExploreOptions {
+  // Base world configuration. The replay-engine knobs (record_into,
+  // replay_from, fork_blob, checkpoint_sink) are overwritten internally;
+  // everything else applies to the original run and every branch alike.
+  FleetWorldConfig config;
+  uint64_t seed = 1;
+  // Continuations to fly from the decision point, including the control
+  // branch 0 (so branches = 4 means 1 control + 3 divergent futures).
+  int branches = 4;
+  // Executor threads for the branch fan-out.
+  int threads = 2;
+  // Decision-point capture cadence for the recording run, used only when
+  // config.checkpoint is disabled: the LAST checkpoint captured before the
+  // mission ends becomes the fork point.
+  double default_checkpoint_period_s = 30;
+};
+
+struct BranchOutcome {
+  int branch = 0;
+  uint64_t reseed = 0;  // 0 = control branch (original streams).
+  bool completed = false;
+  bool infra_failure = false;
+  uint64_t digest = 0;
+  uint64_t flight_digest = 0;
+  double waypoints_visited = 0;
+  double flight_time_s = 0;
+  double battery_used_j = 0;
+};
+
+struct WhatIfReport {
+  WorldResult original;
+  SimTime fork_time = 0;         // Sim time of the decision point.
+  uint64_t fork_blob_bytes = 0;  // Size of the forked checkpoint.
+  std::vector<BranchOutcome> branches;
+  // Branch 0 reproduced the original run's digest bit-identically.
+  bool control_match = false;
+  // Branches (control included) that completed their mission.
+  int branches_completed = 0;
+
+  // Human-readable what-if summary, one line per branch.
+  std::string ToText() const;
+};
+
+// Runs the original world once (capturing checkpoints), forks the latest
+// decision-point checkpoint, and fans the branches across a FleetExecutor.
+// Errors when the original run fails or captures no checkpoint to fork.
+StatusOr<WhatIfReport> ExploreFromDecisionPoint(const ExploreOptions& options);
+
+}  // namespace androne
+
+#endif  // SRC_REPLAY_EXPLORE_H_

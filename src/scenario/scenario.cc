@@ -11,10 +11,73 @@ namespace androne {
 
 namespace {
 
+// Splits a latency-SLO metric name "hist.<name>.p<N>" into the histogram
+// name and a percentile fraction. Returns false when |name| is not in the
+// hist.* namespace at all; a hist.* name with a malformed percentile
+// suffix sets |bad_suffix| so the parser can reject it with a real error
+// instead of letting it fail "[missing]" at evaluation time.
+bool SplitHistMetric(const std::string& name, std::string* hist_name,
+                     double* fraction, bool* bad_suffix) {
+  constexpr const char kPrefix[] = "hist.";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.compare(0, kPrefixLen, kPrefix) != 0) {
+    return false;
+  }
+  *bad_suffix = true;  // From here on, every early-out is a malformed name.
+  size_t tail = name.rfind(".p");
+  if (tail == std::string::npos || tail < kPrefixLen) {
+    return false;
+  }
+  int percentile = 0;
+  size_t digits = tail + 2;
+  if (digits == name.size()) {
+    return false;
+  }
+  for (size_t i = digits; i < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9' || percentile > 100) {
+      return false;
+    }
+    percentile = percentile * 10 + (c - '0');
+  }
+  if (percentile < 1 || percentile > 100) {
+    return false;
+  }
+  *hist_name = name.substr(kPrefixLen, tail - kPrefixLen);
+  if (hist_name->empty()) {
+    return false;
+  }
+  *bad_suffix = false;
+  *fraction = percentile / 100.0;
+  return true;
+}
+
 // Resolution order documented on AssertionSpec. Returns false when the
 // metric exists nowhere in the result.
 bool ResolveMetric(const std::string& name, const WorldResult& result,
                    double* out) {
+  {
+    std::string hist_name;
+    double fraction = 0;
+    bool bad_suffix = false;
+    if (SplitHistMetric(name, &hist_name, &fraction, &bad_suffix)) {
+      auto hist = result.histograms.find(hist_name);
+      if (hist == result.histograms.end()) {
+        hist = result.metrics.histograms.find(hist_name);
+        if (hist == result.metrics.histograms.end()) {
+          return false;
+        }
+      }
+      if (hist->second.total_count() == 0) {
+        return false;  // An empty histogram has no tail to gate on.
+      }
+      *out = static_cast<double>(hist->second.Percentile(fraction));
+      return true;
+    }
+    if (bad_suffix) {
+      return false;  // Caught at parse time; unreachable via ParseAssertion.
+    }
+  }
   if (name == "completed") {
     *out = result.completed ? 1.0 : 0.0;
     return true;
@@ -44,6 +107,32 @@ bool ResolveMetric(const std::string& name, const WorldResult& result,
   }
   if (name == "recovery.fixed_point_ok") {
     *out = result.recovery.fixed_point_ok ? 1.0 : 0.0;
+    return true;
+  }
+  // Replay bookkeeping rides the same side-struct convention as recovery,
+  // so replay scenarios gate on it through virtual names too.
+  if (name == "replay.recorded") {
+    *out = result.replay.recorded ? 1.0 : 0.0;
+    return true;
+  }
+  if (name == "replay.replayed") {
+    *out = result.replay.replayed ? 1.0 : 0.0;
+    return true;
+  }
+  if (name == "replay.digest_match") {
+    *out = result.replay.digest_match ? 1.0 : 0.0;
+    return true;
+  }
+  if (name == "replay.ticks") {
+    *out = static_cast<double>(result.replay.ticks);
+    return true;
+  }
+  if (name == "replay.underruns") {
+    *out = static_cast<double>(result.replay.underruns);
+    return true;
+  }
+  if (name == "replay.log_bytes") {
+    *out = static_cast<double>(result.replay.log_bytes);
     return true;
   }
   auto counter = result.counters.find(name);
@@ -181,6 +270,16 @@ StatusOr<AssertionSpec> ParseAssertion(const std::string& expr) {
     return InvalidArgumentError("assertion \"" + expr +
                                 "\": unknown operator \"" + op +
                                 "\" (expected one of: <=, >=, ==, !=, <, >)");
+  }
+  if (metric.compare(0, 5, "hist.") == 0) {
+    std::string hist_name;
+    double fraction = 0;
+    bool bad_suffix = false;
+    if (!SplitHistMetric(metric, &hist_name, &fraction, &bad_suffix)) {
+      return InvalidArgumentError(
+          "assertion \"" + expr + "\": histogram metric must be "
+          "\"hist.<name>.p<N>\" with 1 <= N <= 100");
+    }
   }
   if (IsDigestMetric(metric)) {
     if (spec.op != CompareOp::kEq && spec.op != CompareOp::kNe) {

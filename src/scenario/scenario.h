@@ -33,10 +33,17 @@ const char* CompareOpName(CompareOp op);
 // the WorldResult in this order: the special names ("completed",
 // "recovery.crashes", "recovery.restores", "recovery.replays_from_boot",
 // "recovery.checkpoints_saved", "recovery.gave_up",
-// "recovery.fixed_point_ok"), then result.counters, then the structured
-// metrics counters, then gauges. An unresolvable metric fails the
-// assertion with a distinct "[missing]" signature instead of passing
-// vacuously.
+// "recovery.fixed_point_ok", and the replay bookkeeping mirror
+// "replay.*"), then result.counters, then the structured metrics
+// counters, then gauges. An unresolvable metric fails the assertion with
+// a distinct "[missing]" signature instead of passing vacuously.
+//
+// Latency-SLO assertions: "hist.<name>.p<N> <= 250000" resolves the N-th
+// percentile (1 <= N <= 100, conservative upper bucket bound) of the
+// named histogram — world histograms (e.g. "net.downlink.latency_us")
+// first, then metric histograms — so campaigns can gate on tail latency.
+// The percentile suffix is validated at parse time; a histogram absent
+// from the result reports "[missing]" like any other metric.
 //
 // Digest pinning: the metric names "digest" and "flight_digest" switch the
 // assertion into exact 64-bit mode — "digest == 0x1f00badc0ffee123" — so a

@@ -56,6 +56,12 @@ Status SnapshotReader::BytesInto(std::vector<uint8_t>* out) {
   return OkStatus();
 }
 
+Status SnapshotReader::Skip(size_t n) {
+  RETURN_IF_ERROR(Need(n));
+  pos_ += n;
+  return OkStatus();
+}
+
 Status SnapshotReader::Section(const char tag[5]) {
   RETURN_IF_ERROR(Need(4));
   if (data_.compare(pos_, 4, tag, 4) != 0) {

@@ -87,6 +87,10 @@ class SnapshotReader {
   Status BytesInto(std::vector<uint8_t>* out);
   Status Section(const char tag[5]);
 
+  // Advances past |n| bytes without decoding them (bulk consumers that
+  // parse a region out-of-band, e.g. the replay log's fixed-width ticks).
+  Status Skip(size_t n);
+
   size_t remaining() const { return data_.size() - pos_; }
   size_t position() const { return pos_; }
 

@@ -1,5 +1,6 @@
 #include "src/util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 #include <utility>
@@ -9,7 +10,11 @@ namespace androne {
 namespace {
 
 std::mutex g_log_mutex;
-LogLevel g_min_level = LogLevel::kInfo;
+// Read on every ALOG statement (including the ~hundreds of thousands per
+// world that the level filter suppresses), so it must not take the sink
+// mutex: a relaxed atomic load keeps the disabled-log fast path to a few
+// instructions.
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
 LogSink g_sink;  // Empty -> default stderr sink.
 
 }  // namespace
@@ -29,13 +34,11 @@ const char* LogLevelName(LogLevel level) {
 }
 
 void SetMinLogLevel(LogLevel level) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  g_min_level = level;
+  g_min_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel GetMinLogLevel() {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  return g_min_level;
+  return g_min_level.load(std::memory_order_relaxed);
 }
 
 void SetLogSink(LogSink sink) {

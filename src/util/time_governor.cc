@@ -1,0 +1,85 @@
+#include "src/util/time_governor.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace androne {
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealSleepUs(int64_t us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+TimeGovernor::TimeGovernor(Options options) : options_(std::move(options)) {
+  if (!options_.wall_now_us) {
+    options_.wall_now_us = SteadyNowUs;
+  }
+  if (!options_.sleep_us) {
+    options_.sleep_us = RealSleepUs;
+  }
+}
+
+void TimeGovernor::Start(SimTime sim_now) {
+  if (!enabled()) {
+    return;
+  }
+  started_ = true;
+  sim_anchor_ = sim_now;
+  wall_anchor_us_ = options_.wall_now_us();
+}
+
+void TimeGovernor::Pace(SimTime sim_now) {
+  if (!enabled() || !started_ || sim_now <= sim_anchor_) {
+    return;
+  }
+  // Wall microseconds the sim has earned since the anchor, at |speed| sim
+  // seconds per wall second.
+  const double sim_elapsed_us =
+      static_cast<double>(sim_now - sim_anchor_) / 1000.0;
+  const int64_t due_us =
+      wall_anchor_us_ + static_cast<int64_t>(sim_elapsed_us / options_.speed);
+  const int64_t now_us = options_.wall_now_us();
+  if (now_us >= due_us) {
+    return;  // Wall clock is ahead (or on time): run free.
+  }
+  const int64_t debt_us = due_us - now_us;
+  options_.sleep_us(debt_us);
+  slept_us_ += debt_us;
+  ++sleeps_;
+}
+
+bool ParseSpeed(const char* text, double* out_speed, std::string* error) {
+  if (text == nullptr || *text == '\0') {
+    if (error) *error = "--speed needs a value (sim seconds per wall second)";
+    return false;
+  }
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    if (error) *error = std::string("--speed \"") + text + "\" is not a number";
+    return false;
+  }
+  if (std::isnan(value) || std::isinf(value) || value < 0) {
+    if (error) {
+      *error = std::string("--speed \"") + text +
+               "\" must be finite and >= 0 (0 = unthrottled)";
+    }
+    return false;
+  }
+  *out_speed = value;
+  return true;
+}
+
+}  // namespace androne

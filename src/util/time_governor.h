@@ -1,0 +1,77 @@
+// Paces simulated time against the wall clock. The simulator's default is
+// unthrottled — worlds run as fast as the hardware allows — but an external
+// consumer (a human watching a mission, the future socket bridge to a real
+// ground-control client) needs sim time to track wall time at a chosen
+// ratio. A TimeGovernor anchors a sim timestamp to a wall timestamp at
+// Start() and, on every Pace(sim_now) call, sleeps until the wall clock has
+// earned the elapsed sim time at the configured speed.
+//
+// speed semantics: sim seconds advanced per wall second. 1.0 is real time,
+// 2.0 runs twice as fast as real time, 0.5 at half speed. 0 (the default)
+// disables pacing entirely — Pace() never sleeps. The governor only ever
+// delays the caller; it never alters the SimClock, so digests, traces, and
+// metrics are bit-identical at every speed (tested in util_test).
+//
+// The wall clock and sleeper are injectable so tests run instantly and
+// deterministically; production uses steady_clock + sleep_for.
+#ifndef SRC_UTIL_TIME_GOVERNOR_H_
+#define SRC_UTIL_TIME_GOVERNOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/util/time.h"
+
+namespace androne {
+
+class TimeGovernor {
+ public:
+  struct Options {
+    // Sim seconds per wall second; <= 0 disables pacing.
+    double speed = 0.0;
+    // Test seams. Defaults (when null): monotonic wall clock in
+    // microseconds, and a real sleep.
+    std::function<int64_t()> wall_now_us;
+    std::function<void(int64_t)> sleep_us;
+  };
+
+  TimeGovernor() : TimeGovernor(Options{}) {}
+  explicit TimeGovernor(Options options);
+
+  bool enabled() const { return options_.speed > 0; }
+  double speed() const { return options_.speed; }
+
+  // Anchors |sim_now| (SimClock nanoseconds) to the current wall time.
+  // Called once when the paced region begins; calling again re-anchors,
+  // which forgives any accumulated debt (used after a restore, where the
+  // recovered sim time must not be charged against the wall).
+  void Start(SimTime sim_now);
+
+  // Blocks until wall time has caught up with |sim_now| at the configured
+  // speed. A no-op when pacing is disabled or Start() has not been called.
+  // Never busy-waits: one sleep for the full remaining debt.
+  void Pace(SimTime sim_now);
+
+  // Bookkeeping for benches and the replay report. Wall time spent asleep
+  // and the number of Pace() calls that actually slept.
+  int64_t slept_us() const { return slept_us_; }
+  int64_t sleeps() const { return sleeps_; }
+
+ private:
+  Options options_;
+  bool started_ = false;
+  SimTime sim_anchor_ = 0;
+  int64_t wall_anchor_us_ = 0;
+  int64_t slept_us_ = 0;
+  int64_t sleeps_ = 0;
+};
+
+// Parses a --speed flag value ("0", "1", "0.5", "8"): sim seconds per wall
+// second, 0 meaning unthrottled. Rejects negatives, NaN, and trailing junk
+// with a descriptive error so CLI surfaces agree on the message.
+bool ParseSpeed(const char* text, double* out_speed, std::string* error);
+
+}  // namespace androne
+
+#endif  // SRC_UTIL_TIME_GOVERNOR_H_
