@@ -28,7 +28,12 @@
 # BENCH_replay.json (bench/replay_sweep): record-once replay — a world
 # replayed from its log must land on the recording's exact bytes
 # ("digest_match": true) at better than twice resim speed
-# ("replay_speedup_ge_2": true). A ~74-scenario campaign smoke also gates
+# ("replay_speedup_ge_2": true); and BENCH_control_plane.json
+# (bench/control_plane_sweep): the multi-tenant serving path at 1/2/8
+# router threads with report-byte determinism ("deterministic": true) and
+# the admission budget audit ("admission_violations": 0). A control-plane
+# smoke rides both the plain and ASan builds next to the campaign smoke.
+# A ~74-scenario campaign smoke also gates
 # both the plain and sanitizer builds: every failure must land in an
 # expected bucket (unexpected == 0), and the recovery-equivalence and
 # replay-equivalence tests run on the plain, ASan/UBSan, and TSan builds.
@@ -60,6 +65,19 @@ if ! ./build/bench/campaign_sweep --smoke --json BENCH_campaign_smoke.json.tmp; 
   exit 1
 fi
 rm -f BENCH_campaign_smoke.json.tmp
+
+# Control-plane smoke: the multi-tenant serving path (order -> plan ->
+# admit -> fly -> bill) swept across router thread counts plus a repeat.
+# The binary exits nonzero if the merged report text varies, an admission
+# budget is overrun, or a terminal order settles other than exactly once.
+echo "=== control-plane smoke: plain build ==="
+if ! ./build/bench/control_plane_sweep --smoke \
+    --json BENCH_control_plane_smoke.json.tmp; then
+  echo "FAIL: control-plane smoke (nondeterministic report, admission" \
+       "violation, or settlement error)" >&2
+  exit 1
+fi
+rm -f BENCH_control_plane_smoke.json.tmp
 
 if [[ "$REPEAT_DETERMINISM" == "1" ]]; then
   # Nondeterminism is flaky by nature: one green run proves little. Re-run
@@ -114,6 +132,18 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
     exit 1
   fi
   rm -f BENCH_campaign_asan.json.tmp
+
+  # Control-plane smoke under ASan/UBSan: the router/fleet-manager event
+  # cascade, the admission drain paths, and the kFleet cohort worlds are
+  # pointer-heavy; the TSan thread sweep already ran inside
+  # determinism_test above (ControlPlaneReportIsThreadCountInvariant).
+  echo "=== control-plane smoke: sanitizer build ==="
+  if ! ./build-asan/bench/control_plane_sweep --smoke \
+      --json BENCH_control_plane_asan.json.tmp; then
+    echo "FAIL: sanitized control-plane smoke" >&2
+    exit 1
+  fi
+  rm -f BENCH_control_plane_asan.json.tmp
 fi
 
 echo "=== benches: fault sweeps ==="
@@ -181,6 +211,18 @@ if ! grep -q '"replay_speedup_ge_2": true' BENCH_replay.json; then
   exit 1
 fi
 echo "wrote BENCH_replay.json"
+
+echo "=== bench: control plane (full sweep) ==="
+./build/bench/control_plane_sweep --json BENCH_control_plane.json
+if ! grep -q '"deterministic": true' BENCH_control_plane.json; then
+  echo "FAIL: control-plane report varied across repeats/thread counts" >&2
+  exit 1
+fi
+if ! grep -q '"admission_violations": 0' BENCH_control_plane.json; then
+  echo "FAIL: an admission decision overran a board's memory budget" >&2
+  exit 1
+fi
+echo "wrote BENCH_control_plane.json"
 
 echo "=== bench: chaos campaign (full sweep) ==="
 ./build/bench/campaign_sweep --json BENCH_campaign.json

@@ -13,6 +13,10 @@ BillingEstimate Billing::Estimate(double energy_j,
   return estimate;
 }
 
+double Billing::CostForEnergy(double energy_j) const {
+  return energy_j / 1e6 * policy_.dollars_per_megajoule;
+}
+
 double Billing::MaxEnergyForCharge(double max_dollars) const {
   if (policy_.dollars_per_megajoule <= 0) {
     return 0;

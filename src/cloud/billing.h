@@ -32,6 +32,11 @@ class Billing {
   // Inverse: the maximum energy a user's maximum charge buys.
   double MaxEnergyForCharge(double max_dollars) const;
 
+  // Settlement charge for |energy_j| of flight energy actually consumed —
+  // the control plane bills this at order completion (the estimate above
+  // is the pre-flight bound the user authorized).
+  double CostForEnergy(double energy_j) const;
+
   const BillingPolicy& policy() const { return policy_; }
 
  private:

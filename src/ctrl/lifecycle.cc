@@ -1,0 +1,195 @@
+#include "src/ctrl/lifecycle.h"
+
+namespace androne {
+
+const char* OrderStateName(OrderState state) {
+  switch (state) {
+    case OrderState::kSubmitted:
+      return "submitted";
+    case OrderState::kPlanned:
+      return "planned";
+    case OrderState::kQueued:
+      return "queued";
+    case OrderState::kAdmitted:
+      return "admitted";
+    case OrderState::kFlying:
+      return "flying";
+    case OrderState::kRecovering:
+      return "recovering";
+    case OrderState::kBilled:
+      return "billed";
+    case OrderState::kRejected:
+      return "rejected";
+    case OrderState::kCancelled:
+      return "cancelled";
+    case OrderState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+const char* OrderEventName(OrderEvent event) {
+  switch (event) {
+    case OrderEvent::kPlanReady:
+      return "plan-ready";
+    case OrderEvent::kPlanFail:
+      return "plan-fail";
+    case OrderEvent::kAdmit:
+      return "admit";
+    case OrderEvent::kQueue:
+      return "queue";
+    case OrderEvent::kReject:
+      return "reject";
+    case OrderEvent::kLaunch:
+      return "launch";
+    case OrderEvent::kCrash:
+      return "crash";
+    case OrderEvent::kRecover:
+      return "recover";
+    case OrderEvent::kGiveUp:
+      return "give-up";
+    case OrderEvent::kComplete:
+      return "complete";
+    case OrderEvent::kCancel:
+      return "cancel";
+  }
+  return "?";
+}
+
+bool IsTerminalOrderState(OrderState state) {
+  switch (state) {
+    case OrderState::kBilled:
+    case OrderState::kRejected:
+    case OrderState::kCancelled:
+    case OrderState::kFailed:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool DeclaredTransition(OrderState from, OrderEvent event, OrderState* to) {
+  OrderState next = OrderState::kFailed;
+  switch (from) {
+    case OrderState::kSubmitted:
+      switch (event) {
+        case OrderEvent::kPlanReady:
+          next = OrderState::kPlanned;
+          break;
+        case OrderEvent::kPlanFail:
+          next = OrderState::kFailed;
+          break;
+        case OrderEvent::kCancel:
+          next = OrderState::kCancelled;
+          break;
+        default:
+          return false;
+      }
+      break;
+    case OrderState::kPlanned:
+      switch (event) {
+        case OrderEvent::kAdmit:
+          next = OrderState::kAdmitted;
+          break;
+        case OrderEvent::kQueue:
+          next = OrderState::kQueued;
+          break;
+        case OrderEvent::kReject:
+          next = OrderState::kRejected;
+          break;
+        case OrderEvent::kCancel:
+          next = OrderState::kCancelled;
+          break;
+        default:
+          return false;
+      }
+      break;
+    case OrderState::kQueued:
+      switch (event) {
+        case OrderEvent::kAdmit:
+          next = OrderState::kAdmitted;
+          break;
+        case OrderEvent::kReject:
+          next = OrderState::kRejected;
+          break;
+        case OrderEvent::kCancel:
+          next = OrderState::kCancelled;
+          break;
+        default:
+          return false;
+      }
+      break;
+    case OrderState::kAdmitted:
+      switch (event) {
+        case OrderEvent::kLaunch:
+          next = OrderState::kFlying;
+          break;
+        case OrderEvent::kCancel:
+          next = OrderState::kCancelled;
+          break;
+        default:
+          return false;
+      }
+      break;
+    case OrderState::kFlying:
+      switch (event) {
+        case OrderEvent::kComplete:
+          next = OrderState::kBilled;
+          break;
+        case OrderEvent::kCrash:
+          next = OrderState::kRecovering;
+          break;
+        case OrderEvent::kCancel:
+          next = OrderState::kCancelled;
+          break;
+        default:
+          return false;
+      }
+      break;
+    case OrderState::kRecovering:
+      switch (event) {
+        case OrderEvent::kRecover:
+          next = OrderState::kFlying;
+          break;
+        case OrderEvent::kGiveUp:
+          next = OrderState::kFailed;
+          break;
+        case OrderEvent::kCancel:
+          next = OrderState::kCancelled;
+          break;
+        default:
+          return false;
+      }
+      break;
+    // Terminal states declare nothing: an order that settled is immutable.
+    case OrderState::kBilled:
+    case OrderState::kRejected:
+    case OrderState::kCancelled:
+    case OrderState::kFailed:
+      return false;
+  }
+  if (to != nullptr) {
+    *to = next;
+  }
+  return true;
+}
+
+Status OrderLifecycle::Apply(OrderEvent event) {
+  OrderState next;
+  if (!DeclaredTransition(state_, event, &next)) {
+    return InvalidArgumentError(
+        std::string("undeclared lifecycle transition: ") +
+        OrderEventName(event) + " in state " + OrderStateName(state_));
+  }
+  state_ = next;
+  ++transitions_;
+  if (IsTerminalOrderState(next)) {
+    // Exactly-once by construction: terminal states declare no outgoing
+    // events, so this branch can run at most once per lifecycle.
+    settlement_ = next == OrderState::kBilled ? Settlement::kCharged
+                                              : Settlement::kRefunded;
+  }
+  return OkStatus();
+}
+
+}  // namespace androne

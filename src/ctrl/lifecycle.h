@@ -1,0 +1,95 @@
+// Order/flight lifecycle state machine for the cloud control plane
+// (DESIGN.md §16). Every tenant order moves through an explicitly declared
+// transition table — submitted → planned → admitted → flying →
+// billed/failed/rejected, with queueing, cancellation, and crash-recovery
+// arcs — and any event outside the table is a hard error, never a silent
+// state change. Terminal entry settles the order's money exactly once:
+// kBilled charges, every other terminal refunds; the settlement ledger is
+// part of the machine so "billed exactly once or refunded exactly once" is
+// an invariant the property tests (and the serving-path audit) can check
+// mechanically.
+#ifndef SRC_CTRL_LIFECYCLE_H_
+#define SRC_CTRL_LIFECYCLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace androne {
+
+// States. Terminal: kBilled, kRejected, kCancelled, kFailed.
+enum class OrderState : uint8_t {
+  kSubmitted = 0,   // Order received by the router's front end.
+  kPlanned = 1,     // Portal validated + flight planner produced a route.
+  kQueued = 2,      // Admission full: waiting for a board slot.
+  kAdmitted = 3,    // Packed onto a board, boarding (flight not launched).
+  kFlying = 4,      // Physical flight in progress.
+  kRecovering = 5,  // Tenant container crashed mid-flight; restoring.
+  kBilled = 6,      // Flight done, settlement charged.     (terminal)
+  kRejected = 7,    // Admission queue-or-reject said no.    (terminal)
+  kCancelled = 8,   // Tenant cancelled pre-terminal.        (terminal)
+  kFailed = 9,      // Plan failure / recovery gave up.      (terminal)
+};
+inline constexpr int kOrderStateCount = 10;
+
+// Events. The table below is the single source of truth for which event is
+// legal in which state.
+enum class OrderEvent : uint8_t {
+  kPlanReady = 0,  // Portal + planner accepted the order.
+  kPlanFail = 1,   // Validation or planning failed.
+  kAdmit = 2,      // Admission packed the order onto a board.
+  kQueue = 3,      // Admission full; order parked in the FIFO queue.
+  kReject = 4,     // Queue full (or order can never fit): refused.
+  kLaunch = 5,     // The order's board took off.
+  kCrash = 6,      // Tenant container died mid-flight.
+  kRecover = 7,    // Restore succeeded; flight continues.
+  kGiveUp = 8,     // Restore budget exhausted; order lost.
+  kComplete = 9,   // Flight landed + billing ran: charge the order.
+  kCancel = 10,    // Tenant cancellation (legal in every live state).
+};
+inline constexpr int kOrderEventCount = 11;
+
+const char* OrderStateName(OrderState state);
+const char* OrderEventName(OrderEvent event);
+bool IsTerminalOrderState(OrderState state);
+
+// The declared transition table: true (and *to filled) when |event| is
+// legal in |from|. Every pair outside the table is undeclared — Apply()
+// refuses it and the property tests sweep the whole matrix.
+bool DeclaredTransition(OrderState from, OrderEvent event, OrderState* to);
+
+// How a terminal order's money settled.
+enum class Settlement : uint8_t {
+  kNone = 0,      // Not terminal yet.
+  kCharged = 1,   // kBilled: the flight's energy was charged.
+  kRefunded = 2,  // Rejected/cancelled/failed: the pre-payment returned.
+};
+
+// One order's lifecycle: current state plus the settlement ledger. Apply()
+// is the only mutator, so a lifecycle can never hold a state the table
+// doesn't declare, and settlement counters can never move twice.
+class OrderLifecycle {
+ public:
+  OrderLifecycle() = default;
+
+  OrderState state() const { return state_; }
+  bool terminal() const { return IsTerminalOrderState(state_); }
+  Settlement settlement() const { return settlement_; }
+  int transitions() const { return transitions_; }
+
+  // Applies |event|. Undeclared (from-state, event) pairs — including any
+  // event on a terminal state — return InvalidArgument and leave the
+  // machine untouched. Entering a terminal state records the settlement
+  // exactly once.
+  Status Apply(OrderEvent event);
+
+ private:
+  OrderState state_ = OrderState::kSubmitted;
+  Settlement settlement_ = Settlement::kNone;
+  int transitions_ = 0;
+};
+
+}  // namespace androne
+
+#endif  // SRC_CTRL_LIFECYCLE_H_

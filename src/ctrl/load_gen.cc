@@ -1,0 +1,60 @@
+#include "src/ctrl/load_gen.h"
+
+#include "src/ctrl/admission.h"
+#include "src/util/rng.h"
+
+namespace androne {
+
+std::vector<SessionSpec> GenerateLoad(const TenantMixSpec& mix,
+                                      const LoadSpec& load) {
+  std::vector<SessionSpec> sessions;
+  if (mix.classes.empty() || load.sessions <= 0) {
+    return sessions;
+  }
+  double total_weight = 0;
+  for (const SessionClass& cls : mix.classes) {
+    total_weight += cls.weight;
+  }
+  sessions.reserve(load.sessions);
+  for (int i = 0; i < load.sessions; ++i) {
+    // Per-session stream: a SplitMix64 chain over (base_seed, index), the
+    // same derivation discipline FleetExecutor uses for world seeds.
+    const uint64_t session_seed =
+        SplitMix64(load.base_seed ^ SplitMix64(static_cast<uint64_t>(i) + 1));
+    Rng rng(session_seed);
+    SessionSpec s;
+    s.id = static_cast<uint64_t>(i) + 1;
+    s.seed = session_seed;
+    // Weighted class draw by cumulative weight.
+    double pick = rng.NextDouble() * total_weight;
+    int class_index = 0;
+    for (size_t c = 0; c < mix.classes.size(); ++c) {
+      pick -= mix.classes[c].weight;
+      if (pick < 0) {
+        class_index = static_cast<int>(c);
+        break;
+      }
+    }
+    const SessionClass& cls = mix.classes[class_index];
+    s.class_index = class_index;
+    s.arrival = SecondsF(rng.NextDouble() * load.arrival_window_s);
+    s.waypoints = cls.waypoints;
+    s.dwell_s = cls.dwell_s;
+    s.max_dollars = cls.max_dollars;
+    s.north_m = rng.Uniform(-cls.spread_m, cls.spread_m);
+    s.east_m = rng.Uniform(-cls.spread_m, cls.spread_m);
+    s.processes = cls.processes;
+    s.footprint_mb = VdroneFootprintMb(cls.processes);
+    s.cancels = rng.Bernoulli(cls.cancel_rate);
+    // A cancel can land anywhere in the session's life: during planning,
+    // queueing, boarding, or flight.
+    s.cancel_after_s = rng.Uniform(1.0, 60.0 + 2.0 * cls.dwell_s);
+    s.crashes = rng.Bernoulli(cls.crash_rate);
+    s.crash_after_s = rng.Uniform(1.0, cls.waypoints * cls.dwell_s + 1.0);
+    s.gives_up = rng.Bernoulli(cls.giveup_rate);
+    sessions.push_back(s);
+  }
+  return sessions;
+}
+
+}  // namespace androne

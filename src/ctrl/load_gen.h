@@ -1,0 +1,56 @@
+// Synthetic tenant-load generation for the control-plane sweep (DESIGN.md
+// §16). GenerateLoad expands a tenant mix into thousands of concrete
+// sessions — arrival time, mission shape, memory footprint, and the
+// pre-drawn chaos coin flips (cancel / crash / give-up) — purely from
+// (base_seed, session index) via SplitMix64 chains, so the same spec always
+// yields the same byte-identical session list no matter how many router
+// threads later serve it.
+#ifndef SRC_CTRL_LOAD_GEN_H_
+#define SRC_CTRL_LOAD_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ctrl/tenant_mix.h"
+#include "src/util/time.h"
+
+namespace androne {
+
+// One concrete tenant session, fully determined at generation time.
+struct SessionSpec {
+  uint64_t id = 0;          // 1-based, globally unique across shards.
+  int class_index = 0;      // Into TenantMixSpec::classes.
+  uint64_t seed = 0;        // Per-session stream for serving-time draws.
+  SimTime arrival = 0;      // When the order hits the router front end.
+  int waypoints = 3;
+  double dwell_s = 20;
+  double max_dollars = 5;
+  double north_m = 0;       // Mission anchor (scatter within spread_m).
+  double east_m = 0;
+  int processes = 5;
+  double footprint_mb = 0;  // VdroneFootprintMb(processes), precomputed.
+  // Pre-drawn chaos: the fleet manager applies these at serving time.
+  bool cancels = false;
+  double cancel_after_s = 0;  // Delay from arrival to the cancel event.
+  bool crashes = false;
+  double crash_after_s = 0;   // Delay from launch to the crash event.
+  bool gives_up = false;      // Recovery outcome if the crash happens.
+};
+
+struct LoadSpec {
+  int sessions = 1000;
+  // Arrivals spread uniformly over [0, window): short window = high
+  // concurrency pressure on admission.
+  double arrival_window_s = 60;
+  uint64_t base_seed = 1;
+};
+
+// Deterministic expansion: session i draws every field from
+// SplitMix64-derived streams of (base_seed, i). Classes are picked by
+// cumulative weight; footprints come from the class process count.
+std::vector<SessionSpec> GenerateLoad(const TenantMixSpec& mix,
+                                      const LoadSpec& load);
+
+}  // namespace androne
+
+#endif  // SRC_CTRL_LOAD_GEN_H_

@@ -1,0 +1,204 @@
+#include "src/ctrl/router.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/exec/fleet_executor.h"
+#include "src/exec/world_template.h"
+#include "src/scenario/scenario.h"
+#include "src/util/bytes.h"
+#include "src/util/json.h"
+
+namespace androne {
+namespace {
+
+std::string Hex64(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, value);
+  return buf;
+}
+
+const char* const kStages[] = {"order", "plan", "admit",
+                               "fly",   "bill", "session"};
+
+}  // namespace
+
+std::string ControlPlaneReport::ToText() const {
+  std::string text;
+  text += "control_plane " + mix + " mode=" + mode + "\n";
+  text += "sessions " + std::to_string(sessions) + "\n";
+  text += "shards " + std::to_string(shards) + "\n";
+  text += "billed " + std::to_string(billed) + "\n";
+  text += "rejected " + std::to_string(rejected) + "\n";
+  text += "cancelled " + std::to_string(cancelled) + "\n";
+  text += "failed " + std::to_string(failed) + "\n";
+  text += "peak_concurrency " + std::to_string(peak_concurrency) + "\n";
+  text += "makespan_s " + FormatNumberCompact(makespan_s) + "\n";
+  text += "sessions_per_s " + FormatNumberCompact(sessions_per_second) + "\n";
+  text += "admission_reject_rate " +
+          FormatNumberCompact(admission_reject_rate) + "\n";
+  text += "admission_violations " + std::to_string(admission_violations) +
+          "\n";
+  text += "settlement_errors " + std::to_string(settlement_errors) + "\n";
+  text += "charged_ud " + std::to_string(charged_ud) + "\n";
+  text += "refunded_ud " + std::to_string(refunded_ud) + "\n";
+  for (const StageLatency& stage : stages) {
+    text += "stage " + stage.stage + " count=" + std::to_string(stage.count) +
+            " p50_ms=" + FormatNumberCompact(stage.p50_ms) +
+            " p99_ms=" + FormatNumberCompact(stage.p99_ms) + "\n";
+  }
+  for (const std::string& failure : slo_failures) {
+    text += "slo_fail " + failure + "\n";
+  }
+  text += "fleet_digest " + Hex64(fleet_digest) + "\n";
+  text += "cohort_flight_digest " + Hex64(cohort_flight_digest) + "\n";
+  text += "metrics_digest " + Hex64(metrics.Digest()) + "\n";
+  return text;
+}
+
+uint64_t ControlPlaneReport::Digest() const {
+  const std::string text = ToText();
+  return Fnv1a64(text.data(), text.size());
+}
+
+ControlPlaneReport ControlPlaneRouter::Serve(const TenantMixSpec& mix) {
+  LoadSpec load = config_.load;
+  load.base_seed = config_.seed;
+  const std::vector<SessionSpec> sessions = GenerateLoad(mix, load);
+
+  const int shards = std::max(1, config_.shards);
+  std::vector<std::vector<SessionSpec>> shard_sessions(shards);
+  for (const SessionSpec& s : sessions) {
+    shard_sessions[s.id % shards].push_back(s);
+  }
+
+  // Shared template cache for kFleet cohort worlds (idle in kModel mode).
+  WorldTemplateCache templates;
+  std::vector<ShardOutcome> outcomes(shards);
+  FleetOptions options;
+  options.threads = config_.threads;
+  options.base_seed = config_.seed;
+  FleetExecutor executor(options);
+  FleetReport fleet = executor.Run(shards, [&](const WorldContext& ctx) {
+    FleetManagerConfig mc;
+    mc.shard = ctx.index;
+    mc.seed = ctx.seed;
+    mc.fly_mode = config_.fly_mode;
+    mc.admission = config_.admission;
+    mc.launch_hold_s = config_.launch_hold_s;
+    mc.recovery_delay_s = config_.recovery_delay_s;
+    mc.templates = config_.fly_mode == FlyMode::kFleet ? &templates : nullptr;
+    FleetManager manager(mc);
+    // Retried worlds overwrite their slot, so a retry can't double-count.
+    outcomes[ctx.index] = manager.Serve(shard_sessions[ctx.index]);
+    const ShardOutcome& outcome = outcomes[ctx.index];
+    WorldResult result;
+    result.index = ctx.index;
+    result.seed = ctx.seed;
+    result.completed = true;
+    result.digest = outcome.digest;
+    result.flight_digest = outcome.cohort_flight_digest;
+    result.events_run = outcome.events_run;
+    result.metrics = outcome.metrics;
+    return result;
+  });
+
+  ControlPlaneReport report;
+  report.mix = mix.name;
+  report.mode = FlyModeName(config_.fly_mode);
+  report.sessions = static_cast<int>(sessions.size());
+  report.shards = shards;
+  report.threads = config_.threads;
+  report.metrics = fleet.metrics;
+  report.fleet_digest = fleet.fleet_digest;
+
+  // Merge shard outcomes in shard-index order (completion order never
+  // matters — the slots were written by index).
+  std::vector<std::pair<SimTime, int>> sweep;
+  SimTime last_end = 0;
+  uint64_t cohort_digest = kFnv1a64Offset;
+  for (const ShardOutcome& outcome : outcomes) {
+    report.admission_violations += outcome.admission_violations;
+    cohort_digest = Fnv1a64Value(outcome.cohort_flight_digest, cohort_digest);
+    for (const SessionRecord& record : outcome.records) {
+      switch (record.state) {
+        case OrderState::kBilled:
+          ++report.billed;
+          break;
+        case OrderState::kRejected:
+          ++report.rejected;
+          break;
+        case OrderState::kCancelled:
+          ++report.cancelled;
+          break;
+        case OrderState::kFailed:
+          ++report.failed;
+          break;
+        default:
+          // Non-terminal record: the shard failed to drain — count it as a
+          // settlement error so the gate trips.
+          ++report.settlement_errors;
+          break;
+      }
+      const bool charged_once = record.settlement == Settlement::kCharged &&
+                                record.refunded_ud == 0;
+      const bool refunded_once = record.settlement == Settlement::kRefunded &&
+                                 record.charged_ud == 0;
+      if (record.state == OrderState::kBilled ? !charged_once
+                                              : !refunded_once) {
+        ++report.settlement_errors;
+      }
+      report.charged_ud += record.charged_ud;
+      report.refunded_ud += record.refunded_ud;
+      sweep.push_back({record.arrival, 1});
+      sweep.push_back({record.end, -1});
+      last_end = std::max(last_end, record.end);
+    }
+  }
+
+  // Exact peak concurrency: sort the arrival/end deltas; at equal times
+  // departures (-1) sort first, making intervals half-open.
+  std::sort(sweep.begin(), sweep.end());
+  int live = 0;
+  for (const auto& [when, delta] : sweep) {
+    (void)when;
+    live += delta;
+    report.peak_concurrency = std::max(report.peak_concurrency, live);
+  }
+
+  report.cohort_flight_digest =
+      config_.fly_mode == FlyMode::kFleet ? cohort_digest : 0;
+  report.makespan_s = ToSecondsF(last_end);
+  report.sessions_per_second =
+      report.makespan_s > 0 ? report.sessions / report.makespan_s : 0;
+  report.admission_reject_rate =
+      report.sessions > 0
+          ? static_cast<double>(report.rejected) / report.sessions
+          : 0;
+
+  for (const char* stage : kStages) {
+    StageLatency line;
+    line.stage = stage;
+    auto it = report.metrics.histograms.find(std::string("latency.") + stage +
+                                             "_us");
+    if (it != report.metrics.histograms.end()) {
+      line.count = it->second.total_count();
+      line.p50_ms = static_cast<double>(it->second.Percentile(0.50)) / 1000.0;
+      line.p99_ms = static_cast<double>(it->second.Percentile(0.99)) / 1000.0;
+    }
+    report.stages.push_back(line);
+  }
+
+  // SLO verdicts against the merged report (the latency.<stage>.p<N>
+  // grammar resolves the merged histograms).
+  WorldResult merged;
+  merged.completed = true;
+  merged.metrics = report.metrics;
+  if (!mix.slos.empty()) {
+    report.slo_failures = EvaluateAssertions(mix.slos, merged);
+  }
+  return report;
+}
+
+}  // namespace androne

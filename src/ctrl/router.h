@@ -1,0 +1,101 @@
+// Front-end request router for the cloud control plane (DESIGN.md §16).
+// ControlPlaneRouter::Serve expands a tenant mix into a deterministic
+// session load, partitions it across per-shard fleet managers (session id
+// mod shards), and drives every shard as one FleetExecutor world — router
+// threads are exactly the executor's worker threads, and the merged report
+// inherits the executor's index-order merge contract, so the report text is
+// byte-identical across repeats and at 1, 2, or 8 router threads.
+//
+// The merged ControlPlaneReport carries the sweep headline numbers
+// (sessions/s over simulated time, peak concurrent sessions, admission
+// reject rate), the terminal-state and settlement audit (every terminal
+// order charged exactly once or refunded exactly once), per-stage latency
+// percentiles from the merged histograms, and the mix's SLO assertion
+// verdicts. ToText() is the canonical byte-stable form; Digest() hashes it.
+#ifndef SRC_CTRL_ROUTER_H_
+#define SRC_CTRL_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ctrl/fleet_manager.h"
+#include "src/ctrl/load_gen.h"
+#include "src/ctrl/tenant_mix.h"
+#include "src/obs/metrics.h"
+
+namespace androne {
+
+struct ControlPlaneConfig {
+  int shards = 8;
+  int threads = 1;  // Router worker threads (FleetExecutor workers).
+  uint64_t seed = 1;
+  FlyMode fly_mode = FlyMode::kModel;
+  LoadSpec load;  // |load.base_seed| is overridden by |seed|.
+  AdmissionConfig admission;  // Per-shard board pool.
+  double launch_hold_s = 8;
+  double recovery_delay_s = 2.5;
+};
+
+// Merged per-stage latency line (milliseconds; conservative log-bucket
+// upper-bound percentiles).
+struct StageLatency {
+  std::string stage;
+  uint64_t count = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+struct ControlPlaneReport {
+  std::string mix;
+  std::string mode;
+  int sessions = 0;
+  int shards = 0;
+  int threads = 0;  // Informational; deliberately excluded from ToText().
+  // Terminal-state counts across all shards.
+  int billed = 0;
+  int rejected = 0;
+  int cancelled = 0;
+  int failed = 0;
+  // Sessions simultaneously live (arrived, not yet terminal) at the peak,
+  // from an exact sweep over every session's (arrival, end) interval.
+  int peak_concurrency = 0;
+  double makespan_s = 0;  // Simulated time to the last terminal order.
+  double sessions_per_second = 0;  // sessions / makespan (simulated).
+  double admission_reject_rate = 0;
+  uint64_t admission_violations = 0;
+  // Terminal records whose settlement does not match their state (billed
+  // with anything but one charge, or non-billed with anything but one
+  // refund). Must be zero; the property tests and CI gate pin it.
+  int settlement_errors = 0;
+  int64_t charged_ud = 0;   // Total charges, integer microdollars.
+  int64_t refunded_ud = 0;  // Total refunds, integer microdollars.
+  std::vector<StageLatency> stages;
+  std::vector<std::string> slo_failures;  // Canonical failed expressions.
+  MetricsSnapshot metrics;  // Index-order merge of every shard registry.
+  uint64_t fleet_digest = 0;         // Executor chain over shard digests.
+  uint64_t cohort_flight_digest = 0; // kFleet cohort worlds, shard order.
+
+  // Canonical byte-stable text (everything above except |threads| and
+  // nothing wall-clock), one "key value" line per field.
+  std::string ToText() const;
+  // FNV over ToText(): the determinism pin for repeats and thread sweeps.
+  uint64_t Digest() const;
+};
+
+class ControlPlaneRouter {
+ public:
+  explicit ControlPlaneRouter(const ControlPlaneConfig& config)
+      : config_(config) {}
+
+  // Generates the load, serves it across the shards, and merges. Pure
+  // function of (config minus threads, mix).
+  ControlPlaneReport Serve(const TenantMixSpec& mix);
+
+ private:
+  ControlPlaneConfig config_;
+};
+
+}  // namespace androne
+
+#endif  // SRC_CTRL_ROUTER_H_

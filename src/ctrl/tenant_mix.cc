@@ -1,0 +1,351 @@
+#include "src/ctrl/tenant_mix.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/util/fault_plan_io.h"
+#include "src/util/json.h"
+#include "src/util/xml.h"
+
+namespace androne {
+namespace {
+
+// Defaults shared by the parser (fallbacks) and dumper (omission). Must
+// track the SessionClass member initializers.
+const SessionClass kClassDefaults;
+
+bool IsWhitespace(const std::string& text) {
+  for (char c : text) {
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status CheckNoText(const XmlElement& element) {
+  if (!IsWhitespace(element.text)) {
+    return InvalidArgumentError("<" + element.name +
+                                ">: unexpected text content");
+  }
+  return OkStatus();
+}
+
+Status CheckAttributes(const XmlElement& element,
+                       const std::vector<std::string>& allowed) {
+  for (const auto& [key, value] : element.attributes) {
+    (void)value;
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      return InvalidArgumentError("<" + element.name +
+                                  ">: unknown attribute \"" + key + "\"");
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<int> ParseMixInt(const std::string& text, const std::string& what,
+                          int min_value) {
+  ASSIGN_OR_RETURN(double value, ParseManifestNumber(text, what));
+  if (static_cast<double>(static_cast<int64_t>(value)) != value) {
+    return InvalidArgumentError(what + ": \"" + text + "\" is not an integer");
+  }
+  if (value < min_value || value > 1e9) {
+    return InvalidArgumentError(what + ": " + text + " out of range (min " +
+                                std::to_string(min_value) + ")");
+  }
+  return static_cast<int>(value);
+}
+
+StatusOr<double> ParseMixRate(const std::string& text,
+                              const std::string& what) {
+  ASSIGN_OR_RETURN(double value, ParseManifestNumber(text, what));
+  if (value < 0 || value > 1) {
+    return InvalidArgumentError(what + ": " + text + " outside [0, 1]");
+  }
+  return value;
+}
+
+StatusOr<SessionClass> ParseClassElement(const XmlElement& element) {
+  RETURN_IF_ERROR(CheckNoText(element));
+  RETURN_IF_ERROR(CheckAttributes(
+      element, {"name", "weight", "waypoints", "dwell_s", "max_dollars",
+                "spread_m", "processes", "cancel_rate", "crash_rate",
+                "giveup_rate"}));
+  if (!element.children.empty()) {
+    return InvalidArgumentError("<class>: unexpected child element <" +
+                                element.children[0]->name + ">");
+  }
+  SessionClass cls;
+  cls.name = element.Attr("name");
+  if (cls.name.empty()) {
+    return InvalidArgumentError("<class>: missing name");
+  }
+  const std::string where = "<class " + cls.name + "> ";
+  ASSIGN_OR_RETURN(
+      cls.weight,
+      ParseManifestNumber(
+          element.Attr("weight", FormatNumberCompact(kClassDefaults.weight)),
+          where + "weight"));
+  if (cls.weight <= 0) {
+    return InvalidArgumentError(where + "weight must be positive");
+  }
+  ASSIGN_OR_RETURN(cls.waypoints,
+                   ParseMixInt(element.Attr("waypoints",
+                                            std::to_string(
+                                                kClassDefaults.waypoints)),
+                               where + "waypoints", 1));
+  ASSIGN_OR_RETURN(
+      cls.dwell_s,
+      ParseManifestNumber(
+          element.Attr("dwell_s", FormatNumberCompact(kClassDefaults.dwell_s)),
+          where + "dwell_s"));
+  if (cls.dwell_s <= 0) {
+    return InvalidArgumentError(where + "dwell_s must be positive");
+  }
+  ASSIGN_OR_RETURN(
+      cls.max_dollars,
+      ParseManifestNumber(
+          element.Attr("max_dollars",
+                       FormatNumberCompact(kClassDefaults.max_dollars)),
+          where + "max_dollars"));
+  if (cls.max_dollars <= 0) {
+    return InvalidArgumentError(where + "max_dollars must be positive");
+  }
+  ASSIGN_OR_RETURN(
+      cls.spread_m,
+      ParseManifestNumber(
+          element.Attr("spread_m",
+                       FormatNumberCompact(kClassDefaults.spread_m)),
+          where + "spread_m"));
+  if (cls.spread_m < 0) {
+    return InvalidArgumentError(where + "spread_m must be non-negative");
+  }
+  ASSIGN_OR_RETURN(cls.processes,
+                   ParseMixInt(element.Attr("processes",
+                                            std::to_string(
+                                                kClassDefaults.processes)),
+                               where + "processes", 1));
+  ASSIGN_OR_RETURN(cls.cancel_rate,
+                   ParseMixRate(element.Attr("cancel_rate", "0"),
+                                where + "cancel_rate"));
+  ASSIGN_OR_RETURN(cls.crash_rate,
+                   ParseMixRate(element.Attr("crash_rate", "0"),
+                                where + "crash_rate"));
+  ASSIGN_OR_RETURN(cls.giveup_rate,
+                   ParseMixRate(element.Attr("giveup_rate", "0"),
+                                where + "giveup_rate"));
+  return cls;
+}
+
+StatusOr<TenantMixSpec> ParseMixElement(const XmlElement& root) {
+  if (root.name != "tenant_mix") {
+    return InvalidArgumentError("tenant mix: root element must be "
+                                "<tenant_mix>, got <" + root.name + ">");
+  }
+  RETURN_IF_ERROR(CheckNoText(root));
+  RETURN_IF_ERROR(CheckAttributes(root, {"name"}));
+  TenantMixSpec mix;
+  mix.name = root.Attr("name", "mix");
+  for (const auto& child : root.children) {
+    if (child->name == "class") {
+      ASSIGN_OR_RETURN(SessionClass cls, ParseClassElement(*child));
+      mix.classes.push_back(std::move(cls));
+    } else if (child->name == "slo") {
+      RETURN_IF_ERROR(CheckNoText(*child));
+      RETURN_IF_ERROR(CheckAttributes(*child, {"expr"}));
+      const std::string expr = child->Attr("expr");
+      if (expr.empty()) {
+        return InvalidArgumentError("<slo>: missing expr");
+      }
+      ASSIGN_OR_RETURN(AssertionSpec spec, ParseAssertion(expr));
+      mix.slos.push_back(std::move(spec));
+    } else {
+      return InvalidArgumentError("<tenant_mix>: unknown element <" +
+                                  child->name + ">");
+    }
+  }
+  if (mix.classes.empty()) {
+    return InvalidArgumentError("<tenant_mix>: declares no <class>");
+  }
+  return mix;
+}
+
+// JSON transliteration, mirroring the campaign manifest convention: scalar
+// keys become attributes, the "classes" array becomes <class> children, and
+// the "slos" string array becomes <slo expr="..."/> children.
+StatusOr<std::unique_ptr<XmlElement>> JsonToMixElement(
+    const JsonValue& value) {
+  if (!value.is_object()) {
+    return InvalidArgumentError("JSON tenant mix: root must be an object");
+  }
+  auto root = std::make_unique<XmlElement>();
+  root->name = "tenant_mix";
+  for (const auto& [key, field] : value.AsObject()) {
+    if (key == "classes") {
+      if (!field.is_array()) {
+        return InvalidArgumentError("JSON tenant mix: classes must be an "
+                                    "array");
+      }
+      for (size_t i = 0; i < field.AsArray().size(); ++i) {
+        const JsonValue& entry = field.AsArray()[i];
+        const std::string what = "classes[" + std::to_string(i) + "]";
+        if (!entry.is_object()) {
+          return InvalidArgumentError(what + ": expected an object");
+        }
+        auto child = std::make_unique<XmlElement>();
+        child->name = "class";
+        for (const auto& [ckey, cfield] : entry.AsObject()) {
+          switch (cfield.type()) {
+            case JsonType::kString:
+              child->attributes[ckey] = cfield.AsString();
+              break;
+            case JsonType::kNumber:
+              child->attributes[ckey] = FormatNumberCompact(cfield.AsDouble());
+              break;
+            default:
+              return InvalidArgumentError(what + "." + ckey +
+                                          ": expected a scalar value");
+          }
+        }
+        root->children.push_back(std::move(child));
+      }
+    } else if (key == "slos") {
+      if (!field.is_array()) {
+        return InvalidArgumentError("JSON tenant mix: slos must be an array");
+      }
+      for (size_t i = 0; i < field.AsArray().size(); ++i) {
+        const JsonValue& expr = field.AsArray()[i];
+        if (!expr.is_string()) {
+          return InvalidArgumentError("slos[" + std::to_string(i) +
+                                      "]: expected a string expression");
+        }
+        auto child = std::make_unique<XmlElement>();
+        child->name = "slo";
+        child->attributes["expr"] = expr.AsString();
+        root->children.push_back(std::move(child));
+      }
+    } else if (key == "name") {
+      if (!field.is_string()) {
+        return InvalidArgumentError("JSON tenant mix: name must be a string");
+      }
+      root->attributes["name"] = field.AsString();
+    } else {
+      return InvalidArgumentError("JSON tenant mix: unknown key \"" + key +
+                                  "\"");
+    }
+  }
+  return root;
+}
+
+void EmitNumberUnlessDefault(XmlElement& element, const std::string& attr,
+                             double value, double fallback) {
+  if (value != fallback) {
+    element.attributes[attr] = FormatNumberCompact(value);
+  }
+}
+
+}  // namespace
+
+StatusOr<TenantMixSpec> ParseTenantMix(const std::string& text) {
+  size_t first = text.find_first_not_of(" \t\n\r");
+  if (first == std::string::npos) {
+    return InvalidArgumentError("tenant mix: empty document");
+  }
+  if (text[first] == '<') {
+    ASSIGN_OR_RETURN(auto root, ParseXml(text));
+    return ParseMixElement(*root);
+  }
+  ASSIGN_OR_RETURN(JsonValue document, ParseJson(text));
+  ASSIGN_OR_RETURN(auto root, JsonToMixElement(document));
+  return ParseMixElement(*root);
+}
+
+std::string DumpTenantMix(const TenantMixSpec& mix) {
+  XmlElement root;
+  root.name = "tenant_mix";
+  if (mix.name != "mix") {
+    root.attributes["name"] = mix.name;
+  }
+  for (const SessionClass& cls : mix.classes) {
+    auto element = std::make_unique<XmlElement>();
+    element->name = "class";
+    element->attributes["name"] = cls.name;
+    EmitNumberUnlessDefault(*element, "weight", cls.weight,
+                            kClassDefaults.weight);
+    EmitNumberUnlessDefault(*element, "waypoints", cls.waypoints,
+                            kClassDefaults.waypoints);
+    EmitNumberUnlessDefault(*element, "dwell_s", cls.dwell_s,
+                            kClassDefaults.dwell_s);
+    EmitNumberUnlessDefault(*element, "max_dollars", cls.max_dollars,
+                            kClassDefaults.max_dollars);
+    EmitNumberUnlessDefault(*element, "spread_m", cls.spread_m,
+                            kClassDefaults.spread_m);
+    EmitNumberUnlessDefault(*element, "processes", cls.processes,
+                            kClassDefaults.processes);
+    EmitNumberUnlessDefault(*element, "cancel_rate", cls.cancel_rate, 0);
+    EmitNumberUnlessDefault(*element, "crash_rate", cls.crash_rate, 0);
+    EmitNumberUnlessDefault(*element, "giveup_rate", cls.giveup_rate, 0);
+    root.children.push_back(std::move(element));
+  }
+  for (const AssertionSpec& slo : mix.slos) {
+    auto element = std::make_unique<XmlElement>();
+    element->name = "slo";
+    element->attributes["expr"] = slo.ToExpr();
+    root.children.push_back(std::move(element));
+  }
+  return root.Dump();
+}
+
+TenantMixSpec BuiltinTenantMix() {
+  TenantMixSpec mix;
+  mix.name = "builtin";
+  SessionClass survey;
+  survey.name = "survey";
+  survey.weight = 5;
+  survey.waypoints = 3;
+  survey.dwell_s = 12;
+  survey.max_dollars = 4;
+  survey.spread_m = 350;
+  mix.classes.push_back(survey);
+  SessionClass patrol;
+  patrol.name = "patrol";
+  patrol.weight = 3;
+  patrol.waypoints = 5;
+  patrol.dwell_s = 25;
+  patrol.max_dollars = 9;
+  patrol.spread_m = 500;
+  patrol.processes = 6;
+  mix.classes.push_back(patrol);
+  SessionClass flaky;
+  flaky.name = "flaky";
+  flaky.weight = 2;
+  flaky.waypoints = 4;
+  flaky.dwell_s = 18;
+  flaky.max_dollars = 6;
+  flaky.spread_m = 400;
+  flaky.cancel_rate = 0.08;
+  flaky.crash_rate = 0.25;
+  flaky.giveup_rate = 0.2;
+  mix.classes.push_back(flaky);
+  // Serving-path SLOs the bench gates on (bounds in milliseconds). The
+  // order/plan bounds watch the request path proper; the session bound is
+  // dominated by queue wait plus mission flight and is sized for the bench
+  // load (1200 sessions against 8 boards/shard), where the measured p99 is
+  // ~1880 s — 40 minutes holds ~25% headroom while still catching a
+  // serving-path or admission regression that stretches the queue.
+  const char* slos[] = {
+      "latency.order.p99 <= 2000",
+      "latency.plan.p99 <= 1000",
+      "latency.session.p99 <= 2400000",
+  };
+  for (const char* expr : slos) {
+    StatusOr<AssertionSpec> spec = ParseAssertion(expr);
+    if (spec.ok()) {
+      mix.slos.push_back(std::move(spec).value());
+    }
+  }
+  return mix;
+}
+
+}  // namespace androne

@@ -126,6 +126,12 @@ uint64_t ConfigFingerprint(const FleetWorldConfig& config) {
   for (double at : config.crash_at_s) {
     fp = Fnv1a64Value(at, fp);
   }
+  fp = Fnv1a64Value(config.tenant_placements.size(), fp);
+  for (const TenantPlacement& placement : config.tenant_placements) {
+    fp = Fnv1a64Value(placement.north_m, fp);
+    fp = Fnv1a64Value(placement.east_m, fp);
+    fp = Fnv1a64Value(placement.dwell_s, fp);
+  }
   return fp;
 }
 
@@ -227,15 +233,35 @@ class WorldAttempt {
     }
 
     // Tenant waypoints scatter around the base, drawn from a world-private
-    // stream so two worlds with different seeds fly different routes.
+    // stream so two worlds with different seeds fly different routes —
+    // unless the config pins explicit placements (cohort flights serve the
+    // waypoints the tenants actually ordered).
+    const bool explicit_placements = !config_.tenant_placements.empty();
+    if (explicit_placements &&
+        config_.tenant_placements.size() !=
+            static_cast<size_t>(config_.tenants)) {
+      return InvalidArgumentError(
+          "tenant_placements size must equal the tenant count");
+    }
     Rng placement(SplitMix64(ctx_.seed ^ 0x57a9c0ffee));
     for (int i = 0; i < config_.tenants; ++i) {
-      double north = placement.Uniform(-config_.waypoint_spread_m,
-                                       config_.waypoint_spread_m);
-      double east = placement.Uniform(-config_.waypoint_spread_m,
-                                      config_.waypoint_spread_m);
+      double north;
+      double east;
+      double dwell = config_.dwell_s;
+      if (explicit_placements) {
+        const TenantPlacement& p =
+            config_.tenant_placements[static_cast<size_t>(i)];
+        north = p.north_m;
+        east = p.east_m;
+        dwell = p.dwell_s;
+      } else {
+        north = placement.Uniform(-config_.waypoint_spread_m,
+                                  config_.waypoint_spread_m);
+        east = placement.Uniform(-config_.waypoint_spread_m,
+                                 config_.waypoint_spread_m);
+      }
       GeoPoint waypoint = FromNed(kFleetBase, NedPoint{north, east, -15});
-      auto deployed = system_->Deploy(MakeTenant(i, waypoint, config_.dwell_s),
+      auto deployed = system_->Deploy(MakeTenant(i, waypoint, dwell),
                                       WhitelistTemplate::kStandard);
       if (!deployed.ok()) {
         if (config_.tolerate_deploy_rejection) {
@@ -251,8 +277,8 @@ class WorldAttempt {
       job.vdrone_id = i;
       job.vdrone_ref = "vd-" + std::to_string(i);
       job.waypoint = waypoint;
-      job.service_energy_j = 170.0 * config_.dwell_s;
-      job.service_time_s = config_.dwell_s;
+      job.service_energy_j = 170.0 * dwell;
+      job.service_time_s = dwell;
       jobs_.push_back(job);
     }
 

@@ -38,12 +38,26 @@ struct CrashLoopConfig {
   bool enabled() const { return count > 0; }
 };
 
+// One tenant's explicit waypoint placement for cohort flights (DESIGN.md
+// §16): NED offset from the fleet base plus the planner dwell at the stop.
+struct TenantPlacement {
+  double north_m = 0;
+  double east_m = 0;
+  double dwell_s = 20;
+};
+
 struct FleetWorldConfig {
   // Direct-access tenants deployed per world, each with one waypoint placed
   // pseudo-randomly (from the world seed) around the base.
   int tenants = 2;
   double dwell_s = 20;          // Planner service time per stop.
   double waypoint_spread_m = 120;  // Max NED offset of tenant waypoints.
+  // Explicit per-tenant waypoint placements (the control plane's cohort
+  // flights, DESIGN.md §16). Empty (the default) keeps the seed-drawn
+  // scatter above; when non-empty the size must equal |tenants| and tenant
+  // i flies to placements[i] with placements[i].dwell_s, so a shard fleet
+  // manager can fly the waypoints its tenants actually ordered.
+  std::vector<TenantPlacement> tenant_placements;
   int annealing_iterations = 600;  // Planner effort (sec66 uses 4000).
   // Data-path fast paths (DESIGN.md §10). Defaults are the production
   // configuration; the legacy paths stay selectable for A/B benches.

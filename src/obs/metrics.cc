@@ -31,7 +31,15 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
     gauges[name] = value;
   }
   for (const auto& [name, hist] : other.histograms) {
-    histograms[name].Merge(hist);
+    // First sight of a name copies the source (keeping its bucket layout —
+    // a default-constructed destination would clamp wider histograms);
+    // later merges of the shared layout are bucket-exact.
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, hist);
+    } else {
+      it->second.Merge(hist);
+    }
   }
 }
 
@@ -92,6 +100,16 @@ void MetricsRegistry::Set(const std::string& name, double value) {
 
 Histogram& MetricsRegistry::Hist(const std::string& name) {
   return histograms_[name];
+}
+
+Histogram& MetricsRegistry::Hist(const std::string& name,
+                                 int buckets_per_decade, int decades) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(buckets_per_decade, decades))
+             .first;
+  }
+  return it->second;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {

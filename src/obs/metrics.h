@@ -52,6 +52,12 @@ class MetricsRegistry {
   // Named histogram with the default log-bucket layout; created on first
   // use. Callers may Record() into it or Merge() an existing histogram.
   Histogram& Hist(const std::string& name);
+  // Same, but a first use creates the histogram with the given layout —
+  // e.g. more decades for values that outrange the default [1, 1e8) span.
+  // An existing histogram's layout is left untouched, so every recorder of
+  // a shared name must ask for the same layout or the merge loses buckets.
+  Histogram& Hist(const std::string& name, int buckets_per_decade,
+                  int decades);
 
   MetricsSnapshot Snapshot() const;
   void Clear();

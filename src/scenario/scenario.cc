@@ -52,10 +52,84 @@ bool SplitHistMetric(const std::string& name, std::string* hist_name,
   return true;
 }
 
+// Splits a stage-latency SLO name "latency.<stage>.p<N>" into the stage
+// name and a percentile fraction, mirroring SplitHistMetric. The sugar
+// resolves the histogram "latency.<stage>_us" (the control plane's
+// per-stage convention) and compares in milliseconds.
+bool SplitLatencyMetric(const std::string& name, std::string* stage,
+                        double* fraction, bool* bad_suffix) {
+  constexpr const char kPrefix[] = "latency.";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.compare(0, kPrefixLen, kPrefix) != 0) {
+    return false;
+  }
+  *bad_suffix = true;
+  size_t tail = name.rfind(".p");
+  if (tail == std::string::npos || tail < kPrefixLen) {
+    return false;
+  }
+  int percentile = 0;
+  size_t digits = tail + 2;
+  if (digits == name.size()) {
+    return false;
+  }
+  for (size_t i = digits; i < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9' || percentile > 100) {
+      return false;
+    }
+    percentile = percentile * 10 + (c - '0');
+  }
+  if (percentile < 1 || percentile > 100) {
+    return false;
+  }
+  *stage = name.substr(kPrefixLen, tail - kPrefixLen);
+  if (stage->empty()) {
+    return false;
+  }
+  *bad_suffix = false;
+  *fraction = percentile / 100.0;
+  return true;
+}
+
+const Histogram* FindHistogram(const std::string& name,
+                               const WorldResult& result) {
+  auto hist = result.histograms.find(name);
+  if (hist != result.histograms.end()) {
+    return &hist->second;
+  }
+  hist = result.metrics.histograms.find(name);
+  if (hist != result.metrics.histograms.end()) {
+    return &hist->second;
+  }
+  return nullptr;
+}
+
 // Resolution order documented on AssertionSpec. Returns false when the
 // metric exists nowhere in the result.
 bool ResolveMetric(const std::string& name, const WorldResult& result,
                    double* out) {
+  {
+    std::string stage;
+    double fraction = 0;
+    bool bad_suffix = false;
+    if (SplitLatencyMetric(name, &stage, &fraction, &bad_suffix)) {
+      // Microsecond histograms by convention; a bare "latency.<stage>"
+      // histogram (already in µs) is accepted as a fallback spelling.
+      const Histogram* hist = FindHistogram("latency." + stage + "_us", result);
+      if (hist == nullptr) {
+        hist = FindHistogram("latency." + stage, result);
+      }
+      if (hist == nullptr || hist->total_count() == 0) {
+        return false;  // No samples: nothing to hold an SLO against.
+      }
+      *out = static_cast<double>(hist->Percentile(fraction)) / 1000.0;
+      return true;
+    }
+    if (bad_suffix) {
+      return false;  // Caught at parse time; unreachable via ParseAssertion.
+    }
+  }
   {
     std::string hist_name;
     double fraction = 0;
@@ -279,6 +353,16 @@ StatusOr<AssertionSpec> ParseAssertion(const std::string& expr) {
       return InvalidArgumentError(
           "assertion \"" + expr + "\": histogram metric must be "
           "\"hist.<name>.p<N>\" with 1 <= N <= 100");
+    }
+  }
+  if (metric.compare(0, 8, "latency.") == 0) {
+    std::string stage;
+    double fraction = 0;
+    bool bad_suffix = false;
+    if (!SplitLatencyMetric(metric, &stage, &fraction, &bad_suffix)) {
+      return InvalidArgumentError(
+          "assertion \"" + expr + "\": stage-latency metric must be "
+          "\"latency.<stage>.p<N>\" with 1 <= N <= 100 (bound in ms)");
     }
   }
   if (IsDigestMetric(metric)) {

@@ -45,6 +45,15 @@ const char* CompareOpName(CompareOp op);
 // The percentile suffix is validated at parse time; a histogram absent
 // from the result reports "[missing]" like any other metric.
 //
+// Stage-latency SLO sugar: "latency.<stage>.p99 <= 250" gates the named
+// serving-stage latency histogram in MILLISECONDS. The metric resolves
+// the histogram "latency.<stage>_us" (then "latency.<stage>") — the
+// control plane's per-stage convention (DESIGN.md §16: order, plan,
+// admit, fly, bill, session) — and divides the percentile by 1000, so
+// SLO bounds read in the unit operators think in while histograms keep
+// microsecond resolution. Same parse-time percentile validation and
+// "[missing]" behavior as hist.*.
+//
 // Digest pinning: the metric names "digest" and "flight_digest" switch the
 // assertion into exact 64-bit mode — "digest == 0x1f00badc0ffee123" — so a
 // manifest can pin a scenario's determinism digest without the round-trip

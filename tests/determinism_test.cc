@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "src/ctrl/router.h"
+#include "src/ctrl/tenant_mix.h"
 #include "src/exec/fleet_executor.h"
 #include "src/exec/fleet_world.h"
 #include "src/obs/metrics.h"
@@ -139,6 +141,44 @@ TEST(DeterminismTest, MetricSnapshotsMergeInIndexOrder) {
     counter_sum += world.metrics.counters.at("binder.txns");
   }
   EXPECT_DOUBLE_EQ(report.metrics.counters.at("binder.txns"), counter_sum);
+}
+
+// The control-plane serving path (DESIGN.md §16) inherits the executor's
+// determinism contract end to end: the merged report text — terminal-state
+// counts, settlement ledger, stage percentiles, digests — must be
+// byte-identical across repeats and at 1, 2, or 8 router threads. The CI
+// TSan leg runs this test, so the thread sweep is also a data-race probe.
+TEST(DeterminismTest, ControlPlaneReportIsThreadCountInvariant) {
+  ControlPlaneConfig config;
+  config.shards = 4;
+  config.seed = kSeed;
+  config.load.sessions = 160;
+  config.load.arrival_window_s = 25;
+
+  config.threads = 1;
+  const ControlPlaneReport reference =
+      ControlPlaneRouter(config).Serve(BuiltinTenantMix());
+  const std::string reference_text = reference.ToText();
+  ASSERT_EQ(reference.settlement_errors, 0);
+  ASSERT_EQ(reference.admission_violations, 0u);
+
+  // Straight repeat at the same thread count.
+  const ControlPlaneReport repeat =
+      ControlPlaneRouter(config).Serve(BuiltinTenantMix());
+  EXPECT_EQ(repeat.ToText(), reference_text)
+      << DescribeDivergence(reference_text, repeat.ToText(), "run A",
+                            "run B");
+
+  for (int threads : {2, 8}) {
+    config.threads = threads;
+    const ControlPlaneReport run =
+        ControlPlaneRouter(config).Serve(BuiltinTenantMix());
+    EXPECT_EQ(run.ToText(), reference_text)
+        << threads << " router threads: "
+        << DescribeDivergence(reference_text, run.ToText(), "1 thread",
+                              "swept");
+    EXPECT_EQ(run.Digest(), reference.Digest());
+  }
 }
 
 }  // namespace

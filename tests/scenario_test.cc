@@ -3,6 +3,7 @@
 // canonical-dump round-trip contract, and deterministic template expansion.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -173,6 +174,91 @@ TEST(AssertionTest, EmptyListGetsImplicitCompletedContract) {
   WorldResult complete;
   complete.completed = true;
   EXPECT_TRUE(EvaluateAssertions({}, complete).empty());
+}
+
+// --- Stage-latency SLO sugar: "latency.<stage>.p<N>" ---
+
+TEST(AssertionTest, LatencyStageGrammarParsesAndCanonicalizes) {
+  auto parsed = ParseAssertion("latency.plan.p99 <= 250");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->metric, "latency.plan.p99");
+  EXPECT_EQ(parsed->ToExpr(), "latency.plan.p99 <= 250");
+  // Multi-segment stage names keep everything before the percentile.
+  auto nested = ParseAssertion("latency.fly.cohort.p50 <= 1");
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested->metric, "latency.fly.cohort.p50");
+  // Percentile bounds are inclusive at both ends.
+  EXPECT_TRUE(ParseAssertion("latency.plan.p1 <= 1").ok());
+  EXPECT_TRUE(ParseAssertion("latency.plan.p100 <= 1").ok());
+}
+
+TEST(AssertionTest, RejectsMalformedLatencyMetrics) {
+  // The latency.* namespace is validated at parse time: a malformed
+  // percentile suffix is a parse error, never a vacuous "[missing]".
+  const char* bad[] = {
+      "latency.plan.p0 <= 1",    // Percentile below 1.
+      "latency.plan.p101 <= 1",  // Percentile above 100.
+      "latency.plan.p9x <= 1",   // Non-digit in the suffix.
+      "latency.plan.p <= 1",     // Empty suffix.
+      "latency.plan <= 1",       // No percentile at all.
+      "latency..p99 <= 1",       // Empty stage name.
+  };
+  for (const char* expr : bad) {
+    auto parsed = ParseAssertion(expr);
+    EXPECT_FALSE(parsed.ok()) << expr;
+    if (!parsed.ok()) {
+      EXPECT_NE(parsed.status().message().find("latency.<stage>.p<N>"),
+                std::string::npos)
+          << expr << ": " << parsed.status().message();
+    }
+  }
+}
+
+TEST(AssertionTest, LatencyStageResolvesMergedHistogramsInMilliseconds) {
+  WorldResult result;
+  result.completed = true;
+  Histogram& hist = result.metrics.histograms["latency.plan_us"];
+  for (int64_t us : {40000, 50000, 250000}) {
+    hist.Record(us);
+  }
+  // The evaluated value is the conservative bucket upper bound, in
+  // milliseconds: <= holds exactly at the percentile, strict < trips.
+  const double p99_ms = static_cast<double>(hist.Percentile(0.99)) / 1000.0;
+  char at_bound[64];
+  std::snprintf(at_bound, sizeof(at_bound), "latency.plan.p99 <= %.9f",
+                p99_ms);
+  char below_bound[64];
+  std::snprintf(below_bound, sizeof(below_bound), "latency.plan.p99 < %.9f",
+                p99_ms);
+  std::vector<AssertionSpec> assertions = {*ParseAssertion(at_bound)};
+  EXPECT_TRUE(EvaluateAssertions(assertions, result).empty());
+  std::vector<AssertionSpec> strict = {*ParseAssertion(below_bound)};
+  EXPECT_EQ(EvaluateAssertions(strict, result).size(), 1u);
+
+  // A bare "latency.<stage>" histogram (already in µs) is the fallback
+  // spelling for the same stage grammar.
+  WorldResult bare;
+  bare.completed = true;
+  bare.metrics.histograms["latency.fly"].Record(900);
+  std::vector<AssertionSpec> fallback = {
+      *ParseAssertion("latency.fly.p50 <= 1.1")};
+  EXPECT_TRUE(EvaluateAssertions(fallback, bare).empty());
+}
+
+TEST(AssertionTest, LatencyStageWithoutSamplesReportsMissing) {
+  WorldResult result;
+  result.completed = true;
+  // Absent histogram.
+  std::vector<AssertionSpec> absent = {
+      *ParseAssertion("latency.bill.p99 <= 100")};
+  auto failed = EvaluateAssertions(absent, result);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], "latency.bill.p99 <= 100 [missing]");
+  // Present but empty histogram: nothing to hold an SLO against.
+  result.metrics.histograms["latency.bill_us"];
+  failed = EvaluateAssertions(absent, result);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], "latency.bill.p99 <= 100 [missing]");
 }
 
 // --- Manifest loading: the good path ---
